@@ -1,0 +1,77 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! opcode-vs-coarse costing, the mk/mmi blocking trade-off, the
+//! interconnect swap of §6, and the segmented-fit workload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cluster_sim::Engine;
+use experiments::{ablation, blocking};
+use hwbench::machines::{opteron_gige_sim, opteron_myrinet_sim};
+use hwbench::netbench::{default_sizes, run_microbenchmarks};
+use sweep3d::trace::{generate_programs, FlopModel};
+use sweep3d::ProblemConfig;
+
+fn bench_costing_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_costing");
+    g.sample_size(10);
+    g.bench_function("opteron_opcode_vs_coarse", |b| {
+        b.iter(|| {
+            let r = ablation::opteron_case();
+            assert!(r.coarse_error_pct.abs() < r.opcode_error_pct.abs());
+            black_box(r)
+        })
+    });
+    g.finish();
+}
+
+fn bench_blocking_sweep(c: &mut Criterion) {
+    let machine = hwbench::machines::pentium3_myrinet_sim();
+    let mut g = c.benchmark_group("ablation_blocking");
+    g.sample_size(10);
+    g.bench_function("mk_mmi_grid_2x4", |b| {
+        b.iter(|| {
+            let pts = blocking::sweep(&machine, 10, 2, 4, &[1, 5, 10], &[1, 3, 6]);
+            black_box(blocking::best(&pts))
+        })
+    });
+    g.finish();
+}
+
+fn bench_interconnect_swap(c: &mut Criterion) {
+    // The §6 model-reuse demonstration made empirical: same Opteron nodes,
+    // GigE vs Myrinet, simulated at 4x4.
+    let config = ProblemConfig::weak_scaling(20, 4, 4);
+    let fm = FlopModel::calibrate(&config, 10);
+    let programs = generate_programs(&config, &fm);
+    let gige = opteron_gige_sim();
+    let myri = opteron_myrinet_sim();
+    let mut g = c.benchmark_group("ablation_interconnect");
+    g.sample_size(10);
+    g.bench_function("gige_vs_myrinet_4x4", |b| {
+        b.iter(|| {
+            let t_gige = Engine::new(&gige, programs.clone()).run().unwrap().makespan();
+            let t_myri = Engine::new(&myri, programs.clone()).run().unwrap().makespan();
+            assert!(t_myri <= t_gige, "Myrinet must not lose to GigE");
+            black_box((t_gige, t_myri))
+        })
+    });
+    g.finish();
+}
+
+fn bench_segmented_fit(c: &mut Criterion) {
+    let spec = opteron_gige_sim();
+    let data = run_microbenchmarks(&spec, &default_sizes(), 4);
+    c.bench_function("eq3_segmented_fit_three_curves", |b| {
+        b.iter(|| black_box(hwbench::fit::fit_comm_model(&data)))
+    });
+}
+
+criterion_group!(
+    ablations,
+    bench_costing_ablation,
+    bench_blocking_sweep,
+    bench_interconnect_swap,
+    bench_segmented_fit
+);
+criterion_main!(ablations);

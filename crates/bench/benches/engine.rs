@@ -1,0 +1,109 @@
+//! Substrate performance: the discrete-event engine's event throughput,
+//! the threaded message-passing runtime, the PSL front-end, and the PACE
+//! evaluation engine's "predictions within seconds" claim (paper §4 —
+//! here the closed-form evaluation sits in the microsecond range).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use cluster_sim::{Engine, MachineSpec, Op, Program};
+use pace_core::{machines, Sweep3dModel, Sweep3dParams};
+use simmpi::{ReduceOp, Runtime};
+
+/// A ring pipeline workload of `ranks × units` work quanta.
+fn ring_programs(ranks: usize, units: usize) -> Vec<Program> {
+    let mut programs = Vec::with_capacity(ranks);
+    for r in 0..ranks {
+        let mut p = Program::new();
+        for u in 0..units {
+            if r > 0 {
+                p.push(Op::Recv { from: r - 1, tag: u as u32 });
+            }
+            p.push(Op::Compute { flops: 1e5, working_set: 1 << 16 });
+            if r + 1 < ranks {
+                p.push(Op::Send { to: r + 1, bytes: 4096, tag: u as u32 });
+            }
+        }
+        programs.push(p);
+    }
+    programs
+}
+
+fn bench_des_throughput(c: &mut Criterion) {
+    let mut machine = MachineSpec::ideal(100.0);
+    machine.network = cluster_sim::NetworkModel::from_link(5.0, 250.0, 1.0, 8192.0);
+    let ranks = 64;
+    let units = 100;
+    let programs = ring_programs(ranks, units);
+    let total_ops: u64 = programs.iter().map(|p| p.len() as u64).sum();
+    let mut g = c.benchmark_group("des_engine");
+    g.throughput(Throughput::Elements(total_ops));
+    g.bench_function("ring_64ranks_100units", |b| {
+        b.iter(|| {
+            black_box(
+                Engine::new(&machine, programs.clone())
+                    .run()
+                    .unwrap()
+                    .makespan(),
+            )
+        })
+    });
+    g.finish();
+}
+
+fn bench_model_evaluation(c: &mut Criterion) {
+    // The headline usability claim: evaluating the full layered model for
+    // an 8000-PE configuration is effectively instant.
+    let hw = machines::opteron_myrinet_hypothetical();
+    let model = Sweep3dModel::new(Sweep3dParams::speculative_1b(80, 100));
+    c.bench_function("pace_model_single_prediction_8000pes", |b| {
+        b.iter(|| black_box(model.predict(&hw).total_secs))
+    });
+}
+
+fn bench_psl_frontend(c: &mut Criterion) {
+    let src = pace_psl::assets::SWEEP3D_PSL;
+    c.bench_function("psl_parse_sweep3d_script", |b| {
+        b.iter(|| black_box(pace_psl::parse(src).unwrap()))
+    });
+    let objects = pace_psl::parse(src).unwrap();
+    let overrides = pace_psl::Overrides::sweep3d(8, 14, 50, 50, 50);
+    c.bench_function("psl_compile_sweep3d_model", |b| {
+        b.iter(|| black_box(pace_psl::compile(&objects, &overrides).unwrap()))
+    });
+}
+
+fn bench_capp_analysis(c: &mut Criterion) {
+    let src = pace_capp::assets::SWEEP_KERNEL_C;
+    c.bench_function("capp_analyze_sweep_kernel", |b| {
+        b.iter(|| black_box(pace_capp::analyze_source(src).unwrap()))
+    });
+}
+
+fn bench_simmpi_collectives(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simmpi");
+    g.sample_size(20);
+    g.bench_function("allreduce_8ranks_x64", |b| {
+        b.iter(|| {
+            let out = Runtime::new(8).run(|comm| {
+                let mut acc = 0.0;
+                for _ in 0..64 {
+                    acc = comm.allreduce_f64(1.0, ReduceOp::Sum).unwrap();
+                }
+                acc
+            });
+            black_box(out)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    engine,
+    bench_des_throughput,
+    bench_model_evaluation,
+    bench_psl_frontend,
+    bench_capp_analysis,
+    bench_simmpi_collectives
+);
+criterion_main!(engine);

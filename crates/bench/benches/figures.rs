@@ -1,0 +1,62 @@
+//! One bench per paper figure: Fig. 1 (wavefront illustration), Figs. 8–9
+//! (speculative 8000-PE scaling with rate what-ifs), the Fig. 7 HMCL
+//! listing workflow, and the §6 concurrence study.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::speculation::{run, Problem};
+use experiments::{hmcl, related, wavefront_fig};
+use std::hint::black_box;
+
+fn bench_fig1(c: &mut Criterion) {
+    c.bench_function("fig1_wavefront_frames", |b| {
+        b.iter(|| black_box(wavefront_fig::figure1_text()))
+    });
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    // 14 ladder points × 3 rate scenarios, up to 8000 PEs, 20M cells.
+    c.bench_function("fig8_speculation_20m_cells", |b| {
+        b.iter(|| {
+            let curve = run(Problem::TwentyMillion);
+            assert_eq!(curve.points.last().unwrap().pes, 8000);
+            black_box(curve)
+        })
+    });
+}
+
+fn bench_fig9(c: &mut Criterion) {
+    c.bench_function("fig9_speculation_1b_cells", |b| {
+        b.iter(|| {
+            let curve = run(Problem::OneBillion);
+            assert_eq!(curve.points.last().unwrap().pes, 8000);
+            black_box(curve)
+        })
+    });
+}
+
+fn bench_hmcl(c: &mut Criterion) {
+    // The full Fig. 7 workflow: microbenchmark + fit + render.
+    let spec = hwbench::machines::pentium3_myrinet_sim();
+    let mut g = c.benchmark_group("fig7_hmcl");
+    g.sample_size(10);
+    g.bench_function("benchmark_fit_render", |b| {
+        b.iter(|| {
+            let hw = hwbench::benchmark_machine(&spec, &[50], 1);
+            black_box(hmcl::render(&hw, 125_000))
+        })
+    });
+    g.finish();
+}
+
+fn bench_concurrence(c: &mut Criterion) {
+    c.bench_function("sec6_concurrence_three_models", |b| {
+        b.iter(|| {
+            let pts = related::run(Problem::OneBillion);
+            assert!(related::worst_spread(&pts) < 2.0);
+            black_box(pts)
+        })
+    });
+}
+
+criterion_group!(figures, bench_fig1, bench_fig8, bench_fig9, bench_hmcl, bench_concurrence);
+criterion_main!(figures);

@@ -1,0 +1,65 @@
+//! The coarse-benchmarking substrate on *this* host: the instrumented
+//! diamond-difference kernel's achieved flop rate (the PAPI workflow of
+//! §4.3 run for real), serially and under the threaded parallel driver.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use sweep3d::parallel::run_parallel;
+use sweep3d::serial::SerialSolver;
+use sweep3d::ProblemConfig;
+
+fn serial_config(cells: usize) -> ProblemConfig {
+    let mut c = ProblemConfig::weak_scaling(cells, 1, 1);
+    c.mk = 10.min(cells);
+    c.iterations = 2;
+    c
+}
+
+fn bench_serial_kernel(c: &mut Criterion) {
+    for cells in [10usize, 20] {
+        let config = serial_config(cells);
+        // Flops per solve, measured once for the throughput denominator.
+        let flops = SerialSolver::new(&config).unwrap().run().flops.total();
+        let mut g = c.benchmark_group("serial_kernel");
+        g.throughput(Throughput::Elements(flops));
+        g.bench_function(format!("sweep_{cells}cubed_2iters"), |b| {
+            b.iter(|| {
+                let out = SerialSolver::new(&config).unwrap().run();
+                black_box(out.flux[0])
+            })
+        });
+        g.finish();
+    }
+}
+
+fn bench_parallel_driver(c: &mut Criterion) {
+    // Threaded wavefront over simmpi: per-solve wall time on a 2x2 array.
+    let mut config = ProblemConfig::weak_scaling(10, 2, 2);
+    config.mk = 5;
+    config.iterations = 2;
+    let mut g = c.benchmark_group("parallel_driver");
+    g.sample_size(10);
+    g.bench_function("wavefront_2x2_10cubed", |b| {
+        b.iter(|| black_box(run_parallel(&config).unwrap().len()))
+    });
+    g.finish();
+}
+
+fn bench_host_profiling(c: &mut Criterion) {
+    // The full host-profiling step used by the quickstart workflow.
+    let config = serial_config(12);
+    let mut g = c.benchmark_group("host_profiling");
+    g.sample_size(10);
+    g.bench_function("achieved_rate_12cubed", |b| {
+        b.iter(|| {
+            let p = hwbench::profiler::host_profile(&config);
+            assert!(p.mflops > 0.0);
+            black_box(p.mflops)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(kernel, bench_serial_kernel, bench_parallel_driver, bench_host_profiling);
+criterion_main!(kernel);

@@ -1,0 +1,74 @@
+//! One bench per validation table: regenerating the paper's Tables 1–3
+//! end to end (kernel calibration + machine benchmarking + per-row
+//! simulation + per-row prediction).
+//!
+//! Criterion's timings double as a statement about the method's cost: a
+//! full 24-row validation campaign on a simulated 112-PE machine completes
+//! in well under a second — the "predictions within seconds" property of
+//! the PACE evaluation engine extends to the whole workflow here.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::validation;
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1_pentium3_myrinet");
+    g.sample_size(10);
+    g.bench_function("24_rows_to_112_pes", |b| {
+        b.iter(|| {
+            let t = validation::table1();
+            assert!(t.max_abs_error() < 10.0);
+            black_box(t)
+        })
+    });
+    g.finish();
+}
+
+fn bench_table2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2_opteron_gige");
+    g.sample_size(10);
+    g.bench_function("9_rows_to_30_pes", |b| {
+        b.iter(|| {
+            let t = validation::table2();
+            assert!(t.max_abs_error() < 10.0);
+            black_box(t)
+        })
+    });
+    g.finish();
+}
+
+fn bench_table3(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table3_altix_numalink");
+    g.sample_size(10);
+    g.bench_function("16_rows_to_56_pes", |b| {
+        b.iter(|| {
+            let t = validation::table3();
+            assert!(t.max_abs_error() < 10.0);
+            black_box(t)
+        })
+    });
+    g.finish();
+}
+
+fn bench_single_row(c: &mut Criterion) {
+    // The marginal cost of one additional validation row (measurement +
+    // prediction) at the largest Table 1 configuration.
+    use hwbench::machines::pentium3_myrinet_sim;
+    use sweep3d::trace::FlopModel;
+    let spec = validation::TABLE1_ROWS[23]; // 400x700x50 on 8x14
+    let machine = pentium3_myrinet_sim();
+    let fm = FlopModel::calibrate(&validation::row_config(&spec), 10);
+    let hw = hwbench::benchmark_machine(&machine, &[50], 1);
+    let mut g = c.benchmark_group("single_row_112_pes");
+    g.sample_size(10);
+    g.bench_function("measure_8x14", |b| {
+        b.iter(|| black_box(validation::measure_row(&spec, &machine, &fm, 1)))
+    });
+    g.bench_function("predict_8x14", |b| {
+        b.iter(|| black_box(validation::predict_row(&spec, &hw)))
+    });
+    g.finish();
+}
+
+criterion_group!(tables, bench_table1, bench_table2, bench_table3, bench_single_row);
+criterion_main!(tables);

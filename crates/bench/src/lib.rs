@@ -1,0 +1,2 @@
+//! pace-bench: Criterion benchmark targets for the paper's tables, figures
+//! and ablations. See the `benches/` directory; this library is empty.

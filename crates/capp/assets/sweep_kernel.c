@@ -1,0 +1,92 @@
+/*
+ * The SWEEP3D diamond-difference sweep kernel, in the mini-C dialect the
+ * capp analyser accepts. Structurally mirrors crates/sweep3d/src/kernel.rs:
+ * one (octant, angle-block, k-block) work unit sweeping n_ang angles over
+ * an nx x ny x klen subgrid block.
+ *
+ * The negative-flux fixup of the original code is goto-driven and
+ * data-dependent; per the paper (section 4.1) "a reasonable estimate of the
+ * average work related to these statements is manually coded into the clc"
+ * - here as a profile-derived branch probability annotation (@prob 0.30,
+ * measured from instrumented runs of the Rust kernel on the validation
+ * problem sizes) on a single averaged re-balance round.
+ */
+void sweep_block(int n_ang, int klen, int ny, int nx,
+                 double mu[], double eta[], double xi[], double w[],
+                 double sigt[], double src[], double flux[],
+                 double face_i[], double face_j[], double phik[],
+                 double dx, double dy, double dz)
+{
+    int m; int kk; int j; int i;
+    for (m = 0; m < n_ang; m++) {
+        /* per-angle constants: c_f = 2 mu / dx etc. */
+        double ci = 2.0 * mu[m] / dx;
+        double cj = 2.0 * eta[m] / dy;
+        double ck = 2.0 * xi[m] / dz;
+        for (kk = 0; kk < klen; kk++) {
+            for (j = 0; j < ny; j++) {
+                for (i = 0; i < nx; i++) {
+                    double pi = face_i[j];
+                    double pj = face_j[i];
+                    double pk = phik[i];
+
+                    double denom = sigt[i] + ci + cj + ck;
+                    double numer = src[i] + ci * pi + cj * pj + ck * pk;
+                    double psi = numer / denom;
+
+                    double oi = 2.0 * psi - pi;
+                    double oj = 2.0 * psi - pj;
+                    double ok = 2.0 * psi - pk;
+
+                    /* negative-flux fixup (averaged goto work) */
+                    if /*@prob 0.30*/ (oi < 0.0 || oj < 0.0 || ok < 0.0) {
+                        double numer2 = src[i] + 0.5 * (ci * pi) + cj * pj + ck * pk;
+                        double denom2 = sigt[i] + cj + ck;
+                        psi = numer2 / denom2;
+                        oi = 0.0;
+                        oj = 2.0 * psi - pj;
+                        ok = 2.0 * psi - pk;
+                        res = numer2 - denom2 * psi;
+                    }
+
+                    face_i[j] = oi;
+                    face_j[i] = oj;
+                    phik[i] = ok;
+                    flux[i] += w[m] * psi;
+                }
+            }
+        }
+    }
+}
+
+/*
+ * Scattering-source update subtask: src = qext + sigs * flux.
+ */
+void source(int cells, double qext[], double sigs[], double flux[], double src[])
+{
+    int c;
+    for (c = 0; c < cells; c++) {
+        src[c] = qext[c] + sigs[c] * flux[c];
+    }
+}
+
+/*
+ * Convergence-error subtask: max-norm relative flux change.
+ * The abs/max intrinsics of the original appear here as compare-and-assign
+ * branches, which is also how the x87 code generation treats them.
+ */
+void flux_err(int cells, double flux[], double flux_prev[])
+{
+    int c;
+    double err = 0.0;
+    for (c = 0; c < cells; c++) {
+        double d = flux[c] - flux_prev[c];
+        double r = d / flux[c];
+        if /*@prob 0.5*/ (r < 0.0) {
+            r = 0.0 - r;
+        }
+        if /*@prob 0.1*/ (r > err) {
+            err = r;
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Mini-C abstract syntax.
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Function {
+    /// Function name.
+    pub name: String,
+    /// Parameter names (types are irrelevant to opcode counting).
+    pub params: Vec<String>,
+    /// Body statements.
+    pub body: Vec<CStmt>,
+    /// Definition line.
+    pub line: u32,
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CStmt {
+    /// Declaration, possibly with an initialiser: `double x = e;`
+    Decl {
+        /// Declared names with optional initialisers.
+        vars: Vec<(String, Option<CExpr>)>,
+    },
+    /// Assignment `lvalue = e;` (or `+=`, `-=`, which also count one add).
+    Assign {
+        /// Target variable.
+        target: String,
+        /// Subscripts on the target (each counts one store).
+        subscripts: Vec<CExpr>,
+        /// `=`, `+=` or `-=`; compound forms add one AFDG.
+        compound: bool,
+        /// Right-hand side.
+        value: CExpr,
+    },
+    /// Canonical `for (i = a; i < b; i++) { … }`.
+    For {
+        /// Loop variable.
+        var: String,
+        /// Start expression.
+        from: CExpr,
+        /// Bound expression.
+        to: CExpr,
+        /// True when the condition is `<=` (count = to − from + 1).
+        inclusive: bool,
+        /// Body.
+        body: Vec<CStmt>,
+        /// Source line (diagnostics).
+        line: u32,
+    },
+    /// `if (cond) {…} else {…}` with an optional profiled probability.
+    If {
+        /// Probability the branch is taken (`/*@prob p*/`), default 0.5.
+        prob: f64,
+        /// Condition (comparisons count IFBR).
+        cond: CExpr,
+        /// Taken branch.
+        then_body: Vec<CStmt>,
+        /// Not-taken branch.
+        else_body: Vec<CStmt>,
+    },
+    /// `label:` — target of a goto (no cost).
+    Label(String),
+    /// `goto label;` — counts one branch check (the paper's non-structural
+    /// fixup gotos, averaged into the flow manually via `@prob`).
+    Goto(String),
+    /// Bare expression statement (costs counted).
+    ExprStmt(CExpr),
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CExpr {
+    /// Numeric literal.
+    Num(f64),
+    /// Variable reference (scalar — no memory cost; registers).
+    Var(String),
+    /// Array read `a[i][j]` — one CMLD per subscripted access.
+    Index {
+        /// Base array.
+        base: String,
+        /// Subscript expressions (address arithmetic not counted).
+        subs: Vec<CExpr>,
+    },
+    /// Binary arithmetic/comparison.
+    Bin {
+        /// Operator.
+        op: COp,
+        /// Left operand.
+        lhs: Box<CExpr>,
+        /// Right operand.
+        rhs: Box<CExpr>,
+    },
+    /// Unary minus (counts one AFDG, a negation).
+    Neg(Box<CExpr>),
+    /// Logical not (no flop).
+    Not(Box<CExpr>),
+}
+
+/// Operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum COp {
+    /// `+` → AFDG
+    Add,
+    /// `-` → AFDG
+    Sub,
+    /// `*` → MFDG
+    Mul,
+    /// `/` → DFDG
+    Div,
+    /// `%` (integer; uncounted)
+    Rem,
+    /// comparisons → IFBR
+    Lt,
+    /// `>`
+    Gt,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `&&` (no flop)
+    And,
+    /// `||` (no flop)
+    Or,
+}
+
+impl COp {
+    /// True for comparison operators (each costs one IFBR when evaluated
+    /// in a condition).
+    pub fn is_comparison(&self) -> bool {
+        matches!(self, COp::Lt | COp::Gt | COp::Le | COp::Ge | COp::Eq | COp::Ne)
+    }
+}

@@ -1,0 +1,265 @@
+//! Tokeniser for the mini-C subset.
+
+use crate::CappError;
+
+/// Mini-C tokens.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CTok {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Numeric literal.
+    Number(f64),
+    /// Branch-probability annotation `/*@prob p*/`.
+    ProbAnnot(f64),
+    /// `{` `}` `(` `)` `[` `]`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `=`
+    Assign,
+    /// `+=`
+    PlusAssign,
+    /// `-=`
+    MinusAssign,
+    /// `++`
+    Incr,
+    /// `--`
+    Decr,
+    /// `+` `-` `*` `/` `%`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `<` `>` `<=` `>=` `==` `!=`
+    Lt,
+    /// `>`
+    Gt,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+    /// `==`
+    EqEq,
+    /// `!=`
+    Ne,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `!`
+    Not,
+    /// `:` (labels)
+    Colon,
+    /// End of input.
+    Eof,
+}
+
+/// A token with its line number.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CToken {
+    /// The token.
+    pub tok: CTok,
+    /// 1-based line.
+    pub line: u32,
+}
+
+/// Tokenise mini-C source.
+pub fn lex(src: &str) -> Result<Vec<CToken>, CappError> {
+    let b = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < b.len() {
+        let c = b[i] as char;
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comments.
+        if c == '/' && b.get(i + 1) == Some(&b'/') {
+            while i < b.len() && b[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        // Block comments; `/*@prob p*/` is a token, others are skipped.
+        if c == '/' && b.get(i + 1) == Some(&b'*') {
+            let start = i;
+            let mut j = i + 2;
+            while j + 1 < b.len() && !(b[j] == b'*' && b[j + 1] == b'/') {
+                if b[j] == b'\n' {
+                    line += 1;
+                }
+                j += 1;
+            }
+            if j + 1 >= b.len() {
+                return Err(CappError { line, message: "unterminated comment".into() });
+            }
+            let inner = &src[start + 2..j];
+            if let Some(rest) = inner.trim().strip_prefix("@prob") {
+                let p: f64 = rest.trim().parse().map_err(|e| CappError {
+                    line,
+                    message: format!("bad @prob annotation '{}': {e}", rest.trim()),
+                })?;
+                if !(0.0..=1.0).contains(&p) {
+                    return Err(CappError {
+                        line,
+                        message: format!("@prob {p} outside [0, 1]"),
+                    });
+                }
+                out.push(CToken { tok: CTok::ProbAnnot(p), line });
+            }
+            i = j + 2;
+            continue;
+        }
+        if c.is_ascii_alphabetic() || c == '_' {
+            let begin = i;
+            while i < b.len() && ((b[i] as char).is_ascii_alphanumeric() || b[i] == b'_') {
+                i += 1;
+            }
+            out.push(CToken { tok: CTok::Ident(src[begin..i].to_string()), line });
+            continue;
+        }
+        if c.is_ascii_digit()
+            || (c == '.' && b.get(i + 1).is_some_and(|d| d.is_ascii_digit()))
+        {
+            let begin = i;
+            while i < b.len()
+                && ((b[i] as char).is_ascii_digit()
+                    || b[i] == b'.'
+                    || b[i] == b'e'
+                    || b[i] == b'E'
+                    || ((b[i] == b'+' || b[i] == b'-')
+                        && i > begin
+                        && (b[i - 1] == b'e' || b[i - 1] == b'E')))
+            {
+                i += 1;
+            }
+            let text = &src[begin..i];
+            let value = text.parse::<f64>().map_err(|e| CappError {
+                line,
+                message: format!("bad number '{text}': {e}"),
+            })?;
+            out.push(CToken { tok: CTok::Number(value), line });
+            continue;
+        }
+        let two = if i + 1 < b.len() && src.is_char_boundary(i) && src.is_char_boundary(i + 2)
+        {
+            &src[i..i + 2]
+        } else {
+            ""
+        };
+        let (tok, len) = match two {
+            "+=" => (CTok::PlusAssign, 2),
+            "-=" => (CTok::MinusAssign, 2),
+            "++" => (CTok::Incr, 2),
+            "--" => (CTok::Decr, 2),
+            "<=" => (CTok::Le, 2),
+            ">=" => (CTok::Ge, 2),
+            "==" => (CTok::EqEq, 2),
+            "!=" => (CTok::Ne, 2),
+            "&&" => (CTok::AndAnd, 2),
+            "||" => (CTok::OrOr, 2),
+            _ => match c {
+                '{' => (CTok::LBrace, 1),
+                '}' => (CTok::RBrace, 1),
+                '(' => (CTok::LParen, 1),
+                ')' => (CTok::RParen, 1),
+                '[' => (CTok::LBracket, 1),
+                ']' => (CTok::RBracket, 1),
+                ';' => (CTok::Semi, 1),
+                ',' => (CTok::Comma, 1),
+                '=' => (CTok::Assign, 1),
+                '+' => (CTok::Plus, 1),
+                '-' => (CTok::Minus, 1),
+                '*' => (CTok::Star, 1),
+                '/' => (CTok::Slash, 1),
+                '%' => (CTok::Percent, 1),
+                '<' => (CTok::Lt, 1),
+                '>' => (CTok::Gt, 1),
+                '!' => (CTok::Not, 1),
+                ':' => (CTok::Colon, 1),
+                other => {
+                    return Err(CappError {
+                        line,
+                        message: format!("unexpected character '{other}'"),
+                    })
+                }
+            },
+        };
+        out.push(CToken { tok, line });
+        i += len;
+    }
+    out.push(CToken { tok: CTok::Eof, line });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<CTok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn c_operators() {
+        let ts = toks("i++ x += 2; a && b || !c");
+        assert!(ts.contains(&CTok::Incr));
+        assert!(ts.contains(&CTok::PlusAssign));
+        assert!(ts.contains(&CTok::AndAnd));
+        assert!(ts.contains(&CTok::OrOr));
+        assert!(ts.contains(&CTok::Not));
+    }
+
+    #[test]
+    fn prob_annotation_recognised() {
+        let ts = toks("if /*@prob 0.25*/ (x < 0)");
+        assert!(ts.contains(&CTok::ProbAnnot(0.25)));
+    }
+
+    #[test]
+    fn ordinary_comments_skipped() {
+        let ts = toks("a /* plain comment */ b // line\nc");
+        assert_eq!(ts.iter().filter(|t| matches!(t, CTok::Ident(_))).count(), 3);
+    }
+
+    #[test]
+    fn bad_prob_rejected() {
+        assert!(lex("/*@prob 1.5*/").is_err());
+        assert!(lex("/*@prob x*/").is_err());
+    }
+
+    #[test]
+    fn lines_counted_through_comments() {
+        let tokens = lex("/* a\nb\nc */ x").unwrap();
+        assert_eq!(tokens[0].line, 3);
+    }
+
+    #[test]
+    fn numbers_with_exponents() {
+        assert_eq!(toks("2.5e-3")[0], CTok::Number(0.0025));
+    }
+}

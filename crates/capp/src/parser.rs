@@ -1,0 +1,451 @@
+//! Recursive-descent parser for the mini-C subset.
+
+use crate::ast::*;
+use crate::lexer::{lex, CTok, CToken};
+use crate::CappError;
+
+/// Parse a translation unit: a sequence of function definitions.
+pub fn parse(src: &str) -> Result<Vec<Function>, CappError> {
+    let tokens = lex(src)?;
+    let mut p = P { tokens, pos: 0 };
+    let mut funcs = Vec::new();
+    while !matches!(p.peek().tok, CTok::Eof) {
+        funcs.push(p.function()?);
+    }
+    Ok(funcs)
+}
+
+const TYPES: [&str; 3] = ["void", "double", "int"];
+
+struct P {
+    tokens: Vec<CToken>,
+    pos: usize,
+}
+
+impl P {
+    fn peek(&self) -> &CToken {
+        &self.tokens[self.pos]
+    }
+
+    fn peek2(&self) -> &CTok {
+        &self.tokens[(self.pos + 1).min(self.tokens.len() - 1)].tok
+    }
+
+    fn bump(&mut self) -> CToken {
+        let t = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, line: u32, message: impl Into<String>) -> Result<T, CappError> {
+        Err(CappError { line, message: message.into() })
+    }
+
+    fn expect(&mut self, tok: CTok, what: &str) -> Result<u32, CappError> {
+        let t = self.bump();
+        if t.tok == tok {
+            Ok(t.line)
+        } else {
+            self.err(t.line, format!("expected {what}, found {:?}", t.tok))
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<(String, u32), CappError> {
+        let t = self.bump();
+        match t.tok {
+            CTok::Ident(s) => Ok((s, t.line)),
+            other => self.err(t.line, format!("expected {what}, found {other:?}")),
+        }
+    }
+
+    fn eat_type(&mut self) -> bool {
+        if let CTok::Ident(s) = &self.peek().tok {
+            if TYPES.contains(&s.as_str()) {
+                self.bump();
+                // Pointer stars are part of the type.
+                while matches!(self.peek().tok, CTok::Star) {
+                    self.bump();
+                }
+                return true;
+            }
+        }
+        false
+    }
+
+    fn function(&mut self) -> Result<Function, CappError> {
+        let line = self.peek().line;
+        if !self.eat_type() {
+            return self.err(line, "expected a return type (void/double/int)");
+        }
+        let (name, _) = self.ident("function name")?;
+        self.expect(CTok::LParen, "'('")?;
+        let mut params = Vec::new();
+        if !matches!(self.peek().tok, CTok::RParen) {
+            loop {
+                if !self.eat_type() {
+                    let l = self.peek().line;
+                    return self.err(l, "expected a parameter type");
+                }
+                let (pname, _) = self.ident("parameter name")?;
+                // Array parameter suffixes `a[]`.
+                while matches!(self.peek().tok, CTok::LBracket) {
+                    self.bump();
+                    if !matches!(self.peek().tok, CTok::RBracket) {
+                        self.expr()?; // fixed dimension, uncounted
+                    }
+                    self.expect(CTok::RBracket, "']'")?;
+                }
+                params.push(pname);
+                match self.bump() {
+                    CToken { tok: CTok::Comma, .. } => continue,
+                    CToken { tok: CTok::RParen, .. } => break,
+                    t => return self.err(t.line, "expected ',' or ')'"),
+                }
+            }
+        } else {
+            self.bump();
+        }
+        self.expect(CTok::LBrace, "'{'")?;
+        let body = self.block_body()?;
+        Ok(Function { name, params, body, line })
+    }
+
+    fn block_body(&mut self) -> Result<Vec<CStmt>, CappError> {
+        let mut out = Vec::new();
+        loop {
+            if matches!(self.peek().tok, CTok::RBrace) {
+                self.bump();
+                return Ok(out);
+            }
+            out.push(self.stmt()?);
+        }
+    }
+
+    fn stmt(&mut self) -> Result<CStmt, CappError> {
+        let t = self.peek().clone();
+        // Probability annotation binds to the following `if`.
+        if let CTok::ProbAnnot(p) = t.tok {
+            self.bump();
+            let stmt = self.stmt()?;
+            return match stmt {
+                CStmt::If { cond, then_body, else_body, .. } => {
+                    Ok(CStmt::If { prob: p, cond, then_body, else_body })
+                }
+                _ => self.err(t.line, "@prob must precede an if statement"),
+            };
+        }
+        let word = match &t.tok {
+            CTok::Ident(s) => s.clone(),
+            other => return self.err(t.line, format!("expected statement, found {other:?}")),
+        };
+        // Declarations.
+        if TYPES.contains(&word.as_str()) {
+            self.bump();
+            while matches!(self.peek().tok, CTok::Star) {
+                self.bump();
+            }
+            let mut vars = Vec::new();
+            loop {
+                let (name, _) = self.ident("declared name")?;
+                let init = if matches!(self.peek().tok, CTok::Assign) {
+                    self.bump();
+                    Some(self.expr()?)
+                } else {
+                    None
+                };
+                vars.push((name, init));
+                match self.bump() {
+                    CToken { tok: CTok::Comma, .. } => continue,
+                    CToken { tok: CTok::Semi, .. } => break,
+                    t => return self.err(t.line, "expected ',' or ';' in declaration"),
+                }
+            }
+            return Ok(CStmt::Decl { vars });
+        }
+        match word.as_str() {
+            "for" => {
+                self.bump();
+                let line = self.expect(CTok::LParen, "'('")?;
+                let (var, _) = self.ident("loop variable")?;
+                self.expect(CTok::Assign, "'='")?;
+                let from = self.expr()?;
+                self.expect(CTok::Semi, "';'")?;
+                let (cvar, cline) = self.ident("loop variable in condition")?;
+                if cvar != var {
+                    return self.err(cline, "for-condition must test the loop variable");
+                }
+                let inclusive = match self.bump() {
+                    CToken { tok: CTok::Lt, .. } => false,
+                    CToken { tok: CTok::Le, .. } => true,
+                    t => return self.err(t.line, "for-condition must use '<' or '<='"),
+                };
+                let to = self.expr()?;
+                self.expect(CTok::Semi, "';'")?;
+                // Step: `i++` or `i = i + 1` (unit step only).
+                let (svar, sline) = self.ident("loop variable in step")?;
+                if svar != var {
+                    return self.err(sline, "for-step must advance the loop variable");
+                }
+                match self.bump() {
+                    CToken { tok: CTok::Incr, .. } => {}
+                    CToken { tok: CTok::Assign, .. } => {
+                        // accept `i = i + 1`
+                        let e = self.expr()?;
+                        let ok = matches!(
+                            &e,
+                            CExpr::Bin { op: COp::Add, lhs, rhs }
+                                if matches!(&**lhs, CExpr::Var(v) if *v == var)
+                                    && matches!(**rhs, CExpr::Num(n) if n == 1.0)
+                        );
+                        if !ok {
+                            return self.err(sline, "only unit-step for loops are supported");
+                        }
+                    }
+                    t => return self.err(t.line, "expected '++' or '=' in for-step"),
+                }
+                self.expect(CTok::RParen, "')'")?;
+                self.expect(CTok::LBrace, "'{'")?;
+                let body = self.block_body()?;
+                Ok(CStmt::For { var, from, to, inclusive, body, line })
+            }
+            "if" => {
+                self.bump();
+                // Allow `if /*@prob p*/ (…)` with the annotation inside.
+                let prob = if let CTok::ProbAnnot(p) = self.peek().tok {
+                    self.bump();
+                    p
+                } else {
+                    0.5
+                };
+                self.expect(CTok::LParen, "'('")?;
+                let cond = self.expr()?;
+                self.expect(CTok::RParen, "')'")?;
+                self.expect(CTok::LBrace, "'{'")?;
+                let then_body = self.block_body()?;
+                let else_body = if matches!(&self.peek().tok, CTok::Ident(s) if s == "else") {
+                    self.bump();
+                    self.expect(CTok::LBrace, "'{'")?;
+                    self.block_body()?
+                } else {
+                    vec![]
+                };
+                Ok(CStmt::If { prob, cond, then_body, else_body })
+            }
+            "goto" => {
+                self.bump();
+                let (label, _) = self.ident("goto label")?;
+                self.expect(CTok::Semi, "';'")?;
+                Ok(CStmt::Goto(label))
+            }
+            _ => {
+                // Label?
+                if matches!(self.peek2(), CTok::Colon) {
+                    self.bump();
+                    self.bump();
+                    return Ok(CStmt::Label(word));
+                }
+                // Assignment or expression statement.
+                self.bump();
+                let mut subs = Vec::new();
+                while matches!(self.peek().tok, CTok::LBracket) {
+                    self.bump();
+                    subs.push(self.expr()?);
+                    self.expect(CTok::RBracket, "']'")?;
+                }
+                match self.bump() {
+                    CToken { tok: CTok::Assign, .. } => {
+                        let value = self.expr()?;
+                        self.expect(CTok::Semi, "';'")?;
+                        Ok(CStmt::Assign { target: word, subscripts: subs, compound: false, value })
+                    }
+                    CToken { tok: CTok::PlusAssign, .. }
+                    | CToken { tok: CTok::MinusAssign, .. } => {
+                        let value = self.expr()?;
+                        self.expect(CTok::Semi, "';'")?;
+                        Ok(CStmt::Assign { target: word, subscripts: subs, compound: true, value })
+                    }
+                    t => self.err(t.line, "expected '=', '+=' or '-=' after lvalue"),
+                }
+            }
+        }
+    }
+
+    // Expression precedence: or > and > comparison > additive > mul > unary.
+    fn expr(&mut self) -> Result<CExpr, CappError> {
+        let mut lhs = self.and_expr()?;
+        while matches!(self.peek().tok, CTok::OrOr) {
+            self.bump();
+            let rhs = self.and_expr()?;
+            lhs = CExpr::Bin { op: COp::Or, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<CExpr, CappError> {
+        let mut lhs = self.cmp_expr()?;
+        while matches!(self.peek().tok, CTok::AndAnd) {
+            self.bump();
+            let rhs = self.cmp_expr()?;
+            lhs = CExpr::Bin { op: COp::And, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn cmp_expr(&mut self) -> Result<CExpr, CappError> {
+        let lhs = self.add_expr()?;
+        let op = match self.peek().tok {
+            CTok::Lt => COp::Lt,
+            CTok::Gt => COp::Gt,
+            CTok::Le => COp::Le,
+            CTok::Ge => COp::Ge,
+            CTok::EqEq => COp::Eq,
+            CTok::Ne => COp::Ne,
+            _ => return Ok(lhs),
+        };
+        self.bump();
+        let rhs = self.add_expr()?;
+        Ok(CExpr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs) })
+    }
+
+    fn add_expr(&mut self) -> Result<CExpr, CappError> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek().tok {
+                CTok::Plus => COp::Add,
+                CTok::Minus => COp::Sub,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.mul_expr()?;
+            lhs = CExpr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+    }
+
+    fn mul_expr(&mut self) -> Result<CExpr, CappError> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek().tok {
+                CTok::Star => COp::Mul,
+                CTok::Slash => COp::Div,
+                CTok::Percent => COp::Rem,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.unary_expr()?;
+            lhs = CExpr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+    }
+
+    fn unary_expr(&mut self) -> Result<CExpr, CappError> {
+        match self.peek().tok {
+            CTok::Minus => {
+                self.bump();
+                Ok(CExpr::Neg(Box::new(self.unary_expr()?)))
+            }
+            CTok::Not => {
+                self.bump();
+                Ok(CExpr::Not(Box::new(self.unary_expr()?)))
+            }
+            _ => self.primary(),
+        }
+    }
+
+    fn primary(&mut self) -> Result<CExpr, CappError> {
+        let t = self.bump();
+        match t.tok {
+            CTok::Number(n) => Ok(CExpr::Num(n)),
+            CTok::LParen => {
+                let e = self.expr()?;
+                self.expect(CTok::RParen, "')'")?;
+                Ok(e)
+            }
+            CTok::Ident(name) => {
+                if matches!(self.peek().tok, CTok::LBracket) {
+                    let mut subs = Vec::new();
+                    while matches!(self.peek().tok, CTok::LBracket) {
+                        self.bump();
+                        subs.push(self.expr()?);
+                        self.expect(CTok::RBracket, "']'")?;
+                    }
+                    Ok(CExpr::Index { base: name, subs })
+                } else {
+                    Ok(CExpr::Var(name))
+                }
+            }
+            other => self.err(t.line, format!("expected expression, found {other:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_function_with_loop() {
+        let src = "void f(int n, double a[]) { int i; for (i = 0; i < n; i++) { a[i] = a[i] * 2.0; } }";
+        let fs = parse(src).unwrap();
+        assert_eq!(fs[0].name, "f");
+        assert_eq!(fs[0].params, vec!["n", "a"]);
+        assert!(matches!(fs[0].body[1], CStmt::For { .. }));
+    }
+
+    #[test]
+    fn parses_prob_annotation_before_and_inside_if() {
+        for src in [
+            "void f() { /*@prob 0.2*/ if (x < 0) { y = 0; } }",
+            "void f() { if /*@prob 0.2*/ (x < 0) { y = 0; } }",
+        ] {
+            let fs = parse(src).unwrap();
+            match &fs[0].body[0] {
+                CStmt::If { prob, .. } => assert_eq!(*prob, 0.2),
+                other => panic!("{other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn parses_goto_and_label() {
+        let src = "void f() { fixup: x = 0; goto fixup; }";
+        let fs = parse(src).unwrap();
+        assert!(matches!(fs[0].body[0], CStmt::Label(_)));
+        assert!(matches!(fs[0].body[2], CStmt::Goto(_)));
+    }
+
+    #[test]
+    fn compound_assignment() {
+        let src = "void f() { flux[i] += w * psi; }";
+        let fs = parse(src).unwrap();
+        match &fs[0].body[0] {
+            CStmt::Assign { compound, subscripts, .. } => {
+                assert!(*compound);
+                assert_eq!(subscripts.len(), 1);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn i_equals_i_plus_one_step() {
+        let src = "void f(int n) { int i; for (i = 1; i <= n; i = i + 1) { x = x + 1.0; } }";
+        let fs = parse(src).unwrap();
+        match &fs[0].body[1] {
+            CStmt::For { inclusive, .. } => assert!(*inclusive),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_unit_step_rejected() {
+        let src = "void f(int n) { int i; for (i = 0; i < n; i = i + 2) { x = 1.0; } }";
+        assert!(parse(src).is_err());
+    }
+
+    #[test]
+    fn errors_carry_lines() {
+        let err = parse("void f() {\n  for (i = 0) {}\n}").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+}

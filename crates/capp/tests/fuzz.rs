@@ -1,0 +1,77 @@
+//! Totality of the capp front-end, plus exactness of generated analyses.
+
+use proptest::prelude::*;
+
+use pace_capp::analyze::Bindings;
+use pace_capp::{analyze_source, parser::parse};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary input never panics the parser.
+    #[test]
+    fn parser_total_on_arbitrary_input(src in "\\PC{0,200}") {
+        let _ = parse(&src);
+    }
+
+    /// Mini-C-alphabet soup exercises deeper parser states.
+    #[test]
+    fn parser_total_on_c_alphabet(
+        tokens in prop::collection::vec(
+            prop::sample::select(vec![
+                "void", "double", "int", "for", "if", "else", "goto",
+                "f", "x", "y", "i", "n", "a",
+                "{", "}", "(", ")", "[", "]", ";", ",", "=", "+=",
+                "+", "-", "*", "/", "<", ">", "<=", "==", "&&", "||",
+                "++", "1", "2.5", "0", "/*@prob 0.5*/",
+            ]),
+            0..60,
+        )
+    ) {
+        let src = tokens.join(" ");
+        let _ = parse(&src);
+    }
+
+    /// Generated loop nests count exactly.
+    #[test]
+    fn generated_nest_counts(n in 1usize..20, m in 1usize..20, muls in 1usize..5) {
+        let body = "y[i] = y[i] + ".to_string()
+            + &vec!["a"; muls + 1].join(" * ")
+            + ";";
+        let src = format!(
+            "void f(int n, int m) {{
+                int i; int j;
+                for (i = 0; i < n; i++) {{
+                    for (j = 0; j < m; j++) {{ {body} }}
+                }}
+            }}"
+        );
+        let flows = analyze_source(&src).unwrap();
+        let v = flows["f"]
+            .evaluate(&Bindings::new().set("n", n as f64).set("m", m as f64))
+            .unwrap();
+        let cells = (n * m) as f64;
+        prop_assert_eq!(v.mfdg, cells * muls as f64);
+        prop_assert_eq!(v.afdg, cells);
+        prop_assert_eq!(v.cmld, cells * 2.0);
+        prop_assert_eq!(v.lfor, n as f64 + cells);
+    }
+
+    /// Branch probabilities interpolate linearly between the two arms.
+    #[test]
+    fn branch_probability_linear(p in 0.0f64..1.0) {
+        let src = format!(
+            "void g(int n) {{
+                int i;
+                for (i = 0; i < n; i++) {{
+                    if /*@prob {p}*/ (x[i] < 0.0) {{ y = y + 1.0; }}
+                    else {{ y = y * 2.0; }}
+                }}
+            }}"
+        );
+        let flows = analyze_source(&src).unwrap();
+        let v = flows["g"].evaluate(&Bindings::new().set("n", 1000.0)).unwrap();
+        prop_assert!((v.afdg - 1000.0 * p).abs() < 1e-6);
+        prop_assert!((v.mfdg - 1000.0 * (1.0 - p)).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,189 @@
+//! CPU models with working-set-dependent achieved flop rates.
+//!
+//! The paper's key methodological point is that a modern superscalar CPU
+//! cannot be characterised opcode-by-opcode: the *achieved* floating-point
+//! rate depends on the memory hierarchy, compiler optimisation and the
+//! working-set size of the kernel (§4.3, "This rate changes according to the
+//! problem size per processor"). We model that directly: a CPU carries a
+//! piecewise-log-linear **rate curve** mapping working-set bytes to achieved
+//! MFLOPS, plus an SMP memory-bus contention factor that degrades the rate
+//! when many processors share memory (the Altix's NUMA fabric).
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::SimTime;
+
+/// One point of the achieved-rate curve: at working sets of `bytes` the
+/// kernel achieves `mflops`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RatePoint {
+    /// Working-set size in bytes.
+    pub bytes: f64,
+    /// Achieved rate in MFLOPS at that working set.
+    pub mflops: f64,
+}
+
+/// A CPU characterisation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CpuModel {
+    /// Human-readable processor name.
+    pub name: String,
+    /// Achieved-rate curve, sorted by ascending working-set size. Rates are
+    /// interpolated in log-space of the working set between points and
+    /// clamped at the ends. A single point yields a flat (size-independent)
+    /// rate.
+    pub rate_curve: Vec<RatePoint>,
+    /// Fractional throughput loss when `n` processors share the memory
+    /// system: `rate *= 1 - smp_contention * (1 - 1/n)`. Zero for
+    /// distributed-memory nodes with few cores; nonzero for large shared-
+    /// memory systems like the Altix.
+    pub smp_contention: f64,
+}
+
+impl CpuModel {
+    /// A flat-rate CPU (no memory-hierarchy or SMP effects).
+    pub fn flat(name: &str, mflops: f64) -> Self {
+        assert!(mflops > 0.0);
+        CpuModel {
+            name: name.to_string(),
+            rate_curve: vec![RatePoint { bytes: 1.0, mflops }],
+            smp_contention: 0.0,
+        }
+    }
+
+    /// A CPU with a rate curve and SMP contention.
+    pub fn with_curve(name: &str, curve: Vec<RatePoint>, smp_contention: f64) -> Self {
+        assert!(!curve.is_empty(), "rate curve needs at least one point");
+        assert!(
+            curve.windows(2).all(|w| w[0].bytes < w[1].bytes),
+            "rate curve must be sorted by working-set size"
+        );
+        assert!(curve.iter().all(|p| p.mflops > 0.0 && p.bytes > 0.0));
+        assert!((0.0..1.0).contains(&smp_contention));
+        CpuModel { name: name.to_string(), rate_curve: curve, smp_contention }
+    }
+
+    /// Achieved rate (MFLOPS) for a given working set on a single processor.
+    pub fn rate_mflops(&self, working_set: usize) -> f64 {
+        let curve = &self.rate_curve;
+        if curve.len() == 1 || working_set == 0 {
+            return curve[0].mflops;
+        }
+        let x = (working_set as f64).max(1.0).ln();
+        let first = &curve[0];
+        let last = &curve[curve.len() - 1];
+        if x <= first.bytes.ln() {
+            return first.mflops;
+        }
+        if x >= last.bytes.ln() {
+            return last.mflops;
+        }
+        for w in curve.windows(2) {
+            let (a, b) = (&w[0], &w[1]);
+            let (xa, xb) = (a.bytes.ln(), b.bytes.ln());
+            if x >= xa && x <= xb {
+                let t = (x - xa) / (xb - xa);
+                return a.mflops + t * (b.mflops - a.mflops);
+            }
+        }
+        unreachable!("curve covers the range by the clamps above")
+    }
+
+    /// Achieved rate with `sharers` processors active on the shared memory
+    /// system.
+    pub fn rate_mflops_shared(&self, working_set: usize, sharers: usize) -> f64 {
+        let base = self.rate_mflops(working_set);
+        let n = sharers.max(1) as f64;
+        base * (1.0 - self.smp_contention * (1.0 - 1.0 / n))
+    }
+
+    /// Time to execute `flops` floating-point operations on the given
+    /// working set with `sharers` active processors.
+    pub fn compute_time(&self, flops: f64, working_set: usize, sharers: usize) -> SimTime {
+        assert!(flops >= 0.0);
+        let rate = self.rate_mflops_shared(working_set, sharers) * 1e6;
+        SimTime::from_secs(flops / rate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn curvy() -> CpuModel {
+        CpuModel::with_curve(
+            "test",
+            vec![
+                RatePoint { bytes: 32.0 * 1024.0, mflops: 400.0 },
+                RatePoint { bytes: 512.0 * 1024.0, mflops: 300.0 },
+                RatePoint { bytes: 64.0 * 1024.0 * 1024.0, mflops: 200.0 },
+            ],
+            0.1,
+        )
+    }
+
+    #[test]
+    fn flat_rate_ignores_working_set() {
+        let cpu = CpuModel::flat("flat", 110.0);
+        assert_eq!(cpu.rate_mflops(0), 110.0);
+        assert_eq!(cpu.rate_mflops(1 << 30), 110.0);
+    }
+
+    #[test]
+    fn curve_clamps_at_ends() {
+        let cpu = curvy();
+        assert_eq!(cpu.rate_mflops(1), 400.0);
+        assert_eq!(cpu.rate_mflops(1 << 40), 200.0);
+    }
+
+    #[test]
+    fn curve_is_monotone_decreasing_here() {
+        let cpu = curvy();
+        let mut prev = f64::INFINITY;
+        for ws in [16 * 1024, 64 * 1024, 256 * 1024, 1 << 20, 1 << 24, 1 << 28] {
+            let r = cpu.rate_mflops(ws);
+            assert!(r <= prev + 1e-9, "rate should not rise with working set in this curve");
+            assert!(r >= 200.0 && r <= 400.0);
+            prev = r;
+        }
+    }
+
+    #[test]
+    fn interpolation_hits_knots() {
+        let cpu = curvy();
+        assert!((cpu.rate_mflops(512 * 1024) - 300.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn smp_contention_degrades() {
+        let cpu = curvy();
+        let solo = cpu.rate_mflops_shared(1 << 20, 1);
+        let many = cpu.rate_mflops_shared(1 << 20, 56);
+        assert!(many < solo);
+        // Saturation: going from 28 to 56 sharers barely changes the rate.
+        let r28 = cpu.rate_mflops_shared(1 << 20, 28);
+        assert!((r28 - many) / solo < 0.01);
+    }
+
+    #[test]
+    fn compute_time_scales_with_flops() {
+        let cpu = CpuModel::flat("flat", 100.0);
+        let t1 = cpu.compute_time(1e8, 0, 1);
+        let t2 = cpu.compute_time(2e8, 0, 1);
+        assert!((t1.as_secs() - 1.0).abs() < 1e-9);
+        assert!((t2.as_secs() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn unsorted_curve_rejected() {
+        CpuModel::with_curve(
+            "bad",
+            vec![
+                RatePoint { bytes: 1000.0, mflops: 1.0 },
+                RatePoint { bytes: 10.0, mflops: 1.0 },
+            ],
+            0.0,
+        );
+    }
+}

@@ -1,0 +1,705 @@
+//! The discrete-event execution engine.
+//!
+//! Ranks are advanced as cooperatively-scheduled virtual processes: a rank
+//! runs until it blocks on a receive whose message has not yet been sent, or
+//! parks at a collective. Sends are buffered (eager): the sender pays its
+//! MPI overhead and continues; the message's *arrival time* at the receiver
+//! is computed from the wire model plus NIC serialisation contention.
+//!
+//! The result is a pure function of `(machine, programs)` — noise streams
+//! are consumed in per-rank program order, so scheduling interleavings
+//! cannot change the outcome.
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::error::{SimError, SimResult};
+use crate::machine::MachineSpec;
+use crate::noise::NoiseStream;
+use crate::program::{validate_programs, Op, Program};
+use crate::stats::{RankStats, RunReport};
+use crate::time::SimTime;
+
+/// Rank scheduling status.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Status {
+    Ready,
+    BlockedRecv { from: usize, tag: u32 },
+    /// Rendezvous sender waiting for the receiver to post its receive.
+    BlockedSend { to: usize, tag: u32 },
+    Parked,
+    Done,
+}
+
+/// A rendezvous send parked until its receive is posted.
+#[derive(Debug, Clone, Copy)]
+struct PendingSend {
+    /// Time the sender became ready to transfer (after the send-call
+    /// overhead).
+    ready: SimTime,
+    /// Message size.
+    bytes: usize,
+    /// Pre-drawn wire jitter (drawn at send execution so noise stays in
+    /// program order).
+    jitter: SimTime,
+}
+
+/// Per-rank execution state.
+struct RankState {
+    clock: SimTime,
+    pc: usize,
+    status: Status,
+    noise: NoiseStream,
+    stats: RankStats,
+    /// Arrival clock at the collective the rank is parked on.
+    park_clock: SimTime,
+}
+
+/// The simulation engine. Construct with [`Engine::new`], run with
+/// [`Engine::run`].
+pub struct Engine<'m> {
+    machine: &'m MachineSpec,
+    programs: Vec<Program>,
+    /// Skip static validation (for intentionally-broken deadlock tests).
+    skip_validation: bool,
+}
+
+impl<'m> Engine<'m> {
+    /// Create an engine for one program per rank.
+    pub fn new(machine: &'m MachineSpec, programs: Vec<Program>) -> Self {
+        Engine { machine, programs, skip_validation: false }
+    }
+
+    /// Disable the static message-balance pre-check (dynamic deadlock
+    /// detection still applies). Used by tests that exercise the detector.
+    pub fn without_validation(mut self) -> Self {
+        self.skip_validation = true;
+        self
+    }
+
+    /// Execute the programs to completion, returning per-rank statistics.
+    pub fn run(self) -> SimResult<RunReport> {
+        if !self.skip_validation {
+            validate_programs(&self.programs)
+                .map_err(|detail| SimError::InvalidPrograms { detail })?;
+        }
+        let n = self.programs.len();
+        if n == 0 {
+            return Ok(RunReport { ranks: vec![] });
+        }
+        let machine = self.machine;
+        let sharers = machine.sharers(n);
+        // Per-run background-load level (same for every rank in this run).
+        let run_factor = machine.noise.run_factor(machine.seed);
+
+        let mut ranks: Vec<RankState> = (0..n)
+            .map(|r| RankState {
+                clock: SimTime::ZERO,
+                pc: 0,
+                status: Status::Ready,
+                noise: NoiseStream::new(machine.noise, machine.seed, r),
+                stats: RankStats::default(),
+                park_clock: SimTime::ZERO,
+            })
+            .collect();
+
+        // In-flight (arrival time, bytes) per (to, from, tag) channel, FIFO
+        // in sender program order (MPI non-overtaking).
+        let mut inflight: HashMap<(usize, usize, u32), VecDeque<(SimTime, usize)>> =
+            HashMap::new();
+        // Sender NIC busy-until times (back-to-back serialisation).
+        let mut nic_busy: Vec<SimTime> = vec![SimTime::ZERO; n];
+        // Rendezvous senders parked per (to, from, tag) channel, FIFO.
+        let mut pending_sends: HashMap<(usize, usize, u32), VecDeque<(usize, PendingSend)>> =
+            HashMap::new();
+        let eager_limit = machine.rendezvous_bytes.unwrap_or(usize::MAX);
+        // Ranks currently parked at the pending collective.
+        let mut parked: Vec<usize> = Vec::with_capacity(n);
+        let mut finished = 0usize;
+
+        let mut ready: VecDeque<usize> = (0..n).collect();
+
+        while let Some(r) = ready.pop_front() {
+            debug_assert_eq!(ranks[r].status, Status::Ready);
+            loop {
+                let pc = ranks[r].pc;
+                if pc >= self.programs[r].len() {
+                    ranks[r].status = Status::Done;
+                    ranks[r].stats.finish = ranks[r].clock;
+                    finished += 1;
+                    break;
+                }
+                match self.programs[r].ops()[pc] {
+                    Op::Compute { flops, working_set } => {
+                        let base = machine.cpu.compute_time(flops, working_set, sharers);
+                        let factor = ranks[r].noise.compute_factor() * run_factor;
+                        let dur = SimTime::from_secs(base.as_secs() * factor);
+                        ranks[r].clock += dur;
+                        ranks[r].stats.compute += dur;
+                        ranks[r].pc += 1;
+                    }
+                    Op::Send { to, bytes, tag } => {
+                        let overhead = machine.network.sender_overhead(bytes);
+                        ranks[r].clock += overhead;
+                        ranks[r].stats.send_overhead += overhead;
+                        let jitter =
+                            SimTime::from_secs(ranks[r].noise.message_jitter_secs());
+                        if bytes >= eager_limit
+                            && ranks[to].status != (Status::BlockedRecv { from: r, tag })
+                        {
+                            // Rendezvous: the receiver has not posted yet;
+                            // park until it reaches the matching receive.
+                            let pending =
+                                PendingSend { ready: ranks[r].clock, bytes, jitter };
+                            pending_sends
+                                .entry((to, r, tag))
+                                .or_default()
+                                .push_back((r, pending));
+                            ranks[r].status = Status::BlockedSend { to, tag };
+                            break;
+                        }
+                        // Eager transfer (or the receiver is already
+                        // waiting, which completes the handshake at once).
+                        let posted = if bytes >= eager_limit {
+                            ranks[to].clock // receiver's clock at its post
+                        } else {
+                            SimTime::ZERO
+                        };
+                        let wire_start =
+                            ranks[r].clock.max(nic_busy[r]).max(posted);
+                        nic_busy[r] = wire_start + machine.network.serialization_time(bytes);
+                        let arrival = wire_start + machine.network.wire_time(bytes) + jitter;
+                        inflight.entry((to, r, tag)).or_default().push_back((arrival, bytes));
+                        ranks[r].stats.messages_sent += 1;
+                        ranks[r].stats.bytes_sent += bytes as u64;
+                        // A blocking rendezvous send returns once the
+                        // buffer is reusable (after serialisation).
+                        if bytes >= eager_limit {
+                            let done = nic_busy[r];
+                            let before = ranks[r].clock;
+                            ranks[r].stats.send_wait += done.saturating_sub(before);
+                            ranks[r].clock = before.max(done);
+                        }
+                        ranks[r].pc += 1;
+                        // Wake the receiver if it is blocked on this channel.
+                        if ranks[to].status == (Status::BlockedRecv { from: r, tag }) {
+                            ranks[to].status = Status::Ready;
+                            ready.push_back(to);
+                        }
+                    }
+                    Op::Recv { from, tag } => {
+                        let channel = (r, from, tag);
+                        let arrival = inflight.get_mut(&channel).and_then(|q| q.pop_front());
+                        match arrival {
+                            Some((arrival, msg_bytes)) => {
+                                let wait = arrival.saturating_sub(ranks[r].clock);
+                                ranks[r].stats.recv_wait += wait;
+                                let overhead = machine.network.receiver_overhead(msg_bytes);
+                                ranks[r].clock = ranks[r].clock.max(arrival) + overhead;
+                                ranks[r].stats.recv_overhead += overhead;
+                                ranks[r].pc += 1;
+                            }
+                            None => {
+                                // A rendezvous sender may be parked on
+                                // this channel: complete the handshake.
+                                if let Some((s_rank, pend)) = pending_sends
+                                    .get_mut(&channel)
+                                    .and_then(|q| q.pop_front())
+                                {
+                                    let wire_start = pend
+                                        .ready
+                                        .max(nic_busy[s_rank])
+                                        .max(ranks[r].clock);
+                                    nic_busy[s_rank] = wire_start
+                                        + machine.network.serialization_time(pend.bytes);
+                                    let arrival = wire_start
+                                        + machine.network.wire_time(pend.bytes)
+                                        + pend.jitter;
+                                    // Sender resumes once the buffer is
+                                    // reusable; its wait is accounted.
+                                    let resume = nic_busy[s_rank];
+                                    ranks[s_rank].stats.send_wait +=
+                                        resume.saturating_sub(pend.ready);
+                                    ranks[s_rank].clock = resume;
+                                    ranks[s_rank].stats.messages_sent += 1;
+                                    ranks[s_rank].stats.bytes_sent += pend.bytes as u64;
+                                    ranks[s_rank].pc += 1;
+                                    ranks[s_rank].status = Status::Ready;
+                                    ready.push_back(s_rank);
+                                    // Receiver waits for the wire.
+                                    let wait =
+                                        arrival.saturating_sub(ranks[r].clock);
+                                    ranks[r].stats.recv_wait += wait;
+                                    let overhead =
+                                        machine.network.receiver_overhead(pend.bytes);
+                                    ranks[r].clock =
+                                        ranks[r].clock.max(arrival) + overhead;
+                                    ranks[r].stats.recv_overhead += overhead;
+                                    ranks[r].pc += 1;
+                                    continue;
+                                }
+                                ranks[r].status = Status::BlockedRecv { from, tag };
+                                break;
+                            }
+                        }
+                    }
+                    Op::AllReduce { .. } | Op::Barrier => {
+                        ranks[r].status = Status::Parked;
+                        ranks[r].park_clock = ranks[r].clock;
+                        parked.push(r);
+                        if parked.len() == n {
+                            self.release_collective(&mut ranks, &mut parked, sharers);
+                            // Everyone (including r) is Ready again; requeue all.
+                            for rank in 0..n {
+                                ready.push_back(rank);
+                            }
+                        }
+                        break;
+                    }
+                }
+            }
+            if finished == n {
+                break;
+            }
+        }
+
+        if finished != n {
+            let mut blocked = Vec::new();
+            let mut parked_out = Vec::new();
+            for (idx, st) in ranks.iter().enumerate() {
+                match st.status {
+                    Status::BlockedRecv { from, tag } => blocked.push((idx, from, tag)),
+                    Status::BlockedSend { to, tag } => blocked.push((idx, to, tag)),
+                    Status::Parked => parked_out.push(idx),
+                    _ => {}
+                }
+            }
+            return Err(SimError::Deadlock { blocked, parked: parked_out });
+        }
+
+        Ok(RunReport { ranks: ranks.into_iter().map(|s| s.stats).collect() })
+    }
+
+    /// Complete a collective: all ranks resume at `max(arrival) + tree cost`.
+    fn release_collective(
+        &self,
+        ranks: &mut [RankState],
+        parked: &mut Vec<usize>,
+        _sharers: usize,
+    ) {
+        let n = ranks.len();
+        // All parked ranks sit at the same collective op index sequence; the
+        // payload is taken from the op each rank is parked on (max across
+        // ranks, which are equal in well-formed traces).
+        let mut bytes = 0usize;
+        for &r in parked.iter() {
+            if let Op::AllReduce { bytes: b } = self.programs[r].ops()[ranks[r].pc] {
+                bytes = bytes.max(b);
+            }
+        }
+        let entry = parked
+            .iter()
+            .map(|&r| ranks[r].park_clock)
+            .max()
+            .unwrap_or(SimTime::ZERO);
+        let completion = entry + self.collective_cost(bytes, n);
+        for &r in parked.iter() {
+            let waited = completion.saturating_sub(ranks[r].park_clock);
+            ranks[r].stats.collective += waited;
+            ranks[r].clock = completion;
+            ranks[r].status = Status::Ready;
+            ranks[r].pc += 1;
+        }
+        parked.clear();
+    }
+
+    /// Cost of a binomial-tree all-reduce: reduce + broadcast, each
+    /// `ceil(log2 n)` rounds of one message.
+    fn collective_cost(&self, bytes: usize, n: usize) -> SimTime {
+        if n <= 1 {
+            return SimTime::ZERO;
+        }
+        let rounds = usize::BITS - (n - 1).leading_zeros(); // ceil(log2 n)
+        let net = &self.machine.network;
+        let per_msg =
+            net.sender_overhead(bytes) + net.wire_time(bytes) + net.receiver_overhead(bytes);
+        let mut total = SimTime::ZERO;
+        for _ in 0..2 * rounds {
+            total += per_msg;
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::NetworkModel;
+    use crate::noise::NoiseModel;
+
+    fn ideal(mflops: f64) -> MachineSpec {
+        MachineSpec::ideal(mflops)
+    }
+
+    fn prog(ops: &[Op]) -> Program {
+        let mut p = Program::new();
+        for &op in ops {
+            p.push(op);
+        }
+        p
+    }
+
+    #[test]
+    fn empty_run() {
+        let m = ideal(100.0);
+        let report = Engine::new(&m, vec![]).run().unwrap();
+        assert_eq!(report.makespan(), 0.0);
+    }
+
+    #[test]
+    fn pure_compute_time() {
+        let m = ideal(200.0);
+        let p = prog(&[Op::Compute { flops: 4e8, working_set: 0 }]);
+        let report = Engine::new(&m, vec![p]).run().unwrap();
+        assert!((report.makespan() - 2.0).abs() < 1e-9);
+        assert!((report.ranks[0].compute.as_secs() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn message_arrival_gates_receiver() {
+        let mut m = ideal(100.0);
+        m.network = NetworkModel::from_link(10.0, 100.0, 2.0, 16384.0);
+        // Rank 0 computes 1s then sends; rank 1 receives immediately.
+        let p0 = prog(&[
+            Op::Compute { flops: 1e8, working_set: 0 },
+            Op::Send { to: 1, bytes: 1000, tag: 1 },
+        ]);
+        let p1 = prog(&[Op::Recv { from: 0, tag: 1 }]);
+        let report = Engine::new(&m, vec![p0, p1]).run().unwrap();
+        // Receiver finish = 1s + send overhead + wire time + recv overhead.
+        let wire = m.network.wire_time(1000).as_secs();
+        let so = m.network.sender_overhead(1000).as_secs();
+        let ro = m.network.receiver_overhead(1000).as_secs();
+        let expect = 1.0 + so + wire + ro;
+        assert!(
+            (report.ranks[1].finish.as_secs() - expect).abs() < 1e-9,
+            "got {} want {expect}",
+            report.ranks[1].finish.as_secs()
+        );
+        // The receiver's wait time is the span up to arrival.
+        assert!((report.ranks[1].recv_wait.as_secs() - (1.0 + so + wire)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn receive_after_arrival_costs_no_wait() {
+        let mut m = ideal(100.0);
+        m.network = NetworkModel::from_link(5.0, 100.0, 1.0, 16384.0);
+        // Rank 0 sends immediately; rank 1 computes 1s first, then receives.
+        let p0 = prog(&[Op::Send { to: 1, bytes: 100, tag: 1 }]);
+        let p1 = prog(&[
+            Op::Compute { flops: 1e8, working_set: 0 },
+            Op::Recv { from: 0, tag: 1 },
+        ]);
+        let report = Engine::new(&m, vec![p0, p1]).run().unwrap();
+        assert_eq!(report.ranks[1].recv_wait, SimTime::ZERO);
+        let ro = m.network.receiver_overhead(100).as_secs();
+        assert!((report.ranks[1].finish.as_secs() - (1.0 + ro)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fifo_matching_non_overtaking() {
+        let mut m = ideal(100.0);
+        m.network = NetworkModel::from_link(10.0, 250.0, 1.0, 16384.0);
+        let p0 = prog(&[
+            Op::Send { to: 1, bytes: 100, tag: 1 },
+            Op::Send { to: 1, bytes: 200, tag: 1 },
+        ]);
+        let p1 = prog(&[Op::Recv { from: 0, tag: 1 }, Op::Recv { from: 0, tag: 1 }]);
+        let report = Engine::new(&m, vec![p0, p1]).run().unwrap();
+        assert_eq!(report.ranks[0].messages_sent, 2);
+        assert_eq!(report.ranks[0].bytes_sent, 300);
+    }
+
+    #[test]
+    fn pipeline_fill_matches_closed_form() {
+        // A P-stage linear pipeline of B blocks: makespan should be
+        // (P - 1 + B) * t_block with a free network and no noise.
+        let m = ideal(100.0);
+        let p_ranks = 5usize;
+        let blocks = 8usize;
+        let flops_per_block = 1e7; // 0.1 s each
+        let mut programs: Vec<Program> = Vec::new();
+        for r in 0..p_ranks {
+            let mut p = Program::new();
+            for b in 0..blocks {
+                if r > 0 {
+                    p.push(Op::Recv { from: r - 1, tag: b as u32 });
+                }
+                p.push(Op::Compute { flops: flops_per_block, working_set: 0 });
+                if r + 1 < p_ranks {
+                    p.push(Op::Send { to: r + 1, bytes: 8, tag: b as u32 });
+                }
+            }
+            programs.push(p);
+        }
+        let report = Engine::new(&m, programs).run().unwrap();
+        let t_block = flops_per_block / (100.0 * 1e6);
+        let expect = (p_ranks - 1 + blocks) as f64 * t_block;
+        assert!(
+            (report.makespan() - expect).abs() < 1e-9,
+            "makespan {} vs closed form {expect}",
+            report.makespan()
+        );
+    }
+
+    #[test]
+    fn nic_serialization_delays_back_to_back_sends() {
+        let mut m = ideal(100.0);
+        // 1 MB/s serialisation, zero overheads/latency.
+        m.network = NetworkModel {
+            send: crate::network::PiecewiseSegments::linear(0.0, 0.0),
+            recv: crate::network::PiecewiseSegments::linear(0.0, 0.0),
+            pingpong: crate::network::PiecewiseSegments::linear(0.0, 2.0), // 1 µs/byte one way
+            serialization_bw: 1e6,
+        };
+        let p0 = prog(&[
+            Op::Send { to: 1, bytes: 1_000_000, tag: 1 }, // occupies NIC 1 s
+            Op::Send { to: 1, bytes: 1_000_000, tag: 2 },
+        ]);
+        let p1 = prog(&[Op::Recv { from: 0, tag: 2 }, Op::Recv { from: 0, tag: 1 }]);
+        let report = Engine::new(&m, vec![p0, p1]).run().unwrap();
+        // Second message cannot start its wire phase before t=1s; its wire
+        // time is 1s, so arrival at 2s.
+        assert!((report.ranks[1].finish.as_secs() - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn barrier_synchronises_clocks() {
+        let m = ideal(100.0);
+        let p_fast = prog(&[Op::Barrier, Op::Compute { flops: 1e7, working_set: 0 }]);
+        let p_slow = prog(&[Op::Compute { flops: 1e8, working_set: 0 }, Op::Barrier]);
+        let report = Engine::new(&m, vec![p_fast, p_slow]).run().unwrap();
+        // Fast rank waits 1s at the barrier, then computes 0.1s.
+        assert!((report.ranks[0].finish.as_secs() - 1.1).abs() < 1e-9);
+        assert!((report.ranks[0].collective.as_secs() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn allreduce_cost_scales_logarithmically() {
+        let mut m = ideal(100.0);
+        m.network = NetworkModel::from_link(10.0, 250.0, 1.0, 16384.0);
+        let run = |n: usize| {
+            let programs: Vec<Program> =
+                (0..n).map(|_| prog(&[Op::AllReduce { bytes: 8 }])).collect();
+            Engine::new(&m, programs).run().unwrap().makespan()
+        };
+        let t4 = run(4);
+        let t16 = run(16);
+        let t64 = run(64);
+        assert!(t16 > t4 && t64 > t16);
+        // log2: equal increments per 4x size.
+        assert!(((t16 - t4) - (t64 - t16)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deadlock_detected_cyclic_recv() {
+        let m = ideal(100.0);
+        let p0 = prog(&[Op::Recv { from: 1, tag: 0 }, Op::Send { to: 1, bytes: 8, tag: 0 }]);
+        let p1 = prog(&[Op::Recv { from: 0, tag: 0 }, Op::Send { to: 0, bytes: 8, tag: 0 }]);
+        let err = Engine::new(&m, vec![p0, p1]).run().unwrap_err();
+        match err {
+            SimError::Deadlock { blocked, .. } => {
+                assert_eq!(blocked.len(), 2);
+            }
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn static_validation_rejects_imbalance() {
+        let m = ideal(100.0);
+        let p0 = prog(&[Op::Send { to: 1, bytes: 8, tag: 0 }]);
+        let p1 = prog(&[]);
+        let err = Engine::new(&m, vec![p0, p1]).run().unwrap_err();
+        assert!(matches!(err, SimError::InvalidPrograms { .. }));
+    }
+
+    #[test]
+    fn noise_changes_with_seed_but_is_reproducible() {
+        let mut m = ideal(100.0);
+        m.noise = NoiseModel::commodity();
+        let mk = || {
+            vec![
+                prog(&[Op::Compute { flops: 1e8, working_set: 0 }]),
+                prog(&[Op::Compute { flops: 1e8, working_set: 0 }]),
+            ]
+        };
+        let a = Engine::new(&m, mk()).run().unwrap().makespan();
+        let b = Engine::new(&m, mk()).run().unwrap().makespan();
+        assert_eq!(a, b, "same seed must reproduce exactly");
+        let m2 = m.clone().with_seed(99);
+        let c = Engine::new(&m2, mk()).run().unwrap().makespan();
+        assert_ne!(a, c, "different seed should perturb");
+        // Noise is small: within 5% (per-block + per-run bias).
+        assert!((a - 1.0).abs() < 0.05 && (c - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn rendezvous_sender_blocks_until_receive_posted() {
+        let mut m = ideal(100.0);
+        m.network = NetworkModel::from_link(10.0, 100.0, 2.0, 1e9);
+        m.rendezvous_bytes = Some(1024);
+        // Rank 0 sends a large message immediately; rank 1 computes 1 s
+        // before posting its receive. The sender must stall ~1 s.
+        let p0 = prog(&[Op::Send { to: 1, bytes: 100_000, tag: 1 }]);
+        let p1 = prog(&[
+            Op::Compute { flops: 1e8, working_set: 0 },
+            Op::Recv { from: 0, tag: 1 },
+        ]);
+        let report = Engine::new(&m, vec![p0, p1]).run().unwrap();
+        let ser = m.network.serialization_time(100_000).as_secs();
+        let so = m.network.sender_overhead(100_000).as_secs();
+        // Sender: overhead, then blocked until t=1s, then serialisation.
+        let sender_finish = report.ranks[0].finish.as_secs();
+        assert!(
+            (sender_finish - (1.0 + ser)).abs() < 1e-9,
+            "sender finish {sender_finish} vs {}",
+            1.0 + ser
+        );
+        assert!(report.ranks[0].send_wait.as_secs() > 0.9);
+        // Receiver: wire + receive overhead after the handshake.
+        let wire = m.network.wire_time(100_000).as_secs();
+        let ro = m.network.receiver_overhead(100_000).as_secs();
+        let recv_finish = report.ranks[1].finish.as_secs();
+        assert!(
+            (recv_finish - (1.0 + wire + ro)).abs() < 1e-9,
+            "receiver finish {recv_finish} vs {}",
+            1.0 + wire + ro
+        );
+        let _ = so;
+    }
+
+    #[test]
+    fn rendezvous_with_waiting_receiver_is_prompt() {
+        let mut m = ideal(100.0);
+        m.network = NetworkModel::from_link(10.0, 100.0, 2.0, 1e9);
+        m.rendezvous_bytes = Some(1024);
+        // Receiver posts first; the sender's handshake completes at once.
+        let p0 = prog(&[
+            Op::Compute { flops: 1e8, working_set: 0 },
+            Op::Send { to: 1, bytes: 100_000, tag: 1 },
+        ]);
+        let p1 = prog(&[Op::Recv { from: 0, tag: 1 }]);
+        let report = Engine::new(&m, vec![p0, p1]).run().unwrap();
+        let so = m.network.sender_overhead(100_000).as_secs();
+        let wire = m.network.wire_time(100_000).as_secs();
+        let ro = m.network.receiver_overhead(100_000).as_secs();
+        let expect = 1.0 + so + wire + ro;
+        assert!(
+            (report.ranks[1].finish.as_secs() - expect).abs() < 1e-9,
+            "{} vs {expect}",
+            report.ranks[1].finish.as_secs()
+        );
+    }
+
+    #[test]
+    fn small_messages_stay_eager_under_rendezvous() {
+        let mut m = ideal(100.0);
+        m.network = NetworkModel::from_link(10.0, 100.0, 2.0, 1e9);
+        m.rendezvous_bytes = Some(1 << 20);
+        // Below the threshold the sender never blocks.
+        let p0 = prog(&[Op::Send { to: 1, bytes: 128, tag: 1 }]);
+        let p1 = prog(&[
+            Op::Compute { flops: 1e8, working_set: 0 },
+            Op::Recv { from: 0, tag: 1 },
+        ]);
+        let report = Engine::new(&m, vec![p0, p1]).run().unwrap();
+        assert_eq!(report.ranks[0].send_wait, SimTime::ZERO);
+        let so = m.network.sender_overhead(128).as_secs();
+        assert!((report.ranks[0].finish.as_secs() - so).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rendezvous_steepens_pipeline_fill() {
+        // The back-pressure of synchronous sends lengthens a pipeline's
+        // fill: each hop serialises the handshake into the critical path.
+        let mk_programs = || {
+            let p_ranks = 6usize;
+            let blocks = 4usize;
+            let mut programs = Vec::new();
+            for r in 0..p_ranks {
+                let mut p = Program::new();
+                for b in 0..blocks {
+                    if r > 0 {
+                        p.push(Op::Recv { from: r - 1, tag: b as u32 });
+                    }
+                    p.push(Op::Compute { flops: 1e6, working_set: 0 });
+                    if r + 1 < p_ranks {
+                        p.push(Op::Send { to: r + 1, bytes: 64_000, tag: b as u32 });
+                    }
+                }
+                programs.push(p);
+            }
+            programs
+        };
+        let mut eager = ideal(100.0);
+        eager.network = NetworkModel::from_link(10.0, 100.0, 2.0, 1e9);
+        let rendezvous = eager.clone().with_rendezvous(16_384);
+        let t_eager = Engine::new(&eager, mk_programs()).run().unwrap().makespan();
+        let t_rendezvous =
+            Engine::new(&rendezvous, mk_programs()).run().unwrap().makespan();
+        assert!(
+            t_rendezvous > t_eager,
+            "rendezvous {t_rendezvous} should exceed eager {t_eager}"
+        );
+    }
+
+    #[test]
+    fn rendezvous_accounting_closes() {
+        let mut m = ideal(100.0);
+        m.network = NetworkModel::from_link(10.0, 250.0, 2.0, 1e9);
+        m.rendezvous_bytes = Some(1024);
+        let p0 = prog(&[
+            Op::Compute { flops: 2e7, working_set: 0 },
+            Op::Send { to: 1, bytes: 50_000, tag: 1 },
+            Op::Recv { from: 1, tag: 2 },
+        ]);
+        let p1 = prog(&[
+            Op::Recv { from: 0, tag: 1 },
+            Op::Compute { flops: 1e7, working_set: 0 },
+            Op::Send { to: 0, bytes: 50_000, tag: 2 },
+        ]);
+        let report = Engine::new(&m, vec![p0, p1]).run().unwrap();
+        for (i, r) in report.ranks.iter().enumerate() {
+            let diff = (r.accounted().as_secs() - r.finish.as_secs()).abs();
+            assert!(diff < 1e-9, "rank {i}: accounted {} vs finish {}", r.accounted(), r.finish);
+        }
+    }
+
+    #[test]
+    fn rendezvous_cycle_deadlocks_detected() {
+        // Two synchronous sends facing each other: classic MPI deadlock.
+        let mut m = ideal(100.0);
+        m.rendezvous_bytes = Some(8);
+        let p0 = prog(&[Op::Send { to: 1, bytes: 100, tag: 0 }, Op::Recv { from: 1, tag: 0 }]);
+        let p1 = prog(&[Op::Send { to: 0, bytes: 100, tag: 0 }, Op::Recv { from: 0, tag: 0 }]);
+        let err = Engine::new(&m, vec![p0, p1]).run().unwrap_err();
+        assert!(matches!(err, SimError::Deadlock { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn time_accounting_closes() {
+        let mut m = ideal(100.0);
+        m.network = NetworkModel::from_link(10.0, 250.0, 2.0, 16384.0);
+        let p0 = prog(&[
+            Op::Compute { flops: 5e7, working_set: 0 },
+            Op::Send { to: 1, bytes: 4096, tag: 1 },
+            Op::Barrier,
+        ]);
+        let p1 = prog(&[Op::Recv { from: 0, tag: 1 }, Op::Barrier]);
+        let report = Engine::new(&m, vec![p0, p1]).run().unwrap();
+        for (i, r) in report.ranks.iter().enumerate() {
+            let diff = (r.accounted().as_secs() - r.finish.as_secs()).abs();
+            assert!(diff < 1e-9, "rank {i}: accounted {} vs finish {}", r.accounted(), r.finish);
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! Simulator error types.
+
+use std::fmt;
+
+/// Result alias for simulator operations.
+pub type SimResult<T> = std::result::Result<T, SimError>;
+
+/// Errors raised while running a simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// The program set failed static validation before execution.
+    InvalidPrograms {
+        /// Description from [`crate::program::validate_programs`].
+        detail: String,
+    },
+    /// Execution reached a state where no rank can make progress.
+    Deadlock {
+        /// Ranks blocked in a receive, with the `(from, tag)` they wait on.
+        blocked: Vec<(usize, usize, u32)>,
+        /// Ranks parked at a collective while others cannot reach one.
+        parked: Vec<usize>,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidPrograms { detail } => write!(f, "invalid programs: {detail}"),
+            SimError::Deadlock { blocked, parked } => {
+                write!(
+                    f,
+                    "deadlock: {} rank(s) blocked in recv, {} parked at a collective",
+                    blocked.len(),
+                    parked.len()
+                )?;
+                for (rank, from, tag) in blocked.iter().take(8) {
+                    write!(f, "; rank {rank} waits on ({from}, tag {tag})")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_blocked_ranks() {
+        let e = SimError::Deadlock { blocked: vec![(2, 1, 7)], parked: vec![] };
+        let s = e.to_string();
+        assert!(s.contains("rank 2"));
+        assert!(s.contains("tag 7"));
+    }
+}

@@ -1,0 +1,53 @@
+//! # cluster-sim — a deterministic discrete-event cluster simulator
+//!
+//! This crate stands in for the physical machines of the paper (Pentium 3 /
+//! Myrinet, Opteron / Gigabit Ethernet, SGI Altix / NUMAlink — see DESIGN.md
+//! §2). It executes *per-rank op programs* — sequences of
+//! [`Op::Compute`], [`Op::Send`], [`Op::Recv`], [`Op::AllReduce`] and
+//! [`Op::Barrier`] — in virtual time over a parameterised machine model:
+//!
+//! * a **CPU model** with a working-set-dependent achieved-flop-rate curve
+//!   (the memory-hierarchy effect the paper's coarse benchmarking captures)
+//!   and an SMP memory-contention factor (the Altix effect),
+//! * an **interconnect model** with sender overhead, wire time and receiver
+//!   overhead derived from the paper's piecewise-linear Eq. 3 family,
+//!   plus per-NIC serialisation (contention),
+//! * an **OS-noise model** injecting seeded multiplicative compute
+//!   perturbations and per-message jitter ("background processes, network
+//!   load and minor fluctuations", paper §5).
+//!
+//! The simulation is fully deterministic for a given seed: noise is drawn
+//! per-rank in program order, independent of scheduling interleavings.
+//!
+//! ```
+//! use cluster_sim::{Engine, MachineSpec, Program, Op};
+//!
+//! let machine = MachineSpec::ideal(100.0); // 100 MFLOPS, zero-cost network
+//! let mut programs = vec![Program::new(), Program::new()];
+//! programs[0].push(Op::Compute { flops: 1e6, working_set: 0 });
+//! programs[0].push(Op::Send { to: 1, bytes: 8, tag: 1 });
+//! programs[1].push(Op::Recv { from: 0, tag: 1 });
+//! let report = Engine::new(&machine, programs).run().unwrap();
+//! assert!((report.makespan() - 0.01).abs() < 1e-9); // 1e6 flops @ 100 MFLOPS
+//! ```
+
+pub mod cpu;
+pub mod engine;
+pub mod error;
+pub mod machine;
+pub mod network;
+pub mod noise;
+pub mod program;
+pub mod stats;
+pub mod time;
+pub mod timeline;
+
+pub use cpu::CpuModel;
+pub use engine::Engine;
+pub use error::{SimError, SimResult};
+pub use machine::MachineSpec;
+pub use network::{NetworkModel, PiecewiseSegments};
+pub use noise::NoiseModel;
+pub use program::{Op, Program};
+pub use stats::{RankStats, RunReport};
+pub use time::SimTime;

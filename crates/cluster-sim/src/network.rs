@@ -1,0 +1,225 @@
+//! Interconnect models.
+//!
+//! The paper characterises an interconnect with three fitted piecewise-linear
+//! curves (Eq. 3): MPI send time, MPI receive time and ping-pong time, each
+//! of the form
+//!
+//! ```text
+//! t(x) = B + C·x   for x ≤ A
+//! t(x) = D + E·x   for x ≥ A
+//! ```
+//!
+//! with `x` the message size in bytes and `A` the protocol switch point
+//! (eager → rendezvous). The simulator decomposes a message's life into
+//!
+//! * **sender overhead** — CPU time the sender spends in the MPI send call
+//!   (the *send* curve),
+//! * **wire time** — latency + serialisation until the last byte reaches the
+//!   receiver (one-way time, derived from the *ping-pong* curve / 2),
+//! * **receiver overhead** — CPU time spent in the receive call once the
+//!   message is available (the *recv* curve),
+//! * **serialisation time** — the span the sender NIC is busy, used for
+//!   back-to-back message contention.
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::SimTime;
+
+/// One piecewise-linear curve of Eq. 3: intercept/slope below and above the
+/// switch point. Times are in **microseconds**, sizes in bytes, matching the
+/// paper's HMCL listing (Fig. 7).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PiecewiseSegments {
+    /// Switch point `A` in bytes.
+    pub switch_bytes: f64,
+    /// Intercept `B` (µs) for small messages.
+    pub small_intercept_us: f64,
+    /// Slope `C` (µs/byte) for small messages.
+    pub small_slope_us: f64,
+    /// Intercept `D` (µs) for large messages.
+    pub large_intercept_us: f64,
+    /// Slope `E` (µs/byte) for large messages.
+    pub large_slope_us: f64,
+}
+
+impl PiecewiseSegments {
+    /// A single-segment (linear) curve: `B + C·x` for all sizes.
+    pub fn linear(intercept_us: f64, slope_us_per_byte: f64) -> Self {
+        PiecewiseSegments {
+            switch_bytes: f64::INFINITY,
+            small_intercept_us: intercept_us,
+            small_slope_us: slope_us_per_byte,
+            large_intercept_us: intercept_us,
+            large_slope_us: slope_us_per_byte,
+        }
+    }
+
+    /// Evaluate the curve at a message size, in microseconds.
+    pub fn eval_us(&self, bytes: usize) -> f64 {
+        let x = bytes as f64;
+        if x <= self.switch_bytes {
+            self.small_intercept_us + self.small_slope_us * x
+        } else {
+            self.large_intercept_us + self.large_slope_us * x
+        }
+    }
+
+    /// Evaluate as a [`SimTime`].
+    pub fn eval(&self, bytes: usize) -> SimTime {
+        SimTime::from_micros(self.eval_us(bytes).max(0.0))
+    }
+
+    /// Relative discontinuity at the switch point; a well-fitted model is
+    /// near-continuous there and the engine debug-asserts this.
+    pub fn discontinuity(&self) -> f64 {
+        if !self.switch_bytes.is_finite() {
+            return 0.0;
+        }
+        let a = self.small_intercept_us + self.small_slope_us * self.switch_bytes;
+        let b = self.large_intercept_us + self.large_slope_us * self.switch_bytes;
+        (a - b).abs() / a.abs().max(b.abs()).max(1e-12)
+    }
+}
+
+/// A full interconnect characterisation: the paper's three curves plus the
+/// serialisation bandwidth used for NIC contention.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NetworkModel {
+    /// MPI send-call CPU cost.
+    pub send: PiecewiseSegments,
+    /// MPI recv-call CPU cost (after message availability).
+    pub recv: PiecewiseSegments,
+    /// Round-trip ping-pong time; one-way wire time is half of this.
+    pub pingpong: PiecewiseSegments,
+    /// Sustained point-to-point bandwidth in bytes/second, used for the span
+    /// a NIC is occupied per message (back-to-back contention).
+    pub serialization_bw: f64,
+}
+
+impl NetworkModel {
+    /// A zero-cost network (useful for CPU-only tests).
+    pub fn free() -> Self {
+        NetworkModel {
+            send: PiecewiseSegments::linear(0.0, 0.0),
+            recv: PiecewiseSegments::linear(0.0, 0.0),
+            pingpong: PiecewiseSegments::linear(0.0, 0.0),
+            serialization_bw: f64::INFINITY,
+        }
+    }
+
+    /// Build a model from first-principles link parameters: one-way latency
+    /// (µs), bandwidth (MB/s) and per-call MPI software overhead (µs).
+    /// The eager→rendezvous switch is placed at `switch_bytes`; the
+    /// rendezvous segment pays an extra handshake latency.
+    pub fn from_link(latency_us: f64, bandwidth_mb_s: f64, sw_overhead_us: f64, switch_bytes: f64) -> Self {
+        let per_byte = 1.0 / bandwidth_mb_s; // µs per byte == 1 / (MB/s)
+        let send = PiecewiseSegments {
+            switch_bytes,
+            small_intercept_us: sw_overhead_us,
+            small_slope_us: per_byte * 0.15, // eager copy into NIC buffers
+            large_intercept_us: sw_overhead_us + 2.0 * latency_us, // rendezvous handshake
+            large_slope_us: per_byte * 0.15,
+        };
+        let recv = PiecewiseSegments {
+            switch_bytes,
+            small_intercept_us: sw_overhead_us * 0.8,
+            small_slope_us: per_byte * 0.10,
+            large_intercept_us: sw_overhead_us * 0.8,
+            large_slope_us: per_byte * 0.10,
+        };
+        let pingpong = PiecewiseSegments {
+            switch_bytes,
+            small_intercept_us: 2.0 * (latency_us + sw_overhead_us),
+            small_slope_us: 2.0 * per_byte,
+            large_intercept_us: 2.0 * (latency_us + sw_overhead_us) + 2.0 * latency_us,
+            large_slope_us: 2.0 * per_byte,
+        };
+        NetworkModel { send, recv, pingpong, serialization_bw: bandwidth_mb_s * 1e6 }
+    }
+
+    /// Sender-side CPU time of a send call.
+    pub fn sender_overhead(&self, bytes: usize) -> SimTime {
+        self.send.eval(bytes)
+    }
+
+    /// Receiver-side CPU time of a receive call.
+    pub fn receiver_overhead(&self, bytes: usize) -> SimTime {
+        self.recv.eval(bytes)
+    }
+
+    /// One-way wire time (half the ping-pong round trip).
+    pub fn wire_time(&self, bytes: usize) -> SimTime {
+        SimTime::from_micros((self.pingpong.eval_us(bytes) / 2.0).max(0.0))
+    }
+
+    /// Time the sender NIC is occupied by the message.
+    pub fn serialization_time(&self, bytes: usize) -> SimTime {
+        if self.serialization_bw.is_finite() && self.serialization_bw > 0.0 {
+            SimTime::from_secs(bytes as f64 / self.serialization_bw)
+        } else {
+            SimTime::ZERO
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_curve_evaluates() {
+        let c = PiecewiseSegments::linear(10.0, 0.01);
+        assert_eq!(c.eval_us(0), 10.0);
+        assert_eq!(c.eval_us(1000), 20.0);
+        assert_eq!(c.discontinuity(), 0.0);
+    }
+
+    #[test]
+    fn piecewise_switches_segment() {
+        let c = PiecewiseSegments {
+            switch_bytes: 100.0,
+            small_intercept_us: 5.0,
+            small_slope_us: 0.1,
+            large_intercept_us: 10.0,
+            large_slope_us: 0.05,
+        };
+        assert_eq!(c.eval_us(50), 10.0); // 5 + 0.1*50
+        assert_eq!(c.eval_us(100), 15.0); // boundary uses small segment
+        assert_eq!(c.eval_us(200), 20.0); // 10 + 0.05*200
+        assert_eq!(c.discontinuity(), 0.0); // 15 == 15 at the switch
+    }
+
+    #[test]
+    fn from_link_is_monotone_in_size() {
+        let n = NetworkModel::from_link(10.0, 250.0, 2.0, 8192.0);
+        let mut prev = SimTime::ZERO;
+        for bytes in [0usize, 64, 1024, 8192, 65536, 1 << 20] {
+            let w = n.wire_time(bytes);
+            assert!(w >= prev, "wire time must grow with size");
+            prev = w;
+        }
+    }
+
+    #[test]
+    fn wire_time_halves_pingpong() {
+        let n = NetworkModel::from_link(10.0, 250.0, 2.0, 8192.0);
+        let w = n.wire_time(1000).as_secs();
+        let pp = n.pingpong.eval(1000).as_secs();
+        assert!((2.0 * w - pp).abs() < 1e-12);
+    }
+
+    #[test]
+    fn free_network_costs_nothing() {
+        let n = NetworkModel::free();
+        assert_eq!(n.sender_overhead(1 << 20), SimTime::ZERO);
+        assert_eq!(n.wire_time(1 << 20), SimTime::ZERO);
+        assert_eq!(n.serialization_time(1 << 20), SimTime::ZERO);
+    }
+
+    #[test]
+    fn serialization_matches_bandwidth() {
+        let n = NetworkModel::from_link(10.0, 100.0, 2.0, 8192.0); // 100 MB/s
+        let t = n.serialization_time(100_000_000).as_secs(); // 100 MB
+        assert!((t - 1.0).abs() < 1e-9);
+    }
+}

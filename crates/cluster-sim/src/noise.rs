@@ -1,0 +1,174 @@
+//! OS-noise and measurement-jitter models.
+//!
+//! The paper attributes the residual prediction error "largely to background
+//! processes, network load and minor fluctuations in the actual run time"
+//! (§5). The simulator injects exactly those effects, deterministically:
+//!
+//! * every compute block is stretched by a multiplicative factor drawn from
+//!   a triangular distribution around `1 + mean_overhead`,
+//! * every message wire time receives a small additive jitter.
+//!
+//! Draws come from a per-rank [`SmallRng`] seeded from `(seed, rank)` and
+//! are consumed in *program order*, so a simulation result is a pure
+//! function of `(machine, programs, seed)` regardless of how the engine
+//! interleaves ranks.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the noise model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NoiseModel {
+    /// Mean fractional compute overhead from background activity
+    /// (e.g. `0.01` = the OS steals 1% on average).
+    pub compute_mean: f64,
+    /// Half-width of the triangular spread around the mean.
+    pub compute_spread: f64,
+    /// Mean additive message jitter in microseconds.
+    pub message_jitter_us: f64,
+    /// Half-width of the *per-run* background-load factor: one draw per
+    /// simulation stretches every compute block by `1 + U(−b, b)`-ish
+    /// (triangular). This models the run-to-run variation from background
+    /// processes and network load that the paper cites as its main
+    /// residual-error source — distinct from `compute_spread`, which is
+    /// per-block and averages out over a long run.
+    pub run_bias: f64,
+}
+
+impl NoiseModel {
+    /// A silent machine: no noise at all.
+    pub fn none() -> Self {
+        NoiseModel {
+            compute_mean: 0.0,
+            compute_spread: 0.0,
+            message_jitter_us: 0.0,
+            run_bias: 0.0,
+        }
+    }
+
+    /// A typical commodity-cluster noise level.
+    pub fn commodity() -> Self {
+        NoiseModel {
+            compute_mean: 0.008,
+            compute_spread: 0.006,
+            message_jitter_us: 2.0,
+            run_bias: 0.02,
+        }
+    }
+
+    /// True when the model injects nothing (lets the engine skip RNG work).
+    pub fn is_none(&self) -> bool {
+        self.compute_mean == 0.0
+            && self.compute_spread == 0.0
+            && self.message_jitter_us == 0.0
+            && self.run_bias == 0.0
+    }
+
+    /// The per-run background-load factor for a given seed (deterministic;
+    /// the same seed always reproduces the same run).
+    pub fn run_factor(&self, seed: u64) -> f64 {
+        if self.run_bias == 0.0 {
+            return 1.0;
+        }
+        // Dedicated stream outside the rank id space.
+        let mut s = NoiseStream::new(*self, seed ^ 0x0B1A_5EED, usize::MAX);
+        let tri = (s.rng.random::<f64>() + s.rng.random::<f64>()) - 1.0;
+        (1.0 + self.run_bias * tri).max(0.5)
+    }
+}
+
+/// A per-rank noise stream.
+#[derive(Debug, Clone)]
+pub struct NoiseStream {
+    rng: SmallRng,
+    model: NoiseModel,
+}
+
+impl NoiseStream {
+    /// Create the stream for one rank.
+    pub fn new(model: NoiseModel, seed: u64, rank: usize) -> Self {
+        // Mix the rank into the seed with a splitmix64 step so adjacent
+        // ranks do not see correlated streams.
+        let mut z = seed ^ (rank as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        NoiseStream { rng: SmallRng::seed_from_u64(z), model }
+    }
+
+    /// Multiplicative stretch factor for the next compute block (≥ some
+    /// small positive floor; never shrinks below 1 + mean − spread).
+    pub fn compute_factor(&mut self) -> f64 {
+        if self.model.compute_mean == 0.0 && self.model.compute_spread == 0.0 {
+            return 1.0;
+        }
+        // Triangular(−1, 0, 1) via the sum of two uniforms.
+        let tri = (self.rng.random::<f64>() + self.rng.random::<f64>()) - 1.0;
+        (1.0 + self.model.compute_mean + self.model.compute_spread * tri).max(0.5)
+    }
+
+    /// Additive wire-time jitter in seconds for the next message.
+    pub fn message_jitter_secs(&mut self) -> f64 {
+        if self.model.message_jitter_us == 0.0 {
+            return 0.0;
+        }
+        // Exponential-ish tail: most messages see ~the mean, a few see more.
+        let u: f64 = self.rng.random::<f64>().clamp(1e-12, 1.0 - 1e-12);
+        self.model.message_jitter_us * 1e-6 * (-(1.0 - u).ln()).min(5.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn silent_model_is_exact() {
+        let mut s = NoiseStream::new(NoiseModel::none(), 1, 0);
+        for _ in 0..100 {
+            assert_eq!(s.compute_factor(), 1.0);
+            assert_eq!(s.message_jitter_secs(), 0.0);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed_and_rank() {
+        let m = NoiseModel::commodity();
+        let a: Vec<f64> = {
+            let mut s = NoiseStream::new(m, 42, 3);
+            (0..50).map(|_| s.compute_factor()).collect()
+        };
+        let b: Vec<f64> = {
+            let mut s = NoiseStream::new(m, 42, 3);
+            (0..50).map(|_| s.compute_factor()).collect()
+        };
+        assert_eq!(a, b);
+        let c: Vec<f64> = {
+            let mut s = NoiseStream::new(m, 42, 4);
+            (0..50).map(|_| s.compute_factor()).collect()
+        };
+        assert_ne!(a, c, "different ranks must see different streams");
+    }
+
+    #[test]
+    fn compute_factor_centered_near_mean() {
+        let m = NoiseModel { compute_mean: 0.01, compute_spread: 0.005, message_jitter_us: 0.0, run_bias: 0.0 };
+        let mut s = NoiseStream::new(m, 7, 0);
+        let n = 20_000;
+        let avg: f64 = (0..n).map(|_| s.compute_factor()).sum::<f64>() / n as f64;
+        assert!((avg - 1.01).abs() < 1e-3, "avg {avg} should be near 1.01");
+    }
+
+    #[test]
+    fn factors_bounded() {
+        let m = NoiseModel { compute_mean: 0.02, compute_spread: 0.01, message_jitter_us: 1.0, run_bias: 0.0 };
+        let mut s = NoiseStream::new(m, 9, 1);
+        for _ in 0..10_000 {
+            let f = s.compute_factor();
+            assert!(f >= 1.01 - 1e-12 && f <= 1.03 + 1e-12, "factor {f} out of band");
+            let j = s.message_jitter_secs();
+            assert!(j >= 0.0 && j <= 5.0 * 1e-6 + 1e-12);
+        }
+    }
+}

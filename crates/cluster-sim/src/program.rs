@@ -1,0 +1,230 @@
+//! Per-rank op programs.
+//!
+//! A [`Program`] is the deterministic schedule one rank executes: exactly the
+//! sequence of computation blocks, blocking receives, buffered sends and
+//! collectives that the real SWEEP3D code performs. The `sweep3d` crate's
+//! trace generator produces one program per rank; this module only defines
+//! the representation plus static well-formedness checks (message balance).
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+/// One operation of a rank's schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Op {
+    /// Execute `flops` floating-point operations over a working set of
+    /// `working_set` bytes (drives the CPU rate curve).
+    Compute {
+        /// Floating-point operations in the block.
+        flops: f64,
+        /// Resident working-set size in bytes.
+        working_set: usize,
+    },
+    /// Buffered send: deposits `bytes` for `(to, tag)` and continues after
+    /// the sender-side MPI overhead.
+    Send {
+        /// Destination rank.
+        to: usize,
+        /// Message size in bytes.
+        bytes: usize,
+        /// Match tag.
+        tag: u32,
+    },
+    /// Blocking receive matching `(from, tag)` in FIFO order.
+    Recv {
+        /// Source rank.
+        from: usize,
+        /// Match tag.
+        tag: u32,
+    },
+    /// Global all-reduce of `bytes` payload (tree cost, full synchronisation).
+    AllReduce {
+        /// Payload size in bytes.
+        bytes: usize,
+    },
+    /// Global barrier (an all-reduce of zero bytes).
+    Barrier,
+}
+
+/// An ordered op list for one rank.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Program {
+    ops: Vec<Op>,
+}
+
+impl Program {
+    /// An empty program.
+    pub fn new() -> Self {
+        Program { ops: Vec::new() }
+    }
+
+    /// Append an op.
+    pub fn push(&mut self, op: Op) {
+        self.ops.push(op);
+    }
+
+    /// The ops in execution order.
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+
+    /// Number of ops.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True for a program with no ops.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Total flops across compute blocks.
+    pub fn total_flops(&self) -> f64 {
+        self.ops
+            .iter()
+            .map(|op| if let Op::Compute { flops, .. } = op { *flops } else { 0.0 })
+            .sum()
+    }
+
+    /// Total bytes across sends.
+    pub fn total_sent_bytes(&self) -> usize {
+        self.ops
+            .iter()
+            .map(|op| if let Op::Send { bytes, .. } = op { *bytes } else { 0 })
+            .sum()
+    }
+
+    /// Count ops matching a predicate.
+    pub fn count(&self, pred: impl Fn(&Op) -> bool) -> usize {
+        self.ops.iter().filter(|op| pred(op)).count()
+    }
+}
+
+/// Static validation of a program set: every `Recv(from, tag)` on rank `r`
+/// must be balanced by an equal number of `Send(to=r, tag)` on rank `from`,
+/// and all collective ops must appear the same number of times on every rank
+/// (necessary — not sufficient — conditions for deadlock freedom; the engine
+/// still detects dynamic deadlocks).
+pub fn validate_programs(programs: &[Program]) -> Result<(), String> {
+    let n = programs.len();
+    let mut sends: HashMap<(usize, usize, u32), usize> = HashMap::new();
+    let mut recvs: HashMap<(usize, usize, u32), usize> = HashMap::new();
+    let mut collectives: Vec<usize> = vec![0; n];
+    for (rank, prog) in programs.iter().enumerate() {
+        for op in prog.ops() {
+            match *op {
+                Op::Send { to, tag, .. } => {
+                    if to >= n {
+                        return Err(format!("rank {rank} sends to nonexistent rank {to}"));
+                    }
+                    *sends.entry((rank, to, tag)).or_insert(0) += 1;
+                }
+                Op::Recv { from, tag } => {
+                    if from >= n {
+                        return Err(format!("rank {rank} receives from nonexistent rank {from}"));
+                    }
+                    *recvs.entry((from, rank, tag)).or_insert(0) += 1;
+                }
+                Op::AllReduce { .. } | Op::Barrier => collectives[rank] += 1,
+                Op::Compute { flops, .. } => {
+                    if !flops.is_finite() || flops < 0.0 {
+                        return Err(format!("rank {rank} has invalid flop count {flops}"));
+                    }
+                }
+            }
+        }
+    }
+    for (key, &nsend) in &sends {
+        let nrecv = recvs.get(key).copied().unwrap_or(0);
+        if nsend != nrecv {
+            return Err(format!(
+                "unbalanced channel {}→{} tag {}: {nsend} sends vs {nrecv} recvs",
+                key.0, key.1, key.2
+            ));
+        }
+    }
+    for (key, &nrecv) in &recvs {
+        if !sends.contains_key(key) && nrecv > 0 {
+            return Err(format!(
+                "recv with no send: {}→{} tag {} ({nrecv} recvs)",
+                key.0, key.1, key.2
+            ));
+        }
+    }
+    if let Some((rank, _)) = collectives
+        .iter()
+        .enumerate()
+        .find(|(_, &c)| c != collectives[0])
+    {
+        return Err(format!(
+            "collective count mismatch: rank 0 has {}, rank {rank} has {}",
+            collectives[0], collectives[rank]
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn program_accumulators() {
+        let mut p = Program::new();
+        p.push(Op::Compute { flops: 10.0, working_set: 64 });
+        p.push(Op::Send { to: 1, bytes: 100, tag: 0 });
+        p.push(Op::Compute { flops: 5.0, working_set: 64 });
+        p.push(Op::Send { to: 1, bytes: 50, tag: 0 });
+        assert_eq!(p.total_flops(), 15.0);
+        assert_eq!(p.total_sent_bytes(), 150);
+        assert_eq!(p.count(|op| matches!(op, Op::Send { .. })), 2);
+        assert_eq!(p.len(), 4);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn balanced_programs_validate() {
+        let mut p0 = Program::new();
+        let mut p1 = Program::new();
+        p0.push(Op::Send { to: 1, bytes: 8, tag: 3 });
+        p0.push(Op::Barrier);
+        p1.push(Op::Recv { from: 0, tag: 3 });
+        p1.push(Op::Barrier);
+        assert!(validate_programs(&[p0, p1]).is_ok());
+    }
+
+    #[test]
+    fn unbalanced_send_detected() {
+        let mut p0 = Program::new();
+        p0.push(Op::Send { to: 1, bytes: 8, tag: 3 });
+        let p1 = Program::new();
+        let err = validate_programs(&[p0, p1]).unwrap_err();
+        assert!(err.contains("unbalanced"), "{err}");
+    }
+
+    #[test]
+    fn orphan_recv_detected() {
+        let p0 = Program::new();
+        let mut p1 = Program::new();
+        p1.push(Op::Recv { from: 0, tag: 9 });
+        let err = validate_programs(&[p0, p1]).unwrap_err();
+        assert!(err.contains("recv") || err.contains("unbalanced"), "{err}");
+    }
+
+    #[test]
+    fn rank_out_of_range_detected() {
+        let mut p0 = Program::new();
+        p0.push(Op::Send { to: 5, bytes: 8, tag: 0 });
+        assert!(validate_programs(&[p0]).unwrap_err().contains("nonexistent"));
+    }
+
+    #[test]
+    fn collective_mismatch_detected() {
+        let mut p0 = Program::new();
+        p0.push(Op::Barrier);
+        let p1 = Program::new();
+        let err = validate_programs(&[p0, p1]).unwrap_err();
+        assert!(err.contains("collective"), "{err}");
+    }
+}

@@ -1,0 +1,128 @@
+//! Virtual time.
+//!
+//! Simulated time is kept as an integer count of **picoseconds** so that the
+//! event engine's ordering and arithmetic are exact. 2^64 ps ≈ 213 days,
+//! comfortably beyond any run the paper models (tens of seconds). Durations
+//! computed from floating-point models are rounded half-up at conversion.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// Picoseconds per second.
+const PS_PER_SEC: f64 = 1e12;
+
+/// A point in (or span of) virtual time, in picoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// Time zero.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Construct from seconds. Negative or non-finite inputs clamp to zero;
+    /// models should never produce them, and the engine asserts in debug.
+    pub fn from_secs(secs: f64) -> SimTime {
+        debug_assert!(secs.is_finite() && secs >= 0.0, "bad duration {secs}");
+        if !secs.is_finite() || secs <= 0.0 {
+            return SimTime(0);
+        }
+        SimTime((secs * PS_PER_SEC).round() as u64)
+    }
+
+    /// Construct from microseconds (the unit of the paper's HMCL scripts).
+    pub fn from_micros(us: f64) -> SimTime {
+        SimTime::from_secs(us * 1e-6)
+    }
+
+    /// Raw picoseconds.
+    pub fn picos(self) -> u64 {
+        self.0
+    }
+
+    /// Value in seconds.
+    pub fn as_secs(self) -> f64 {
+        self.0 as f64 / PS_PER_SEC
+    }
+
+    /// Saturating subtraction (used for wait-time accounting).
+    pub fn saturating_sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.checked_add(rhs.0).expect("virtual time overflow"))
+    }
+}
+
+impl AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.checked_sub(rhs.0).expect("virtual time underflow"))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let secs = self.as_secs();
+        if secs >= 1.0 {
+            write!(f, "{secs:.6}s")
+        } else if secs >= 1e-3 {
+            write!(f, "{:.3}ms", secs * 1e3)
+        } else {
+            write!(f, "{:.3}us", secs * 1e6)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_seconds() {
+        for s in [0.0, 1e-9, 1.5, 42.25, 3600.0] {
+            let t = SimTime::from_secs(s);
+            assert!((t.as_secs() - s).abs() < 1e-12 * s.max(1.0));
+        }
+    }
+
+    #[test]
+    fn micros_conversion() {
+        assert_eq!(SimTime::from_micros(1.0).picos(), 1_000_000);
+        assert_eq!(SimTime::from_micros(0.5).picos(), 500_000);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = SimTime::from_secs(1.0);
+        let b = SimTime::from_secs(0.25);
+        assert_eq!((a + b).as_secs(), 1.25);
+        assert_eq!((a - b).as_secs(), 0.75);
+        assert_eq!(b.saturating_sub(a), SimTime::ZERO);
+        let mut c = a;
+        c += b;
+        assert_eq!(c.as_secs(), 1.25);
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(SimTime::from_secs(1.0) < SimTime::from_secs(2.0));
+        assert_eq!(SimTime::ZERO, SimTime::from_secs(0.0));
+    }
+
+    #[test]
+    fn display_units() {
+        assert_eq!(SimTime::from_secs(2.5).to_string(), "2.500000s");
+        assert_eq!(SimTime::from_micros(1500.0).to_string(), "1.500ms");
+        assert_eq!(SimTime::from_micros(12.0).to_string(), "12.000us");
+    }
+}

@@ -1,0 +1,212 @@
+//! The MPI communication resource model — Eq. 3 of the paper.
+//!
+//! Transfer time of `x` bytes:
+//!
+//! ```text
+//! t(x) = B + C·x   for x ≤ A
+//! t(x) = D + E·x   for x ≥ A
+//! ```
+//!
+//! One [`CommCurve`] holds the five parameters `A…E`; a [`CommModel`] holds
+//! the three fitted curves of the hardware layer's `mpi` section (Fig. 7):
+//! MPI send time, MPI receive time and ping-pong time. Parameters are
+//! fitted from microbenchmark data by `hwbench`'s segmented regression.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// One piecewise-linear transfer-time curve (times in µs, sizes in bytes).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CommCurve {
+    /// `A`: the switch size in bytes.
+    pub a_bytes: f64,
+    /// `B`: small-message intercept (µs).
+    pub b_us: f64,
+    /// `C`: small-message slope (µs/byte).
+    pub c_us_per_byte: f64,
+    /// `D`: large-message intercept (µs).
+    pub d_us: f64,
+    /// `E`: large-message slope (µs/byte).
+    pub e_us_per_byte: f64,
+}
+
+impl CommCurve {
+    /// A single-segment curve `B + C·x` for all sizes.
+    pub fn linear(b_us: f64, c_us_per_byte: f64) -> Self {
+        CommCurve {
+            a_bytes: f64::INFINITY,
+            b_us,
+            c_us_per_byte,
+            d_us: b_us,
+            e_us_per_byte: c_us_per_byte,
+        }
+    }
+
+    /// Evaluate Eq. 3 at `bytes`, in microseconds.
+    pub fn eval_us(&self, bytes: usize) -> f64 {
+        let x = bytes as f64;
+        if x <= self.a_bytes {
+            self.b_us + self.c_us_per_byte * x
+        } else {
+            self.d_us + self.e_us_per_byte * x
+        }
+    }
+
+    /// Evaluate in seconds.
+    pub fn eval_secs(&self, bytes: usize) -> f64 {
+        self.eval_us(bytes) * 1e-6
+    }
+
+    /// Relative jump at the switch size (a quality measure of the fit; a
+    /// good fit is near-continuous there).
+    pub fn discontinuity(&self) -> f64 {
+        if !self.a_bytes.is_finite() {
+            return 0.0;
+        }
+        let lo = self.b_us + self.c_us_per_byte * self.a_bytes;
+        let hi = self.d_us + self.e_us_per_byte * self.a_bytes;
+        (lo - hi).abs() / lo.abs().max(hi.abs()).max(1e-12)
+    }
+}
+
+impl fmt::Display for CommCurve {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "A={:.0}B  B={:.3}us  C={:.6}us/B  D={:.3}us  E={:.6}us/B",
+            self.a_bytes, self.b_us, self.c_us_per_byte, self.d_us, self.e_us_per_byte
+        )
+    }
+}
+
+/// The three-curve interconnect characterisation of the HMCL `mpi` section.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CommModel {
+    /// MPI blocking-send call time.
+    pub send: CommCurve,
+    /// MPI blocking-receive call time (message already available).
+    pub recv: CommCurve,
+    /// Round-trip ping-pong time.
+    pub pingpong: CommCurve,
+}
+
+impl CommModel {
+    /// A zero-cost interconnect (for compute-only studies and tests).
+    pub fn free() -> Self {
+        CommModel {
+            send: CommCurve::linear(0.0, 0.0),
+            recv: CommCurve::linear(0.0, 0.0),
+            pingpong: CommCurve::linear(0.0, 0.0),
+        }
+    }
+
+    /// Sender CPU time for `bytes`, seconds. Clamped at zero: a noisy fit
+    /// may extrapolate a negative intercept at small sizes, which is a
+    /// statement about the data, not a physical time.
+    pub fn send_secs(&self, bytes: usize) -> f64 {
+        self.send.eval_secs(bytes).max(0.0)
+    }
+
+    /// Receiver CPU time for `bytes`, seconds (clamped at zero).
+    pub fn recv_secs(&self, bytes: usize) -> f64 {
+        self.recv.eval_secs(bytes).max(0.0)
+    }
+
+    /// One-way transfer time (half the ping-pong), seconds (clamped).
+    pub fn oneway_secs(&self, bytes: usize) -> f64 {
+        (self.pingpong.eval_secs(bytes) / 2.0).max(0.0)
+    }
+
+    /// Pipeline hop latency: the delay from a producer finishing a block to
+    /// the consumer being able to start on it — send call, wire transit,
+    /// receive call.
+    pub fn hop_secs(&self, bytes: usize) -> f64 {
+        self.send_secs(bytes) + self.oneway_secs(bytes) + self.recv_secs(bytes)
+    }
+
+    /// Time for a binomial-tree all-reduce over `n` processors: reduce +
+    /// broadcast, `⌈log₂ n⌉` message phases each.
+    pub fn allreduce_secs(&self, bytes: usize, n: usize) -> f64 {
+        if n <= 1 {
+            return 0.0;
+        }
+        let rounds = usize::BITS - (n - 1).leading_zeros();
+        2.0 * rounds as f64 * self.hop_secs(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn curve() -> CommCurve {
+        CommCurve { a_bytes: 1000.0, b_us: 10.0, c_us_per_byte: 0.01, d_us: 15.0, e_us_per_byte: 0.005 }
+    }
+
+    #[test]
+    fn eval_switches_segments() {
+        let c = curve();
+        assert_eq!(c.eval_us(0), 10.0);
+        assert_eq!(c.eval_us(500), 15.0);
+        assert_eq!(c.eval_us(2000), 25.0);
+    }
+
+    #[test]
+    fn discontinuity_measured() {
+        let c = curve();
+        // at 1000: small = 20, large = 20 → continuous.
+        assert!(c.discontinuity() < 1e-12);
+        let broken = CommCurve { d_us: 100.0, ..c };
+        assert!(broken.discontinuity() > 0.5);
+    }
+
+    #[test]
+    fn linear_curve_continuous() {
+        let c = CommCurve::linear(5.0, 0.1);
+        assert_eq!(c.eval_us(10_000_000), 5.0 + 0.1 * 1e7);
+        assert_eq!(c.discontinuity(), 0.0);
+    }
+
+    #[test]
+    fn hop_is_sum_of_parts() {
+        let m = CommModel {
+            send: CommCurve::linear(2.0, 0.0),
+            recv: CommCurve::linear(3.0, 0.0),
+            pingpong: CommCurve::linear(20.0, 0.0),
+        };
+        assert!((m.hop_secs(100) - (2.0 + 3.0 + 10.0) * 1e-6).abs() < 1e-15);
+    }
+
+    #[test]
+    fn allreduce_log_scaling() {
+        let m = CommModel {
+            send: CommCurve::linear(1.0, 0.0),
+            recv: CommCurve::linear(1.0, 0.0),
+            pingpong: CommCurve::linear(10.0, 0.0),
+        };
+        assert_eq!(m.allreduce_secs(8, 1), 0.0);
+        let t2 = m.allreduce_secs(8, 2);
+        let t4 = m.allreduce_secs(8, 4);
+        let t8 = m.allreduce_secs(8, 8);
+        assert!((t4 - 2.0 * t2).abs() < 1e-15);
+        assert!((t8 - 3.0 * t2).abs() < 1e-15);
+        // Non-power-of-two rounds up.
+        assert_eq!(m.allreduce_secs(8, 5), m.allreduce_secs(8, 8));
+    }
+
+    #[test]
+    fn free_model_is_free() {
+        let m = CommModel::free();
+        assert_eq!(m.hop_secs(1 << 20), 0.0);
+        assert_eq!(m.allreduce_secs(8, 1024), 0.0);
+    }
+
+    #[test]
+    fn display_prints_all_params() {
+        let s = curve().to_string();
+        for key in ["A=", "B=", "C=", "D=", "E="] {
+            assert!(s.contains(key), "{s}");
+        }
+    }
+}

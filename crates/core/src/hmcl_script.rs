@@ -1,0 +1,302 @@
+//! HMCL — the Hardware Model and Configuration Language.
+//!
+//! PACE keeps machine characterisations in HMCL scripts (paper §4, Fig. 7)
+//! so that application and resource models can be mixed and matched ("the
+//! ability to reuse the models with different resource or application
+//! models"). This module gives [`HardwareModel`] a textual form:
+//!
+//! ```text
+//! config Pentium3_Myrinet {
+//!   hardware {
+//!     rates {
+//!       -- cells per processor = achieved MFLOPS
+//!       2500   = 132.0,
+//!       125000 = 110.0,
+//!     }
+//!     mpi {
+//!       send:     A = 8192, B = 3.5,  C = 0.0008, D = 18.0, E = 0.0008;
+//!       recv:     A = 8192, B = 2.5,  C = 0.0004, D = 4.0,  E = 0.0004;
+//!       pingpong: A = 8192, B = 25.0, C = 0.008,  D = 50.0, E = 0.008;
+//!     }
+//!   }
+//! }
+//! ```
+//!
+//! `A = inf` denotes a single-segment curve. [`write()`](fn@write) and [`parse()`](fn@parse) round
+//! trip exactly (property-tested), so fitted models can be saved, edited by
+//! hand (e.g. swapping an interconnect, §6) and reloaded.
+
+use std::fmt::Write as _;
+
+use crate::comm::{CommCurve, CommModel};
+use crate::hardware::{AchievedRate, HardwareModel};
+
+/// An HMCL parse error with a 1-based line number.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HmclError {
+    /// Source line.
+    pub line: u32,
+    /// Description.
+    pub message: String,
+}
+
+impl std::fmt::Display for HmclError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for HmclError {}
+
+/// Render a hardware model as an HMCL script.
+pub fn write(hw: &HardwareModel) -> String {
+    let mut out = String::new();
+    let ident: String = hw
+        .name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect();
+    let _ = writeln!(out, "config {ident} {{");
+    let _ = writeln!(out, "  -- {}", hw.name);
+    let _ = writeln!(out, "  hardware {{");
+    let _ = writeln!(out, "    rates {{");
+    let _ = writeln!(out, "      -- cells per processor = achieved MFLOPS");
+    for r in &hw.rates {
+        let _ = writeln!(out, "      {} = {},", r.cells_per_pe, r.mflops);
+    }
+    let _ = writeln!(out, "    }}");
+    let _ = writeln!(out, "    mpi {{");
+    for (label, c) in
+        [("send", &hw.comm.send), ("recv", &hw.comm.recv), ("pingpong", &hw.comm.pingpong)]
+    {
+        let a = if c.a_bytes.is_finite() { format!("{}", c.a_bytes) } else { "inf".to_string() };
+        let _ = writeln!(
+            out,
+            "      {label}: A = {a}, B = {}, C = {}, D = {}, E = {};",
+            c.b_us, c.c_us_per_byte, c.d_us, c.e_us_per_byte
+        );
+    }
+    let _ = writeln!(out, "    }}");
+    let _ = writeln!(out, "  }}");
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Parse an HMCL script into a hardware model.
+pub fn parse(src: &str) -> Result<HardwareModel, HmclError> {
+    let mut name: Option<String> = None;
+    let mut rates: Vec<AchievedRate> = Vec::new();
+    let mut curves: [Option<CommCurve>; 3] = [None, None, None];
+    let mut section = Vec::<&'static str>::new();
+
+    for (idx, raw) in src.lines().enumerate() {
+        let lineno = idx as u32 + 1;
+        let err = |message: String| HmclError { line: lineno, message };
+        let line = raw.split("--").next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("config ") {
+            let ident = rest.trim_end_matches('{').trim();
+            if ident.is_empty() {
+                return Err(err("config needs a name".into()));
+            }
+            name = Some(ident.to_string());
+            section.push("config");
+            continue;
+        }
+        if line.starts_with("hardware") && line.ends_with('{') {
+            section.push("hardware");
+            continue;
+        }
+        if line.starts_with("rates") && line.ends_with('{') {
+            section.push("rates");
+            continue;
+        }
+        if line.starts_with("mpi") && line.ends_with('{') {
+            section.push("mpi");
+            continue;
+        }
+        if line == "}" {
+            if section.pop().is_none() {
+                return Err(err("unmatched '}'".into()));
+            }
+            continue;
+        }
+        match section.last().copied() {
+            Some("rates") => {
+                let body = line.trim_end_matches(',');
+                let (cells, mflops) = body
+                    .split_once('=')
+                    .ok_or_else(|| err("expected 'cells = mflops'".into()))?;
+                let cells: f64 = cells
+                    .trim()
+                    .parse()
+                    .map_err(|e| err(format!("bad cell count: {e}")))?;
+                let mflops: f64 = mflops
+                    .trim()
+                    .parse()
+                    .map_err(|e| err(format!("bad rate: {e}")))?;
+                if cells <= 0.0 || mflops <= 0.0 {
+                    return Err(err("rates must be positive".into()));
+                }
+                rates.push(AchievedRate { cells_per_pe: cells, mflops });
+            }
+            Some("mpi") => {
+                let (label, params) = line
+                    .split_once(':')
+                    .ok_or_else(|| err("expected 'send:/recv:/pingpong: A = …'".into()))?;
+                let slot = match label.trim() {
+                    "send" => 0,
+                    "recv" => 1,
+                    "pingpong" => 2,
+                    other => return Err(err(format!("unknown mpi curve '{other}'"))),
+                };
+                let mut values = [f64::NAN; 5];
+                for assign in params.trim_end_matches(';').split(',') {
+                    let (key, value) = assign
+                        .split_once('=')
+                        .ok_or_else(|| err(format!("expected 'K = v' in '{assign}'")))?;
+                    let v = match value.trim() {
+                        "inf" => f64::INFINITY,
+                        other => other
+                            .parse()
+                            .map_err(|e| err(format!("bad value '{other}': {e}")))?,
+                    };
+                    let k = match key.trim() {
+                        "A" => 0,
+                        "B" => 1,
+                        "C" => 2,
+                        "D" => 3,
+                        "E" => 4,
+                        other => return Err(err(format!("unknown parameter '{other}'"))),
+                    };
+                    values[k] = v;
+                }
+                if values.iter().any(|v| v.is_nan()) {
+                    return Err(err("curve needs all of A, B, C, D, E".into()));
+                }
+                curves[slot] = Some(CommCurve {
+                    a_bytes: values[0],
+                    b_us: values[1],
+                    c_us_per_byte: values[2],
+                    d_us: values[3],
+                    e_us_per_byte: values[4],
+                });
+            }
+            Some(_) | None => {
+                return Err(err(format!("unexpected line '{line}'")));
+            }
+        }
+    }
+    if !section.is_empty() {
+        return Err(HmclError { line: src.lines().count() as u32, message: "unclosed block".into() });
+    }
+    let name = name.ok_or(HmclError { line: 1, message: "no config block".into() })?;
+    if rates.is_empty() {
+        return Err(HmclError { line: 1, message: "rates section is empty".into() });
+    }
+    rates.sort_by(|a, b| a.cells_per_pe.total_cmp(&b.cells_per_pe));
+    let [Some(send), Some(recv), Some(pingpong)] = curves else {
+        return Err(HmclError {
+            line: 1,
+            message: "mpi section needs send, recv and pingpong curves".into(),
+        });
+    };
+    Ok(HardwareModel { name, rates, comm: CommModel { send, recv, pingpong } })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machines;
+
+    #[test]
+    fn roundtrip_quoted_machines() {
+        for hw in machines::all_quoted() {
+            let script = write(&hw);
+            let back = parse(&script).unwrap();
+            assert_eq!(back.rates.len(), hw.rates.len());
+            for (a, b) in back.rates.iter().zip(&hw.rates) {
+                assert_eq!(a.cells_per_pe, b.cells_per_pe);
+                assert_eq!(a.mflops, b.mflops);
+            }
+            assert_eq!(back.comm, hw.comm, "{}", hw.name);
+            // Same predictions follow from identical parameters.
+            assert_eq!(back.achieved_mflops(125_000), hw.achieved_mflops(125_000));
+        }
+    }
+
+    #[test]
+    fn parses_hand_written_script() {
+        let src = "
+            config MyCluster {
+              hardware {
+                rates {
+                  -- comment
+                  1000 = 200.0,
+                  125000 = 110,
+                }
+                mpi {
+                  send:     A = 8192, B = 3.5, C = 0.0008, D = 18.0, E = 0.0008;
+                  recv:     A = inf, B = 2.5, C = 0.0004, D = 2.5, E = 0.0004;
+                  pingpong: A = 8192, B = 25.0, C = 0.008, D = 50.0, E = 0.008;
+                }
+              }
+            }
+        ";
+        let hw = parse(src).unwrap();
+        assert_eq!(hw.name, "MyCluster");
+        assert_eq!(hw.achieved_mflops(125_000), 110.0);
+        assert!(!hw.comm.recv.a_bytes.is_finite());
+        assert_eq!(hw.comm.send.eval_us(0), 3.5);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse("config X {\n hardware {\n rates {\n bogus\n").unwrap_err();
+        assert_eq!(err.line, 4);
+        assert!(err.message.contains("cells = mflops"), "{err}");
+    }
+
+    #[test]
+    fn missing_curve_rejected() {
+        let src = "
+            config X {
+              hardware {
+                rates {
+                  100 = 50.0,
+                }
+                mpi {
+                  send: A = inf, B = 1, C = 0, D = 1, E = 0;
+                }
+              }
+            }
+        ";
+        let err = parse(src).unwrap_err();
+        assert!(err.message.contains("pingpong"), "{err}");
+    }
+
+    #[test]
+    fn negative_rate_rejected() {
+        let src = "config X {\n hardware {\n rates {\n 100 = -5,\n }\n }\n }";
+        assert!(parse(src).is_err());
+    }
+
+    #[test]
+    fn interconnect_swap_via_script_editing() {
+        // The §6 reuse story at the script level: take the Opteron model,
+        // splice in Myrinet's mpi section, reparse.
+        let opteron = machines::opteron_gige();
+        let myrinet = machines::pentium3_myrinet();
+        let script = write(&opteron);
+        let (head, _) = script.split_once("    mpi {").unwrap();
+        let donor = write(&myrinet);
+        let mpi_start = donor.find("    mpi {").unwrap();
+        let mpi_end = donor[mpi_start..].find("    }").unwrap() + mpi_start + 5;
+        let hybrid = format!("{head}{}\n  }}\n}}\n", &donor[mpi_start..mpi_end]);
+        let hw = parse(&hybrid).unwrap();
+        assert_eq!(hw.achieved_mflops(125_000), 350.0, "Opteron rates kept");
+        assert_eq!(hw.comm, myrinet.comm, "Myrinet interconnect spliced in");
+    }
+}

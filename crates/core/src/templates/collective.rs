@@ -1,0 +1,83 @@
+//! `globalsum` / `globalmax` — collective reduction templates.
+//!
+//! SWEEP3D's convergence test reduces a scalar across all ranks once per
+//! iteration. The templates model a binomial-tree reduce + broadcast (the
+//! common MPI_Allreduce shape for small payloads); `globalsum` and
+//! `globalmax` differ only in the combining operator, which is free at
+//! these payload sizes, so they share a cost model.
+
+use serde::{Deserialize, Serialize};
+
+use crate::comm::CommModel;
+
+/// Which reduction the collective performs (cost-equivalent; retained for
+/// model legibility, mirroring the paper's two template objects).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReduceKind {
+    /// `globalsum` — `global_real_sum` in the application.
+    Sum,
+    /// `globalmax` — `global_real_max`.
+    Max,
+}
+
+/// Parameters of one collective evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CollectiveParams {
+    /// The reduction kind.
+    pub kind: ReduceKind,
+    /// Payload bytes (8 for the scalar convergence test).
+    pub bytes: usize,
+    /// Participating processors.
+    pub procs: usize,
+}
+
+/// Evaluate the collective template: time for one all-reduce, seconds.
+pub fn evaluate(params: &CollectiveParams, comm: &CommModel) -> f64 {
+    comm.allreduce_secs(params.bytes, params.procs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::{CommCurve, CommModel};
+
+    fn comm() -> CommModel {
+        CommModel {
+            send: CommCurve::linear(2.0, 0.0),
+            recv: CommCurve::linear(2.0, 0.0),
+            pingpong: CommCurve::linear(20.0, 0.01),
+        }
+    }
+
+    #[test]
+    fn sum_and_max_cost_the_same() {
+        let c = comm();
+        let sum = evaluate(
+            &CollectiveParams { kind: ReduceKind::Sum, bytes: 8, procs: 64 },
+            &c,
+        );
+        let max = evaluate(
+            &CollectiveParams { kind: ReduceKind::Max, bytes: 8, procs: 64 },
+            &c,
+        );
+        assert_eq!(sum, max);
+        assert!(sum > 0.0);
+    }
+
+    #[test]
+    fn single_proc_is_free() {
+        let t = evaluate(
+            &CollectiveParams { kind: ReduceKind::Max, bytes: 8, procs: 1 },
+            &comm(),
+        );
+        assert_eq!(t, 0.0);
+    }
+
+    #[test]
+    fn grows_with_log_procs() {
+        let c = comm();
+        let t = |p| evaluate(&CollectiveParams { kind: ReduceKind::Sum, bytes: 8, procs: p }, &c);
+        assert!((t(4) / t(2) - 2.0).abs() < 1e-12);
+        assert!((t(1024) / t(2) - 10.0).abs() < 1e-12);
+    }
+}

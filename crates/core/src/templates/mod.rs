@@ -1,0 +1,33 @@
+//! The parallel-template layer.
+//!
+//! Parallel templates describe the computation/communication structure of a
+//! subtask independently of the hardware (paper §4.2, Fig. 6). Evaluating a
+//! template against a [`crate::HardwareModel`] yields a predicted time.
+//!
+//! * [`pipeline`] — the pipelined synchronous wavefront of SWEEP3D's
+//!   `sweep` subtask (the paper's core template);
+//! * [`collective`] — `globalsum` / `globalmax` reduction templates;
+//! * [`async`-style serial evaluation][`serial_secs`] — subtasks with no
+//!   communication (the `async` object of Fig. 3).
+
+pub mod collective;
+pub mod pipeline;
+pub mod schedule_oracle;
+
+/// Evaluate an `async` (communication-free) subtask: `flops` at the
+/// achieved rate for the configured per-processor size.
+pub fn serial_secs(hw: &crate::HardwareModel, flops: f64, cells_per_pe: usize) -> f64 {
+    hw.compute_secs(flops, cells_per_pe)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::comm::CommModel;
+    use crate::HardwareModel;
+
+    #[test]
+    fn serial_template_is_rate_division() {
+        let hw = HardwareModel::flat_rate("t", 100.0, CommModel::free());
+        assert!((super::serial_secs(&hw, 1e8, 1000) - 1.0).abs() < 1e-12);
+    }
+}

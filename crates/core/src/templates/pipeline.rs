@@ -1,0 +1,238 @@
+//! The `pipeline` parallel template — the pipelined synchronous wavefront.
+//!
+//! SWEEP3D pipelines `2·A·K` work units (an octant *pair* of `A` angle
+//! blocks × `K` k-blocks) through the `Px × Py` processor array from each
+//! of the four `(i, j)` corners in turn (paper §2 and Fig. 6). The template
+//! integrates the per-unit compute and per-hop communication costs into a
+//! closed-form iteration time.
+//!
+//! ## Derivation
+//!
+//! Let `W` be one work unit's compute time, `W' = W + s_i + s_j + r_i +
+//! r_j` the effective unit time of an interior rank (send/recv call costs
+//! for both face messages), and `H_d = send + oneway + recv` the pipeline
+//! hop latency in dimension `d`. A corner sweep entering at diagonal 0
+//! reaches the opposite corner after `(Px−1)` i-hops and `(Py−1)` j-hops,
+//! each costing `W' + H_d`; the corner-entry rank of the *next* sweep is
+//! the previous sweep's far corner in exactly one dimension. Chaining the
+//! four corner sweeps of one iteration (corner order `(+,+) → (−,+) →
+//! (−,−) → (+,−)`, matching the code's octant schedule):
+//!
+//! ```text
+//! T_iter = 3·(Px−1)·(W' + H_i) + 2·(Py−1)·(W' + H_j) + 4·B·W'
+//! ```
+//!
+//! with `B = 2·A·K` units per corner. The first two terms are pipeline
+//! fill/drain (they grow with the processor array — the linear runtime
+//! increase of Tables 1–3); the last is the fully-pipelined steady state
+//! (constant under weak scaling).
+
+use serde::{Deserialize, Serialize};
+
+use crate::comm::CommModel;
+use crate::hardware::HardwareModel;
+
+/// Structural parameters of one pipelined sweep iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PipelineParams {
+    /// Processor array extents.
+    pub px: usize,
+    /// Processors in `j`.
+    pub py: usize,
+    /// Work units per corner visit (`2·A·K`: an octant pair of `A` angle
+    /// blocks × `K` k-blocks).
+    pub units_per_corner: usize,
+    /// Number of corner visits per iteration (4 for the full octant set).
+    pub corners: usize,
+    /// Floating-point operations in one work unit on one rank.
+    pub unit_flops: f64,
+    /// Per-processor cell count (selects the achieved rate).
+    pub cells_per_pe: usize,
+    /// East/west face message size in bytes.
+    pub i_msg_bytes: usize,
+    /// North/south face message size in bytes.
+    pub j_msg_bytes: usize,
+}
+
+/// The evaluated pipeline time, with the breakdown the PACE engine reports.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PipelineEstimate {
+    /// Total time of one iteration's sweeps, seconds.
+    pub total_secs: f64,
+    /// Pipeline fill/drain portion, seconds.
+    pub fill_secs: f64,
+    /// Fully-pipelined steady-state portion, seconds.
+    pub steady_secs: f64,
+    /// Of the total, time attributable to message-passing calls and wire
+    /// transit, seconds.
+    pub comm_secs: f64,
+    /// Effective per-unit time `W'` on an interior rank, seconds.
+    pub unit_secs: f64,
+    /// Number of pipeline stages (`Px + Py − 2`).
+    pub stages: usize,
+}
+
+/// Evaluate the pipeline template against a hardware model.
+pub fn evaluate(params: &PipelineParams, hw: &HardwareModel) -> PipelineEstimate {
+    evaluate_with_compute(params, hw.compute_secs(params.unit_flops, params.cells_per_pe), &hw.comm)
+}
+
+/// Evaluate with an externally-supplied unit compute time (used by the
+/// opcode-costing ablation, which prices the unit differently).
+pub fn evaluate_with_compute(
+    params: &PipelineParams,
+    unit_compute_secs: f64,
+    comm: &CommModel,
+) -> PipelineEstimate {
+    assert!(params.px >= 1 && params.py >= 1);
+    assert!(params.corners >= 1);
+    let w = unit_compute_secs;
+    // Interior ranks pay both face messages in and out per unit. Boundary
+    // ranks pay fewer; the critical path runs through the interior.
+    let msg_cpu = comm.send_secs(params.i_msg_bytes)
+        + comm.send_secs(params.j_msg_bytes)
+        + comm.recv_secs(params.i_msg_bytes)
+        + comm.recv_secs(params.j_msg_bytes);
+    let w_eff = w + msg_cpu;
+    let hop_i = comm.hop_secs(params.i_msg_bytes);
+    let hop_j = comm.hop_secs(params.j_msg_bytes);
+
+    let fi = (params.px - 1) as f64;
+    let fj = (params.py - 1) as f64;
+    // Corner chain: (+,+) → (−,+) crosses i; → (−,−) crosses j; → (+,−)
+    // crosses i; final drain crosses both. With fewer corners (partial
+    // octant studies) the chain truncates in the same order.
+    let (mut crossings_i, mut crossings_j) = (0.0, 0.0);
+    for c in 0..params.corners {
+        match c % 4 {
+            // transition into corner c (corner 0 starts the chain; the
+            // drain after the last corner is added below).
+            0 => {}
+            1 | 3 => crossings_i += 1.0,
+            2 => crossings_j += 1.0,
+            _ => unreachable!(),
+        }
+    }
+    // Drain of the final sweep: the full diagonal.
+    crossings_i += 1.0;
+    crossings_j += 1.0;
+
+    let fill_secs = crossings_i * fi * (w_eff + hop_i) + crossings_j * fj * (w_eff + hop_j);
+    let steady_units = (params.corners * params.units_per_corner) as f64;
+    let steady_secs = steady_units * w_eff;
+    let total_secs = fill_secs + steady_secs;
+
+    // Communication share: per-unit CPU cost everywhere + hop latencies in
+    // the fill path.
+    let comm_secs = steady_units * msg_cpu
+        + crossings_i * fi * (msg_cpu + hop_i)
+        + crossings_j * fj * (msg_cpu + hop_j);
+
+    PipelineEstimate {
+        total_secs,
+        fill_secs,
+        steady_secs,
+        comm_secs,
+        unit_secs: w_eff,
+        stages: params.px + params.py - 2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::{CommCurve, CommModel};
+
+    fn params(px: usize, py: usize) -> PipelineParams {
+        PipelineParams {
+            px,
+            py,
+            units_per_corner: 20, // 2 octants × 2 angle blocks × 5 k blocks
+            corners: 4,
+            unit_flops: 2e6,
+            cells_per_pe: 125_000,
+            i_msg_bytes: 12_000,
+            j_msg_bytes: 12_000,
+        }
+    }
+
+    fn hw(mflops: f64) -> HardwareModel {
+        HardwareModel::flat_rate("t", mflops, CommModel::free())
+    }
+
+    #[test]
+    fn single_rank_has_no_fill() {
+        let est = evaluate(&params(1, 1), &hw(100.0));
+        assert_eq!(est.fill_secs, 0.0);
+        assert_eq!(est.stages, 0);
+        // 80 units × 2e6 flops / 100 MFLOPS = 80 × 0.02 s.
+        assert!((est.total_secs - 1.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fill_grows_linearly_with_array() {
+        let t22 = evaluate(&params(2, 2), &hw(100.0)).total_secs;
+        let t44 = evaluate(&params(4, 4), &hw(100.0)).total_secs;
+        let t88 = evaluate(&params(8, 8), &hw(100.0)).total_secs;
+        // Equal increments per doubling-sized square array (weak scaling):
+        // fill grows with 3(Px−1)+2(Py−1) = 5(P−1).
+        let d1 = t44 - t22;
+        let d2 = t88 - t44;
+        assert!(d1 > 0.0);
+        assert!((d2 / d1 - 2.0).abs() < 1e-9, "d2/d1 = {}", d2 / d1);
+    }
+
+    #[test]
+    fn anisotropic_arrays_weight_i_more() {
+        // The corner chain crosses i three times and j twice, so a wide
+        // array (large px) costs more fill than a tall one (large py).
+        let wide = evaluate(&params(8, 2), &hw(100.0)).fill_secs;
+        let tall = evaluate(&params(2, 8), &hw(100.0)).fill_secs;
+        assert!(wide > tall);
+    }
+
+    #[test]
+    fn steady_state_constant_under_weak_scaling() {
+        let a = evaluate(&params(2, 2), &hw(100.0)).steady_secs;
+        let b = evaluate(&params(10, 10), &hw(100.0)).steady_secs;
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn comm_model_adds_cost() {
+        let comm = CommModel {
+            send: CommCurve::linear(10.0, 0.001),
+            recv: CommCurve::linear(8.0, 0.0005),
+            pingpong: CommCurve::linear(30.0, 0.004),
+        };
+        let hw_comm = HardwareModel::flat_rate("t", 100.0, comm);
+        let free = evaluate(&params(4, 4), &hw(100.0));
+        let with = evaluate(&params(4, 4), &hw_comm);
+        assert!(with.total_secs > free.total_secs);
+        assert!(with.comm_secs > 0.0);
+        assert_eq!(free.comm_secs, 0.0);
+        // Comm share is small for this compute-bound configuration.
+        assert!(with.comm_secs / with.total_secs < 0.1);
+    }
+
+    #[test]
+    fn faster_cpu_shrinks_compute_not_wire() {
+        let comm = CommModel {
+            send: CommCurve::linear(10.0, 0.001),
+            recv: CommCurve::linear(8.0, 0.0005),
+            pingpong: CommCurve::linear(30.0, 0.004),
+        };
+        let slow = evaluate(&params(4, 4), &HardwareModel::flat_rate("s", 100.0, comm));
+        let fast = evaluate(&params(4, 4), &HardwareModel::flat_rate("f", 200.0, comm));
+        assert!(fast.total_secs < slow.total_secs);
+        assert!(fast.total_secs > slow.total_secs / 2.0, "comm does not halve");
+    }
+
+    #[test]
+    fn estimate_internally_consistent() {
+        let est = evaluate(&params(5, 7), &hw(150.0));
+        assert!((est.fill_secs + est.steady_secs - est.total_secs).abs() < 1e-12);
+        assert_eq!(est.stages, 10);
+        assert!(est.unit_secs > 0.0);
+    }
+}

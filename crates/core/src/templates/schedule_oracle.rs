@@ -1,0 +1,147 @@
+//! A brute-force oracle for the pipeline template's closed form.
+//!
+//! The `pipeline` template's equation (see [`super::pipeline`]) was derived
+//! by hand from the octant-corner chain. This module re-computes the same
+//! quantity the slow, obviously-correct way: build the full dependency DAG
+//! of every `(corner, unit, rank)` work item and take the longest path.
+//! The closed form is tested against this oracle over a grid of shapes —
+//! independent of the `cluster-sim` crate, so the model verifies itself.
+//!
+//! Dependencies encoded (matching the application's schedule):
+//!
+//! * a rank executes its work items in order (corner-major, unit-minor);
+//! * unit `u` of a corner on rank `(i, j)` needs unit `u` of the same
+//!   corner on the upstream `i`- and `j`-neighbours, plus the hop latency;
+//! * corners enter at `(+,+) → (−,+) → (−,−) → (+,−)` (each sweep flips
+//!   direction), so "upstream" changes per corner.
+
+use crate::comm::CommModel;
+use crate::templates::pipeline::PipelineParams;
+
+/// Corner entry sequence: sweep direction signs per corner visit.
+const CORNER_SIGNS: [(i8, i8); 4] = [(1, 1), (-1, 1), (-1, -1), (1, -1)];
+
+/// Compute the exact makespan of the pipelined schedule by dynamic
+/// programming over the dependency DAG (longest path).
+pub fn exact_makespan(params: &PipelineParams, unit_compute_secs: f64, comm: &CommModel) -> f64 {
+    let (px, py) = (params.px, params.py);
+    let units = params.units_per_corner;
+    let corners = params.corners.min(4);
+    // Effective per-unit time on an interior rank (same accounting as the
+    // closed form: compute + both faces' send/recv CPU costs).
+    let msg_cpu = comm.send_secs(params.i_msg_bytes)
+        + comm.send_secs(params.j_msg_bytes)
+        + comm.recv_secs(params.i_msg_bytes)
+        + comm.recv_secs(params.j_msg_bytes);
+    let w_eff = unit_compute_secs + msg_cpu;
+    let hop_i = comm.hop_secs(params.i_msg_bytes);
+    let hop_j = comm.hop_secs(params.j_msg_bytes);
+
+    // finish[rank] = completion time of the last item executed on a rank.
+    let mut rank_free = vec![0.0f64; px * py];
+    // finish time of (corner, unit, rank), rolling per corner.
+    let mut item_finish = vec![0.0f64; px * py * units];
+
+    for &(si, sj) in CORNER_SIGNS.iter().take(corners) {
+        let prev: Vec<f64> = std::mem::take(&mut item_finish);
+        let _ = prev; // per-corner dependencies only flow through rank_free
+        item_finish = vec![0.0f64; px * py * units];
+        // Walk ranks in sweep order so upstream items are already placed.
+        let i_order: Vec<usize> =
+            if si > 0 { (0..px).collect() } else { (0..px).rev().collect() };
+        let j_order: Vec<usize> =
+            if sj > 0 { (0..py).collect() } else { (0..py).rev().collect() };
+        for &j in &j_order {
+            for &i in &i_order {
+                let rank = j * px + i;
+                for u in 0..units {
+                    let idx = (rank * units) + u;
+                    // Own previous item on this rank (program order).
+                    let mut ready = rank_free[rank];
+                    // Upstream i-neighbour's same unit + hop.
+                    let up_i = if si > 0 { i.checked_sub(1) } else { (i + 1 < px).then_some(i + 1) };
+                    if let Some(ui) = up_i {
+                        let urank = j * px + ui;
+                        ready = ready.max(item_finish[urank * units + u] + hop_i);
+                    }
+                    // Upstream j-neighbour's same unit + hop.
+                    let up_j = if sj > 0 { j.checked_sub(1) } else { (j + 1 < py).then_some(j + 1) };
+                    if let Some(uj) = up_j {
+                        let urank = uj * px + i;
+                        ready = ready.max(item_finish[urank * units + u] + hop_j);
+                    }
+                    let finish = ready + w_eff;
+                    item_finish[idx] = finish;
+                    rank_free[rank] = finish;
+                }
+            }
+        }
+    }
+    rank_free.iter().cloned().fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::{CommCurve, CommModel};
+    use crate::templates::pipeline::{evaluate_with_compute, PipelineParams};
+
+    fn params(px: usize, py: usize, units: usize) -> PipelineParams {
+        PipelineParams {
+            px,
+            py,
+            units_per_corner: units,
+            corners: 4,
+            unit_flops: 1.0,
+            cells_per_pe: 1,
+            i_msg_bytes: 12_000,
+            j_msg_bytes: 12_000,
+        }
+    }
+
+    #[test]
+    fn closed_form_matches_oracle_free_network() {
+        let comm = CommModel::free();
+        for (px, py, units) in
+            [(1usize, 1usize, 5usize), (2, 2, 20), (4, 4, 20), (8, 14, 20), (3, 7, 8), (10, 2, 12)]
+        {
+            let p = params(px, py, units);
+            let w = 0.01;
+            let exact = exact_makespan(&p, w, &comm);
+            let closed = evaluate_with_compute(&p, w, &comm).total_secs;
+            let rel = (exact - closed).abs() / exact;
+            assert!(
+                rel < 1e-9,
+                "{px}x{py}/{units}: oracle {exact} vs closed form {closed}"
+            );
+        }
+    }
+
+    #[test]
+    fn closed_form_matches_oracle_with_comm_costs() {
+        let comm = CommModel {
+            send: CommCurve::linear(5.0, 0.001),
+            recv: CommCurve::linear(4.0, 0.0005),
+            pingpong: CommCurve::linear(30.0, 0.006),
+        };
+        for (px, py, units) in [(2usize, 3usize, 10usize), (6, 5, 20), (8, 8, 20), (1, 9, 6)] {
+            let p = params(px, py, units);
+            let w = 0.02;
+            let exact = exact_makespan(&p, w, &comm);
+            let closed = evaluate_with_compute(&p, w, &comm).total_secs;
+            let rel = (exact - closed).abs() / exact;
+            assert!(
+                rel < 1e-9,
+                "{px}x{py}/{units}: oracle {exact} vs closed form {closed} (rel {rel})"
+            );
+        }
+    }
+
+    #[test]
+    fn oracle_reduces_to_single_rank_serial_time() {
+        let comm = CommModel::free();
+        let p = params(1, 1, 7);
+        let w = 0.5;
+        assert!((exact_makespan(&p, w, &comm) - 4.0 * 7.0 * 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,96 @@
+//! §6's ASCI-target extrapolation.
+//!
+//! "Realistic applications of SN particle transport multi-group problems
+//! would expect to include around 30 groups … and a number of dependent
+//! time steps (around 1000 for the ASCI target). … It can also be seen that
+//! this problem configuration when scaled up to 30 energy groups and 10000
+//! time steps will grossly overrun ASCI execution time goals." The Hoisie
+//! et al. analysis the paper cites sets the goal at roughly one wall-clock
+//! hour for the full calculation.
+
+use pace_core::{machines, Sweep3dModel};
+
+use crate::speculation::Problem;
+
+/// The extrapolated full-problem estimate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AsciEstimate {
+    /// Which speculative problem.
+    pub problem: Problem,
+    /// Processors.
+    pub pes: usize,
+    /// One-group, 12-iteration benchmark time (what SWEEP3D itself runs).
+    pub benchmark_secs: f64,
+    /// Energy groups of the realistic problem.
+    pub groups: usize,
+    /// Dependent time steps.
+    pub time_steps: usize,
+    /// Extrapolated full-problem time, seconds.
+    pub full_problem_secs: f64,
+    /// The nominal ASCI goal, seconds.
+    pub goal_secs: f64,
+}
+
+impl AsciEstimate {
+    /// Overrun factor vs the goal.
+    pub fn overrun(&self) -> f64 {
+        self.full_problem_secs / self.goal_secs
+    }
+
+    /// Full-problem time in hours.
+    pub fn full_problem_hours(&self) -> f64 {
+        self.full_problem_secs / 3600.0
+    }
+}
+
+/// Extrapolate a speculative problem at 8000 PEs to the realistic
+/// multi-group, time-dependent setting.
+pub fn estimate(problem: Problem, groups: usize, time_steps: usize) -> AsciEstimate {
+    let hw = machines::opteron_myrinet_hypothetical();
+    let (px, py) = (80, 100);
+    let params = problem.params(px, py);
+    let benchmark_secs = Sweep3dModel::new(params).predict(&hw).total_secs;
+    // The benchmark runs 12 source iterations of one group; a time step of
+    // the realistic problem performs that work per group.
+    let per_step = benchmark_secs * groups as f64;
+    AsciEstimate {
+        problem,
+        pes: px * py,
+        benchmark_secs,
+        groups,
+        time_steps,
+        full_problem_secs: per_step * time_steps as f64,
+        goal_secs: 3600.0,
+    }
+}
+
+/// The paper's quoted setting: 30 groups, 1000 time steps.
+pub fn paper_setting(problem: Problem) -> AsciEstimate {
+    estimate(problem, 30, 1000)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_billion_grossly_overruns() {
+        let e = paper_setting(Problem::OneBillion);
+        assert!(e.overrun() > 10.0, "overrun {}x should be gross", e.overrun());
+        assert!(e.full_problem_hours() > 10.0);
+    }
+
+    #[test]
+    fn twenty_million_also_overruns() {
+        let e = paper_setting(Problem::TwentyMillion);
+        assert!(e.overrun() > 1.0, "even the small problem misses the goal");
+    }
+
+    #[test]
+    fn extrapolation_is_linear() {
+        let base = estimate(Problem::OneBillion, 1, 1);
+        let scaled = estimate(Problem::OneBillion, 30, 1000);
+        let ratio = scaled.full_problem_secs / base.full_problem_secs;
+        assert!((ratio - 30_000.0).abs() / 30_000.0 < 1e-12);
+    }
+}

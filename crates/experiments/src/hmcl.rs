@@ -1,0 +1,63 @@
+//! Figure 7: the HMCL hardware-model listing.
+//!
+//! Emits a hardware model in the style of the paper's Fig. 7 script: a
+//! `config` block with the clc opcode costs implied by the achieved rate
+//! and the `mpi` section's three A–E parameter rows.
+
+use pace_core::comm::CommCurve;
+use pace_core::HardwareModel;
+
+fn curve_line(name: &str, c: &CommCurve) -> String {
+    let a = if c.a_bytes.is_finite() { format!("{:.0}", c.a_bytes) } else { "inf".into() };
+    format!(
+        "    {name:>9}: A = {a:>8}, B = {:>9.3}, C = {:>9.6}, D = {:>9.3}, E = {:>9.6},\n",
+        c.b_us, c.c_us_per_byte, c.d_us, c.e_us_per_byte
+    )
+}
+
+/// Render the HMCL listing for a hardware model at a per-PE problem size.
+pub fn render(hw: &HardwareModel, cells_per_pe: usize) -> String {
+    let rate = hw.achieved_mflops(cells_per_pe);
+    let costs = hw.opcode_costs(cells_per_pe);
+    let mut out = String::new();
+    out.push_str(&format!("config {} {{\n", hw.name.replace([' ', '/'], "_")));
+    out.push_str("  hardware {\n");
+    out.push_str(&format!(
+        "    // achieved flop rate for {cells_per_pe} cells/PE: {rate:.1} MFLOPS\n"
+    ));
+    out.push_str("    clc {\n");
+    out.push_str(&format!("      MFDG = {:.6},   // us per fp multiply\n", costs.mfdg_us));
+    out.push_str(&format!("      AFDG = {:.6},   // us per fp add\n", costs.afdg_us));
+    out.push_str(&format!("      DFDG = {:.6},   // us per fp divide\n", costs.dfdg_us));
+    out.push_str("      IFBR = 0.000000,   // negligible (folded into rate)\n");
+    out.push_str("      LFOR = 0.000000,   // negligible (folded into rate)\n");
+    out.push_str("    }\n");
+    out.push_str("  mpi {\n");
+    out.push_str(&curve_line("send", &hw.comm.send));
+    out.push_str(&curve_line("recv", &hw.comm.recv));
+    out.push_str(&curve_line("pingpong", &hw.comm.pingpong));
+    out.push_str("    }\n  }\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pace_core::machines;
+
+    #[test]
+    fn listing_contains_all_sections() {
+        let s = render(&machines::pentium3_myrinet(), 125_000);
+        for key in ["clc {", "mpi {", "MFDG", "AFDG", "IFBR", "send", "recv", "pingpong"] {
+            assert!(s.contains(key), "missing {key} in:\n{s}");
+        }
+        assert!(s.contains("110.0 MFLOPS"));
+    }
+
+    #[test]
+    fn rate_reflects_problem_size() {
+        let hw = machines::pentium3_myrinet();
+        let small = render(&hw, 2_500);
+        assert!(small.contains("132.0 MFLOPS"), "{small}");
+    }
+}

@@ -1,0 +1,255 @@
+//! The `experiments` binary: regenerate any table or figure of the paper.
+//!
+//! ```text
+//! experiments table1|table2|table3      validation tables (measurement vs prediction)
+//! experiments fig1                      wavefront illustration
+//! experiments fig8|fig9                 speculative scaling curves
+//! experiments hmcl                      Fig. 7-style HMCL listing (fitted)
+//! experiments concurrence               §6 related-model agreement
+//! experiments ablation                  opcode vs coarse benchmarking
+//! experiments blocking                  mk/mmi blocking study
+//! experiments asci-goals                §6 ASCI-target extrapolation
+//! experiments rendezvous                eager-vs-rendezvous ablation
+//! experiments strong-scaling            strong-scaling extension study
+//! experiments timeline                  pipeline Gantt chart (simulated)
+//! experiments csv [dir]                 write tables/figures as CSV files
+//! experiments validate                  all three tables + summary stats
+//! experiments all                       everything above
+//! ```
+
+use experiments::speculation::Problem;
+use experiments::{
+    ablation, asci_goals, blocking, hmcl, related, rendezvous, report, speculation,
+    strong_scaling, validation, wavefront_fig,
+};
+
+fn run_validation_table(which: u8) {
+    let table = match which {
+        1 => validation::table1(),
+        2 => validation::table2(),
+        3 => validation::table3(),
+        _ => unreachable!(),
+    };
+    println!("{}", report::validation_markdown(&table));
+}
+
+fn run_fig(problem: Problem) {
+    let curve = speculation::run(problem);
+    println!("{}", report::speculation_markdown(&curve));
+}
+
+fn run_concurrence() {
+    for problem in [Problem::TwentyMillion, Problem::OneBillion] {
+        println!("### Concurrence on {}\n", problem.figure());
+        let pts = related::run(problem);
+        println!("{}", report::concurrence_markdown(&pts));
+        println!("worst spread: {:.3}x\n", related::worst_spread(&pts));
+    }
+}
+
+fn run_ablation() {
+    for result in [ablation::pentium3_case(), ablation::opteron_case()] {
+        println!("### {} ({} GHz opcode table)", result.machine, result.clock_ghz);
+        println!("measured            : {:>8.2} s", result.measured_secs);
+        println!(
+            "coarse prediction   : {:>8.2} s  (error {:+.2}%)",
+            result.coarse_secs, result.coarse_error_pct
+        );
+        println!(
+            "opcode prediction   : {:>8.2} s  (error {:+.2}%)",
+            result.opcode_secs, result.opcode_error_pct
+        );
+        println!();
+    }
+}
+
+fn run_blocking() {
+    let machine = hwbench::machines::pentium3_myrinet_sim();
+    let pts = blocking::sweep(&machine, 20, 2, 4, &[1, 2, 5, 10, 20], &[1, 2, 3, 6]);
+    println!("### Blocking study: 20^3/PE on 2x4, {}\n", machine.name);
+    println!("| mk | mmi | measured(s) | predicted(s) |");
+    println!("|---|---|---|---|");
+    for p in &pts {
+        println!(
+            "| {} | {} | {:.4} | {:.4} |",
+            p.mk, p.mmi, p.measured_secs, p.predicted_secs
+        );
+    }
+    if let Some(b) = blocking::best(&pts) {
+        println!("\nbest blocking: mk={} mmi={} ({:.4}s)\n", b.mk, b.mmi, b.measured_secs);
+    }
+}
+
+fn run_asci() {
+    for problem in [Problem::TwentyMillion, Problem::OneBillion] {
+        let e = asci_goals::paper_setting(problem);
+        println!("### {:?} problem at {} PEs", e.problem, e.pes);
+        println!("benchmark (1 group, 12 iter): {:.2} s", e.benchmark_secs);
+        println!(
+            "{} groups x {} steps        : {:.1} h  ({:.0}x the {:.1} h goal)\n",
+            e.groups,
+            e.time_steps,
+            e.full_problem_hours(),
+            e.overrun(),
+            e.goal_secs / 3600.0
+        );
+    }
+}
+
+fn run_hmcl() {
+    let spec = hwbench::machines::pentium3_myrinet_sim();
+    let hw = hwbench::benchmark_machine(&spec, &[50], 2);
+    println!("{}", hmcl::render(&hw, 125_000));
+}
+
+fn run_rendezvous() {
+    let study = rendezvous::pentium3_study();
+    println!("### Protocol ablation on {} (threshold {} B)\n", study.machine, study.threshold_bytes);
+    println!("| stages | eager(s) | rendezvous(s) |");
+    println!("|---|---|---|");
+    for (stages, eager, rdv) in &study.points {
+        println!("| {stages:.0} | {eager:.4} | {rdv:.4} |");
+    }
+    println!(
+        "\nfill slope: eager {:.5} s/stage, rendezvous {:.5} s/stage ({:.2}x steeper)\n",
+        study.eager_slope,
+        study.rendezvous_slope,
+        study.slope_ratio()
+    );
+}
+
+fn run_strong_scaling() {
+    let pts = strong_scaling::default_study();
+    println!("### Strong scaling: 120x120x40 on {}\n", hwbench::machines::opteron_gige_sim().name);
+    println!("| PEs | array | measured(s) | predicted(s) | speedup | efficiency |");
+    println!("|---|---|---|---|---|---|");
+    for p in &pts {
+        println!(
+            "| {} | {}x{} | {:.3} | {:.3} | {:.2} | {:.2} |",
+            p.pes,
+            p.px,
+            p.py,
+            p.measured_secs,
+            p.predicted_secs,
+            p.speedup,
+            p.speedup / p.pes as f64
+        );
+    }
+    println!();
+}
+
+fn run_validate() {
+    for which in 1..=3u8 {
+        run_validation_table(which);
+    }
+}
+
+fn run_timeline() {
+    use cluster_sim::timeline;
+    use sweep3d::trace::{generate_programs, FlopModel};
+    use sweep3d::ProblemConfig;
+    let machine = hwbench::machines::pentium3_myrinet_sim();
+    let mut config = ProblemConfig::weak_scaling(12, 1, 6);
+    config.iterations = 1;
+    config.mk = 4;
+    let fm = FlopModel::calibrate(&config, 8);
+    let programs = generate_programs(&config, &fm);
+    let tl = timeline::record(&machine, programs).expect("timeline run");
+    println!("### Pipeline timeline: 12^3/PE on a 1x6 array, one iteration\n");
+    println!("{}", tl.render(100));
+    println!(
+        "mean compute fraction: {:.1}% (pipeline fill/drain is the idle wedge)",
+        tl.compute_fraction() * 100.0
+    );
+}
+
+fn run_csv(dir: &str) {
+    use std::fs;
+    fs::create_dir_all(dir).expect("create output dir");
+    let write = |name: &str, data: String| {
+        let path = format!("{dir}/{name}");
+        fs::write(&path, data).expect("write csv");
+        println!("wrote {path}");
+    };
+    write("table1.csv", report::validation_csv(&validation::table1()));
+    write("table2.csv", report::validation_csv(&validation::table2()));
+    write("table3.csv", report::validation_csv(&validation::table3()));
+    write(
+        "fig8.csv",
+        report::speculation_csv(&speculation::run(Problem::TwentyMillion)),
+    );
+    write(
+        "fig9.csv",
+        report::speculation_csv(&speculation::run(Problem::OneBillion)),
+    );
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: experiments <table1|table2|table3|fig1|fig8|fig9|hmcl|concurrence|ablation|blocking|asci-goals|rendezvous|strong-scaling|timeline|robustness|host-validate|csv [dir]|validate|all>"
+    );
+    std::process::exit(2)
+}
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| usage());
+    match arg.as_str() {
+        "table1" => run_validation_table(1),
+        "table2" => run_validation_table(2),
+        "table3" => run_validation_table(3),
+        "fig1" => println!("{}", wavefront_fig::figure1_text()),
+        "fig8" => run_fig(Problem::TwentyMillion),
+        "fig9" => run_fig(Problem::OneBillion),
+        "hmcl" => run_hmcl(),
+        "concurrence" => run_concurrence(),
+        "ablation" => run_ablation(),
+        "blocking" => run_blocking(),
+        "asci-goals" => run_asci(),
+        "rendezvous" => run_rendezvous(),
+        "strong-scaling" => run_strong_scaling(),
+        "timeline" => run_timeline(),
+        "robustness" => {
+            let r = experiments::robustness::run(
+                &hwbench::machines::opteron_gige_sim(),
+                &experiments::validation::TABLE2_ROWS,
+                8,
+            );
+            println!("### Measurement-campaign robustness (Table 2 machine, 8 reseeds)\n");
+            println!("| campaign seed | mean signed error | max |error| |");
+            println!("|---|---|---|");
+            for c in &r.campaigns {
+                println!("| {:#x} | {:+.2}% | {:.2}% |", c.seed, c.mean_signed, c.max_abs);
+            }
+            println!(
+                "\ngrand mean {:+.2}%, campaign spread (std) {:.2}%\n",
+                r.grand_mean, r.mean_spread
+            );
+        }
+        "host-validate" => {
+            let v = experiments::host_validation::run(20, 2, 2, 5);
+            println!("### Host validation (threaded ranks, wall clock)\n");
+            println!("achieved rate (serial profiling): {:.1} MFLOPS", v.achieved_mflops);
+            println!("rank oversubscription          : {:.1}x", v.oversubscription);
+            println!("measured (median of {} runs)   : {:.4} s", v.reps, v.measured_secs);
+            println!("PACE prediction                : {:.4} s", v.predicted_secs);
+            println!("error                          : {:+.2}%", v.error_pct);
+        }
+        "csv" => run_csv(&std::env::args().nth(2).unwrap_or_else(|| "results".into())),
+        "validate" => run_validate(),
+        "all" => {
+            println!("{}", wavefront_fig::figure1_text());
+            run_hmcl();
+            run_validate();
+            run_fig(Problem::TwentyMillion);
+            run_fig(Problem::OneBillion);
+            run_concurrence();
+            run_ablation();
+            run_blocking();
+            run_asci();
+            run_rendezvous();
+            run_strong_scaling();
+            run_timeline();
+        }
+        _ => usage(),
+    }
+}

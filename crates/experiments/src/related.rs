@@ -1,0 +1,69 @@
+//! §6 concurrence study: PACE vs LogGP vs the LANL model.
+//!
+//! "These results concur with those gained through other related analytical
+//! models such as \[2, 3\] and \[16\]." Here the three models are evaluated on
+//! the same speculative scenarios and their spread is reported.
+
+use pace_core::machines;
+use wavefront_models::all_models;
+
+use crate::speculation::{processor_ladder, Problem};
+
+/// One concurrence observation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConcurrencePoint {
+    /// Total processors.
+    pub pes: usize,
+    /// `(model name, predicted seconds)` per model.
+    pub predictions: Vec<(String, f64)>,
+    /// max/min ratio across models.
+    pub spread: f64,
+}
+
+/// Run the concurrence study for one speculative problem.
+pub fn run(problem: Problem) -> Vec<ConcurrencePoint> {
+    let hw = machines::opteron_myrinet_hypothetical();
+    let models = all_models();
+    processor_ladder()
+        .into_iter()
+        .map(|(px, py)| {
+            let params = problem.params(px, py);
+            let predictions: Vec<(String, f64)> = models
+                .iter()
+                .map(|m| (m.name().to_string(), m.predict_secs(&params, &hw)))
+                .collect();
+            let max = predictions.iter().map(|p| p.1).fold(f64::MIN, f64::max);
+            let min = predictions.iter().map(|p| p.1).fold(f64::MAX, f64::min);
+            ConcurrencePoint { pes: px * py, predictions, spread: max / min }
+        })
+        .collect()
+}
+
+/// The worst max/min spread across the ladder.
+pub fn worst_spread(points: &[ConcurrencePoint]) -> f64 {
+    points.iter().map(|p| p.spread).fold(1.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn three_models_evaluated() {
+        let pts = run(Problem::OneBillion);
+        assert_eq!(pts[0].predictions.len(), 3);
+        assert!(pts.iter().all(|p| p.predictions.iter().all(|(_, t)| *t > 0.0)));
+    }
+
+    #[test]
+    fn models_concur_within_modest_spread() {
+        for problem in [Problem::TwentyMillion, Problem::OneBillion] {
+            let pts = run(problem);
+            let worst = worst_spread(&pts);
+            assert!(
+                worst < 2.0,
+                "{problem:?}: models disagree by {worst:.2}x somewhere"
+            );
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! Table/figure rendering: the paper's row formats as markdown and CSV.
+
+use crate::related::ConcurrencePoint;
+use crate::speculation::SpeculationCurve;
+use crate::validation::ValidationTable;
+
+/// Render a validation table in the paper's column layout, with the
+/// paper's own numbers alongside for comparison.
+pub fn validation_markdown(table: &ValidationTable) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "## {} — {} (calibrated {:.1} MFLOPS)\n\n",
+        table.label, table.machine, table.calibrated_mflops
+    ));
+    out.push_str(
+        "| Data Size | PEs | 2D Array | Measured(s) | Predicted(s) | Error(%) | Paper Meas. | Paper Pred. |\n",
+    );
+    out.push_str("|---|---|---|---|---|---|---|---|\n");
+    for row in &table.rows {
+        let s = &row.spec;
+        out.push_str(&format!(
+            "| {}x{}x50 | {} | {}x{} | {:.2} | {:.2} | {:+.2} | {:.2} | {:.2} |\n",
+            s.it,
+            s.jt,
+            s.pes(),
+            s.px,
+            s.py,
+            row.measured_secs,
+            row.predicted_secs,
+            row.error_pct,
+            s.paper_measured,
+            s.paper_predicted,
+        ));
+    }
+    out.push_str(&format!(
+        "\nmax |error| = {:.2}%, avg |error| = {:.2}%, mean signed = {:+.2}%, variance = {:.2}\n",
+        table.max_abs_error(),
+        table.avg_abs_error(),
+        table.mean_signed_error(),
+        table.error_variance(),
+    ));
+    out
+}
+
+/// CSV form of a validation table.
+pub fn validation_csv(table: &ValidationTable) -> String {
+    let mut out =
+        String::from("it,jt,kt,pes,px,py,measured_s,predicted_s,error_pct,paper_measured_s,paper_predicted_s\n");
+    for row in &table.rows {
+        let s = &row.spec;
+        out.push_str(&format!(
+            "{},{},50,{},{},{},{:.4},{:.4},{:.3},{:.2},{:.2}\n",
+            s.it,
+            s.jt,
+            s.pes(),
+            s.px,
+            s.py,
+            row.measured_secs,
+            row.predicted_secs,
+            row.error_pct,
+            s.paper_measured,
+            s.paper_predicted,
+        ));
+    }
+    out
+}
+
+/// Render a speculation curve (Figs. 8–9) as a series table.
+pub fn speculation_markdown(curve: &SpeculationCurve) -> String {
+    let mut out = format!(
+        "## {} — {} on {}\n\n| PEs | Array | actual(s) | +25%(s) | +50%(s) |\n|---|---|---|---|---|\n",
+        curve.problem.figure(),
+        match curve.problem {
+            crate::speculation::Problem::TwentyMillion => "20-million-cell problem (5x5x100/PE)",
+            crate::speculation::Problem::OneBillion => "1-billion-cell problem (25x25x200/PE)",
+        },
+        curve.machine
+    );
+    for p in &curve.points {
+        out.push_str(&format!(
+            "| {} | {}x{} | {:.4} | {:.4} | {:.4} |\n",
+            p.pes, p.px, p.py, p.actual, p.plus25, p.plus50
+        ));
+    }
+    out
+}
+
+/// CSV form of a speculation curve.
+pub fn speculation_csv(curve: &SpeculationCurve) -> String {
+    let mut out = String::from("pes,px,py,actual_s,plus25_s,plus50_s\n");
+    for p in &curve.points {
+        out.push_str(&format!(
+            "{},{},{},{:.6},{:.6},{:.6}\n",
+            p.pes, p.px, p.py, p.actual, p.plus25, p.plus50
+        ));
+    }
+    out
+}
+
+/// Render the concurrence study.
+pub fn concurrence_markdown(points: &[ConcurrencePoint]) -> String {
+    let mut out = String::new();
+    if let Some(first) = points.first() {
+        out.push_str("| PEs |");
+        for (name, _) in &first.predictions {
+            out.push_str(&format!(" {name}(s) |"));
+        }
+        out.push_str(" spread |\n|---|");
+        for _ in 0..first.predictions.len() + 1 {
+            out.push_str("---|");
+        }
+        out.push('\n');
+    }
+    for p in points {
+        out.push_str(&format!("| {} |", p.pes));
+        for (_, t) in &p.predictions {
+            out.push_str(&format!(" {t:.4} |"));
+        }
+        out.push_str(&format!(" {:.3}x |\n", p.spread));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validation::{RowSpec, ValidationRow};
+
+    fn table() -> ValidationTable {
+        let spec = RowSpec {
+            it: 100,
+            jt: 100,
+            px: 2,
+            py: 2,
+            paper_measured: 26.54,
+            paper_predicted: 28.59,
+        };
+        ValidationTable {
+            label: "Table T".into(),
+            machine: "test machine".into(),
+            calibrated_mflops: 61.0,
+            rows: vec![ValidationRow {
+                spec,
+                measured_secs: 26.0,
+                predicted_secs: 27.0,
+                error_pct: -3.85,
+            }],
+        }
+    }
+
+    #[test]
+    fn markdown_has_paper_columns() {
+        let s = validation_markdown(&table());
+        assert!(s.contains("100x100x50"));
+        assert!(s.contains("| 4 | 2x2 |"));
+        assert!(s.contains("26.54"));
+        assert!(s.contains("max |error|"));
+    }
+
+    #[test]
+    fn csv_parses_back() {
+        let s = validation_csv(&table());
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[1].split(',').count(), 11);
+    }
+}

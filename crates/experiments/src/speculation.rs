@@ -1,0 +1,174 @@
+//! Figures 8–9: speculative scaling of a hypothetical system.
+//!
+//! The paper's §6 study: an Opteron-based machine with the Myrinet 2000
+//! communication model substituted for Gigabit Ethernet (model reuse),
+//! achieved rate 340 MFLOPS, scaled to 8000 processors for the 20-million-
+//! cell problem (5×5×100 cells/PE, Fig. 8) and the one-billion-cell
+//! problem (25×25×200 cells/PE, Fig. 9) — each also evaluated with the
+//! achieved rate increased by 25% and 50%.
+
+use pace_core::{machines, HardwareModel, Sweep3dModel, Sweep3dParams};
+
+/// Which speculative problem.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Problem {
+    /// Fig. 8: 20 million cells, 5×5×100 per PE.
+    TwentyMillion,
+    /// Fig. 9: one billion cells, 25×25×200 per PE.
+    OneBillion,
+}
+
+impl Problem {
+    /// The paper figure this problem belongs to.
+    pub fn figure(&self) -> &'static str {
+        match self {
+            Problem::TwentyMillion => "Figure 8",
+            Problem::OneBillion => "Figure 9",
+        }
+    }
+
+    /// Model parameters for a processor array.
+    pub fn params(&self, px: usize, py: usize) -> Sweep3dParams {
+        match self {
+            Problem::TwentyMillion => Sweep3dParams::speculative_20m(px, py),
+            Problem::OneBillion => Sweep3dParams::speculative_1b(px, py),
+        }
+    }
+}
+
+/// One point of a speculation curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CurvePoint {
+    /// Total processors.
+    pub pes: usize,
+    /// Array extents used.
+    pub px: usize,
+    /// Processors in `j`.
+    pub py: usize,
+    /// Predicted time at the actual rate, seconds.
+    pub actual: f64,
+    /// Predicted time at +25% rate.
+    pub plus25: f64,
+    /// Predicted time at +50% rate.
+    pub plus50: f64,
+}
+
+/// A full speculation figure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpeculationCurve {
+    /// Which problem.
+    pub problem: Problem,
+    /// Machine name.
+    pub machine: String,
+    /// Curve points, ascending in processor count.
+    pub points: Vec<CurvePoint>,
+}
+
+/// The processor counts of the study: log-spaced from 1 to 8000, ending at
+/// the paper's 8000-PE target (80×100 array).
+pub fn processor_ladder() -> Vec<(usize, usize)> {
+    vec![
+        (1, 1),
+        (1, 2),
+        (2, 2),
+        (2, 4),
+        (4, 4),
+        (4, 8),
+        (8, 8),
+        (8, 16),
+        (16, 16),
+        (16, 32),
+        (32, 32),
+        (32, 64),
+        (50, 80),
+        (80, 100),
+    ]
+}
+
+/// Run one speculation figure on the hypothetical machine.
+pub fn run(problem: Problem) -> SpeculationCurve {
+    run_on(problem, &machines::opteron_myrinet_hypothetical())
+}
+
+/// Run one speculation figure on an arbitrary hardware model.
+pub fn run_on(problem: Problem, hw: &HardwareModel) -> SpeculationCurve {
+    let hw125 = hw.with_rate_scaled(1.25);
+    let hw150 = hw.with_rate_scaled(1.50);
+    let points = processor_ladder()
+        .into_iter()
+        .map(|(px, py)| {
+            let params = problem.params(px, py);
+            let model = Sweep3dModel::new(params);
+            CurvePoint {
+                pes: px * py,
+                px,
+                py,
+                actual: model.predict(hw).total_secs,
+                plus25: model.predict(&hw125).total_secs,
+                plus50: model.predict(&hw150).total_secs,
+            }
+        })
+        .collect();
+    SpeculationCurve { problem, machine: hw.name.clone(), points }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_reaches_8000() {
+        let ladder = processor_ladder();
+        assert_eq!(ladder.last().unwrap().0 * ladder.last().unwrap().1, 8000);
+        // Monotone in total PEs.
+        let totals: Vec<usize> = ladder.iter().map(|(a, b)| a * b).collect();
+        assert!(totals.windows(2).all(|w| w[1] > w[0]));
+    }
+
+    #[test]
+    fn fig8_shape() {
+        let curve = run(Problem::TwentyMillion);
+        // Small per-PE problem: sub-second at small scale, still modest at
+        // 8000 PEs (paper Fig. 8 tops out ~1.5 s).
+        let first = &curve.points[0];
+        let last = curve.points.last().unwrap();
+        assert!(first.actual < 0.6, "1 PE: {}", first.actual);
+        assert!(last.actual < 4.0, "8000 PEs: {}", last.actual);
+        assert!(last.actual > first.actual, "pipeline fill dominates at scale");
+    }
+
+    #[test]
+    fn fig9_shape() {
+        let curve = run(Problem::OneBillion);
+        let first = &curve.points[0];
+        let last = curve.points.last().unwrap();
+        // Large per-PE problem: seconds at 1 PE, growing with fill.
+        assert!(first.actual > 1.0);
+        assert!(last.actual > 2.0 * first.actual);
+        assert!(last.actual < 60.0, "8000 PEs: {}", last.actual);
+    }
+
+    #[test]
+    fn faster_rates_strictly_help_everywhere() {
+        for problem in [Problem::TwentyMillion, Problem::OneBillion] {
+            let curve = run(problem);
+            for p in &curve.points {
+                assert!(p.plus25 < p.actual, "{problem:?} at {} PEs", p.pes);
+                assert!(p.plus50 < p.plus25);
+                // But less than proportionally: communication does not
+                // speed up with the CPU.
+                assert!(p.plus50 > p.actual / 1.5 - 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn good_scaling_behaviour() {
+        // The paper: "In both cases the model predicts good scaling
+        // behaviour" — time grows far slower than the PE count.
+        let curve = run(Problem::OneBillion);
+        let t1 = curve.points[0].actual;
+        let t8000 = curve.points.last().unwrap().actual;
+        assert!(t8000 / t1 < 10.0, "weak-scaling blow-up {}x", t8000 / t1);
+    }
+}

@@ -1,0 +1,121 @@
+//! Figure 1: the sweep wavefront crossing the processor array.
+//!
+//! Renders the diagonal wavefront of a sweep originating at one vertex of
+//! the processor array (the paper's 4×4 illustration): at pipeline step
+//! `t`, the processors on diagonal `t` compute their first block while
+//! earlier diagonals work on later blocks.
+
+use simmpi::topology::Cart2d;
+use sweep3d::Octant;
+
+/// One frame of the wavefront animation: the per-processor block index in
+/// flight at a pipeline step (`None` = not yet reached).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WavefrontFrame {
+    /// Pipeline step.
+    pub step: usize,
+    /// `blocks_in_flight[j][i]`: which block each processor works on.
+    pub cells: Vec<Vec<Option<usize>>>,
+}
+
+/// Compute the wavefront frames for a sweep from the given octant corner.
+pub fn frames(px: usize, py: usize, octant: Octant, steps: usize) -> Vec<WavefrontFrame> {
+    let topo = Cart2d::new(px, py);
+    (0..steps)
+        .map(|step| {
+            let cells = (0..py)
+                .map(|j| {
+                    (0..px)
+                        .map(|i| {
+                            let d = topo.diagonal(
+                                topo.rank_of(i, j),
+                                octant.sign_i,
+                                octant.sign_j,
+                            );
+                            (step >= d).then(|| step - d)
+                        })
+                        .collect()
+                })
+                .collect();
+            WavefrontFrame { step, cells }
+        })
+        .collect()
+}
+
+/// Render a frame as ASCII art (`.` untouched, digits = block in flight,
+/// `#` for blocks ≥ 10). Row 0 is printed at the bottom, as in Fig. 1.
+pub fn render(frame: &WavefrontFrame) -> String {
+    let mut out = format!("step {:>2}:\n", frame.step);
+    for row in frame.cells.iter().rev() {
+        out.push_str("  ");
+        for cell in row {
+            let ch = match cell {
+                None => '.'.to_string(),
+                Some(b) if *b < 10 => b.to_string(),
+                Some(_) => "#".to_string(),
+            };
+            out.push_str(&ch);
+            out.push(' ');
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// The full Figure 1 text: a 4×4 array swept from vertex A.
+pub fn figure1_text() -> String {
+    let octant = Octant::new(1, 1, 1);
+    let mut out = String::from(
+        "Figure 1: a sweep originating at vertex A (processor (0,0)) travels\n\
+         across the 4x4 processor array to the opposite vertex. Numbers show\n\
+         the pipelined block index each processor is working on.\n\n",
+    );
+    for frame in frames(4, 4, octant, 8) {
+        out.push_str(&render(&frame));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wavefront_advances_one_diagonal_per_step() {
+        let fs = frames(4, 4, Octant::new(1, 1, 1), 7);
+        // At step 0 only the origin works.
+        let active0: usize =
+            fs[0].cells.iter().flatten().filter(|c| c.is_some()).count();
+        assert_eq!(active0, 1);
+        // At step 3 the main anti-diagonal (4 PEs) has been reached; all
+        // PEs at diagonal ≤ 3 are active.
+        let active3: usize =
+            fs[3].cells.iter().flatten().filter(|c| c.is_some()).count();
+        assert_eq!(active3, 1 + 2 + 3 + 4);
+        // At step 6 the far corner starts block 0.
+        assert_eq!(fs[6].cells[3][3], Some(0));
+    }
+
+    #[test]
+    fn opposite_octant_starts_at_far_corner() {
+        let fs = frames(4, 4, Octant::new(-1, -1, 1), 1);
+        assert_eq!(fs[0].cells[3][3], Some(0));
+        assert_eq!(fs[0].cells[0][0], None);
+    }
+
+    #[test]
+    fn render_shows_blocks() {
+        let fs = frames(3, 2, Octant::new(1, 1, 1), 3);
+        let s = render(&fs[2]);
+        assert!(s.contains("step  2"));
+        assert!(s.contains('2'), "{s}");
+        assert!(s.contains('.'), "{s}");
+    }
+
+    #[test]
+    fn figure1_has_eight_frames() {
+        let text = figure1_text();
+        assert_eq!(text.matches("step").count(), 8);
+    }
+}

@@ -1,0 +1,144 @@
+//! Bootstrap confidence intervals for the fitted Eq. 3 parameters.
+//!
+//! A fitted A–E set is a point estimate from noisy microbenchmark samples;
+//! procurement decisions deserve error bars. This module resamples the
+//! benchmark data with replacement (case bootstrap), refits each resample,
+//! and reports percentile intervals for the large-message slope `E` (the
+//! effective bandwidth) and intercept `D` (the effective latency) — the two
+//! parameters that dominate the wavefront's communication terms.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::fit::fit_piecewise;
+
+/// A percentile confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interval {
+    /// Lower bound (2.5th percentile by default).
+    pub lo: f64,
+    /// Point estimate (from the full data).
+    pub point: f64,
+    /// Upper bound (97.5th percentile).
+    pub hi: f64,
+}
+
+impl Interval {
+    /// Width of the interval relative to the point estimate.
+    pub fn relative_width(&self) -> f64 {
+        if self.point.abs() < 1e-300 {
+            return f64::INFINITY;
+        }
+        (self.hi - self.lo).abs() / self.point.abs()
+    }
+
+    /// True when the point estimate lies inside its own interval (a basic
+    /// consistency property).
+    pub fn contains_point(&self) -> bool {
+        self.lo <= self.point && self.point <= self.hi
+    }
+}
+
+/// Bootstrap result for one curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CurveConfidence {
+    /// Large-message intercept `D` (µs).
+    pub d_us: Interval,
+    /// Large-message slope `E` (µs/byte).
+    pub e_us_per_byte: Interval,
+}
+
+/// Bootstrap `resamples` refits of one curve's samples, seeded for
+/// reproducibility.
+pub fn bootstrap_curve(
+    samples: &[(f64, f64)],
+    resamples: usize,
+    seed: u64,
+) -> CurveConfidence {
+    assert!(samples.len() >= 4, "bootstrap needs a few samples");
+    let point = fit_piecewise(samples).curve;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut ds = Vec::with_capacity(resamples);
+    let mut es = Vec::with_capacity(resamples);
+    for _ in 0..resamples.max(8) {
+        let resample: Vec<(f64, f64)> = (0..samples.len())
+            .map(|_| samples[rng.random_range(0..samples.len())])
+            .collect();
+        // A degenerate resample (all-equal x) can occur; skip it.
+        let first_x = resample[0].0;
+        if resample.iter().all(|p| p.0 == first_x) {
+            continue;
+        }
+        let fit = fit_piecewise(&resample).curve;
+        ds.push(fit.d_us);
+        es.push(fit.e_us_per_byte);
+    }
+    CurveConfidence {
+        d_us: percentile_interval(&mut ds, point.d_us),
+        e_us_per_byte: percentile_interval(&mut es, point.e_us_per_byte),
+    }
+}
+
+fn percentile_interval(values: &mut [f64], point: f64) -> Interval {
+    values.sort_by(f64::total_cmp);
+    let n = values.len();
+    if n == 0 {
+        return Interval { lo: point, point, hi: point };
+    }
+    let lo = values[(0.025 * (n - 1) as f64).round() as usize];
+    let hi = values[(0.975 * (n - 1) as f64).round() as usize];
+    Interval { lo: lo.min(point), point, hi: hi.max(point) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noisy_line(n: usize, b: f64, c: f64, noise: f64) -> Vec<(f64, f64)> {
+        (0..n)
+            .map(|i| {
+                let x = 2f64.powi((i % 16) as i32);
+                let eps = ((i as u64).wrapping_mul(2654435761) % 1000) as f64 / 1000.0 - 0.5;
+                (x, b + c * x + eps * noise)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn intervals_contain_point_and_truth() {
+        let samples = noisy_line(64, 10.0, 0.01, 0.5);
+        let conf = bootstrap_curve(&samples, 200, 7);
+        assert!(conf.d_us.contains_point());
+        assert!(conf.e_us_per_byte.contains_point());
+        // The generating slope lies inside (generously wide with noise).
+        assert!(
+            conf.e_us_per_byte.lo <= 0.0105 && conf.e_us_per_byte.hi >= 0.0095,
+            "{conf:?}"
+        );
+    }
+
+    #[test]
+    fn clean_data_gives_tight_intervals() {
+        let samples = noisy_line(64, 5.0, 0.02, 0.0);
+        let conf = bootstrap_curve(&samples, 100, 3);
+        assert!(conf.e_us_per_byte.relative_width() < 1e-9, "{conf:?}");
+    }
+
+    #[test]
+    fn noisier_data_gives_wider_intervals() {
+        let quiet = bootstrap_curve(&noisy_line(64, 10.0, 0.01, 0.2), 200, 11);
+        let loud = bootstrap_curve(&noisy_line(64, 10.0, 0.01, 4.0), 200, 11);
+        assert!(
+            loud.e_us_per_byte.relative_width() > quiet.e_us_per_byte.relative_width(),
+            "quiet {quiet:?} vs loud {loud:?}"
+        );
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let samples = noisy_line(32, 8.0, 0.005, 1.0);
+        let a = bootstrap_curve(&samples, 100, 42);
+        let b = bootstrap_curve(&samples, 100, 42);
+        assert_eq!(a, b);
+    }
+}

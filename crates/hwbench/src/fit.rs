@@ -1,0 +1,172 @@
+//! Segmented least-squares fitting of Eq. 3.
+//!
+//! "This is simply a curve fit for a set of data points. … Parameter A
+//! represents a message size where communication characteristics of the
+//! interconnect display different gradients" (paper §4.4). The fitter
+//! scans candidate switch points, fits an OLS line to each side, and keeps
+//! the split with the lowest total squared error; if a single line does
+//! essentially as well, it returns the unsegmented fit.
+
+use pace_core::comm::{CommCurve, CommModel};
+
+use crate::netbench::NetbenchData;
+use crate::stats::{ols, LineFit};
+
+/// Result of a segmented fit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SegmentedFit {
+    /// The fitted Eq. 3 curve.
+    pub curve: CommCurve,
+    /// Total sum of squared residuals.
+    pub sse: f64,
+    /// True when a two-segment fit beat the single line.
+    pub segmented: bool,
+}
+
+/// Minimum points per segment for a candidate split.
+const MIN_SEGMENT_POINTS: usize = 3;
+/// A split must reduce SSE by this factor to be preferred over one line.
+const IMPROVEMENT_FACTOR: f64 = 0.75;
+
+/// Fit one transfer-time curve from `(bytes, microseconds)` samples.
+/// Samples need not be sorted; at least `2·MIN_SEGMENT_POINTS` are needed
+/// for a segmented fit, and at least 2 for any fit.
+pub fn fit_piecewise(samples: &[(f64, f64)]) -> SegmentedFit {
+    assert!(samples.len() >= 2, "need at least two samples");
+    let mut pts: Vec<(f64, f64)> = samples.to_vec();
+    pts.sort_by(|a, b| a.0.total_cmp(&b.0));
+
+    let single = ols(&pts);
+    let mut best: Option<(usize, LineFit, LineFit, f64)> = None;
+    if pts.len() >= 2 * MIN_SEGMENT_POINTS {
+        for split in MIN_SEGMENT_POINTS..=pts.len() - MIN_SEGMENT_POINTS {
+            // Avoid splitting between equal x values (replicated samples).
+            if pts[split - 1].0 == pts[split].0 {
+                continue;
+            }
+            let lo = ols(&pts[..split]);
+            let hi = ols(&pts[split..]);
+            let sse = lo.sse + hi.sse;
+            if best.as_ref().is_none_or(|b| sse < b.3) {
+                best = Some((split, lo, hi, sse));
+            }
+        }
+    }
+
+    // A single line that already fits to numerical precision wins outright
+    // (guards against "improving" on an SSE of ~0 by floating-point luck).
+    let mean_y = pts.iter().map(|p| p.1.abs()).sum::<f64>() / pts.len() as f64;
+    let single_adequate = single.sse <= (1e-9 * mean_y.max(1e-12)).powi(2) * pts.len() as f64;
+
+    match best {
+        Some((split, lo, hi, sse))
+            if !single_adequate && sse < IMPROVEMENT_FACTOR * single.sse =>
+        {
+            let a = 0.5 * (pts[split - 1].0 + pts[split].0);
+            SegmentedFit {
+                curve: CommCurve {
+                    a_bytes: a,
+                    b_us: lo.intercept,
+                    c_us_per_byte: lo.slope,
+                    d_us: hi.intercept,
+                    e_us_per_byte: hi.slope,
+                },
+                sse,
+                segmented: true,
+            }
+        }
+        _ => SegmentedFit {
+            curve: CommCurve::linear(single.intercept, single.slope),
+            sse: single.sse,
+            segmented: false,
+        },
+    }
+}
+
+/// Fit the three curves of the HMCL `mpi` section from microbenchmark data.
+pub fn fit_comm_model(data: &NetbenchData) -> CommModel {
+    CommModel {
+        send: fit_piecewise(&data.send).curve,
+        recv: fit_piecewise(&data.recv).curve,
+        pingpong: fit_piecewise(&data.pingpong).curve,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn synth_piecewise(a: f64, b: f64, c: f64, d: f64, e: f64, noise: f64) -> Vec<(f64, f64)> {
+        let mut pts = Vec::new();
+        let mut x = 1.0f64;
+        let mut i = 0u64;
+        while x <= 1e6 {
+            let y = if x <= a { b + c * x } else { d + e * x };
+            let eps = ((i.wrapping_mul(2654435761) % 1000) as f64 / 1000.0 - 0.5) * noise;
+            pts.push((x, y * (1.0 + eps)));
+            x *= 2.0;
+            i += 1;
+        }
+        pts
+    }
+
+    #[test]
+    fn recovers_clean_piecewise() {
+        let pts = synth_piecewise(1024.0, 10.0, 0.01, 30.0, 0.004, 0.0);
+        let fit = fit_piecewise(&pts);
+        assert!(fit.segmented, "should detect the break");
+        let c = fit.curve;
+        // Evaluate far from the switch: both segments recovered.
+        assert!((c.eval_us(64) - (10.0 + 0.64)).abs() < 0.5);
+        assert!((c.eval_us(1 << 19) - (30.0 + 0.004 * (1 << 19) as f64)).abs() < 20.0);
+        assert!(fit.sse < 1e-12);
+    }
+
+    #[test]
+    fn switch_point_located() {
+        let pts = synth_piecewise(8192.0, 5.0, 0.008, 25.0, 0.002, 0.0);
+        let fit = fit_piecewise(&pts);
+        assert!(fit.segmented);
+        // True switch 8192; split lands between neighbouring doublings.
+        assert!(
+            fit.curve.a_bytes >= 4096.0 && fit.curve.a_bytes <= 16384.0,
+            "A = {}",
+            fit.curve.a_bytes
+        );
+    }
+
+    #[test]
+    fn pure_line_stays_unsegmented() {
+        let pts: Vec<(f64, f64)> =
+            (0..20).map(|i| (2f64.powi(i), 4.0 + 0.005 * 2f64.powi(i))).collect();
+        let fit = fit_piecewise(&pts);
+        assert!(!fit.segmented, "no break in the data");
+        assert!((fit.curve.b_us - 4.0).abs() < 1e-9);
+        assert!((fit.curve.c_us_per_byte - 0.005).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_piecewise_still_recovered() {
+        let pts = synth_piecewise(4096.0, 12.0, 0.01, 40.0, 0.006, 0.05);
+        let fit = fit_piecewise(&pts);
+        assert!(fit.segmented);
+        // Large-message slope within 20%.
+        let rel = (fit.curve.e_us_per_byte - 0.006).abs() / 0.006;
+        assert!(rel < 0.2, "slope {} off by {rel}", fit.curve.e_us_per_byte);
+    }
+
+    #[test]
+    fn replicated_samples_handled() {
+        // Several samples at each size (as the benchmark produces).
+        let mut pts = Vec::new();
+        for rep in 0..4 {
+            for i in 0..12 {
+                let x = 2f64.powi(i);
+                let y = if x <= 256.0 { 3.0 + 0.02 * x } else { 8.0 + 0.001 * x };
+                pts.push((x, y + rep as f64 * 0.01));
+            }
+        }
+        let fit = fit_piecewise(&pts);
+        assert!(fit.curve.eval_us(1 << 11) > 0.0);
+    }
+}

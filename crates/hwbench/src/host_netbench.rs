@@ -1,0 +1,98 @@
+//! MPI microbenchmarks over the *real* threaded runtime (`simmpi`),
+//! timed with the host's wall clock — the paper's §4.4 benchmark program
+//! run on hardware we actually own. Feeds the same segmented fitter as the
+//! simulated benchmarks.
+
+use std::time::Instant;
+
+use simmpi::Runtime;
+
+use crate::netbench::NetbenchData;
+
+/// Messages per timed batch.
+const MSGS_PER_RUN: usize = 32;
+
+/// Run send/recv/ping-pong timings over `simmpi` for each size, `reps`
+/// repetitions each.
+pub fn run_host_microbenchmarks(sizes: &[usize], reps: usize) -> NetbenchData {
+    let mut data = NetbenchData::default();
+    for &bytes in sizes {
+        let doubles = bytes.div_ceil(8).max(1);
+        for _ in 0..reps.max(1) {
+            let (send_us, recv_us, pp_us) = bench_once(doubles);
+            data.send.push((bytes as f64, send_us));
+            data.recv.push((bytes as f64, recv_us));
+            data.pingpong.push((bytes as f64, pp_us));
+        }
+    }
+    data
+}
+
+/// One two-rank benchmark session; returns per-call microseconds for
+/// (send, recv, ping-pong round trip).
+fn bench_once(doubles: usize) -> (f64, f64, f64) {
+    let results = Runtime::new(2).run(|comm| {
+        let payload = vec![1.0f64; doubles];
+        if comm.rank() == 0 {
+            // Timed sends.
+            let t0 = Instant::now();
+            for m in 0..MSGS_PER_RUN {
+                comm.send_f64s(1, m as i32, &payload).unwrap();
+            }
+            let send_us = t0.elapsed().as_secs_f64() * 1e6 / MSGS_PER_RUN as f64;
+            comm.barrier().unwrap();
+            // Ping-pong.
+            let t0 = Instant::now();
+            for m in 0..MSGS_PER_RUN {
+                comm.send_f64s(1, 1000 + m as i32, &payload).unwrap();
+                comm.recv_f64s(1, 2000 + m as i32).unwrap();
+            }
+            let pp_us = t0.elapsed().as_secs_f64() * 1e6 / MSGS_PER_RUN as f64;
+            (send_us, 0.0, pp_us)
+        } else {
+            // Drain the timed sends, then time receives of pre-arrived
+            // messages (the paper's receive-call cost).
+            comm.barrier().unwrap(); // all sends have been issued
+            let t0 = Instant::now();
+            for m in 0..MSGS_PER_RUN {
+                comm.recv_f64s(0, m as i32).unwrap();
+            }
+            let recv_us = t0.elapsed().as_secs_f64() * 1e6 / MSGS_PER_RUN as f64;
+            for m in 0..MSGS_PER_RUN {
+                comm.recv_f64s(0, 1000 + m as i32).unwrap();
+                comm.send_f64s(0, 2000 + m as i32, &payload).unwrap();
+            }
+            (0.0, recv_us, 0.0)
+        }
+    });
+    let (send_us, _, pp_us) = results[0];
+    let (_, recv_us, _) = results[1];
+    (send_us, recv_us, pp_us)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn host_benchmark_produces_positive_times() {
+        let data = run_host_microbenchmarks(&[64, 4096], 2);
+        assert_eq!(data.send.len(), 4);
+        assert!(data.send.iter().all(|p| p.1 > 0.0));
+        assert!(data.recv.iter().all(|p| p.1 > 0.0));
+        assert!(data.pingpong.iter().all(|p| p.1 > 0.0));
+    }
+
+    #[test]
+    fn fitted_host_curves_are_usable() {
+        // Thread-scheduling noise is high; only sanity is asserted.
+        let sizes: Vec<usize> = (4..=16).map(|p| 1usize << p).collect();
+        let data = run_host_microbenchmarks(&sizes, 2);
+        let model = crate::fit::fit_comm_model(&data);
+        assert!(model.pingpong.eval_us(1 << 16) > 0.0);
+        // The CommModel accessors clamp negative extrapolations.
+        assert!(model.send_secs(64) >= 0.0);
+        assert!(model.recv_secs(64) >= 0.0);
+        assert!(model.hop_secs(1 << 14) > 0.0);
+    }
+}

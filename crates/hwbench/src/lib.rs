@@ -1,0 +1,72 @@
+//! # hwbench — the benchmarking layer of the PACE workflow
+//!
+//! The paper's hardware characterisation has two inputs (§4.3–4.4):
+//!
+//! 1. **Coarse serial-kernel benchmarking** — profile the application
+//!    (PAPI) on one/two processors and record the *achieved* floating-point
+//!    rate for the per-processor problem size. [`profiler`] does this both
+//!    on the host (wall-clock + instrumented flop counts) and *virtually*
+//!    on a [`cluster_sim::MachineSpec`], which is how we characterise the
+//!    paper's machines without owning them.
+//! 2. **MPI microbenchmarks** — timed sends, receives and ping-pongs over
+//!    increasing message sizes ([`netbench`]), fitted to the piecewise-
+//!    linear Eq. 3 by segmented least squares ([`fit`], [`stats`]).
+//!
+//! [`machines`] holds the canonical simulated machine specifications
+//! (Pentium 3/Myrinet, Opteron/GigE, Altix/NUMAlink), and
+//! [`benchmark_machine`] runs the full characterisation workflow:
+//! simulated machine in, fitted [`pace_core::HardwareModel`] out.
+
+pub mod bootstrap;
+pub mod fit;
+pub mod host_netbench;
+pub mod machines;
+pub mod netbench;
+pub mod profiler;
+pub mod stats;
+
+use cluster_sim::MachineSpec;
+use pace_core::HardwareModel;
+use sweep3d::ProblemConfig;
+
+/// Run the complete PACE benchmarking workflow against a simulated machine:
+/// virtual kernel profiling at each requested per-PE subgrid size plus MPI
+/// microbenchmark fitting.
+///
+/// `profile_pes` is the decomposition used for the profiling runs (the
+/// paper uses 1×1 and 1×2; pass `2` to match, which also exposes SMP
+/// memory contention to the calibration on shared-memory machines).
+pub fn benchmark_machine(
+    spec: &MachineSpec,
+    per_pe_sizes: &[usize],
+    profile_pes: usize,
+) -> HardwareModel {
+    let mut rates = Vec::with_capacity(per_pe_sizes.len());
+    for &cells_1d in per_pe_sizes {
+        let config = ProblemConfig::weak_scaling(cells_1d, 1, 1);
+        let point = profiler::virtual_profile(spec, &config, profile_pes);
+        rates.push(pace_core::hardware::AchievedRate {
+            cells_per_pe: point.cells_per_pe as f64,
+            mflops: point.mflops,
+        });
+    }
+    rates.sort_by(|a, b| a.cells_per_pe.total_cmp(&b.cells_per_pe));
+    let data = netbench::run_microbenchmarks(spec, &netbench::default_sizes(), 4);
+    let comm = fit::fit_comm_model(&data);
+    HardwareModel { name: spec.name.clone(), rates, comm }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_workflow_produces_model() {
+        let spec = machines::pentium3_myrinet_sim();
+        let hw = benchmark_machine(&spec, &[10, 20], 1);
+        assert_eq!(hw.rates.len(), 2);
+        assert!(hw.achieved_mflops(1000) > 1.0);
+        // The fitted ping-pong curve must be increasing in size.
+        assert!(hw.comm.pingpong.eval_us(1 << 20) > hw.comm.pingpong.eval_us(64));
+    }
+}

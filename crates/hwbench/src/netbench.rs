@@ -1,0 +1,150 @@
+//! MPI microbenchmarks over a simulated machine.
+//!
+//! "The data points for this regression are obtained using an MPI benchmark
+//! program that carries out timed MPI sends, receives and ping-pongs for
+//! increasing message sizes" (paper §4.4). The benchmark programs here are
+//! [`cluster_sim`] op traces; timings come from the simulator's per-rank
+//! accounting, exactly as a real benchmark reads its timers.
+
+use cluster_sim::{Engine, MachineSpec, Op, Program};
+
+/// Raw benchmark samples: `(message bytes, time in µs)` per observation.
+#[derive(Debug, Clone, Default)]
+pub struct NetbenchData {
+    /// Timed MPI send calls.
+    pub send: Vec<(f64, f64)>,
+    /// Timed MPI receive calls (message already available).
+    pub recv: Vec<(f64, f64)>,
+    /// Timed ping-pong round trips.
+    pub pingpong: Vec<(f64, f64)>,
+}
+
+/// Messages per measurement (timings are per-message averages).
+const MSGS_PER_RUN: usize = 8;
+
+/// The default size ladder: powers of two from 8 B to 1 MiB.
+pub fn default_sizes() -> Vec<usize> {
+    (3..=20).map(|p| 1usize << p).collect()
+}
+
+/// Run the three microbenchmarks for every size, `reps` times each with
+/// distinct seeds (measurement repetitions).
+pub fn run_microbenchmarks(spec: &MachineSpec, sizes: &[usize], reps: u64) -> NetbenchData {
+    let mut data = NetbenchData::default();
+    for &bytes in sizes {
+        for rep in 0..reps.max(1) {
+            let machine = spec.clone().with_seed(spec.seed ^ (0xB16B00B5 + rep));
+            data.send.push((bytes as f64, bench_send(&machine, bytes)));
+            data.recv.push((bytes as f64, bench_recv(&machine, bytes)));
+            data.pingpong.push((bytes as f64, bench_pingpong(&machine, bytes)));
+        }
+    }
+    data
+}
+
+/// Average µs per blocking send call.
+fn bench_send(machine: &MachineSpec, bytes: usize) -> f64 {
+    let mut p0 = Program::new();
+    let mut p1 = Program::new();
+    for m in 0..MSGS_PER_RUN {
+        p0.push(Op::Send { to: 1, bytes, tag: m as u32 });
+        p1.push(Op::Recv { from: 0, tag: m as u32 });
+    }
+    let report = Engine::new(machine, vec![p0, p1]).run().expect("send bench");
+    report.ranks[0].finish.as_secs() * 1e6 / MSGS_PER_RUN as f64
+}
+
+/// Average µs per receive call with the message already delivered.
+fn bench_recv(machine: &MachineSpec, bytes: usize) -> f64 {
+    let mut p0 = Program::new();
+    let mut p1 = Program::new();
+    // Delay the receiver so every message has arrived before its Recv.
+    p1.push(Op::Compute { flops: 1e9, working_set: 0 });
+    for m in 0..MSGS_PER_RUN {
+        p0.push(Op::Send { to: 1, bytes, tag: m as u32 });
+        p1.push(Op::Recv { from: 0, tag: m as u32 });
+    }
+    let report = Engine::new(machine, vec![p0, p1]).run().expect("recv bench");
+    debug_assert_eq!(report.ranks[1].recv_wait.as_secs(), 0.0, "messages must pre-arrive");
+    report.ranks[1].recv_overhead.as_secs() * 1e6 / MSGS_PER_RUN as f64
+}
+
+/// Average µs per ping-pong round trip.
+fn bench_pingpong(machine: &MachineSpec, bytes: usize) -> f64 {
+    let mut p0 = Program::new();
+    let mut p1 = Program::new();
+    for m in 0..MSGS_PER_RUN {
+        let tag = m as u32;
+        p0.push(Op::Send { to: 1, bytes, tag });
+        p0.push(Op::Recv { from: 1, tag });
+        p1.push(Op::Recv { from: 0, tag });
+        p1.push(Op::Send { to: 0, bytes, tag });
+    }
+    let report = Engine::new(machine, vec![p0, p1]).run().expect("pingpong bench");
+    report.ranks[0].finish.as_secs() * 1e6 / MSGS_PER_RUN as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cluster_sim::{NetworkModel, NoiseModel};
+
+    fn machine() -> MachineSpec {
+        let mut m = MachineSpec::ideal(1000.0);
+        m.network = NetworkModel::from_link(10.0, 250.0, 3.0, 8192.0);
+        m
+    }
+
+    #[test]
+    fn send_time_matches_model() {
+        let m = machine();
+        let t = bench_send(&m, 1024);
+        let expect = m.network.send.eval_us(1024);
+        assert!((t - expect).abs() < 1e-6, "{t} vs {expect}");
+    }
+
+    #[test]
+    fn recv_time_matches_model() {
+        let m = machine();
+        let t = bench_recv(&m, 4096);
+        let expect = m.network.recv.eval_us(4096);
+        assert!((t - expect).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pingpong_is_two_oneways_plus_calls() {
+        let m = machine();
+        let t = bench_pingpong(&m, 512);
+        let n = &m.network;
+        let expect = 2.0
+            * (n.send.eval_us(512) + n.pingpong.eval_us(512) / 2.0 + n.recv.eval_us(512));
+        assert!((t - expect).abs() < 1e-6, "{t} vs {expect}");
+    }
+
+    #[test]
+    fn data_covers_all_sizes_and_reps() {
+        let data = run_microbenchmarks(&machine(), &[64, 1024], 3);
+        assert_eq!(data.send.len(), 6);
+        assert_eq!(data.recv.len(), 6);
+        assert_eq!(data.pingpong.len(), 6);
+    }
+
+    #[test]
+    fn noisy_machine_produces_scatter_in_pingpong() {
+        let mut m = machine();
+        m.noise = NoiseModel { compute_mean: 0.0, compute_spread: 0.0, message_jitter_us: 3.0, run_bias: 0.0 };
+        let data = run_microbenchmarks(&m, &[1024], 4);
+        let times: Vec<f64> = data.pingpong.iter().map(|p| p.1).collect();
+        let spread = times.iter().cloned().fold(f64::MIN, f64::max)
+            - times.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(spread > 0.0, "jitter must scatter the samples: {times:?}");
+    }
+
+    #[test]
+    fn sizes_ladder_is_increasing_powers() {
+        let s = default_sizes();
+        assert_eq!(s[0], 8);
+        assert_eq!(*s.last().unwrap(), 1 << 20);
+        assert!(s.windows(2).all(|w| w[1] == 2 * w[0]));
+    }
+}

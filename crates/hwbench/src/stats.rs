@@ -1,0 +1,122 @@
+//! Small statistics toolkit: summary statistics and ordinary least squares.
+
+/// Arithmetic mean; 0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population variance; 0 for fewer than two samples.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation.
+pub fn stddev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// An ordinary-least-squares line fit `y = intercept + slope·x`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LineFit {
+    /// Intercept.
+    pub intercept: f64,
+    /// Slope.
+    pub slope: f64,
+    /// Sum of squared residuals.
+    pub sse: f64,
+    /// Coefficient of determination (1 = perfect; 0 when y is constant and
+    /// perfectly fit, by convention).
+    pub r2: f64,
+}
+
+impl LineFit {
+    /// Predicted value at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.intercept + self.slope * x
+    }
+}
+
+/// Least-squares fit of paired observations. Requires at least two points;
+/// with all-equal `x` the slope is 0 and the intercept the mean.
+pub fn ols(points: &[(f64, f64)]) -> LineFit {
+    assert!(points.len() >= 2, "need at least two points to fit a line");
+    let n = points.len() as f64;
+    let mx = points.iter().map(|p| p.0).sum::<f64>() / n;
+    let my = points.iter().map(|p| p.1).sum::<f64>() / n;
+    let sxx: f64 = points.iter().map(|p| (p.0 - mx) * (p.0 - mx)).sum();
+    let sxy: f64 = points.iter().map(|p| (p.0 - mx) * (p.1 - my)).sum();
+    let slope = if sxx > 0.0 { sxy / sxx } else { 0.0 };
+    let intercept = my - slope * mx;
+    let sse: f64 = points
+        .iter()
+        .map(|p| {
+            let r = p.1 - (intercept + slope * p.0);
+            r * r
+        })
+        .sum();
+    let syy: f64 = points.iter().map(|p| (p.1 - my) * (p.1 - my)).sum();
+    let r2 = if syy > 0.0 { 1.0 - sse / syy } else { 1.0 };
+    LineFit { intercept, slope, sse, r2 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_variance_stddev() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&xs), 5.0);
+        assert_eq!(variance(&xs), 4.0);
+        assert_eq!(stddev(&xs), 2.0);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn ols_exact_line() {
+        let pts: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 3.0 + 2.0 * i as f64)).collect();
+        let fit = ols(&pts);
+        assert!((fit.intercept - 3.0).abs() < 1e-12);
+        assert!((fit.slope - 2.0).abs() < 1e-12);
+        assert!(fit.sse < 1e-18);
+        assert!((fit.r2 - 1.0).abs() < 1e-12);
+        assert!((fit.predict(100.0) - 203.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ols_with_noise_recovers_params() {
+        // Deterministic pseudo-noise.
+        let pts: Vec<(f64, f64)> = (0..100)
+            .map(|i| {
+                let x = i as f64;
+                let eps = ((i * 2654435761u64 % 1000) as f64 / 1000.0 - 0.5) * 0.1;
+                (x, 1.0 + 0.5 * x + eps)
+            })
+            .collect();
+        let fit = ols(&pts);
+        assert!((fit.slope - 0.5).abs() < 0.01, "slope {}", fit.slope);
+        assert!((fit.intercept - 1.0).abs() < 0.1, "intercept {}", fit.intercept);
+        assert!(fit.r2 > 0.99);
+    }
+
+    #[test]
+    fn ols_degenerate_constant_x() {
+        let fit = ols(&[(1.0, 2.0), (1.0, 4.0)]);
+        assert_eq!(fit.slope, 0.0);
+        assert_eq!(fit.intercept, 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "two points")]
+    fn ols_needs_two_points() {
+        ols(&[(0.0, 0.0)]);
+    }
+}

@@ -1,0 +1,93 @@
+//! # wavefront-models — baseline analytic comparators
+//!
+//! The paper validates its speculative predictions by noting they "concur
+//! with those gained through other related analytical models" (§6), citing
+//! the LogGP model of Sundaram-Stukel & Vernon (PPoPP'99) and the Los
+//! Alamos wavefront models of Hoisie, Lubeck & Wasserman. This crate makes
+//! that concurrence check executable: both baselines are implemented
+//! against the same parameter/hardware types as the PACE model, so all
+//! three can be evaluated on identical scenarios.
+//!
+//! Neither baseline is a re-derivation of the full published models (those
+//! target one machine's MPI implementation in detail); they are the
+//! standard closed-form wavefront analyses those papers build on, which is
+//! what the concurrence claim rests on.
+
+pub mod hoisie;
+pub mod loggp;
+
+use pace_core::{HardwareModel, Sweep3dModel, Sweep3dParams};
+
+/// A common interface over the analytic wavefront models.
+pub trait WavefrontModel {
+    /// A short display name.
+    fn name(&self) -> &'static str;
+
+    /// Predicted total execution time for a SWEEP3D run, in seconds.
+    fn predict_secs(&self, params: &Sweep3dParams, hw: &HardwareModel) -> f64;
+}
+
+/// The PACE model of this repository, adapted to the common interface.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PaceAdapter;
+
+impl WavefrontModel for PaceAdapter {
+    fn name(&self) -> &'static str {
+        "PACE (this paper)"
+    }
+
+    fn predict_secs(&self, params: &Sweep3dParams, hw: &HardwareModel) -> f64 {
+        Sweep3dModel::new(*params).predict(hw).total_secs
+    }
+}
+
+/// All three models, for the concurrence study.
+pub fn all_models() -> Vec<Box<dyn WavefrontModel>> {
+    vec![
+        Box::new(PaceAdapter),
+        Box::new(loggp::LogGpModel),
+        Box::new(hoisie::HoisieModel),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pace_core::machines;
+
+    #[test]
+    fn models_concur_on_weak_scaling() {
+        // The §6 concurrence claim: on the hypothetical machine, the three
+        // analytic models agree on the scaling shape (within a modest
+        // factor at every size, and all increasing with the array).
+        let hw = machines::opteron_myrinet_hypothetical();
+        for (px, py) in [(2usize, 2usize), (10, 10), (40, 50)] {
+            let params = Sweep3dParams::speculative_1b(px, py);
+            let preds: Vec<f64> = all_models()
+                .iter()
+                .map(|m| m.predict_secs(&params, &hw))
+                .collect();
+            let max = preds.iter().cloned().fold(f64::MIN, f64::max);
+            let min = preds.iter().cloned().fold(f64::MAX, f64::min);
+            assert!(min > 0.0);
+            assert!(
+                max / min < 1.6,
+                "models disagree at {px}x{py}: {preds:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn all_models_scale_up_with_processors() {
+        let hw = machines::opteron_myrinet_hypothetical();
+        for model in all_models() {
+            let small = model.predict_secs(&Sweep3dParams::speculative_1b(2, 2), &hw);
+            let large = model.predict_secs(&Sweep3dParams::speculative_1b(80, 100), &hw);
+            assert!(
+                large > small,
+                "{}: weak-scaling time must grow with the array",
+                model.name()
+            );
+        }
+    }
+}

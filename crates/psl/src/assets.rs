@@ -1,0 +1,57 @@
+//! Shipped PSL scripts.
+
+/// The complete SWEEP3D model script (this repository's rendition of the
+/// paper's Figs. 4–6): application object, four subtask objects and the
+/// template interface declarations.
+pub const SWEEP3D_PSL: &str = include_str!("../assets/sweep3d.psl");
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::ObjectKind;
+    use crate::eval::Overrides;
+
+    #[test]
+    fn asset_parses() {
+        let objects = crate::parser::parse(SWEEP3D_PSL).expect("sweep3d.psl parses");
+        let apps = objects.iter().filter(|o| o.kind == ObjectKind::Application).count();
+        let subs = objects.iter().filter(|o| o.kind == ObjectKind::Subtask).count();
+        let tmps = objects.iter().filter(|o| o.kind == ObjectKind::Partmp).count();
+        assert_eq!((apps, subs, tmps), (1, 4, 2));
+    }
+
+    #[test]
+    fn asset_compiles_with_defaults() {
+        let objects = crate::parser::parse(SWEEP3D_PSL).unwrap();
+        let app = crate::compile::compile(&objects, &Overrides::none()).unwrap();
+        assert_eq!(app.name, "sweep3d");
+        assert_eq!(app.iterations, 12);
+        assert_eq!(app.subtasks.len(), 4);
+        assert_eq!(app.subtasks[0].name, "sweep");
+    }
+
+    #[test]
+    fn asset_matches_programmatic_model() {
+        // The PSL-compiled model must predict the same times as the
+        // programmatic Sweep3dModel, machine for machine.
+        use pace_core::{machines, EvaluationEngine, Sweep3dModel, Sweep3dParams};
+        let objects = crate::parser::parse(SWEEP3D_PSL).unwrap();
+        for (px, py) in [(2usize, 2usize), (4, 6), (8, 14)] {
+            let psl_app = crate::compile::compile(
+                &objects,
+                &Overrides::sweep3d(px, py, 50, 50, 50),
+            )
+            .unwrap();
+            let hw = machines::pentium3_myrinet();
+            let psl_pred = EvaluationEngine::new().evaluate(&psl_app, &hw).total_secs;
+            let prog_pred = Sweep3dModel::new(Sweep3dParams::weak_scaling_50cubed(px, py))
+                .predict(&hw)
+                .total_secs;
+            let rel = (psl_pred - prog_pred).abs() / prog_pred;
+            assert!(
+                rel < 0.01,
+                "{px}x{py}: PSL {psl_pred} vs programmatic {prog_pred} ({rel:.4} rel)"
+            );
+        }
+    }
+}

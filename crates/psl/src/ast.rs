@@ -1,0 +1,178 @@
+//! Abstract syntax of PSL scripts.
+
+use crate::Span;
+
+/// The three object kinds of the layered model (paper Fig. 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObjectKind {
+    /// Top-level application object (entry point `proc exec init`).
+    Application,
+    /// Subtask object carrying serial resource usage.
+    Subtask,
+    /// Parallel template object.
+    Partmp,
+}
+
+/// One model object.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Object {
+    /// Kind keyword.
+    pub kind: ObjectKind,
+    /// Object name.
+    pub name: String,
+    /// `include` references (for a subtask, names its parallel template).
+    pub includes: Vec<String>,
+    /// `var numeric:` declarations with optional defaults.
+    pub vars: Vec<(String, Option<Expr>)>,
+    /// `link { target: name = expr, …; }` assignments pushed into other
+    /// objects at evaluation time.
+    pub links: Vec<Link>,
+    /// Procedures (`proc exec` control flow or `proc cflow` resource flow).
+    pub procs: Vec<Proc>,
+    /// Source location of the object header.
+    pub span: Span,
+}
+
+impl Object {
+    /// Find a procedure by name.
+    pub fn proc(&self, name: &str) -> Option<&Proc> {
+        self.procs.iter().find(|p| p.name == name)
+    }
+}
+
+/// A `link` block entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Link {
+    /// Target object name.
+    pub target: String,
+    /// Assignments `var = expr` evaluated in the linking object's scope.
+    pub assigns: Vec<(String, Expr)>,
+}
+
+/// Procedure kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProcKind {
+    /// Control flow, directly executed (`proc exec`).
+    Exec,
+    /// Resource flow, accumulated (`proc cflow`).
+    Cflow,
+}
+
+/// A procedure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Proc {
+    /// `exec` or `cflow`.
+    pub kind: ProcKind,
+    /// Name (`init` is the application entry point, `work` the
+    /// conventional cflow name).
+    pub name: String,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `x = expr;`
+    Assign(String, Expr),
+    /// `for (i = a; i <= b; i = i + s) { … }`
+    For {
+        /// Loop variable.
+        var: String,
+        /// Initial value.
+        from: Expr,
+        /// Inclusive bound (the condition is `var <= bound`).
+        to: Expr,
+        /// Step expression, evaluated with the loop variable bound.
+        step: Expr,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+    /// `if (cond) { … } else { … }` — nonzero is true.
+    If {
+        /// Condition expression.
+        cond: Expr,
+        /// Then branch.
+        then_body: Vec<Stmt>,
+        /// Optional else branch.
+        else_body: Vec<Stmt>,
+    },
+    /// `call name;` — application objects call subtasks; cflow procs may
+    /// call sibling cflow procs.
+    Call(String, Span),
+    /// `compute <is clc, MFDG, e, AFDG, e, …>;` — accumulate a clc step.
+    Compute(Vec<(String, Expr)>, Span),
+    /// `loop (<is clc, LFOR, e>, count) { … }` — the Fig. 5 loop construct:
+    /// charges the loop-overhead clc once per iteration and repeats the
+    /// body `count` times.
+    ClcLoop {
+        /// Loop-overhead clc entries.
+        overhead: Vec<(String, Expr)>,
+        /// Iteration count.
+        count: Expr,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Numeric literal.
+    Num(f64),
+    /// Variable reference.
+    Var(String, Span),
+    /// Binary operation.
+    Bin(Box<Expr>, BinOp, Box<Expr>),
+    /// Unary negation.
+    Neg(Box<Expr>),
+    /// Builtin call: `ceil`, `floor`, `max`, `min`.
+    Call(String, Vec<Expr>, Span),
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_proc_lookup() {
+        let obj = Object {
+            kind: ObjectKind::Subtask,
+            name: "sweep".into(),
+            includes: vec!["pipeline".into()],
+            vars: vec![],
+            links: vec![],
+            procs: vec![Proc { kind: ProcKind::Cflow, name: "work".into(), body: vec![] }],
+            span: Span::start(),
+        };
+        assert!(obj.proc("work").is_some());
+        assert!(obj.proc("init").is_none());
+    }
+}

@@ -1,0 +1,525 @@
+//! PSL evaluation: execute control flow, accumulate resource flows.
+//!
+//! "Procedures directly implement the control flow of the application.
+//! Thus, evaluation of the model means that these statements are directly
+//! executed … Unlike control flow statements, the clc instructions are not
+//! executed, but are accumulated depending on the number of loop counts and
+//! branch probabilities" (paper §4.1). Accordingly:
+//!
+//! * the application object's `proc exec init` runs like a tiny program —
+//!   assignments, `for` loops and `if`s execute; every `call sub;` counts
+//!   one evaluation of that subtask;
+//! * a subtask's `proc cflow` is *accumulated*: `compute <is clc, …>` adds
+//!   its opcode vector once per enclosing multiplicity, and
+//!   `loop (<is clc, LFOR, …>, n) { … }` multiplies the body by `n`.
+
+use std::collections::HashMap;
+
+use pace_core::ResourceVector;
+
+use crate::ast::*;
+use crate::{PslError, Span};
+
+/// External variable overrides — the "externally (by user at evaluation
+/// time) modifiable variables" of the paper's `var` statement.
+#[derive(Debug, Clone, Default)]
+pub struct Overrides(pub HashMap<String, f64>);
+
+impl Overrides {
+    /// No overrides: the script's defaults.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Set one variable.
+    pub fn set(mut self, name: &str, value: f64) -> Self {
+        self.0.insert(name.to_string(), value);
+        self
+    }
+
+    /// The standard SWEEP3D knobs.
+    pub fn sweep3d(px: usize, py: usize, nx: usize, ny: usize, nz: usize) -> Self {
+        Self::none()
+            .set("Px", px as f64)
+            .set("Py", py as f64)
+            .set("nx", nx as f64)
+            .set("ny", ny as f64)
+            .set("nz", nz as f64)
+    }
+}
+
+/// One evaluated subtask.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvaluatedSubtask {
+    /// Subtask name.
+    pub name: String,
+    /// Times the application called it.
+    pub calls: u64,
+    /// Accumulated clc vector of *one* evaluation.
+    pub vector: ResourceVector,
+    /// The parallel template it includes (first include), if any.
+    pub template: Option<String>,
+    /// Final variable bindings (defaults + link + cflow assignments).
+    pub bindings: HashMap<String, f64>,
+}
+
+/// The result of evaluating a script.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvaluatedModel {
+    /// Application name.
+    pub application: String,
+    /// Final application-scope variable bindings.
+    pub app_bindings: HashMap<String, f64>,
+    /// Subtasks in first-call order.
+    pub subtasks: Vec<EvaluatedSubtask>,
+}
+
+impl EvaluatedModel {
+    /// Look up an evaluated subtask.
+    pub fn subtask(&self, name: &str) -> Option<&EvaluatedSubtask> {
+        self.subtasks.iter().find(|s| s.name == name)
+    }
+}
+
+/// Evaluate a parsed script.
+pub fn evaluate(objects: &[Object], overrides: &Overrides) -> Result<EvaluatedModel, PslError> {
+    let app = objects
+        .iter()
+        .find(|o| o.kind == ObjectKind::Application)
+        .ok_or_else(|| PslError {
+            span: Span::start(),
+            message: "script has no application object".into(),
+        })?;
+    let by_name: HashMap<&str, &Object> =
+        objects.iter().map(|o| (o.name.as_str(), o)).collect();
+
+    // Application scope: declared defaults, then user overrides.
+    let mut env: HashMap<String, f64> = HashMap::new();
+    for (name, default) in &app.vars {
+        let v = match default {
+            Some(e) => eval_expr(e, &env)?,
+            None => 0.0,
+        };
+        env.insert(name.clone(), v);
+    }
+    for (k, v) in &overrides.0 {
+        env.insert(k.clone(), *v);
+    }
+
+    let init = app.proc("init").ok_or_else(|| PslError {
+        span: app.span,
+        message: format!("application '{}' has no proc exec init", app.name),
+    })?;
+
+    let mut calls: Vec<(String, u64)> = Vec::new();
+    exec_block(&init.body, &mut env, &mut |target, span| {
+        if !by_name.contains_key(target) {
+            return Err(PslError {
+                span,
+                message: format!("call of undefined object '{target}'"),
+            });
+        }
+        match calls.iter_mut().find(|(n, _)| n == target) {
+            Some((_, c)) => *c += 1,
+            None => calls.push((target.to_string(), 1)),
+        }
+        Ok(())
+    })?;
+
+    // Evaluate each called subtask once under its linked bindings.
+    let mut subtasks = Vec::new();
+    for (name, call_count) in calls {
+        let obj = by_name[name.as_str()];
+        if obj.kind == ObjectKind::Application {
+            return Err(PslError {
+                span: obj.span,
+                message: format!("application object '{name}' cannot be called"),
+            });
+        }
+        let mut sub_env: HashMap<String, f64> = HashMap::new();
+        for (vname, default) in &obj.vars {
+            let v = match default {
+                Some(e) => eval_expr(e, &sub_env)?,
+                None => 0.0,
+            };
+            sub_env.insert(vname.clone(), v);
+        }
+        // Link assignments from the application, evaluated in app scope.
+        for link in &app.links {
+            if link.target == name {
+                for (vname, expr) in &link.assigns {
+                    sub_env.insert(vname.clone(), eval_expr(expr, &env)?);
+                }
+            }
+        }
+        let mut vector = ResourceVector::zero();
+        if let Some(work) = obj.procs.iter().find(|p| p.kind == ProcKind::Cflow) {
+            accumulate_block(&work.body, &mut sub_env, 1.0, &mut vector)?;
+        }
+        let template = obj.includes.first().cloned();
+        subtasks.push(EvaluatedSubtask {
+            name,
+            calls: call_count,
+            vector,
+            template,
+            bindings: sub_env,
+        });
+    }
+
+    Ok(EvaluatedModel { application: app.name.clone(), app_bindings: env, subtasks })
+}
+
+/// Execute a control-flow block.
+fn exec_block(
+    body: &[Stmt],
+    env: &mut HashMap<String, f64>,
+    on_call: &mut dyn FnMut(&str, Span) -> Result<(), PslError>,
+) -> Result<(), PslError> {
+    for stmt in body {
+        match stmt {
+            Stmt::Assign(name, expr) => {
+                let v = eval_expr(expr, env)?;
+                env.insert(name.clone(), v);
+            }
+            Stmt::For { var, from, to, step, body } => {
+                let mut v = eval_expr(from, env)?;
+                let mut guard = 0u64;
+                loop {
+                    let bound = eval_expr(to, env)?;
+                    if v > bound {
+                        break;
+                    }
+                    env.insert(var.clone(), v);
+                    exec_block(body, env, on_call)?;
+                    env.insert(var.clone(), v); // body may shadow; restore
+                    v = eval_expr(step, env)?;
+                    guard += 1;
+                    if guard > 10_000_000 {
+                        return Err(PslError {
+                            span: Span::start(),
+                            message: format!("loop over '{var}' exceeded 10^7 iterations"),
+                        });
+                    }
+                }
+            }
+            Stmt::If { cond, then_body, else_body } => {
+                if eval_expr(cond, env)? != 0.0 {
+                    exec_block(then_body, env, on_call)?;
+                } else {
+                    exec_block(else_body, env, on_call)?;
+                }
+            }
+            Stmt::Call(target, span) => on_call(target, *span)?,
+            Stmt::Compute(_, span) => {
+                return Err(PslError {
+                    span: *span,
+                    message: "clc steps are only allowed in proc cflow".into(),
+                });
+            }
+            Stmt::ClcLoop { .. } => {
+                return Err(PslError {
+                    span: Span::start(),
+                    message: "clc loops are only allowed in proc cflow".into(),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Accumulate a resource-flow block with a multiplicity.
+fn accumulate_block(
+    body: &[Stmt],
+    env: &mut HashMap<String, f64>,
+    multiplicity: f64,
+    out: &mut ResourceVector,
+) -> Result<(), PslError> {
+    for stmt in body {
+        match stmt {
+            Stmt::Assign(name, expr) => {
+                let v = eval_expr(expr, env)?;
+                env.insert(name.clone(), v);
+            }
+            Stmt::Compute(entries, span) => {
+                let v = clc_entries(entries, env, *span)?;
+                *out = out.plus(&v.scaled(multiplicity));
+            }
+            Stmt::ClcLoop { overhead, count, body } => {
+                let n = eval_expr(count, env)?;
+                if n < 0.0 {
+                    return Err(PslError {
+                        span: Span::start(),
+                        message: format!("negative loop count {n}"),
+                    });
+                }
+                let ov = clc_entries(overhead, env, Span::start())?;
+                *out = out.plus(&ov.scaled(multiplicity * n));
+                accumulate_block(body, env, multiplicity * n, out)?;
+            }
+            Stmt::If { cond, then_body, else_body } => {
+                if eval_expr(cond, env)? != 0.0 {
+                    accumulate_block(then_body, env, multiplicity, out)?;
+                } else {
+                    accumulate_block(else_body, env, multiplicity, out)?;
+                }
+            }
+            Stmt::For { var, from, to, step, body } => {
+                // Executed loop in a cflow: accumulate each iteration.
+                let mut v = eval_expr(from, env)?;
+                loop {
+                    let bound = eval_expr(to, env)?;
+                    if v > bound {
+                        break;
+                    }
+                    env.insert(var.clone(), v);
+                    accumulate_block(body, env, multiplicity, out)?;
+                    env.insert(var.clone(), v);
+                    v = eval_expr(step, env)?;
+                }
+            }
+            Stmt::Call(target, span) => {
+                return Err(PslError {
+                    span: *span,
+                    message: format!("cflow cannot call '{target}'; use loop/compute"),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Evaluate a clc entry list into a vector.
+fn clc_entries(
+    entries: &[(String, Expr)],
+    env: &HashMap<String, f64>,
+    span: Span,
+) -> Result<ResourceVector, PslError> {
+    let mut v = ResourceVector::zero();
+    for (op, expr) in entries {
+        let count = eval_expr(expr, env)?;
+        let slot = match op.as_str() {
+            "MFDG" => &mut v.mfdg,
+            "AFDG" => &mut v.afdg,
+            "DFDG" => &mut v.dfdg,
+            "IFBR" => &mut v.ifbr,
+            "LFOR" => &mut v.lfor,
+            "CMLD" => &mut v.cmld,
+            other => {
+                return Err(PslError { span, message: format!("unknown opcode '{other}'") })
+            }
+        };
+        *slot += count;
+    }
+    Ok(v)
+}
+
+/// Evaluate an expression.
+pub fn eval_expr(expr: &Expr, env: &HashMap<String, f64>) -> Result<f64, PslError> {
+    match expr {
+        Expr::Num(n) => Ok(*n),
+        Expr::Var(name, span) => env.get(name).copied().ok_or_else(|| PslError {
+            span: *span,
+            message: format!("undefined variable '{name}'"),
+        }),
+        Expr::Neg(e) => Ok(-eval_expr(e, env)?),
+        Expr::Bin(a, op, b) => {
+            let (a, b) = (eval_expr(a, env)?, eval_expr(b, env)?);
+            Ok(match op {
+                BinOp::Add => a + b,
+                BinOp::Sub => a - b,
+                BinOp::Mul => a * b,
+                BinOp::Div => a / b,
+                BinOp::Rem => a % b,
+                BinOp::Lt => f64::from(a < b),
+                BinOp::Le => f64::from(a <= b),
+                BinOp::Gt => f64::from(a > b),
+                BinOp::Ge => f64::from(a >= b),
+                BinOp::Eq => f64::from(a == b),
+                BinOp::Ne => f64::from(a != b),
+            })
+        }
+        Expr::Call(name, args, span) => {
+            let vals: Result<Vec<f64>, PslError> =
+                args.iter().map(|a| eval_expr(a, env)).collect();
+            let vals = vals?;
+            let need = |n: usize| -> Result<(), PslError> {
+                if vals.len() == n {
+                    Ok(())
+                } else {
+                    Err(PslError {
+                        span: *span,
+                        message: format!("{name}() expects {n} argument(s), got {}", vals.len()),
+                    })
+                }
+            };
+            match name.as_str() {
+                "ceil" => {
+                    need(1)?;
+                    Ok(vals[0].ceil())
+                }
+                "floor" => {
+                    need(1)?;
+                    Ok(vals[0].floor())
+                }
+                "max" => {
+                    need(2)?;
+                    Ok(vals[0].max(vals[1]))
+                }
+                "min" => {
+                    need(2)?;
+                    Ok(vals[0].min(vals[1]))
+                }
+                other => Err(PslError {
+                    span: *span,
+                    message: format!("unknown function '{other}'"),
+                }),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn eval_src(src: &str, over: Overrides) -> EvaluatedModel {
+        evaluate(&parse(src).unwrap(), &over).unwrap()
+    }
+
+    #[test]
+    fn counts_calls_through_loops() {
+        let m = eval_src(
+            "application a {
+                var numeric: n = 4;
+                proc exec init {
+                    for (i = 1; i <= n; i = i + 1) { call s; call s; }
+                }
+            }
+            subtask s { proc cflow work { compute <is clc, AFDG, 1>; } }",
+            Overrides::none(),
+        );
+        assert_eq!(m.subtask("s").unwrap().calls, 8);
+        assert_eq!(m.subtask("s").unwrap().vector.afdg, 1.0);
+    }
+
+    #[test]
+    fn overrides_change_control_flow() {
+        let src = "application a {
+            var numeric: n = 2;
+            proc exec init { for (i = 1; i <= n; i = i + 1) { call s; } }
+        }
+        subtask s { proc cflow work { compute <is clc, MFDG, 1>; } }";
+        let m = eval_src(src, Overrides::none().set("n", 7.0));
+        assert_eq!(m.subtask("s").unwrap().calls, 7);
+    }
+
+    #[test]
+    fn clc_loops_multiply() {
+        let m = eval_src(
+            "application a { proc exec init { call s; } }
+             subtask s {
+                var numeric: cells = 100;
+                proc cflow work {
+                    loop (<is clc, LFOR, 1>, cells) {
+                        compute <is clc, MFDG, 2, AFDG, 3>;
+                        loop (<is clc, LFOR, 0.5>, 10) {
+                            compute <is clc, DFDG, 1>;
+                        }
+                    }
+                }
+             }",
+            Overrides::none(),
+        );
+        let v = m.subtask("s").unwrap().vector;
+        assert_eq!(v.mfdg, 200.0);
+        assert_eq!(v.afdg, 300.0);
+        assert_eq!(v.dfdg, 1000.0);
+        assert_eq!(v.lfor, 100.0 + 100.0 * 0.5 * 10.0);
+    }
+
+    #[test]
+    fn links_bind_subtask_vars() {
+        let m = eval_src(
+            "application a {
+                var numeric: Px = 3;
+                link { s: cells = Px * Px; }
+                proc exec init { call s; }
+            }
+            subtask s {
+                var numeric: cells = 1;
+                proc cflow work { loop (<is clc, LFOR, 0>, cells) { compute <is clc, AFDG, 1>; } }
+            }",
+            Overrides::none().set("Px", 5.0),
+        );
+        let s = m.subtask("s").unwrap();
+        assert_eq!(s.bindings["cells"], 25.0);
+        assert_eq!(s.vector.afdg, 25.0);
+    }
+
+    #[test]
+    fn if_in_exec_and_cflow() {
+        let m = eval_src(
+            "application a {
+                var numeric: big = 1;
+                proc exec init {
+                    if (big > 0) { call s; } else { call t; }
+                }
+            }
+            subtask s {
+                proc cflow work {
+                    if (2 >= 3) { compute <is clc, MFDG, 100>; }
+                    else { compute <is clc, MFDG, 7>; }
+                }
+            }
+            subtask t { proc cflow work { compute <is clc, AFDG, 1>; } }",
+            Overrides::none(),
+        );
+        assert!(m.subtask("t").is_none());
+        assert_eq!(m.subtask("s").unwrap().vector.mfdg, 7.0);
+    }
+
+    #[test]
+    fn undefined_variable_is_located() {
+        let err = evaluate(
+            &parse("application a { proc exec init { x = y + 1; } }").unwrap(),
+            &Overrides::none(),
+        )
+        .unwrap_err();
+        assert!(err.message.contains("'y'"), "{err}");
+    }
+
+    #[test]
+    fn call_of_unknown_object_errors() {
+        let err = evaluate(
+            &parse("application a { proc exec init { call ghost; } }").unwrap(),
+            &Overrides::none(),
+        )
+        .unwrap_err();
+        assert!(err.message.contains("ghost"));
+    }
+
+    #[test]
+    fn compute_outside_cflow_rejected() {
+        let err = evaluate(
+            &parse("application a { proc exec init { compute <is clc, MFDG, 1>; } }")
+                .unwrap(),
+            &Overrides::none(),
+        )
+        .unwrap_err();
+        assert!(err.message.contains("cflow"), "{err}");
+    }
+
+    #[test]
+    fn builtin_functions() {
+        let env: HashMap<String, f64> = [("x".to_string(), 7.0)].into();
+        let e = parse("application a { proc exec init { y = ceil(x / 2) + min(1, 0); } }")
+            .unwrap();
+        // Extract the expression and evaluate it directly.
+        if let Stmt::Assign(_, expr) = &e[0].procs[0].body[0] {
+            assert_eq!(eval_expr(expr, &env).unwrap(), 4.0);
+        } else {
+            panic!();
+        }
+    }
+}

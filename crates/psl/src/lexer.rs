@@ -1,0 +1,275 @@
+//! Tokeniser for PSL scripts.
+//!
+//! Comments run from `--` or `//` to end of line. Identifiers are
+//! `[A-Za-z_][A-Za-z0-9_]*`; numbers are decimal with an optional
+//! fractional part and exponent.
+
+use crate::{PslError, Span};
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier or keyword (keywords are resolved by the parser).
+    Ident(String),
+    /// Numeric literal.
+    Number(f64),
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+    /// `==`
+    EqEq,
+    /// `!=`
+    Ne,
+    /// `=`
+    Eq,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `:`
+    Colon,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// End of input.
+    Eof,
+}
+
+/// A token with its location.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token.
+    pub tok: Tok,
+    /// Its source span.
+    pub span: Span,
+}
+
+/// Tokenise a script.
+pub fn lex(src: &str) -> Result<Vec<Token>, PslError> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+
+    macro_rules! span {
+        () => {
+            Span { offset: i, line, col }
+        };
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        // Whitespace.
+        if c == '\n' {
+            i += 1;
+            line += 1;
+            col = 1;
+            continue;
+        }
+        if c.is_ascii_whitespace() {
+            i += 1;
+            col += 1;
+            continue;
+        }
+        // Comments: `--` or `//` to end of line.
+        if (c == '-' && bytes.get(i + 1) == Some(&b'-'))
+            || (c == '/' && bytes.get(i + 1) == Some(&b'/'))
+        {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        let start = span!();
+        // Identifiers.
+        if c.is_ascii_alphabetic() || c == '_' {
+            let begin = i;
+            while i < bytes.len()
+                && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+            {
+                i += 1;
+                col += 1;
+            }
+            out.push(Token { tok: Tok::Ident(src[begin..i].to_string()), span: start });
+            continue;
+        }
+        // Numbers.
+        if c.is_ascii_digit() || (c == '.' && bytes.get(i + 1).is_some_and(|b| b.is_ascii_digit()))
+        {
+            let begin = i;
+            while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                i += 1;
+                col += 1;
+            }
+            if i < bytes.len() && bytes[i] == b'.' {
+                i += 1;
+                col += 1;
+                while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                    i += 1;
+                    col += 1;
+                }
+            }
+            if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+                let mut j = i + 1;
+                if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+                    j += 1;
+                }
+                if j < bytes.len() && bytes[j].is_ascii_digit() {
+                    i = j;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                    col = start.col + (i - start.offset) as u32;
+                }
+            }
+            let text = &src[begin..i];
+            let value = text.parse::<f64>().map_err(|e| PslError {
+                span: start,
+                message: format!("bad number literal '{text}': {e}"),
+            })?;
+            out.push(Token { tok: Tok::Number(value), span: start });
+            continue;
+        }
+        // Operators and punctuation.
+        let two = if i + 1 < bytes.len()
+            && src.is_char_boundary(i)
+            && src.is_char_boundary(i + 2)
+        {
+            &src[i..i + 2]
+        } else {
+            ""
+        };
+        let (tok, len) = match two {
+            "<=" => (Tok::Le, 2),
+            ">=" => (Tok::Ge, 2),
+            "==" => (Tok::EqEq, 2),
+            "!=" => (Tok::Ne, 2),
+            _ => match c {
+                '{' => (Tok::LBrace, 1),
+                '}' => (Tok::RBrace, 1),
+                '(' => (Tok::LParen, 1),
+                ')' => (Tok::RParen, 1),
+                '<' => (Tok::Lt, 1),
+                '>' => (Tok::Gt, 1),
+                '=' => (Tok::Eq, 1),
+                ',' => (Tok::Comma, 1),
+                ';' => (Tok::Semi, 1),
+                ':' => (Tok::Colon, 1),
+                '+' => (Tok::Plus, 1),
+                '-' => (Tok::Minus, 1),
+                '*' => (Tok::Star, 1),
+                '/' => (Tok::Slash, 1),
+                '%' => (Tok::Percent, 1),
+                other => {
+                    return Err(PslError {
+                        span: start,
+                        message: format!("unexpected character '{other}'"),
+                    })
+                }
+            },
+        };
+        out.push(Token { tok, span: start });
+        i += len;
+        col += len as u32;
+    }
+    out.push(Token { tok: Tok::Eof, span: span!() });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn idents_numbers_punct() {
+        let ts = toks("var x = 3.5; y2 = x * 10;");
+        assert_eq!(
+            ts,
+            vec![
+                Tok::Ident("var".into()),
+                Tok::Ident("x".into()),
+                Tok::Eq,
+                Tok::Number(3.5),
+                Tok::Semi,
+                Tok::Ident("y2".into()),
+                Tok::Eq,
+                Tok::Ident("x".into()),
+                Tok::Star,
+                Tok::Number(10.0),
+                Tok::Semi,
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let ts = toks("a -- this is a comment\nb // another\nc");
+        assert_eq!(
+            ts,
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Ident("b".into()),
+                Tok::Ident("c".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn two_char_operators() {
+        assert_eq!(toks("<= >= == !=")[..4], [Tok::Le, Tok::Ge, Tok::EqEq, Tok::Ne]);
+    }
+
+    #[test]
+    fn spans_track_lines() {
+        let tokens = lex("a\n  b").unwrap();
+        assert_eq!(tokens[0].span.line, 1);
+        assert_eq!(tokens[1].span.line, 2);
+        assert_eq!(tokens[1].span.col, 3);
+    }
+
+    #[test]
+    fn exponent_numbers() {
+        assert_eq!(toks("1e3")[0], Tok::Number(1000.0));
+        assert_eq!(toks("2.5e-2")[0], Tok::Number(0.025));
+    }
+
+    #[test]
+    fn bad_character_reports_location() {
+        let err = lex("x @").unwrap_err();
+        assert!(err.message.contains('@'));
+        assert_eq!(err.span.col, 3);
+    }
+
+    #[test]
+    fn minus_still_works_alone() {
+        // `-` must lex as Minus when not starting a comment.
+        assert_eq!(toks("a - b")[1], Tok::Minus);
+    }
+}

@@ -1,0 +1,107 @@
+//! # pace-psl — a CHIP3S-like performance specification language
+//!
+//! PACE models are written in a Performance Specification Language (PSL)
+//! called CHIP3S (paper §4, Figs. 4–6): application objects declare
+//! externally-modifiable variables and drive the control flow; subtask
+//! objects carry the serial resource usage as *clc* flow descriptions and
+//! name the parallel template that evaluates them.
+//!
+//! This crate implements a faithful dialect of that language:
+//!
+//! * [`lexer`] — tokens with source spans;
+//! * [`ast`] / [`parser`] — recursive-descent parser for `application` /
+//!   `subtask` / `partmp` objects with `var numeric:` declarations,
+//!   `link` blocks, `proc exec` (control flow: assignments, `for` loops,
+//!   `if`, `call`) and `proc cflow` (resource flow: `compute <is clc, …>`
+//!   steps inside loops);
+//! * [`eval`] — executes an application object's `init` procedure,
+//!   counting subtask calls and accumulating each subtask's clc resource
+//!   vector under its (possibly `link`-overridden) variable bindings;
+//! * [`compile`](mod@compile) — bridges the evaluated script to a
+//!   [`pace_core::ApplicationObject`], binding each subtask to its named
+//!   parallel template.
+//!
+//! The shipped `assets/sweep3d.psl` script is this repository's version of
+//! the paper's Figs. 4–6 listing set; the integration tests hold its
+//! compiled form to the programmatic [`pace_core::Sweep3dModel`] within
+//! floating-point tolerance.
+//!
+//! ```
+//! let script = pace_psl::assets::SWEEP3D_PSL;
+//! let objects = pace_psl::parser::parse(script).expect("parses");
+//! let model = pace_psl::compile::compile(
+//!     &objects,
+//!     &pace_psl::eval::Overrides::sweep3d(4, 4, 50, 50, 50),
+//! )
+//! .expect("compiles");
+//! assert_eq!(model.iterations, 12);
+//! assert_eq!(model.subtasks.len(), 4);
+//! ```
+
+pub mod assets;
+pub mod ast;
+pub mod compile;
+pub mod eval;
+pub mod lexer;
+pub mod parser;
+pub mod printer;
+
+#[doc(inline)]
+pub use compile::compile;
+pub use eval::Overrides;
+pub use parser::parse;
+
+/// A source location (byte offset plus 1-based line/column), carried on
+/// tokens and errors so script authors get precise diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub offset: usize,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+impl Span {
+    /// The beginning of a file.
+    pub fn start() -> Span {
+        Span { offset: 0, line: 1, col: 1 }
+    }
+}
+
+impl std::fmt::Display for Span {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// An error with its source location.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PslError {
+    /// Where the problem is.
+    pub span: Span,
+    /// What the problem is.
+    pub message: String,
+}
+
+impl std::fmt::Display for PslError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.span, self.message)
+    }
+}
+
+impl std::error::Error for PslError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_display() {
+        let s = Span { offset: 10, line: 3, col: 7 };
+        assert_eq!(s.to_string(), "3:7");
+        let e = PslError { span: s, message: "unexpected token".into() };
+        assert_eq!(e.to_string(), "3:7: unexpected token");
+    }
+}

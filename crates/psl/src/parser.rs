@@ -1,0 +1,493 @@
+//! Recursive-descent parser for PSL scripts.
+
+use crate::ast::*;
+use crate::lexer::{lex, Tok, Token};
+use crate::{PslError, Span};
+
+/// Parse a complete script into its objects.
+pub fn parse(src: &str) -> Result<Vec<Object>, PslError> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let mut objects = Vec::new();
+    while !p.at_eof() {
+        objects.push(p.object()?);
+    }
+    Ok(objects)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos]
+    }
+
+    fn at_eof(&self) -> bool {
+        matches!(self.peek().tok, Tok::Eof)
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, span: Span, message: impl Into<String>) -> Result<T, PslError> {
+        Err(PslError { span, message: message.into() })
+    }
+
+    fn expect(&mut self, tok: Tok, what: &str) -> Result<Span, PslError> {
+        let t = self.bump();
+        if t.tok == tok {
+            Ok(t.span)
+        } else {
+            self.err(t.span, format!("expected {what}, found {:?}", t.tok))
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<(String, Span), PslError> {
+        let t = self.bump();
+        match t.tok {
+            Tok::Ident(s) => Ok((s, t.span)),
+            other => self.err(t.span, format!("expected {what}, found {other:?}")),
+        }
+    }
+
+    fn eat_ident(&mut self, kw: &str) -> bool {
+        if let Tok::Ident(s) = &self.peek().tok {
+            if s == kw {
+                self.bump();
+                return true;
+            }
+        }
+        false
+    }
+
+    fn object(&mut self) -> Result<Object, PslError> {
+        let (kw, span) = self.ident("object kind (application/subtask/partmp)")?;
+        let kind = match kw.as_str() {
+            "application" => ObjectKind::Application,
+            "subtask" => ObjectKind::Subtask,
+            "partmp" => ObjectKind::Partmp,
+            other => {
+                return self.err(span, format!("unknown object kind '{other}'"));
+            }
+        };
+        let (name, _) = self.ident("object name")?;
+        self.expect(Tok::LBrace, "'{'")?;
+        let mut obj = Object {
+            kind,
+            name,
+            includes: vec![],
+            vars: vec![],
+            links: vec![],
+            procs: vec![],
+            span,
+        };
+        loop {
+            if matches!(self.peek().tok, Tok::RBrace) {
+                self.bump();
+                break;
+            }
+            let (item, item_span) = self.ident("object item")?;
+            match item.as_str() {
+                "include" => {
+                    let (inc, _) = self.ident("include target")?;
+                    self.expect(Tok::Semi, "';'")?;
+                    obj.includes.push(inc);
+                }
+                "var" => {
+                    // `var numeric: a = 1, b, c = x + 1;`
+                    if !self.eat_ident("numeric") {
+                        return self.err(item_span, "expected 'numeric' after 'var'");
+                    }
+                    self.expect(Tok::Colon, "':'")?;
+                    loop {
+                        let (vname, _) = self.ident("variable name")?;
+                        let default = if matches!(self.peek().tok, Tok::Eq) {
+                            self.bump();
+                            Some(self.expr()?)
+                        } else {
+                            None
+                        };
+                        obj.vars.push((vname, default));
+                        match self.bump() {
+                            Token { tok: Tok::Comma, .. } => continue,
+                            Token { tok: Tok::Semi, .. } => break,
+                            t => return self.err(t.span, "expected ',' or ';' in var list"),
+                        }
+                    }
+                }
+                "link" => {
+                    self.expect(Tok::LBrace, "'{'")?;
+                    while !matches!(self.peek().tok, Tok::RBrace) {
+                        let (target, _) = self.ident("link target")?;
+                        self.expect(Tok::Colon, "':'")?;
+                        let mut assigns = Vec::new();
+                        loop {
+                            let (vname, _) = self.ident("linked variable")?;
+                            self.expect(Tok::Eq, "'='")?;
+                            let value = self.expr()?;
+                            assigns.push((vname, value));
+                            match self.bump() {
+                                Token { tok: Tok::Comma, .. } => continue,
+                                Token { tok: Tok::Semi, .. } => break,
+                                t => {
+                                    return self
+                                        .err(t.span, "expected ',' or ';' in link assigns")
+                                }
+                            }
+                        }
+                        obj.links.push(Link { target, assigns });
+                    }
+                    self.bump(); // consume '}'
+                }
+                "proc" => {
+                    let (pk, pk_span) = self.ident("proc kind (exec/cflow)")?;
+                    let kind = match pk.as_str() {
+                        "exec" => ProcKind::Exec,
+                        "cflow" => ProcKind::Cflow,
+                        other => {
+                            return self.err(pk_span, format!("unknown proc kind '{other}'"))
+                        }
+                    };
+                    let (pname, _) = self.ident("proc name")?;
+                    self.expect(Tok::LBrace, "'{'")?;
+                    let body = self.stmts_until_rbrace()?;
+                    obj.procs.push(Proc { kind, name: pname, body });
+                }
+                other => {
+                    return self.err(item_span, format!("unknown object item '{other}'"));
+                }
+            }
+        }
+        Ok(obj)
+    }
+
+    fn stmts_until_rbrace(&mut self) -> Result<Vec<Stmt>, PslError> {
+        let mut body = Vec::new();
+        loop {
+            if matches!(self.peek().tok, Tok::RBrace) {
+                self.bump();
+                return Ok(body);
+            }
+            body.push(self.stmt()?);
+        }
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, PslError> {
+        let t = self.peek().clone();
+        let (word, span) = match &t.tok {
+            Tok::Ident(s) => (s.clone(), t.span),
+            other => return self.err(t.span, format!("expected statement, found {other:?}")),
+        };
+        match word.as_str() {
+            "for" => {
+                self.bump();
+                self.expect(Tok::LParen, "'('")?;
+                let (var, _) = self.ident("loop variable")?;
+                self.expect(Tok::Eq, "'='")?;
+                let from = self.expr()?;
+                self.expect(Tok::Semi, "';'")?;
+                let (cond_var, cv_span) = self.ident("loop variable in condition")?;
+                if cond_var != var {
+                    return self.err(cv_span, "loop condition must test the loop variable");
+                }
+                self.expect(Tok::Le, "'<='")?;
+                let to = self.expr()?;
+                self.expect(Tok::Semi, "';'")?;
+                let (step_var, sv_span) = self.ident("loop variable in step")?;
+                if step_var != var {
+                    return self.err(sv_span, "loop step must assign the loop variable");
+                }
+                self.expect(Tok::Eq, "'='")?;
+                let step = self.expr()?;
+                self.expect(Tok::RParen, "')'")?;
+                self.expect(Tok::LBrace, "'{'")?;
+                let body = self.stmts_until_rbrace()?;
+                Ok(Stmt::For { var, from, to, step, body })
+            }
+            "if" => {
+                self.bump();
+                self.expect(Tok::LParen, "'('")?;
+                let cond = self.expr()?;
+                self.expect(Tok::RParen, "')'")?;
+                self.expect(Tok::LBrace, "'{'")?;
+                let then_body = self.stmts_until_rbrace()?;
+                let else_body = if self.eat_ident("else") {
+                    self.expect(Tok::LBrace, "'{'")?;
+                    self.stmts_until_rbrace()?
+                } else {
+                    vec![]
+                };
+                Ok(Stmt::If { cond, then_body, else_body })
+            }
+            "call" => {
+                self.bump();
+                let (target, cspan) = self.ident("call target")?;
+                self.expect(Tok::Semi, "';'")?;
+                Ok(Stmt::Call(target, cspan))
+            }
+            "compute" | "step" => {
+                self.bump();
+                if word == "step" {
+                    // `step cpu <is clc, …>;` — accept the Fig. 6 spelling.
+                    let (unit, uspan) = self.ident("resource unit after 'step'")?;
+                    if unit != "cpu" {
+                        return self.err(uspan, "only 'step cpu' is supported");
+                    }
+                }
+                let clc = self.clc_vector()?;
+                self.expect(Tok::Semi, "';'")?;
+                Ok(Stmt::Compute(clc, span))
+            }
+            "loop" => {
+                self.bump();
+                self.expect(Tok::LParen, "'('")?;
+                let overhead = self.clc_vector()?;
+                self.expect(Tok::Comma, "','")?;
+                let count = self.expr()?;
+                self.expect(Tok::RParen, "')'")?;
+                self.expect(Tok::LBrace, "'{'")?;
+                let body = self.stmts_until_rbrace()?;
+                Ok(Stmt::ClcLoop { overhead, count, body })
+            }
+            _ => {
+                // Assignment.
+                self.bump();
+                self.expect(Tok::Eq, "'='")?;
+                let value = self.expr()?;
+                self.expect(Tok::Semi, "';'")?;
+                Ok(Stmt::Assign(word, value))
+            }
+        }
+    }
+
+    /// `<is clc, MFDG, expr, AFDG, expr, …>`
+    fn clc_vector(&mut self) -> Result<Vec<(String, Expr)>, PslError> {
+        self.expect(Tok::Lt, "'<'")?;
+        let (is_kw, is_span) = self.ident("'is'")?;
+        if is_kw != "is" {
+            return self.err(is_span, "clc vector must start '<is clc, …'");
+        }
+        let (clc_kw, clc_span) = self.ident("'clc'")?;
+        if clc_kw != "clc" {
+            return self.err(clc_span, "clc vector must start '<is clc, …'");
+        }
+        let mut entries = Vec::new();
+        loop {
+            match self.bump() {
+                Token { tok: Tok::Gt, .. } => break,
+                Token { tok: Tok::Comma, .. } => {
+                    let (op, _) = self.ident("opcode mnemonic")?;
+                    self.expect(Tok::Comma, "','")?;
+                    // Counts parse at additive level: `>` closes the vector
+                    // rather than starting a comparison.
+                    let count = self.additive()?;
+                    entries.push((op, count));
+                }
+                t => return self.err(t.span, "expected ',' or '>' in clc vector"),
+            }
+        }
+        Ok(entries)
+    }
+
+    // Expression grammar: comparison > additive > multiplicative > unary.
+    fn expr(&mut self) -> Result<Expr, PslError> {
+        let lhs = self.additive()?;
+        let op = match self.peek().tok {
+            Tok::Lt => BinOp::Lt,
+            Tok::Le => BinOp::Le,
+            Tok::Gt => BinOp::Gt,
+            Tok::Ge => BinOp::Ge,
+            Tok::EqEq => BinOp::Eq,
+            Tok::Ne => BinOp::Ne,
+            _ => return Ok(lhs),
+        };
+        self.bump();
+        let rhs = self.additive()?;
+        Ok(Expr::Bin(Box::new(lhs), op, Box::new(rhs)))
+    }
+
+    fn additive(&mut self) -> Result<Expr, PslError> {
+        let mut lhs = self.multiplicative()?;
+        loop {
+            let op = match self.peek().tok {
+                Tok::Plus => BinOp::Add,
+                Tok::Minus => BinOp::Sub,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.multiplicative()?;
+            lhs = Expr::Bin(Box::new(lhs), op, Box::new(rhs));
+        }
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr, PslError> {
+        let mut lhs = self.unary()?;
+        loop {
+            let op = match self.peek().tok {
+                Tok::Star => BinOp::Mul,
+                Tok::Slash => BinOp::Div,
+                Tok::Percent => BinOp::Rem,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.unary()?;
+            lhs = Expr::Bin(Box::new(lhs), op, Box::new(rhs));
+        }
+    }
+
+    fn unary(&mut self) -> Result<Expr, PslError> {
+        if matches!(self.peek().tok, Tok::Minus) {
+            self.bump();
+            return Ok(Expr::Neg(Box::new(self.unary()?)));
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr, PslError> {
+        let t = self.bump();
+        match t.tok {
+            Tok::Number(n) => Ok(Expr::Num(n)),
+            Tok::LParen => {
+                let e = self.expr()?;
+                self.expect(Tok::RParen, "')'")?;
+                Ok(e)
+            }
+            Tok::Ident(name) => {
+                if matches!(self.peek().tok, Tok::LParen) {
+                    self.bump();
+                    let mut args = Vec::new();
+                    if !matches!(self.peek().tok, Tok::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            match self.bump() {
+                                Token { tok: Tok::Comma, .. } => continue,
+                                Token { tok: Tok::RParen, .. } => break,
+                                t => {
+                                    return self
+                                        .err(t.span, "expected ',' or ')' in call arguments")
+                                }
+                            }
+                        }
+                    } else {
+                        self.bump();
+                    }
+                    Ok(Expr::Call(name, args, t.span))
+                } else {
+                    Ok(Expr::Var(name, t.span))
+                }
+            }
+            other => self.err(t.span, format!("expected expression, found {other:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_minimal_application() {
+        let src = "
+            application demo {
+                var numeric: n = 3;
+                proc exec init {
+                    for (i = 1; i <= n; i = i + 1) {
+                        call work;
+                    }
+                }
+            }
+            subtask work {
+                include pipeline;
+                proc cflow work {
+                    compute <is clc, MFDG, 2, AFDG, 3>;
+                }
+            }
+        ";
+        let objs = parse(src).unwrap();
+        assert_eq!(objs.len(), 2);
+        assert_eq!(objs[0].kind, ObjectKind::Application);
+        assert_eq!(objs[1].includes, vec!["pipeline".to_string()]);
+    }
+
+    #[test]
+    fn parses_link_block() {
+        let src = "
+            application a {
+                var numeric: Px = 2;
+                link { sweep: px = Px, py = Px + 1; }
+                proc exec init { call sweep; }
+            }
+        ";
+        let objs = parse(src).unwrap();
+        assert_eq!(objs[0].links.len(), 1);
+        assert_eq!(objs[0].links[0].target, "sweep");
+        assert_eq!(objs[0].links[0].assigns.len(), 2);
+    }
+
+    #[test]
+    fn parses_clc_loop() {
+        let src = "
+            subtask s {
+                proc cflow work {
+                    loop (<is clc, LFOR, 1>, 10) {
+                        compute <is clc, AFDG, 2>;
+                    }
+                }
+            }
+        ";
+        let objs = parse(src).unwrap();
+        match &objs[0].procs[0].body[0] {
+            Stmt::ClcLoop { overhead, body, .. } => {
+                assert_eq!(overhead.len(), 1);
+                assert_eq!(body.len(), 1);
+            }
+            other => panic!("expected ClcLoop, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence() {
+        let src = "application a { proc exec init { x = 1 + 2 * 3; } }";
+        let objs = parse(src).unwrap();
+        match &objs[0].procs[0].body[0] {
+            Stmt::Assign(_, Expr::Bin(_, BinOp::Add, rhs)) => {
+                assert!(matches!(**rhs, Expr::Bin(_, BinOp::Mul, _)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_locations() {
+        let err = parse("application a {\n  bogus x;\n}").unwrap_err();
+        assert_eq!(err.span.line, 2);
+        assert!(err.message.contains("bogus"));
+    }
+
+    #[test]
+    fn if_else_parses() {
+        let src = "application a { proc exec init { if (x > 1) { call s; } else { y = 2; } } }";
+        let objs = parse(src).unwrap();
+        match &objs[0].procs[0].body[0] {
+            Stmt::If { then_body, else_body, .. } => {
+                assert_eq!(then_body.len(), 1);
+                assert_eq!(else_body.len(), 1);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn function_calls_parse() {
+        let src = "application a { proc exec init { x = ceil(n / mk) * max(1, 2); } }";
+        assert!(parse(src).is_ok());
+    }
+}

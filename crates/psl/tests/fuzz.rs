@@ -1,0 +1,123 @@
+//! Totality of the PSL front-end: the lexer/parser/evaluator must return
+//! errors, never panic, on arbitrary input — and generated well-formed
+//! scripts must evaluate to the arithmetic they encode.
+
+use proptest::prelude::*;
+
+use pace_psl::eval::{evaluate, Overrides};
+use pace_psl::parser::parse;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary byte soup: parse() returns Ok or Err, never panics.
+    #[test]
+    fn parser_total_on_arbitrary_input(src in "\\PC{0,200}") {
+        let _ = parse(&src);
+    }
+
+    /// Arbitrary token-ish soup from the PSL alphabet (more likely to get
+    /// deep into the parser than raw bytes).
+    #[test]
+    fn parser_total_on_psl_alphabet(
+        tokens in prop::collection::vec(
+            prop::sample::select(vec![
+                "application", "subtask", "partmp", "var", "numeric", "link",
+                "proc", "exec", "cflow", "for", "if", "else", "call",
+                "compute", "loop", "is", "clc", "MFDG", "AFDG",
+                "{", "}", "(", ")", "<", ">", "<=", "=", ",", ";", ":",
+                "+", "-", "*", "/", "x", "y", "1", "2.5", "0",
+            ]),
+            0..60,
+        )
+    ) {
+        let src = tokens.join(" ");
+        let _ = parse(&src);
+    }
+
+    /// Evaluator totality: parse whatever survives, then evaluate; errors
+    /// are fine, panics are not.
+    #[test]
+    fn evaluator_total(body in "[a-z =+*0-9;(){}<>,]{0,120}") {
+        let src = format!("application a {{ proc exec init {{ {body} }} }}");
+        if let Ok(objects) = parse(&src) {
+            let _ = evaluate(&objects, &Overrides::none());
+        }
+    }
+
+    /// Generated straight-line arithmetic scripts evaluate exactly.
+    #[test]
+    fn generated_clc_totals_are_exact(
+        counts in prop::collection::vec((1u32..100, 1u32..50), 1..10)
+    ) {
+        let mut body = String::new();
+        let mut expect_mfdg = 0u64;
+        for (reps, per) in &counts {
+            body.push_str(&format!(
+                "loop (<is clc, LFOR, 1>, {reps}) {{ compute <is clc, MFDG, {per}>; }}\n"
+            ));
+            expect_mfdg += u64::from(*reps) * u64::from(*per);
+        }
+        let src = format!(
+            "application a {{ proc exec init {{ call s; }} }}
+             subtask s {{ proc cflow work {{ {body} }} }}"
+        );
+        let objects = parse(&src).unwrap();
+        let model = evaluate(&objects, &Overrides::none()).unwrap();
+        let v = model.subtask("s").unwrap().vector;
+        prop_assert_eq!(v.mfdg as u64, expect_mfdg);
+    }
+
+    /// Print → parse round trips for generated scripts: same evaluation.
+    #[test]
+    fn printer_roundtrip(
+        iters in 1u32..20,
+        per in 1u32..40,
+        use_if in any::<bool>(),
+        nest in any::<bool>(),
+    ) {
+        let inner = if nest {
+            format!("loop (<is clc, LFOR, 1>, {per}) {{ compute <is clc, AFDG, 2>; }}")
+        } else {
+            format!("compute <is clc, AFDG, {per}>;")
+        };
+        let body = if use_if {
+            format!("if (n > 0) {{ {inner} }} else {{ compute <is clc, MFDG, 1>; }}")
+        } else {
+            inner
+        };
+        let src = format!(
+            "application a {{
+                var numeric: n = {iters};
+                proc exec init {{ for (i = 1; i <= n; i = i + 1) {{ call s; }} }}
+            }}
+            subtask s {{ var numeric: n = {iters}; proc cflow w {{ {body} }} }}"
+        );
+        let objects = pace_psl::parser::parse(&src).unwrap();
+        let printed = pace_psl::printer::print(&objects);
+        let reparsed = pace_psl::parser::parse(&printed)
+            .unwrap_or_else(|e| panic!("reprint must parse: {e}\n{printed}"));
+        let a = evaluate(&objects, &Overrides::none()).unwrap();
+        let b = evaluate(&reparsed, &Overrides::none()).unwrap();
+        prop_assert_eq!(a.subtask("s").unwrap().vector, b.subtask("s").unwrap().vector);
+        prop_assert_eq!(a.subtask("s").unwrap().calls, b.subtask("s").unwrap().calls);
+    }
+
+    /// For-loop iteration counts in exec procs follow the bounds exactly.
+    #[test]
+    fn exec_loop_counts(from in -5i64..5, to in -5i64..20) {
+        let src = format!(
+            "application a {{
+                proc exec init {{
+                    for (i = {from}; i <= {to}; i = i + 1) {{ call s; }}
+                }}
+            }}
+            subtask s {{ proc cflow w {{ compute <is clc, AFDG, 1>; }} }}"
+        );
+        let objects = parse(&src).unwrap();
+        let model = evaluate(&objects, &Overrides::none()).unwrap();
+        let expect = (to - from + 1).max(0) as u64;
+        let got = model.subtask("s").map(|s| s.calls).unwrap_or(0);
+        prop_assert_eq!(got, expect);
+    }
+}

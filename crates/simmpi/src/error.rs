@@ -1,0 +1,64 @@
+//! Error types for the message-passing runtime.
+
+use std::fmt;
+
+/// Result alias used throughout `simmpi`.
+pub type Result<T> = std::result::Result<T, MpiError>;
+
+/// Errors raised by communicator operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MpiError {
+    /// The destination or source rank is outside `0..size`.
+    InvalidRank {
+        /// The offending rank.
+        rank: usize,
+        /// Communicator size.
+        size: usize,
+    },
+    /// The communicator has been shut down (peer threads have exited),
+    /// so a blocking receive can never be satisfied.
+    Disconnected,
+    /// A payload could not be decoded as the requested type (e.g. a byte
+    /// buffer whose length is not a multiple of 8 decoded as `f64`s).
+    PayloadType {
+        /// Human-readable description of the mismatch.
+        detail: String,
+    },
+    /// A collective was invoked with inconsistent arguments across ranks
+    /// (detected where possible, e.g. mismatched vector lengths).
+    CollectiveMismatch {
+        /// Human-readable description.
+        detail: String,
+    },
+}
+
+impl fmt::Display for MpiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MpiError::InvalidRank { rank, size } => {
+                write!(f, "rank {rank} out of range for communicator of size {size}")
+            }
+            MpiError::Disconnected => write!(f, "communicator disconnected"),
+            MpiError::PayloadType { detail } => write!(f, "payload type mismatch: {detail}"),
+            MpiError::CollectiveMismatch { detail } => {
+                write!(f, "collective argument mismatch: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MpiError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = MpiError::InvalidRank { rank: 9, size: 4 };
+        assert!(e.to_string().contains("rank 9"));
+        assert!(MpiError::Disconnected.to_string().contains("disconnected"));
+        let e = MpiError::PayloadType { detail: "len 7".into() };
+        assert!(e.to_string().contains("len 7"));
+    }
+}

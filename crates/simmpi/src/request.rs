@@ -1,0 +1,232 @@
+//! Nonblocking point-to-point operations and combined exchanges.
+//!
+//! SWEEP3D ships with both blocking and nonblocking MPI variants; this
+//! module supplies the nonblocking subset (`isend`/`irecv`/`wait`/
+//! `waitall`) plus `sendrecv`, the deadlock-free paired exchange. Sends in
+//! this runtime are eager (buffered), so an `isend` completes immediately;
+//! an `irecv` records the posted `(source, tag)` and completes at `wait`,
+//! matching in posting order — the observable MPI semantics for
+//! tag-specific receives.
+
+use crate::comm::{Comm, RecvStatus};
+use crate::error::Result;
+use crate::message::Payload;
+
+/// A nonblocking operation handle.
+#[derive(Debug)]
+pub enum Request {
+    /// A send, already complete (eager buffering).
+    Send,
+    /// A posted receive awaiting completion.
+    Recv {
+        /// Source rank the receive was posted for.
+        source: usize,
+        /// Posted tag.
+        tag: i32,
+    },
+}
+
+/// The completed value of a request.
+#[derive(Debug)]
+pub enum Completion {
+    /// A send completed; nothing to deliver.
+    Send,
+    /// A receive completed with its payload.
+    Recv(Payload, RecvStatus),
+}
+
+impl Completion {
+    /// Extract a receive completion's `f64` payload; panics on a send
+    /// completion (caller knows which request it waited on).
+    pub fn into_f64s(self) -> Result<Vec<f64>> {
+        match self {
+            Completion::Send => Ok(Vec::new()),
+            Completion::Recv(payload, _) => payload.to_f64s(),
+        }
+    }
+}
+
+impl Comm {
+    /// Nonblocking send: buffers the message and returns a completed
+    /// request.
+    pub fn isend_f64s(&self, dest: usize, tag: i32, values: &[f64]) -> Result<Request> {
+        self.send_f64s(dest, tag, values)?;
+        Ok(Request::Send)
+    }
+
+    /// Nonblocking receive: posts `(source, tag)`; completion happens at
+    /// [`Comm::wait`].
+    pub fn irecv(&self, source: usize, tag: i32) -> Result<Request> {
+        // Validate the rank eagerly so errors surface at post time.
+        if source >= self.size() {
+            return Err(crate::error::MpiError::InvalidRank { rank: source, size: self.size() });
+        }
+        Ok(Request::Recv { source, tag })
+    }
+
+    /// Complete one request.
+    pub fn wait(&self, request: Request) -> Result<Completion> {
+        match request {
+            Request::Send => Ok(Completion::Send),
+            Request::Recv { source, tag } => {
+                let (payload, status) = self.recv(source, tag)?;
+                Ok(Completion::Recv(payload, status))
+            }
+        }
+    }
+
+    /// Complete a batch of requests, in order.
+    pub fn waitall(&self, requests: Vec<Request>) -> Result<Vec<Completion>> {
+        requests.into_iter().map(|r| self.wait(r)).collect()
+    }
+
+    /// Combined send+receive (deadlock-free pairwise exchange): sends
+    /// `values` to `dest` with `send_tag` and receives from `source` with
+    /// `recv_tag`.
+    pub fn sendrecv_f64s(
+        &self,
+        dest: usize,
+        send_tag: i32,
+        values: &[f64],
+        source: usize,
+        recv_tag: i32,
+    ) -> Result<Vec<f64>> {
+        self.send_f64s(dest, send_tag, values)?;
+        let (v, _) = self.recv_f64s(source, recv_tag)?;
+        Ok(v)
+    }
+
+    /// All-gather: every rank contributes a vector and receives the
+    /// rank-ordered concatenation of all contributions.
+    pub fn allgather_f64s(&self, values: &[f64]) -> Result<Vec<Vec<f64>>> {
+        let gathered = self.gather_f64s(values, 0)?;
+        // Root flattens with per-rank lengths, then broadcasts.
+        let flat: Vec<f64> = match gathered {
+            Some(parts) => {
+                let mut buf = Vec::with_capacity(parts.len() + 1);
+                buf.push(parts.len() as f64);
+                for p in &parts {
+                    buf.push(p.len() as f64);
+                }
+                for p in &parts {
+                    buf.extend_from_slice(p);
+                }
+                buf
+            }
+            None => Vec::new(),
+        };
+        let flat = self.bcast_f64s(&flat, 0)?;
+        let n = flat[0] as usize;
+        let mut out = Vec::with_capacity(n);
+        let lengths: Vec<usize> = flat[1..1 + n].iter().map(|&l| l as usize).collect();
+        let mut offset = 1 + n;
+        for len in lengths {
+            out.push(flat[offset..offset + len].to_vec());
+            offset += len;
+        }
+        Ok(out)
+    }
+
+    /// Exclusive prefix sum of a scalar across ranks: rank `r` receives
+    /// `Σ_{i<r} value_i` (0 on rank 0). Implemented as a rank chain.
+    pub fn exscan_f64(&self, value: f64) -> Result<f64> {
+        let tag = -4040; // reserved in the negative user space
+        let prefix = if self.rank() == 0 {
+            0.0
+        } else {
+            let (v, _) = self.recv_f64s(self.rank() - 1, tag)?;
+            v[0]
+        };
+        if self.rank() + 1 < self.size() {
+            self.send_f64s(self.rank() + 1, tag, &[prefix + value])?;
+        }
+        Ok(prefix)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Runtime;
+
+    #[test]
+    fn isend_irecv_wait_roundtrip() {
+        let out = Runtime::new(2).run(|c| {
+            if c.rank() == 0 {
+                let req = c.isend_f64s(1, 9, &[1.0, 2.0, 3.0]).unwrap();
+                matches!(c.wait(req).unwrap(), Completion::Send) as usize as f64
+            } else {
+                let req = c.irecv(0, 9).unwrap();
+                // Do other work before completing…
+                let v = c.wait(req).unwrap().into_f64s().unwrap();
+                v.iter().sum()
+            }
+        });
+        assert_eq!(out, vec![1.0, 6.0]);
+    }
+
+    #[test]
+    fn waitall_preserves_order() {
+        let out = Runtime::new(2).run(|c| {
+            if c.rank() == 0 {
+                for t in 0..4 {
+                    c.send_f64s(1, t, &[t as f64]).unwrap();
+                }
+                vec![]
+            } else {
+                let reqs: Vec<Request> =
+                    (0..4).map(|t| c.irecv(0, t).unwrap()).collect();
+                c.waitall(reqs)
+                    .unwrap()
+                    .into_iter()
+                    .map(|comp| comp.into_f64s().unwrap()[0])
+                    .collect()
+            }
+        });
+        assert_eq!(out[1], vec![0.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn irecv_invalid_rank_fails_at_post() {
+        let out = Runtime::new(1).run(|c| c.irecv(5, 0).is_err());
+        assert!(out[0]);
+    }
+
+    #[test]
+    fn sendrecv_ring_exchange() {
+        let n = 5;
+        let out = Runtime::new(n).run(|c| {
+            let right = (c.rank() + 1) % n;
+            let left = (c.rank() + n - 1) % n;
+            c.sendrecv_f64s(right, 7, &[c.rank() as f64], left, 7).unwrap()[0]
+        });
+        for (rank, v) in out.iter().enumerate() {
+            assert_eq!(*v, ((rank + n - 1) % n) as f64);
+        }
+    }
+
+    #[test]
+    fn allgather_collects_everything() {
+        let out = Runtime::new(4).run(|c| {
+            // Ranks contribute vectors of different lengths.
+            let mine: Vec<f64> = (0..=c.rank()).map(|i| i as f64).collect();
+            c.allgather_f64s(&mine).unwrap()
+        });
+        for parts in out {
+            assert_eq!(parts.len(), 4);
+            for (rank, p) in parts.iter().enumerate() {
+                assert_eq!(p.len(), rank + 1);
+                assert_eq!(*p, (0..=rank).map(|i| i as f64).collect::<Vec<_>>());
+            }
+        }
+    }
+
+    #[test]
+    fn exscan_prefix_sums() {
+        let out = Runtime::new(6).run(|c| c.exscan_f64((c.rank() + 1) as f64).unwrap());
+        // value_i = i+1 ⇒ prefix at rank r = r(r+1)/2.
+        for (r, v) in out.iter().enumerate() {
+            assert_eq!(*v, (r * (r + 1) / 2) as f64);
+        }
+    }
+}

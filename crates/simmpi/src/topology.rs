@@ -1,0 +1,203 @@
+//! 2-D Cartesian process topologies.
+//!
+//! SWEEP3D maps its spatial grid onto a `Px × Py` logical processor array
+//! (paper §2, Fig. 1). This module provides the rank ↔ `(i, j)` coordinate
+//! mapping and the four mesh-neighbour queries the sweep driver needs:
+//! east/west neighbours in `i` and north/south neighbours in `j`.
+//!
+//! Rank layout is row-major in `j` (matching the original code's
+//! `rank = j * Px + i` with `i` the fastest-varying index).
+
+/// A 2-D Cartesian topology of `px × py` ranks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cart2d {
+    px: usize,
+    py: usize,
+}
+
+/// The four mesh directions of the processor array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// `i - 1` (west).
+    West,
+    /// `i + 1` (east).
+    East,
+    /// `j - 1` (south).
+    South,
+    /// `j + 1` (north).
+    North,
+}
+
+impl Direction {
+    /// All four directions, in a fixed order.
+    pub const ALL: [Direction; 4] =
+        [Direction::West, Direction::East, Direction::South, Direction::North];
+
+    /// The opposite direction (message arrival side for a send).
+    pub fn opposite(self) -> Direction {
+        match self {
+            Direction::West => Direction::East,
+            Direction::East => Direction::West,
+            Direction::South => Direction::North,
+            Direction::North => Direction::South,
+        }
+    }
+}
+
+impl Cart2d {
+    /// Create a topology; both extents must be nonzero.
+    pub fn new(px: usize, py: usize) -> Self {
+        assert!(px > 0 && py > 0, "topology extents must be nonzero");
+        Cart2d { px, py }
+    }
+
+    /// Processors in the `i` direction.
+    #[inline]
+    pub fn px(&self) -> usize {
+        self.px
+    }
+
+    /// Processors in the `j` direction.
+    #[inline]
+    pub fn py(&self) -> usize {
+        self.py
+    }
+
+    /// Total ranks.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.px * self.py
+    }
+
+    /// Coordinates `(i, j)` of a rank.
+    #[inline]
+    pub fn coords(&self, rank: usize) -> (usize, usize) {
+        assert!(rank < self.size(), "rank {rank} out of range");
+        (rank % self.px, rank / self.px)
+    }
+
+    /// Rank at coordinates `(i, j)`.
+    #[inline]
+    pub fn rank_of(&self, i: usize, j: usize) -> usize {
+        assert!(i < self.px && j < self.py, "coords ({i},{j}) out of range");
+        j * self.px + i
+    }
+
+    /// Neighbour of `rank` in `dir`, or `None` at the array boundary
+    /// (SWEEP3D has no periodic wrap; boundary fluxes come from boundary
+    /// conditions instead of messages).
+    pub fn neighbor(&self, rank: usize, dir: Direction) -> Option<usize> {
+        let (i, j) = self.coords(rank);
+        match dir {
+            Direction::West => (i > 0).then(|| self.rank_of(i - 1, j)),
+            Direction::East => (i + 1 < self.px).then(|| self.rank_of(i + 1, j)),
+            Direction::South => (j > 0).then(|| self.rank_of(i, j - 1)),
+            Direction::North => (j + 1 < self.py).then(|| self.rank_of(i, j + 1)),
+        }
+    }
+
+    /// The wavefront diagonal index of a rank for a sweep entering at the
+    /// given corner signs. `(sign_i, sign_j)` are `+1` when the sweep moves
+    /// toward increasing `i`/`j`. Ranks on the same diagonal may compute the
+    /// same block concurrently; the diagonal index is the pipeline stage at
+    /// which a rank first receives work for that sweep direction.
+    pub fn diagonal(&self, rank: usize, sign_i: i8, sign_j: i8) -> usize {
+        let (i, j) = self.coords(rank);
+        let di = if sign_i >= 0 { i } else { self.px - 1 - i };
+        let dj = if sign_j >= 0 { j } else { self.py - 1 - j };
+        di + dj
+    }
+
+    /// Largest diagonal index, i.e. the pipeline depth `Px + Py - 2`.
+    pub fn max_diagonal(&self) -> usize {
+        self.px + self.py - 2
+    }
+}
+
+/// Choose a near-square factorisation `px × py = size` (used when callers
+/// want an automatic decomposition, like `MPI_Dims_create`).
+pub fn near_square_dims(size: usize) -> (usize, usize) {
+    assert!(size > 0);
+    let mut best = (1, size);
+    let mut i = 1;
+    while i * i <= size {
+        if size % i == 0 {
+            best = (i, size / i);
+        }
+        i += 1;
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coords_roundtrip() {
+        let t = Cart2d::new(4, 3);
+        for rank in 0..t.size() {
+            let (i, j) = t.coords(rank);
+            assert_eq!(t.rank_of(i, j), rank);
+        }
+    }
+
+    #[test]
+    fn neighbors_at_boundaries() {
+        let t = Cart2d::new(3, 2);
+        // rank 0 is (0, 0): no west, no south.
+        assert_eq!(t.neighbor(0, Direction::West), None);
+        assert_eq!(t.neighbor(0, Direction::South), None);
+        assert_eq!(t.neighbor(0, Direction::East), Some(1));
+        assert_eq!(t.neighbor(0, Direction::North), Some(3));
+        // rank 5 is (2, 1): no east, no north.
+        assert_eq!(t.neighbor(5, Direction::East), None);
+        assert_eq!(t.neighbor(5, Direction::North), None);
+        assert_eq!(t.neighbor(5, Direction::West), Some(4));
+        assert_eq!(t.neighbor(5, Direction::South), Some(2));
+    }
+
+    #[test]
+    fn neighbor_symmetry() {
+        let t = Cart2d::new(5, 4);
+        for rank in 0..t.size() {
+            for dir in Direction::ALL {
+                if let Some(n) = t.neighbor(rank, dir) {
+                    assert_eq!(t.neighbor(n, dir.opposite()), Some(rank));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn diagonals_cover_pipeline_depth() {
+        let t = Cart2d::new(4, 4);
+        for (si, sj) in [(1i8, 1i8), (1, -1), (-1, 1), (-1, -1)] {
+            let diags: Vec<usize> = (0..t.size()).map(|r| t.diagonal(r, si, sj)).collect();
+            assert_eq!(*diags.iter().min().unwrap(), 0);
+            assert_eq!(*diags.iter().max().unwrap(), t.max_diagonal());
+        }
+    }
+
+    #[test]
+    fn diagonal_monotone_along_sweep() {
+        let t = Cart2d::new(4, 3);
+        // For a (+i, +j) sweep the east/north neighbour is one stage later.
+        for rank in 0..t.size() {
+            for dir in [Direction::East, Direction::North] {
+                if let Some(n) = t.neighbor(rank, dir) {
+                    assert_eq!(t.diagonal(n, 1, 1), t.diagonal(rank, 1, 1) + 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn near_square() {
+        assert_eq!(near_square_dims(1), (1, 1));
+        assert_eq!(near_square_dims(12), (3, 4));
+        assert_eq!(near_square_dims(16), (4, 4));
+        assert_eq!(near_square_dims(7), (1, 7));
+        assert_eq!(near_square_dims(100), (10, 10));
+    }
+}

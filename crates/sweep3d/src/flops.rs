@@ -1,0 +1,126 @@
+//! Instrumented floating-point operation counting.
+//!
+//! The paper's coarse benchmarking needs the *achieved* flop rate of the
+//! compiled kernel: total floating-point operations divided by wall time.
+//! PAPI reads hardware counters; we instead thread a [`FlopCounter`] through
+//! the kernel, incremented with compile-time-constant amounts in each basic
+//! block so the hot loop cost is a handful of integer adds.
+//!
+//! The same counter doubles as the runtime cross-check of the `capp` static
+//! analysis ("the profiling also allows the results from the source code
+//! analysis to be verified", paper §4.3).
+
+use serde::{Deserialize, Serialize};
+
+/// Tallies of floating-point operations by kind, mirroring the clc opcode
+/// classes of PACE (`MFDG` multiply, `AFDG` add, `DFDG` divide).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlopCounter {
+    /// Floating-point additions/subtractions.
+    pub adds: u64,
+    /// Floating-point multiplications.
+    pub muls: u64,
+    /// Floating-point divisions.
+    pub divs: u64,
+    /// Comparisons that feed fixup branches (counted separately; the paper
+    /// folds branch cost into the achieved rate).
+    pub cmps: u64,
+}
+
+impl FlopCounter {
+    /// A zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record `n` additions.
+    #[inline(always)]
+    pub fn add(&mut self, n: u64) {
+        self.adds += n;
+    }
+
+    /// Record `n` multiplications.
+    #[inline(always)]
+    pub fn mul(&mut self, n: u64) {
+        self.muls += n;
+    }
+
+    /// Record `n` divisions.
+    #[inline(always)]
+    pub fn div(&mut self, n: u64) {
+        self.divs += n;
+    }
+
+    /// Record `n` comparisons.
+    #[inline(always)]
+    pub fn cmp(&mut self, n: u64) {
+        self.cmps += n;
+    }
+
+    /// Total floating-point operations (divisions weighted as one op, as
+    /// PAPI's `PAPI_FP_OPS` does; comparisons excluded).
+    pub fn total(&self) -> u64 {
+        self.adds + self.muls + self.divs
+    }
+
+    /// Merge another counter into this one.
+    pub fn merge(&mut self, other: &FlopCounter) {
+        self.adds += other.adds;
+        self.muls += other.muls;
+        self.divs += other.divs;
+        self.cmps += other.cmps;
+    }
+
+    /// Achieved rate in MFLOPS given elapsed seconds.
+    pub fn mflops(&self, elapsed_secs: f64) -> f64 {
+        if elapsed_secs <= 0.0 {
+            return 0.0;
+        }
+        self.total() as f64 / elapsed_secs / 1e6
+    }
+}
+
+impl std::ops::Add for FlopCounter {
+    type Output = FlopCounter;
+    fn add(self, rhs: FlopCounter) -> FlopCounter {
+        FlopCounter {
+            adds: self.adds + rhs.adds,
+            muls: self.muls + rhs.muls,
+            divs: self.divs + rhs.divs,
+            cmps: self.cmps + rhs.cmps,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting_and_total() {
+        let mut c = FlopCounter::new();
+        c.add(3);
+        c.mul(2);
+        c.div(1);
+        c.cmp(5);
+        assert_eq!(c.total(), 6, "cmps are not flops");
+    }
+
+    #[test]
+    fn merge_and_add() {
+        let mut a = FlopCounter { adds: 1, muls: 2, divs: 3, cmps: 4 };
+        let b = FlopCounter { adds: 10, muls: 20, divs: 30, cmps: 40 };
+        a.merge(&b);
+        assert_eq!(a, FlopCounter { adds: 11, muls: 22, divs: 33, cmps: 44 });
+        let c = a + b;
+        assert_eq!(c.adds, 21);
+    }
+
+    #[test]
+    fn mflops_rate() {
+        let c = FlopCounter { adds: 50_000_000, muls: 50_000_000, divs: 0, cmps: 0 };
+        assert!((c.mflops(1.0) - 100.0).abs() < 1e-12);
+        assert!((c.mflops(0.5) - 200.0).abs() < 1e-12);
+        assert_eq!(c.mflops(0.0), 0.0);
+    }
+}

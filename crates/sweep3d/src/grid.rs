@@ -1,0 +1,222 @@
+//! Per-rank local grid state.
+//!
+//! Each rank owns an `nx × ny × nz` subgrid with uniform cross-sections, an
+//! external source concentrated in a central region of the *global* domain
+//! (so the flux field has spatial structure and the fixup branch is
+//! exercised data-dependently), the accumulated scalar flux of the current
+//! source iteration and the iteration source.
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::{Decomposition, ProblemConfig};
+
+/// Local grid arrays for one rank.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LocalGrid {
+    /// Local cells in `i`.
+    pub nx: usize,
+    /// Local cells in `j`.
+    pub ny: usize,
+    /// Local cells in `k`.
+    pub nz: usize,
+    /// Cell sizes.
+    pub dx: f64,
+    /// Cell size in `j`.
+    pub dy: f64,
+    /// Cell size in `k`.
+    pub dz: f64,
+    /// Total cross-section per cell.
+    pub sigt: Vec<f64>,
+    /// Scattering cross-section per cell.
+    pub sigs: Vec<f64>,
+    /// External source per cell.
+    pub qext: Vec<f64>,
+    /// Current iteration source (external + scattering).
+    pub src: Vec<f64>,
+    /// Scalar flux being accumulated this iteration.
+    pub flux: Vec<f64>,
+    /// Scalar flux of the previous iteration.
+    pub flux_prev: Vec<f64>,
+}
+
+impl LocalGrid {
+    /// Build the local grid for one rank of the decomposition.
+    pub fn new(config: &ProblemConfig, decomp: &Decomposition) -> Self {
+        let (nx, ny, nz) = (decomp.nx, decomp.ny, decomp.nz);
+        let cells = nx * ny * nz;
+        let mut qext = vec![0.0; cells];
+        // Source region: the central eighth of the global domain, in global
+        // coordinates so every decomposition sees the same physical problem.
+        let (ilo, ihi) = centre_band(config.it);
+        let (jlo, jhi) = centre_band(config.jt);
+        let (klo, khi) = centre_band(config.kt);
+        for k in 0..nz {
+            let gk = k; // k never decomposed
+            for j in 0..ny {
+                let gj = decomp.j0 + j;
+                for i in 0..nx {
+                    let gi = decomp.i0 + i;
+                    if (ilo..ihi).contains(&gi)
+                        && (jlo..jhi).contains(&gj)
+                        && (klo..khi).contains(&gk)
+                    {
+                        qext[(k * ny + j) * nx + i] = config.source_strength;
+                    }
+                }
+            }
+        }
+        let sigt = vec![config.sigma_t; cells];
+        let sigs = vec![config.sigma_t * config.scattering_ratio; cells];
+        let src = qext.clone();
+        LocalGrid {
+            nx,
+            ny,
+            nz,
+            dx: config.cell_size,
+            dy: config.cell_size,
+            dz: config.cell_size,
+            sigt,
+            sigs,
+            qext,
+            src,
+            flux: vec![0.0; cells],
+            flux_prev: vec![0.0; cells],
+        }
+    }
+
+    /// Linear index of cell `(i, j, k)`.
+    #[inline(always)]
+    pub fn idx(&self, i: usize, j: usize, k: usize) -> usize {
+        debug_assert!(i < self.nx && j < self.ny && k < self.nz);
+        (k * self.ny + j) * self.nx + i
+    }
+
+    /// Cell count.
+    pub fn cells(&self) -> usize {
+        self.nx * self.ny * self.nz
+    }
+
+    /// Begin a new source iteration: stash the flux and zero the
+    /// accumulator. Returns nothing; the caller sweeps, then calls
+    /// [`LocalGrid::update_source`] and [`LocalGrid::flux_error`].
+    pub fn begin_iteration(&mut self) {
+        std::mem::swap(&mut self.flux, &mut self.flux_prev);
+        self.flux.iter_mut().for_each(|f| *f = 0.0);
+    }
+
+    /// Recompute the iteration source from the just-swept flux:
+    /// `src = qext + sigs · flux` (isotropic scattering). Returns the flop
+    /// count of this subtask (the model's `source` object).
+    pub fn update_source(&mut self) -> u64 {
+        for idx in 0..self.src.len() {
+            self.src[idx] = self.qext[idx] + self.sigs[idx] * self.flux[idx];
+        }
+        2 * self.src.len() as u64
+    }
+
+    /// Max-norm relative change of the scalar flux between iterations (the
+    /// model's `flux_err` subtask). Returns `(error, flops)`.
+    pub fn flux_error(&self) -> (f64, u64) {
+        let mut err = 0.0f64;
+        for (new, old) in self.flux.iter().zip(&self.flux_prev) {
+            let d = (new - old).abs();
+            let scale = new.abs().max(1e-30);
+            err = err.max(d / scale);
+        }
+        (err, 3 * self.flux.len() as u64)
+    }
+
+    /// Sum of the scalar flux over the local subgrid (for verification).
+    pub fn flux_sum(&self) -> f64 {
+        self.flux.iter().sum()
+    }
+
+    /// Approximate resident working-set size of a sweep over this grid, in
+    /// bytes (five f64 arrays are touched per cell).
+    pub fn working_set_bytes(&self) -> usize {
+        self.cells() * 5 * std::mem::size_of::<f64>()
+    }
+}
+
+/// The middle third (rounded) of `0..n`, as a half-open global range.
+fn centre_band(n: usize) -> (usize, usize) {
+    let lo = n / 3;
+    let hi = (2 * n).div_ceil(3);
+    (lo, hi.max(lo + 1).min(n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> ProblemConfig {
+        let mut c = ProblemConfig::weak_scaling(6, 2, 2);
+        c.mk = 2;
+        c
+    }
+
+    #[test]
+    fn grid_dimensions_follow_decomposition() {
+        let c = cfg();
+        let d = Decomposition::for_pe(&c, 1, 0);
+        let g = LocalGrid::new(&c, &d);
+        assert_eq!((g.nx, g.ny, g.nz), (6, 6, 6));
+        assert_eq!(g.cells(), 216);
+        assert_eq!(g.sigt.len(), 216);
+    }
+
+    #[test]
+    fn source_region_is_global() {
+        // The union of qext across ranks must equal the serial qext.
+        let c = cfg();
+        let serial_cfg = ProblemConfig { npe_i: 1, npe_j: 1, ..c };
+        let serial =
+            LocalGrid::new(&serial_cfg, &Decomposition::for_pe(&serial_cfg, 0, 0));
+        let mut total_parallel = 0.0;
+        for pj in 0..c.npe_j {
+            for pi in 0..c.npe_i {
+                let d = Decomposition::for_pe(&c, pi, pj);
+                let g = LocalGrid::new(&c, &d);
+                total_parallel += g.qext.iter().sum::<f64>();
+            }
+        }
+        let total_serial: f64 = serial.qext.iter().sum();
+        assert!(total_serial > 0.0, "source must be nonempty");
+        assert_eq!(total_serial, total_parallel);
+    }
+
+    #[test]
+    fn iteration_lifecycle() {
+        let c = cfg();
+        let d = Decomposition::for_pe(&c, 0, 0);
+        let mut g = LocalGrid::new(&c, &d);
+        g.flux.iter_mut().for_each(|f| *f = 2.0);
+        g.begin_iteration();
+        assert!(g.flux.iter().all(|&f| f == 0.0));
+        assert!(g.flux_prev.iter().all(|&f| f == 2.0));
+        g.flux.iter_mut().for_each(|f| *f = 3.0);
+        let flops = g.update_source();
+        assert_eq!(flops, 2 * g.cells() as u64);
+        for idx in 0..g.cells() {
+            assert_eq!(g.src[idx], g.qext[idx] + g.sigs[idx] * 3.0);
+        }
+        let (err, _) = g.flux_error();
+        assert!((err - (1.0 / 3.0)).abs() < 1e-12, "(3-2)/3, err={err}");
+    }
+
+    #[test]
+    fn centre_band_properties() {
+        for n in [1usize, 2, 3, 10, 50, 100] {
+            let (lo, hi) = centre_band(n);
+            assert!(lo < hi && hi <= n, "band ({lo}, {hi}) of {n}");
+        }
+        assert_eq!(centre_band(50), (16, 34));
+    }
+
+    #[test]
+    fn working_set_scales_with_cells() {
+        let c = cfg();
+        let g = LocalGrid::new(&c, &Decomposition::for_pe(&c, 0, 0));
+        assert_eq!(g.working_set_bytes(), 216 * 40);
+    }
+}

@@ -1,0 +1,41 @@
+//! # sweep3d — the ASCI SWEEP3D pipelined wavefront benchmark
+//!
+//! A Rust implementation of the workload the paper models: a 1-group,
+//! time-independent, discrete-ordinates (S_N) 3-D Cartesian neutron
+//! transport solver. The solution is a *transport sweep*: for each discrete
+//! angle, a diamond-difference recursion travels across the spatial grid
+//! from one corner to the opposite corner; eight octants of angles give
+//! eight sweep directions (paper §2).
+//!
+//! The grid of `it × jt × kt` cells is mapped onto a `Px × Py` logical
+//! processor array; blocks of `mk` k-planes × `mmi` angles are pipelined
+//! through the array, with boundary fluxes exchanged by message passing.
+//!
+//! The crate provides three consumers of one shared kernel:
+//!
+//! * [`serial`] — a single-address-space reference solver,
+//! * [`parallel`] — the pipelined wavefront over [`simmpi`] ranks (real
+//!   threaded execution, bit-identical to serial),
+//! * [`trace`] — a generator of [`cluster_sim`] per-rank op programs with
+//!   *identical communication structure*, used to "measure" runtimes on the
+//!   paper's simulated machines.
+//!
+//! Flops are counted by an instrumented [`flops::FlopCounter`], which is how
+//! the coarse PAPI-style benchmarking of the paper (achieved MFLOPS for a
+//! given per-processor subgrid) is reproduced.
+
+pub mod config;
+pub mod flops;
+pub mod grid;
+pub mod kernel;
+pub mod parallel;
+pub mod quadrature;
+pub mod serial;
+pub mod sweep_order;
+pub mod trace;
+
+pub use config::{Decomposition, ProblemConfig};
+pub use flops::FlopCounter;
+pub use grid::LocalGrid;
+pub use quadrature::Quadrature;
+pub use sweep_order::{Octant, OCTANT_ORDER};

@@ -1,0 +1,188 @@
+//! Level-symmetric S_N angular quadrature.
+//!
+//! The discrete-ordinates method replaces the angular integral of the
+//! transport equation with a weighted sum over discrete directions
+//! `(μ, η, ξ)`. SWEEP3D uses a level-symmetric set: within one octant the
+//! direction cosines are drawn from a single table `μ₁ < μ₂ < … < μ_{N/2}`
+//! and every ordered triple with `level(μ) + level(η) + level(ξ) = N/2 + 2`
+//! is a quadrature point — `N(N+2)/8` per octant.
+//!
+//! The spacing follows the classic level-symmetric construction
+//! (Lewis & Miller): `μ_i² = μ₁² + 2(i−1)(1−3μ₁²)/(N−2)`, with the standard
+//! `μ₁` choices for S4/S6/S8. Weights are normalised so each octant
+//! integrates the unit density to `1/8` of the full sphere weight (taken as
+//! 1), which preserves particle balance in the solver.
+
+use serde::{Deserialize, Serialize};
+
+/// One discrete direction in the first octant (all cosines positive).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Angle {
+    /// Direction cosine along `i`.
+    pub mu: f64,
+    /// Direction cosine along `j`.
+    pub eta: f64,
+    /// Direction cosine along `k`.
+    pub xi: f64,
+    /// Quadrature weight.
+    pub weight: f64,
+}
+
+/// A level-symmetric quadrature set for one octant.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Quadrature {
+    /// S_N order.
+    pub order: usize,
+    /// Angles of the first octant; other octants reflect the signs.
+    pub angles: Vec<Angle>,
+}
+
+/// Standard first-cosine values for the level-symmetric sets.
+fn mu1_for_order(n: usize) -> f64 {
+    match n {
+        2 => 0.577_350_2692,
+        4 => 0.350_021_1746,
+        6 => 0.266_635_4015,
+        8 => 0.218_217_8902,
+        10 => 0.189_320_7080,
+        12 => 0.167_212_6529,
+        // Fall back to a reasonable spacing for other even orders.
+        _ => (1.0 / (3.0 + (n as f64 - 2.0))).sqrt(),
+    }
+}
+
+impl Quadrature {
+    /// Build the level-symmetric set of the given (even, ≥ 2) order.
+    pub fn level_symmetric(order: usize) -> Self {
+        assert!(order >= 2 && order % 2 == 0, "S_N order must be even and ≥ 2");
+        let half = order / 2;
+        let mu1 = mu1_for_order(order);
+        // Level values μ_i.
+        let mut mu = vec![0.0f64; half];
+        for (i, m) in mu.iter_mut().enumerate() {
+            if order == 2 {
+                *m = mu1;
+            } else {
+                let sq = mu1 * mu1 + 2.0 * i as f64 * (1.0 - 3.0 * mu1 * mu1) / (order as f64 - 2.0);
+                *m = sq.sqrt();
+            }
+        }
+        // Enumerate triples (a, b, c) of 1-based level indices with
+        // a + b + c = half + 2.
+        let mut angles = Vec::new();
+        for a in 1..=half {
+            for b in 1..=(half + 1 - a) {
+                let c = half + 2 - a - b;
+                if c < 1 || c > half {
+                    continue;
+                }
+                angles.push(Angle {
+                    mu: mu[a - 1],
+                    eta: mu[b - 1],
+                    xi: mu[c - 1],
+                    weight: 0.0,
+                });
+            }
+        }
+        let expected = order * (order + 2) / 8;
+        debug_assert_eq!(angles.len(), expected, "level-symmetric point count");
+        // Equal weights per point, octant total 1/8.
+        let w = 1.0 / (8.0 * angles.len() as f64);
+        for a in &mut angles {
+            a.weight = w;
+        }
+        Quadrature { order, angles }
+    }
+
+    /// Angles per octant.
+    pub fn len(&self) -> usize {
+        self.angles.len()
+    }
+
+    /// True when the set has no angles (never for a valid order).
+    pub fn is_empty(&self) -> bool {
+        self.angles.is_empty()
+    }
+
+    /// Sum of weights over the octant.
+    pub fn octant_weight(&self) -> f64 {
+        self.angles.iter().map(|a| a.weight).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_counts_match_formula() {
+        for n in [2usize, 4, 6, 8, 12] {
+            let q = Quadrature::level_symmetric(n);
+            assert_eq!(q.len(), n * (n + 2) / 8, "S{n}");
+        }
+    }
+
+    #[test]
+    fn s6_has_six_angles() {
+        let q = Quadrature::level_symmetric(6);
+        assert_eq!(q.len(), 6);
+    }
+
+    #[test]
+    fn cosines_on_unit_sphere() {
+        for n in [4usize, 6, 8] {
+            let q = Quadrature::level_symmetric(n);
+            for a in &q.angles {
+                let norm = a.mu * a.mu + a.eta * a.eta + a.xi * a.xi;
+                assert!(
+                    (norm - 1.0).abs() < 1e-9,
+                    "S{n} point ({}, {}, {}) has |Ω|² = {norm}",
+                    a.mu,
+                    a.eta,
+                    a.xi
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn weights_positive_and_normalised() {
+        let q = Quadrature::level_symmetric(6);
+        assert!(q.angles.iter().all(|a| a.weight > 0.0));
+        assert!((q.octant_weight() - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cosines_positive_and_sorted_levels() {
+        let q = Quadrature::level_symmetric(8);
+        for a in &q.angles {
+            assert!(a.mu > 0.0 && a.eta > 0.0 && a.xi > 0.0);
+            assert!(a.mu < 1.0 && a.eta < 1.0 && a.xi < 1.0);
+        }
+    }
+
+    #[test]
+    fn symmetry_under_coordinate_swap() {
+        // The level-symmetric set is invariant under permuting (μ, η, ξ).
+        let q = Quadrature::level_symmetric(6);
+        let mut swapped: Vec<(u64, u64, u64)> = q
+            .angles
+            .iter()
+            .map(|a| (a.eta.to_bits(), a.mu.to_bits(), a.xi.to_bits()))
+            .collect();
+        let mut original: Vec<(u64, u64, u64)> = q
+            .angles
+            .iter()
+            .map(|a| (a.mu.to_bits(), a.eta.to_bits(), a.xi.to_bits()))
+            .collect();
+        swapped.sort_unstable();
+        original.sort_unstable();
+        assert_eq!(swapped, original);
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn odd_order_rejected() {
+        Quadrature::level_symmetric(5);
+    }
+}

@@ -1,0 +1,280 @@
+//! Single-address-space reference solver.
+//!
+//! Runs the full `it × jt × kt` problem on one rank with exactly the same
+//! octant / angle-block / k-block loop structure as the parallel driver, so
+//! the parallel result can be verified bit-for-bit against it. Also the
+//! substrate for the coarse flop-rate benchmarking: the returned
+//! [`FlopCounter`] tallies the kernel's floating-point work per subtask.
+
+use crate::config::{Decomposition, ProblemConfig};
+use crate::flops::FlopCounter;
+use crate::grid::LocalGrid;
+use crate::kernel::{sweep_block, BlockShape};
+use crate::quadrature::Quadrature;
+use crate::sweep_order::OCTANT_ORDER;
+
+/// Flop tallies per model subtask (paper Fig. 3: `sweep` does ~97% of the
+/// work, `source` and `flux_err` the remainder).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SubtaskFlops {
+    /// The sweeper kernel.
+    pub sweep: FlopCounter,
+    /// Source update (`src = qext + sigs·flux`).
+    pub source: u64,
+    /// Convergence error evaluation.
+    pub flux_err: u64,
+}
+
+impl SubtaskFlops {
+    /// Total flops across subtasks.
+    pub fn total(&self) -> u64 {
+        self.sweep.total() + self.source + self.flux_err
+    }
+
+    /// Fraction of work done by the sweep subtask.
+    pub fn sweep_fraction(&self) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            return 0.0;
+        }
+        self.sweep.total() as f64 / t as f64
+    }
+}
+
+/// Result of a serial solve.
+#[derive(Debug, Clone)]
+pub struct SerialOutcome {
+    /// Final scalar flux over the global grid.
+    pub flux: Vec<f64>,
+    /// Per-iteration max-norm flux change.
+    pub errors: Vec<f64>,
+    /// Flop tallies.
+    pub flops: SubtaskFlops,
+}
+
+/// The serial reference solver.
+pub struct SerialSolver {
+    config: ProblemConfig,
+    quad: Quadrature,
+    grid: LocalGrid,
+}
+
+/// The list of `(k0, klen)` blocks, in ascending k.
+pub fn k_block_list(nz: usize, mk: usize) -> Vec<(usize, usize)> {
+    let mut blocks = Vec::with_capacity(nz.div_ceil(mk));
+    let mut k0 = 0;
+    while k0 < nz {
+        let klen = mk.min(nz - k0);
+        blocks.push((k0, klen));
+        k0 += klen;
+    }
+    blocks
+}
+
+/// The list of `(first_angle, count)` angle blocks.
+pub fn angle_block_list(n_angles: usize, mmi: usize) -> Vec<(usize, usize)> {
+    let mut blocks = Vec::with_capacity(n_angles.div_ceil(mmi));
+    let mut a0 = 0;
+    while a0 < n_angles {
+        let len = mmi.min(n_angles - a0);
+        blocks.push((a0, len));
+        a0 += len;
+    }
+    blocks
+}
+
+impl SerialSolver {
+    /// Build the solver for the *global* problem (the processor-array
+    /// fields of the config are ignored; the whole grid lives on one rank).
+    pub fn new(config: &ProblemConfig) -> Result<Self, String> {
+        config.validate()?;
+        let serial_cfg = ProblemConfig { npe_i: 1, npe_j: 1, ..*config };
+        let decomp = Decomposition::for_pe(&serial_cfg, 0, 0);
+        Ok(SerialSolver {
+            config: *config,
+            quad: Quadrature::level_symmetric(config.sn_order),
+            grid: LocalGrid::new(&serial_cfg, &decomp),
+        })
+    }
+
+    /// Access the grid (e.g. for benchmarking working-set sizes).
+    pub fn grid(&self) -> &LocalGrid {
+        &self.grid
+    }
+
+    /// Run the configured number of source iterations.
+    pub fn run(mut self) -> SerialOutcome {
+        let mut flops = SubtaskFlops::default();
+        let mut errors = Vec::with_capacity(self.config.iterations);
+        let nx = self.grid.nx;
+        let ny = self.grid.ny;
+        let k_blocks = k_block_list(self.grid.nz, self.config.mk);
+        let a_blocks = angle_block_list(self.quad.len(), self.config.mmi);
+
+        // One octant's sweep of one angle block across all k blocks, with a
+        // caller-owned k-face state (shared across the octant pair when the
+        // bottom boundary is reflective).
+        #[allow(clippy::too_many_arguments)]
+        fn sweep_one(
+            grid: &mut LocalGrid,
+            quad: &Quadrature,
+            k_blocks: &[(usize, usize)],
+            octant: crate::sweep_order::Octant,
+            a0: usize,
+            n_ang: usize,
+            phik: &mut [f64],
+            sweep_flops: &mut crate::flops::FlopCounter,
+        ) {
+            let (nx, ny) = (grid.nx, grid.ny);
+            let angles = &quad.angles[a0..a0 + n_ang];
+            let block_iter: Box<dyn Iterator<Item = &(usize, usize)>> =
+                if octant.sign_k >= 0 {
+                    Box::new(k_blocks.iter())
+                } else {
+                    Box::new(k_blocks.iter().rev())
+                };
+            for &(k0, klen) in block_iter {
+                let shape = BlockShape { n_ang, k0, klen };
+                let mut face_i = vec![0.0; shape.face_i_len(ny)];
+                let mut face_j = vec![0.0; shape.face_j_len(nx)];
+                sweep_block(
+                    grid,
+                    angles,
+                    octant,
+                    shape,
+                    &mut face_i,
+                    &mut face_j,
+                    phik,
+                    sweep_flops,
+                );
+            }
+        }
+
+        let reflective = self.config.reflective_k;
+        for _iter in 0..self.config.iterations {
+            self.grid.begin_iteration();
+            for pair in OCTANT_ORDER.chunks(2) {
+                if reflective {
+                    // The k− sweep's bottom-exit flux re-enters the paired
+                    // k+ sweep: the k faces persist across the pair, per
+                    // angle block.
+                    for &(a0, n_ang) in &a_blocks {
+                        let mut phik = vec![0.0; n_ang * nx * ny];
+                        for &octant in pair {
+                            sweep_one(
+                                &mut self.grid,
+                                &self.quad,
+                                &k_blocks,
+                                octant,
+                                a0,
+                                n_ang,
+                                &mut phik,
+                                &mut flops.sweep,
+                            );
+                        }
+                    }
+                } else {
+                    // Vacuum boundaries: k faces reset per (octant,
+                    // angle-block).
+                    for &octant in pair {
+                        for &(a0, n_ang) in &a_blocks {
+                            let mut phik = vec![0.0; n_ang * nx * ny];
+                            sweep_one(
+                                &mut self.grid,
+                                &self.quad,
+                                &k_blocks,
+                                octant,
+                                a0,
+                                n_ang,
+                                &mut phik,
+                                &mut flops.sweep,
+                            );
+                        }
+                    }
+                }
+            }
+            let (err, err_flops) = self.grid.flux_error();
+            flops.flux_err += err_flops;
+            errors.push(err);
+            flops.source += self.grid.update_source();
+        }
+
+        SerialOutcome { flux: std::mem::take(&mut self.grid.flux), errors, flops }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> ProblemConfig {
+        let mut c = ProblemConfig::weak_scaling(8, 1, 1);
+        c.mk = 3; // uneven blocking: blocks of 3,3,2
+        c.iterations = 4;
+        c
+    }
+
+    #[test]
+    fn block_lists() {
+        assert_eq!(k_block_list(8, 3), vec![(0, 3), (3, 3), (6, 2)]);
+        assert_eq!(k_block_list(50, 10).len(), 5);
+        assert_eq!(angle_block_list(6, 3), vec![(0, 3), (3, 3)]);
+        assert_eq!(angle_block_list(6, 4), vec![(0, 4), (4, 2)]);
+    }
+
+    #[test]
+    fn converges_monotonically_eventually() {
+        let out = SerialSolver::new(&small()).unwrap().run();
+        assert_eq!(out.errors.len(), 4);
+        // Source iteration of a scattering problem: error shrinks.
+        assert!(
+            out.errors.last().unwrap() < &out.errors[0],
+            "errors {:?} should decrease",
+            out.errors
+        );
+        assert!(out.flux.iter().all(|&f| f >= 0.0));
+    }
+
+    #[test]
+    fn sweep_dominates_work() {
+        let out = SerialSolver::new(&small()).unwrap().run();
+        let frac = out.flops.sweep_fraction();
+        assert!(frac > 0.95, "sweep should dominate (fraction {frac})");
+    }
+
+    #[test]
+    fn blocking_factors_do_not_change_answer() {
+        let base = SerialSolver::new(&small()).unwrap().run();
+        for (mk, mmi) in [(1usize, 1usize), (8, 6), (2, 2), (5, 4)] {
+            let mut c = small();
+            c.mk = mk;
+            c.mmi = mmi;
+            let out = SerialSolver::new(&c).unwrap().run();
+            assert_eq!(out.flux, base.flux, "mk={mk} mmi={mmi} must be bit-identical");
+        }
+    }
+
+    #[test]
+    fn scattering_increases_flux() {
+        let mut absorbing = small();
+        absorbing.scattering_ratio = 0.0;
+        let mut scattering = small();
+        scattering.scattering_ratio = 0.8;
+        let fa: f64 = SerialSolver::new(&absorbing).unwrap().run().flux.iter().sum();
+        let fs: f64 = SerialSolver::new(&scattering).unwrap().run().flux.iter().sum();
+        assert!(fs > fa, "scattering re-emits particles: {fs} <= {fa}");
+    }
+
+    #[test]
+    fn flops_scale_linearly_with_iterations() {
+        let mut c1 = small();
+        c1.iterations = 2;
+        let mut c2 = small();
+        c2.iterations = 4;
+        let f1 = SerialSolver::new(&c1).unwrap().run().flops.sweep.total();
+        let f2 = SerialSolver::new(&c2).unwrap().run().flops.sweep.total();
+        // Not exactly 2x (fixup counts are flux-dependent) but close.
+        let ratio = f2 as f64 / f1 as f64;
+        assert!((ratio - 2.0).abs() < 0.1, "ratio {ratio}");
+    }
+}

@@ -1,0 +1,132 @@
+//! Octant ordering and sweep directions.
+//!
+//! Eight octants of angles give eight sweep directions, one per corner of
+//! the spatial cube (paper Fig. 1). SWEEP3D orders them so that a `k+`/`k−`
+//! *octant pair* shares the same `(i, j)` corner and is pipelined back to
+//! back, and consecutive pairs move to an adjacent corner so the next sweep
+//! can begin before the previous has fully drained (limited to two octant
+//! pairs in flight by the reflective boundary treatment, paper §2).
+
+use serde::{Deserialize, Serialize};
+
+/// One octant: the three sweep direction signs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Octant {
+    /// +1 when the sweep moves toward increasing `i`.
+    pub sign_i: i8,
+    /// +1 when the sweep moves toward increasing `j`.
+    pub sign_j: i8,
+    /// +1 when the sweep moves toward increasing `k`.
+    pub sign_k: i8,
+}
+
+impl Octant {
+    /// Construct; signs must be ±1.
+    pub const fn new(sign_i: i8, sign_j: i8, sign_k: i8) -> Self {
+        Octant { sign_i, sign_j, sign_k }
+    }
+
+    /// Octant index 0..8 (bit 0 = i−, bit 1 = j−, bit 2 = k−), a stable
+    /// encoding for message tags.
+    pub fn index(&self) -> usize {
+        usize::from(self.sign_i < 0)
+            | (usize::from(self.sign_j < 0) << 1)
+            | (usize::from(self.sign_k < 0) << 2)
+    }
+
+    /// The `(i, j)` corner of the processor array the sweep enters at.
+    pub fn corner(&self) -> (i8, i8) {
+        (self.sign_i, self.sign_j)
+    }
+}
+
+/// The SWEEP3D octant schedule: four corner visits, each a `k−`/`k+` pair.
+///
+/// Corner order follows the original jkps ordering: start at the
+/// (+i, +j) corner, reverse `i`, then reverse `j`, then reverse `i` again —
+/// each corner change flips exactly one array dimension, which is what lets
+/// a downstream processor start the next octant while the previous one
+/// drains.
+pub const OCTANT_ORDER: [Octant; 8] = [
+    Octant::new(1, 1, -1),
+    Octant::new(1, 1, 1),
+    Octant::new(-1, 1, -1),
+    Octant::new(-1, 1, 1),
+    Octant::new(-1, -1, -1),
+    Octant::new(-1, -1, 1),
+    Octant::new(1, -1, -1),
+    Octant::new(1, -1, 1),
+];
+
+/// Message tag for the face exchange of one pipeline work unit.
+///
+/// Encodes `(octant, angle block, k block, dimension)` into a tag that is
+/// unique within an iteration; across iterations the FIFO non-overtaking
+/// guarantee of the transport keeps matching correct. `dim` is 0 for
+/// i-faces (east/west) and 1 for j-faces (north/south).
+pub fn msg_tag(octant_idx: usize, ablock: usize, kblock: usize, dim: u8) -> u32 {
+    debug_assert!(octant_idx < 8 && ablock < 64 && kblock < 1024 && dim < 2);
+    (((octant_idx as u32 * 64 + ablock as u32) * 1024 + kblock as u32) << 1) | dim as u32
+}
+
+/// An ordered index range that walks `0..n` forward (`sign = +1`) or
+/// backward (`sign = −1`).
+pub fn directed_range(n: usize, sign: i8) -> Box<dyn Iterator<Item = usize>> {
+    if sign >= 0 {
+        Box::new(0..n)
+    } else {
+        Box::new((0..n).rev())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eight_distinct_octants() {
+        let mut idx: Vec<usize> = OCTANT_ORDER.iter().map(|o| o.index()).collect();
+        idx.sort_unstable();
+        assert_eq!(idx, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pairs_share_corners() {
+        for pair in OCTANT_ORDER.chunks(2) {
+            assert_eq!(pair[0].corner(), pair[1].corner());
+            assert_eq!(pair[0].sign_k, -pair[1].sign_k, "pair is k−/k+");
+        }
+    }
+
+    #[test]
+    fn consecutive_corners_adjacent() {
+        // Each corner change flips exactly one of the (i, j) signs.
+        let corners: Vec<(i8, i8)> =
+            OCTANT_ORDER.chunks(2).map(|p| p[0].corner()).collect();
+        for w in corners.windows(2) {
+            let flips = usize::from(w[0].0 != w[1].0) + usize::from(w[0].1 != w[1].1);
+            assert_eq!(flips, 1, "corner {:?} → {:?}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn tags_unique_within_iteration() {
+        let mut seen = std::collections::HashSet::new();
+        for oct in 0..8 {
+            for ab in 0..4 {
+                for kb in 0..20 {
+                    for dim in 0..2 {
+                        assert!(seen.insert(msg_tag(oct, ab, kb, dim)), "tag collision");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn directed_ranges() {
+        assert_eq!(directed_range(4, 1).collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+        assert_eq!(directed_range(4, -1).collect::<Vec<_>>(), vec![3, 2, 1, 0]);
+        assert_eq!(directed_range(0, 1).count(), 0);
+    }
+}

@@ -1,0 +1,71 @@
+//! Characterise a machine of your own design — the "procuring systems"
+//! use case: define a candidate cluster, run the PACE benchmarking
+//! workflow against it, print its HMCL hardware model (paper Fig. 7), and
+//! predict how SWEEP3D would scale on it before buying.
+//!
+//! ```text
+//! cargo run --release --example custom_cluster
+//! ```
+
+use cluster_sim::cpu::{CpuModel, RatePoint};
+use cluster_sim::{Engine, MachineSpec, NetworkModel, NoiseModel};
+use experiments::hmcl;
+use pace_core::{Sweep3dModel, Sweep3dParams};
+use sweep3d::trace::{generate_programs, FlopModel};
+use sweep3d::ProblemConfig;
+
+fn main() {
+    // A candidate machine: fast commodity CPUs, InfiniBand-class fabric.
+    let candidate = MachineSpec {
+        name: "candidate: 3GHz nodes / IB-class interconnect".into(),
+        cpu: CpuModel::with_curve(
+            "3GHz commodity CPU",
+            vec![
+                RatePoint { bytes: 64.0 * 1024.0, mflops: 420.0 },
+                RatePoint { bytes: 1024.0 * 1024.0, mflops: 370.0 },
+                RatePoint { bytes: 32.0 * 1024.0 * 1024.0, mflops: 330.0 },
+            ],
+            0.03,
+        ),
+        network: NetworkModel::from_link(4.0, 900.0, 1.5, 16384.0),
+        noise: NoiseModel::commodity(),
+        smp_width: 2,
+        seed: 0xCAFE,
+        rendezvous_bytes: Some(32 * 1024),
+    };
+
+    println!("== Characterising: {} ==\n", candidate.name);
+
+    // The full benchmarking workflow: virtual profiling + Eq. 3 fitting.
+    let hw = hwbench::benchmark_machine(&candidate, &[20, 50], 1);
+    println!("{}", hmcl::render(&hw, 125_000));
+
+    // The fitted model is a first-class HMCL script: save it, edit it,
+    // reload it (the §6 model-reuse workflow at the file level).
+    let script = pace_core::hmcl_script::write(&hw);
+    let reloaded = pace_core::hmcl_script::parse(&script).expect("round trip");
+    assert_eq!(reloaded.comm, hw.comm);
+    println!("HMCL script round-trips ({} bytes)\n", script.len());
+
+    // Scaling forecast for the validation problem size.
+    println!("predicted SWEEP3D weak scaling (50^3 cells/PE, mk=10, mmi=3):");
+    println!("{:>8} {:>10} {:>12}", "PEs", "array", "predicted(s)");
+    for (px, py) in [(2, 2), (4, 4), (8, 8), (16, 16), (32, 32)] {
+        let pred = Sweep3dModel::new(Sweep3dParams::weak_scaling_50cubed(px, py))
+            .predict(&hw)
+            .total_secs;
+        println!("{:>8} {:>10} {:>12.2}", px * py, format!("{px}x{py}"), pred);
+    }
+
+    // Spot-check the forecast against a full simulation at 8x8.
+    let config = ProblemConfig::weak_scaling(50, 8, 8);
+    let fm = FlopModel::calibrate(&config, 10);
+    let programs = generate_programs(&config, &fm);
+    let measured = Engine::new(&candidate, programs).run().expect("runs").makespan();
+    let predicted = Sweep3dModel::new(Sweep3dParams::weak_scaling_50cubed(8, 8))
+        .predict(&hw)
+        .total_secs;
+    let err = (measured - predicted) / measured * 100.0;
+    println!("\nspot check at 8x8: measured {measured:.2} s, predicted {predicted:.2} s ({err:+.2}%)");
+    assert!(err.abs() < 10.0);
+}

@@ -1,0 +1,63 @@
+//! The paper's §6 scenario: speculative performance analysis supporting a
+//! system procurement decision.
+//!
+//! A hypothetical machine is assembled from parts — Opteron nodes with the
+//! Myrinet 2000 communication model swapped in for Gigabit Ethernet (model
+//! reuse) — and the SWEEP3D model is scaled to 8000 processors for the two
+//! ASCI target problems, with +25%/+50% processor what-ifs.
+//!
+//! ```text
+//! cargo run --release --example procurement_study
+//! ```
+
+use experiments::asci_goals;
+use experiments::speculation::{run_on, Problem};
+use pace_core::machines;
+use wavefront_models::all_models;
+use wavefront_models::WavefrontModel as _;
+
+fn main() {
+    let hw = machines::opteron_myrinet_hypothetical();
+    println!("== Speculative study on: {} ==\n", hw.name);
+
+    for problem in [Problem::TwentyMillion, Problem::OneBillion] {
+        let curve = run_on(problem, &hw);
+        println!("--- {} ---", curve.problem.figure());
+        println!("{:>6} {:>9} {:>12} {:>12} {:>12}", "PEs", "array", "actual(s)", "+25%(s)", "+50%(s)");
+        for p in &curve.points {
+            println!(
+                "{:>6} {:>9} {:>12.4} {:>12.4} {:>12.4}",
+                p.pes,
+                format!("{}x{}", p.px, p.py),
+                p.actual,
+                p.plus25,
+                p.plus50
+            );
+        }
+        // The §6 conclusion: the benchmark scales well, but the realistic
+        // multi-group, time-dependent problem grossly overruns ASCI goals.
+        let asci = asci_goals::paper_setting(problem);
+        println!(
+            "\n  at {} PEs: benchmark {:.2} s; {} groups x {} steps = {:.1} h ({:.0}x the {:.0} h goal)\n",
+            asci.pes,
+            asci.benchmark_secs,
+            asci.groups,
+            asci.time_steps,
+            asci.full_problem_hours(),
+            asci.overrun(),
+            asci.goal_secs / 3600.0
+        );
+    }
+
+    // Concurrence with related analytic models (the paper's sanity check
+    // against LogGP and the LANL model).
+    println!("--- concurrence at 8000 PEs, 1-billion-cell problem ---");
+    let params = Problem::OneBillion.params(80, 100);
+    for model in all_models() {
+        println!(
+            "{:<36} {:>8.3} s",
+            model.name(),
+            model.predict_secs(&params, &hw)
+        );
+    }
+}

@@ -1,0 +1,49 @@
+//! # pace-sweep3d — predictive performance analysis of a pipelined
+//! # synchronous wavefront application
+//!
+//! A Rust reproduction of *Mudalige, Jarvis, Spooner & Nudd, "Predictive
+//! Performance Analysis of a Parallel Pipelined Synchronous Wavefront
+//! Application for Commodity Processor Cluster Systems"* (IEEE CLUSTER
+//! 2006): the PACE layered performance model of the ASCI SWEEP3D benchmark,
+//! together with every substrate needed to exercise it end to end.
+//!
+//! This crate is the workspace facade: it re-exports the member crates and
+//! hosts the runnable examples (`examples/`) and the cross-crate
+//! integration tests (`tests/`). See `DESIGN.md` for the system inventory
+//! and `EXPERIMENTS.md` for the paper-versus-measured record.
+//!
+//! ## The pieces
+//!
+//! | crate | role |
+//! |---|---|
+//! | [`pace_core`] | the PACE model: clc vectors, hardware layer (HMCL), parallel templates, evaluation engine, the SWEEP3D model |
+//! | [`sweep3d`] | the wavefront application itself: serial kernel, threaded parallel driver, trace generator |
+//! | [`simmpi`] | MPI-flavoured threaded message passing |
+//! | [`cluster_sim`] | deterministic discrete-event cluster simulator (the "machines") |
+//! | [`hwbench`] | achieved-rate profiling, MPI microbenchmarks, Eq. 3 fitting |
+//! | [`pace_psl`] | the CHIP3S-like performance specification language |
+//! | [`pace_capp`] | static source analysis of the mini-C kernel |
+//! | [`wavefront_models`] | LogGP and LANL baseline analytic models |
+//! | [`experiments`] | regenerates every table and figure |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use pace_core::{machines, Sweep3dModel, Sweep3dParams};
+//!
+//! // Predict SWEEP3D on 4x4 Pentium 3 / Myrinet nodes (paper Table 1).
+//! let params = Sweep3dParams::weak_scaling_50cubed(4, 4);
+//! let prediction = Sweep3dModel::new(params).predict(&machines::pentium3_myrinet());
+//! println!("predicted: {:.2} s", prediction.total_secs);
+//! assert!(prediction.total_secs > 0.0);
+//! ```
+
+pub use cluster_sim;
+pub use experiments;
+pub use hwbench;
+pub use pace_capp;
+pub use pace_core;
+pub use pace_psl;
+pub use simmpi;
+pub use sweep3d;
+pub use wavefront_models;

@@ -1,0 +1,64 @@
+//! The paper's §4.3 verification loop: static source analysis (capp)
+//! cross-checked against instrumented execution (the PAPI stand-in).
+//!
+//! "The profiling also allows the results from the source code analysis to
+//! be verified, where any unforeseen operation counts can be included into
+//! the floating-point operation flow manually if their significance
+//! becomes apparent."
+
+use pace_capp::assets::sweep_per_cell_angle;
+use sweep3d::trace::FlopModel;
+use sweep3d::ProblemConfig;
+
+#[test]
+fn static_counts_verified_by_instrumented_runs() {
+    // capp's static tally of the mini-C kernel…
+    let capp = sweep_per_cell_angle(3, 10, 50, 50).unwrap();
+    // …versus the instrumented Rust kernel on the validation physics.
+    let config = ProblemConfig::weak_scaling(50, 1, 1);
+    let measured = FlopModel::calibrate(&config, 10);
+
+    let gap = (capp.flops() - measured.flops_per_cell_angle) / measured.flops_per_cell_angle;
+    // The static count must be close — and *slightly above* the executed
+    // count (the analyser counts expressions the optimiser partially
+    // eliminates; this small bias is the source of the model's systematic
+    // over-prediction on the clusters, mirroring the paper's Tables 1–2).
+    assert!(
+        gap > 0.0 && gap < 0.10,
+        "capp {:.3} vs instrumented {:.3} flops/cell-angle (gap {:.1}%)",
+        capp.flops(),
+        measured.flops_per_cell_angle,
+        gap * 100.0
+    );
+}
+
+#[test]
+fn instrumented_count_stable_across_problem_sizes() {
+    // The coarse method profiles small and predicts large: the per-visit
+    // flop count must be robust to the proxy grid size.
+    let config = ProblemConfig::weak_scaling(50, 1, 1);
+    let small = FlopModel::calibrate(&config, 8);
+    let large = FlopModel::calibrate(&config, 16);
+    let rel = (small.flops_per_cell_angle - large.flops_per_cell_angle).abs()
+        / large.flops_per_cell_angle;
+    assert!(rel < 0.05, "{} vs {}", small.flops_per_cell_angle, large.flops_per_cell_angle);
+}
+
+#[test]
+fn fixup_probability_annotation_matches_reality() {
+    // The @prob 0.30 annotation in sweep_kernel.c claims ~30% of cell
+    // visits take the fixup path. Verify against instrumented comparison
+    // counts: the kernel does 3 comparisons per visit plus ~3 per fixup
+    // round, so cmps/visit ≈ 3 + 3·p_fix ⇒ p_fix recoverable.
+    use sweep3d::serial::SerialSolver;
+    let mut config = ProblemConfig::weak_scaling(12, 1, 1);
+    config.mk = 4;
+    let out = SerialSolver::new(&config).unwrap().run();
+    let visits = (config.total_cells() * 8 * config.angles_per_octant() * config.iterations) as f64;
+    let cmps_per_visit = out.flops.sweep.cmps as f64 / visits;
+    let p_fix = (cmps_per_visit - 3.0) / 3.0;
+    assert!(
+        (0.1..0.5).contains(&p_fix),
+        "fixup probability {p_fix:.3} should be near the annotated 0.30"
+    );
+}

@@ -1,0 +1,41 @@
+//! The shipped input deck parses to the paper's Table 2 first-row
+//! configuration and drives the full prediction pipeline.
+
+use pace_core::{machines, Sweep3dModel, Sweep3dParams};
+use sweep3d::ProblemConfig;
+
+const DECK: &str = include_str!("../assets/sweep3d.input");
+
+#[test]
+fn shipped_deck_matches_table2_row1() {
+    let c = ProblemConfig::parse_deck(DECK).expect("deck parses");
+    assert_eq!((c.it, c.jt, c.kt), (100, 100, 50));
+    assert_eq!((c.npe_i, c.npe_j), (2, 2));
+    assert_eq!((c.mk, c.mmi), (10, 3));
+    assert_eq!(c.sn_order, 6);
+    assert_eq!(c.iterations, 12);
+    assert!(!c.reflective_k);
+    // 50^3 per PE, as every validation row.
+    let d = sweep3d::Decomposition::for_pe(&c, 0, 0);
+    assert_eq!(d.cells(), 125_000);
+}
+
+#[test]
+fn deck_drives_a_prediction() {
+    let c = ProblemConfig::parse_deck(DECK).unwrap();
+    let params = Sweep3dParams::weak_scaling_50cubed(c.npe_i, c.npe_j);
+    let pred = Sweep3dModel::new(params).predict(&machines::opteron_gige());
+    // Paper Table 2 row 1 prediction: 9.69 s; the quoted machine should
+    // land in that neighbourhood.
+    assert!(
+        pred.total_secs > 4.0 && pred.total_secs < 20.0,
+        "prediction {} out of Table 2's neighbourhood",
+        pred.total_secs
+    );
+}
+
+#[test]
+fn deck_rejects_inconsistent_edits() {
+    let broken = DECK.replace("npe_i = 2", "npe_i = 500");
+    assert!(ProblemConfig::parse_deck(&broken).is_err(), "500 PEs across 100 cells");
+}

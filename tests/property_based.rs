@@ -1,0 +1,180 @@
+//! Property-based tests over the core invariants, spanning crates.
+
+use proptest::prelude::*;
+
+use cluster_sim::program::validate_programs;
+use cluster_sim::{Engine, MachineSpec, NetworkModel, Op, Program};
+use hwbench::fit::fit_piecewise;
+use pace_core::comm::CommCurve;
+use simmpi::topology::{Cart2d, Direction};
+use sweep3d::ProblemConfig;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The DES makespan of a random linear pipeline equals the closed form
+    /// `(P − 1 + B) · t` on an ideal machine — the foundation the pipeline
+    /// template is validated against.
+    #[test]
+    fn pipeline_closed_form(p in 2usize..8, b in 1usize..12, mflops in 50.0f64..500.0) {
+        let flops_per_block = 1e6;
+        let mut programs = Vec::new();
+        for r in 0..p {
+            let mut prog = Program::new();
+            for blk in 0..b {
+                if r > 0 {
+                    prog.push(Op::Recv { from: r - 1, tag: blk as u32 });
+                }
+                prog.push(Op::Compute { flops: flops_per_block, working_set: 0 });
+                if r + 1 < p {
+                    prog.push(Op::Send { to: r + 1, bytes: 8, tag: blk as u32 });
+                }
+            }
+            programs.push(prog);
+        }
+        let machine = MachineSpec::ideal(mflops);
+        let makespan = Engine::new(&machine, programs).run().unwrap().makespan();
+        let t = flops_per_block / (mflops * 1e6);
+        let expect = (p - 1 + b) as f64 * t;
+        prop_assert!((makespan - expect).abs() < 1e-9 * expect.max(1.0));
+    }
+
+    /// Random balanced send/recv programs never deadlock and always
+    /// account their time exactly.
+    #[test]
+    fn balanced_programs_run_and_account(
+        sends in prop::collection::vec((0usize..4, 0usize..4, 0u32..4, 1usize..10_000), 1..30)
+    ) {
+        // Build programs: all sends first on each rank, then the matching
+        // receives in the same global order (guarantees executability).
+        let n = 4;
+        let mut programs = vec![Program::new(); n];
+        for &(from, to, tag, bytes) in &sends {
+            programs[from].push(Op::Send { to, bytes, tag });
+        }
+        for &(from, to, tag, _) in &sends {
+            programs[to].push(Op::Recv { from, tag });
+        }
+        prop_assert!(validate_programs(&programs).is_ok());
+        let mut machine = MachineSpec::ideal(100.0);
+        machine.network = NetworkModel::from_link(5.0, 200.0, 1.0, 4096.0);
+        let report = Engine::new(&machine, programs).run().unwrap();
+        for r in &report.ranks {
+            let diff = (r.accounted().as_secs() - r.finish.as_secs()).abs();
+            prop_assert!(diff < 1e-9);
+        }
+    }
+
+    /// Segmented fitting recovers a piecewise-linear curve it generated.
+    #[test]
+    fn fit_recovers_synthetic_curves(
+        a_exp in 6u32..14,
+        b in 1.0f64..50.0,
+        c in 0.001f64..0.05,
+        d_extra in 1.0f64..40.0,
+        e in 0.0005f64..0.02,
+    ) {
+        let a = f64::from(2u32.pow(a_exp));
+        // Continuous-ish at the switch: d chosen so the jump is modest.
+        let d = b + c * a - e * a + d_extra;
+        let mut pts = Vec::new();
+        let mut x = 1.0;
+        while x <= 1e6 {
+            let y = if x <= a { b + c * x } else { d + e * x };
+            pts.push((x, y));
+            x *= 2.0;
+        }
+        let fit = fit_piecewise(&pts);
+        // Wherever the fit lands, it must reproduce the data closely.
+        for &(x, y) in &pts {
+            let err = (fit.curve.eval_us(x as usize) - y).abs() / y.max(1.0);
+            prop_assert!(err < 0.35, "x={x}: fit {} vs true {y}", fit.curve.eval_us(x as usize));
+        }
+    }
+
+    /// Eq. 3 curves with physical parameters (positive slopes, large
+    /// segment starting at or above the small one at the switch) are
+    /// monotone non-decreasing in message size.
+    #[test]
+    fn comm_curve_monotone(b in 0.0f64..100.0, c in 0.0f64..0.1, extra in 0.0f64..50.0, e in 0.0f64..0.1, a in 64.0f64..65536.0) {
+        let curve = CommCurve {
+            a_bytes: a,
+            b_us: b,
+            c_us_per_byte: c,
+            d_us: b + c * a + extra, // large segment starts above the small one
+            e_us_per_byte: e,
+        };
+        let sizes = [0usize, 32, 1024, 65536, 1 << 20, 1 << 24];
+        for w in sizes.windows(2) {
+            let (t0, t1) = (curve.eval_us(w[0]), curve.eval_us(w[1]));
+            prop_assert!(t0 >= 0.0);
+            prop_assert!(t1 + 1e-12 >= t0, "sizes {} -> {}: {t0} > {t1}", w[0], w[1]);
+        }
+    }
+
+    /// Cartesian topology: neighbour relations are symmetric and diagonal
+    /// indices tile 0..=max for every sweep corner.
+    #[test]
+    fn topology_invariants(px in 1usize..12, py in 1usize..12) {
+        let t = Cart2d::new(px, py);
+        for rank in 0..t.size() {
+            for dir in Direction::ALL {
+                if let Some(n) = t.neighbor(rank, dir) {
+                    prop_assert_eq!(t.neighbor(n, dir.opposite()), Some(rank));
+                }
+            }
+        }
+        for (si, sj) in [(1i8, 1i8), (-1, 1), (1, -1), (-1, -1)] {
+            let mut seen = vec![0usize; t.max_diagonal() + 1];
+            for rank in 0..t.size() {
+                seen[t.diagonal(rank, si, sj)] += 1;
+            }
+            prop_assert!(seen.iter().all(|&c| c > 0));
+            prop_assert_eq!(seen.iter().sum::<usize>(), t.size());
+        }
+    }
+
+    /// Problem-config decompositions tile the grid exactly.
+    #[test]
+    fn decomposition_tiles(it in 4usize..200, jt in 4usize..200, px in 1usize..8, py in 1usize..8) {
+        prop_assume!(it >= px && jt >= py);
+        let mut c = ProblemConfig::weak_scaling(1, px, py);
+        c.it = it;
+        c.jt = jt;
+        c.kt = 4;
+        let mut cells = 0usize;
+        for pj in 0..py {
+            for pi in 0..px {
+                cells += sweep3d::Decomposition::for_pe(&c, pi, pj).cells();
+            }
+        }
+        prop_assert_eq!(cells, it * jt * 4);
+    }
+
+    /// Trace generation always yields statically balanced programs that
+    /// execute without deadlock, for arbitrary geometry/blocking.
+    #[test]
+    fn traces_always_run(
+        cells in 2usize..6,
+        px in 1usize..4,
+        py in 1usize..4,
+        mk in 1usize..7,
+        mmi in 1usize..7,
+    ) {
+        let mut config = ProblemConfig::weak_scaling(cells, px, py);
+        config.mk = mk;
+        config.mmi = mmi;
+        config.iterations = 2;
+        prop_assume!(config.validate().is_ok());
+        let fm = sweep3d::trace::FlopModel {
+            flops_per_cell_angle: 20.0,
+            source_flops_per_cell: 2.0,
+            flux_err_flops_per_cell: 3.0,
+        };
+        let programs = sweep3d::trace::generate_programs(&config, &fm);
+        prop_assert!(validate_programs(&programs).is_ok());
+        let machine = MachineSpec::ideal(100.0);
+        let report = Engine::new(&machine, programs).run().unwrap();
+        prop_assert!(report.makespan() > 0.0);
+    }
+}

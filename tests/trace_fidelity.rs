@@ -1,0 +1,125 @@
+//! Fidelity of the trace generator: the op programs fed to the simulator
+//! must match the *real* threaded parallel execution message for message,
+//! and the simulated timing must respond to hardware parameters the way
+//! the real pipeline does.
+
+use cluster_sim::{Engine, MachineSpec, NetworkModel, Op};
+use sweep3d::parallel::run_parallel;
+use sweep3d::trace::{generate_programs, FlopModel};
+use sweep3d::ProblemConfig;
+
+fn small_config(px: usize, py: usize) -> ProblemConfig {
+    let mut c = ProblemConfig::weak_scaling(6, px, py);
+    c.mk = 3;
+    c.iterations = 3;
+    c
+}
+
+fn fm() -> FlopModel {
+    FlopModel { flops_per_cell_angle: 21.0, source_flops_per_cell: 2.0, flux_err_flops_per_cell: 3.0 }
+}
+
+#[test]
+fn trace_messages_match_real_execution_exactly() {
+    for (px, py) in [(2usize, 2usize), (3, 2), (1, 4), (4, 3)] {
+        let config = small_config(px, py);
+        let programs = generate_programs(&config, &fm());
+        let outcomes = run_parallel(&config).unwrap();
+        for (rank, out) in outcomes.iter().enumerate() {
+            let sends = programs[rank].count(|op| matches!(op, Op::Send { .. }));
+            let recvs = programs[rank].count(|op| matches!(op, Op::Recv { .. }));
+            assert_eq!(sends as u64, out.messages_sent, "{px}x{py} rank {rank} sends");
+            assert_eq!(
+                programs[rank].total_sent_bytes() as u64,
+                out.bytes_sent,
+                "{px}x{py} rank {rank} bytes"
+            );
+            // Every send in the system has a matching receive somewhere.
+            let _ = recvs;
+        }
+        let total_sends: usize = programs
+            .iter()
+            .map(|p| p.count(|op| matches!(op, Op::Send { .. })))
+            .sum();
+        let total_recvs: usize = programs
+            .iter()
+            .map(|p| p.count(|op| matches!(op, Op::Recv { .. })))
+            .sum();
+        assert_eq!(total_sends, total_recvs);
+    }
+}
+
+#[test]
+fn trace_flops_match_instrumented_execution() {
+    // Trace compute totals use the calibrated flop model; the real run's
+    // instrumented counts must agree within the calibration tolerance.
+    let config = small_config(2, 2);
+    let calibrated = FlopModel::calibrate(&config, 6);
+    let programs = generate_programs(&config, &calibrated);
+    let outcomes = run_parallel(&config).unwrap();
+    for (rank, out) in outcomes.iter().enumerate() {
+        let trace_flops = programs[rank].total_flops();
+        let real_flops = out.flops.total() as f64;
+        let rel = (trace_flops - real_flops).abs() / real_flops;
+        assert!(
+            rel < 0.05,
+            "rank {rank}: trace {trace_flops:.0} vs instrumented {real_flops:.0} ({rel:.3})"
+        );
+    }
+}
+
+#[test]
+fn slower_network_stretches_simulated_runtime() {
+    let config = small_config(4, 4);
+    let programs = generate_programs(&config, &fm());
+    let mut fast = MachineSpec::ideal(100.0);
+    fast.network = NetworkModel::from_link(2.0, 1000.0, 0.5, 16384.0);
+    let mut slow = fast.clone();
+    slow.network = NetworkModel::from_link(200.0, 10.0, 30.0, 16384.0);
+    let t_fast = Engine::new(&fast, programs.clone()).run().unwrap().makespan();
+    let t_slow = Engine::new(&slow, programs).run().unwrap().makespan();
+    assert!(t_slow > t_fast, "slow {t_slow} vs fast {t_fast}");
+}
+
+#[test]
+fn deeper_arrays_add_pipeline_fill() {
+    // Same per-rank work, larger array ⇒ longer makespan (weak scaling).
+    let machine = MachineSpec::ideal(100.0);
+    let mut last = 0.0;
+    for (px, py) in [(1usize, 1usize), (2, 2), (4, 4), (6, 6)] {
+        let config = small_config(px, py);
+        let programs = generate_programs(&config, &fm());
+        let t = Engine::new(&machine, programs).run().unwrap().makespan();
+        assert!(t > last, "{px}x{py}: {t} should exceed {last}");
+        last = t;
+    }
+}
+
+#[test]
+fn simulated_pipeline_matches_analytic_template_on_clean_machine() {
+    // With no noise, a flat CPU and a free network, the DES measurement
+    // and the pipeline-template prediction must agree tightly — the
+    // template's closed form is exactly the schedule's critical path.
+    use pace_core::{HardwareModel, Sweep3dModel, Sweep3dParams};
+    let config = small_config(5, 3);
+    let fmodel = fm();
+    let programs = generate_programs(&config, &fmodel);
+    let machine = MachineSpec::ideal(100.0);
+    let measured = Engine::new(&machine, programs).run().unwrap().makespan();
+
+    let mut params = Sweep3dParams::weak_scaling_50cubed(5, 3);
+    params.nx = 6;
+    params.ny = 6;
+    params.nz = 6;
+    params.mk = 3;
+    params.iterations = 3;
+    params.kernel = params.kernel.with_sweep_flops(fmodel.flops_per_cell_angle);
+    let hw = HardwareModel::flat_rate("ideal", 100.0, pace_core::CommModel::free());
+    let predicted = Sweep3dModel::new(params).predict(&hw).total_secs;
+
+    let rel = (measured - predicted).abs() / measured;
+    assert!(
+        rel < 0.05,
+        "clean-machine agreement: measured {measured:.4} vs predicted {predicted:.4} ({rel:.4})"
+    );
+}

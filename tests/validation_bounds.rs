@@ -1,0 +1,89 @@
+//! The paper's headline claims, end to end across all crates:
+//! measurement (DES trace) vs prediction (PACE model) on the three
+//! simulated machines, with the error structure of §5.
+
+use experiments::validation::{self, RowSpec};
+use hwbench::machines as sim_machines;
+use sweep3d::trace::FlopModel;
+
+#[test]
+fn table2_reproduces_paper_error_structure() {
+    let table = validation::table2();
+    assert_eq!(table.rows.len(), 9);
+    // Headline: every row under 10% error.
+    for row in &table.rows {
+        assert!(
+            row.error_pct.abs() < 10.0,
+            "{}x{}: error {:.2}%",
+            row.spec.px,
+            row.spec.py,
+            row.error_pct
+        );
+    }
+    // Sign: over-prediction on the distributed-memory cluster, like the
+    // paper's Table 2 (all nine rows negative there).
+    assert!(table.mean_signed_error() < -1.0);
+    // Magnitude band: paper average is 5.35%.
+    assert!(table.avg_abs_error() > 2.0 && table.avg_abs_error() < 9.0);
+    // Measured runtimes in the paper's range (8.98 – 12.07 s).
+    let first = &table.rows[0];
+    assert!(first.measured_secs > 6.0 && first.measured_secs < 12.0, "{}", first.measured_secs);
+}
+
+#[test]
+fn table3_under_predicts_like_the_paper() {
+    let table = validation::table3();
+    for row in &table.rows {
+        assert!(row.error_pct.abs() < 10.0, "error {:.2}%", row.error_pct);
+        // Every Table 3 row in the paper is a positive error.
+        assert!(
+            row.error_pct > 0.0,
+            "{}x{} should under-predict on the NUMA machine: {:+.2}%",
+            row.spec.px,
+            row.spec.py,
+            row.error_pct
+        );
+    }
+    // Paper: average 6.23%, variance 0.78 — ours must be in the band.
+    assert!(table.avg_abs_error() > 3.0 && table.avg_abs_error() < 9.0);
+    assert!(table.error_variance() < 3.0, "variance {}", table.error_variance());
+}
+
+#[test]
+fn weak_scaling_runtime_grows_linearly_with_stages() {
+    // The paper's observation: "the linear increase in runtime … is due to
+    // the increase in the number of pipeline stages". Check measurement
+    // correlates with the pipeline-depth metric across rows.
+    let machine = sim_machines::opteron_gige_sim();
+    let fm = FlopModel::calibrate(&validation::row_config(&validation::TABLE2_ROWS[0]), 10);
+    let mut rows: Vec<(f64, f64)> = Vec::new();
+    for (idx, spec) in validation::TABLE2_ROWS.iter().enumerate() {
+        let stages = (3 * (spec.px - 1) + 2 * (spec.py - 1)) as f64;
+        let t = validation::measure_row(spec, &machine, &fm, idx as u64 + 77);
+        rows.push((stages, t));
+    }
+    let fit = hwbench::stats::ols(&rows);
+    assert!(fit.slope > 0.0, "runtime must grow with pipeline depth");
+    assert!(fit.r2 > 0.9, "growth should be strongly linear (r² = {:.3})", fit.r2);
+}
+
+#[test]
+fn prediction_is_deterministic_and_measurement_seeded() {
+    let machine = sim_machines::opteron_gige_sim();
+    let spec = RowSpec {
+        it: 100,
+        jt: 100,
+        px: 2,
+        py: 2,
+        paper_measured: 8.98,
+        paper_predicted: 9.69,
+    };
+    let fm = FlopModel::calibrate(&validation::row_config(&spec), 10);
+    let a = validation::measure_row(&spec, &machine, &fm, 1);
+    let b = validation::measure_row(&spec, &machine, &fm, 1);
+    assert_eq!(a, b, "same seed must reproduce the measurement exactly");
+    let c = validation::measure_row(&spec, &machine, &fm, 2);
+    assert_ne!(a, c, "different runs see different background load");
+    // But runs stay within the noise envelope.
+    assert!((a - c).abs() / a < 0.08);
+}

@@ -39,14 +39,7 @@ fn bench_des_throughput(c: &mut Criterion) {
     let mut g = c.benchmark_group("des_engine");
     g.throughput(Throughput::Elements(total_ops));
     g.bench_function("ring_64ranks_100units", |b| {
-        b.iter(|| {
-            black_box(
-                Engine::new(&machine, programs.clone())
-                    .run()
-                    .unwrap()
-                    .makespan(),
-            )
-        })
+        b.iter(|| black_box(Engine::new(&machine, programs.clone()).run().unwrap().makespan()))
     });
     g.finish();
 }

@@ -64,9 +64,7 @@ fn bench_single_row(c: &mut Criterion) {
     g.bench_function("measure_8x14", |b| {
         b.iter(|| black_box(validation::measure_row(&spec, &machine, &fm, 1)))
     });
-    g.bench_function("predict_8x14", |b| {
-        b.iter(|| black_box(validation::predict_row(&spec, &hw)))
-    });
+    g.bench_function("predict_8x14", |b| b.iter(|| black_box(validation::predict_row(&spec, &hw))));
     g.finish();
 }
 

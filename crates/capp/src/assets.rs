@@ -19,10 +19,9 @@ pub fn sweep_per_cell_angle(
     nx: usize,
 ) -> Result<ResourceVector, CappError> {
     let flows = crate::analyze_source(SWEEP_KERNEL_C)?;
-    let flow = flows.get("sweep_block").ok_or_else(|| CappError {
-        line: 0,
-        message: "sweep_block not found in asset".into(),
-    })?;
+    let flow = flows
+        .get("sweep_block")
+        .ok_or_else(|| CappError { line: 0, message: "sweep_block not found in asset".into() })?;
     let bindings = Bindings::new()
         .set("n_ang", n_ang as f64)
         .set("klen", klen as f64)
@@ -85,9 +84,7 @@ mod tests {
     #[test]
     fn source_subtask_counts() {
         let flows = crate::analyze_source(SWEEP_KERNEL_C).unwrap();
-        let v = flows["source"]
-            .evaluate(&Bindings::new().set("cells", 1000.0))
-            .unwrap();
+        let v = flows["source"].evaluate(&Bindings::new().set("cells", 1000.0)).unwrap();
         assert_eq!(v.mfdg, 1000.0);
         assert_eq!(v.afdg, 1000.0);
         assert_eq!(v.cmld, 4000.0); // three reads + one store per cell

@@ -124,10 +124,7 @@ pub fn lex(src: &str) -> Result<Vec<CToken>, CappError> {
                     message: format!("bad @prob annotation '{}': {e}", rest.trim()),
                 })?;
                 if !(0.0..=1.0).contains(&p) {
-                    return Err(CappError {
-                        line,
-                        message: format!("@prob {p} outside [0, 1]"),
-                    });
+                    return Err(CappError { line, message: format!("@prob {p} outside [0, 1]") });
                 }
                 out.push(CToken { tok: CTok::ProbAnnot(p), line });
             }
@@ -142,9 +139,7 @@ pub fn lex(src: &str) -> Result<Vec<CToken>, CappError> {
             out.push(CToken { tok: CTok::Ident(src[begin..i].to_string()), line });
             continue;
         }
-        if c.is_ascii_digit()
-            || (c == '.' && b.get(i + 1).is_some_and(|d| d.is_ascii_digit()))
-        {
+        if c.is_ascii_digit() || (c == '.' && b.get(i + 1).is_some_and(|d| d.is_ascii_digit())) {
             let begin = i;
             while i < b.len()
                 && ((b[i] as char).is_ascii_digit()
@@ -158,15 +153,13 @@ pub fn lex(src: &str) -> Result<Vec<CToken>, CappError> {
                 i += 1;
             }
             let text = &src[begin..i];
-            let value = text.parse::<f64>().map_err(|e| CappError {
-                line,
-                message: format!("bad number '{text}': {e}"),
-            })?;
+            let value = text
+                .parse::<f64>()
+                .map_err(|e| CappError { line, message: format!("bad number '{text}': {e}") })?;
             out.push(CToken { tok: CTok::Number(value), line });
             continue;
         }
-        let two = if i + 1 < b.len() && src.is_char_boundary(i) && src.is_char_boundary(i + 2)
-        {
+        let two = if i + 1 < b.len() && src.is_char_boundary(i) && src.is_char_boundary(i + 2) {
             &src[i..i + 2]
         } else {
             ""

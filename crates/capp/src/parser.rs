@@ -385,7 +385,8 @@ mod tests {
 
     #[test]
     fn parses_function_with_loop() {
-        let src = "void f(int n, double a[]) { int i; for (i = 0; i < n; i++) { a[i] = a[i] * 2.0; } }";
+        let src =
+            "void f(int n, double a[]) { int i; for (i = 0; i < n; i++) { a[i] = a[i] * 2.0; } }";
         let fs = parse(src).unwrap();
         assert_eq!(fs[0].name, "f");
         assert_eq!(fs[0].params, vec!["n", "a"]);

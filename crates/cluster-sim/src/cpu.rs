@@ -143,7 +143,7 @@ mod tests {
         for ws in [16 * 1024, 64 * 1024, 256 * 1024, 1 << 20, 1 << 24, 1 << 28] {
             let r = cpu.rate_mflops(ws);
             assert!(r <= prev + 1e-9, "rate should not rise with working set in this curve");
-            assert!(r >= 200.0 && r <= 400.0);
+            assert!((200.0..=400.0).contains(&r));
             prev = r;
         }
     }
@@ -179,10 +179,7 @@ mod tests {
     fn unsorted_curve_rejected() {
         CpuModel::with_curve(
             "bad",
-            vec![
-                RatePoint { bytes: 1000.0, mflops: 1.0 },
-                RatePoint { bytes: 10.0, mflops: 1.0 },
-            ],
+            vec![RatePoint { bytes: 1000.0, mflops: 1.0 }, RatePoint { bytes: 10.0, mflops: 1.0 }],
             0.0,
         );
     }

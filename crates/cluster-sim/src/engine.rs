@@ -23,9 +23,15 @@ use crate::time::SimTime;
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum Status {
     Ready,
-    BlockedRecv { from: usize, tag: u32 },
+    BlockedRecv {
+        from: usize,
+        tag: u32,
+    },
     /// Rendezvous sender waiting for the receiver to post its receive.
-    BlockedSend { to: usize, tag: u32 },
+    BlockedSend {
+        to: usize,
+        tag: u32,
+    },
     Parked,
     Done,
 }
@@ -104,8 +110,7 @@ impl<'m> Engine<'m> {
 
         // In-flight (arrival time, bytes) per (to, from, tag) channel, FIFO
         // in sender program order (MPI non-overtaking).
-        let mut inflight: HashMap<(usize, usize, u32), VecDeque<(SimTime, usize)>> =
-            HashMap::new();
+        let mut inflight: HashMap<(usize, usize, u32), VecDeque<(SimTime, usize)>> = HashMap::new();
         // Sender NIC busy-until times (back-to-back serialisation).
         let mut nic_busy: Vec<SimTime> = vec![SimTime::ZERO; n];
         // Rendezvous senders parked per (to, from, tag) channel, FIFO.
@@ -141,19 +146,14 @@ impl<'m> Engine<'m> {
                         let overhead = machine.network.sender_overhead(bytes);
                         ranks[r].clock += overhead;
                         ranks[r].stats.send_overhead += overhead;
-                        let jitter =
-                            SimTime::from_secs(ranks[r].noise.message_jitter_secs());
+                        let jitter = SimTime::from_secs(ranks[r].noise.message_jitter_secs());
                         if bytes >= eager_limit
                             && ranks[to].status != (Status::BlockedRecv { from: r, tag })
                         {
                             // Rendezvous: the receiver has not posted yet;
                             // park until it reaches the matching receive.
-                            let pending =
-                                PendingSend { ready: ranks[r].clock, bytes, jitter };
-                            pending_sends
-                                .entry((to, r, tag))
-                                .or_default()
-                                .push_back((r, pending));
+                            let pending = PendingSend { ready: ranks[r].clock, bytes, jitter };
+                            pending_sends.entry((to, r, tag)).or_default().push_back((r, pending));
                             ranks[r].status = Status::BlockedSend { to, tag };
                             break;
                         }
@@ -164,8 +164,7 @@ impl<'m> Engine<'m> {
                         } else {
                             SimTime::ZERO
                         };
-                        let wire_start =
-                            ranks[r].clock.max(nic_busy[r]).max(posted);
+                        let wire_start = ranks[r].clock.max(nic_busy[r]).max(posted);
                         nic_busy[r] = wire_start + machine.network.serialization_time(bytes);
                         let arrival = wire_start + machine.network.wire_time(bytes) + jitter;
                         inflight.entry((to, r, tag)).or_default().push_back((arrival, bytes));
@@ -201,16 +200,13 @@ impl<'m> Engine<'m> {
                             None => {
                                 // A rendezvous sender may be parked on
                                 // this channel: complete the handshake.
-                                if let Some((s_rank, pend)) = pending_sends
-                                    .get_mut(&channel)
-                                    .and_then(|q| q.pop_front())
+                                if let Some((s_rank, pend)) =
+                                    pending_sends.get_mut(&channel).and_then(|q| q.pop_front())
                                 {
-                                    let wire_start = pend
-                                        .ready
-                                        .max(nic_busy[s_rank])
-                                        .max(ranks[r].clock);
-                                    nic_busy[s_rank] = wire_start
-                                        + machine.network.serialization_time(pend.bytes);
+                                    let wire_start =
+                                        pend.ready.max(nic_busy[s_rank]).max(ranks[r].clock);
+                                    nic_busy[s_rank] =
+                                        wire_start + machine.network.serialization_time(pend.bytes);
                                     let arrival = wire_start
                                         + machine.network.wire_time(pend.bytes)
                                         + pend.jitter;
@@ -226,13 +222,10 @@ impl<'m> Engine<'m> {
                                     ranks[s_rank].status = Status::Ready;
                                     ready.push_back(s_rank);
                                     // Receiver waits for the wire.
-                                    let wait =
-                                        arrival.saturating_sub(ranks[r].clock);
+                                    let wait = arrival.saturating_sub(ranks[r].clock);
                                     ranks[r].stats.recv_wait += wait;
-                                    let overhead =
-                                        machine.network.receiver_overhead(pend.bytes);
-                                    ranks[r].clock =
-                                        ranks[r].clock.max(arrival) + overhead;
+                                    let overhead = machine.network.receiver_overhead(pend.bytes);
+                                    ranks[r].clock = ranks[r].clock.max(arrival) + overhead;
                                     ranks[r].stats.recv_overhead += overhead;
                                     ranks[r].pc += 1;
                                     continue;
@@ -296,11 +289,7 @@ impl<'m> Engine<'m> {
                 bytes = bytes.max(b);
             }
         }
-        let entry = parked
-            .iter()
-            .map(|&r| ranks[r].park_clock)
-            .max()
-            .unwrap_or(SimTime::ZERO);
+        let entry = parked.iter().map(|&r| ranks[r].park_clock).max().unwrap_or(SimTime::ZERO);
         let completion = entry + self.collective_cost(bytes, n);
         for &r in parked.iter() {
             let waited = completion.saturating_sub(ranks[r].park_clock);
@@ -395,10 +384,7 @@ mod tests {
         m.network = NetworkModel::from_link(5.0, 100.0, 1.0, 16384.0);
         // Rank 0 sends immediately; rank 1 computes 1s first, then receives.
         let p0 = prog(&[Op::Send { to: 1, bytes: 100, tag: 1 }]);
-        let p1 = prog(&[
-            Op::Compute { flops: 1e8, working_set: 0 },
-            Op::Recv { from: 0, tag: 1 },
-        ]);
+        let p1 = prog(&[Op::Compute { flops: 1e8, working_set: 0 }, Op::Recv { from: 0, tag: 1 }]);
         let report = Engine::new(&m, vec![p0, p1]).run().unwrap();
         assert_eq!(report.ranks[1].recv_wait, SimTime::ZERO);
         let ro = m.network.receiver_overhead(100).as_secs();
@@ -409,10 +395,8 @@ mod tests {
     fn fifo_matching_non_overtaking() {
         let mut m = ideal(100.0);
         m.network = NetworkModel::from_link(10.0, 250.0, 1.0, 16384.0);
-        let p0 = prog(&[
-            Op::Send { to: 1, bytes: 100, tag: 1 },
-            Op::Send { to: 1, bytes: 200, tag: 1 },
-        ]);
+        let p0 =
+            prog(&[Op::Send { to: 1, bytes: 100, tag: 1 }, Op::Send { to: 1, bytes: 200, tag: 1 }]);
         let p1 = prog(&[Op::Recv { from: 0, tag: 1 }, Op::Recv { from: 0, tag: 1 }]);
         let report = Engine::new(&m, vec![p0, p1]).run().unwrap();
         assert_eq!(report.ranks[0].messages_sent, 2);
@@ -551,10 +535,7 @@ mod tests {
         // Rank 0 sends a large message immediately; rank 1 computes 1 s
         // before posting its receive. The sender must stall ~1 s.
         let p0 = prog(&[Op::Send { to: 1, bytes: 100_000, tag: 1 }]);
-        let p1 = prog(&[
-            Op::Compute { flops: 1e8, working_set: 0 },
-            Op::Recv { from: 0, tag: 1 },
-        ]);
+        let p1 = prog(&[Op::Compute { flops: 1e8, working_set: 0 }, Op::Recv { from: 0, tag: 1 }]);
         let report = Engine::new(&m, vec![p0, p1]).run().unwrap();
         let ser = m.network.serialization_time(100_000).as_secs();
         let so = m.network.sender_overhead(100_000).as_secs();
@@ -608,10 +589,7 @@ mod tests {
         m.rendezvous_bytes = Some(1 << 20);
         // Below the threshold the sender never blocks.
         let p0 = prog(&[Op::Send { to: 1, bytes: 128, tag: 1 }]);
-        let p1 = prog(&[
-            Op::Compute { flops: 1e8, working_set: 0 },
-            Op::Recv { from: 0, tag: 1 },
-        ]);
+        let p1 = prog(&[Op::Compute { flops: 1e8, working_set: 0 }, Op::Recv { from: 0, tag: 1 }]);
         let report = Engine::new(&m, vec![p0, p1]).run().unwrap();
         assert_eq!(report.ranks[0].send_wait, SimTime::ZERO);
         let so = m.network.sender_overhead(128).as_secs();
@@ -645,12 +623,8 @@ mod tests {
         eager.network = NetworkModel::from_link(10.0, 100.0, 2.0, 1e9);
         let rendezvous = eager.clone().with_rendezvous(16_384);
         let t_eager = Engine::new(&eager, mk_programs()).run().unwrap().makespan();
-        let t_rendezvous =
-            Engine::new(&rendezvous, mk_programs()).run().unwrap().makespan();
-        assert!(
-            t_rendezvous > t_eager,
-            "rendezvous {t_rendezvous} should exceed eager {t_eager}"
-        );
+        let t_rendezvous = Engine::new(&rendezvous, mk_programs()).run().unwrap().makespan();
+        assert!(t_rendezvous > t_eager, "rendezvous {t_rendezvous} should exceed eager {t_eager}");
     }
 
     #[test]

@@ -111,7 +111,12 @@ impl NetworkModel {
     /// (µs), bandwidth (MB/s) and per-call MPI software overhead (µs).
     /// The eager→rendezvous switch is placed at `switch_bytes`; the
     /// rendezvous segment pays an extra handshake latency.
-    pub fn from_link(latency_us: f64, bandwidth_mb_s: f64, sw_overhead_us: f64, switch_bytes: f64) -> Self {
+    pub fn from_link(
+        latency_us: f64,
+        bandwidth_mb_s: f64,
+        sw_overhead_us: f64,
+        switch_bytes: f64,
+    ) -> Self {
         let per_byte = 1.0 / bandwidth_mb_s; // µs per byte == 1 / (MB/s)
         let send = PiecewiseSegments {
             switch_bytes,

@@ -39,12 +39,7 @@ pub struct NoiseModel {
 impl NoiseModel {
     /// A silent machine: no noise at all.
     pub fn none() -> Self {
-        NoiseModel {
-            compute_mean: 0.0,
-            compute_spread: 0.0,
-            message_jitter_us: 0.0,
-            run_bias: 0.0,
-        }
+        NoiseModel { compute_mean: 0.0, compute_spread: 0.0, message_jitter_us: 0.0, run_bias: 0.0 }
     }
 
     /// A typical commodity-cluster noise level.
@@ -153,7 +148,12 @@ mod tests {
 
     #[test]
     fn compute_factor_centered_near_mean() {
-        let m = NoiseModel { compute_mean: 0.01, compute_spread: 0.005, message_jitter_us: 0.0, run_bias: 0.0 };
+        let m = NoiseModel {
+            compute_mean: 0.01,
+            compute_spread: 0.005,
+            message_jitter_us: 0.0,
+            run_bias: 0.0,
+        };
         let mut s = NoiseStream::new(m, 7, 0);
         let n = 20_000;
         let avg: f64 = (0..n).map(|_| s.compute_factor()).sum::<f64>() / n as f64;
@@ -162,13 +162,18 @@ mod tests {
 
     #[test]
     fn factors_bounded() {
-        let m = NoiseModel { compute_mean: 0.02, compute_spread: 0.01, message_jitter_us: 1.0, run_bias: 0.0 };
+        let m = NoiseModel {
+            compute_mean: 0.02,
+            compute_spread: 0.01,
+            message_jitter_us: 1.0,
+            run_bias: 0.0,
+        };
         let mut s = NoiseStream::new(m, 9, 1);
         for _ in 0..10_000 {
             let f = s.compute_factor();
-            assert!(f >= 1.01 - 1e-12 && f <= 1.03 + 1e-12, "factor {f} out of band");
+            assert!((1.01 - 1e-12..=1.03 + 1e-12).contains(&f), "factor {f} out of band");
             let j = s.message_jitter_secs();
-            assert!(j >= 0.0 && j <= 5.0 * 1e-6 + 1e-12);
+            assert!((0.0..=5.0 * 1e-6 + 1e-12).contains(&j));
         }
     }
 }

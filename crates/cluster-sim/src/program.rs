@@ -89,10 +89,7 @@ impl Program {
 
     /// Total bytes across sends.
     pub fn total_sent_bytes(&self) -> usize {
-        self.ops
-            .iter()
-            .map(|op| if let Op::Send { bytes, .. } = op { *bytes } else { 0 })
-            .sum()
+        self.ops.iter().map(|op| if let Op::Send { bytes, .. } = op { *bytes } else { 0 }).sum()
     }
 
     /// Count ops matching a predicate.
@@ -152,11 +149,7 @@ pub fn validate_programs(programs: &[Program]) -> Result<(), String> {
             ));
         }
     }
-    if let Some((rank, _)) = collectives
-        .iter()
-        .enumerate()
-        .find(|(_, &c)| c != collectives[0])
-    {
+    if let Some((rank, _)) = collectives.iter().enumerate().find(|(_, &c)| c != collectives[0]) {
         return Err(format!(
             "collective count mismatch: rank 0 has {}, rank {rank} has {}",
             collectives[0], collectives[rank]

@@ -91,12 +91,7 @@ impl RunReport {
 
     /// Maximum time any rank spent idle in receive waits, in seconds.
     pub fn max_recv_wait(&self) -> f64 {
-        self.ranks
-            .iter()
-            .map(|r| r.recv_wait)
-            .max()
-            .unwrap_or(SimTime::ZERO)
-            .as_secs()
+        self.ranks.iter().map(|r| r.recv_wait).max().unwrap_or(SimTime::ZERO).as_secs()
     }
 }
 

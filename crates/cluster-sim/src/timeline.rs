@@ -80,15 +80,10 @@ pub fn record(machine: &MachineSpec, programs: Vec<Program>) -> SimResult<Timeli
         // their flops; message ops share the comm budget equally; idle
         // time is inserted before the first compute of each recv run.
         let total_flops: f64 = prog.total_flops().max(1e-30);
-        let msg_ops = prog
-            .count(|op| matches!(op, Op::Send { .. } | Op::Recv { .. }))
-            .max(1);
-        let coll_ops = prog
-            .count(|op| matches!(op, Op::AllReduce { .. } | Op::Barrier))
-            .max(1);
+        let msg_ops = prog.count(|op| matches!(op, Op::Send { .. } | Op::Recv { .. })).max(1);
+        let coll_ops = prog.count(|op| matches!(op, Op::AllReduce { .. } | Op::Barrier)).max(1);
         let recv_ops = prog.count(|op| matches!(op, Op::Recv { .. })).max(1);
-        let comm_per_op = (stats.send_overhead + stats.send_wait + stats.recv_overhead)
-            .as_secs()
+        let comm_per_op = (stats.send_overhead + stats.send_wait + stats.recv_overhead).as_secs()
             / msg_ops as f64;
         let idle_per_recv = stats.recv_wait.as_secs() / recv_ops as f64;
         let coll_per_op = stats.collective.as_secs() / coll_ops as f64;
@@ -112,9 +107,7 @@ pub fn record(machine: &MachineSpec, programs: Vec<Program>) -> SimResult<Timeli
                     let dur = stats.compute.as_secs() * flops / total_flops;
                     push(&mut t, dur, Activity::Compute, &mut intervals);
                 }
-                Op::Send { .. } => {
-                    push(&mut t, comm_per_op, Activity::Communicate, &mut intervals)
-                }
+                Op::Send { .. } => push(&mut t, comm_per_op, Activity::Communicate, &mut intervals),
                 Op::Recv { .. } => {
                     push(&mut t, idle_per_recv, Activity::Idle, &mut intervals);
                     push(&mut t, comm_per_op, Activity::Communicate, &mut intervals);

@@ -150,10 +150,7 @@ impl ResourceVector {
 
     /// Old-style PACE opcode costing: Σ count × per-opcode time.
     pub fn cost_us(&self, costs: &OpcodeCosts) -> f64 {
-        Opcode::ALL
-            .iter()
-            .map(|&op| self.get(op) * costs.get(op))
-            .sum()
+        Opcode::ALL.iter().map(|&op| self.get(op) * costs.get(op)).sum()
     }
 }
 
@@ -220,7 +217,7 @@ impl OpcodeCosts {
             dfdg_us: 38.0 * cycle_us, // fdiv latency
             ifbr_us: 2.0 * cycle_us,
             lfor_us: 3.0 * cycle_us,
-            cmld_us: 3.0 * cycle_us,  // L1-hit load-use latency
+            cmld_us: 3.0 * cycle_us, // L1-hit load-use latency
         }
     }
 }
@@ -231,7 +228,8 @@ mod tests {
 
     #[test]
     fn flops_counts_fp_classes_only() {
-        let v = ResourceVector { mfdg: 3.0, afdg: 4.0, dfdg: 1.0, ifbr: 10.0, lfor: 5.0, cmld: 7.0 };
+        let v =
+            ResourceVector { mfdg: 3.0, afdg: 4.0, dfdg: 1.0, ifbr: 10.0, lfor: 5.0, cmld: 7.0 };
         assert_eq!(v.flops(), 8.0);
     }
 
@@ -256,9 +254,10 @@ mod tests {
 
     #[test]
     fn achieved_rate_costing_matches_flops_over_rate() {
-        let v = ResourceVector { mfdg: 50.0, afdg: 40.0, dfdg: 10.0, ifbr: 99.0, lfor: 3.0, cmld: 7.0 };
+        let v =
+            ResourceVector { mfdg: 50.0, afdg: 40.0, dfdg: 10.0, ifbr: 99.0, lfor: 3.0, cmld: 7.0 };
         let costs = OpcodeCosts::from_achieved_rate(100.0); // 100 MFLOPS
-        // 100 flops at 100 MFLOPS = 1 µs; branches free.
+                                                            // 100 flops at 100 MFLOPS = 1 µs; branches free.
         assert!((v.cost_us(&costs) - 1.0).abs() < 1e-12);
     }
 

@@ -141,7 +141,13 @@ mod tests {
     use super::*;
 
     fn curve() -> CommCurve {
-        CommCurve { a_bytes: 1000.0, b_us: 10.0, c_us_per_byte: 0.01, d_us: 15.0, e_us_per_byte: 0.005 }
+        CommCurve {
+            a_bytes: 1000.0,
+            b_us: 10.0,
+            c_us_per_byte: 0.01,
+            d_us: 15.0,
+            e_us_per_byte: 0.005,
+        }
     }
 
     #[test]

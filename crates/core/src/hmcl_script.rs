@@ -51,11 +51,8 @@ impl std::error::Error for HmclError {}
 /// Render a hardware model as an HMCL script.
 pub fn write(hw: &HardwareModel) -> String {
     let mut out = String::new();
-    let ident: String = hw
-        .name
-        .chars()
-        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
-        .collect();
+    let ident: String =
+        hw.name.chars().map(|c| if c.is_ascii_alphanumeric() { c } else { '_' }).collect();
     let _ = writeln!(out, "config {ident} {{");
     let _ = writeln!(out, "  -- {}", hw.name);
     let _ = writeln!(out, "  hardware {{");
@@ -126,17 +123,12 @@ pub fn parse(src: &str) -> Result<HardwareModel, HmclError> {
         match section.last().copied() {
             Some("rates") => {
                 let body = line.trim_end_matches(',');
-                let (cells, mflops) = body
-                    .split_once('=')
-                    .ok_or_else(|| err("expected 'cells = mflops'".into()))?;
-                let cells: f64 = cells
-                    .trim()
-                    .parse()
-                    .map_err(|e| err(format!("bad cell count: {e}")))?;
-                let mflops: f64 = mflops
-                    .trim()
-                    .parse()
-                    .map_err(|e| err(format!("bad rate: {e}")))?;
+                let (cells, mflops) =
+                    body.split_once('=').ok_or_else(|| err("expected 'cells = mflops'".into()))?;
+                let cells: f64 =
+                    cells.trim().parse().map_err(|e| err(format!("bad cell count: {e}")))?;
+                let mflops: f64 =
+                    mflops.trim().parse().map_err(|e| err(format!("bad rate: {e}")))?;
                 if cells <= 0.0 || mflops <= 0.0 {
                     return Err(err("rates must be positive".into()));
                 }
@@ -159,9 +151,9 @@ pub fn parse(src: &str) -> Result<HardwareModel, HmclError> {
                         .ok_or_else(|| err(format!("expected 'K = v' in '{assign}'")))?;
                     let v = match value.trim() {
                         "inf" => f64::INFINITY,
-                        other => other
-                            .parse()
-                            .map_err(|e| err(format!("bad value '{other}': {e}")))?,
+                        other => {
+                            other.parse().map_err(|e| err(format!("bad value '{other}': {e}")))?
+                        }
                     };
                     let k = match key.trim() {
                         "A" => 0,
@@ -190,7 +182,10 @@ pub fn parse(src: &str) -> Result<HardwareModel, HmclError> {
         }
     }
     if !section.is_empty() {
-        return Err(HmclError { line: src.lines().count() as u32, message: "unclosed block".into() });
+        return Err(HmclError {
+            line: src.lines().count() as u32,
+            message: "unclosed block".into(),
+        });
     }
     let name = name.ok_or(HmclError { line: 1, message: "no config block".into() })?;
     if rates.is_empty() {

@@ -154,12 +154,7 @@ pub fn opteron_myrinet_hypothetical() -> HardwareModel {
 
 /// All quoted machines, for enumeration in examples and docs.
 pub fn all_quoted() -> Vec<HardwareModel> {
-    vec![
-        pentium3_myrinet(),
-        opteron_gige(),
-        altix_numalink(),
-        opteron_myrinet_hypothetical(),
-    ]
+    vec![pentium3_myrinet(), opteron_gige(), altix_numalink(), opteron_myrinet_hypothetical()]
 }
 
 #[cfg(test)]
@@ -171,19 +166,15 @@ mod tests {
         assert!((pentium3_myrinet().achieved_mflops(125_000) - 110.0).abs() < 1e-9);
         assert!((opteron_gige().achieved_mflops(125_000) - 350.0).abs() < 1e-9);
         assert!((altix_numalink().achieved_mflops(125_000) - 225.0).abs() < 1e-9);
-        assert!(
-            (opteron_myrinet_hypothetical().achieved_mflops(2_500) - 340.0).abs() < 1e-9
-        );
+        assert!((opteron_myrinet_hypothetical().achieved_mflops(2_500) - 340.0).abs() < 1e-9);
     }
 
     #[test]
     fn curves_are_near_continuous() {
         for hw in all_quoted() {
-            for (label, c) in [
-                ("send", hw.comm.send),
-                ("recv", hw.comm.recv),
-                ("pingpong", hw.comm.pingpong),
-            ] {
+            for (label, c) in
+                [("send", hw.comm.send), ("recv", hw.comm.recv), ("pingpong", hw.comm.pingpong)]
+            {
                 assert!(
                     c.discontinuity() < 0.6,
                     "{}: {label} jumps {:.2} at switch",

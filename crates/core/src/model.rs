@@ -48,12 +48,7 @@ pub struct SubtaskObject {
 
 impl SubtaskObject {
     /// A communication-free subtask from a per-unit vector and unit count.
-    pub fn serial(
-        name: &str,
-        per_unit: ResourceVector,
-        units: f64,
-        cells_per_pe: usize,
-    ) -> Self {
+    pub fn serial(name: &str, per_unit: ResourceVector, units: f64, cells_per_pe: usize) -> Self {
         SubtaskObject {
             name: name.to_string(),
             flops: per_unit.flops() * units,

@@ -200,8 +200,7 @@ impl Sweep3dModel {
         let k_blocks = p.k_blocks();
         let units_per_corner = 2 * a_blocks * k_blocks;
         // Total sweep flops per rank per iteration: all 8 octants.
-        let sweep_flops_per_iter =
-            cells * 8.0 * angles * p.kernel.sweep_per_cell_angle.flops();
+        let sweep_flops_per_iter = cells * 8.0 * angles * p.kernel.sweep_per_cell_angle.flops();
         // One pipeline unit's flops: per-corner total / units per corner.
         let unit_flops = sweep_flops_per_iter / (4 * units_per_corner) as f64;
         // Average face message sizes (uneven tail blocks averaged out).
@@ -229,12 +228,8 @@ impl Sweep3dModel {
         };
         let source =
             SubtaskObject::serial("source", p.kernel.source_per_cell, cells, p.cells_per_pe());
-        let flux_err = SubtaskObject::serial(
-            "flux_err",
-            p.kernel.flux_err_per_cell,
-            cells,
-            p.cells_per_pe(),
-        );
+        let flux_err =
+            SubtaskObject::serial("flux_err", p.kernel.flux_err_per_cell, cells, p.cells_per_pe());
         let global_err = SubtaskObject {
             name: "global_err".into(),
             flops: 0.0,
@@ -338,11 +333,7 @@ mod tests {
         // seconds for 50³/PE × 12 iterations.
         let model = Sweep3dModel::new(Sweep3dParams::weak_scaling_50cubed(2, 2));
         let pred = model.predict(&hw(110.0));
-        assert!(
-            pred.total_secs > 10.0 && pred.total_secs < 45.0,
-            "got {}",
-            pred.total_secs
-        );
+        assert!(pred.total_secs > 10.0 && pred.total_secs < 45.0, "got {}", pred.total_secs);
     }
 
     #[test]

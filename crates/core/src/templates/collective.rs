@@ -52,24 +52,15 @@ mod tests {
     #[test]
     fn sum_and_max_cost_the_same() {
         let c = comm();
-        let sum = evaluate(
-            &CollectiveParams { kind: ReduceKind::Sum, bytes: 8, procs: 64 },
-            &c,
-        );
-        let max = evaluate(
-            &CollectiveParams { kind: ReduceKind::Max, bytes: 8, procs: 64 },
-            &c,
-        );
+        let sum = evaluate(&CollectiveParams { kind: ReduceKind::Sum, bytes: 8, procs: 64 }, &c);
+        let max = evaluate(&CollectiveParams { kind: ReduceKind::Max, bytes: 8, procs: 64 }, &c);
         assert_eq!(sum, max);
         assert!(sum > 0.0);
     }
 
     #[test]
     fn single_proc_is_free() {
-        let t = evaluate(
-            &CollectiveParams { kind: ReduceKind::Max, bytes: 8, procs: 1 },
-            &comm(),
-        );
+        let t = evaluate(&CollectiveParams { kind: ReduceKind::Max, bytes: 8, procs: 1 }, &comm());
         assert_eq!(t, 0.0);
     }
 

@@ -47,10 +47,8 @@ pub fn exact_makespan(params: &PipelineParams, unit_compute_secs: f64, comm: &Co
         let _ = prev; // per-corner dependencies only flow through rank_free
         item_finish = vec![0.0f64; px * py * units];
         // Walk ranks in sweep order so upstream items are already placed.
-        let i_order: Vec<usize> =
-            if si > 0 { (0..px).collect() } else { (0..px).rev().collect() };
-        let j_order: Vec<usize> =
-            if sj > 0 { (0..py).collect() } else { (0..py).rev().collect() };
+        let i_order: Vec<usize> = if si > 0 { (0..px).collect() } else { (0..px).rev().collect() };
+        let j_order: Vec<usize> = if sj > 0 { (0..py).collect() } else { (0..py).rev().collect() };
         for &j in &j_order {
             for &i in &i_order {
                 let rank = j * px + i;
@@ -59,13 +57,15 @@ pub fn exact_makespan(params: &PipelineParams, unit_compute_secs: f64, comm: &Co
                     // Own previous item on this rank (program order).
                     let mut ready = rank_free[rank];
                     // Upstream i-neighbour's same unit + hop.
-                    let up_i = if si > 0 { i.checked_sub(1) } else { (i + 1 < px).then_some(i + 1) };
+                    let up_i =
+                        if si > 0 { i.checked_sub(1) } else { (i + 1 < px).then_some(i + 1) };
                     if let Some(ui) = up_i {
                         let urank = j * px + ui;
                         ready = ready.max(item_finish[urank * units + u] + hop_i);
                     }
                     // Upstream j-neighbour's same unit + hop.
-                    let up_j = if sj > 0 { j.checked_sub(1) } else { (j + 1 < py).then_some(j + 1) };
+                    let up_j =
+                        if sj > 0 { j.checked_sub(1) } else { (j + 1 < py).then_some(j + 1) };
                     if let Some(uj) = up_j {
                         let urank = uj * px + i;
                         ready = ready.max(item_finish[urank * units + u] + hop_j);
@@ -110,10 +110,7 @@ mod tests {
             let exact = exact_makespan(&p, w, &comm);
             let closed = evaluate_with_compute(&p, w, &comm).total_secs;
             let rel = (exact - closed).abs() / exact;
-            assert!(
-                rel < 1e-9,
-                "{px}x{py}/{units}: oracle {exact} vs closed form {closed}"
-            );
+            assert!(rel < 1e-9, "{px}x{py}/{units}: oracle {exact} vs closed form {closed}");
         }
     }
 

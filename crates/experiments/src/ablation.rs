@@ -53,7 +53,8 @@ pub fn opcode_predict(params: &Sweep3dParams, clock_ghz: f64, machine: &MachineS
     for sub in &app.subtasks {
         let t = match &sub.template {
             TemplateBinding::Pipeline(p) => {
-                let unit_us = sub.per_unit.cost_us(&costs) * (sub.units / (4 * p.units_per_corner) as f64);
+                let unit_us =
+                    sub.per_unit.cost_us(&costs) * (sub.units / (4 * p.units_per_corner) as f64);
                 pipeline::evaluate_with_compute(p, unit_us * 1e-6, &hw.comm).total_secs
             }
             TemplateBinding::Collective(p) => {
@@ -87,14 +88,23 @@ pub fn run_on(machine: &MachineSpec, clock_ghz: f64, spec: &RowSpec) -> Ablation
 
 /// The paper's headline case: the Opteron cluster, 2×2 row.
 pub fn opteron_case() -> AblationResult {
-    let spec = RowSpec { it: 100, jt: 100, px: 2, py: 2, paper_measured: 8.98, paper_predicted: 9.69 };
+    let spec =
+        RowSpec { it: 100, jt: 100, px: 2, py: 2, paper_measured: 8.98, paper_predicted: 9.69 };
     run_on(&sim_machines::opteron_gige_sim(), 2.0, &spec)
 }
 
 /// The Pentium 3 case.
 pub fn pentium3_case() -> AblationResult {
-    let spec = RowSpec { it: 100, jt: 100, px: 2, py: 2, paper_measured: 26.54, paper_predicted: 28.59 };
+    let spec =
+        RowSpec { it: 100, jt: 100, px: 2, py: 2, paper_measured: 26.54, paper_predicted: 28.59 };
     run_on(&sim_machines::pentium3_myrinet_sim(), 1.4, &spec)
+}
+
+/// Both paper cases (Pentium 3, then Opteron), fanned out over the
+/// worker pool — each case runs its own simulation and two predictions.
+pub fn paper_cases() -> Vec<AblationResult> {
+    let cases: Vec<fn() -> AblationResult> = vec![pentium3_case, opteron_case];
+    sweepsvc::run_ordered(cases, sweepsvc::available_workers(), |case| case()).results
 }
 
 #[cfg(test)]
@@ -108,17 +118,11 @@ mod tests {
             r.coarse_error_pct.abs() < 10.0,
             "coarse method must stay within the paper bound: {r:?}"
         );
-        assert!(
-            r.opcode_error_pct.abs() > 15.0,
-            "opcode costing should mis-predict badly: {r:?}"
-        );
+        assert!(r.opcode_error_pct.abs() > 15.0, "opcode costing should mis-predict badly: {r:?}");
         assert!(r.coarse_error_pct.abs() < r.opcode_error_pct.abs());
         // And the Pentium 3 case shows the worst of it (the paper's "as
         // large as 50%" class of error).
         let p3 = pentium3_case();
-        assert!(
-            p3.opcode_error_pct.abs() > 40.0,
-            "P3 opcode costing should be wildly off: {p3:?}"
-        );
+        assert!(p3.opcode_error_pct.abs() > 40.0, "P3 opcode costing should be wildly off: {p3:?}");
     }
 }

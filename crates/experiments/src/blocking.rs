@@ -45,10 +45,8 @@ pub fn sweep(
                 continue;
             }
             let programs = generate_programs(&config, &flop_model);
-            let measured = Engine::new(machine, programs)
-                .run()
-                .expect("blocking trace runs")
-                .makespan();
+            let measured =
+                Engine::new(machine, programs).run().expect("blocking trace runs").makespan();
             let mut params = Sweep3dParams::weak_scaling_50cubed(px, py);
             params.nx = config.it / px;
             params.ny = config.jt / py;
@@ -64,10 +62,7 @@ pub fn sweep(
 
 /// The `(mk, mmi)` with the lowest measured runtime.
 pub fn best(points: &[BlockingPoint]) -> Option<BlockingPoint> {
-    points
-        .iter()
-        .copied()
-        .min_by(|a, b| a.measured_secs.total_cmp(&b.measured_secs))
+    points.iter().copied().min_by(|a, b| a.measured_secs.total_cmp(&b.measured_secs))
 }
 
 #[cfg(test)]
@@ -90,10 +85,8 @@ mod tests {
         // Single-block sweeps (mk=10 covers all 10 planes, mmi=6 all
         // angles) serialise the pipeline; finer blocking must beat the
         // coarsest setting on a 1×4 array.
-        let coarsest = pts
-            .iter()
-            .find(|p| p.mk == 10 && p.mmi == 6)
-            .expect("coarsest point present");
+        let coarsest =
+            pts.iter().find(|p| p.mk == 10 && p.mmi == 6).expect("coarsest point present");
         let b = best(&pts).unwrap();
         assert!(b.measured_secs <= coarsest.measured_secs);
         assert!(!(b.mk == 10 && b.mmi == 6), "some pipelining should help: best {b:?}");

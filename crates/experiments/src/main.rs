@@ -11,6 +11,7 @@
 //! experiments asci-goals                §6 ASCI-target extrapolation
 //! experiments rendezvous                eager-vs-rendezvous ablation
 //! experiments strong-scaling            strong-scaling extension study
+//! experiments sweep                     parallel sweep engine: parity, speedup, cache counters
 //! experiments timeline                  pipeline Gantt chart (simulated)
 //! experiments csv [dir]                 write tables/figures as CSV files
 //! experiments validate                  all three tables + summary stats
@@ -19,8 +20,8 @@
 
 use experiments::speculation::Problem;
 use experiments::{
-    ablation, asci_goals, blocking, hmcl, related, rendezvous, report, speculation,
-    strong_scaling, validation, wavefront_fig,
+    ablation, asci_goals, blocking, hmcl, related, rendezvous, report, speculation, strong_scaling,
+    validation, wavefront_fig,
 };
 
 fn run_validation_table(which: u8) {
@@ -48,7 +49,7 @@ fn run_concurrence() {
 }
 
 fn run_ablation() {
-    for result in [ablation::pentium3_case(), ablation::opteron_case()] {
+    for result in ablation::paper_cases() {
         println!("### {} ({} GHz opcode table)", result.machine, result.clock_ghz);
         println!("measured            : {:>8.2} s", result.measured_secs);
         println!(
@@ -70,10 +71,7 @@ fn run_blocking() {
     println!("| mk | mmi | measured(s) | predicted(s) |");
     println!("|---|---|---|---|");
     for p in &pts {
-        println!(
-            "| {} | {} | {:.4} | {:.4} |",
-            p.mk, p.mmi, p.measured_secs, p.predicted_secs
-        );
+        println!("| {} | {} | {:.4} | {:.4} |", p.mk, p.mmi, p.measured_secs, p.predicted_secs);
     }
     if let Some(b) = blocking::best(&pts) {
         println!("\nbest blocking: mk={} mmi={} ({:.4}s)\n", b.mk, b.mmi, b.measured_secs);
@@ -104,7 +102,10 @@ fn run_hmcl() {
 
 fn run_rendezvous() {
     let study = rendezvous::pentium3_study();
-    println!("### Protocol ablation on {} (threshold {} B)\n", study.machine, study.threshold_bytes);
+    println!(
+        "### Protocol ablation on {} (threshold {} B)\n",
+        study.machine, study.threshold_bytes
+    );
     println!("| stages | eager(s) | rendezvous(s) |");
     println!("|---|---|---|");
     for (stages, eager, rdv) in &study.points {
@@ -144,6 +145,32 @@ fn run_validate() {
     }
 }
 
+fn run_sweep() {
+    use std::time::Instant;
+    let hw = pace_core::machines::opteron_myrinet_hypothetical();
+    let workers = sweepsvc::available_workers();
+    println!("### Parallel sweep engine: Figs. 8-9 speculation on {workers} worker(s)\n");
+    for problem in [Problem::TwentyMillion, Problem::OneBillion] {
+        let t0 = Instant::now();
+        let serial = speculation::run_on_serial(problem, &hw);
+        let serial_wall = t0.elapsed();
+        let (parallel, stats) = speculation::run_on_with(problem, &hw, workers);
+        println!("{} ({} scenarios):", problem.figure(), stats.scenarios);
+        println!(
+            "  parallel == serial : {}",
+            if parallel == serial { "yes (bit-identical)" } else { "NO - MISMATCH" }
+        );
+        println!("  serial wall        : {:.3} ms", serial_wall.as_secs_f64() * 1e3);
+        println!(
+            "  sweep wall         : {:.3} ms ({:.2}x)",
+            stats.wall.as_secs_f64() * 1e3,
+            serial_wall.as_secs_f64() / stats.wall.as_secs_f64().max(1e-9)
+        );
+        print!("{}", stats.summary());
+        println!();
+    }
+}
+
 fn run_timeline() {
     use cluster_sim::timeline;
     use sweep3d::trace::{generate_programs, FlopModel};
@@ -174,19 +201,13 @@ fn run_csv(dir: &str) {
     write("table1.csv", report::validation_csv(&validation::table1()));
     write("table2.csv", report::validation_csv(&validation::table2()));
     write("table3.csv", report::validation_csv(&validation::table3()));
-    write(
-        "fig8.csv",
-        report::speculation_csv(&speculation::run(Problem::TwentyMillion)),
-    );
-    write(
-        "fig9.csv",
-        report::speculation_csv(&speculation::run(Problem::OneBillion)),
-    );
+    write("fig8.csv", report::speculation_csv(&speculation::run(Problem::TwentyMillion)));
+    write("fig9.csv", report::speculation_csv(&speculation::run(Problem::OneBillion)));
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments <table1|table2|table3|fig1|fig8|fig9|hmcl|concurrence|ablation|blocking|asci-goals|rendezvous|strong-scaling|timeline|robustness|host-validate|csv [dir]|validate|all>"
+        "usage: experiments <table1|table2|table3|fig1|fig8|fig9|hmcl|concurrence|ablation|blocking|asci-goals|rendezvous|strong-scaling|sweep|timeline|robustness|host-validate|csv [dir]|validate|all>"
     );
     std::process::exit(2)
 }
@@ -207,6 +228,7 @@ fn main() {
         "asci-goals" => run_asci(),
         "rendezvous" => run_rendezvous(),
         "strong-scaling" => run_strong_scaling(),
+        "sweep" => run_sweep(),
         "timeline" => run_timeline(),
         "robustness" => {
             let r = experiments::robustness::run(
@@ -248,6 +270,7 @@ fn main() {
             run_asci();
             run_rendezvous();
             run_strong_scaling();
+            run_sweep();
             run_timeline();
         }
         _ => usage(),

@@ -60,10 +60,7 @@ mod tests {
         for problem in [Problem::TwentyMillion, Problem::OneBillion] {
             let pts = run(problem);
             let worst = worst_spread(&pts);
-            assert!(
-                worst < 2.0,
-                "{problem:?}: models disagree by {worst:.2}x somewhere"
-            );
+            assert!(worst < 2.0, "{problem:?}: models disagree by {worst:.2}x somewhere");
         }
     }
 }

@@ -57,14 +57,9 @@ pub fn run(
         let config = ProblemConfig::weak_scaling(cells_per_pe, px, py);
         let programs = generate_programs(&config, &fm);
         let stages = (3 * (px - 1) + 2 * (py - 1)) as f64;
-        let eager = Engine::new(machine, programs.clone())
-            .run()
-            .expect("eager run")
-            .makespan();
-        let rendezvous = Engine::new(&rendezvous_machine, programs)
-            .run()
-            .expect("rendezvous run")
-            .makespan();
+        let eager = Engine::new(machine, programs.clone()).run().expect("eager run").makespan();
+        let rendezvous =
+            Engine::new(&rendezvous_machine, programs).run().expect("rendezvous run").makespan();
         points.push((stages, eager, rendezvous));
     }
     let eager_fit = ols(&points.iter().map(|p| (p.0, p.1)).collect::<Vec<_>>());

@@ -44,8 +44,9 @@ pub fn validation_markdown(table: &ValidationTable) -> String {
 
 /// CSV form of a validation table.
 pub fn validation_csv(table: &ValidationTable) -> String {
-    let mut out =
-        String::from("it,jt,kt,pes,px,py,measured_s,predicted_s,error_pct,paper_measured_s,paper_predicted_s\n");
+    let mut out = String::from(
+        "it,jt,kt,pes,px,py,measured_s,predicted_s,error_pct,paper_measured_s,paper_predicted_s\n",
+    );
     for row in &table.rows {
         let s = &row.spec;
         out.push_str(&format!(

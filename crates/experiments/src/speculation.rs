@@ -8,6 +8,10 @@
 //! achieved rate increased by 25% and 50%.
 
 use pace_core::{machines, HardwareModel, Sweep3dModel, Sweep3dParams};
+use sweepsvc::{SweepEngine, SweepSpec, SweepStats};
+
+/// The flop-rate what-ifs of the study: as-benchmarked, +25%, +50%.
+pub const RATE_MULTIPLIERS: [f64; 3] = [1.0, 1.25, 1.50];
 
 /// Which speculative problem.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -90,8 +94,55 @@ pub fn run(problem: Problem) -> SpeculationCurve {
     run_on(problem, &machines::opteron_myrinet_hypothetical())
 }
 
-/// Run one speculation figure on an arbitrary hardware model.
+/// Run one speculation figure on an arbitrary hardware model, fanned out
+/// over all available worker threads.
 pub fn run_on(problem: Problem, hw: &HardwareModel) -> SpeculationCurve {
+    run_on_with(problem, hw, sweepsvc::available_workers()).0
+}
+
+/// The declarative sweep behind one speculation figure: the processor
+/// ladder × the three rate what-ifs on one machine.
+pub fn sweep_spec(problem: Problem, hw: &HardwareModel) -> SweepSpec {
+    let mut spec = SweepSpec::new().machine(hw.clone()).rate_multipliers(RATE_MULTIPLIERS.to_vec());
+    for (px, py) in processor_ladder() {
+        spec = spec.problem(format!("{px}x{py}"), problem.params(px, py));
+    }
+    spec
+}
+
+/// Run one speculation figure through the sweep engine with an explicit
+/// worker count, returning the curve plus the engine's counters. The
+/// curve is bit-identical to [`run_on_serial`] for any worker count.
+pub fn run_on_with(
+    problem: Problem,
+    hw: &HardwareModel,
+    workers: usize,
+) -> (SpeculationCurve, SweepStats) {
+    let outcome = SweepEngine::with_workers(workers).run(&sweep_spec(problem, hw));
+    let points = processor_ladder()
+        .into_iter()
+        .enumerate()
+        .map(|(p, (px, py))| {
+            // Scenario ids are problem-major: point `p` owns the
+            // contiguous multiplier block starting at `p * 3`.
+            let base = p * RATE_MULTIPLIERS.len();
+            CurvePoint {
+                pes: px * py,
+                px,
+                py,
+                actual: outcome.results[base].total_secs,
+                plus25: outcome.results[base + 1].total_secs,
+                plus50: outcome.results[base + 2].total_secs,
+            }
+        })
+        .collect();
+    (SpeculationCurve { problem, machine: hw.name.clone(), points }, outcome.stats)
+}
+
+/// The pre-engine serial reference path: one model evaluation at a time,
+/// no pool, no cache. Kept as the ground truth the parallel path is
+/// tested against.
+pub fn run_on_serial(problem: Problem, hw: &HardwareModel) -> SpeculationCurve {
     let hw125 = hw.with_rate_scaled(1.25);
     let hw150 = hw.with_rate_scaled(1.50);
     let points = processor_ladder()
@@ -159,6 +210,19 @@ mod tests {
                 // speed up with the CPU.
                 assert!(p.plus50 > p.actual / 1.5 - 1e-12);
             }
+        }
+    }
+
+    #[test]
+    fn sweep_engine_is_bit_identical_to_serial() {
+        let hw = machines::opteron_myrinet_hypothetical();
+        for problem in [Problem::TwentyMillion, Problem::OneBillion] {
+            let serial = run_on_serial(problem, &hw);
+            let (one_worker, _) = run_on_with(problem, &hw, 1);
+            let (many_workers, stats) = run_on_with(problem, &hw, 4);
+            assert_eq!(serial, one_worker, "{problem:?}: 1-worker sweep diverged");
+            assert_eq!(serial, many_workers, "{problem:?}: 4-worker sweep diverged");
+            assert!(stats.cache.hits > 0, "{problem:?}: sweep must reuse cached evaluations");
         }
     }
 

@@ -10,7 +10,7 @@
 //! and reports speedups and model error.
 
 use cluster_sim::{Engine, MachineSpec};
-use pace_core::{Sweep3dModel, Sweep3dParams};
+use pace_core::Sweep3dParams;
 use sweep3d::trace::{generate_programs, FlopModel};
 use sweep3d::ProblemConfig;
 
@@ -57,9 +57,10 @@ pub fn run(
     edges.sort_unstable();
     edges.dedup();
     let hw = hwbench::benchmark_machine(machine, &edges, 1);
-    let mut out = Vec::with_capacity(arrays.len());
-    let mut base_time = None;
-    for &(px, py) in arrays {
+    // Ladder points are independent simulations: fan them out over the
+    // pool, then derive speedups from the in-order results.
+    let engine = sweepsvc::CachedEngine::new();
+    let run = sweepsvc::run_ordered(arrays.to_vec(), sweepsvc::available_workers(), |&(px, py)| {
         let config = config_for(it, jt, kt, px, py);
         config.validate().expect("strong-scaling config");
         let programs = generate_programs(&config, &fm);
@@ -68,18 +69,21 @@ pub fn run(
         params.nx = it / px;
         params.ny = jt / py;
         params.nz = kt;
-        let predicted = Sweep3dModel::new(params).predict(&hw).total_secs;
-        let base = *base_time.get_or_insert(measured);
-        out.push(StrongPoint {
+        let predicted = engine.predict(params, &hw).total_secs;
+        (px, py, measured, predicted)
+    });
+    let base_time = run.results[0].2;
+    run.results
+        .into_iter()
+        .map(|(px, py, measured, predicted)| StrongPoint {
             pes: px * py,
             px,
             py,
             measured_secs: measured,
             predicted_secs: predicted,
-            speedup: base / measured,
-        });
-    }
-    out
+            speedup: base_time / measured,
+        })
+        .collect()
 }
 
 fn config_for(it: usize, jt: usize, kt: usize, px: usize, py: usize) -> ProblemConfig {
@@ -114,8 +118,7 @@ mod tests {
         // Early scaling is strong: 4 PEs at least 2.5x.
         assert!(pts[1].speedup > 2.5, "4-PE speedup {}", pts[1].speedup);
         // Efficiency decays monotonically with P.
-        let eff: Vec<f64> =
-            pts.iter().map(|p| p.speedup / p.pes as f64).collect();
+        let eff: Vec<f64> = pts.iter().map(|p| p.speedup / p.pes as f64).collect();
         for w in eff.windows(2) {
             assert!(w[1] <= w[0] + 1e-9, "efficiency must not rise: {eff:?}");
         }

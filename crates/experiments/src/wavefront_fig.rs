@@ -27,11 +27,7 @@ pub fn frames(px: usize, py: usize, octant: Octant, steps: usize) -> Vec<Wavefro
                 .map(|j| {
                     (0..px)
                         .map(|i| {
-                            let d = topo.diagonal(
-                                topo.rank_of(i, j),
-                                octant.sign_i,
-                                octant.sign_j,
-                            );
+                            let d = topo.diagonal(topo.rank_of(i, j), octant.sign_i, octant.sign_j);
                             (step >= d).then(|| step - d)
                         })
                         .collect()
@@ -85,13 +81,11 @@ mod tests {
     fn wavefront_advances_one_diagonal_per_step() {
         let fs = frames(4, 4, Octant::new(1, 1, 1), 7);
         // At step 0 only the origin works.
-        let active0: usize =
-            fs[0].cells.iter().flatten().filter(|c| c.is_some()).count();
+        let active0: usize = fs[0].cells.iter().flatten().filter(|c| c.is_some()).count();
         assert_eq!(active0, 1);
         // At step 3 the main anti-diagonal (4 PEs) has been reached; all
         // PEs at diagonal ≤ 3 are active.
-        let active3: usize =
-            fs[3].cells.iter().flatten().filter(|c| c.is_some()).count();
+        let active3: usize = fs[3].cells.iter().flatten().filter(|c| c.is_some()).count();
         assert_eq!(active3, 1 + 2 + 3 + 4);
         // At step 6 the far corner starts block 0.
         assert_eq!(fs[6].cells[3][3], Some(0));

@@ -50,20 +50,15 @@ pub struct CurveConfidence {
 
 /// Bootstrap `resamples` refits of one curve's samples, seeded for
 /// reproducibility.
-pub fn bootstrap_curve(
-    samples: &[(f64, f64)],
-    resamples: usize,
-    seed: u64,
-) -> CurveConfidence {
+pub fn bootstrap_curve(samples: &[(f64, f64)], resamples: usize, seed: u64) -> CurveConfidence {
     assert!(samples.len() >= 4, "bootstrap needs a few samples");
     let point = fit_piecewise(samples).curve;
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut ds = Vec::with_capacity(resamples);
     let mut es = Vec::with_capacity(resamples);
     for _ in 0..resamples.max(8) {
-        let resample: Vec<(f64, f64)> = (0..samples.len())
-            .map(|_| samples[rng.random_range(0..samples.len())])
-            .collect();
+        let resample: Vec<(f64, f64)> =
+            (0..samples.len()).map(|_| samples[rng.random_range(0..samples.len())]).collect();
         // A degenerate resample (all-equal x) can occur; skip it.
         let first_x = resample[0].0;
         if resample.iter().all(|p| p.0 == first_x) {
@@ -111,10 +106,7 @@ mod tests {
         assert!(conf.d_us.contains_point());
         assert!(conf.e_us_per_byte.contains_point());
         // The generating slope lies inside (generously wide with noise).
-        assert!(
-            conf.e_us_per_byte.lo <= 0.0105 && conf.e_us_per_byte.hi >= 0.0095,
-            "{conf:?}"
-        );
+        assert!(conf.e_us_per_byte.lo <= 0.0105 && conf.e_us_per_byte.hi >= 0.0095, "{conf:?}");
     }
 
     #[test]

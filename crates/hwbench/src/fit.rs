@@ -59,9 +59,7 @@ pub fn fit_piecewise(samples: &[(f64, f64)]) -> SegmentedFit {
     let single_adequate = single.sse <= (1e-9 * mean_y.max(1e-12)).powi(2) * pts.len() as f64;
 
     match best {
-        Some((split, lo, hi, sse))
-            if !single_adequate && sse < IMPROVEMENT_FACTOR * single.sse =>
-        {
+        Some((split, lo, hi, sse)) if !single_adequate && sse < IMPROVEMENT_FACTOR * single.sse => {
             let a = 0.5 * (pts[split - 1].0 + pts[split].0);
             SegmentedFit {
                 curve: CommCurve {

@@ -36,7 +36,12 @@ pub fn pentium3_myrinet_sim() -> MachineSpec {
             0.02,
         ),
         network: NetworkModel::from_link(11.0, 250.0, 3.0, 8192.0),
-        noise: NoiseModel { compute_mean: 0.008, compute_spread: 0.005, message_jitter_us: 2.0, run_bias: 0.045 },
+        noise: NoiseModel {
+            compute_mean: 0.008,
+            compute_spread: 0.005,
+            message_jitter_us: 2.0,
+            run_bias: 0.045,
+        },
         smp_width: 2,
         seed: 0x5EE9_3D01,
         rendezvous_bytes: None,
@@ -58,7 +63,12 @@ pub fn opteron_gige_sim() -> MachineSpec {
             0.02,
         ),
         network: NetworkModel::from_link(30.0, 100.0, 8.0, 16384.0),
-        noise: NoiseModel { compute_mean: 0.012, compute_spread: 0.006, message_jitter_us: 4.0, run_bias: 0.028 },
+        noise: NoiseModel {
+            compute_mean: 0.012,
+            compute_spread: 0.006,
+            message_jitter_us: 4.0,
+            run_bias: 0.028,
+        },
         smp_width: 2,
         seed: 0x5EE9_3D02,
         rendezvous_bytes: None,
@@ -80,7 +90,12 @@ pub fn altix_numalink_sim() -> MachineSpec {
             0.11,
         ),
         network: NetworkModel::from_link(1.3, 1600.0, 1.0, 32768.0),
-        noise: NoiseModel { compute_mean: 0.004, compute_spread: 0.004, message_jitter_us: 0.5, run_bias: 0.012 },
+        noise: NoiseModel {
+            compute_mean: 0.004,
+            compute_spread: 0.004,
+            message_jitter_us: 0.5,
+            run_bias: 0.012,
+        },
         smp_width: 56,
         seed: 0x5EE9_3D03,
         rendezvous_bytes: None,

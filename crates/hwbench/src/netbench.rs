@@ -116,8 +116,8 @@ mod tests {
         let m = machine();
         let t = bench_pingpong(&m, 512);
         let n = &m.network;
-        let expect = 2.0
-            * (n.send.eval_us(512) + n.pingpong.eval_us(512) / 2.0 + n.recv.eval_us(512));
+        let expect =
+            2.0 * (n.send.eval_us(512) + n.pingpong.eval_us(512) / 2.0 + n.recv.eval_us(512));
         assert!((t - expect).abs() < 1e-6, "{t} vs {expect}");
     }
 
@@ -132,7 +132,12 @@ mod tests {
     #[test]
     fn noisy_machine_produces_scatter_in_pingpong() {
         let mut m = machine();
-        m.noise = NoiseModel { compute_mean: 0.0, compute_spread: 0.0, message_jitter_us: 3.0, run_bias: 0.0 };
+        m.noise = NoiseModel {
+            compute_mean: 0.0,
+            compute_spread: 0.0,
+            message_jitter_us: 3.0,
+            run_bias: 0.0,
+        };
         let data = run_microbenchmarks(&m, &[1024], 4);
         let times: Vec<f64> = data.pingpong.iter().map(|p| p.1).collect();
         let spread = times.iter().cloned().fold(f64::MIN, f64::max)

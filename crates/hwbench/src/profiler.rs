@@ -101,7 +101,7 @@ mod tests {
     }
 
     #[test]
-    fn virtual_profile_two_pes_close_to_one(){
+    fn virtual_profile_two_pes_close_to_one() {
         let spec = MachineSpec::ideal(150.0);
         let p1 = virtual_profile(&spec, &small_cfg(8), 1);
         let p2 = virtual_profile(&spec, &small_cfg(8), 2);
@@ -115,11 +115,7 @@ mod tests {
     #[test]
     fn smp_contention_lowers_profiled_rate() {
         let mut spec = MachineSpec::ideal(200.0);
-        spec.cpu = CpuModel::with_curve(
-            "numa",
-            vec![RatePoint { bytes: 1.0, mflops: 200.0 }],
-            0.2,
-        );
+        spec.cpu = CpuModel::with_curve("numa", vec![RatePoint { bytes: 1.0, mflops: 200.0 }], 0.2);
         spec.smp_width = 56;
         let p1 = virtual_profile(&spec, &small_cfg(8), 1);
         let p2 = virtual_profile(&spec, &small_cfg(8), 2);

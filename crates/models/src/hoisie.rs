@@ -73,8 +73,7 @@ impl HoisieModel {
         let iters = params.iterations as f64;
         let computation_secs = comp_per_iter * iters
             + hw.compute_secs(
-                (params.kernel.source_per_cell.flops()
-                    + params.kernel.flux_err_per_cell.flops())
+                (params.kernel.source_per_cell.flops() + params.kernel.flux_err_per_cell.flops())
                     * cells,
                 params.cells_per_pe(),
             ) * iters;
@@ -89,12 +88,7 @@ impl HoisieModel {
     }
 }
 
-fn avg_face_bytes(
-    edge: usize,
-    params: &Sweep3dParams,
-    a_blocks: usize,
-    k_blocks: usize,
-) -> usize {
+fn avg_face_bytes(edge: usize, params: &Sweep3dParams, a_blocks: usize, k_blocks: usize) -> usize {
     let avg_mmi = params.angles_per_octant as f64 / a_blocks as f64;
     let avg_mk = params.nz as f64 / k_blocks as f64;
     (avg_mmi * avg_mk * edge as f64 * 8.0).round() as usize
@@ -145,9 +139,8 @@ mod tests {
     #[test]
     fn fill_grows_with_array() {
         let hw = machines::pentium3_myrinet();
-        let t = |px, py| {
-            HoisieModel.predict_secs(&Sweep3dParams::weak_scaling_50cubed(px, py), &hw)
-        };
+        let t =
+            |px, py| HoisieModel.predict_secs(&Sweep3dParams::weak_scaling_50cubed(px, py), &hw);
         assert!(t(4, 4) < t(8, 8));
         assert!(t(8, 8) < t(10, 14));
     }

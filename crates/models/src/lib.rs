@@ -43,11 +43,7 @@ impl WavefrontModel for PaceAdapter {
 
 /// All three models, for the concurrence study.
 pub fn all_models() -> Vec<Box<dyn WavefrontModel>> {
-    vec![
-        Box::new(PaceAdapter),
-        Box::new(loggp::LogGpModel),
-        Box::new(hoisie::HoisieModel),
-    ]
+    vec![Box::new(PaceAdapter), Box::new(loggp::LogGpModel), Box::new(hoisie::HoisieModel)]
 }
 
 #[cfg(test)]
@@ -63,17 +59,12 @@ mod tests {
         let hw = machines::opteron_myrinet_hypothetical();
         for (px, py) in [(2usize, 2usize), (10, 10), (40, 50)] {
             let params = Sweep3dParams::speculative_1b(px, py);
-            let preds: Vec<f64> = all_models()
-                .iter()
-                .map(|m| m.predict_secs(&params, &hw))
-                .collect();
+            let preds: Vec<f64> =
+                all_models().iter().map(|m| m.predict_secs(&params, &hw)).collect();
             let max = preds.iter().cloned().fold(f64::MIN, f64::max);
             let min = preds.iter().cloned().fold(f64::MAX, f64::min);
             assert!(min > 0.0);
-            assert!(
-                max / min < 1.6,
-                "models disagree at {px}x{py}: {preds:?}"
-            );
+            assert!(max / min < 1.6, "models disagree at {px}x{py}: {preds:?}");
         }
     }
 
@@ -83,11 +74,7 @@ mod tests {
         for model in all_models() {
             let small = model.predict_secs(&Sweep3dParams::speculative_1b(2, 2), &hw);
             let large = model.predict_secs(&Sweep3dParams::speculative_1b(80, 100), &hw);
-            assert!(
-                large > small,
-                "{}: weak-scaling time must grow with the array",
-                model.name()
-            );
+            assert!(large > small, "{}: weak-scaling time must grow with the array", model.name());
         }
     }
 }

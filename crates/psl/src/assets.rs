@@ -37,11 +37,8 @@ mod tests {
         use pace_core::{machines, EvaluationEngine, Sweep3dModel, Sweep3dParams};
         let objects = crate::parser::parse(SWEEP3D_PSL).unwrap();
         for (px, py) in [(2usize, 2usize), (4, 6), (8, 14)] {
-            let psl_app = crate::compile::compile(
-                &objects,
-                &Overrides::sweep3d(px, py, 50, 50, 50),
-            )
-            .unwrap();
+            let psl_app =
+                crate::compile::compile(&objects, &Overrides::sweep3d(px, py, 50, 50, 50)).unwrap();
             let hw = machines::pentium3_myrinet();
             let psl_pred = EvaluationEngine::new().evaluate(&psl_app, &hw).total_secs;
             let prog_pred = Sweep3dModel::new(Sweep3dParams::weak_scaling_50cubed(px, py))

@@ -40,11 +40,7 @@ pub fn compile(objects: &[Object], overrides: &Overrides) -> Result<ApplicationO
     for sub in &model.subtasks {
         subtasks.push(compile_subtask(sub)?);
     }
-    Ok(ApplicationObject {
-        name: model.application,
-        iterations: iterations as usize,
-        subtasks,
-    })
+    Ok(ApplicationObject { name: model.application, iterations: iterations as usize, subtasks })
 }
 
 fn binding(sub: &EvaluatedSubtask, name: &str) -> Result<f64, PslError> {
@@ -188,11 +184,7 @@ mod tests {
 
     #[test]
     fn overrides_flow_into_templates() {
-        let app = compile_source(
-            SCRIPT,
-            &Overrides::none().set("Px", 8.0).set("Py", 9.0),
-        )
-        .unwrap();
+        let app = compile_source(SCRIPT, &Overrides::none().set("Px", 8.0).set("Py", 9.0)).unwrap();
         match &app.subtasks[0].template {
             TB::Pipeline(p) => assert_eq!((p.px, p.py), (8, 9)),
             _ => panic!(),

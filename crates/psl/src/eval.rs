@@ -83,15 +83,10 @@ impl EvaluatedModel {
 
 /// Evaluate a parsed script.
 pub fn evaluate(objects: &[Object], overrides: &Overrides) -> Result<EvaluatedModel, PslError> {
-    let app = objects
-        .iter()
-        .find(|o| o.kind == ObjectKind::Application)
-        .ok_or_else(|| PslError {
-            span: Span::start(),
-            message: "script has no application object".into(),
-        })?;
-    let by_name: HashMap<&str, &Object> =
-        objects.iter().map(|o| (o.name.as_str(), o)).collect();
+    let app = objects.iter().find(|o| o.kind == ObjectKind::Application).ok_or_else(|| {
+        PslError { span: Span::start(), message: "script has no application object".into() }
+    })?;
+    let by_name: HashMap<&str, &Object> = objects.iter().map(|o| (o.name.as_str(), o)).collect();
 
     // Application scope: declared defaults, then user overrides.
     let mut env: HashMap<String, f64> = HashMap::new();
@@ -114,10 +109,7 @@ pub fn evaluate(objects: &[Object], overrides: &Overrides) -> Result<EvaluatedMo
     let mut calls: Vec<(String, u64)> = Vec::new();
     exec_block(&init.body, &mut env, &mut |target, span| {
         if !by_name.contains_key(target) {
-            return Err(PslError {
-                span,
-                message: format!("call of undefined object '{target}'"),
-            });
+            return Err(PslError { span, message: format!("call of undefined object '{target}'") });
         }
         match calls.iter_mut().find(|(n, _)| n == target) {
             Some((_, c)) => *c += 1,
@@ -304,9 +296,7 @@ fn clc_entries(
             "IFBR" => &mut v.ifbr,
             "LFOR" => &mut v.lfor,
             "CMLD" => &mut v.cmld,
-            other => {
-                return Err(PslError { span, message: format!("unknown opcode '{other}'") })
-            }
+            other => return Err(PslError { span, message: format!("unknown opcode '{other}'") }),
         };
         *slot += count;
     }
@@ -339,8 +329,7 @@ pub fn eval_expr(expr: &Expr, env: &HashMap<String, f64>) -> Result<f64, PslErro
             })
         }
         Expr::Call(name, args, span) => {
-            let vals: Result<Vec<f64>, PslError> =
-                args.iter().map(|a| eval_expr(a, env)).collect();
+            let vals: Result<Vec<f64>, PslError> = args.iter().map(|a| eval_expr(a, env)).collect();
             let vals = vals?;
             let need = |n: usize| -> Result<(), PslError> {
                 if vals.len() == n {
@@ -369,10 +358,9 @@ pub fn eval_expr(expr: &Expr, env: &HashMap<String, f64>) -> Result<f64, PslErro
                     need(2)?;
                     Ok(vals[0].min(vals[1]))
                 }
-                other => Err(PslError {
-                    span: *span,
-                    message: format!("unknown function '{other}'"),
-                }),
+                other => {
+                    Err(PslError { span: *span, message: format!("unknown function '{other}'") })
+                }
             }
         }
     }
@@ -502,8 +490,7 @@ mod tests {
     #[test]
     fn compute_outside_cflow_rejected() {
         let err = evaluate(
-            &parse("application a { proc exec init { compute <is clc, MFDG, 1>; } }")
-                .unwrap(),
+            &parse("application a { proc exec init { compute <is clc, MFDG, 1>; } }").unwrap(),
             &Overrides::none(),
         )
         .unwrap_err();
@@ -513,8 +500,7 @@ mod tests {
     #[test]
     fn builtin_functions() {
         let env: HashMap<String, f64> = [("x".to_string(), 7.0)].into();
-        let e = parse("application a { proc exec init { y = ceil(x / 2) + min(1, 0); } }")
-            .unwrap();
+        let e = parse("application a { proc exec init { y = ceil(x / 2) + min(1, 0); } }").unwrap();
         // Extract the expression and evaluate it directly.
         if let Stmt::Assign(_, expr) = &e[0].procs[0].body[0] {
             assert_eq!(eval_expr(expr, &env).unwrap(), 4.0);

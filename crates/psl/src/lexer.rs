@@ -152,10 +152,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, PslError> {
             continue;
         }
         // Operators and punctuation.
-        let two = if i + 1 < bytes.len()
-            && src.is_char_boundary(i)
-            && src.is_char_boundary(i + 2)
-        {
+        let two = if i + 1 < bytes.len() && src.is_char_boundary(i) && src.is_char_boundary(i + 2) {
             &src[i..i + 2]
         } else {
             ""
@@ -232,12 +229,7 @@ mod tests {
         let ts = toks("a -- this is a comment\nb // another\nc");
         assert_eq!(
             ts,
-            vec![
-                Tok::Ident("a".into()),
-                Tok::Ident("b".into()),
-                Tok::Ident("c".into()),
-                Tok::Eof
-            ]
+            vec![Tok::Ident("a".into()), Tok::Ident("b".into()), Tok::Ident("c".into()), Tok::Eof]
         );
     }
 

@@ -138,8 +138,7 @@ impl Parser {
                                 Token { tok: Tok::Comma, .. } => continue,
                                 Token { tok: Tok::Semi, .. } => break,
                                 t => {
-                                    return self
-                                        .err(t.span, "expected ',' or ';' in link assigns")
+                                    return self.err(t.span, "expected ',' or ';' in link assigns")
                                 }
                             }
                         }
@@ -152,9 +151,7 @@ impl Parser {
                     let kind = match pk.as_str() {
                         "exec" => ProcKind::Exec,
                         "cflow" => ProcKind::Cflow,
-                        other => {
-                            return self.err(pk_span, format!("unknown proc kind '{other}'"))
-                        }
+                        other => return self.err(pk_span, format!("unknown proc kind '{other}'")),
                     };
                     let (pname, _) = self.ident("proc name")?;
                     self.expect(Tok::LBrace, "'{'")?;

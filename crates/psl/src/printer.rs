@@ -49,11 +49,8 @@ fn print_object(obj: &Object, out: &mut String) {
     if !obj.links.is_empty() {
         let _ = writeln!(out, "    link {{");
         for link in &obj.links {
-            let assigns: Vec<String> = link
-                .assigns
-                .iter()
-                .map(|(name, e)| format!("{name} = {}", expr(e)))
-                .collect();
+            let assigns: Vec<String> =
+                link.assigns.iter().map(|(name, e)| format!("{name} = {}", expr(e))).collect();
             let _ = writeln!(out, "        {}: {};", link.target, assigns.join(", "));
         }
         let _ = writeln!(out, "    }}");

@@ -318,10 +318,10 @@ impl Comm {
         if self.rank == root {
             let mut out = vec![Vec::new(); self.size()];
             out[root] = values.to_vec();
-            for r in 0..self.size() {
+            for (r, slot) in out.iter_mut().enumerate() {
                 if r != root {
                     let (v, _) = self.recv_f64s(r, tag)?;
-                    out[r] = v;
+                    *slot = v;
                 }
             }
             self.bump_epoch();
@@ -379,10 +379,7 @@ mod tests {
     fn invalid_rank_rejected() {
         let mut comms = Comm::create(2);
         let c = comms.remove(0);
-        assert!(matches!(
-            c.send_f64s(7, 0, &[]),
-            Err(MpiError::InvalidRank { rank: 7, size: 2 })
-        ));
+        assert!(matches!(c.send_f64s(7, 0, &[]), Err(MpiError::InvalidRank { rank: 7, size: 2 })));
         assert!(matches!(c.recv(9, 0), Err(MpiError::InvalidRank { rank: 9, size: 2 })));
     }
 

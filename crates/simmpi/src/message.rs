@@ -46,7 +46,7 @@ impl Payload {
     /// Decode as a vector of `f64`s; errors unless the length is a multiple
     /// of eight bytes.
     pub fn to_f64s(&self) -> Result<Vec<f64>> {
-        if self.0.len() % 8 != 0 {
+        if !self.0.len().is_multiple_of(8) {
             return Err(MpiError::PayloadType {
                 detail: format!("byte length {} is not a multiple of 8", self.0.len()),
             });

@@ -174,8 +174,7 @@ mod tests {
                 }
                 vec![]
             } else {
-                let reqs: Vec<Request> =
-                    (0..4).map(|t| c.irecv(0, t).unwrap()).collect();
+                let reqs: Vec<Request> = (0..4).map(|t| c.irecv(0, t).unwrap()).collect();
                 c.waitall(reqs)
                     .unwrap()
                     .into_iter()

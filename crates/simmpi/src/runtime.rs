@@ -46,10 +46,7 @@ impl Runtime {
                     scope.spawn(move |_| f(&comm))
                 })
                 .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join())
-                .collect::<Vec<std::thread::Result<R>>>()
+            handles.into_iter().map(|h| h.join()).collect::<Vec<std::thread::Result<R>>>()
         })
         .expect("rank threads joined");
         results
@@ -111,9 +108,8 @@ mod tests {
     #[test]
     fn reduce_sum_to_each_root() {
         for root in 0..5 {
-            let out = Runtime::new(5).run(|c| {
-                c.reduce_f64s(&[c.rank() as f64, 1.0], ReduceOp::Sum, root).unwrap()
-            });
+            let out = Runtime::new(5)
+                .run(|c| c.reduce_f64s(&[c.rank() as f64, 1.0], ReduceOp::Sum, root).unwrap());
             for (rank, res) in out.iter().enumerate() {
                 if rank == root {
                     assert_eq!(res.as_deref(), Some(&[10.0, 5.0][..]));
@@ -168,9 +164,7 @@ mod tests {
 
     #[test]
     fn gather_collects_in_rank_order() {
-        let out = Runtime::new(4).run(|c| {
-            c.gather_f64s(&[c.rank() as f64; 2], 2).unwrap()
-        });
+        let out = Runtime::new(4).run(|c| c.gather_f64s(&[c.rank() as f64; 2], 2).unwrap());
         let root_view = out[2].as_ref().unwrap();
         for (r, v) in root_view.iter().enumerate() {
             assert_eq!(*v, vec![r as f64; 2]);
@@ -182,7 +176,7 @@ mod tests {
     fn wildcard_receive_from_all() {
         let out = Runtime::new(5).run(|c| {
             if c.rank() == 0 {
-                let mut seen = vec![false; 5];
+                let mut seen = [false; 5];
                 for _ in 0..4 {
                     let (v, st) = c.recv_matching(ANY_SOURCE, ANY_TAG).unwrap();
                     let v = v.to_f64s().unwrap();

@@ -121,7 +121,7 @@ pub fn near_square_dims(size: usize) -> (usize, usize) {
     let mut best = (1, size);
     let mut i = 1;
     while i * i <= size {
-        if size % i == 0 {
+        if size.is_multiple_of(i) {
             best = (i, size / i);
         }
         i += 1;

@@ -130,7 +130,7 @@ impl ProblemConfig {
         if self.mk == 0 || self.mmi == 0 {
             return Err("blocking factors must be nonzero".into());
         }
-        if self.sn_order < 2 || self.sn_order % 2 != 0 {
+        if self.sn_order < 2 || !self.sn_order.is_multiple_of(2) {
             return Err(format!("S_N order must be even and ≥ 2, got {}", self.sn_order));
         }
         if self.iterations == 0 {
@@ -159,9 +159,8 @@ impl ProblemConfig {
                 .ok_or_else(|| format!("line {}: expected key = value", lineno + 1))?;
             let key = key.trim();
             let value = value.trim();
-            let parse_usize = |v: &str| {
-                v.parse::<usize>().map_err(|e| format!("line {}: {e}", lineno + 1))
-            };
+            let parse_usize =
+                |v: &str| v.parse::<usize>().map_err(|e| format!("line {}: {e}", lineno + 1));
             let parse_f64 =
                 |v: &str| v.parse::<f64>().map_err(|e| format!("line {}: {e}", lineno + 1));
             match key {
@@ -341,8 +340,7 @@ mod tests {
     fn odd_decomposition_remainder() {
         let mut c = ProblemConfig::weak_scaling(50, 3, 1);
         c.it = 100; // 100 over 3 PEs: 34, 33, 33
-        let sizes: Vec<usize> =
-            (0..3).map(|pi| Decomposition::for_pe(&c, pi, 0).nx).collect();
+        let sizes: Vec<usize> = (0..3).map(|pi| Decomposition::for_pe(&c, pi, 0).nx).collect();
         assert_eq!(sizes, vec![34, 33, 33]);
     }
 }

@@ -170,8 +170,7 @@ mod tests {
         // The union of qext across ranks must equal the serial qext.
         let c = cfg();
         let serial_cfg = ProblemConfig { npe_i: 1, npe_j: 1, ..c };
-        let serial =
-            LocalGrid::new(&serial_cfg, &Decomposition::for_pe(&serial_cfg, 0, 0));
+        let serial = LocalGrid::new(&serial_cfg, &Decomposition::for_pe(&serial_cfg, 0, 0));
         let mut total_parallel = 0.0;
         for pj in 0..c.npe_j {
             for pi in 0..c.npe_i {

@@ -120,13 +120,8 @@ pub fn sweep_block(
                     // goto-driven fixup).
                     local.cmp(3);
                     if oi < 0.0 || oj < 0.0 || ok < 0.0 {
-                        let (fpsi, foi, foj, fok, fix_flops) = fixup(
-                            grid.src[idx],
-                            grid.sigt[idx],
-                            (ci, pi),
-                            (cj, pj),
-                            (ck, pk),
-                        );
+                        let (fpsi, foi, foj, fok, fix_flops) =
+                            fixup(grid.src[idx], grid.sigt[idx], (ci, pi), (cj, pj), (ck, pk));
                         psi = fpsi;
                         oi = foi;
                         oj = foj;
@@ -352,8 +347,7 @@ mod tests {
     #[test]
     fn fixup_conserves_positivity() {
         // Force a strongly negative inflow imbalance.
-        let (psi, oi, oj, ok, _) =
-            fixup(0.0, 1.0, (2.0, 1.0), (2.0, 0.0), (2.0, 0.0));
+        let (psi, oi, oj, ok, _) = fixup(0.0, 1.0, (2.0, 1.0), (2.0, 0.0), (2.0, 0.0));
         assert!(psi >= 0.0);
         assert!(oi >= 0.0 && oj >= 0.0 && ok >= 0.0);
     }

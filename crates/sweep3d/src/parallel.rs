@@ -222,9 +222,7 @@ fn rank_main(config: &ProblemConfig, topo: &Cart2d, comm: &Comm) -> RankOutcome 
         }
         let (local_err, err_flops) = grid.flux_error();
         flops.flux_err += err_flops;
-        let global_err = comm
-            .allreduce_f64(local_err, ReduceOp::Max)
-            .expect("error all-reduce");
+        let global_err = comm.allreduce_f64(local_err, ReduceOp::Max).expect("error all-reduce");
         errors.push(global_err);
         flops.source += grid.update_source();
     }
@@ -249,8 +247,7 @@ pub fn assemble_global_flux(config: &ProblemConfig, outcomes: &[RankOutcome]) ->
         for k in 0..d.nz {
             for j in 0..d.ny {
                 for i in 0..d.nx {
-                    let g_idx =
-                        (k * config.jt + (d.j0 + j)) * config.it + (d.i0 + i);
+                    let g_idx = (k * config.jt + (d.j0 + j)) * config.it + (d.i0 + i);
                     global[g_idx] = out.flux[(k * d.ny + j) * d.nx + i];
                 }
             }
@@ -279,10 +276,7 @@ mod tests {
         let parallel = assemble_global_flux(&c, &outcomes);
         assert_eq!(serial.flux.len(), parallel.len());
         for (idx, (s, p)) in serial.flux.iter().zip(&parallel).enumerate() {
-            assert!(
-                s.to_bits() == p.to_bits(),
-                "cell {idx}: serial {s} vs parallel {p}"
-            );
+            assert!(s.to_bits() == p.to_bits(), "cell {idx}: serial {s} vs parallel {p}");
         }
     }
 

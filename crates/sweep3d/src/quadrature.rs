@@ -40,12 +40,12 @@ pub struct Quadrature {
 /// Standard first-cosine values for the level-symmetric sets.
 fn mu1_for_order(n: usize) -> f64 {
     match n {
-        2 => 0.577_350_2692,
-        4 => 0.350_021_1746,
-        6 => 0.266_635_4015,
-        8 => 0.218_217_8902,
-        10 => 0.189_320_7080,
-        12 => 0.167_212_6529,
+        2 => 0.577_350_269_2,
+        4 => 0.350_021_174_6,
+        6 => 0.266_635_401_5,
+        8 => 0.218_217_890_2,
+        10 => 0.189_320_708_0,
+        12 => 0.167_212_652_9,
         // Fall back to a reasonable spacing for other even orders.
         _ => (1.0 / (3.0 + (n as f64 - 2.0))).sqrt(),
     }
@@ -54,7 +54,7 @@ fn mu1_for_order(n: usize) -> f64 {
 impl Quadrature {
     /// Build the level-symmetric set of the given (even, ≥ 2) order.
     pub fn level_symmetric(order: usize) -> Self {
-        assert!(order >= 2 && order % 2 == 0, "S_N order must be even and ≥ 2");
+        assert!(order >= 2 && order.is_multiple_of(2), "S_N order must be even and ≥ 2");
         let half = order / 2;
         let mu1 = mu1_for_order(order);
         // Level values μ_i.
@@ -63,7 +63,8 @@ impl Quadrature {
             if order == 2 {
                 *m = mu1;
             } else {
-                let sq = mu1 * mu1 + 2.0 * i as f64 * (1.0 - 3.0 * mu1 * mu1) / (order as f64 - 2.0);
+                let sq =
+                    mu1 * mu1 + 2.0 * i as f64 * (1.0 - 3.0 * mu1 * mu1) / (order as f64 - 2.0);
                 *m = sq.sqrt();
             }
         }
@@ -76,12 +77,7 @@ impl Quadrature {
                 if c < 1 || c > half {
                     continue;
                 }
-                angles.push(Angle {
-                    mu: mu[a - 1],
-                    eta: mu[b - 1],
-                    xi: mu[c - 1],
-                    weight: 0.0,
-                });
+                angles.push(Angle { mu: mu[a - 1], eta: mu[b - 1], xi: mu[c - 1], weight: 0.0 });
             }
         }
         let expected = order * (order + 2) / 8;
@@ -165,16 +161,10 @@ mod tests {
     fn symmetry_under_coordinate_swap() {
         // The level-symmetric set is invariant under permuting (μ, η, ξ).
         let q = Quadrature::level_symmetric(6);
-        let mut swapped: Vec<(u64, u64, u64)> = q
-            .angles
-            .iter()
-            .map(|a| (a.eta.to_bits(), a.mu.to_bits(), a.xi.to_bits()))
-            .collect();
-        let mut original: Vec<(u64, u64, u64)> = q
-            .angles
-            .iter()
-            .map(|a| (a.mu.to_bits(), a.eta.to_bits(), a.xi.to_bits()))
-            .collect();
+        let mut swapped: Vec<(u64, u64, u64)> =
+            q.angles.iter().map(|a| (a.eta.to_bits(), a.mu.to_bits(), a.xi.to_bits())).collect();
+        let mut original: Vec<(u64, u64, u64)> =
+            q.angles.iter().map(|a| (a.mu.to_bits(), a.eta.to_bits(), a.xi.to_bits())).collect();
         swapped.sort_unstable();
         original.sort_unstable();
         assert_eq!(swapped, original);

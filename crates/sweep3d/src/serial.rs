@@ -127,12 +127,11 @@ impl SerialSolver {
         ) {
             let (nx, ny) = (grid.nx, grid.ny);
             let angles = &quad.angles[a0..a0 + n_ang];
-            let block_iter: Box<dyn Iterator<Item = &(usize, usize)>> =
-                if octant.sign_k >= 0 {
-                    Box::new(k_blocks.iter())
-                } else {
-                    Box::new(k_blocks.iter().rev())
-                };
+            let block_iter: Box<dyn Iterator<Item = &(usize, usize)>> = if octant.sign_k >= 0 {
+                Box::new(k_blocks.iter())
+            } else {
+                Box::new(k_blocks.iter().rev())
+            };
             for &(k0, klen) in block_iter {
                 let shape = BlockShape { n_ang, k0, klen };
                 let mut face_i = vec![0.0; shape.face_i_len(ny)];

@@ -101,8 +101,7 @@ mod tests {
     #[test]
     fn consecutive_corners_adjacent() {
         // Each corner change flips exactly one of the (i, j) signs.
-        let corners: Vec<(i8, i8)> =
-            OCTANT_ORDER.chunks(2).map(|p| p[0].corner()).collect();
+        let corners: Vec<(i8, i8)> = OCTANT_ORDER.chunks(2).map(|p| p[0].corner()).collect();
         for w in corners.windows(2) {
             let flips = usize::from(w[0].0 != w[1].0) + usize::from(w[0].1 != w[1].1);
             assert_eq!(flips, 1, "corner {:?} → {:?}", w[0], w[1]);

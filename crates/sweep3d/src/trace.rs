@@ -50,15 +50,11 @@ impl FlopModel {
         let solver = SerialSolver::new(&proxy).expect("proxy config valid");
         let cells = proxy.total_cells() as f64;
         let out = solver.run();
-        let visits = cells
-            * (8 * proxy.angles_per_octant()) as f64
-            * proxy.iterations as f64;
+        let visits = cells * (8 * proxy.angles_per_octant()) as f64 * proxy.iterations as f64;
         FlopModel {
             flops_per_cell_angle: out.flops.sweep.total() as f64 / visits,
-            source_flops_per_cell: out.flops.source as f64
-                / (cells * proxy.iterations as f64),
-            flux_err_flops_per_cell: out.flops.flux_err as f64
-                / (cells * proxy.iterations as f64),
+            source_flops_per_cell: out.flops.source as f64 / (cells * proxy.iterations as f64),
+            flux_err_flops_per_cell: out.flops.flux_err as f64 / (cells * proxy.iterations as f64),
         }
     }
 }
@@ -92,7 +88,10 @@ pub fn generate_programs(config: &ProblemConfig, flops: &FlopModel) -> Vec<Progr
         let mut prog = Program::new();
 
         // Emit one octant's (angle-block) pipeline unit sequence.
-        let emit_member = |prog: &mut Program, octant: crate::sweep_order::Octant, ab: usize, n_ang: usize| {
+        let emit_member = |prog: &mut Program,
+                           octant: crate::sweep_order::Octant,
+                           ab: usize,
+                           n_ang: usize| {
             let oi = octant.index();
             let (up_i, down_i, up_j, down_j) = octant_neighbors(&topo, rank, octant);
             let block_seq: Vec<(usize, (usize, usize))> = if octant.sign_k >= 0 {
@@ -109,8 +108,7 @@ pub fn generate_programs(config: &ProblemConfig, flops: &FlopModel) -> Vec<Progr
                 if let Some(src) = up_j {
                     prog.push(Op::Recv { from: src, tag: msg_tag(oi, ab, kb, 1) });
                 }
-                let block_flops =
-                    (nx * ny * klen * n_ang) as f64 * flops.flops_per_cell_angle;
+                let block_flops = (nx * ny * klen * n_ang) as f64 * flops.flops_per_cell_angle;
                 prog.push(Op::Compute {
                     flops: block_flops,
                     working_set: block_working_set(nx, ny, klen, n_ang),
@@ -145,8 +143,7 @@ pub fn generate_programs(config: &ProblemConfig, flops: &FlopModel) -> Vec<Progr
             }
             // flux_err + source subtasks, then the convergence all-reduce.
             prog.push(Op::Compute {
-                flops: cells
-                    * (flops.flux_err_flops_per_cell + flops.source_flops_per_cell),
+                flops: cells * (flops.flux_err_flops_per_cell + flops.source_flops_per_cell),
                 working_set: decomp.cells() * 5 * 8,
             });
             prog.push(Op::AllReduce { bytes: 8 });
@@ -256,9 +253,6 @@ mod tests {
             let progs = generate_programs(&cfg(2, 4), &fm);
             Engine::new(&m, progs).run().unwrap().makespan()
         };
-        assert!(
-            t_large > t_small,
-            "deeper pipeline must take longer: {t_large} vs {t_small}"
-        );
+        assert!(t_large > t_small, "deeper pipeline must take longer: {t_large} vs {t_small}");
     }
 }

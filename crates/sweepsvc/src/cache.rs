@@ -1,0 +1,286 @@
+//! The sharded evaluation cache.
+//!
+//! Model evaluation is pure: a subtask's time depends only on its template
+//! parameters and on the hardware fields that template reads. The cache
+//! keys on exactly those inputs, canonicalised to bit patterns
+//! ([`f64::to_bits`], with `-0.0` folded into `0.0`), so
+//!
+//! * two structurally identical evaluations always share one entry
+//!   (machine *names* are deliberately excluded — a renamed model is the
+//!   same model), and
+//! * any numeric perturbation of an input changes the key — a hit can
+//!   never return a stale or wrong value.
+//!
+//! Keys carry only the hardware slice their template consumes: a
+//! collective's key ignores the achieved-rate table, so the convergence
+//! reduction is shared across the flop-rate what-ifs of a speculation
+//! sweep; an `async` subtask's key ignores the communication model.
+//!
+//! Storage is sharded: each shard is an independent
+//! `parking_lot::RwLock<HashMap>`, selected by the key's hash, so
+//! concurrent workers rarely contend on the same lock. Hit/miss counters
+//! are relaxed atomics.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use pace_core::templates::collective::ReduceKind;
+use pace_core::templates::pipeline::PipelineEstimate;
+use pace_core::{CommModel, HardwareModel, SubtaskObject, TemplateBinding};
+use parking_lot::RwLock;
+
+/// Number of independently locked shards (power of two).
+const SHARD_COUNT: usize = 16;
+
+/// A cached subtask evaluation: `(seconds per iteration, pipeline
+/// breakdown when the pipeline template produced it)`.
+pub type CachedEval = (f64, Option<PipelineEstimate>);
+
+/// Canonical bit pattern of an `f64` (`-0.0` and `0.0` unify; any other
+/// numeric difference, however small, yields a distinct pattern).
+fn canon(x: f64) -> u64 {
+    if x == 0.0 {
+        0
+    } else {
+        x.to_bits()
+    }
+}
+
+/// Canonicalised achieved-rate table of a [`HardwareModel`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct RatesKey(Vec<(u64, u64)>);
+
+impl RatesKey {
+    fn of(hw: &HardwareModel) -> Self {
+        RatesKey(hw.rates.iter().map(|r| (canon(r.cells_per_pe), canon(r.mflops))).collect())
+    }
+}
+
+/// Canonicalised [`CommModel`]: three Eq. 3 curves of five coefficients.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CommKey([[u64; 5]; 3]);
+
+impl CommKey {
+    fn of(comm: &CommModel) -> Self {
+        let curve = |c: &pace_core::CommCurve| {
+            [
+                canon(c.a_bytes),
+                canon(c.b_us),
+                canon(c.c_us_per_byte),
+                canon(c.d_us),
+                canon(c.e_us_per_byte),
+            ]
+        };
+        CommKey([curve(&comm.send), curve(&comm.recv), curve(&comm.pingpong)])
+    }
+}
+
+/// Cache key: the full closure of inputs one subtask evaluation reads.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum CacheKey {
+    /// Pipeline template: structural params + rate table + comm model.
+    Pipeline {
+        rates: RatesKey,
+        comm: CommKey,
+        px: usize,
+        py: usize,
+        units_per_corner: usize,
+        corners: usize,
+        unit_flops: u64,
+        cells_per_pe: usize,
+        i_msg_bytes: usize,
+        j_msg_bytes: usize,
+    },
+    /// Collective template: reads only the comm model.
+    Collective { comm: CommKey, is_max: bool, bytes: usize, procs: usize },
+    /// Async (serial) template: reads only the rate table.
+    Async { rates: RatesKey, flops: u64, cells_per_pe: usize },
+}
+
+impl CacheKey {
+    /// Build the key for evaluating `sub` against `hw`.
+    pub fn for_subtask(sub: &SubtaskObject, hw: &HardwareModel) -> Self {
+        match &sub.template {
+            TemplateBinding::Pipeline(p) => CacheKey::Pipeline {
+                rates: RatesKey::of(hw),
+                comm: CommKey::of(&hw.comm),
+                px: p.px,
+                py: p.py,
+                units_per_corner: p.units_per_corner,
+                corners: p.corners,
+                unit_flops: canon(p.unit_flops),
+                cells_per_pe: p.cells_per_pe,
+                i_msg_bytes: p.i_msg_bytes,
+                j_msg_bytes: p.j_msg_bytes,
+            },
+            TemplateBinding::Collective(p) => CacheKey::Collective {
+                comm: CommKey::of(&hw.comm),
+                is_max: matches!(p.kind, ReduceKind::Max),
+                bytes: p.bytes,
+                procs: p.procs,
+            },
+            TemplateBinding::Async => CacheKey::Async {
+                rates: RatesKey::of(hw),
+                flops: canon(sub.flops),
+                cells_per_pe: sub.cells_per_pe,
+            },
+        }
+    }
+
+    fn shard(&self) -> usize {
+        let mut h = DefaultHasher::new();
+        self.hash(&mut h);
+        (h.finish() as usize) & (SHARD_COUNT - 1)
+    }
+}
+
+/// Counter snapshot of a cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from a shard.
+    pub hits: u64,
+    /// Lookups that had to evaluate.
+    pub misses: u64,
+    /// Distinct entries currently stored.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Hits over total lookups (0 when no lookups happened).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// The sharded, lock-guarded evaluation cache.
+#[derive(Debug, Default)]
+pub struct EvalCache {
+    shards: Vec<RwLock<HashMap<CacheKey, CachedEval>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl EvalCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        EvalCache {
+            shards: (0..SHARD_COUNT).map(|_| RwLock::new(HashMap::new())).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Look up `key`, evaluating and storing on a miss. Because evaluation
+    /// is a pure function of the key's inputs, a racing double-compute
+    /// stores the identical value — results never depend on scheduling.
+    pub fn get_or_insert_with<F: FnOnce() -> CachedEval>(
+        &self,
+        key: CacheKey,
+        compute: F,
+    ) -> CachedEval {
+        let shard = &self.shards[key.shard()];
+        if let Some(v) = shard.read().get(&key).copied() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return v;
+        }
+        let value = compute();
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        shard.write().entry(key).or_insert(value);
+        value
+    }
+
+    /// Lookup without populating (does not touch the counters).
+    pub fn peek(&self, key: &CacheKey) -> Option<CachedEval> {
+        self.shards[key.shard()].read().get(key).copied()
+    }
+
+    /// Cumulative hits.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative misses.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Distinct entries stored.
+    pub fn entries(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+
+    /// Snapshot of the counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats { hits: self.hits(), misses: self.misses(), entries: self.entries() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pace_core::{machines, Sweep3dModel, Sweep3dParams};
+
+    fn subtasks() -> (Vec<SubtaskObject>, HardwareModel) {
+        let app = Sweep3dModel::new(Sweep3dParams::weak_scaling_50cubed(4, 4)).application_object();
+        (app.subtasks, machines::pentium3_myrinet())
+    }
+
+    #[test]
+    fn identical_inputs_share_a_key() {
+        let (subs, hw) = subtasks();
+        for sub in &subs {
+            assert_eq!(CacheKey::for_subtask(sub, &hw), CacheKey::for_subtask(sub, &hw.clone()));
+        }
+    }
+
+    #[test]
+    fn renaming_hardware_does_not_change_keys() {
+        let (subs, hw) = subtasks();
+        let mut renamed = hw.clone();
+        renamed.name = "something else".into();
+        for sub in &subs {
+            assert_eq!(CacheKey::for_subtask(sub, &hw), CacheKey::for_subtask(sub, &renamed));
+        }
+    }
+
+    #[test]
+    fn rate_scaling_changes_compute_keys_but_not_collective() {
+        let (subs, hw) = subtasks();
+        let faster = hw.with_rate_scaled(1.25);
+        for sub in &subs {
+            let a = CacheKey::for_subtask(sub, &hw);
+            let b = CacheKey::for_subtask(sub, &faster);
+            match sub.template {
+                TemplateBinding::Collective(_) => assert_eq!(a, b, "{}", sub.name),
+                _ => assert_ne!(a, b, "{}", sub.name),
+            }
+        }
+    }
+
+    #[test]
+    fn hit_miss_counters_track_lookups() {
+        let (subs, hw) = subtasks();
+        let cache = EvalCache::new();
+        let key = CacheKey::for_subtask(&subs[0], &hw);
+        assert_eq!(cache.peek(&key), None);
+        let v1 = cache.get_or_insert_with(key.clone(), || (1.5, None));
+        let v2 = cache.get_or_insert_with(key.clone(), || panic!("must hit"));
+        assert_eq!(v1, v2);
+        assert_eq!((cache.hits(), cache.misses(), cache.entries()), (1, 1, 1));
+        assert_eq!(cache.peek(&key), Some((1.5, None)));
+        assert!((cache.stats().hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_zero_folds_into_zero() {
+        assert_eq!(canon(0.0), canon(-0.0));
+        assert_ne!(canon(0.0), canon(f64::MIN_POSITIVE));
+    }
+}

@@ -1,0 +1,277 @@
+//! The cache-backed evaluator and the sweep engine.
+//!
+//! [`CachedEngine`] mirrors [`pace_core::EvaluationEngine`] exactly —
+//! same per-subtask evaluation, same summation order — but answers each
+//! subtask through the shared [`EvalCache`]. Because evaluation is a pure
+//! function of the cached key's inputs, its reports are bit-identical to
+//! the uncached engine's.
+//!
+//! [`SweepEngine`] expands a [`SweepSpec`] and fans the scenarios out
+//! over the worker pool, returning results in scenario-id order plus the
+//! run's cache and per-worker throughput counters.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use pace_core::engine::SubtaskTime;
+use pace_core::sweep3d_model::Sweep3dPrediction;
+use pace_core::{
+    templates, ApplicationObject, EvaluationReport, HardwareModel, SubtaskObject, Sweep3dModel,
+    Sweep3dParams, TemplateBinding,
+};
+
+use crate::cache::{CacheKey, CacheStats, CachedEval, EvalCache};
+use crate::pool::{self, WorkerStats};
+use crate::spec::{ScenarioResult, SweepSpec};
+
+fn evaluate_subtask(sub: &SubtaskObject, hw: &HardwareModel) -> CachedEval {
+    match &sub.template {
+        TemplateBinding::Pipeline(params) => {
+            let est = templates::pipeline::evaluate(params, hw);
+            (est.total_secs, Some(est))
+        }
+        TemplateBinding::Collective(params) => {
+            (templates::collective::evaluate(params, &hw.comm), None)
+        }
+        TemplateBinding::Async => (templates::serial_secs(hw, sub.flops, sub.cells_per_pe), None),
+    }
+}
+
+/// A drop-in evaluator with a shared, thread-safe memo of subtask
+/// evaluations.
+#[derive(Debug, Clone, Default)]
+pub struct CachedEngine {
+    cache: Arc<EvalCache>,
+}
+
+impl CachedEngine {
+    /// An engine with a fresh cache.
+    pub fn new() -> Self {
+        CachedEngine { cache: Arc::new(EvalCache::new()) }
+    }
+
+    /// An engine sharing an existing cache.
+    pub fn with_cache(cache: Arc<EvalCache>) -> Self {
+        CachedEngine { cache }
+    }
+
+    /// The underlying cache (for counters).
+    pub fn cache(&self) -> &EvalCache {
+        &self.cache
+    }
+
+    /// Evaluate an application model on a hardware model; equivalent to
+    /// [`pace_core::EvaluationEngine::evaluate`] bit-for-bit.
+    pub fn evaluate(&self, app: &ApplicationObject, hw: &HardwareModel) -> EvaluationReport {
+        let mut subtasks = Vec::with_capacity(app.subtasks.len());
+        let mut per_iteration = 0.0;
+        for sub in &app.subtasks {
+            let key = CacheKey::for_subtask(sub, hw);
+            let (secs, pipeline) = self.cache.get_or_insert_with(key, || evaluate_subtask(sub, hw));
+            per_iteration += secs;
+            subtasks.push(SubtaskTime {
+                name: sub.name.clone(),
+                secs_per_iteration: secs,
+                pipeline,
+            });
+        }
+        EvaluationReport {
+            application: app.name.clone(),
+            hardware: hw.name.clone(),
+            total_secs: per_iteration * app.iterations as f64,
+            iterations: app.iterations,
+            subtasks,
+        }
+    }
+
+    /// Predict a SWEEP3D configuration, like [`Sweep3dModel::predict`].
+    pub fn predict(&self, params: Sweep3dParams, hw: &HardwareModel) -> Sweep3dPrediction {
+        let app = Sweep3dModel::new(params).application_object();
+        let report = self.evaluate(&app, hw);
+        Sweep3dPrediction { total_secs: report.total_secs, report }
+    }
+}
+
+/// Counters of one sweep run.
+#[derive(Debug, Clone)]
+pub struct SweepStats {
+    /// Scenarios evaluated.
+    pub scenarios: usize,
+    /// Worker threads used.
+    pub workers: Vec<WorkerStats>,
+    /// Cache counters after the run (cumulative over the engine's life).
+    pub cache: CacheStats,
+    /// Wall-clock time of the sweep.
+    pub wall: Duration,
+}
+
+impl SweepStats {
+    /// Human-readable one-block summary.
+    pub fn summary(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{} scenarios in {:.3} ms on {} worker(s); cache {} hit / {} miss ({:.0}% hit rate, {} entries)",
+            self.scenarios,
+            self.wall.as_secs_f64() * 1e3,
+            self.workers.len(),
+            self.cache.hits,
+            self.cache.misses,
+            self.cache.hit_rate() * 100.0,
+            self.cache.entries,
+        );
+        for w in &self.workers {
+            let _ = writeln!(
+                out,
+                "  worker {}: {} scenario(s), {:.3} ms busy, {:.0} scenarios/s",
+                w.worker,
+                w.items,
+                w.busy.as_secs_f64() * 1e3,
+                w.items_per_sec(),
+            );
+        }
+        out
+    }
+}
+
+/// Results of one sweep: scenario results in id order + counters.
+#[derive(Debug, Clone)]
+pub struct SweepOutcome {
+    /// One result per scenario, sorted by scenario id.
+    pub results: Vec<ScenarioResult>,
+    /// Run counters.
+    pub stats: SweepStats,
+}
+
+/// The parallel sweep engine.
+#[derive(Debug, Clone)]
+pub struct SweepEngine {
+    workers: usize,
+    cache: Arc<EvalCache>,
+}
+
+impl SweepEngine {
+    /// An engine using all available parallelism.
+    pub fn new() -> Self {
+        Self::with_workers(pool::available_workers())
+    }
+
+    /// An engine with an explicit worker count (1 = serial).
+    pub fn with_workers(workers: usize) -> Self {
+        SweepEngine { workers: workers.max(1), cache: Arc::new(EvalCache::new()) }
+    }
+
+    /// The engine's cache (shared across `run` calls).
+    pub fn cache(&self) -> &EvalCache {
+        &self.cache
+    }
+
+    /// Configured worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Evaluate every scenario of the spec. Results come back in
+    /// scenario-id order and are bit-identical for any worker count.
+    pub fn run(&self, spec: &SweepSpec) -> SweepOutcome {
+        let scenarios = spec.scenarios();
+        let n = scenarios.len();
+        let engine = CachedEngine::with_cache(Arc::clone(&self.cache));
+        let run = pool::run_ordered(scenarios, self.workers, |sc| {
+            let pred = engine.predict(sc.params, &sc.hw);
+            ScenarioResult {
+                id: sc.id,
+                machine: sc.machine,
+                problem: sc.problem,
+                multiplier: sc.multiplier,
+                rate_multiplier: sc.rate_multiplier,
+                label: sc.label.clone(),
+                pes: sc.params.px * sc.params.py,
+                total_secs: pred.total_secs,
+                report: pred.report,
+            }
+        });
+        SweepOutcome {
+            results: run.results,
+            stats: SweepStats {
+                scenarios: n,
+                workers: run.workers,
+                cache: self.cache.stats(),
+                wall: run.wall,
+            },
+        }
+    }
+}
+
+impl Default for SweepEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pace_core::{machines, EvaluationEngine};
+
+    #[test]
+    fn cached_engine_matches_uncached_bit_for_bit() {
+        let hw = machines::pentium3_myrinet();
+        let engine = CachedEngine::new();
+        for (px, py) in [(1, 1), (2, 2), (4, 6), (8, 14)] {
+            let app =
+                Sweep3dModel::new(Sweep3dParams::weak_scaling_50cubed(px, py)).application_object();
+            let cached = engine.evaluate(&app, &hw);
+            let plain = EvaluationEngine::new().evaluate(&app, &hw);
+            assert_eq!(cached, plain, "{px}x{py}");
+            // Twice through the cache is still identical.
+            assert_eq!(engine.evaluate(&app, &hw), plain);
+        }
+        assert!(engine.cache().hits() > 0, "repeat evaluations must hit");
+    }
+
+    #[test]
+    fn predict_matches_model_predict() {
+        let hw = machines::opteron_myrinet_hypothetical();
+        let params = Sweep3dParams::speculative_20m(8, 16);
+        let engine = CachedEngine::new();
+        let a = engine.predict(params, &hw);
+        let b = Sweep3dModel::new(params).predict(&hw);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sweep_results_are_in_id_order_with_counters() {
+        let spec = SweepSpec::new()
+            .machine(machines::pentium3_myrinet())
+            .rate_multipliers(vec![1.0, 1.25])
+            .problem("2x2", Sweep3dParams::weak_scaling_50cubed(2, 2))
+            .problem("4x4", Sweep3dParams::weak_scaling_50cubed(4, 4))
+            .problem("8x8", Sweep3dParams::weak_scaling_50cubed(8, 8));
+        let engine = SweepEngine::with_workers(3);
+        let out = engine.run(&spec);
+        assert_eq!(out.results.len(), 6);
+        for (i, r) in out.results.iter().enumerate() {
+            assert_eq!(r.id, i);
+            assert!(r.total_secs > 0.0);
+        }
+        let processed: u64 = out.stats.workers.iter().map(|w| w.items).sum();
+        assert_eq!(processed, 6);
+        // The collective subtask is shared across the two multipliers.
+        assert!(out.stats.cache.hits > 0, "stats: {:?}", out.stats.cache);
+        assert!(!out.stats.summary().is_empty());
+    }
+
+    #[test]
+    fn worker_count_does_not_change_results() {
+        let spec = SweepSpec::new()
+            .machine(machines::opteron_myrinet_hypothetical())
+            .rate_multipliers(vec![1.0, 1.25, 1.5])
+            .problem("a", Sweep3dParams::speculative_20m(4, 4))
+            .problem("b", Sweep3dParams::speculative_20m(16, 32));
+        let serial = SweepEngine::with_workers(1).run(&spec);
+        let parallel = SweepEngine::with_workers(4).run(&spec);
+        assert_eq!(serial.results, parallel.results);
+    }
+}

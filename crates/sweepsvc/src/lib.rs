@@ -1,0 +1,46 @@
+//! # sweepsvc — the parallel scenario-sweep engine
+//!
+//! The paper's workflow is *many evaluations of one cheap model*: every
+//! validation table row, every point of the Fig. 8/9 speculation curves,
+//! every procurement what-if is an independent `(hardware model,
+//! problem configuration)` evaluation. This crate turns that embarrassing
+//! parallelism into a first-class batch layer:
+//!
+//! * [`SweepSpec`] — a declarative sweep: machines × flop-rate
+//!   multipliers × problem configurations, expanded to scenarios with
+//!   stable ids ([`spec`]);
+//! * [`SweepEngine`] — fans scenarios out over a `crossbeam`
+//!   work-stealing pool and collects results **in scenario-id order**,
+//!   bit-identical for any worker count ([`engine`], [`pool`]);
+//! * [`EvalCache`] — a sharded, `parking_lot`-guarded memo of subtask
+//!   evaluations keyed on canonicalised model/hardware inputs, shared by
+//!   all workers, with hit/miss counters ([`cache`]);
+//! * [`replicate`] — a parallel-replication runner for `cluster-sim`
+//!   measurement campaigns: N seeds of one machine, merged into one
+//!   statistics summary ([`replicate`](mod@replicate)).
+//!
+//! ```
+//! use pace_core::{machines, Sweep3dParams};
+//! use sweepsvc::{SweepEngine, SweepSpec};
+//!
+//! let spec = SweepSpec::new()
+//!     .machine(machines::opteron_myrinet_hypothetical())
+//!     .rate_multipliers(vec![1.0, 1.25, 1.5])
+//!     .problem("2x2", Sweep3dParams::speculative_20m(2, 2))
+//!     .problem("8x8", Sweep3dParams::speculative_20m(8, 8));
+//! let outcome = SweepEngine::new().run(&spec);
+//! assert_eq!(outcome.results.len(), 6);
+//! assert!(outcome.stats.cache.hits > 0); // the collective is shared
+//! ```
+
+pub mod cache;
+pub mod engine;
+pub mod pool;
+pub mod replicate;
+pub mod spec;
+
+pub use cache::{CacheKey, CacheStats, EvalCache};
+pub use engine::{CachedEngine, SweepEngine, SweepOutcome, SweepStats};
+pub use pool::{available_workers, run_ordered, PoolRun, WorkerStats};
+pub use replicate::{replicate, Replication, ReplicationSummary};
+pub use spec::{ProblemPoint, Scenario, ScenarioResult, SweepSpec};

@@ -1,0 +1,179 @@
+//! The work-stealing worker pool.
+//!
+//! [`run_ordered`] fans a batch of items out over `crossbeam` scoped
+//! threads that steal work from a shared injector queue, and returns the
+//! results **in item order** regardless of which worker computed what or
+//! in what interleaving — each worker tags its outputs with the item
+//! index and the results are reassembled into index-order slots at the
+//! end. With a pure work function the output is therefore bit-identical
+//! for any worker count.
+//!
+//! Per-worker throughput counters (items processed, busy time) come back
+//! alongside the results.
+
+use std::time::{Duration, Instant};
+
+use crossbeam::deque::{Injector, Steal};
+
+/// One worker's throughput counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Worker index (0-based).
+    pub worker: usize,
+    /// Items this worker processed.
+    pub items: u64,
+    /// Time spent inside the work function.
+    pub busy: Duration,
+}
+
+impl WorkerStats {
+    /// Items per busy second (0 when the worker never ran).
+    pub fn items_per_sec(&self) -> f64 {
+        let secs = self.busy.as_secs_f64();
+        if secs > 0.0 {
+            self.items as f64 / secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Results of one pool run.
+#[derive(Debug, Clone)]
+pub struct PoolRun<R> {
+    /// One result per input item, in input order.
+    pub results: Vec<R>,
+    /// Per-worker counters, indexed by worker.
+    pub workers: Vec<WorkerStats>,
+    /// Wall-clock time of the whole run.
+    pub wall: Duration,
+}
+
+/// Worker count to use by default: the machine's available parallelism.
+pub fn available_workers() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Apply `work` to every item on a pool of `workers` threads, returning
+/// results in item order. `workers <= 1` runs inline on the caller's
+/// thread (no spawn), which is also the serial reference for determinism
+/// tests.
+pub fn run_ordered<T, R, F>(items: Vec<T>, workers: usize, work: F) -> PoolRun<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let started = Instant::now();
+    let n = items.len();
+    let workers = workers.max(1).min(n.max(1));
+
+    if workers <= 1 {
+        let t0 = Instant::now();
+        let results: Vec<R> = items.iter().map(&work).collect();
+        let stats = WorkerStats { worker: 0, items: n as u64, busy: t0.elapsed() };
+        return PoolRun { results, workers: vec![stats], wall: started.elapsed() };
+    }
+
+    let injector = Injector::new();
+    for indexed in items.into_iter().enumerate() {
+        injector.push(indexed);
+    }
+
+    let outputs = crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let injector = &injector;
+                let work = &work;
+                s.spawn(move |_| {
+                    let mut local: Vec<(usize, R)> = Vec::new();
+                    let mut stats = WorkerStats { worker: w, items: 0, busy: Duration::ZERO };
+                    loop {
+                        match injector.steal() {
+                            Steal::Success((i, item)) => {
+                                let t0 = Instant::now();
+                                let r = work(&item);
+                                stats.busy += t0.elapsed();
+                                stats.items += 1;
+                                local.push((i, r));
+                            }
+                            Steal::Empty => break,
+                            Steal::Retry => std::hint::spin_loop(),
+                        }
+                    }
+                    (stats, local)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("pool worker panicked")).collect::<Vec<_>>()
+    })
+    .expect("pool scope");
+
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let mut worker_stats = Vec::with_capacity(workers);
+    for (stats, local) in outputs {
+        worker_stats.push(stats);
+        for (i, r) in local {
+            debug_assert!(slots[i].is_none(), "item {i} computed twice");
+            slots[i] = Some(r);
+        }
+    }
+    worker_stats.sort_by_key(|s| s.worker);
+    let results = slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, s)| s.unwrap_or_else(|| panic!("item {i} never evaluated")))
+        .collect();
+    PoolRun { results, workers: worker_stats, wall: started.elapsed() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_batch() {
+        let run = run_ordered(Vec::<u32>::new(), 4, |x| x * 2);
+        assert!(run.results.is_empty());
+        assert_eq!(run.workers.len(), 1);
+    }
+
+    #[test]
+    fn order_is_input_order_for_any_worker_count() {
+        let items: Vec<u64> = (0..200).collect();
+        for workers in [1, 2, 3, 8] {
+            let run = run_ordered(items.clone(), workers, |&x| x * x);
+            assert_eq!(
+                run.results,
+                items.iter().map(|x| x * x).collect::<Vec<_>>(),
+                "workers={workers}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_item_counted_exactly_once() {
+        let run = run_ordered((0..57u64).collect(), 4, |&x| x);
+        let total: u64 = run.workers.iter().map(|w| w.items).sum();
+        assert_eq!(total, 57);
+        assert_eq!(
+            run.workers.iter().map(|w| w.worker).collect::<Vec<_>>(),
+            (0..run.workers.len()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn more_workers_than_items_is_clamped() {
+        let run = run_ordered(vec![1, 2, 3], 64, |&x: &i32| x + 1);
+        assert_eq!(run.results, vec![2, 3, 4]);
+        assert!(run.workers.len() <= 3);
+    }
+
+    #[test]
+    fn throughput_counter_is_sane() {
+        let stats = WorkerStats { worker: 0, items: 10, busy: Duration::from_millis(100) };
+        assert!((stats.items_per_sec() - 100.0).abs() < 1.0);
+        let idle = WorkerStats { worker: 1, items: 0, busy: Duration::ZERO };
+        assert_eq!(idle.items_per_sec(), 0.0);
+    }
+}

@@ -1,0 +1,172 @@
+//! Parallel replication of `cluster-sim` runs.
+//!
+//! A measurement campaign replays the same machine under N noise seeds.
+//! [`replicate`] fans the seeds out over the worker pool — each
+//! replication is an independent deterministic simulation of
+//! `machine.with_seed(seed)` — and merges the runs into one
+//! [`ReplicationSummary`]. Replications are reported in seed order, so
+//! the summary is identical whether the runs happened concurrently or
+//! sequentially.
+
+use std::time::Duration;
+
+use cluster_sim::{Engine, MachineSpec, Program, RunReport, SimResult};
+
+use crate::pool::{self, WorkerStats};
+
+/// One seeded simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Replication {
+    /// The noise seed of this run.
+    pub seed: u64,
+    /// Simulated makespan, seconds.
+    pub makespan_secs: f64,
+    /// Full per-rank statistics.
+    pub report: RunReport,
+}
+
+/// Merged statistics of a replication campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplicationSummary {
+    /// Machine name.
+    pub machine: String,
+    /// One entry per seed, in input-seed order.
+    pub replications: Vec<Replication>,
+    /// Per-worker pool counters.
+    pub workers: Vec<WorkerStats>,
+    /// Wall-clock time of the campaign.
+    pub wall: Duration,
+}
+
+impl ReplicationSummary {
+    /// The makespans, in seed order.
+    pub fn makespans(&self) -> Vec<f64> {
+        self.replications.iter().map(|r| r.makespan_secs).collect()
+    }
+
+    /// Mean makespan, seconds.
+    pub fn mean_makespan(&self) -> f64 {
+        let n = self.replications.len();
+        if n == 0 {
+            return 0.0;
+        }
+        self.replications.iter().map(|r| r.makespan_secs).sum::<f64>() / n as f64
+    }
+
+    /// Smallest makespan.
+    pub fn min_makespan(&self) -> f64 {
+        self.replications.iter().map(|r| r.makespan_secs).fold(f64::INFINITY, f64::min)
+    }
+
+    /// Largest makespan.
+    pub fn max_makespan(&self) -> f64 {
+        self.replications.iter().map(|r| r.makespan_secs).fold(0.0, f64::max)
+    }
+
+    /// Population standard deviation of the makespans.
+    pub fn std_dev_makespan(&self) -> f64 {
+        let n = self.replications.len();
+        if n == 0 {
+            return 0.0;
+        }
+        let mean = self.mean_makespan();
+        let var = self.replications.iter().map(|r| (r.makespan_secs - mean).powi(2)).sum::<f64>()
+            / n as f64;
+        var.sqrt()
+    }
+
+    /// Mean of the per-run mean compute fractions.
+    pub fn mean_compute_fraction(&self) -> f64 {
+        let n = self.replications.len();
+        if n == 0 {
+            return 0.0;
+        }
+        self.replications.iter().map(|r| r.report.mean_compute_fraction()).sum::<f64>() / n as f64
+    }
+}
+
+/// Run `programs` on `machine` once per seed, fanned out over `workers`
+/// pool threads. Fails with the first simulation error, if any.
+pub fn replicate(
+    machine: &MachineSpec,
+    programs: &[Program],
+    seeds: &[u64],
+    workers: usize,
+) -> SimResult<ReplicationSummary> {
+    let run = pool::run_ordered(seeds.to_vec(), workers, |&seed| {
+        let seeded = machine.clone().with_seed(seed);
+        Engine::new(&seeded, programs.to_vec()).run().map(|report| Replication {
+            seed,
+            makespan_secs: report.makespan(),
+            report,
+        })
+    });
+    let mut replications = Vec::with_capacity(run.results.len());
+    for result in run.results {
+        replications.push(result?);
+    }
+    Ok(ReplicationSummary {
+        machine: machine.name.clone(),
+        replications,
+        workers: run.workers,
+        wall: run.wall,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cluster_sim::Op;
+
+    fn ring_programs(ranks: usize) -> Vec<Program> {
+        let mut programs = vec![Program::new(); ranks];
+        for (r, prog) in programs.iter_mut().enumerate() {
+            prog.push(Op::Compute { flops: 2e6, working_set: 1000 });
+            prog.push(Op::Send { to: (r + 1) % ranks, bytes: 512, tag: 7 });
+            prog.push(Op::Recv { from: (r + ranks - 1) % ranks, tag: 7 });
+        }
+        programs
+    }
+
+    fn noisy_machine() -> MachineSpec {
+        MachineSpec::ideal(100.0).with_noise(cluster_sim::NoiseModel::commodity())
+    }
+
+    #[test]
+    fn seed_order_is_preserved_and_concurrency_free() {
+        let machine = noisy_machine();
+        let programs = ring_programs(4);
+        let seeds = [11u64, 22, 33, 44, 55];
+        let serial = replicate(&machine, &programs, &seeds, 1).unwrap();
+        let parallel = replicate(&machine, &programs, &seeds, 4).unwrap();
+        assert_eq!(serial.makespans(), parallel.makespans());
+        assert_eq!(serial.replications, parallel.replications);
+        for (rep, &seed) in serial.replications.iter().zip(&seeds) {
+            assert_eq!(rep.seed, seed);
+        }
+    }
+
+    #[test]
+    fn summary_statistics_are_consistent() {
+        let machine = noisy_machine();
+        let summary = replicate(&machine, &ring_programs(3), &[1, 2, 3, 4, 5, 6], 2).unwrap();
+        let mean = summary.mean_makespan();
+        assert!(summary.min_makespan() <= mean && mean <= summary.max_makespan());
+        assert!(summary.std_dev_makespan() >= 0.0);
+        assert!(summary.mean_compute_fraction() > 0.0);
+        // Distinct seeds should actually perturb a noisy machine.
+        let makespans = summary.makespans();
+        assert!(
+            makespans.windows(2).any(|w| w[0] != w[1]),
+            "noise seeds had no effect: {makespans:?}"
+        );
+    }
+
+    #[test]
+    fn empty_seed_list() {
+        let machine = noisy_machine();
+        let summary = replicate(&machine, &ring_programs(2), &[], 4).unwrap();
+        assert!(summary.replications.is_empty());
+        assert_eq!(summary.mean_makespan(), 0.0);
+    }
+}

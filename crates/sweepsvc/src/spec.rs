@@ -1,0 +1,191 @@
+//! Declarative sweep specifications.
+//!
+//! A [`SweepSpec`] is the grid the engine evaluates: a list of hardware
+//! models × a grid of flop-rate multipliers × a list of labelled problem
+//! configurations. [`SweepSpec::scenarios`] enumerates the cartesian
+//! product in a fixed order (machine-major, then problem, then
+//! multiplier) and assigns each scenario a stable id; results are always
+//! reported in id order, so a sweep's output is a deterministic function
+//! of its spec.
+
+use pace_core::{EvaluationReport, HardwareModel, Sweep3dParams};
+
+/// One labelled problem configuration of a sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProblemPoint {
+    /// Display label (e.g. `"4x8"`).
+    pub label: String,
+    /// The model parameters.
+    pub params: Sweep3dParams,
+}
+
+/// The declarative sweep description.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepSpec {
+    /// Machine axis: base hardware models.
+    pub machines: Vec<HardwareModel>,
+    /// Flop-rate what-if axis: the achieved-rate table of each machine is
+    /// scaled by each multiplier (`1.0` means the machine as given).
+    pub rate_multipliers: Vec<f64>,
+    /// Problem axis.
+    pub problems: Vec<ProblemPoint>,
+}
+
+impl SweepSpec {
+    /// An empty spec with the identity rate multiplier.
+    pub fn new() -> Self {
+        SweepSpec { machines: Vec::new(), rate_multipliers: vec![1.0], problems: Vec::new() }
+    }
+
+    /// Add a machine to the machine axis.
+    pub fn machine(mut self, hw: HardwareModel) -> Self {
+        self.machines.push(hw);
+        self
+    }
+
+    /// Replace the rate-multiplier grid.
+    pub fn rate_multipliers(mut self, multipliers: Vec<f64>) -> Self {
+        assert!(!multipliers.is_empty(), "at least one rate multiplier");
+        self.rate_multipliers = multipliers;
+        self
+    }
+
+    /// Add a labelled problem configuration.
+    pub fn problem(mut self, label: impl Into<String>, params: Sweep3dParams) -> Self {
+        self.problems.push(ProblemPoint { label: label.into(), params });
+        self
+    }
+
+    /// Number of scenarios the spec expands to.
+    pub fn len(&self) -> usize {
+        self.machines.len() * self.rate_multipliers.len() * self.problems.len()
+    }
+
+    /// Whether the spec expands to no scenarios.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Expand into concrete scenarios with stable ids:
+    /// `id = (machine_idx * problems + problem_idx) * multipliers + multiplier_idx`.
+    pub fn scenarios(&self) -> Vec<Scenario> {
+        let mut out = Vec::with_capacity(self.len());
+        for (mi, hw) in self.machines.iter().enumerate() {
+            for (pi, prob) in self.problems.iter().enumerate() {
+                for (ri, &mult) in self.rate_multipliers.iter().enumerate() {
+                    // The identity multiplier must evaluate the machine
+                    // exactly as given (bit-for-bit), so skip the scaling
+                    // call rather than multiplying by 1.0.
+                    let hw_scaled =
+                        if mult == 1.0 { hw.clone() } else { hw.with_rate_scaled(mult) };
+                    out.push(Scenario {
+                        id: out.len(),
+                        machine: mi,
+                        problem: pi,
+                        multiplier: ri,
+                        rate_multiplier: mult,
+                        label: prob.label.clone(),
+                        hw: hw_scaled,
+                        params: prob.params,
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Default for SweepSpec {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One concrete point of the expanded sweep grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Stable scenario id (position in the expansion order).
+    pub id: usize,
+    /// Index into [`SweepSpec::machines`].
+    pub machine: usize,
+    /// Index into [`SweepSpec::problems`].
+    pub problem: usize,
+    /// Index into [`SweepSpec::rate_multipliers`].
+    pub multiplier: usize,
+    /// The multiplier value.
+    pub rate_multiplier: f64,
+    /// Problem label.
+    pub label: String,
+    /// The (already scaled) hardware model to evaluate against.
+    pub hw: HardwareModel,
+    /// The model parameters.
+    pub params: Sweep3dParams,
+}
+
+/// One evaluated scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioResult {
+    /// Scenario id; results are returned sorted by this.
+    pub id: usize,
+    /// Machine-axis index.
+    pub machine: usize,
+    /// Problem-axis index.
+    pub problem: usize,
+    /// Multiplier-axis index.
+    pub multiplier: usize,
+    /// The multiplier value.
+    pub rate_multiplier: f64,
+    /// Problem label.
+    pub label: String,
+    /// Total processors of the configuration.
+    pub pes: usize,
+    /// Predicted total runtime, seconds.
+    pub total_secs: f64,
+    /// Full per-subtask evaluation report.
+    pub report: EvaluationReport,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pace_core::machines;
+
+    fn spec() -> SweepSpec {
+        SweepSpec::new()
+            .machine(machines::pentium3_myrinet())
+            .rate_multipliers(vec![1.0, 1.5])
+            .problem("2x2", Sweep3dParams::weak_scaling_50cubed(2, 2))
+            .problem("4x4", Sweep3dParams::weak_scaling_50cubed(4, 4))
+    }
+
+    #[test]
+    fn expansion_order_and_ids_are_stable() {
+        let s = spec();
+        assert_eq!(s.len(), 4);
+        let scenarios = s.scenarios();
+        assert_eq!(scenarios.len(), 4);
+        for (i, sc) in scenarios.iter().enumerate() {
+            assert_eq!(sc.id, i);
+        }
+        // Problem-major, multiplier-minor.
+        assert_eq!((scenarios[0].problem, scenarios[0].multiplier), (0, 0));
+        assert_eq!((scenarios[1].problem, scenarios[1].multiplier), (0, 1));
+        assert_eq!((scenarios[2].problem, scenarios[2].multiplier), (1, 0));
+        assert_eq!(scenarios[1].label, "2x2");
+        assert_eq!(scenarios[2].label, "4x4");
+    }
+
+    #[test]
+    fn identity_multiplier_keeps_hardware_verbatim() {
+        let s = spec();
+        let scenarios = s.scenarios();
+        assert_eq!(scenarios[0].hw, s.machines[0]);
+        assert_ne!(scenarios[1].hw.rates, s.machines[0].rates);
+    }
+
+    #[test]
+    fn empty_spec() {
+        assert!(SweepSpec::new().is_empty());
+        assert!(SweepSpec::new().scenarios().is_empty());
+    }
+}

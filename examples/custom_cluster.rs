@@ -51,9 +51,8 @@ fn main() {
     println!("predicted SWEEP3D weak scaling (50^3 cells/PE, mk=10, mmi=3):");
     println!("{:>8} {:>10} {:>12}", "PEs", "array", "predicted(s)");
     for (px, py) in [(2, 2), (4, 4), (8, 8), (16, 16), (32, 32)] {
-        let pred = Sweep3dModel::new(Sweep3dParams::weak_scaling_50cubed(px, py))
-            .predict(&hw)
-            .total_secs;
+        let pred =
+            Sweep3dModel::new(Sweep3dParams::weak_scaling_50cubed(px, py)).predict(&hw).total_secs;
         println!("{:>8} {:>10} {:>12.2}", px * py, format!("{px}x{py}"), pred);
     }
 
@@ -62,10 +61,11 @@ fn main() {
     let fm = FlopModel::calibrate(&config, 10);
     let programs = generate_programs(&config, &fm);
     let measured = Engine::new(&candidate, programs).run().expect("runs").makespan();
-    let predicted = Sweep3dModel::new(Sweep3dParams::weak_scaling_50cubed(8, 8))
-        .predict(&hw)
-        .total_secs;
+    let predicted =
+        Sweep3dModel::new(Sweep3dParams::weak_scaling_50cubed(8, 8)).predict(&hw).total_secs;
     let err = (measured - predicted) / measured * 100.0;
-    println!("\nspot check at 8x8: measured {measured:.2} s, predicted {predicted:.2} s ({err:+.2}%)");
+    println!(
+        "\nspot check at 8x8: measured {measured:.2} s, predicted {predicted:.2} s ({err:+.2}%)"
+    );
     assert!(err.abs() < 10.0);
 }

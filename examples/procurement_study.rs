@@ -11,19 +11,22 @@
 //! ```
 
 use experiments::asci_goals;
-use experiments::speculation::{run_on, Problem};
+use experiments::speculation::{run_on_with, Problem};
 use pace_core::machines;
 use wavefront_models::all_models;
-use wavefront_models::WavefrontModel as _;
 
 fn main() {
     let hw = machines::opteron_myrinet_hypothetical();
-    println!("== Speculative study on: {} ==\n", hw.name);
+    let workers = sweepsvc::available_workers();
+    println!("== Speculative study on: {} ({} sweep worker(s)) ==\n", hw.name, workers);
 
     for problem in [Problem::TwentyMillion, Problem::OneBillion] {
-        let curve = run_on(problem, &hw);
+        let (curve, stats) = run_on_with(problem, &hw, workers);
         println!("--- {} ---", curve.problem.figure());
-        println!("{:>6} {:>9} {:>12} {:>12} {:>12}", "PEs", "array", "actual(s)", "+25%(s)", "+50%(s)");
+        println!(
+            "{:>6} {:>9} {:>12} {:>12} {:>12}",
+            "PEs", "array", "actual(s)", "+25%(s)", "+50%(s)"
+        );
         for p in &curve.points {
             println!(
                 "{:>6} {:>9} {:>12.4} {:>12.4} {:>12.4}",
@@ -34,6 +37,8 @@ fn main() {
                 p.plus50
             );
         }
+        print!("\n  sweep engine: {}", stats.summary());
+
         // The §6 conclusion: the benchmark scales well, but the realistic
         // multi-group, time-dependent problem grossly overruns ASCI goals.
         let asci = asci_goals::paper_setting(problem);
@@ -54,10 +59,6 @@ fn main() {
     println!("--- concurrence at 8000 PEs, 1-billion-cell problem ---");
     let params = Problem::OneBillion.params(80, 100);
     for model in all_models() {
-        println!(
-            "{:<36} {:>8.3} s",
-            model.name(),
-            model.predict_secs(&params, &hw)
-        );
+        println!("{:<36} {:>8.3} s", model.name(), model.predict_secs(&params, &hw));
     }
 }

@@ -37,8 +37,7 @@ fn main() {
     // of the real Rust kernel — the PAPI step of the paper.
     let reference = ProblemConfig::weak_scaling(50, 1, 1);
     let measured = FlopModel::calibrate(&reference, 10);
-    let gap = (capp_vector.flops() - measured.flops_per_cell_angle)
-        / measured.flops_per_cell_angle
+    let gap = (capp_vector.flops() - measured.flops_per_cell_angle) / measured.flops_per_cell_angle
         * 100.0;
     println!(
         "instrumented kernel      : {:.2} flops/cell-angle  (static counts {gap:+.1}% vs executed)\n",

@@ -19,8 +19,10 @@ fn main() {
     let machine = opteron_gige_sim();
 
     println!("== PACE quickstart ==");
-    println!("workload : SWEEP3D {}x{}x{} on {}x{} PEs", config.it, config.jt, config.kt,
-        config.npe_i, config.npe_j);
+    println!(
+        "workload : SWEEP3D {}x{}x{} on {}x{} PEs",
+        config.it, config.jt, config.kt, config.npe_i, config.npe_j
+    );
     println!("machine  : {}\n", machine.name);
 
     // Step 1 — coarse benchmarking (paper §4.3): profile the kernel to get
@@ -38,10 +40,7 @@ fn main() {
     let prediction = Sweep3dModel::new(params).predict(&hw);
     println!("PACE prediction          : {:.2} s", prediction.total_secs);
     for sub in &prediction.report.subtasks {
-        println!(
-            "    {:<12} {:>10.4} s/iteration",
-            sub.name, sub.secs_per_iteration
-        );
+        println!("    {:<12} {:>10.4} s/iteration", sub.name, sub.secs_per_iteration);
     }
 
     // Step 3 — "measurement": execute the application's communication/

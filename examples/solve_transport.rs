@@ -27,8 +27,15 @@ fn main() {
     println!("== SWEEP3D transport solve ==");
     println!(
         "grid {}x{}x{} on {}x{} ranks, S{} ({} angles/octant), mk={} mmi={}\n",
-        config.it, config.jt, config.kt, config.npe_i, config.npe_j,
-        config.sn_order, config.angles_per_octant(), config.mk, config.mmi
+        config.it,
+        config.jt,
+        config.kt,
+        config.npe_i,
+        config.npe_j,
+        config.sn_order,
+        config.angles_per_octant(),
+        config.mk,
+        config.mmi
     );
 
     // Serial reference.
@@ -55,12 +62,8 @@ fn main() {
     // Verification: the distributed flux must equal the serial flux
     // bit for bit (same inflows, same order, same arithmetic).
     let parallel = assemble_global_flux(&config, &outcomes);
-    let mismatches = serial
-        .flux
-        .iter()
-        .zip(&parallel)
-        .filter(|(a, b)| a.to_bits() != b.to_bits())
-        .count();
+    let mismatches =
+        serial.flux.iter().zip(&parallel).filter(|(a, b)| a.to_bits() != b.to_bits()).count();
     println!("\nverification: {mismatches} mismatching cells (must be 0)");
     assert_eq!(mismatches, 0, "parallel flux must be bit-identical to serial");
     assert_eq!(serial.errors, outcomes[0].errors, "convergence history must agree");

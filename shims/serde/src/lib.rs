@@ -1,0 +1,103 @@
+//! Minimal `serde` facade for offline builds.
+//!
+//! Provides the trait names the workspace mentions (`Serialize`,
+//! `Deserialize`, `Serializer`, `Deserializer`) plus the no-op derive
+//! macros, so type definitions and the few manual impls compile unchanged.
+//! No data format is implemented — nothing in the repo serializes through
+//! serde at run time.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Error type all shim (de)serializers share.
+pub trait Error: Sized + std::fmt::Debug + std::fmt::Display {
+    fn custom<T: std::fmt::Display>(msg: T) -> Self;
+}
+
+/// A data-format serializer (shim: primitive sinks only).
+pub trait Serializer: Sized {
+    type Ok;
+    type Error: Error;
+
+    fn serialize_bool(self, v: bool) -> Result<Self::Ok, Self::Error>;
+    fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error>;
+    fn serialize_i64(self, v: i64) -> Result<Self::Ok, Self::Error>;
+    fn serialize_f64(self, v: f64) -> Result<Self::Ok, Self::Error>;
+    fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error>;
+}
+
+/// A data-format deserializer (shim: primitive sources only).
+pub trait Deserializer<'de>: Sized {
+    type Error: Error;
+
+    fn deserialize_bool(self) -> Result<bool, Self::Error>;
+    fn deserialize_u64(self) -> Result<u64, Self::Error>;
+    fn deserialize_i64(self) -> Result<i64, Self::Error>;
+    fn deserialize_f64(self) -> Result<f64, Self::Error>;
+    fn deserialize_string(self) -> Result<String, Self::Error>;
+}
+
+/// A type serializable through a [`Serializer`].
+pub trait Serialize {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// A type deserializable through a [`Deserializer`].
+pub trait Deserialize<'de>: Sized {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+macro_rules! primitive_impls {
+    ($($ty:ty => $ser:ident / $de:ident as $conv:ty),* $(,)?) => {
+        $(
+            impl Serialize for $ty {
+                fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                    s.$ser(*self as $conv)
+                }
+            }
+            impl<'de> Deserialize<'de> for $ty {
+                fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                    Ok(d.$de()? as $ty)
+                }
+            }
+        )*
+    };
+}
+
+primitive_impls! {
+    u8 => serialize_u64 / deserialize_u64 as u64,
+    u16 => serialize_u64 / deserialize_u64 as u64,
+    u32 => serialize_u64 / deserialize_u64 as u64,
+    u64 => serialize_u64 / deserialize_u64 as u64,
+    usize => serialize_u64 / deserialize_u64 as u64,
+    i8 => serialize_i64 / deserialize_i64 as i64,
+    i16 => serialize_i64 / deserialize_i64 as i64,
+    i32 => serialize_i64 / deserialize_i64 as i64,
+    i64 => serialize_i64 / deserialize_i64 as i64,
+    isize => serialize_i64 / deserialize_i64 as i64,
+    f32 => serialize_f64 / deserialize_f64 as f64,
+    f64 => serialize_f64 / deserialize_f64 as f64,
+}
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_bool(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        d.deserialize_bool()
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_str(self)
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        d.deserialize_string()
+    }
+}

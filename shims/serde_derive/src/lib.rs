@@ -1,0 +1,20 @@
+//! No-op derive macros standing in for `serde_derive`.
+//!
+//! The workspace uses `#[derive(Serialize, Deserialize)]` purely as a
+//! statement of intent (config-file shape stability); nothing serializes
+//! through a real data format. These derives therefore expand to nothing,
+//! which keeps the workspace building with no registry access. The handful
+//! of hand-written impls compile against the trait definitions in the
+//! sibling `serde` shim.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/capp_vs_instrumented-3520784e86a74d9f.d: tests/capp_vs_instrumented.rs
+
+/root/repo/target/debug/deps/capp_vs_instrumented-3520784e86a74d9f: tests/capp_vs_instrumented.rs
+
+tests/capp_vs_instrumented.rs:

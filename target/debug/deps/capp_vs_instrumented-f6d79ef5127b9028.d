@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/capp_vs_instrumented-f6d79ef5127b9028.d: tests/capp_vs_instrumented.rs
+
+/root/repo/target/debug/deps/capp_vs_instrumented-f6d79ef5127b9028: tests/capp_vs_instrumented.rs
+
+tests/capp_vs_instrumented.rs:

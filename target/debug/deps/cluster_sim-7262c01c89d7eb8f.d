@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/cluster_sim-7262c01c89d7eb8f.d: crates/cluster-sim/src/lib.rs crates/cluster-sim/src/cpu.rs crates/cluster-sim/src/engine.rs crates/cluster-sim/src/error.rs crates/cluster-sim/src/machine.rs crates/cluster-sim/src/network.rs crates/cluster-sim/src/noise.rs crates/cluster-sim/src/program.rs crates/cluster-sim/src/stats.rs crates/cluster-sim/src/time.rs crates/cluster-sim/src/timeline.rs
+
+/root/repo/target/debug/deps/libcluster_sim-7262c01c89d7eb8f.rlib: crates/cluster-sim/src/lib.rs crates/cluster-sim/src/cpu.rs crates/cluster-sim/src/engine.rs crates/cluster-sim/src/error.rs crates/cluster-sim/src/machine.rs crates/cluster-sim/src/network.rs crates/cluster-sim/src/noise.rs crates/cluster-sim/src/program.rs crates/cluster-sim/src/stats.rs crates/cluster-sim/src/time.rs crates/cluster-sim/src/timeline.rs
+
+/root/repo/target/debug/deps/libcluster_sim-7262c01c89d7eb8f.rmeta: crates/cluster-sim/src/lib.rs crates/cluster-sim/src/cpu.rs crates/cluster-sim/src/engine.rs crates/cluster-sim/src/error.rs crates/cluster-sim/src/machine.rs crates/cluster-sim/src/network.rs crates/cluster-sim/src/noise.rs crates/cluster-sim/src/program.rs crates/cluster-sim/src/stats.rs crates/cluster-sim/src/time.rs crates/cluster-sim/src/timeline.rs
+
+crates/cluster-sim/src/lib.rs:
+crates/cluster-sim/src/cpu.rs:
+crates/cluster-sim/src/engine.rs:
+crates/cluster-sim/src/error.rs:
+crates/cluster-sim/src/machine.rs:
+crates/cluster-sim/src/network.rs:
+crates/cluster-sim/src/noise.rs:
+crates/cluster-sim/src/program.rs:
+crates/cluster-sim/src/stats.rs:
+crates/cluster-sim/src/time.rs:
+crates/cluster-sim/src/timeline.rs:

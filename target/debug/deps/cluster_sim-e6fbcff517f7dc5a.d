@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/cluster_sim-e6fbcff517f7dc5a.d: crates/cluster-sim/src/lib.rs crates/cluster-sim/src/cpu.rs crates/cluster-sim/src/engine.rs crates/cluster-sim/src/error.rs crates/cluster-sim/src/machine.rs crates/cluster-sim/src/network.rs crates/cluster-sim/src/noise.rs crates/cluster-sim/src/program.rs crates/cluster-sim/src/stats.rs crates/cluster-sim/src/time.rs crates/cluster-sim/src/timeline.rs
+
+/root/repo/target/debug/deps/cluster_sim-e6fbcff517f7dc5a: crates/cluster-sim/src/lib.rs crates/cluster-sim/src/cpu.rs crates/cluster-sim/src/engine.rs crates/cluster-sim/src/error.rs crates/cluster-sim/src/machine.rs crates/cluster-sim/src/network.rs crates/cluster-sim/src/noise.rs crates/cluster-sim/src/program.rs crates/cluster-sim/src/stats.rs crates/cluster-sim/src/time.rs crates/cluster-sim/src/timeline.rs
+
+crates/cluster-sim/src/lib.rs:
+crates/cluster-sim/src/cpu.rs:
+crates/cluster-sim/src/engine.rs:
+crates/cluster-sim/src/error.rs:
+crates/cluster-sim/src/machine.rs:
+crates/cluster-sim/src/network.rs:
+crates/cluster-sim/src/noise.rs:
+crates/cluster-sim/src/program.rs:
+crates/cluster-sim/src/stats.rs:
+crates/cluster-sim/src/time.rs:
+crates/cluster-sim/src/timeline.rs:

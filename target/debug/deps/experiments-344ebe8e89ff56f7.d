@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/experiments-344ebe8e89ff56f7.d: crates/experiments/src/lib.rs crates/experiments/src/ablation.rs crates/experiments/src/asci_goals.rs crates/experiments/src/blocking.rs crates/experiments/src/hmcl.rs crates/experiments/src/host_validation.rs crates/experiments/src/related.rs crates/experiments/src/rendezvous.rs crates/experiments/src/report.rs crates/experiments/src/robustness.rs crates/experiments/src/speculation.rs crates/experiments/src/strong_scaling.rs crates/experiments/src/validation.rs crates/experiments/src/wavefront_fig.rs
+
+/root/repo/target/debug/deps/experiments-344ebe8e89ff56f7: crates/experiments/src/lib.rs crates/experiments/src/ablation.rs crates/experiments/src/asci_goals.rs crates/experiments/src/blocking.rs crates/experiments/src/hmcl.rs crates/experiments/src/host_validation.rs crates/experiments/src/related.rs crates/experiments/src/rendezvous.rs crates/experiments/src/report.rs crates/experiments/src/robustness.rs crates/experiments/src/speculation.rs crates/experiments/src/strong_scaling.rs crates/experiments/src/validation.rs crates/experiments/src/wavefront_fig.rs
+
+crates/experiments/src/lib.rs:
+crates/experiments/src/ablation.rs:
+crates/experiments/src/asci_goals.rs:
+crates/experiments/src/blocking.rs:
+crates/experiments/src/hmcl.rs:
+crates/experiments/src/host_validation.rs:
+crates/experiments/src/related.rs:
+crates/experiments/src/rendezvous.rs:
+crates/experiments/src/report.rs:
+crates/experiments/src/robustness.rs:
+crates/experiments/src/speculation.rs:
+crates/experiments/src/strong_scaling.rs:
+crates/experiments/src/validation.rs:
+crates/experiments/src/wavefront_fig.rs:

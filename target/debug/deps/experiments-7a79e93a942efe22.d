@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-7a79e93a942efe22.d: crates/experiments/src/main.rs
+
+/root/repo/target/debug/deps/experiments-7a79e93a942efe22: crates/experiments/src/main.rs
+
+crates/experiments/src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-9264f87e7a4e55bc.d: crates/experiments/src/main.rs
+
+/root/repo/target/debug/deps/experiments-9264f87e7a4e55bc: crates/experiments/src/main.rs
+
+crates/experiments/src/main.rs:

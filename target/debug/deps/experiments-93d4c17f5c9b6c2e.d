@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/experiments-93d4c17f5c9b6c2e.d: crates/experiments/src/lib.rs crates/experiments/src/ablation.rs crates/experiments/src/asci_goals.rs crates/experiments/src/blocking.rs crates/experiments/src/hmcl.rs crates/experiments/src/host_validation.rs crates/experiments/src/related.rs crates/experiments/src/rendezvous.rs crates/experiments/src/report.rs crates/experiments/src/robustness.rs crates/experiments/src/speculation.rs crates/experiments/src/strong_scaling.rs crates/experiments/src/validation.rs crates/experiments/src/wavefront_fig.rs
+
+/root/repo/target/debug/deps/libexperiments-93d4c17f5c9b6c2e.rlib: crates/experiments/src/lib.rs crates/experiments/src/ablation.rs crates/experiments/src/asci_goals.rs crates/experiments/src/blocking.rs crates/experiments/src/hmcl.rs crates/experiments/src/host_validation.rs crates/experiments/src/related.rs crates/experiments/src/rendezvous.rs crates/experiments/src/report.rs crates/experiments/src/robustness.rs crates/experiments/src/speculation.rs crates/experiments/src/strong_scaling.rs crates/experiments/src/validation.rs crates/experiments/src/wavefront_fig.rs
+
+/root/repo/target/debug/deps/libexperiments-93d4c17f5c9b6c2e.rmeta: crates/experiments/src/lib.rs crates/experiments/src/ablation.rs crates/experiments/src/asci_goals.rs crates/experiments/src/blocking.rs crates/experiments/src/hmcl.rs crates/experiments/src/host_validation.rs crates/experiments/src/related.rs crates/experiments/src/rendezvous.rs crates/experiments/src/report.rs crates/experiments/src/robustness.rs crates/experiments/src/speculation.rs crates/experiments/src/strong_scaling.rs crates/experiments/src/validation.rs crates/experiments/src/wavefront_fig.rs
+
+crates/experiments/src/lib.rs:
+crates/experiments/src/ablation.rs:
+crates/experiments/src/asci_goals.rs:
+crates/experiments/src/blocking.rs:
+crates/experiments/src/hmcl.rs:
+crates/experiments/src/host_validation.rs:
+crates/experiments/src/related.rs:
+crates/experiments/src/rendezvous.rs:
+crates/experiments/src/report.rs:
+crates/experiments/src/robustness.rs:
+crates/experiments/src/speculation.rs:
+crates/experiments/src/strong_scaling.rs:
+crates/experiments/src/validation.rs:
+crates/experiments/src/wavefront_fig.rs:

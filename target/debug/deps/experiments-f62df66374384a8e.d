@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-f62df66374384a8e.d: crates/experiments/src/main.rs
+
+/root/repo/target/debug/deps/experiments-f62df66374384a8e: crates/experiments/src/main.rs
+
+crates/experiments/src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fuzz-7366401501248fd2.d: crates/capp/tests/fuzz.rs
+
+/root/repo/target/debug/deps/fuzz-7366401501248fd2: crates/capp/tests/fuzz.rs
+
+crates/capp/tests/fuzz.rs:

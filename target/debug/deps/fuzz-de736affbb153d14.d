@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fuzz-de736affbb153d14.d: crates/psl/tests/fuzz.rs
+
+/root/repo/target/debug/deps/fuzz-de736affbb153d14: crates/psl/tests/fuzz.rs
+
+crates/psl/tests/fuzz.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/golden_tables-3d10c61eba4aefa1.d: tests/golden_tables.rs
+
+/root/repo/target/debug/deps/golden_tables-3d10c61eba4aefa1: tests/golden_tables.rs
+
+tests/golden_tables.rs:

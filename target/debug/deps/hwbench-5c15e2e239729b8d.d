@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/hwbench-5c15e2e239729b8d.d: crates/hwbench/src/lib.rs crates/hwbench/src/bootstrap.rs crates/hwbench/src/fit.rs crates/hwbench/src/host_netbench.rs crates/hwbench/src/machines.rs crates/hwbench/src/netbench.rs crates/hwbench/src/profiler.rs crates/hwbench/src/stats.rs
+
+/root/repo/target/debug/deps/libhwbench-5c15e2e239729b8d.rlib: crates/hwbench/src/lib.rs crates/hwbench/src/bootstrap.rs crates/hwbench/src/fit.rs crates/hwbench/src/host_netbench.rs crates/hwbench/src/machines.rs crates/hwbench/src/netbench.rs crates/hwbench/src/profiler.rs crates/hwbench/src/stats.rs
+
+/root/repo/target/debug/deps/libhwbench-5c15e2e239729b8d.rmeta: crates/hwbench/src/lib.rs crates/hwbench/src/bootstrap.rs crates/hwbench/src/fit.rs crates/hwbench/src/host_netbench.rs crates/hwbench/src/machines.rs crates/hwbench/src/netbench.rs crates/hwbench/src/profiler.rs crates/hwbench/src/stats.rs
+
+crates/hwbench/src/lib.rs:
+crates/hwbench/src/bootstrap.rs:
+crates/hwbench/src/fit.rs:
+crates/hwbench/src/host_netbench.rs:
+crates/hwbench/src/machines.rs:
+crates/hwbench/src/netbench.rs:
+crates/hwbench/src/profiler.rs:
+crates/hwbench/src/stats.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/input_deck-4f2ed4451c28d266.d: tests/input_deck.rs tests/../assets/sweep3d.input
+
+/root/repo/target/debug/deps/input_deck-4f2ed4451c28d266: tests/input_deck.rs tests/../assets/sweep3d.input
+
+tests/input_deck.rs:
+tests/../assets/sweep3d.input:

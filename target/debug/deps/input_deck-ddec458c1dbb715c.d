@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/input_deck-ddec458c1dbb715c.d: tests/input_deck.rs tests/../assets/sweep3d.input
+
+/root/repo/target/debug/deps/input_deck-ddec458c1dbb715c: tests/input_deck.rs tests/../assets/sweep3d.input
+
+tests/input_deck.rs:
+tests/../assets/sweep3d.input:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/pace_bench-b18153d1d3a3807c.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libpace_bench-b18153d1d3a3807c.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libpace_bench-b18153d1d3a3807c.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pace_bench-cfb666a9681fa6be.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/pace_bench-cfb666a9681fa6be: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/pace_bench-fbb62981acdbc963.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libpace_bench-fbb62981acdbc963.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libpace_bench-fbb62981acdbc963.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/pace_capp-541fbaf2a5554344.d: crates/capp/src/lib.rs crates/capp/src/analyze.rs crates/capp/src/assets.rs crates/capp/src/ast.rs crates/capp/src/lexer.rs crates/capp/src/parser.rs crates/capp/src/../assets/sweep_kernel.c
+
+/root/repo/target/debug/deps/libpace_capp-541fbaf2a5554344.rlib: crates/capp/src/lib.rs crates/capp/src/analyze.rs crates/capp/src/assets.rs crates/capp/src/ast.rs crates/capp/src/lexer.rs crates/capp/src/parser.rs crates/capp/src/../assets/sweep_kernel.c
+
+/root/repo/target/debug/deps/libpace_capp-541fbaf2a5554344.rmeta: crates/capp/src/lib.rs crates/capp/src/analyze.rs crates/capp/src/assets.rs crates/capp/src/ast.rs crates/capp/src/lexer.rs crates/capp/src/parser.rs crates/capp/src/../assets/sweep_kernel.c
+
+crates/capp/src/lib.rs:
+crates/capp/src/analyze.rs:
+crates/capp/src/assets.rs:
+crates/capp/src/ast.rs:
+crates/capp/src/lexer.rs:
+crates/capp/src/parser.rs:
+crates/capp/src/../assets/sweep_kernel.c:

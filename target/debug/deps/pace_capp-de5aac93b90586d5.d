@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/pace_capp-de5aac93b90586d5.d: crates/capp/src/lib.rs crates/capp/src/analyze.rs crates/capp/src/assets.rs crates/capp/src/ast.rs crates/capp/src/lexer.rs crates/capp/src/parser.rs crates/capp/src/../assets/sweep_kernel.c
+
+/root/repo/target/debug/deps/pace_capp-de5aac93b90586d5: crates/capp/src/lib.rs crates/capp/src/analyze.rs crates/capp/src/assets.rs crates/capp/src/ast.rs crates/capp/src/lexer.rs crates/capp/src/parser.rs crates/capp/src/../assets/sweep_kernel.c
+
+crates/capp/src/lib.rs:
+crates/capp/src/analyze.rs:
+crates/capp/src/assets.rs:
+crates/capp/src/ast.rs:
+crates/capp/src/lexer.rs:
+crates/capp/src/parser.rs:
+crates/capp/src/../assets/sweep_kernel.c:

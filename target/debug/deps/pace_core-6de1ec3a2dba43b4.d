@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/pace_core-6de1ec3a2dba43b4.d: crates/core/src/lib.rs crates/core/src/clc.rs crates/core/src/comm.rs crates/core/src/engine.rs crates/core/src/hardware.rs crates/core/src/hmcl_script.rs crates/core/src/machines.rs crates/core/src/model.rs crates/core/src/sweep3d_model.rs crates/core/src/templates/mod.rs crates/core/src/templates/collective.rs crates/core/src/templates/pipeline.rs crates/core/src/templates/schedule_oracle.rs
+
+/root/repo/target/debug/deps/libpace_core-6de1ec3a2dba43b4.rlib: crates/core/src/lib.rs crates/core/src/clc.rs crates/core/src/comm.rs crates/core/src/engine.rs crates/core/src/hardware.rs crates/core/src/hmcl_script.rs crates/core/src/machines.rs crates/core/src/model.rs crates/core/src/sweep3d_model.rs crates/core/src/templates/mod.rs crates/core/src/templates/collective.rs crates/core/src/templates/pipeline.rs crates/core/src/templates/schedule_oracle.rs
+
+/root/repo/target/debug/deps/libpace_core-6de1ec3a2dba43b4.rmeta: crates/core/src/lib.rs crates/core/src/clc.rs crates/core/src/comm.rs crates/core/src/engine.rs crates/core/src/hardware.rs crates/core/src/hmcl_script.rs crates/core/src/machines.rs crates/core/src/model.rs crates/core/src/sweep3d_model.rs crates/core/src/templates/mod.rs crates/core/src/templates/collective.rs crates/core/src/templates/pipeline.rs crates/core/src/templates/schedule_oracle.rs
+
+crates/core/src/lib.rs:
+crates/core/src/clc.rs:
+crates/core/src/comm.rs:
+crates/core/src/engine.rs:
+crates/core/src/hardware.rs:
+crates/core/src/hmcl_script.rs:
+crates/core/src/machines.rs:
+crates/core/src/model.rs:
+crates/core/src/sweep3d_model.rs:
+crates/core/src/templates/mod.rs:
+crates/core/src/templates/collective.rs:
+crates/core/src/templates/pipeline.rs:
+crates/core/src/templates/schedule_oracle.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/pace_core-e68201b719bd5132.d: crates/core/src/lib.rs crates/core/src/clc.rs crates/core/src/comm.rs crates/core/src/engine.rs crates/core/src/hardware.rs crates/core/src/hmcl_script.rs crates/core/src/machines.rs crates/core/src/model.rs crates/core/src/sweep3d_model.rs crates/core/src/templates/mod.rs crates/core/src/templates/collective.rs crates/core/src/templates/pipeline.rs crates/core/src/templates/schedule_oracle.rs
+
+/root/repo/target/debug/deps/libpace_core-e68201b719bd5132.rlib: crates/core/src/lib.rs crates/core/src/clc.rs crates/core/src/comm.rs crates/core/src/engine.rs crates/core/src/hardware.rs crates/core/src/hmcl_script.rs crates/core/src/machines.rs crates/core/src/model.rs crates/core/src/sweep3d_model.rs crates/core/src/templates/mod.rs crates/core/src/templates/collective.rs crates/core/src/templates/pipeline.rs crates/core/src/templates/schedule_oracle.rs
+
+/root/repo/target/debug/deps/libpace_core-e68201b719bd5132.rmeta: crates/core/src/lib.rs crates/core/src/clc.rs crates/core/src/comm.rs crates/core/src/engine.rs crates/core/src/hardware.rs crates/core/src/hmcl_script.rs crates/core/src/machines.rs crates/core/src/model.rs crates/core/src/sweep3d_model.rs crates/core/src/templates/mod.rs crates/core/src/templates/collective.rs crates/core/src/templates/pipeline.rs crates/core/src/templates/schedule_oracle.rs
+
+crates/core/src/lib.rs:
+crates/core/src/clc.rs:
+crates/core/src/comm.rs:
+crates/core/src/engine.rs:
+crates/core/src/hardware.rs:
+crates/core/src/hmcl_script.rs:
+crates/core/src/machines.rs:
+crates/core/src/model.rs:
+crates/core/src/sweep3d_model.rs:
+crates/core/src/templates/mod.rs:
+crates/core/src/templates/collective.rs:
+crates/core/src/templates/pipeline.rs:
+crates/core/src/templates/schedule_oracle.rs:

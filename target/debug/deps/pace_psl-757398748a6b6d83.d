@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/pace_psl-757398748a6b6d83.d: crates/psl/src/lib.rs crates/psl/src/assets.rs crates/psl/src/ast.rs crates/psl/src/compile.rs crates/psl/src/eval.rs crates/psl/src/lexer.rs crates/psl/src/parser.rs crates/psl/src/printer.rs crates/psl/src/../assets/sweep3d.psl
+
+/root/repo/target/debug/deps/libpace_psl-757398748a6b6d83.rlib: crates/psl/src/lib.rs crates/psl/src/assets.rs crates/psl/src/ast.rs crates/psl/src/compile.rs crates/psl/src/eval.rs crates/psl/src/lexer.rs crates/psl/src/parser.rs crates/psl/src/printer.rs crates/psl/src/../assets/sweep3d.psl
+
+/root/repo/target/debug/deps/libpace_psl-757398748a6b6d83.rmeta: crates/psl/src/lib.rs crates/psl/src/assets.rs crates/psl/src/ast.rs crates/psl/src/compile.rs crates/psl/src/eval.rs crates/psl/src/lexer.rs crates/psl/src/parser.rs crates/psl/src/printer.rs crates/psl/src/../assets/sweep3d.psl
+
+crates/psl/src/lib.rs:
+crates/psl/src/assets.rs:
+crates/psl/src/ast.rs:
+crates/psl/src/compile.rs:
+crates/psl/src/eval.rs:
+crates/psl/src/lexer.rs:
+crates/psl/src/parser.rs:
+crates/psl/src/printer.rs:
+crates/psl/src/../assets/sweep3d.psl:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/pace_psl-d13b3a75c6dde37c.d: crates/psl/src/lib.rs crates/psl/src/assets.rs crates/psl/src/ast.rs crates/psl/src/compile.rs crates/psl/src/eval.rs crates/psl/src/lexer.rs crates/psl/src/parser.rs crates/psl/src/printer.rs crates/psl/src/../assets/sweep3d.psl
+
+/root/repo/target/debug/deps/pace_psl-d13b3a75c6dde37c: crates/psl/src/lib.rs crates/psl/src/assets.rs crates/psl/src/ast.rs crates/psl/src/compile.rs crates/psl/src/eval.rs crates/psl/src/lexer.rs crates/psl/src/parser.rs crates/psl/src/printer.rs crates/psl/src/../assets/sweep3d.psl
+
+crates/psl/src/lib.rs:
+crates/psl/src/assets.rs:
+crates/psl/src/ast.rs:
+crates/psl/src/compile.rs:
+crates/psl/src/eval.rs:
+crates/psl/src/lexer.rs:
+crates/psl/src/parser.rs:
+crates/psl/src/printer.rs:
+crates/psl/src/../assets/sweep3d.psl:

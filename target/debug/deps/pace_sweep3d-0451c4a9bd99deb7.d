@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pace_sweep3d-0451c4a9bd99deb7.d: src/lib.rs
+
+/root/repo/target/debug/deps/pace_sweep3d-0451c4a9bd99deb7: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/pace_sweep3d-0f8035e25456d150.d: src/lib.rs
+
+/root/repo/target/debug/deps/libpace_sweep3d-0f8035e25456d150.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libpace_sweep3d-0f8035e25456d150.rmeta: src/lib.rs
+
+src/lib.rs:

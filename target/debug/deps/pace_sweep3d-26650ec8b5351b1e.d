@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pace_sweep3d-26650ec8b5351b1e.d: src/lib.rs
+
+/root/repo/target/debug/deps/pace_sweep3d-26650ec8b5351b1e: src/lib.rs
+
+src/lib.rs:

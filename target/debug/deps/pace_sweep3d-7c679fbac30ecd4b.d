@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/pace_sweep3d-7c679fbac30ecd4b.d: src/lib.rs
+
+/root/repo/target/debug/deps/libpace_sweep3d-7c679fbac30ecd4b.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libpace_sweep3d-7c679fbac30ecd4b.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/pace_sweep3d-e33eb29753854f60.d: src/lib.rs
+
+/root/repo/target/debug/deps/libpace_sweep3d-e33eb29753854f60.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libpace_sweep3d-e33eb29753854f60.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel_equivalence-65644e7397da2630.d: tests/parallel_equivalence.rs
+
+/root/repo/target/debug/deps/parallel_equivalence-65644e7397da2630: tests/parallel_equivalence.rs
+
+tests/parallel_equivalence.rs:

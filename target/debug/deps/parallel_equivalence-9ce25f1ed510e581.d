@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel_equivalence-9ce25f1ed510e581.d: tests/parallel_equivalence.rs
+
+/root/repo/target/debug/deps/parallel_equivalence-9ce25f1ed510e581: tests/parallel_equivalence.rs
+
+tests/parallel_equivalence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/property_based-68bf9c20e5fd838e.d: tests/property_based.rs
+
+/root/repo/target/debug/deps/property_based-68bf9c20e5fd838e: tests/property_based.rs
+
+tests/property_based.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/property_based-aebfe95daaa03d19.d: tests/property_based.rs
+
+/root/repo/target/debug/deps/property_based-aebfe95daaa03d19: tests/property_based.rs
+
+tests/property_based.rs:

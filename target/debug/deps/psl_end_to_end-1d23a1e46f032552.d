@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/psl_end_to_end-1d23a1e46f032552.d: tests/psl_end_to_end.rs
+
+/root/repo/target/debug/deps/psl_end_to_end-1d23a1e46f032552: tests/psl_end_to_end.rs
+
+tests/psl_end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/psl_end_to_end-71d0e89861017d9e.d: tests/psl_end_to_end.rs
+
+/root/repo/target/debug/deps/psl_end_to_end-71d0e89861017d9e: tests/psl_end_to_end.rs
+
+tests/psl_end_to_end.rs:

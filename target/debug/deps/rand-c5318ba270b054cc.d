@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-c5318ba270b054cc.d: shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-c5318ba270b054cc.rlib: shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-c5318ba270b054cc.rmeta: shims/rand/src/lib.rs
+
+shims/rand/src/lib.rs:

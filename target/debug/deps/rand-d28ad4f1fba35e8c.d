@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-d28ad4f1fba35e8c.d: shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/rand-d28ad4f1fba35e8c: shims/rand/src/lib.rs
+
+shims/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/replication_concurrency-7f37803e6dffc2b3.d: tests/replication_concurrency.rs
+
+/root/repo/target/debug/deps/replication_concurrency-7f37803e6dffc2b3: tests/replication_concurrency.rs
+
+tests/replication_concurrency.rs:

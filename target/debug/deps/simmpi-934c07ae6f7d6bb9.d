@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/simmpi-934c07ae6f7d6bb9.d: crates/simmpi/src/lib.rs crates/simmpi/src/comm.rs crates/simmpi/src/error.rs crates/simmpi/src/message.rs crates/simmpi/src/request.rs crates/simmpi/src/runtime.rs crates/simmpi/src/topology.rs
+
+/root/repo/target/debug/deps/libsimmpi-934c07ae6f7d6bb9.rlib: crates/simmpi/src/lib.rs crates/simmpi/src/comm.rs crates/simmpi/src/error.rs crates/simmpi/src/message.rs crates/simmpi/src/request.rs crates/simmpi/src/runtime.rs crates/simmpi/src/topology.rs
+
+/root/repo/target/debug/deps/libsimmpi-934c07ae6f7d6bb9.rmeta: crates/simmpi/src/lib.rs crates/simmpi/src/comm.rs crates/simmpi/src/error.rs crates/simmpi/src/message.rs crates/simmpi/src/request.rs crates/simmpi/src/runtime.rs crates/simmpi/src/topology.rs
+
+crates/simmpi/src/lib.rs:
+crates/simmpi/src/comm.rs:
+crates/simmpi/src/error.rs:
+crates/simmpi/src/message.rs:
+crates/simmpi/src/request.rs:
+crates/simmpi/src/runtime.rs:
+crates/simmpi/src/topology.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/substrate_edges-a61eb96214cecc20.d: tests/substrate_edges.rs
+
+/root/repo/target/debug/deps/substrate_edges-a61eb96214cecc20: tests/substrate_edges.rs
+
+tests/substrate_edges.rs:

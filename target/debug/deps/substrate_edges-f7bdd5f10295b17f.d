@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/substrate_edges-f7bdd5f10295b17f.d: tests/substrate_edges.rs
+
+/root/repo/target/debug/deps/substrate_edges-f7bdd5f10295b17f: tests/substrate_edges.rs
+
+tests/substrate_edges.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/sweep3d-7a561bd4d7638ee9.d: crates/sweep3d/src/lib.rs crates/sweep3d/src/config.rs crates/sweep3d/src/flops.rs crates/sweep3d/src/grid.rs crates/sweep3d/src/kernel.rs crates/sweep3d/src/parallel.rs crates/sweep3d/src/quadrature.rs crates/sweep3d/src/serial.rs crates/sweep3d/src/sweep_order.rs crates/sweep3d/src/trace.rs
+
+/root/repo/target/debug/deps/libsweep3d-7a561bd4d7638ee9.rlib: crates/sweep3d/src/lib.rs crates/sweep3d/src/config.rs crates/sweep3d/src/flops.rs crates/sweep3d/src/grid.rs crates/sweep3d/src/kernel.rs crates/sweep3d/src/parallel.rs crates/sweep3d/src/quadrature.rs crates/sweep3d/src/serial.rs crates/sweep3d/src/sweep_order.rs crates/sweep3d/src/trace.rs
+
+/root/repo/target/debug/deps/libsweep3d-7a561bd4d7638ee9.rmeta: crates/sweep3d/src/lib.rs crates/sweep3d/src/config.rs crates/sweep3d/src/flops.rs crates/sweep3d/src/grid.rs crates/sweep3d/src/kernel.rs crates/sweep3d/src/parallel.rs crates/sweep3d/src/quadrature.rs crates/sweep3d/src/serial.rs crates/sweep3d/src/sweep_order.rs crates/sweep3d/src/trace.rs
+
+crates/sweep3d/src/lib.rs:
+crates/sweep3d/src/config.rs:
+crates/sweep3d/src/flops.rs:
+crates/sweep3d/src/grid.rs:
+crates/sweep3d/src/kernel.rs:
+crates/sweep3d/src/parallel.rs:
+crates/sweep3d/src/quadrature.rs:
+crates/sweep3d/src/serial.rs:
+crates/sweep3d/src/sweep_order.rs:
+crates/sweep3d/src/trace.rs:

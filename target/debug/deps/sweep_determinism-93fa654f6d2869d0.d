@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sweep_determinism-93fa654f6d2869d0.d: tests/sweep_determinism.rs
+
+/root/repo/target/debug/deps/sweep_determinism-93fa654f6d2869d0: tests/sweep_determinism.rs
+
+tests/sweep_determinism.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/sweepsvc-3c6450163c5b8bb0.d: crates/sweepsvc/src/lib.rs crates/sweepsvc/src/cache.rs crates/sweepsvc/src/engine.rs crates/sweepsvc/src/pool.rs crates/sweepsvc/src/replicate.rs crates/sweepsvc/src/spec.rs
+
+/root/repo/target/debug/deps/sweepsvc-3c6450163c5b8bb0: crates/sweepsvc/src/lib.rs crates/sweepsvc/src/cache.rs crates/sweepsvc/src/engine.rs crates/sweepsvc/src/pool.rs crates/sweepsvc/src/replicate.rs crates/sweepsvc/src/spec.rs
+
+crates/sweepsvc/src/lib.rs:
+crates/sweepsvc/src/cache.rs:
+crates/sweepsvc/src/engine.rs:
+crates/sweepsvc/src/pool.rs:
+crates/sweepsvc/src/replicate.rs:
+crates/sweepsvc/src/spec.rs:

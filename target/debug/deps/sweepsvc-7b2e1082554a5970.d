@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/sweepsvc-7b2e1082554a5970.d: crates/sweepsvc/src/lib.rs crates/sweepsvc/src/cache.rs crates/sweepsvc/src/engine.rs crates/sweepsvc/src/pool.rs crates/sweepsvc/src/replicate.rs crates/sweepsvc/src/spec.rs
+
+/root/repo/target/debug/deps/libsweepsvc-7b2e1082554a5970.rlib: crates/sweepsvc/src/lib.rs crates/sweepsvc/src/cache.rs crates/sweepsvc/src/engine.rs crates/sweepsvc/src/pool.rs crates/sweepsvc/src/replicate.rs crates/sweepsvc/src/spec.rs
+
+/root/repo/target/debug/deps/libsweepsvc-7b2e1082554a5970.rmeta: crates/sweepsvc/src/lib.rs crates/sweepsvc/src/cache.rs crates/sweepsvc/src/engine.rs crates/sweepsvc/src/pool.rs crates/sweepsvc/src/replicate.rs crates/sweepsvc/src/spec.rs
+
+crates/sweepsvc/src/lib.rs:
+crates/sweepsvc/src/cache.rs:
+crates/sweepsvc/src/engine.rs:
+crates/sweepsvc/src/pool.rs:
+crates/sweepsvc/src/replicate.rs:
+crates/sweepsvc/src/spec.rs:

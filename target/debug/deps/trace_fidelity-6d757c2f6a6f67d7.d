@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trace_fidelity-6d757c2f6a6f67d7.d: tests/trace_fidelity.rs
+
+/root/repo/target/debug/deps/trace_fidelity-6d757c2f6a6f67d7: tests/trace_fidelity.rs
+
+tests/trace_fidelity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trace_fidelity-881c3189de0dd0fc.d: tests/trace_fidelity.rs
+
+/root/repo/target/debug/deps/trace_fidelity-881c3189de0dd0fc: tests/trace_fidelity.rs
+
+tests/trace_fidelity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/validation_bounds-0ce61e3d7cb66b4f.d: tests/validation_bounds.rs
+
+/root/repo/target/debug/deps/validation_bounds-0ce61e3d7cb66b4f: tests/validation_bounds.rs
+
+tests/validation_bounds.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/validation_bounds-56b3b6726ce748ce.d: tests/validation_bounds.rs
+
+/root/repo/target/debug/deps/validation_bounds-56b3b6726ce748ce: tests/validation_bounds.rs
+
+tests/validation_bounds.rs:

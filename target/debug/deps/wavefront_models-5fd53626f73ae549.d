@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/wavefront_models-5fd53626f73ae549.d: crates/models/src/lib.rs crates/models/src/hoisie.rs crates/models/src/loggp.rs
+
+/root/repo/target/debug/deps/libwavefront_models-5fd53626f73ae549.rlib: crates/models/src/lib.rs crates/models/src/hoisie.rs crates/models/src/loggp.rs
+
+/root/repo/target/debug/deps/libwavefront_models-5fd53626f73ae549.rmeta: crates/models/src/lib.rs crates/models/src/hoisie.rs crates/models/src/loggp.rs
+
+crates/models/src/lib.rs:
+crates/models/src/hoisie.rs:
+crates/models/src/loggp.rs:

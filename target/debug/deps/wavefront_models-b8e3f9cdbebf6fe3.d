@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/wavefront_models-b8e3f9cdbebf6fe3.d: crates/models/src/lib.rs crates/models/src/hoisie.rs crates/models/src/loggp.rs
+
+/root/repo/target/debug/deps/libwavefront_models-b8e3f9cdbebf6fe3.rlib: crates/models/src/lib.rs crates/models/src/hoisie.rs crates/models/src/loggp.rs
+
+/root/repo/target/debug/deps/libwavefront_models-b8e3f9cdbebf6fe3.rmeta: crates/models/src/lib.rs crates/models/src/hoisie.rs crates/models/src/loggp.rs
+
+crates/models/src/lib.rs:
+crates/models/src/hoisie.rs:
+crates/models/src/loggp.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/wavefront_models-c40b8994b9d8f3d1.d: crates/models/src/lib.rs crates/models/src/hoisie.rs crates/models/src/loggp.rs
+
+/root/repo/target/debug/deps/wavefront_models-c40b8994b9d8f3d1: crates/models/src/lib.rs crates/models/src/hoisie.rs crates/models/src/loggp.rs
+
+crates/models/src/lib.rs:
+crates/models/src/hoisie.rs:
+crates/models/src/loggp.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_cluster-2032a3755e956f0a.d: examples/custom_cluster.rs
+
+/root/repo/target/debug/examples/custom_cluster-2032a3755e956f0a: examples/custom_cluster.rs
+
+examples/custom_cluster.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_cluster-c6d7de620916fed8.d: examples/custom_cluster.rs
+
+/root/repo/target/debug/examples/custom_cluster-c6d7de620916fed8: examples/custom_cluster.rs
+
+examples/custom_cluster.rs:

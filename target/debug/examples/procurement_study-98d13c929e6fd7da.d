@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/procurement_study-98d13c929e6fd7da.d: examples/procurement_study.rs
+
+/root/repo/target/debug/examples/procurement_study-98d13c929e6fd7da: examples/procurement_study.rs
+
+examples/procurement_study.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/procurement_study-ae3b75a2c5479048.d: examples/procurement_study.rs
+
+/root/repo/target/debug/examples/procurement_study-ae3b75a2c5479048: examples/procurement_study.rs
+
+examples/procurement_study.rs:

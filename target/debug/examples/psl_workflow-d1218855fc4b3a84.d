@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/psl_workflow-d1218855fc4b3a84.d: examples/psl_workflow.rs
+
+/root/repo/target/debug/examples/psl_workflow-d1218855fc4b3a84: examples/psl_workflow.rs
+
+examples/psl_workflow.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/psl_workflow-fd315cfa77af91b6.d: examples/psl_workflow.rs
+
+/root/repo/target/debug/examples/psl_workflow-fd315cfa77af91b6: examples/psl_workflow.rs
+
+examples/psl_workflow.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-ce21951c8f3be242.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-ce21951c8f3be242: examples/quickstart.rs
+
+examples/quickstart.rs:

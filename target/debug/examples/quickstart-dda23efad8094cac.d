@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-dda23efad8094cac.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-dda23efad8094cac: examples/quickstart.rs
+
+examples/quickstart.rs:

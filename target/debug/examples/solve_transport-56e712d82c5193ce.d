@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/solve_transport-56e712d82c5193ce.d: examples/solve_transport.rs
+
+/root/repo/target/debug/examples/solve_transport-56e712d82c5193ce: examples/solve_transport.rs
+
+examples/solve_transport.rs:

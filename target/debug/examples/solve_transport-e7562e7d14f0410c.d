@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/solve_transport-e7562e7d14f0410c.d: examples/solve_transport.rs
+
+/root/repo/target/debug/examples/solve_transport-e7562e7d14f0410c: examples/solve_transport.rs
+
+examples/solve_transport.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/validation_campaign-165ce8d4e5ca2b9d.d: examples/validation_campaign.rs
+
+/root/repo/target/debug/examples/validation_campaign-165ce8d4e5ca2b9d: examples/validation_campaign.rs
+
+examples/validation_campaign.rs:

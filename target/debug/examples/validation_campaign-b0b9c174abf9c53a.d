@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/validation_campaign-b0b9c174abf9c53a.d: examples/validation_campaign.rs
+
+/root/repo/target/debug/examples/validation_campaign-b0b9c174abf9c53a: examples/validation_campaign.rs
+
+examples/validation_campaign.rs:

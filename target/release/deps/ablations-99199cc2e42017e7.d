@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ablations-99199cc2e42017e7.d: crates/bench/benches/ablations.rs Cargo.toml
+
+/root/repo/target/release/deps/libablations-99199cc2e42017e7.rmeta: crates/bench/benches/ablations.rs Cargo.toml
+
+crates/bench/benches/ablations.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bytes-1dcf1118980a1966.d: shims/bytes/src/lib.rs
+
+/root/repo/target/release/deps/bytes-1dcf1118980a1966: shims/bytes/src/lib.rs
+
+shims/bytes/src/lib.rs:

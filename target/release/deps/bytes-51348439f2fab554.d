@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/bytes-51348439f2fab554.d: shims/bytes/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libbytes-51348439f2fab554.rmeta: shims/bytes/src/lib.rs Cargo.toml
+
+shims/bytes/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/bytes-af32d81b7fb4a410.d: shims/bytes/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libbytes-af32d81b7fb4a410.rmeta: shims/bytes/src/lib.rs Cargo.toml
+
+shims/bytes/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/capp_vs_instrumented-2ea4443779f053c5.d: tests/capp_vs_instrumented.rs Cargo.toml
+
+/root/repo/target/release/deps/libcapp_vs_instrumented-2ea4443779f053c5.rmeta: tests/capp_vs_instrumented.rs Cargo.toml
+
+tests/capp_vs_instrumented.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

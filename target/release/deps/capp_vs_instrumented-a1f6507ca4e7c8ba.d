@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/capp_vs_instrumented-a1f6507ca4e7c8ba.d: tests/capp_vs_instrumented.rs
+
+/root/repo/target/release/deps/capp_vs_instrumented-a1f6507ca4e7c8ba: tests/capp_vs_instrumented.rs
+
+tests/capp_vs_instrumented.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/cluster_sim-09018826385312e3.d: crates/cluster-sim/src/lib.rs crates/cluster-sim/src/cpu.rs crates/cluster-sim/src/engine.rs crates/cluster-sim/src/error.rs crates/cluster-sim/src/machine.rs crates/cluster-sim/src/network.rs crates/cluster-sim/src/noise.rs crates/cluster-sim/src/program.rs crates/cluster-sim/src/stats.rs crates/cluster-sim/src/time.rs crates/cluster-sim/src/timeline.rs Cargo.toml
+
+/root/repo/target/release/deps/libcluster_sim-09018826385312e3.rmeta: crates/cluster-sim/src/lib.rs crates/cluster-sim/src/cpu.rs crates/cluster-sim/src/engine.rs crates/cluster-sim/src/error.rs crates/cluster-sim/src/machine.rs crates/cluster-sim/src/network.rs crates/cluster-sim/src/noise.rs crates/cluster-sim/src/program.rs crates/cluster-sim/src/stats.rs crates/cluster-sim/src/time.rs crates/cluster-sim/src/timeline.rs Cargo.toml
+
+crates/cluster-sim/src/lib.rs:
+crates/cluster-sim/src/cpu.rs:
+crates/cluster-sim/src/engine.rs:
+crates/cluster-sim/src/error.rs:
+crates/cluster-sim/src/machine.rs:
+crates/cluster-sim/src/network.rs:
+crates/cluster-sim/src/noise.rs:
+crates/cluster-sim/src/program.rs:
+crates/cluster-sim/src/stats.rs:
+crates/cluster-sim/src/time.rs:
+crates/cluster-sim/src/timeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

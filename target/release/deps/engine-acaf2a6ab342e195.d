@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/engine-acaf2a6ab342e195.d: crates/bench/benches/engine.rs Cargo.toml
+
+/root/repo/target/release/deps/libengine-acaf2a6ab342e195.rmeta: crates/bench/benches/engine.rs Cargo.toml
+
+crates/bench/benches/engine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,22 @@
+/root/repo/target/release/deps/experiments-394d8fdaf3e60145.d: crates/experiments/src/lib.rs crates/experiments/src/ablation.rs crates/experiments/src/asci_goals.rs crates/experiments/src/blocking.rs crates/experiments/src/hmcl.rs crates/experiments/src/host_validation.rs crates/experiments/src/related.rs crates/experiments/src/rendezvous.rs crates/experiments/src/report.rs crates/experiments/src/robustness.rs crates/experiments/src/speculation.rs crates/experiments/src/strong_scaling.rs crates/experiments/src/validation.rs crates/experiments/src/wavefront_fig.rs Cargo.toml
+
+/root/repo/target/release/deps/libexperiments-394d8fdaf3e60145.rmeta: crates/experiments/src/lib.rs crates/experiments/src/ablation.rs crates/experiments/src/asci_goals.rs crates/experiments/src/blocking.rs crates/experiments/src/hmcl.rs crates/experiments/src/host_validation.rs crates/experiments/src/related.rs crates/experiments/src/rendezvous.rs crates/experiments/src/report.rs crates/experiments/src/robustness.rs crates/experiments/src/speculation.rs crates/experiments/src/strong_scaling.rs crates/experiments/src/validation.rs crates/experiments/src/wavefront_fig.rs Cargo.toml
+
+crates/experiments/src/lib.rs:
+crates/experiments/src/ablation.rs:
+crates/experiments/src/asci_goals.rs:
+crates/experiments/src/blocking.rs:
+crates/experiments/src/hmcl.rs:
+crates/experiments/src/host_validation.rs:
+crates/experiments/src/related.rs:
+crates/experiments/src/rendezvous.rs:
+crates/experiments/src/report.rs:
+crates/experiments/src/robustness.rs:
+crates/experiments/src/speculation.rs:
+crates/experiments/src/strong_scaling.rs:
+crates/experiments/src/validation.rs:
+crates/experiments/src/wavefront_fig.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/experiments-502f956e9fcbb53d.d: crates/experiments/src/main.rs
+
+/root/repo/target/release/deps/experiments-502f956e9fcbb53d: crates/experiments/src/main.rs
+
+crates/experiments/src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/experiments-681f0fd0ab77ddc5.d: crates/experiments/src/main.rs
+
+/root/repo/target/release/deps/experiments-681f0fd0ab77ddc5: crates/experiments/src/main.rs
+
+crates/experiments/src/main.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/experiments-7c8be93f54b432c0.d: crates/experiments/src/main.rs Cargo.toml
+
+/root/repo/target/release/deps/libexperiments-7c8be93f54b432c0.rmeta: crates/experiments/src/main.rs Cargo.toml
+
+crates/experiments/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

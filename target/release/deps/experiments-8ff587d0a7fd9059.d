@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/experiments-8ff587d0a7fd9059.d: crates/experiments/src/main.rs Cargo.toml
+
+/root/repo/target/release/deps/libexperiments-8ff587d0a7fd9059.rmeta: crates/experiments/src/main.rs Cargo.toml
+
+crates/experiments/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fuzz-2c66b7403f47d1fb.d: crates/capp/tests/fuzz.rs Cargo.toml
+
+/root/repo/target/release/deps/libfuzz-2c66b7403f47d1fb.rmeta: crates/capp/tests/fuzz.rs Cargo.toml
+
+crates/capp/tests/fuzz.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fuzz-5f210692504815ed.d: crates/capp/tests/fuzz.rs
+
+/root/repo/target/release/deps/fuzz-5f210692504815ed: crates/capp/tests/fuzz.rs
+
+crates/capp/tests/fuzz.rs:

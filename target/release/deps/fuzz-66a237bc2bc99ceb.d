@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fuzz-66a237bc2bc99ceb.d: crates/psl/tests/fuzz.rs
+
+/root/repo/target/release/deps/fuzz-66a237bc2bc99ceb: crates/psl/tests/fuzz.rs
+
+crates/psl/tests/fuzz.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fuzz-90335b00b47259b8.d: crates/psl/tests/fuzz.rs Cargo.toml
+
+/root/repo/target/release/deps/libfuzz-90335b00b47259b8.rmeta: crates/psl/tests/fuzz.rs Cargo.toml
+
+crates/psl/tests/fuzz.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

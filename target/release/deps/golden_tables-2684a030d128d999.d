@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/golden_tables-2684a030d128d999.d: tests/golden_tables.rs Cargo.toml
+
+/root/repo/target/release/deps/libgolden_tables-2684a030d128d999.rmeta: tests/golden_tables.rs Cargo.toml
+
+tests/golden_tables.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

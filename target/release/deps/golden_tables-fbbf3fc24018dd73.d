@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/golden_tables-fbbf3fc24018dd73.d: tests/golden_tables.rs
+
+/root/repo/target/release/deps/golden_tables-fbbf3fc24018dd73: tests/golden_tables.rs
+
+tests/golden_tables.rs:

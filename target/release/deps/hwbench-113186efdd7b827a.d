@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/hwbench-113186efdd7b827a.d: crates/hwbench/src/lib.rs crates/hwbench/src/bootstrap.rs crates/hwbench/src/fit.rs crates/hwbench/src/host_netbench.rs crates/hwbench/src/machines.rs crates/hwbench/src/netbench.rs crates/hwbench/src/profiler.rs crates/hwbench/src/stats.rs
+
+/root/repo/target/release/deps/hwbench-113186efdd7b827a: crates/hwbench/src/lib.rs crates/hwbench/src/bootstrap.rs crates/hwbench/src/fit.rs crates/hwbench/src/host_netbench.rs crates/hwbench/src/machines.rs crates/hwbench/src/netbench.rs crates/hwbench/src/profiler.rs crates/hwbench/src/stats.rs
+
+crates/hwbench/src/lib.rs:
+crates/hwbench/src/bootstrap.rs:
+crates/hwbench/src/fit.rs:
+crates/hwbench/src/host_netbench.rs:
+crates/hwbench/src/machines.rs:
+crates/hwbench/src/netbench.rs:
+crates/hwbench/src/profiler.rs:
+crates/hwbench/src/stats.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/hwbench-2f72626c5a9fd28d.d: crates/hwbench/src/lib.rs crates/hwbench/src/bootstrap.rs crates/hwbench/src/fit.rs crates/hwbench/src/host_netbench.rs crates/hwbench/src/machines.rs crates/hwbench/src/netbench.rs crates/hwbench/src/profiler.rs crates/hwbench/src/stats.rs Cargo.toml
+
+/root/repo/target/release/deps/libhwbench-2f72626c5a9fd28d.rmeta: crates/hwbench/src/lib.rs crates/hwbench/src/bootstrap.rs crates/hwbench/src/fit.rs crates/hwbench/src/host_netbench.rs crates/hwbench/src/machines.rs crates/hwbench/src/netbench.rs crates/hwbench/src/profiler.rs crates/hwbench/src/stats.rs Cargo.toml
+
+crates/hwbench/src/lib.rs:
+crates/hwbench/src/bootstrap.rs:
+crates/hwbench/src/fit.rs:
+crates/hwbench/src/host_netbench.rs:
+crates/hwbench/src/machines.rs:
+crates/hwbench/src/netbench.rs:
+crates/hwbench/src/profiler.rs:
+crates/hwbench/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

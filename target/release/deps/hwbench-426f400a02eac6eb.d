@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/hwbench-426f400a02eac6eb.d: crates/hwbench/src/lib.rs crates/hwbench/src/bootstrap.rs crates/hwbench/src/fit.rs crates/hwbench/src/host_netbench.rs crates/hwbench/src/machines.rs crates/hwbench/src/netbench.rs crates/hwbench/src/profiler.rs crates/hwbench/src/stats.rs
+
+/root/repo/target/release/deps/libhwbench-426f400a02eac6eb.rlib: crates/hwbench/src/lib.rs crates/hwbench/src/bootstrap.rs crates/hwbench/src/fit.rs crates/hwbench/src/host_netbench.rs crates/hwbench/src/machines.rs crates/hwbench/src/netbench.rs crates/hwbench/src/profiler.rs crates/hwbench/src/stats.rs
+
+/root/repo/target/release/deps/libhwbench-426f400a02eac6eb.rmeta: crates/hwbench/src/lib.rs crates/hwbench/src/bootstrap.rs crates/hwbench/src/fit.rs crates/hwbench/src/host_netbench.rs crates/hwbench/src/machines.rs crates/hwbench/src/netbench.rs crates/hwbench/src/profiler.rs crates/hwbench/src/stats.rs
+
+crates/hwbench/src/lib.rs:
+crates/hwbench/src/bootstrap.rs:
+crates/hwbench/src/fit.rs:
+crates/hwbench/src/host_netbench.rs:
+crates/hwbench/src/machines.rs:
+crates/hwbench/src/netbench.rs:
+crates/hwbench/src/profiler.rs:
+crates/hwbench/src/stats.rs:

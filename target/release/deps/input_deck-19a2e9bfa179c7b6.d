@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/input_deck-19a2e9bfa179c7b6.d: tests/input_deck.rs tests/../assets/sweep3d.input Cargo.toml
+
+/root/repo/target/release/deps/libinput_deck-19a2e9bfa179c7b6.rmeta: tests/input_deck.rs tests/../assets/sweep3d.input Cargo.toml
+
+tests/input_deck.rs:
+tests/../assets/sweep3d.input:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/input_deck-2789f0c3ae430a37.d: tests/input_deck.rs tests/../assets/sweep3d.input
+
+/root/repo/target/release/deps/input_deck-2789f0c3ae430a37: tests/input_deck.rs tests/../assets/sweep3d.input
+
+tests/input_deck.rs:
+tests/../assets/sweep3d.input:

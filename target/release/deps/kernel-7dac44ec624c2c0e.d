@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/kernel-7dac44ec624c2c0e.d: crates/bench/benches/kernel.rs Cargo.toml
+
+/root/repo/target/release/deps/libkernel-7dac44ec624c2c0e.rmeta: crates/bench/benches/kernel.rs Cargo.toml
+
+crates/bench/benches/kernel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/pace_bench-1de4fc6f2dcf32f1.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libpace_bench-1de4fc6f2dcf32f1.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pace_bench-48cd9b40961ad386.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/pace_bench-48cd9b40961ad386: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/pace_bench-e51965af6ff5d15f.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libpace_bench-e51965af6ff5d15f.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libpace_bench-e51965af6ff5d15f.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/pace_capp-69a58d632a3c7fb8.d: crates/capp/src/lib.rs crates/capp/src/analyze.rs crates/capp/src/assets.rs crates/capp/src/ast.rs crates/capp/src/lexer.rs crates/capp/src/parser.rs crates/capp/src/../assets/sweep_kernel.c
+
+/root/repo/target/release/deps/libpace_capp-69a58d632a3c7fb8.rlib: crates/capp/src/lib.rs crates/capp/src/analyze.rs crates/capp/src/assets.rs crates/capp/src/ast.rs crates/capp/src/lexer.rs crates/capp/src/parser.rs crates/capp/src/../assets/sweep_kernel.c
+
+/root/repo/target/release/deps/libpace_capp-69a58d632a3c7fb8.rmeta: crates/capp/src/lib.rs crates/capp/src/analyze.rs crates/capp/src/assets.rs crates/capp/src/ast.rs crates/capp/src/lexer.rs crates/capp/src/parser.rs crates/capp/src/../assets/sweep_kernel.c
+
+crates/capp/src/lib.rs:
+crates/capp/src/analyze.rs:
+crates/capp/src/assets.rs:
+crates/capp/src/ast.rs:
+crates/capp/src/lexer.rs:
+crates/capp/src/parser.rs:
+crates/capp/src/../assets/sweep_kernel.c:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/pace_capp-b8853c5d3e92d6f2.d: crates/capp/src/lib.rs crates/capp/src/analyze.rs crates/capp/src/assets.rs crates/capp/src/ast.rs crates/capp/src/lexer.rs crates/capp/src/parser.rs crates/capp/src/../assets/sweep_kernel.c Cargo.toml
+
+/root/repo/target/release/deps/libpace_capp-b8853c5d3e92d6f2.rmeta: crates/capp/src/lib.rs crates/capp/src/analyze.rs crates/capp/src/assets.rs crates/capp/src/ast.rs crates/capp/src/lexer.rs crates/capp/src/parser.rs crates/capp/src/../assets/sweep_kernel.c Cargo.toml
+
+crates/capp/src/lib.rs:
+crates/capp/src/analyze.rs:
+crates/capp/src/assets.rs:
+crates/capp/src/ast.rs:
+crates/capp/src/lexer.rs:
+crates/capp/src/parser.rs:
+crates/capp/src/../assets/sweep_kernel.c:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

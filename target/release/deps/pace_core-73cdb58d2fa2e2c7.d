@@ -1,0 +1,21 @@
+/root/repo/target/release/deps/pace_core-73cdb58d2fa2e2c7.d: crates/core/src/lib.rs crates/core/src/clc.rs crates/core/src/comm.rs crates/core/src/engine.rs crates/core/src/hardware.rs crates/core/src/hmcl_script.rs crates/core/src/machines.rs crates/core/src/model.rs crates/core/src/sweep3d_model.rs crates/core/src/templates/mod.rs crates/core/src/templates/collective.rs crates/core/src/templates/pipeline.rs crates/core/src/templates/schedule_oracle.rs Cargo.toml
+
+/root/repo/target/release/deps/libpace_core-73cdb58d2fa2e2c7.rmeta: crates/core/src/lib.rs crates/core/src/clc.rs crates/core/src/comm.rs crates/core/src/engine.rs crates/core/src/hardware.rs crates/core/src/hmcl_script.rs crates/core/src/machines.rs crates/core/src/model.rs crates/core/src/sweep3d_model.rs crates/core/src/templates/mod.rs crates/core/src/templates/collective.rs crates/core/src/templates/pipeline.rs crates/core/src/templates/schedule_oracle.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/clc.rs:
+crates/core/src/comm.rs:
+crates/core/src/engine.rs:
+crates/core/src/hardware.rs:
+crates/core/src/hmcl_script.rs:
+crates/core/src/machines.rs:
+crates/core/src/model.rs:
+crates/core/src/sweep3d_model.rs:
+crates/core/src/templates/mod.rs:
+crates/core/src/templates/collective.rs:
+crates/core/src/templates/pipeline.rs:
+crates/core/src/templates/schedule_oracle.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/pace_core-f273cd602fce55c4.d: crates/core/src/lib.rs crates/core/src/clc.rs crates/core/src/comm.rs crates/core/src/engine.rs crates/core/src/hardware.rs crates/core/src/hmcl_script.rs crates/core/src/machines.rs crates/core/src/model.rs crates/core/src/sweep3d_model.rs crates/core/src/templates/mod.rs crates/core/src/templates/collective.rs crates/core/src/templates/pipeline.rs crates/core/src/templates/schedule_oracle.rs
+
+/root/repo/target/release/deps/pace_core-f273cd602fce55c4: crates/core/src/lib.rs crates/core/src/clc.rs crates/core/src/comm.rs crates/core/src/engine.rs crates/core/src/hardware.rs crates/core/src/hmcl_script.rs crates/core/src/machines.rs crates/core/src/model.rs crates/core/src/sweep3d_model.rs crates/core/src/templates/mod.rs crates/core/src/templates/collective.rs crates/core/src/templates/pipeline.rs crates/core/src/templates/schedule_oracle.rs
+
+crates/core/src/lib.rs:
+crates/core/src/clc.rs:
+crates/core/src/comm.rs:
+crates/core/src/engine.rs:
+crates/core/src/hardware.rs:
+crates/core/src/hmcl_script.rs:
+crates/core/src/machines.rs:
+crates/core/src/model.rs:
+crates/core/src/sweep3d_model.rs:
+crates/core/src/templates/mod.rs:
+crates/core/src/templates/collective.rs:
+crates/core/src/templates/pipeline.rs:
+crates/core/src/templates/schedule_oracle.rs:

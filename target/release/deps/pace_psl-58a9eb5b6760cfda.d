@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/pace_psl-58a9eb5b6760cfda.d: crates/psl/src/lib.rs crates/psl/src/assets.rs crates/psl/src/ast.rs crates/psl/src/compile.rs crates/psl/src/eval.rs crates/psl/src/lexer.rs crates/psl/src/parser.rs crates/psl/src/printer.rs crates/psl/src/../assets/sweep3d.psl Cargo.toml
+
+/root/repo/target/release/deps/libpace_psl-58a9eb5b6760cfda.rmeta: crates/psl/src/lib.rs crates/psl/src/assets.rs crates/psl/src/ast.rs crates/psl/src/compile.rs crates/psl/src/eval.rs crates/psl/src/lexer.rs crates/psl/src/parser.rs crates/psl/src/printer.rs crates/psl/src/../assets/sweep3d.psl Cargo.toml
+
+crates/psl/src/lib.rs:
+crates/psl/src/assets.rs:
+crates/psl/src/ast.rs:
+crates/psl/src/compile.rs:
+crates/psl/src/eval.rs:
+crates/psl/src/lexer.rs:
+crates/psl/src/parser.rs:
+crates/psl/src/printer.rs:
+crates/psl/src/../assets/sweep3d.psl:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

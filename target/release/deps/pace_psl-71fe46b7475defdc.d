@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/pace_psl-71fe46b7475defdc.d: crates/psl/src/lib.rs crates/psl/src/assets.rs crates/psl/src/ast.rs crates/psl/src/compile.rs crates/psl/src/eval.rs crates/psl/src/lexer.rs crates/psl/src/parser.rs crates/psl/src/printer.rs crates/psl/src/../assets/sweep3d.psl
+
+/root/repo/target/release/deps/libpace_psl-71fe46b7475defdc.rlib: crates/psl/src/lib.rs crates/psl/src/assets.rs crates/psl/src/ast.rs crates/psl/src/compile.rs crates/psl/src/eval.rs crates/psl/src/lexer.rs crates/psl/src/parser.rs crates/psl/src/printer.rs crates/psl/src/../assets/sweep3d.psl
+
+/root/repo/target/release/deps/libpace_psl-71fe46b7475defdc.rmeta: crates/psl/src/lib.rs crates/psl/src/assets.rs crates/psl/src/ast.rs crates/psl/src/compile.rs crates/psl/src/eval.rs crates/psl/src/lexer.rs crates/psl/src/parser.rs crates/psl/src/printer.rs crates/psl/src/../assets/sweep3d.psl
+
+crates/psl/src/lib.rs:
+crates/psl/src/assets.rs:
+crates/psl/src/ast.rs:
+crates/psl/src/compile.rs:
+crates/psl/src/eval.rs:
+crates/psl/src/lexer.rs:
+crates/psl/src/parser.rs:
+crates/psl/src/printer.rs:
+crates/psl/src/../assets/sweep3d.psl:

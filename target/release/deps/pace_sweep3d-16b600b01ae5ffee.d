@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pace_sweep3d-16b600b01ae5ffee.d: src/lib.rs
+
+/root/repo/target/release/deps/pace_sweep3d-16b600b01ae5ffee: src/lib.rs
+
+src/lib.rs:

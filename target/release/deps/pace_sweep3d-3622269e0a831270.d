@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/pace_sweep3d-3622269e0a831270.d: src/lib.rs
+
+/root/repo/target/release/deps/libpace_sweep3d-3622269e0a831270.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libpace_sweep3d-3622269e0a831270.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/pace_sweep3d-98f8bae1e92c5235.d: src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libpace_sweep3d-98f8bae1e92c5235.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

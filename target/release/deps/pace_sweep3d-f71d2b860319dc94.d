@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/pace_sweep3d-f71d2b860319dc94.d: src/lib.rs
+
+/root/repo/target/release/deps/libpace_sweep3d-f71d2b860319dc94.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libpace_sweep3d-f71d2b860319dc94.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/parallel_equivalence-5a0c7334e2c5917d.d: tests/parallel_equivalence.rs
+
+/root/repo/target/release/deps/parallel_equivalence-5a0c7334e2c5917d: tests/parallel_equivalence.rs
+
+tests/parallel_equivalence.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/parallel_equivalence-dd61dce81f63e051.d: tests/parallel_equivalence.rs Cargo.toml
+
+/root/repo/target/release/deps/libparallel_equivalence-dd61dce81f63e051.rmeta: tests/parallel_equivalence.rs Cargo.toml
+
+tests/parallel_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

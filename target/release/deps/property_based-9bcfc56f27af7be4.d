@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/property_based-9bcfc56f27af7be4.d: tests/property_based.rs Cargo.toml
+
+/root/repo/target/release/deps/libproperty_based-9bcfc56f27af7be4.rmeta: tests/property_based.rs Cargo.toml
+
+tests/property_based.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/property_based-dcb3fdd7fc2e3995.d: tests/property_based.rs
+
+/root/repo/target/release/deps/property_based-dcb3fdd7fc2e3995: tests/property_based.rs
+
+tests/property_based.rs:

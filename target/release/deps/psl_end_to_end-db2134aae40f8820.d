@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/psl_end_to_end-db2134aae40f8820.d: tests/psl_end_to_end.rs
+
+/root/repo/target/release/deps/psl_end_to_end-db2134aae40f8820: tests/psl_end_to_end.rs
+
+tests/psl_end_to_end.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/psl_end_to_end-f25d2f8d853f6fb1.d: tests/psl_end_to_end.rs Cargo.toml
+
+/root/repo/target/release/deps/libpsl_end_to_end-f25d2f8d853f6fb1.rmeta: tests/psl_end_to_end.rs Cargo.toml
+
+tests/psl_end_to_end.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

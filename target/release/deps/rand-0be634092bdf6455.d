@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/rand-0be634092bdf6455.d: shims/rand/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/librand-0be634092bdf6455.rmeta: shims/rand/src/lib.rs Cargo.toml
+
+shims/rand/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

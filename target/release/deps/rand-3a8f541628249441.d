@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rand-3a8f541628249441.d: shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/rand-3a8f541628249441: shims/rand/src/lib.rs
+
+shims/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-7f6b5fb9444a0575.d: shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-7f6b5fb9444a0575.rlib: shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-7f6b5fb9444a0575.rmeta: shims/rand/src/lib.rs
+
+shims/rand/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/rand-c9b3cc51f4a4afb0.d: shims/rand/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/librand-c9b3cc51f4a4afb0.rmeta: shims/rand/src/lib.rs Cargo.toml
+
+shims/rand/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/replication_concurrency-87b95007b4959b8a.d: tests/replication_concurrency.rs Cargo.toml
+
+/root/repo/target/release/deps/libreplication_concurrency-87b95007b4959b8a.rmeta: tests/replication_concurrency.rs Cargo.toml
+
+tests/replication_concurrency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/replication_concurrency-ff37ce71db4a6216.d: tests/replication_concurrency.rs
+
+/root/repo/target/release/deps/replication_concurrency-ff37ce71db4a6216: tests/replication_concurrency.rs
+
+tests/replication_concurrency.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/serde-0f0038943698d0df.d: shims/serde/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libserde-0f0038943698d0df.rmeta: shims/serde/src/lib.rs Cargo.toml
+
+shims/serde/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/serde-454dcea6329e8a03.d: shims/serde/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libserde-454dcea6329e8a03.rmeta: shims/serde/src/lib.rs Cargo.toml
+
+shims/serde/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

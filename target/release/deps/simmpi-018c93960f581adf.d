@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/simmpi-018c93960f581adf.d: crates/simmpi/src/lib.rs crates/simmpi/src/comm.rs crates/simmpi/src/error.rs crates/simmpi/src/message.rs crates/simmpi/src/request.rs crates/simmpi/src/runtime.rs crates/simmpi/src/topology.rs Cargo.toml
+
+/root/repo/target/release/deps/libsimmpi-018c93960f581adf.rmeta: crates/simmpi/src/lib.rs crates/simmpi/src/comm.rs crates/simmpi/src/error.rs crates/simmpi/src/message.rs crates/simmpi/src/request.rs crates/simmpi/src/runtime.rs crates/simmpi/src/topology.rs Cargo.toml
+
+crates/simmpi/src/lib.rs:
+crates/simmpi/src/comm.rs:
+crates/simmpi/src/error.rs:
+crates/simmpi/src/message.rs:
+crates/simmpi/src/request.rs:
+crates/simmpi/src/runtime.rs:
+crates/simmpi/src/topology.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/simmpi-2667bc26d79048d8.d: crates/simmpi/src/lib.rs crates/simmpi/src/comm.rs crates/simmpi/src/error.rs crates/simmpi/src/message.rs crates/simmpi/src/request.rs crates/simmpi/src/runtime.rs crates/simmpi/src/topology.rs
+
+/root/repo/target/release/deps/simmpi-2667bc26d79048d8: crates/simmpi/src/lib.rs crates/simmpi/src/comm.rs crates/simmpi/src/error.rs crates/simmpi/src/message.rs crates/simmpi/src/request.rs crates/simmpi/src/runtime.rs crates/simmpi/src/topology.rs
+
+crates/simmpi/src/lib.rs:
+crates/simmpi/src/comm.rs:
+crates/simmpi/src/error.rs:
+crates/simmpi/src/message.rs:
+crates/simmpi/src/request.rs:
+crates/simmpi/src/runtime.rs:
+crates/simmpi/src/topology.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/simmpi-bac8c5a7d988da1e.d: crates/simmpi/src/lib.rs crates/simmpi/src/comm.rs crates/simmpi/src/error.rs crates/simmpi/src/message.rs crates/simmpi/src/request.rs crates/simmpi/src/runtime.rs crates/simmpi/src/topology.rs
+
+/root/repo/target/release/deps/libsimmpi-bac8c5a7d988da1e.rlib: crates/simmpi/src/lib.rs crates/simmpi/src/comm.rs crates/simmpi/src/error.rs crates/simmpi/src/message.rs crates/simmpi/src/request.rs crates/simmpi/src/runtime.rs crates/simmpi/src/topology.rs
+
+/root/repo/target/release/deps/libsimmpi-bac8c5a7d988da1e.rmeta: crates/simmpi/src/lib.rs crates/simmpi/src/comm.rs crates/simmpi/src/error.rs crates/simmpi/src/message.rs crates/simmpi/src/request.rs crates/simmpi/src/runtime.rs crates/simmpi/src/topology.rs
+
+crates/simmpi/src/lib.rs:
+crates/simmpi/src/comm.rs:
+crates/simmpi/src/error.rs:
+crates/simmpi/src/message.rs:
+crates/simmpi/src/request.rs:
+crates/simmpi/src/runtime.rs:
+crates/simmpi/src/topology.rs:

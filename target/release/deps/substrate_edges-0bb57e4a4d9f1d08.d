@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/substrate_edges-0bb57e4a4d9f1d08.d: tests/substrate_edges.rs
+
+/root/repo/target/release/deps/substrate_edges-0bb57e4a4d9f1d08: tests/substrate_edges.rs
+
+tests/substrate_edges.rs:

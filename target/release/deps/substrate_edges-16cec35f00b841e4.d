@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/substrate_edges-16cec35f00b841e4.d: tests/substrate_edges.rs Cargo.toml
+
+/root/repo/target/release/deps/libsubstrate_edges-16cec35f00b841e4.rmeta: tests/substrate_edges.rs Cargo.toml
+
+tests/substrate_edges.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

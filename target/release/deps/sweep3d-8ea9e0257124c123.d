@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/sweep3d-8ea9e0257124c123.d: crates/sweep3d/src/lib.rs crates/sweep3d/src/config.rs crates/sweep3d/src/flops.rs crates/sweep3d/src/grid.rs crates/sweep3d/src/kernel.rs crates/sweep3d/src/parallel.rs crates/sweep3d/src/quadrature.rs crates/sweep3d/src/serial.rs crates/sweep3d/src/sweep_order.rs crates/sweep3d/src/trace.rs
+
+/root/repo/target/release/deps/sweep3d-8ea9e0257124c123: crates/sweep3d/src/lib.rs crates/sweep3d/src/config.rs crates/sweep3d/src/flops.rs crates/sweep3d/src/grid.rs crates/sweep3d/src/kernel.rs crates/sweep3d/src/parallel.rs crates/sweep3d/src/quadrature.rs crates/sweep3d/src/serial.rs crates/sweep3d/src/sweep_order.rs crates/sweep3d/src/trace.rs
+
+crates/sweep3d/src/lib.rs:
+crates/sweep3d/src/config.rs:
+crates/sweep3d/src/flops.rs:
+crates/sweep3d/src/grid.rs:
+crates/sweep3d/src/kernel.rs:
+crates/sweep3d/src/parallel.rs:
+crates/sweep3d/src/quadrature.rs:
+crates/sweep3d/src/serial.rs:
+crates/sweep3d/src/sweep_order.rs:
+crates/sweep3d/src/trace.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/sweep3d-97532580200497a5.d: crates/sweep3d/src/lib.rs crates/sweep3d/src/config.rs crates/sweep3d/src/flops.rs crates/sweep3d/src/grid.rs crates/sweep3d/src/kernel.rs crates/sweep3d/src/parallel.rs crates/sweep3d/src/quadrature.rs crates/sweep3d/src/serial.rs crates/sweep3d/src/sweep_order.rs crates/sweep3d/src/trace.rs Cargo.toml
+
+/root/repo/target/release/deps/libsweep3d-97532580200497a5.rmeta: crates/sweep3d/src/lib.rs crates/sweep3d/src/config.rs crates/sweep3d/src/flops.rs crates/sweep3d/src/grid.rs crates/sweep3d/src/kernel.rs crates/sweep3d/src/parallel.rs crates/sweep3d/src/quadrature.rs crates/sweep3d/src/serial.rs crates/sweep3d/src/sweep_order.rs crates/sweep3d/src/trace.rs Cargo.toml
+
+crates/sweep3d/src/lib.rs:
+crates/sweep3d/src/config.rs:
+crates/sweep3d/src/flops.rs:
+crates/sweep3d/src/grid.rs:
+crates/sweep3d/src/kernel.rs:
+crates/sweep3d/src/parallel.rs:
+crates/sweep3d/src/quadrature.rs:
+crates/sweep3d/src/serial.rs:
+crates/sweep3d/src/sweep_order.rs:
+crates/sweep3d/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/sweep_determinism-64ebf11cf629b2be.d: tests/sweep_determinism.rs Cargo.toml
+
+/root/repo/target/release/deps/libsweep_determinism-64ebf11cf629b2be.rmeta: tests/sweep_determinism.rs Cargo.toml
+
+tests/sweep_determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

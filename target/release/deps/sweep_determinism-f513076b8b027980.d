@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sweep_determinism-f513076b8b027980.d: tests/sweep_determinism.rs
+
+/root/repo/target/release/deps/sweep_determinism-f513076b8b027980: tests/sweep_determinism.rs
+
+tests/sweep_determinism.rs:

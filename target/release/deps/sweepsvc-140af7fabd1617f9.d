@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/sweepsvc-140af7fabd1617f9.d: crates/sweepsvc/src/lib.rs crates/sweepsvc/src/cache.rs crates/sweepsvc/src/engine.rs crates/sweepsvc/src/pool.rs crates/sweepsvc/src/replicate.rs crates/sweepsvc/src/spec.rs
+
+/root/repo/target/release/deps/libsweepsvc-140af7fabd1617f9.rlib: crates/sweepsvc/src/lib.rs crates/sweepsvc/src/cache.rs crates/sweepsvc/src/engine.rs crates/sweepsvc/src/pool.rs crates/sweepsvc/src/replicate.rs crates/sweepsvc/src/spec.rs
+
+/root/repo/target/release/deps/libsweepsvc-140af7fabd1617f9.rmeta: crates/sweepsvc/src/lib.rs crates/sweepsvc/src/cache.rs crates/sweepsvc/src/engine.rs crates/sweepsvc/src/pool.rs crates/sweepsvc/src/replicate.rs crates/sweepsvc/src/spec.rs
+
+crates/sweepsvc/src/lib.rs:
+crates/sweepsvc/src/cache.rs:
+crates/sweepsvc/src/engine.rs:
+crates/sweepsvc/src/pool.rs:
+crates/sweepsvc/src/replicate.rs:
+crates/sweepsvc/src/spec.rs:

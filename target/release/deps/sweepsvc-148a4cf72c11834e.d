@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/sweepsvc-148a4cf72c11834e.d: crates/sweepsvc/src/lib.rs crates/sweepsvc/src/cache.rs crates/sweepsvc/src/engine.rs crates/sweepsvc/src/pool.rs crates/sweepsvc/src/replicate.rs crates/sweepsvc/src/spec.rs Cargo.toml
+
+/root/repo/target/release/deps/libsweepsvc-148a4cf72c11834e.rmeta: crates/sweepsvc/src/lib.rs crates/sweepsvc/src/cache.rs crates/sweepsvc/src/engine.rs crates/sweepsvc/src/pool.rs crates/sweepsvc/src/replicate.rs crates/sweepsvc/src/spec.rs Cargo.toml
+
+crates/sweepsvc/src/lib.rs:
+crates/sweepsvc/src/cache.rs:
+crates/sweepsvc/src/engine.rs:
+crates/sweepsvc/src/pool.rs:
+crates/sweepsvc/src/replicate.rs:
+crates/sweepsvc/src/spec.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

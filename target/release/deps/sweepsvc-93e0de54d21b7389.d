@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/sweepsvc-93e0de54d21b7389.d: crates/sweepsvc/src/lib.rs crates/sweepsvc/src/cache.rs crates/sweepsvc/src/engine.rs crates/sweepsvc/src/pool.rs crates/sweepsvc/src/replicate.rs crates/sweepsvc/src/spec.rs Cargo.toml
+
+/root/repo/target/release/deps/libsweepsvc-93e0de54d21b7389.rmeta: crates/sweepsvc/src/lib.rs crates/sweepsvc/src/cache.rs crates/sweepsvc/src/engine.rs crates/sweepsvc/src/pool.rs crates/sweepsvc/src/replicate.rs crates/sweepsvc/src/spec.rs Cargo.toml
+
+crates/sweepsvc/src/lib.rs:
+crates/sweepsvc/src/cache.rs:
+crates/sweepsvc/src/engine.rs:
+crates/sweepsvc/src/pool.rs:
+crates/sweepsvc/src/replicate.rs:
+crates/sweepsvc/src/spec.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

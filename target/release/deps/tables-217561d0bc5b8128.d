@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/tables-217561d0bc5b8128.d: crates/bench/benches/tables.rs Cargo.toml
+
+/root/repo/target/release/deps/libtables-217561d0bc5b8128.rmeta: crates/bench/benches/tables.rs Cargo.toml
+
+crates/bench/benches/tables.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

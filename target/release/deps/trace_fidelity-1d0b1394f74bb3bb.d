@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/trace_fidelity-1d0b1394f74bb3bb.d: tests/trace_fidelity.rs Cargo.toml
+
+/root/repo/target/release/deps/libtrace_fidelity-1d0b1394f74bb3bb.rmeta: tests/trace_fidelity.rs Cargo.toml
+
+tests/trace_fidelity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

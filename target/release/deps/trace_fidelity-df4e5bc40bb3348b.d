@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/trace_fidelity-df4e5bc40bb3348b.d: tests/trace_fidelity.rs
+
+/root/repo/target/release/deps/trace_fidelity-df4e5bc40bb3348b: tests/trace_fidelity.rs
+
+tests/trace_fidelity.rs:

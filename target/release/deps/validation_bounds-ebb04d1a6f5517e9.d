@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/validation_bounds-ebb04d1a6f5517e9.d: tests/validation_bounds.rs Cargo.toml
+
+/root/repo/target/release/deps/libvalidation_bounds-ebb04d1a6f5517e9.rmeta: tests/validation_bounds.rs Cargo.toml
+
+tests/validation_bounds.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/validation_bounds-f6e493edcce8a70b.d: tests/validation_bounds.rs
+
+/root/repo/target/release/deps/validation_bounds-f6e493edcce8a70b: tests/validation_bounds.rs
+
+tests/validation_bounds.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/wavefront_models-07ea5b57c4191c6b.d: crates/models/src/lib.rs crates/models/src/hoisie.rs crates/models/src/loggp.rs Cargo.toml
+
+/root/repo/target/release/deps/libwavefront_models-07ea5b57c4191c6b.rmeta: crates/models/src/lib.rs crates/models/src/hoisie.rs crates/models/src/loggp.rs Cargo.toml
+
+crates/models/src/lib.rs:
+crates/models/src/hoisie.rs:
+crates/models/src/loggp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

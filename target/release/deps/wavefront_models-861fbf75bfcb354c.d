@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/wavefront_models-861fbf75bfcb354c.d: crates/models/src/lib.rs crates/models/src/hoisie.rs crates/models/src/loggp.rs
+
+/root/repo/target/release/deps/libwavefront_models-861fbf75bfcb354c.rlib: crates/models/src/lib.rs crates/models/src/hoisie.rs crates/models/src/loggp.rs
+
+/root/repo/target/release/deps/libwavefront_models-861fbf75bfcb354c.rmeta: crates/models/src/lib.rs crates/models/src/hoisie.rs crates/models/src/loggp.rs
+
+crates/models/src/lib.rs:
+crates/models/src/hoisie.rs:
+crates/models/src/loggp.rs:

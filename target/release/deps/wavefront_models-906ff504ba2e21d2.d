@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/wavefront_models-906ff504ba2e21d2.d: crates/models/src/lib.rs crates/models/src/hoisie.rs crates/models/src/loggp.rs Cargo.toml
+
+/root/repo/target/release/deps/libwavefront_models-906ff504ba2e21d2.rmeta: crates/models/src/lib.rs crates/models/src/hoisie.rs crates/models/src/loggp.rs Cargo.toml
+
+crates/models/src/lib.rs:
+crates/models/src/hoisie.rs:
+crates/models/src/loggp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/wavefront_models-c2805e63a795d771.d: crates/models/src/lib.rs crates/models/src/hoisie.rs crates/models/src/loggp.rs
+
+/root/repo/target/release/deps/wavefront_models-c2805e63a795d771: crates/models/src/lib.rs crates/models/src/hoisie.rs crates/models/src/loggp.rs
+
+crates/models/src/lib.rs:
+crates/models/src/hoisie.rs:
+crates/models/src/loggp.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/custom_cluster-374c238ba9cf77d8.d: examples/custom_cluster.rs
+
+/root/repo/target/release/examples/custom_cluster-374c238ba9cf77d8: examples/custom_cluster.rs
+
+examples/custom_cluster.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/custom_cluster-e95c0529e9e90de3.d: examples/custom_cluster.rs Cargo.toml
+
+/root/repo/target/release/examples/libcustom_cluster-e95c0529e9e90de3.rmeta: examples/custom_cluster.rs Cargo.toml
+
+examples/custom_cluster.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

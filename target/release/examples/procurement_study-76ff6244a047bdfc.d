@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/procurement_study-76ff6244a047bdfc.d: examples/procurement_study.rs Cargo.toml
+
+/root/repo/target/release/examples/libprocurement_study-76ff6244a047bdfc.rmeta: examples/procurement_study.rs Cargo.toml
+
+examples/procurement_study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

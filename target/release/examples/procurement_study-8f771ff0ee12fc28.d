@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/procurement_study-8f771ff0ee12fc28.d: examples/procurement_study.rs
+
+/root/repo/target/release/examples/procurement_study-8f771ff0ee12fc28: examples/procurement_study.rs
+
+examples/procurement_study.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/psl_workflow-90eb6c5b8480c0bc.d: examples/psl_workflow.rs
+
+/root/repo/target/release/examples/psl_workflow-90eb6c5b8480c0bc: examples/psl_workflow.rs
+
+examples/psl_workflow.rs:

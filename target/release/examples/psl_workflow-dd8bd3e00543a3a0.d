@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/psl_workflow-dd8bd3e00543a3a0.d: examples/psl_workflow.rs Cargo.toml
+
+/root/repo/target/release/examples/libpsl_workflow-dd8bd3e00543a3a0.rmeta: examples/psl_workflow.rs Cargo.toml
+
+examples/psl_workflow.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-ebfa42b3bd9b5987.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-ebfa42b3bd9b5987: examples/quickstart.rs
+
+examples/quickstart.rs:

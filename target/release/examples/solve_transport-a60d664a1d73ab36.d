@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/solve_transport-a60d664a1d73ab36.d: examples/solve_transport.rs Cargo.toml
+
+/root/repo/target/release/examples/libsolve_transport-a60d664a1d73ab36.rmeta: examples/solve_transport.rs Cargo.toml
+
+examples/solve_transport.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

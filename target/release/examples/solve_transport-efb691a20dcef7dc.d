@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/solve_transport-efb691a20dcef7dc.d: examples/solve_transport.rs
+
+/root/repo/target/release/examples/solve_transport-efb691a20dcef7dc: examples/solve_transport.rs
+
+examples/solve_transport.rs:

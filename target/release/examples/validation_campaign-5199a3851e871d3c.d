@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/validation_campaign-5199a3851e871d3c.d: examples/validation_campaign.rs
+
+/root/repo/target/release/examples/validation_campaign-5199a3851e871d3c: examples/validation_campaign.rs
+
+examples/validation_campaign.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/validation_campaign-710c7a91f53968e5.d: examples/validation_campaign.rs Cargo.toml
+
+/root/repo/target/release/examples/libvalidation_campaign-710c7a91f53968e5.rmeta: examples/validation_campaign.rs Cargo.toml
+
+examples/validation_campaign.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -106,8 +106,7 @@ fn reflective_trace_matches_parallel_messages() {
     validate_programs(&programs).expect("reflective trace balanced");
     let outcomes = run_parallel(&c).unwrap();
     for (rank, out) in outcomes.iter().enumerate() {
-        let sends = programs[rank]
-            .count(|op| matches!(op, cluster_sim::Op::Send { .. })) as u64;
+        let sends = programs[rank].count(|op| matches!(op, cluster_sim::Op::Send { .. })) as u64;
         assert_eq!(sends, out.messages_sent, "rank {rank}");
     }
 }

@@ -61,10 +61,8 @@ fn psl_model_reuse_across_machines() {
     let objects = parse(pace_psl::assets::SWEEP3D_PSL).unwrap();
     let app = compile(&objects, &Overrides::sweep3d(8, 8, 50, 50, 50)).unwrap();
     let engine = EvaluationEngine::new();
-    let times: Vec<f64> = machines::all_quoted()
-        .iter()
-        .map(|hw| engine.evaluate(&app, hw).total_secs)
-        .collect();
+    let times: Vec<f64> =
+        machines::all_quoted().iter().map(|hw| engine.evaluate(&app, hw).total_secs).collect();
     // P3 slowest; the two Opteron variants fastest and nearly equal.
     assert!(times[0] > times[1] && times[0] > times[2] && times[0] > times[3]);
     assert!((times[1] - times[3]).abs() / times[1] < 0.1);

@@ -1,0 +1,64 @@
+//! Concurrency smoke test for the parallel replication runner.
+//!
+//! K seeded cluster-sim replications of a real SWEEP3D workload must
+//! produce exactly the same per-seed reports whether they run one at a
+//! time, fanned out over the pool, or hand-rolled with a sequential
+//! `Engine` loop — the pool may only change wall-clock time, never a
+//! simulated number.
+
+use cluster_sim::{Engine, MachineSpec, Program};
+use sweep3d::trace::{generate_programs, FlopModel};
+use sweep3d::ProblemConfig;
+use sweepsvc::replicate;
+
+const SEEDS: [u64; 6] = [0xA11CE, 3, 1414, 7, 99, 2];
+
+fn workload() -> (MachineSpec, Vec<Program>) {
+    // A small weak-scaling sweep on the noisy Pentium 3 cluster model:
+    // big enough to exercise pipeline communication, small enough to
+    // simulate six times in a test.
+    let mut config = ProblemConfig::weak_scaling(10, 2, 3);
+    config.iterations = 2;
+    let fm = FlopModel::calibrate(&config, 8);
+    let programs = generate_programs(&config, &fm);
+    (hwbench::machines::pentium3_myrinet_sim(), programs)
+}
+
+#[test]
+fn concurrent_replications_match_sequential_engine_loop() {
+    let (machine, programs) = workload();
+
+    // Ground truth: a plain sequential loop over seeded engines.
+    let by_hand: Vec<f64> = SEEDS
+        .iter()
+        .map(|&seed| {
+            let seeded = machine.clone().with_seed(seed);
+            Engine::new(&seeded, programs.clone()).run().expect("sim runs").makespan()
+        })
+        .collect();
+
+    let serial = replicate(&machine, &programs, &SEEDS, 1).expect("serial campaign");
+    let pooled = replicate(&machine, &programs, &SEEDS, 4).expect("pooled campaign");
+
+    assert_eq!(serial.makespans(), by_hand, "1-worker campaign diverged from the plain loop");
+    assert_eq!(pooled.makespans(), by_hand, "4-worker campaign diverged from the plain loop");
+    // Beyond makespans: the full per-rank reports must agree bit for bit.
+    assert_eq!(serial.replications, pooled.replications);
+    let seeds_seen: Vec<u64> = pooled.replications.iter().map(|r| r.seed).collect();
+    assert_eq!(seeds_seen, SEEDS, "replications must come back in input-seed order");
+}
+
+#[test]
+fn campaign_statistics_are_worker_count_invariant() {
+    let (machine, programs) = workload();
+    let a = replicate(&machine, &programs, &SEEDS, 1).expect("campaign");
+    let b = replicate(&machine, &programs, &SEEDS, 3).expect("campaign");
+    assert_eq!(a.mean_makespan(), b.mean_makespan());
+    assert_eq!(a.std_dev_makespan(), b.std_dev_makespan());
+    assert_eq!(a.min_makespan(), b.min_makespan());
+    assert_eq!(a.max_makespan(), b.max_makespan());
+    assert_eq!(a.mean_compute_fraction(), b.mean_compute_fraction());
+    // Different seeds genuinely perturb the noisy machine — the campaign
+    // is measuring something.
+    assert!(a.std_dev_makespan() > 0.0, "noise seeds had no effect");
+}

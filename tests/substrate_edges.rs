@@ -120,18 +120,9 @@ fn mixed_allreduce_sizes_use_the_max() {
         p.push(Op::AllReduce { bytes });
         p
     };
-    let t_small = Engine::new(&machine, vec![mk(8), mk(8)])
-        .run()
-        .unwrap()
-        .makespan();
-    let t_mixed = Engine::new(&machine, vec![mk(8), mk(100_000)])
-        .run()
-        .unwrap()
-        .makespan();
-    let t_large = Engine::new(&machine, vec![mk(100_000), mk(100_000)])
-        .run()
-        .unwrap()
-        .makespan();
+    let t_small = Engine::new(&machine, vec![mk(8), mk(8)]).run().unwrap().makespan();
+    let t_mixed = Engine::new(&machine, vec![mk(8), mk(100_000)]).run().unwrap().makespan();
+    let t_large = Engine::new(&machine, vec![mk(100_000), mk(100_000)]).run().unwrap().makespan();
     assert!(t_mixed > t_small);
     assert_eq!(t_mixed, t_large);
 }
@@ -140,8 +131,7 @@ fn mixed_allreduce_sizes_use_the_max() {
 fn smp_sharers_slow_compute() {
     use cluster_sim::cpu::{CpuModel, RatePoint};
     let mut machine = MachineSpec::ideal(100.0);
-    machine.cpu =
-        CpuModel::with_curve("smp", vec![RatePoint { bytes: 1.0, mflops: 100.0 }], 0.2);
+    machine.cpu = CpuModel::with_curve("smp", vec![RatePoint { bytes: 1.0, mflops: 100.0 }], 0.2);
     machine.smp_width = 8;
     let prog = |n: usize| {
         (0..n)

@@ -1,0 +1,163 @@
+//! Determinism guarantees of the sweep engine and its evaluation cache.
+//!
+//! The engine's contract: a sweep's output is a pure function of its spec —
+//! worker count, work-stealing order, and cache state must never show up in
+//! the results. The cache's contract: a hit can only ever be answered for
+//! bit-identical inputs. Both are exercised here, the latter with property
+//! tests that perturb single hardware fields by one ULP.
+
+use experiments::speculation::{self, Problem};
+use pace_core::{machines, HardwareModel, Sweep3dModel, Sweep3dParams};
+use proptest::prelude::*;
+use sweepsvc::{CacheKey, CachedEngine, EvalCache, SweepEngine};
+
+#[test]
+fn sweep_is_bit_identical_for_any_worker_count() {
+    let hw = machines::opteron_myrinet_hypothetical();
+    for problem in [Problem::TwentyMillion, Problem::OneBillion] {
+        let spec = speculation::sweep_spec(problem, &hw);
+        let reference = SweepEngine::with_workers(1).run(&spec);
+        for workers in [2, 3, 4, 8] {
+            let outcome = SweepEngine::with_workers(workers).run(&spec);
+            assert_eq!(
+                outcome.results, reference.results,
+                "{problem:?}: {workers}-worker sweep diverged from the 1-worker run"
+            );
+            assert!(
+                outcome.stats.cache.hits > 0,
+                "{problem:?}: the rate what-ifs must share cached collective evaluations"
+            );
+        }
+    }
+}
+
+#[test]
+fn scenario_ids_are_stable_and_in_order() {
+    let hw = machines::opteron_myrinet_hypothetical();
+    let spec = speculation::sweep_spec(Problem::TwentyMillion, &hw);
+    // Ids enumerate the spec's declarative expansion order...
+    let from_spec: Vec<usize> = spec.scenarios().iter().map(|s| s.id).collect();
+    assert_eq!(from_spec, (0..spec.len()).collect::<Vec<_>>());
+    // ...and the engine returns results in exactly that order, regardless
+    // of which worker finished which scenario first.
+    let outcome = SweepEngine::with_workers(4).run(&spec);
+    let from_results: Vec<usize> = outcome.results.iter().map(|r| r.id).collect();
+    assert_eq!(from_results, from_spec);
+}
+
+#[test]
+fn a_shared_cache_does_not_leak_between_machines() {
+    // Evaluating problem A on machine M must never contaminate problem A
+    // on machine N: run the same params on two machines through one
+    // engine, and check both against fresh-engine references.
+    let params = Sweep3dParams::weak_scaling_50cubed(4, 4);
+    let m = machines::pentium3_myrinet();
+    let n = machines::opteron_myrinet_hypothetical();
+    let shared = CachedEngine::new();
+    let on_m = shared.predict(params, &m).total_secs;
+    let on_n = shared.predict(params, &n).total_secs;
+    assert_eq!(on_m, CachedEngine::new().predict(params, &m).total_secs);
+    assert_eq!(on_n, CachedEngine::new().predict(params, &n).total_secs);
+    assert_ne!(on_m, on_n);
+}
+
+/// Advance a float to the next representable value — the smallest possible
+/// perturbation a hardware field can suffer.
+fn one_ulp_up(x: f64) -> f64 {
+    if x == 0.0 {
+        f64::MIN_POSITIVE
+    } else if x > 0.0 {
+        f64::from_bits(x.to_bits() + 1)
+    } else {
+        f64::from_bits(x.to_bits() - 1)
+    }
+}
+
+/// Perturb one numeric field of the model, selected by `field % 12`.
+/// Returns whether the perturbed field belongs to the rate table (`true`)
+/// or the communication model (`false`).
+fn perturb(hw: &mut HardwareModel, field: usize, rate_idx: usize) -> bool {
+    match field % 12 {
+        0 => {
+            let r = rate_idx % hw.rates.len();
+            hw.rates[r].mflops = one_ulp_up(hw.rates[r].mflops);
+            true
+        }
+        1 => {
+            let r = rate_idx % hw.rates.len();
+            hw.rates[r].cells_per_pe = one_ulp_up(hw.rates[r].cells_per_pe);
+            true
+        }
+        f => {
+            // Fields 2..11: one coefficient of one of the three curves.
+            let curve = match (f - 2) % 3 {
+                0 => &mut hw.comm.send,
+                1 => &mut hw.comm.recv,
+                _ => &mut hw.comm.pingpong,
+            };
+            match (f - 2) / 3 {
+                0 => curve.a_bytes = one_ulp_up(curve.a_bytes),
+                1 => curve.b_us = one_ulp_up(curve.b_us),
+                2 => curve.c_us_per_byte = one_ulp_up(curve.c_us_per_byte),
+                _ => curve.e_us_per_byte = one_ulp_up(curve.e_us_per_byte),
+            }
+            false
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Identical inputs always hit: a second evaluation of the same
+    /// application on the same hardware is answered fully from cache and
+    /// is bit-identical.
+    #[test]
+    fn identical_inputs_always_hit(px in 1usize..6, py in 1usize..6, scale in 0.5f64..2.0) {
+        let hw = machines::pentium3_myrinet().with_rate_scaled(scale);
+        let app = Sweep3dModel::new(Sweep3dParams::weak_scaling_50cubed(px, py)).application_object();
+        let engine = CachedEngine::new();
+        let first = engine.evaluate(&app, &hw);
+        let hits_before = engine.cache().hits();
+        let second = engine.evaluate(&app, &hw);
+        prop_assert_eq!(first, second);
+        prop_assert_eq!(
+            engine.cache().hits() - hits_before,
+            app.subtasks.len() as u64,
+            "warm pass must answer every subtask from cache"
+        );
+    }
+
+    /// A one-ULP perturbation of any hardware field the template reads
+    /// changes the key, so a populated cache can never serve a false hit;
+    /// fields the template does not read leave its key untouched.
+    #[test]
+    fn perturbed_hardware_never_false_hits(
+        px in 1usize..6,
+        py in 1usize..6,
+        field in 0usize..12,
+        rate_idx in 0usize..4,
+    ) {
+        let hw = machines::pentium3_myrinet();
+        let mut poked = hw.clone();
+        let is_rate_field = perturb(&mut poked, field, rate_idx);
+        let app = Sweep3dModel::new(Sweep3dParams::weak_scaling_50cubed(px, py)).application_object();
+        let cache = EvalCache::new();
+        for sub in &app.subtasks {
+            let key = CacheKey::for_subtask(sub, &hw);
+            cache.get_or_insert_with(key.clone(), || (1.0, None));
+            let poked_key = CacheKey::for_subtask(sub, &poked);
+            let reads_field = match &sub.template {
+                pace_core::TemplateBinding::Pipeline(_) => true,
+                pace_core::TemplateBinding::Collective(_) => !is_rate_field,
+                pace_core::TemplateBinding::Async => is_rate_field,
+            };
+            if reads_field {
+                prop_assert_ne!(&poked_key, &key, "{}: key must see the perturbation", sub.name);
+                prop_assert_eq!(cache.peek(&poked_key), None, "{}: false hit", sub.name);
+            } else {
+                prop_assert_eq!(&poked_key, &key, "{}: unread field changed the key", sub.name);
+            }
+        }
+    }
+}

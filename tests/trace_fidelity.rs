@@ -16,7 +16,11 @@ fn small_config(px: usize, py: usize) -> ProblemConfig {
 }
 
 fn fm() -> FlopModel {
-    FlopModel { flops_per_cell_angle: 21.0, source_flops_per_cell: 2.0, flux_err_flops_per_cell: 3.0 }
+    FlopModel {
+        flops_per_cell_angle: 21.0,
+        source_flops_per_cell: 2.0,
+        flux_err_flops_per_cell: 3.0,
+    }
 }
 
 #[test]
@@ -37,14 +41,10 @@ fn trace_messages_match_real_execution_exactly() {
             // Every send in the system has a matching receive somewhere.
             let _ = recvs;
         }
-        let total_sends: usize = programs
-            .iter()
-            .map(|p| p.count(|op| matches!(op, Op::Send { .. })))
-            .sum();
-        let total_recvs: usize = programs
-            .iter()
-            .map(|p| p.count(|op| matches!(op, Op::Recv { .. })))
-            .sum();
+        let total_sends: usize =
+            programs.iter().map(|p| p.count(|op| matches!(op, Op::Send { .. }))).sum();
+        let total_recvs: usize =
+            programs.iter().map(|p| p.count(|op| matches!(op, Op::Recv { .. }))).sum();
         assert_eq!(total_sends, total_recvs);
     }
 }

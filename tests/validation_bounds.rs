@@ -70,14 +70,8 @@ fn weak_scaling_runtime_grows_linearly_with_stages() {
 #[test]
 fn prediction_is_deterministic_and_measurement_seeded() {
     let machine = sim_machines::opteron_gige_sim();
-    let spec = RowSpec {
-        it: 100,
-        jt: 100,
-        px: 2,
-        py: 2,
-        paper_measured: 8.98,
-        paper_predicted: 9.69,
-    };
+    let spec =
+        RowSpec { it: 100, jt: 100, px: 2, py: 2, paper_measured: 8.98, paper_predicted: 9.69 };
     let fm = FlopModel::calibrate(&validation::row_config(&spec), 10);
     let a = validation::measure_row(&spec, &machine, &fm, 1);
     let b = validation::measure_row(&spec, &machine, &fm, 1);

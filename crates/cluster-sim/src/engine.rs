@@ -9,8 +9,17 @@
 //! The result is a pure function of `(machine, programs)` — noise streams
 //! are consumed in per-rank program order, so scheduling interleavings
 //! cannot change the outcome.
+//!
+//! With [`Engine::with_recorder`] the engine additionally emits one
+//! telemetry span per activity interval — compute blocks, send/receive
+//! overheads, rendezvous stalls, receive waits and collectives — keyed on
+//! virtual time, so the stream is byte-deterministic and sums back to
+//! [`RankStats`] exactly. Recording never touches the noise streams or
+//! clocks: results are bit-identical with tracing on or off.
 
 use std::collections::{HashMap, VecDeque};
+
+use obs::{Cat, Recorder};
 
 use crate::error::{SimError, SimResult};
 use crate::machine::MachineSpec;
@@ -67,18 +76,33 @@ pub struct Engine<'m> {
     programs: Vec<Program>,
     /// Skip static validation (for intentionally-broken deadlock tests).
     skip_validation: bool,
+    /// Telemetry sink for per-activity spans (virtual-time domain).
+    recorder: Option<&'m Recorder>,
+    /// Track group the spans are recorded under (one pid per run when a
+    /// recorder is shared across runs).
+    trace_pid: u32,
 }
 
 impl<'m> Engine<'m> {
     /// Create an engine for one program per rank.
     pub fn new(machine: &'m MachineSpec, programs: Vec<Program>) -> Self {
-        Engine { machine, programs, skip_validation: false }
+        Engine { machine, programs, skip_validation: false, recorder: None, trace_pid: 0 }
     }
 
     /// Disable the static message-balance pre-check (dynamic deadlock
     /// detection still applies). Used by tests that exercise the detector.
     pub fn without_validation(mut self) -> Self {
         self.skip_validation = true;
+        self
+    }
+
+    /// Attach a telemetry recorder. Every activity interval of the run is
+    /// emitted as a sim-domain span under track group `pid` (rank index as
+    /// track id). When one recorder serves several runs, give each run a
+    /// distinct `pid`.
+    pub fn with_recorder(mut self, recorder: &'m Recorder, pid: u32) -> Self {
+        self.recorder = Some(recorder);
+        self.trace_pid = pid;
         self
     }
 
@@ -96,6 +120,14 @@ impl<'m> Engine<'m> {
         let sharers = machine.sharers(n);
         // Per-run background-load level (same for every rank in this run).
         let run_factor = machine.noise.run_factor(machine.seed);
+        // Telemetry sink (None when absent or disabled: zero-cost path).
+        let rec: Option<&Recorder> = self.recorder.filter(|r| r.is_enabled());
+        let pid = self.trace_pid;
+        if let Some(rec) = rec {
+            for r in 0..n {
+                rec.set_thread_name(pid, r as u32, format!("rank {r}"));
+            }
+        }
 
         let mut ranks: Vec<RankState> = (0..n)
             .map(|r| RankState {
@@ -130,6 +162,14 @@ impl<'m> Engine<'m> {
                 if pc >= self.programs[r].len() {
                     ranks[r].status = Status::Done;
                     ranks[r].stats.finish = ranks[r].clock;
+                    // Every clock advance is mirrored by exactly one stats
+                    // increment, so the breakdown closes *exactly* in
+                    // integer picoseconds — not just approximately.
+                    debug_assert_eq!(
+                        ranks[r].stats.accounted(),
+                        ranks[r].stats.finish,
+                        "rank {r}: accounted time must equal finish exactly"
+                    );
                     finished += 1;
                     break;
                 }
@@ -138,12 +178,38 @@ impl<'m> Engine<'m> {
                         let base = machine.cpu.compute_time(flops, working_set, sharers);
                         let factor = ranks[r].noise.compute_factor() * run_factor;
                         let dur = SimTime::from_secs(base.as_secs() * factor);
+                        if let Some(rec) = rec {
+                            rec.sim_span(
+                                pid,
+                                r as u32,
+                                "compute",
+                                Cat::Compute,
+                                ranks[r].clock.picos(),
+                                dur.picos(),
+                                vec![],
+                            );
+                        }
                         ranks[r].clock += dur;
                         ranks[r].stats.compute += dur;
                         ranks[r].pc += 1;
                     }
                     Op::Send { to, bytes, tag } => {
                         let overhead = machine.network.sender_overhead(bytes);
+                        if let Some(rec) = rec {
+                            rec.sim_span(
+                                pid,
+                                r as u32,
+                                "send",
+                                Cat::Comm,
+                                ranks[r].clock.picos(),
+                                overhead.picos(),
+                                vec![
+                                    ("to", to.into()),
+                                    ("bytes", bytes.into()),
+                                    ("tag", (tag as u64).into()),
+                                ],
+                            );
+                        }
                         ranks[r].clock += overhead;
                         ranks[r].stats.send_overhead += overhead;
                         let jitter = SimTime::from_secs(ranks[r].noise.message_jitter_secs());
@@ -175,7 +241,21 @@ impl<'m> Engine<'m> {
                         if bytes >= eager_limit {
                             let done = nic_busy[r];
                             let before = ranks[r].clock;
-                            ranks[r].stats.send_wait += done.saturating_sub(before);
+                            let wait = done.saturating_sub(before);
+                            if let Some(rec) = rec {
+                                if wait > SimTime::ZERO {
+                                    rec.sim_span(
+                                        pid,
+                                        r as u32,
+                                        "send_wait",
+                                        Cat::Comm,
+                                        before.picos(),
+                                        wait.picos(),
+                                        vec![("to", to.into()), ("bytes", bytes.into())],
+                                    );
+                                }
+                            }
+                            ranks[r].stats.send_wait += wait;
                             ranks[r].clock = before.max(done);
                         }
                         ranks[r].pc += 1;
@@ -191,8 +271,34 @@ impl<'m> Engine<'m> {
                         match arrival {
                             Some((arrival, msg_bytes)) => {
                                 let wait = arrival.saturating_sub(ranks[r].clock);
-                                ranks[r].stats.recv_wait += wait;
                                 let overhead = machine.network.receiver_overhead(msg_bytes);
+                                if let Some(rec) = rec {
+                                    if wait > SimTime::ZERO {
+                                        rec.sim_span(
+                                            pid,
+                                            r as u32,
+                                            "recv_wait",
+                                            Cat::Idle,
+                                            ranks[r].clock.picos(),
+                                            wait.picos(),
+                                            vec![("from", from.into())],
+                                        );
+                                    }
+                                    rec.sim_span(
+                                        pid,
+                                        r as u32,
+                                        "recv",
+                                        Cat::Comm,
+                                        ranks[r].clock.max(arrival).picos(),
+                                        overhead.picos(),
+                                        vec![
+                                            ("from", from.into()),
+                                            ("bytes", msg_bytes.into()),
+                                            ("tag", (tag as u64).into()),
+                                        ],
+                                    );
+                                }
+                                ranks[r].stats.recv_wait += wait;
                                 ranks[r].clock = ranks[r].clock.max(arrival) + overhead;
                                 ranks[r].stats.recv_overhead += overhead;
                                 ranks[r].pc += 1;
@@ -213,8 +319,24 @@ impl<'m> Engine<'m> {
                                     // Sender resumes once the buffer is
                                     // reusable; its wait is accounted.
                                     let resume = nic_busy[s_rank];
-                                    ranks[s_rank].stats.send_wait +=
-                                        resume.saturating_sub(pend.ready);
+                                    let send_wait = resume.saturating_sub(pend.ready);
+                                    if let Some(rec) = rec {
+                                        if send_wait > SimTime::ZERO {
+                                            rec.sim_span(
+                                                pid,
+                                                s_rank as u32,
+                                                "send_wait",
+                                                Cat::Comm,
+                                                pend.ready.picos(),
+                                                send_wait.picos(),
+                                                vec![
+                                                    ("to", r.into()),
+                                                    ("bytes", pend.bytes.into()),
+                                                ],
+                                            );
+                                        }
+                                    }
+                                    ranks[s_rank].stats.send_wait += send_wait;
                                     ranks[s_rank].clock = resume;
                                     ranks[s_rank].stats.messages_sent += 1;
                                     ranks[s_rank].stats.bytes_sent += pend.bytes as u64;
@@ -223,8 +345,34 @@ impl<'m> Engine<'m> {
                                     ready.push_back(s_rank);
                                     // Receiver waits for the wire.
                                     let wait = arrival.saturating_sub(ranks[r].clock);
-                                    ranks[r].stats.recv_wait += wait;
                                     let overhead = machine.network.receiver_overhead(pend.bytes);
+                                    if let Some(rec) = rec {
+                                        if wait > SimTime::ZERO {
+                                            rec.sim_span(
+                                                pid,
+                                                r as u32,
+                                                "recv_wait",
+                                                Cat::Idle,
+                                                ranks[r].clock.picos(),
+                                                wait.picos(),
+                                                vec![("from", from.into())],
+                                            );
+                                        }
+                                        rec.sim_span(
+                                            pid,
+                                            r as u32,
+                                            "recv",
+                                            Cat::Comm,
+                                            ranks[r].clock.max(arrival).picos(),
+                                            overhead.picos(),
+                                            vec![
+                                                ("from", from.into()),
+                                                ("bytes", pend.bytes.into()),
+                                                ("tag", (tag as u64).into()),
+                                            ],
+                                        );
+                                    }
+                                    ranks[r].stats.recv_wait += wait;
                                     ranks[r].clock = ranks[r].clock.max(arrival) + overhead;
                                     ranks[r].stats.recv_overhead += overhead;
                                     ranks[r].pc += 1;
@@ -269,7 +417,11 @@ impl<'m> Engine<'m> {
             return Err(SimError::Deadlock { blocked, parked: parked_out });
         }
 
-        Ok(RunReport { ranks: ranks.into_iter().map(|s| s.stats).collect() })
+        let report = RunReport { ranks: ranks.into_iter().map(|s| s.stats).collect() };
+        if let Some(rec) = rec {
+            debug_check_span_totals(rec, pid, &report);
+        }
+        Ok(report)
     }
 
     /// Complete a collective: all ranks resume at `max(arrival) + tree cost`.
@@ -291,8 +443,26 @@ impl<'m> Engine<'m> {
         }
         let entry = parked.iter().map(|&r| ranks[r].park_clock).max().unwrap_or(SimTime::ZERO);
         let completion = entry + self.collective_cost(bytes, n);
+        let rec = self.recorder.filter(|r| r.is_enabled());
         for &r in parked.iter() {
             let waited = completion.saturating_sub(ranks[r].park_clock);
+            if let Some(rec) = rec {
+                let name = match self.programs[r].ops()[ranks[r].pc] {
+                    Op::AllReduce { .. } => "allreduce",
+                    _ => "barrier",
+                };
+                if waited > SimTime::ZERO {
+                    rec.sim_span(
+                        self.trace_pid,
+                        r as u32,
+                        name,
+                        Cat::Collective,
+                        ranks[r].park_clock.picos(),
+                        waited.picos(),
+                        vec![("bytes", bytes.into())],
+                    );
+                }
+            }
             ranks[r].stats.collective += waited;
             ranks[r].clock = completion;
             ranks[r].status = Status::Ready;
@@ -316,6 +486,35 @@ impl<'m> Engine<'m> {
             total += per_msg;
         }
         total
+    }
+}
+
+/// Debug cross-check fed by the recorder: the span stream must sum back
+/// to the per-rank statistics *exactly* — compute spans to
+/// `stats.compute`, comm spans to `send_overhead + send_wait +
+/// recv_overhead`, idle spans to `recv_wait`, collective spans to
+/// `collective`. A drift here means an activity interval was dropped or
+/// double-charged.
+fn debug_check_span_totals(rec: &Recorder, pid: u32, report: &RunReport) {
+    if !cfg!(debug_assertions) {
+        return;
+    }
+    let totals = rec.sim_totals();
+    let get = |tid: u32, cat: Cat| totals.get(&(pid, tid, cat)).copied().unwrap_or(0);
+    for (r, stats) in report.ranks.iter().enumerate() {
+        let tid = r as u32;
+        debug_assert_eq!(get(tid, Cat::Compute), stats.compute.picos(), "rank {r}: compute spans");
+        debug_assert_eq!(
+            get(tid, Cat::Comm),
+            (stats.send_overhead + stats.send_wait + stats.recv_overhead).picos(),
+            "rank {r}: comm spans"
+        );
+        debug_assert_eq!(get(tid, Cat::Idle), stats.recv_wait.picos(), "rank {r}: idle spans");
+        debug_assert_eq!(
+            get(tid, Cat::Collective),
+            stats.collective.picos(),
+            "rank {r}: collective spans"
+        );
     }
 }
 
@@ -658,6 +857,95 @@ mod tests {
         let p1 = prog(&[Op::Send { to: 0, bytes: 100, tag: 0 }, Op::Recv { from: 0, tag: 0 }]);
         let err = Engine::new(&m, vec![p0, p1]).run().unwrap_err();
         assert!(matches!(err, SimError::Deadlock { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn recorded_spans_sum_to_stats_exactly() {
+        // Pipeline with noise, rendezvous and a collective: every stats
+        // category is exercised and must be reproduced by the span stream.
+        let mut m = ideal(100.0);
+        m.network = NetworkModel::from_link(10.0, 250.0, 2.0, 16384.0);
+        m.noise = NoiseModel::commodity();
+        m.rendezvous_bytes = Some(4096);
+        let ranks_n = 4usize;
+        let mut programs = Vec::new();
+        for r in 0..ranks_n {
+            let mut p = Program::new();
+            for b in 0..3u32 {
+                if r > 0 {
+                    p.push(Op::Recv { from: r - 1, tag: b });
+                }
+                p.push(Op::Compute { flops: 1e7, working_set: 4096 });
+                if r + 1 < ranks_n {
+                    p.push(Op::Send { to: r + 1, bytes: 16_000, tag: b });
+                }
+            }
+            p.push(Op::AllReduce { bytes: 8 });
+            programs.push(p);
+        }
+        let rec = Recorder::enabled();
+        let report = Engine::new(&m, programs).with_recorder(&rec, 7).run().unwrap();
+        let totals = rec.sim_totals();
+        for (r, stats) in report.ranks.iter().enumerate() {
+            let get = |cat: Cat| totals.get(&(7, r as u32, cat)).copied().unwrap_or(0);
+            assert_eq!(get(Cat::Compute), stats.compute.picos(), "rank {r} compute");
+            assert_eq!(
+                get(Cat::Comm),
+                (stats.send_overhead + stats.send_wait + stats.recv_overhead).picos(),
+                "rank {r} comm"
+            );
+            assert_eq!(get(Cat::Idle), stats.recv_wait.picos(), "rank {r} idle");
+            assert_eq!(get(Cat::Collective), stats.collective.picos(), "rank {r} collective");
+        }
+        assert!(rec.sim_spans().iter().any(|s| s.name == "send_wait"), "rendezvous stalls traced");
+        assert!(rec.sim_spans().iter().any(|s| s.name == "allreduce"), "collectives traced");
+    }
+
+    #[test]
+    fn tracing_does_not_change_results() {
+        let mut m = ideal(100.0);
+        m.network = NetworkModel::from_link(10.0, 250.0, 2.0, 16384.0);
+        m.noise = NoiseModel::commodity();
+        let mk = || {
+            vec![
+                prog(&[
+                    Op::Compute { flops: 5e7, working_set: 1024 },
+                    Op::Send { to: 1, bytes: 4096, tag: 1 },
+                    Op::Barrier,
+                ]),
+                prog(&[Op::Recv { from: 0, tag: 1 }, Op::Barrier]),
+            ]
+        };
+        let plain = Engine::new(&m, mk()).run().unwrap();
+        let rec = Recorder::enabled();
+        let traced = Engine::new(&m, mk()).with_recorder(&rec, 0).run().unwrap();
+        assert_eq!(plain, traced, "tracing must be invisible to the simulation");
+        let disabled = Recorder::disabled();
+        let off = Engine::new(&m, mk()).with_recorder(&disabled, 0).run().unwrap();
+        assert_eq!(plain, off);
+        assert!(disabled.sim_spans().is_empty());
+    }
+
+    #[test]
+    fn per_rank_spans_are_ordered_and_non_overlapping() {
+        let mut m = ideal(100.0);
+        m.network = NetworkModel::from_link(10.0, 250.0, 2.0, 16384.0);
+        let rec = Recorder::enabled();
+        let p0 = prog(&[
+            Op::Compute { flops: 5e7, working_set: 0 },
+            Op::Send { to: 1, bytes: 4096, tag: 1 },
+            Op::Barrier,
+        ]);
+        let p1 = prog(&[Op::Recv { from: 0, tag: 1 }, Op::Barrier]);
+        Engine::new(&m, vec![p0, p1]).with_recorder(&rec, 0).run().unwrap();
+        let spans = rec.sim_spans();
+        for tid in 0..2u32 {
+            let track: Vec<_> = spans.iter().filter(|s| s.tid == tid).collect();
+            assert!(!track.is_empty());
+            for w in track.windows(2) {
+                assert!(w[0].end() <= w[1].start, "rank {tid}: overlapping spans");
+            }
+        }
     }
 
     #[test]

@@ -29,8 +29,10 @@ pub struct RankStats {
 }
 
 impl RankStats {
-    /// Total accounted time (should equal `finish` up to rounding; checked
-    /// in engine tests).
+    /// Total accounted time. Every clock advance in the engine is mirrored
+    /// by exactly one stats increment, so this equals `finish` **exactly**
+    /// in integer picoseconds — the engine asserts it in debug builds, and
+    /// a property test holds it across noise seeds.
     pub fn accounted(&self) -> SimTime {
         self.compute
             + self.send_overhead

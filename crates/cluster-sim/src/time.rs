@@ -34,6 +34,11 @@ impl SimTime {
         SimTime::from_secs(us * 1e-6)
     }
 
+    /// Construct from raw picoseconds (exact; the telemetry wire unit).
+    pub const fn from_picos(ps: u64) -> SimTime {
+        SimTime(ps)
+    }
+
     /// Raw picoseconds.
     pub fn picos(self) -> u64 {
         self.0

@@ -2,14 +2,24 @@
 //! diagnostics.
 //!
 //! The wavefront's fill/drain behaviour is easiest to *see*: this module
-//! re-runs a program set while recording `(start, end, kind)` intervals per
-//! rank and renders them as a text Gantt chart — the picture behind
-//! Figure 1 of the paper, but with real simulated time on the x-axis.
+//! renders per-rank `(start, end, kind)` intervals as a text Gantt chart —
+//! the picture behind Figure 1 of the paper, but with real simulated time
+//! on the x-axis.
+//!
+//! Intervals are consumed directly from the engine's recorded span stream
+//! (one [`obs`] span per activity interval, exact virtual-time bounds):
+//! [`record`] runs the programs once under a recorder and folds the spans
+//! into a [`Timeline`]. The pre-telemetry implementation re-ran the
+//! programs and *approximated* interval boundaries by spreading per-rank
+//! aggregates across the op sequence; that duplicate path is gone — the
+//! chart now shows the exact intervals the engine executed.
+
+use obs::{Cat, Recorder, SpanRecord};
 
 use crate::engine::Engine;
 use crate::error::SimResult;
 use crate::machine::MachineSpec;
-use crate::program::{Op, Program};
+use crate::program::Program;
 use crate::stats::RunReport;
 use crate::time::SimTime;
 
@@ -36,6 +46,18 @@ impl Activity {
             Activity::Idle => '.',
         }
     }
+
+    /// Map a telemetry category onto a chart activity. Orchestration
+    /// categories (scenario/task/phase) have no lane in a rank chart.
+    pub fn from_cat(cat: Cat) -> Option<Activity> {
+        match cat {
+            Cat::Compute => Some(Activity::Compute),
+            Cat::Comm => Some(Activity::Communicate),
+            Cat::Collective => Some(Activity::Collective),
+            Cat::Idle => Some(Activity::Idle),
+            Cat::Scenario | Cat::Task | Cat::Phase => None,
+        }
+    }
 }
 
 /// One recorded interval.
@@ -49,7 +71,7 @@ pub struct Interval {
     pub activity: Activity,
 }
 
-/// A per-rank timeline, reconstructed from an instrumented run.
+/// A per-rank timeline, built from an instrumented run's span stream.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Timeline {
     /// Intervals per rank, in time order.
@@ -58,71 +80,35 @@ pub struct Timeline {
     pub report: RunReport,
 }
 
-/// Run a program set and reconstruct per-rank timelines from its stats.
-///
-/// The reconstruction is *approximate at the interval level* (the engine
-/// reports per-rank aggregates, and the timeline spreads them across the
-/// rank's op sequence by re-simulating on the same machine), but exact in
-/// total per-category time — which is what the chart communicates.
+/// Run a program set once under a recorder and build per-rank timelines
+/// from the engine's exact span stream.
 pub fn record(machine: &MachineSpec, programs: Vec<Program>) -> SimResult<Timeline> {
-    // A second engine run with per-op sampling: split every rank's program
-    // into singleton steps by re-running prefixes would be O(n²); instead
-    // derive intervals from a straight re-simulation that tracks clocks.
-    // We reuse the engine itself on a per-rank op basis by instrumenting
-    // compute ops with their durations via the report deltas — the engine
-    // is deterministic, so replaying with the same seed reproduces times.
-    let report = Engine::new(machine, programs.clone()).run()?;
-    let mut ranks = Vec::with_capacity(programs.len());
-    for (rank, prog) in programs.iter().enumerate() {
-        let stats = &report.ranks[rank];
-        // Proportional reconstruction: walk ops, charging each op its
-        // category's share. Compute ops get durations proportional to
-        // their flops; message ops share the comm budget equally; idle
-        // time is inserted before the first compute of each recv run.
-        let total_flops: f64 = prog.total_flops().max(1e-30);
-        let msg_ops = prog.count(|op| matches!(op, Op::Send { .. } | Op::Recv { .. })).max(1);
-        let coll_ops = prog.count(|op| matches!(op, Op::AllReduce { .. } | Op::Barrier)).max(1);
-        let recv_ops = prog.count(|op| matches!(op, Op::Recv { .. })).max(1);
-        let comm_per_op = (stats.send_overhead + stats.send_wait + stats.recv_overhead).as_secs()
-            / msg_ops as f64;
-        let idle_per_recv = stats.recv_wait.as_secs() / recv_ops as f64;
-        let coll_per_op = stats.collective.as_secs() / coll_ops as f64;
-
-        let mut t = 0.0f64;
-        let mut intervals = Vec::new();
-        let push = |t: &mut f64, dur: f64, activity: Activity, out: &mut Vec<Interval>| {
-            if dur <= 0.0 {
-                return;
-            }
-            out.push(Interval {
-                start: SimTime::from_secs(*t),
-                end: SimTime::from_secs(*t + dur),
-                activity,
-            });
-            *t += dur;
-        };
-        for op in prog.ops() {
-            match op {
-                Op::Compute { flops, .. } => {
-                    let dur = stats.compute.as_secs() * flops / total_flops;
-                    push(&mut t, dur, Activity::Compute, &mut intervals);
-                }
-                Op::Send { .. } => push(&mut t, comm_per_op, Activity::Communicate, &mut intervals),
-                Op::Recv { .. } => {
-                    push(&mut t, idle_per_recv, Activity::Idle, &mut intervals);
-                    push(&mut t, comm_per_op, Activity::Communicate, &mut intervals);
-                }
-                Op::AllReduce { .. } | Op::Barrier => {
-                    push(&mut t, coll_per_op, Activity::Collective, &mut intervals)
-                }
-            }
-        }
-        ranks.push(intervals);
-    }
-    Ok(Timeline { ranks, report })
+    let rec = Recorder::enabled();
+    let report = Engine::new(machine, programs).with_recorder(&rec, 0).run()?;
+    Ok(Timeline::from_spans(&rec.sim_spans(), report))
 }
 
 impl Timeline {
+    /// Fold a recorded span stream (one engine run; rank index as track
+    /// id) into per-rank interval lists. Zero-length spans are dropped;
+    /// the spans of one rank are non-overlapping and, once sorted (which
+    /// [`Recorder::sim_spans`] guarantees), in time order.
+    pub fn from_spans(spans: &[SpanRecord], report: RunReport) -> Timeline {
+        let mut ranks: Vec<Vec<Interval>> = vec![Vec::new(); report.ranks.len()];
+        for s in spans {
+            let Some(activity) = Activity::from_cat(s.cat) else { continue };
+            if s.dur == 0 || (s.tid as usize) >= ranks.len() {
+                continue;
+            }
+            ranks[s.tid as usize].push(Interval {
+                start: SimTime::from_picos(s.start),
+                end: SimTime::from_picos(s.end()),
+                activity,
+            });
+        }
+        Timeline { ranks, report }
+    }
+
     /// Render as a text Gantt chart with `width` columns.
     pub fn render(&self, width: usize) -> String {
         let makespan = self.report.makespan().max(1e-30);
@@ -155,6 +141,7 @@ impl Timeline {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::program::Op;
 
     fn pipeline_programs(ranks: usize, blocks: usize) -> Vec<Program> {
         let mut programs = Vec::new();
@@ -211,18 +198,57 @@ mod tests {
     }
 
     #[test]
-    fn category_totals_preserved() {
+    fn category_totals_are_exact() {
+        // The span stream carries exact interval bounds, so per-category
+        // interval sums equal the engine's statistics to the picosecond.
         let machine = MachineSpec::ideal(100.0);
         let programs = pipeline_programs(3, 5);
         let tl = record(&machine, programs).unwrap();
         for (rank, intervals) in tl.ranks.iter().enumerate() {
-            let compute: f64 = intervals
-                .iter()
-                .filter(|iv| iv.activity == Activity::Compute)
-                .map(|iv| (iv.end - iv.start).as_secs())
-                .sum();
-            let expect = tl.report.ranks[rank].compute.as_secs();
-            assert!((compute - expect).abs() < 1e-9, "rank {rank}");
+            let total = |activity: Activity| -> u64 {
+                intervals
+                    .iter()
+                    .filter(|iv| iv.activity == activity)
+                    .map(|iv| (iv.end - iv.start).picos())
+                    .sum()
+            };
+            let stats = &tl.report.ranks[rank];
+            assert_eq!(total(Activity::Compute), stats.compute.picos(), "rank {rank} compute");
+            assert_eq!(total(Activity::Idle), stats.recv_wait.picos(), "rank {rank} idle");
+            assert_eq!(
+                total(Activity::Communicate),
+                (stats.send_overhead + stats.send_wait + stats.recv_overhead).picos(),
+                "rank {rank} comm"
+            );
+            assert_eq!(
+                total(Activity::Collective),
+                stats.collective.picos(),
+                "rank {rank} collective"
+            );
         }
+    }
+
+    #[test]
+    fn intervals_start_at_exact_span_bounds() {
+        // Rank 1's first interval must start at 0 (waiting from t=0), and
+        // its compute must start exactly when the message lands + recv
+        // overhead is paid — positions the old proportional reconstruction
+        // could only approximate.
+        let machine = MachineSpec::ideal(100.0);
+        let tl = record(&machine, pipeline_programs(2, 1)).unwrap();
+        let r1 = &tl.ranks[1];
+        assert_eq!(r1[0].activity, Activity::Idle);
+        assert_eq!(r1[0].start, SimTime::ZERO);
+        let compute = r1.iter().find(|iv| iv.activity == Activity::Compute).unwrap();
+        let comm_before: u64 = r1
+            .iter()
+            .filter(|iv| iv.activity == Activity::Communicate && iv.end <= compute.start)
+            .map(|iv| (iv.end - iv.start).picos())
+            .sum();
+        assert_eq!(
+            compute.start.picos(),
+            r1[0].end.picos() + comm_before,
+            "compute starts right after the receive completes"
+        );
     }
 }

@@ -16,6 +16,7 @@
 //! | [`rendezvous`] | eager-vs-rendezvous protocol ablation (extension) |
 //! | [`host_validation`] | the full workflow on *this* host, wall-clock (extension) |
 //! | [`strong_scaling`] | strong-scaling study (extension) |
+//! | [`observability`] | telemetry cross-check: phase spans + span/stats agreement (extension) |
 //!
 //! The `experiments` binary drives them all; `experiments all` writes the
 //! complete set of tables to stdout in the paper's row format.
@@ -25,6 +26,7 @@ pub mod asci_goals;
 pub mod blocking;
 pub mod hmcl;
 pub mod host_validation;
+pub mod observability;
 pub mod related;
 pub mod rendezvous;
 pub mod report;

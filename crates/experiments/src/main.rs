@@ -11,26 +11,75 @@
 //! experiments asci-goals                §6 ASCI-target extrapolation
 //! experiments rendezvous                eager-vs-rendezvous ablation
 //! experiments strong-scaling            strong-scaling extension study
-//! experiments sweep                     parallel sweep engine: parity, speedup, cache counters
+//! experiments sweep [--json]            parallel sweep engine: parity, speedup, cache counters
 //! experiments timeline                  pipeline Gantt chart (simulated)
+//! experiments obs                       telemetry demo: phase spans + span/stats cross-check
 //! experiments csv [dir]                 write tables/figures as CSV files
 //! experiments validate                  all three tables + summary stats
 //! experiments all                       everything above
+//!
+//! Global flags (any subcommand):
+//!   --trace <path>     write a Chrome trace_event JSON of the run (Perfetto-loadable)
+//!   --metrics <path>   write the metrics registry as JSON
+//!   --json             machine-readable output where supported (sweep)
 //! ```
 
 use experiments::speculation::Problem;
 use experiments::{
-    ablation, asci_goals, blocking, hmcl, related, rendezvous, report, speculation, strong_scaling,
-    validation, wavefront_fig,
+    ablation, asci_goals, blocking, hmcl, observability, related, rendezvous, report, speculation,
+    strong_scaling, validation, wavefront_fig,
 };
+use obs::Obs;
 
-fn run_validation_table(which: u8) {
-    let table = match which {
-        1 => validation::table1(),
-        2 => validation::table2(),
-        3 => validation::table3(),
+/// Global flags extracted from the command line.
+struct Flags {
+    trace: Option<String>,
+    metrics: Option<String>,
+    json: bool,
+}
+
+impl Flags {
+    /// Pull `--trace <p>`, `--metrics <p>` and `--json` out of `args`,
+    /// leaving the subcommand and its operands.
+    fn extract(args: &mut Vec<String>) -> Flags {
+        let mut take_value = |flag: &str| -> Option<String> {
+            let i = args.iter().position(|a| a == flag)?;
+            if i + 1 >= args.len() {
+                eprintln!("{flag} requires a path argument");
+                std::process::exit(2);
+            }
+            args.remove(i);
+            Some(args.remove(i))
+        };
+        let trace = take_value("--trace");
+        let metrics = take_value("--metrics");
+        let json = args.iter().position(|a| a == "--json").map(|i| args.remove(i)).is_some();
+        Flags { trace, metrics, json }
+    }
+
+    /// Write the requested telemetry files after the subcommand ran.
+    fn export(&self, obs: &Obs) {
+        if let Some(path) = &self.trace {
+            std::fs::write(path, obs::chrome::export(&obs.recorder, true))
+                .expect("write trace file");
+            eprintln!("wrote trace to {path}");
+        }
+        if let Some(path) = &self.metrics {
+            std::fs::write(path, obs.metrics.snapshot().to_json()).expect("write metrics file");
+            eprintln!("wrote metrics to {path}");
+        }
+    }
+}
+
+fn run_validation_table(which: u8, obs: &Obs) {
+    let (label, rows, machine): (_, &[validation::RowSpec], _) = match which {
+        1 => ("Table 1", &validation::TABLE1_ROWS[..], hwbench::machines::pentium3_myrinet_sim()),
+        2 => ("Table 2", &validation::TABLE2_ROWS[..], hwbench::machines::opteron_gige_sim()),
+        3 => ("Table 3", &validation::TABLE3_ROWS[..], hwbench::machines::altix_numalink_sim()),
         _ => unreachable!(),
     };
+    let pid_base = (which as u32 - 1) * validation::TABLE_PID_STRIDE;
+    let table = validation::run_table_observed_at(label, rows, &machine, obs, pid_base);
     println!("{}", report::validation_markdown(&table));
 }
 
@@ -139,26 +188,49 @@ fn run_strong_scaling() {
     println!();
 }
 
-fn run_validate() {
+fn run_validate(obs: &Obs) {
     for which in 1..=3u8 {
-        run_validation_table(which);
+        run_validation_table(which, obs);
     }
 }
 
-fn run_sweep() {
+fn run_sweep(obs: &Obs, json: bool) {
     use std::time::Instant;
     let hw = pace_core::machines::opteron_myrinet_hypothetical();
     let workers = sweepsvc::available_workers();
-    println!("### Parallel sweep engine: Figs. 8-9 speculation on {workers} worker(s)\n");
+    if !json {
+        println!("### Parallel sweep engine: Figs. 8-9 speculation on {workers} worker(s)\n");
+    }
+    let mut json_figs = Vec::new();
     for problem in [Problem::TwentyMillion, Problem::OneBillion] {
         let t0 = Instant::now();
         let serial = speculation::run_on_serial(problem, &hw);
         let serial_wall = t0.elapsed();
-        let (parallel, stats) = speculation::run_on_with(problem, &hw, workers);
+        let (parallel, stats) = speculation::run_on_observed(problem, &hw, workers, obs);
+        let parity = parallel == serial;
+        if json {
+            json_figs.push(format!(
+                concat!(
+                    "    {{\"figure\": \"{}\", \"scenarios\": {}, \"parity\": {}, ",
+                    "\"workers\": {}, \"serial_wall_us\": {}, \"sweep_wall_us\": {}, ",
+                    "\"cache\": {{\"hits\": {}, \"misses\": {}, \"entries\": {}}}}}"
+                ),
+                problem.figure(),
+                stats.scenarios,
+                parity,
+                stats.workers.len(),
+                serial_wall.as_micros(),
+                stats.wall.as_micros(),
+                stats.cache.hits,
+                stats.cache.misses,
+                stats.cache.entries,
+            ));
+            continue;
+        }
         println!("{} ({} scenarios):", problem.figure(), stats.scenarios);
         println!(
             "  parallel == serial : {}",
-            if parallel == serial { "yes (bit-identical)" } else { "NO - MISMATCH" }
+            if parity { "yes (bit-identical)" } else { "NO - MISMATCH" }
         );
         println!("  serial wall        : {:.3} ms", serial_wall.as_secs_f64() * 1e3);
         println!(
@@ -167,6 +239,14 @@ fn run_sweep() {
             serial_wall.as_secs_f64() / stats.wall.as_secs_f64().max(1e-9)
         );
         print!("{}", stats.summary());
+        println!();
+    }
+    if json {
+        println!("{{\n  \"sweeps\": [\n{}\n  ],", json_figs.join(",\n"));
+        // The engine published the same counters to the registry; emit the
+        // deterministic subset inline for scripted consumers.
+        let snapshot = obs.metrics.snapshot().deterministic();
+        print!("  \"metrics\": {}}}", snapshot.to_json().replace('\n', "\n  "));
         println!();
     }
 }
@@ -205,19 +285,36 @@ fn run_csv(dir: &str) {
     write("fig9.csv", report::speculation_csv(&speculation::run(Problem::OneBillion)));
 }
 
+fn run_obs(obs: &Obs) {
+    let report = observability::run_representative(obs);
+    print!("{}", observability::render(&report));
+    if !report.all_exact() {
+        std::process::exit(1);
+    }
+}
+
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments <table1|table2|table3|fig1|fig8|fig9|hmcl|concurrence|ablation|blocking|asci-goals|rendezvous|strong-scaling|sweep|timeline|robustness|host-validate|csv [dir]|validate|all>"
+        "usage: experiments [--trace <path>] [--metrics <path>] [--json] <table1|table2|table3|fig1|fig8|fig9|hmcl|concurrence|ablation|blocking|asci-goals|rendezvous|strong-scaling|sweep|timeline|obs|robustness|host-validate|csv [dir]|validate|all>"
     );
     std::process::exit(2)
 }
 
 fn main() {
-    let arg = std::env::args().nth(1).unwrap_or_else(|| usage());
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let flags = Flags::extract(&mut args);
+    let arg = args.first().cloned().unwrap_or_else(|| usage());
+    // Span recording is only paid for when something consumes the spans:
+    // a `--trace` export, or the `obs` cross-check itself.
+    let obs = &if flags.trace.is_some() || matches!(arg.as_str(), "obs" | "all") {
+        Obs::enabled()
+    } else {
+        Obs::disabled()
+    };
     match arg.as_str() {
-        "table1" => run_validation_table(1),
-        "table2" => run_validation_table(2),
-        "table3" => run_validation_table(3),
+        "table1" => run_validation_table(1, obs),
+        "table2" => run_validation_table(2, obs),
+        "table3" => run_validation_table(3, obs),
         "fig1" => println!("{}", wavefront_fig::figure1_text()),
         "fig8" => run_fig(Problem::TwentyMillion),
         "fig9" => run_fig(Problem::OneBillion),
@@ -228,8 +325,9 @@ fn main() {
         "asci-goals" => run_asci(),
         "rendezvous" => run_rendezvous(),
         "strong-scaling" => run_strong_scaling(),
-        "sweep" => run_sweep(),
+        "sweep" => run_sweep(obs, flags.json),
         "timeline" => run_timeline(),
+        "obs" => run_obs(obs),
         "robustness" => {
             let r = experiments::robustness::run(
                 &hwbench::machines::opteron_gige_sim(),
@@ -256,12 +354,12 @@ fn main() {
             println!("PACE prediction                : {:.4} s", v.predicted_secs);
             println!("error                          : {:+.2}%", v.error_pct);
         }
-        "csv" => run_csv(&std::env::args().nth(2).unwrap_or_else(|| "results".into())),
-        "validate" => run_validate(),
+        "csv" => run_csv(args.get(1).map(String::as_str).unwrap_or("results")),
+        "validate" => run_validate(obs),
         "all" => {
             println!("{}", wavefront_fig::figure1_text());
             run_hmcl();
-            run_validate();
+            run_validate(obs);
             run_fig(Problem::TwentyMillion);
             run_fig(Problem::OneBillion);
             run_concurrence();
@@ -270,9 +368,11 @@ fn main() {
             run_asci();
             run_rendezvous();
             run_strong_scaling();
-            run_sweep();
+            run_sweep(obs, flags.json);
             run_timeline();
+            run_obs(obs);
         }
         _ => usage(),
     }
+    flags.export(obs);
 }

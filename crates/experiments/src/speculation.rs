@@ -118,7 +118,19 @@ pub fn run_on_with(
     hw: &HardwareModel,
     workers: usize,
 ) -> (SpeculationCurve, SweepStats) {
-    let outcome = SweepEngine::with_workers(workers).run(&sweep_spec(problem, hw));
+    run_on_observed(problem, hw, workers, &obs::Obs::disabled())
+}
+
+/// [`run_on_with`] with telemetry: the sweep engine records per-scenario
+/// wall spans and publishes pool/cache counters into `obs`.
+pub fn run_on_observed(
+    problem: Problem,
+    hw: &HardwareModel,
+    workers: usize,
+    obs: &obs::Obs,
+) -> (SpeculationCurve, SweepStats) {
+    let outcome =
+        SweepEngine::with_workers(workers).with_obs(obs.clone()).run(&sweep_spec(problem, hw));
     let points = processor_ladder()
         .into_iter()
         .enumerate()

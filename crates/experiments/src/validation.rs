@@ -179,10 +179,28 @@ pub fn measure_row(
     flop_model: &FlopModel,
     row_seed: u64,
 ) -> f64 {
+    measure_row_observed(spec, machine, flop_model, row_seed, &obs::Recorder::disabled(), 0)
+}
+
+/// [`measure_row`] with the simulated run recorded: every rank activity
+/// becomes a sim-domain span on the track group `pid`. The makespan is
+/// identical with recording on or off.
+pub fn measure_row_observed(
+    spec: &RowSpec,
+    machine: &MachineSpec,
+    flop_model: &FlopModel,
+    row_seed: u64,
+    recorder: &obs::Recorder,
+    pid: u32,
+) -> f64 {
     let config = row_config(spec);
     let programs = generate_programs(&config, flop_model);
     let machine = machine.clone().with_seed(machine.seed ^ row_seed);
-    Engine::new(&machine, programs).run().expect("trace executes without deadlock").makespan()
+    Engine::new(&machine, programs)
+        .with_recorder(recorder, pid)
+        .run()
+        .expect("trace executes without deadlock")
+        .makespan()
 }
 
 /// Predict one row with the PACE model against a benchmarked hardware
@@ -207,6 +225,36 @@ pub fn predict_row_cached(
 /// own derived seed — so they are fanned out over the worker pool; the
 /// returned table is in row order and identical for any worker count.
 pub fn run_table(label: &str, rows: &[RowSpec], machine: &MachineSpec) -> ValidationTable {
+    run_table_observed(label, rows, machine, &obs::Obs::disabled())
+}
+
+/// Spacing between the pid blocks of consecutive validation tables, so
+/// `validate`'s three tables never share a track group in one trace.
+pub const TABLE_PID_STRIDE: u32 = 100;
+
+/// [`run_table`] with telemetry. Every row's simulated measurement is
+/// recorded as a sim-span track group (pid = `pid_base` + row index),
+/// named after the row, so one `--trace` of a whole table opens in
+/// Perfetto as one process per row with one thread per rank. The table
+/// itself is unchanged by recording.
+pub fn run_table_observed(
+    label: &str,
+    rows: &[RowSpec],
+    machine: &MachineSpec,
+    obs: &obs::Obs,
+) -> ValidationTable {
+    run_table_observed_at(label, rows, machine, obs, 0)
+}
+
+/// [`run_table_observed`] with an explicit pid block start (multi-table
+/// traces give each table its own block of [`TABLE_PID_STRIDE`]).
+pub fn run_table_observed_at(
+    label: &str,
+    rows: &[RowSpec],
+    machine: &MachineSpec,
+    obs: &obs::Obs,
+    pid_base: u32,
+) -> ValidationTable {
     // Kernel calibration: one instrumented serial proxy run (the paper's
     // PAPI profiling step), shared by every row of the table.
     let reference = row_config(&rows[0]);
@@ -216,10 +264,19 @@ pub fn run_table(label: &str, rows: &[RowSpec], machine: &MachineSpec) -> Valida
     let hw = hwbench::benchmark_machine(machine, &[50], 1);
     let calibrated_mflops = hw.achieved_mflops(125_000);
 
+    let recorder = &*obs.recorder;
     let engine = sweepsvc::CachedEngine::new();
     let indexed: Vec<(usize, RowSpec)> = rows.iter().copied().enumerate().collect();
     let rows = sweepsvc::run_ordered(indexed, sweepsvc::available_workers(), |&(idx, spec)| {
-        let measured = measure_row(&spec, machine, &flop_model, idx as u64 + 1);
+        let pid = pid_base + idx as u32;
+        if recorder.is_enabled() {
+            recorder.set_process_name(
+                pid,
+                format!("{label} {}x{} on {}x{}", spec.it, spec.jt, spec.px, spec.py),
+            );
+        }
+        let measured =
+            measure_row_observed(&spec, machine, &flop_model, idx as u64 + 1, recorder, pid);
         let predicted = predict_row_cached(&spec, &hw, &engine);
         ValidationRow {
             spec,
@@ -229,6 +286,10 @@ pub fn run_table(label: &str, rows: &[RowSpec], machine: &MachineSpec) -> Valida
         }
     })
     .results;
+    let stats = engine.cache().stats();
+    obs.metrics.counter_add("validation.rows", rows.len() as u64);
+    obs.metrics.counter_add("wall.validation.cache.hits", stats.hits);
+    obs.metrics.counter_add("wall.validation.cache.misses", stats.misses);
     ValidationTable {
         label: label.to_string(),
         machine: machine.name.clone(),
@@ -312,6 +373,23 @@ mod tests {
             assert_eq!(predict_row(spec, &hw), predict_row_cached(spec, &hw, &engine));
         }
         assert!(engine.cache().hits() > 0);
+    }
+
+    #[test]
+    fn observed_table_is_identical_and_spans_cover_every_row() {
+        let machine = sim_machines::opteron_gige_sim();
+        let obs = obs::Obs::enabled();
+        let plain = run_table("Table 2", &TABLE2_ROWS, &machine);
+        let traced = run_table_observed("Table 2", &TABLE2_ROWS, &machine, &obs);
+        assert_eq!(plain, traced, "recording must not perturb the table");
+        // One track group (pid) per row, each with spans.
+        let spans = obs.recorder.sim_spans();
+        let pids: std::collections::BTreeSet<u32> = spans.iter().map(|s| s.pid).collect();
+        assert_eq!(pids.len(), TABLE2_ROWS.len());
+        assert_eq!(
+            obs.metrics.snapshot().get("validation.rows").and_then(obs::MetricValue::as_counter),
+            Some(TABLE2_ROWS.len() as u64)
+        );
     }
 
     #[test]

@@ -1,0 +1,124 @@
+//! Flat JSONL event log: one JSON object per line, trivially greppable
+//! and streamable into any log pipeline.
+//!
+//! Line shapes:
+//!
+//! ```text
+//! {"type":"span","domain":"sim","pid":1,"tid":0,"name":"compute","cat":"compute","ts_ps":0,"dur_ps":1500000,"args":{...}}
+//! {"type":"span","domain":"wall","pid":9,"tid":2,"name":"scenario","cat":"scenario","ts_us":12,"dur_us":340,"args":{...}}
+//! {"type":"event","domain":"sim","pid":1,"tid":0,"name":"iteration","ts_ps":1750000,"args":{...}}
+//! ```
+
+use std::fmt::Write as _;
+
+use crate::json::{escape, fmt_f64};
+use crate::span::{ArgValue, Args, Recorder};
+
+fn args_json(args: &Args) -> String {
+    let mut out = String::from("{");
+    for (i, (key, value)) in args.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\":", escape(key));
+        match value {
+            ArgValue::U64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            ArgValue::F64(v) => out.push_str(&fmt_f64(*v)),
+            ArgValue::Str(s) => {
+                let _ = write!(out, "\"{}\"", escape(s));
+            }
+        }
+    }
+    out.push('}');
+    out
+}
+
+/// Render a recorder's contents as JSONL. Sim-domain lines come first in
+/// deterministic order; wall-domain lines (recording order) follow only
+/// when `include_wall` is set.
+pub fn export(rec: &Recorder, include_wall: bool) -> String {
+    let mut out = String::new();
+    for s in rec.sim_spans() {
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"span\",\"domain\":\"sim\",\"pid\":{},\"tid\":{},\"name\":\"{}\",\
+             \"cat\":\"{}\",\"ts_ps\":{},\"dur_ps\":{},\"args\":{}}}",
+            s.pid,
+            s.tid,
+            escape(&s.name),
+            s.cat.as_str(),
+            s.start,
+            s.dur,
+            args_json(&s.args)
+        );
+    }
+    for e in rec.events() {
+        if !e.sim_time && !include_wall {
+            continue;
+        }
+        let (domain, unit) = if e.sim_time { ("sim", "ts_ps") } else { ("wall", "ts_us") };
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"event\",\"domain\":\"{domain}\",\"pid\":{},\"tid\":{},\
+             \"name\":\"{}\",\"{unit}\":{},\"args\":{}}}",
+            e.pid,
+            e.tid,
+            escape(&e.name),
+            e.ts,
+            args_json(&e.args)
+        );
+    }
+    if include_wall {
+        for s in rec.wall_spans() {
+            let _ = writeln!(
+                out,
+                "{{\"type\":\"span\",\"domain\":\"wall\",\"pid\":{},\"tid\":{},\"name\":\"{}\",\
+                 \"cat\":\"{}\",\"ts_us\":{},\"dur_us\":{},\"args\":{}}}",
+                s.pid,
+                s.tid,
+                escape(&s.name),
+                s.cat.as_str(),
+                s.start,
+                s.dur,
+                args_json(&s.args)
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Json;
+    use crate::span::Cat;
+
+    #[test]
+    fn every_line_is_a_json_object_with_type() {
+        let rec = Recorder::enabled();
+        rec.sim_span(0, 0, "compute", Cat::Compute, 0, 100, vec![("ws", 64usize.into())]);
+        rec.sim_span(0, 1, "recv_wait", Cat::Idle, 0, 50, vec![]);
+        rec.sim_event(0, 0, "mark", 75, vec![("note", "fill done".into())]);
+        rec.wall_span(5, 0, "scenario", Cat::Scenario, std::time::Instant::now(), vec![]);
+        let text = export(&rec, true);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        for line in lines {
+            let v = Json::parse(line).expect("line must be valid JSON");
+            assert!(matches!(v.get("type").and_then(Json::as_str), Some("span" | "event")));
+            assert!(v.get("pid").is_some() && v.get("tid").is_some());
+        }
+    }
+
+    #[test]
+    fn sim_only_export_omits_wall_lines() {
+        let rec = Recorder::enabled();
+        rec.sim_span(0, 0, "compute", Cat::Compute, 0, 100, vec![]);
+        rec.wall_span(5, 0, "scenario", Cat::Scenario, std::time::Instant::now(), vec![]);
+        let text = export(&rec, false);
+        assert_eq!(text.lines().count(), 1);
+        assert!(text.contains("\"domain\":\"sim\""));
+    }
+}

@@ -159,22 +159,25 @@ impl CacheStats {
     }
 }
 
+/// One shard: an independently locked map plus its own hit/miss counters,
+/// so the telemetry layer can report whether the key hash spreads load.
+#[derive(Debug, Default)]
+struct Shard {
+    map: RwLock<HashMap<CacheKey, CachedEval>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
 /// The sharded, lock-guarded evaluation cache.
 #[derive(Debug, Default)]
 pub struct EvalCache {
-    shards: Vec<RwLock<HashMap<CacheKey, CachedEval>>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    shards: Vec<Shard>,
 }
 
 impl EvalCache {
     /// An empty cache.
     pub fn new() -> Self {
-        EvalCache {
-            shards: (0..SHARD_COUNT).map(|_| RwLock::new(HashMap::new())).collect(),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-        }
+        EvalCache { shards: (0..SHARD_COUNT).map(|_| Shard::default()).collect() }
     }
 
     /// Look up `key`, evaluating and storing on a miss. Because evaluation
@@ -186,39 +189,51 @@ impl EvalCache {
         compute: F,
     ) -> CachedEval {
         let shard = &self.shards[key.shard()];
-        if let Some(v) = shard.read().get(&key).copied() {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+        if let Some(v) = shard.map.read().get(&key).copied() {
+            shard.hits.fetch_add(1, Ordering::Relaxed);
             return v;
         }
         let value = compute();
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        shard.write().entry(key).or_insert(value);
+        shard.misses.fetch_add(1, Ordering::Relaxed);
+        shard.map.write().entry(key).or_insert(value);
         value
     }
 
     /// Lookup without populating (does not touch the counters).
     pub fn peek(&self, key: &CacheKey) -> Option<CachedEval> {
-        self.shards[key.shard()].read().get(key).copied()
+        self.shards[key.shard()].map.read().get(key).copied()
     }
 
-    /// Cumulative hits.
+    /// Cumulative hits, summed over the shards.
     pub fn hits(&self) -> u64 {
-        self.hits.load(Ordering::Relaxed)
+        self.shards.iter().map(|s| s.hits.load(Ordering::Relaxed)).sum()
     }
 
-    /// Cumulative misses.
+    /// Cumulative misses, summed over the shards.
     pub fn misses(&self) -> u64 {
-        self.misses.load(Ordering::Relaxed)
+        self.shards.iter().map(|s| s.misses.load(Ordering::Relaxed)).sum()
     }
 
     /// Distinct entries stored.
     pub fn entries(&self) -> usize {
-        self.shards.iter().map(|s| s.read().len()).sum()
+        self.shards.iter().map(|s| s.map.read().len()).sum()
     }
 
     /// Snapshot of the counters.
     pub fn stats(&self) -> CacheStats {
         CacheStats { hits: self.hits(), misses: self.misses(), entries: self.entries() }
+    }
+
+    /// Per-shard counter snapshots, in shard order.
+    pub fn shard_stats(&self) -> Vec<CacheStats> {
+        self.shards
+            .iter()
+            .map(|s| CacheStats {
+                hits: s.hits.load(Ordering::Relaxed),
+                misses: s.misses.load(Ordering::Relaxed),
+                entries: s.map.read().len(),
+            })
+            .collect()
     }
 }
 
@@ -276,6 +291,22 @@ mod tests {
         assert_eq!((cache.hits(), cache.misses(), cache.entries()), (1, 1, 1));
         assert_eq!(cache.peek(&key), Some((1.5, None)));
         assert!((cache.stats().hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shard_stats_sum_to_totals() {
+        let (subs, hw) = subtasks();
+        let cache = EvalCache::new();
+        for sub in &subs {
+            let key = CacheKey::for_subtask(sub, &hw);
+            cache.get_or_insert_with(key.clone(), || (2.0, None));
+            cache.get_or_insert_with(key, || panic!("must hit"));
+        }
+        let shards = cache.shard_stats();
+        assert_eq!(shards.len(), 16);
+        assert_eq!(shards.iter().map(|s| s.hits).sum::<u64>(), cache.hits());
+        assert_eq!(shards.iter().map(|s| s.misses).sum::<u64>(), cache.misses());
+        assert_eq!(shards.iter().map(|s| s.entries).sum::<usize>(), cache.entries());
     }
 
     #[test]

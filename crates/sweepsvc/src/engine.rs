@@ -11,8 +11,9 @@
 //! run's cache and per-worker throughput counters.
 
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
+use obs::{Cat, Obs};
 use pace_core::engine::SubtaskTime;
 use pace_core::sweep3d_model::Sweep3dPrediction;
 use pace_core::{
@@ -149,7 +150,11 @@ pub struct SweepOutcome {
 pub struct SweepEngine {
     workers: usize,
     cache: Arc<EvalCache>,
+    obs: Obs,
 }
+
+/// Track group used for the sweep engine's wall spans.
+pub const SWEEP_PID: u32 = 1000;
 
 impl SweepEngine {
     /// An engine using all available parallelism.
@@ -159,7 +164,18 @@ impl SweepEngine {
 
     /// An engine with an explicit worker count (1 = serial).
     pub fn with_workers(workers: usize) -> Self {
-        SweepEngine { workers: workers.max(1), cache: Arc::new(EvalCache::new()) }
+        SweepEngine {
+            workers: workers.max(1),
+            cache: Arc::new(EvalCache::new()),
+            obs: Obs::disabled(),
+        }
+    }
+
+    /// Attach a telemetry bundle: scenario wall spans go to its recorder,
+    /// pool/cache counters to its metrics registry.
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// The engine's cache (shared across `run` calls).
@@ -173,13 +189,34 @@ impl SweepEngine {
     }
 
     /// Evaluate every scenario of the spec. Results come back in
-    /// scenario-id order and are bit-identical for any worker count.
+    /// scenario-id order and are bit-identical for any worker count;
+    /// telemetry only observes the run, it never alters evaluation.
     pub fn run(&self, spec: &SweepSpec) -> SweepOutcome {
         let scenarios = spec.scenarios();
         let n = scenarios.len();
+        let cache_before = self.cache.shard_stats();
         let engine = CachedEngine::with_cache(Arc::clone(&self.cache));
-        let run = pool::run_ordered(scenarios, self.workers, |sc| {
+        let rec = &*self.obs.recorder;
+        if rec.is_enabled() {
+            rec.set_process_name(SWEEP_PID, "sweepsvc");
+        }
+        let run = pool::run_ordered_with_worker(scenarios, self.workers, |worker, sc| {
+            let t0 = Instant::now();
             let pred = engine.predict(sc.params, &sc.hw);
+            if rec.is_enabled() {
+                rec.wall_span(
+                    SWEEP_PID,
+                    worker as u32,
+                    format!("scenario:{}", sc.label),
+                    Cat::Scenario,
+                    t0,
+                    vec![
+                        ("id", sc.id.into()),
+                        ("pes", (sc.params.px * sc.params.py).into()),
+                        ("total_secs", pred.total_secs.into()),
+                    ],
+                );
+            }
             ScenarioResult {
                 id: sc.id,
                 machine: sc.machine,
@@ -192,14 +229,51 @@ impl SweepEngine {
                 report: pred.report,
             }
         });
-        SweepOutcome {
-            results: run.results,
-            stats: SweepStats {
-                scenarios: n,
-                workers: run.workers,
-                cache: self.cache.stats(),
-                wall: run.wall,
-            },
+        if rec.is_enabled() {
+            for w in &run.workers {
+                rec.set_thread_name(SWEEP_PID, w.worker as u32, format!("worker {}", w.worker));
+            }
+        }
+        let stats = SweepStats {
+            scenarios: n,
+            workers: run.workers,
+            cache: self.cache.stats(),
+            wall: run.wall,
+        };
+        self.publish_metrics(&stats, &cache_before);
+        SweepOutcome { results: run.results, stats }
+    }
+
+    /// Publish the run's counters to the metrics registry. Scenario and
+    /// entry counts are scheduling-independent; everything timing- or
+    /// interleaving-dependent (worker attribution, cache hit/miss splits —
+    /// a racing double-compute turns a would-be hit into a miss) carries
+    /// the `wall.` prefix so deterministic snapshots exclude it. Cache
+    /// counters are cumulative over the engine's life, so this run's
+    /// contribution is the delta against the pre-run snapshot.
+    fn publish_metrics(&self, stats: &SweepStats, cache_before: &[CacheStats]) {
+        let m = &self.obs.metrics;
+        m.counter_add("sweep.scenarios", stats.scenarios as u64);
+        m.gauge_set("sweep.cache.entries", stats.cache.entries as f64);
+        m.gauge_set("wall.sweep.wall_us", stats.wall.as_micros() as f64);
+        let mut hits = 0;
+        let mut misses = 0;
+        for (i, (after, before)) in self.cache.shard_stats().iter().zip(cache_before).enumerate() {
+            let shard_hits = after.hits - before.hits;
+            let shard_misses = after.misses - before.misses;
+            hits += shard_hits;
+            misses += shard_misses;
+            m.counter_add(&format!("wall.sweep.cache.shard.{i:02}.hits"), shard_hits);
+            m.counter_add(&format!("wall.sweep.cache.shard.{i:02}.misses"), shard_misses);
+        }
+        m.counter_add("wall.sweep.cache.hits", hits);
+        m.counter_add("wall.sweep.cache.misses", misses);
+        for w in &stats.workers {
+            let base = format!("wall.sweep.pool.worker.{:02}", w.worker);
+            m.counter_add(&format!("{base}.items"), w.items);
+            m.counter_add(&format!("{base}.steals"), w.steals);
+            m.counter_add(&format!("{base}.retries"), w.retries);
+            m.gauge_set(&format!("{base}.busy_us"), w.busy.as_micros() as f64);
         }
     }
 }
@@ -261,6 +335,48 @@ mod tests {
         // The collective subtask is shared across the two multipliers.
         assert!(out.stats.cache.hits > 0, "stats: {:?}", out.stats.cache);
         assert!(!out.stats.summary().is_empty());
+    }
+
+    #[test]
+    fn observed_run_records_scenario_spans_and_metrics() {
+        let spec = SweepSpec::new()
+            .machine(machines::pentium3_myrinet())
+            .rate_multipliers(vec![1.0, 1.25])
+            .problem("2x2", Sweep3dParams::weak_scaling_50cubed(2, 2))
+            .problem("4x4", Sweep3dParams::weak_scaling_50cubed(4, 4));
+        let obs = obs::Obs::enabled();
+        let engine = SweepEngine::with_workers(2).with_obs(obs.clone());
+        let out = engine.run(&spec);
+        // One wall span per scenario, on a worker track of the sweep pid.
+        let spans = obs.recorder.wall_spans();
+        assert_eq!(spans.len(), out.results.len());
+        for s in &spans {
+            assert_eq!(s.pid, SWEEP_PID);
+            assert_eq!(s.cat, Cat::Scenario);
+            assert!(s.name.starts_with("scenario:"), "{}", s.name);
+        }
+        // Counters match the run's own stats.
+        let snap = obs.metrics.snapshot();
+        let counter = |name: &str| snap.get(name).and_then(obs::MetricValue::as_counter);
+        assert_eq!(counter("sweep.scenarios"), Some(out.results.len() as u64));
+        assert_eq!(counter("wall.sweep.cache.hits"), Some(out.stats.cache.hits));
+        assert_eq!(counter("wall.sweep.cache.misses"), Some(out.stats.cache.misses));
+        let items: u64 = out.stats.workers.iter().map(|w| w.items).sum();
+        let metric_items: u64 = (0..out.stats.workers.len())
+            .map(|w| counter(&format!("wall.sweep.pool.worker.{w:02}.items")).unwrap_or(0))
+            .sum();
+        assert_eq!(metric_items, items);
+    }
+
+    #[test]
+    fn telemetry_does_not_change_results() {
+        let spec = SweepSpec::new()
+            .machine(machines::pentium3_myrinet())
+            .rate_multipliers(vec![1.0, 1.5])
+            .problem("4x6", Sweep3dParams::weak_scaling_50cubed(4, 6));
+        let plain = SweepEngine::with_workers(2).run(&spec);
+        let observed = SweepEngine::with_workers(2).with_obs(obs::Obs::enabled()).run(&spec);
+        assert_eq!(plain.results, observed.results);
     }
 
     #[test]

@@ -40,7 +40,9 @@ pub mod replicate;
 pub mod spec;
 
 pub use cache::{CacheKey, CacheStats, EvalCache};
-pub use engine::{CachedEngine, SweepEngine, SweepOutcome, SweepStats};
-pub use pool::{available_workers, run_ordered, PoolRun, WorkerStats};
-pub use replicate::{replicate, Replication, ReplicationSummary};
+pub use engine::{CachedEngine, SweepEngine, SweepOutcome, SweepStats, SWEEP_PID};
+pub use pool::{available_workers, run_ordered, run_ordered_with_worker, PoolRun, WorkerStats};
+pub use replicate::{
+    replicate, replicate_observed, Replication, ReplicationSummary, REPLICATE_PID,
+};
 pub use spec::{ProblemPoint, Scenario, ScenarioResult, SweepSpec};

@@ -24,6 +24,19 @@ pub struct WorkerStats {
     pub items: u64,
     /// Time spent inside the work function.
     pub busy: Duration,
+    /// Successful steals from the shared injector (equals `items` in the
+    /// current single-queue design; kept separate so the telemetry layer
+    /// reports queue behaviour, not a derived quantity).
+    pub steals: u64,
+    /// `Steal::Retry` collisions observed while taking from the injector.
+    pub retries: u64,
+}
+
+impl WorkerStats {
+    /// A zeroed counter block for `worker`.
+    pub fn new(worker: usize) -> Self {
+        WorkerStats { worker, items: 0, busy: Duration::ZERO, steals: 0, retries: 0 }
+    }
 }
 
 impl WorkerStats {
@@ -64,14 +77,31 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
+    run_ordered_with_worker(items, workers, |_, item| work(item))
+}
+
+/// Like [`run_ordered`], but the work function also receives the index of
+/// the worker executing the item — the hook the telemetry layer uses to
+/// attribute per-scenario wall spans to pool threads.
+pub fn run_ordered_with_worker<T, R, F>(items: Vec<T>, workers: usize, work: F) -> PoolRun<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
     let started = Instant::now();
     let n = items.len();
     let workers = workers.max(1).min(n.max(1));
 
     if workers <= 1 {
         let t0 = Instant::now();
-        let results: Vec<R> = items.iter().map(&work).collect();
-        let stats = WorkerStats { worker: 0, items: n as u64, busy: t0.elapsed() };
+        let results: Vec<R> = items.iter().map(|item| work(0, item)).collect();
+        let stats = WorkerStats {
+            items: n as u64,
+            busy: t0.elapsed(),
+            steals: n as u64,
+            ..WorkerStats::new(0)
+        };
         return PoolRun { results, workers: vec![stats], wall: started.elapsed() };
     }
 
@@ -87,18 +117,22 @@ where
                 let work = &work;
                 s.spawn(move |_| {
                     let mut local: Vec<(usize, R)> = Vec::new();
-                    let mut stats = WorkerStats { worker: w, items: 0, busy: Duration::ZERO };
+                    let mut stats = WorkerStats::new(w);
                     loop {
                         match injector.steal() {
                             Steal::Success((i, item)) => {
+                                stats.steals += 1;
                                 let t0 = Instant::now();
-                                let r = work(&item);
+                                let r = work(w, &item);
                                 stats.busy += t0.elapsed();
                                 stats.items += 1;
                                 local.push((i, r));
                             }
                             Steal::Empty => break,
-                            Steal::Retry => std::hint::spin_loop(),
+                            Steal::Retry => {
+                                stats.retries += 1;
+                                std::hint::spin_loop();
+                            }
                         }
                     }
                     (stats, local)
@@ -171,9 +205,29 @@ mod tests {
 
     #[test]
     fn throughput_counter_is_sane() {
-        let stats = WorkerStats { worker: 0, items: 10, busy: Duration::from_millis(100) };
+        let stats =
+            WorkerStats { items: 10, busy: Duration::from_millis(100), ..WorkerStats::new(0) };
         assert!((stats.items_per_sec() - 100.0).abs() < 1.0);
-        let idle = WorkerStats { worker: 1, items: 0, busy: Duration::ZERO };
+        let idle = WorkerStats::new(1);
         assert_eq!(idle.items_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn steal_counters_cover_every_item() {
+        for workers in [1, 4] {
+            let run = run_ordered((0..40u64).collect(), workers, |&x| x);
+            let steals: u64 = run.workers.iter().map(|w| w.steals).sum();
+            assert_eq!(steals, 40, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn worker_index_is_within_pool_bounds() {
+        let run = run_ordered_with_worker((0..100u64).collect(), 4, |w, &x| (w, x * 2));
+        let pool_size = run.workers.len();
+        for (i, &(w, doubled)) in run.results.iter().enumerate() {
+            assert!(w < pool_size);
+            assert_eq!(doubled, (i as u64) * 2);
+        }
     }
 }

@@ -8,11 +8,15 @@
 //! the summary is identical whether the runs happened concurrently or
 //! sequentially.
 
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use cluster_sim::{Engine, MachineSpec, Program, RunReport, SimResult};
+use obs::{Cat, Obs};
 
 use crate::pool::{self, WorkerStats};
+
+/// Track group used for replication wall spans.
+pub const REPLICATE_PID: u32 = 1001;
 
 /// One seeded simulation run.
 #[derive(Debug, Clone, PartialEq)]
@@ -93,24 +97,57 @@ pub fn replicate(
     seeds: &[u64],
     workers: usize,
 ) -> SimResult<ReplicationSummary> {
-    let run = pool::run_ordered(seeds.to_vec(), workers, |&seed| {
+    replicate_observed(machine, programs, seeds, workers, &Obs::disabled())
+}
+
+/// [`replicate`] with telemetry: each seeded run becomes a wall span on
+/// its worker's track, and the summary merge publishes its duration to
+/// the metrics registry (`wall.replicate.merge_us`).
+pub fn replicate_observed(
+    machine: &MachineSpec,
+    programs: &[Program],
+    seeds: &[u64],
+    workers: usize,
+    obs: &Obs,
+) -> SimResult<ReplicationSummary> {
+    let rec = &*obs.recorder;
+    if rec.is_enabled() {
+        rec.set_process_name(REPLICATE_PID, format!("replicate {}", machine.name));
+    }
+    let run = pool::run_ordered_with_worker(seeds.to_vec(), workers, |worker, &seed| {
+        let t0 = Instant::now();
         let seeded = machine.clone().with_seed(seed);
-        Engine::new(&seeded, programs.to_vec()).run().map(|report| Replication {
+        let result = Engine::new(&seeded, programs.to_vec()).run().map(|report| Replication {
             seed,
             makespan_secs: report.makespan(),
             report,
-        })
+        });
+        if rec.is_enabled() {
+            rec.wall_span(
+                REPLICATE_PID,
+                worker as u32,
+                format!("seed:{seed}"),
+                Cat::Task,
+                t0,
+                vec![("seed", seed.into())],
+            );
+        }
+        result
     });
+    let merge_started = Instant::now();
     let mut replications = Vec::with_capacity(run.results.len());
     for result in run.results {
         replications.push(result?);
     }
-    Ok(ReplicationSummary {
+    let summary = ReplicationSummary {
         machine: machine.name.clone(),
         replications,
         workers: run.workers,
         wall: run.wall,
-    })
+    };
+    obs.metrics.counter_add("replicate.seeds", seeds.len() as u64);
+    obs.metrics.gauge_set("wall.replicate.merge_us", merge_started.elapsed().as_micros() as f64);
+    Ok(summary)
 }
 
 #[cfg(test)]
@@ -160,6 +197,24 @@ mod tests {
             makespans.windows(2).any(|w| w[0] != w[1]),
             "noise seeds had no effect: {makespans:?}"
         );
+    }
+
+    #[test]
+    fn observed_replication_records_spans_and_merge_metric() {
+        let machine = noisy_machine();
+        let obs = obs::Obs::enabled();
+        let summary =
+            replicate_observed(&machine, &ring_programs(3), &[1, 2, 3, 4], 2, &obs).unwrap();
+        assert_eq!(summary.replications.len(), 4);
+        let spans = obs.recorder.wall_spans();
+        assert_eq!(spans.len(), 4);
+        assert!(spans.iter().all(|s| s.pid == REPLICATE_PID && s.cat == Cat::Task));
+        let snap = obs.metrics.snapshot();
+        assert_eq!(snap.get("replicate.seeds").and_then(obs::MetricValue::as_counter), Some(4));
+        assert!(snap.get("wall.replicate.merge_us").is_some());
+        // Telemetry must not perturb the simulated results.
+        let plain = replicate(&machine, &ring_programs(3), &[1, 2, 3, 4], 2).unwrap();
+        assert_eq!(plain.replications, summary.replications);
     }
 
     #[test]

@@ -1,0 +1,172 @@
+//! Cross-crate exporter tests: a real instrumented simulation run, pushed
+//! through both exporters and validated end to end — JSON shape,
+//! per-track timestamp monotonicity, span-total/`RankStats` agreement and
+//! byte determinism across identical runs.
+
+use std::collections::BTreeMap;
+
+use cluster_sim::{Engine, MachineSpec, NetworkModel, Op, Program};
+use obs::json::Json;
+use obs::{chrome, jsonl, Cat, Recorder};
+
+/// A deterministic but non-trivial run: 5-rank pipeline with noise, both
+/// messaging protocols and a closing collective.
+fn traced_run(pid: u32) -> (Recorder, cluster_sim::RunReport) {
+    let mut machine = MachineSpec::ideal(200.0)
+        .with_noise(cluster_sim::NoiseModel::commodity())
+        .with_seed(0xC0FFEE)
+        .with_rendezvous(4096);
+    machine.network = NetworkModel::from_link(10.0, 150.0, 3.0, 4096.0);
+    let ranks = 5;
+    let mut programs = Vec::new();
+    for r in 0..ranks {
+        let mut p = Program::new();
+        for b in 0..6u32 {
+            if r > 0 {
+                p.push(Op::Recv { from: r - 1, tag: b });
+            }
+            p.push(Op::Compute { flops: 2e6, working_set: 4096 });
+            if r + 1 < ranks {
+                p.push(Op::Send { to: r + 1, bytes: if b % 2 == 0 { 512 } else { 8192 }, tag: b });
+            }
+        }
+        p.push(Op::AllReduce { bytes: 16 });
+        programs.push(p);
+    }
+    let rec = Recorder::enabled();
+    let report = Engine::new(&machine, programs).with_recorder(&rec, pid).run().unwrap();
+    (rec, report)
+}
+
+#[test]
+fn chrome_trace_round_trips_with_required_fields() {
+    let (rec, _) = traced_run(3);
+    let doc = chrome::export(&rec, true);
+    let parsed = Json::parse(&doc).expect("chrome export must be valid JSON");
+    let events = parsed.get("traceEvents").unwrap().as_arr().unwrap();
+    assert!(!events.is_empty());
+    let mut complete_spans = 0;
+    for ev in events {
+        let ph = ev.get("ph").and_then(Json::as_str).expect("every event has ph");
+        assert!(ev.get("pid").and_then(Json::as_f64).is_some());
+        if ph == "X" {
+            complete_spans += 1;
+            assert!(ev.get("tid").and_then(Json::as_f64).is_some());
+            assert!(ev.get("ts").and_then(Json::as_f64).is_some());
+            assert!(ev.get("dur").and_then(Json::as_f64).is_some());
+            assert!(ev.get("name").and_then(Json::as_str).is_some());
+        }
+    }
+    assert!(complete_spans > 20, "expected a real span stream, got {complete_spans}");
+}
+
+#[test]
+fn chrome_trace_timestamps_are_monotonic_per_track() {
+    let (rec, _) = traced_run(0);
+    let doc = chrome::export(&rec, false);
+    let parsed = Json::parse(&doc).unwrap();
+    let events = parsed.get("traceEvents").unwrap().as_arr().unwrap();
+    let mut last_ts: BTreeMap<(u64, u64), f64> = BTreeMap::new();
+    for ev in events {
+        if ev.get("ph").and_then(Json::as_str) != Some("X") {
+            continue;
+        }
+        let key = (
+            ev.get("pid").and_then(Json::as_f64).unwrap() as u64,
+            ev.get("tid").and_then(Json::as_f64).unwrap() as u64,
+        );
+        let ts = ev.get("ts").and_then(Json::as_f64).unwrap();
+        if let Some(prev) = last_ts.get(&key) {
+            assert!(ts >= *prev, "track {key:?}: ts {ts} after {prev}");
+        }
+        last_ts.insert(key, ts);
+    }
+    assert!(last_ts.len() >= 5, "expected one track per rank");
+}
+
+#[test]
+fn span_totals_agree_with_rank_stats() {
+    let (rec, report) = traced_run(7);
+    let totals = rec.sim_totals();
+    for (rank, stats) in report.ranks.iter().enumerate() {
+        let total = |cat: Cat| totals.get(&(7, rank as u32, cat)).copied().unwrap_or(0);
+        assert_eq!(total(Cat::Compute), stats.compute.picos(), "rank {rank} compute");
+        assert_eq!(
+            total(Cat::Comm),
+            (stats.send_overhead + stats.send_wait + stats.recv_overhead).picos(),
+            "rank {rank} comm"
+        );
+        assert_eq!(total(Cat::Collective), stats.collective.picos(), "rank {rank} collective");
+        assert_eq!(total(Cat::Idle), stats.recv_wait.picos(), "rank {rank} idle");
+        // And the four categories tile the rank's whole timeline.
+        assert_eq!(
+            total(Cat::Compute) + total(Cat::Comm) + total(Cat::Collective) + total(Cat::Idle),
+            stats.finish.picos(),
+            "rank {rank} coverage"
+        );
+    }
+}
+
+#[test]
+fn identical_runs_export_byte_identical_sim_traces() {
+    let (rec_a, report_a) = traced_run(1);
+    let (rec_b, report_b) = traced_run(1);
+    assert_eq!(report_a, report_b, "the run itself must be deterministic");
+    assert_eq!(
+        chrome::export(&rec_a, false),
+        chrome::export(&rec_b, false),
+        "sim-only chrome export must be byte-identical"
+    );
+    assert_eq!(
+        jsonl::export(&rec_a, false),
+        jsonl::export(&rec_b, false),
+        "sim-only jsonl export must be byte-identical"
+    );
+}
+
+#[test]
+fn jsonl_lines_validate_and_carry_exact_picoseconds() {
+    let (rec, report) = traced_run(2);
+    let text = jsonl::export(&rec, false);
+    let mut dur_by_rank: BTreeMap<u64, u64> = BTreeMap::new();
+    for line in text.lines() {
+        let v = Json::parse(line).expect("every jsonl line is valid JSON");
+        assert_eq!(v.get("domain").and_then(Json::as_str), Some("sim"));
+        let tid = v.get("tid").and_then(Json::as_f64).unwrap() as u64;
+        let dur = v.get("dur_ps").and_then(Json::as_f64).unwrap_or(0.0) as u64;
+        *dur_by_rank.entry(tid).or_insert(0) += dur;
+    }
+    // Integer ps durations survive the round trip: per-rank sums equal
+    // the engine's finish times exactly.
+    for (rank, stats) in report.ranks.iter().enumerate() {
+        assert_eq!(dur_by_rank[&(rank as u64)], stats.finish.picos(), "rank {rank}");
+    }
+}
+
+#[test]
+fn tracing_does_not_perturb_the_untraced_run() {
+    let (_, traced) = traced_run(0);
+    let mut machine = MachineSpec::ideal(200.0)
+        .with_noise(cluster_sim::NoiseModel::commodity())
+        .with_seed(0xC0FFEE)
+        .with_rendezvous(4096);
+    machine.network = NetworkModel::from_link(10.0, 150.0, 3.0, 4096.0);
+    let ranks = 5;
+    let mut programs = Vec::new();
+    for r in 0..ranks {
+        let mut p = Program::new();
+        for b in 0..6u32 {
+            if r > 0 {
+                p.push(Op::Recv { from: r - 1, tag: b });
+            }
+            p.push(Op::Compute { flops: 2e6, working_set: 4096 });
+            if r + 1 < ranks {
+                p.push(Op::Send { to: r + 1, bytes: if b % 2 == 0 { 512 } else { 8192 }, tag: b });
+            }
+        }
+        p.push(Op::AllReduce { bytes: 16 });
+        programs.push(p);
+    }
+    let plain = Engine::new(&machine, programs).run().unwrap();
+    assert_eq!(plain, traced);
+}

@@ -60,8 +60,50 @@ proptest! {
         machine.network = NetworkModel::from_link(5.0, 200.0, 1.0, 4096.0);
         let report = Engine::new(&machine, programs).run().unwrap();
         for r in &report.ranks {
-            let diff = (r.accounted().as_secs() - r.finish.as_secs()).abs();
-            prop_assert!(diff < 1e-9);
+            prop_assert_eq!(r.accounted().picos(), r.finish.picos());
+        }
+    }
+
+    /// Time accounting is exact — not approximate — under OS noise and
+    /// both messaging protocols: for any noise seed, every rank's
+    /// accounted time equals its finish time in integer picoseconds.
+    #[test]
+    fn accounting_is_exact_across_noise_seeds(
+        seed in any::<u64>(),
+        ranks in 2usize..6,
+        blocks in 1usize..8,
+    ) {
+        let mut programs = Vec::new();
+        for r in 0..ranks {
+            let mut prog = Program::new();
+            for blk in 0..blocks as u32 {
+                if r > 0 {
+                    prog.push(Op::Recv { from: r - 1, tag: blk });
+                }
+                prog.push(Op::Compute { flops: 5e5, working_set: 2000 });
+                if r + 1 < ranks {
+                    // Alternate eager and rendezvous-sized messages.
+                    let bytes = if blk % 2 == 0 { 256 } else { 8192 };
+                    prog.push(Op::Send { to: r + 1, bytes, tag: blk });
+                }
+            }
+            prog.push(Op::AllReduce { bytes: 8 });
+            programs.push(prog);
+        }
+        let mut machine = MachineSpec::ideal(150.0)
+            .with_noise(cluster_sim::NoiseModel::commodity())
+            .with_seed(seed)
+            .with_rendezvous(4096);
+        machine.network = NetworkModel::from_link(8.0, 120.0, 2.0, 4096.0);
+        let report = Engine::new(&machine, programs).run().unwrap();
+        for (rank, r) in report.ranks.iter().enumerate() {
+            prop_assert_eq!(
+                r.accounted().picos(),
+                r.finish.picos(),
+                "rank {} of seed {:#x}",
+                rank,
+                seed
+            );
         }
     }
 

@@ -1,2 +1,432 @@
-//! pace-bench: Criterion benchmark targets for the paper's tables, figures
-//! and ablations. See the `benches/` directory; this library is empty.
+//! pace-bench: benchmark harness for the repository's hot paths.
+//!
+//! Two kinds of targets live here:
+//!
+//! * `benches/` — Criterion micro-benchmarks (one per paper table/figure
+//!   plus ablations), for interactive profiling;
+//! * the `engine-bench` binary — a **tracked** engine benchmark that
+//!   writes `BENCH_engine.json` at the repository root: wall-clock
+//!   percentiles, simulated events/sec and memory proxies for the
+//!   Fig. 8/9 speculative campaigns and Table 1–3-shaped validation
+//!   fixtures, measured through both the retained pre-optimization
+//!   scheduler ([`cluster_sim::ReferenceEngine`], "before") and the
+//!   dense-channel engine ([`cluster_sim::Engine`], "after").
+//!
+//! The binary is what CI runs (`engine-bench --smoke --check <baseline>`):
+//! reduced sizes, artifact upload, and a hard failure when the optimized
+//! engine's median wall time regresses more than 2× against the committed
+//! baseline. See EXPERIMENTS.md ("Tracked engine benchmarks") for the
+//! schema and the blessing procedure.
+
+use std::time::Instant;
+
+use cluster_sim::{Engine, MachineSpec, NoiseModel, ReferenceEngine, RunReport};
+use sweep3d::trace::{generate_program_set, generate_programs, FlopModel};
+use sweep3d::ProblemConfig;
+
+/// Fixed calibration constants (the golden-fixture family) so benchmark
+/// inputs never depend on a profiling run.
+pub fn bench_flop_model() -> FlopModel {
+    FlopModel {
+        flops_per_cell_angle: 21.5,
+        source_flops_per_cell: 2.0,
+        flux_err_flops_per_cell: 3.0,
+    }
+}
+
+/// One benchmark scenario: a machine and a problem configuration.
+pub struct BenchScenario {
+    /// Stable scenario name (the key the regression check joins on).
+    pub name: &'static str,
+    /// Machine simulated.
+    pub machine: MachineSpec,
+    /// Problem configuration (array extents, blocking, iterations).
+    pub config: ProblemConfig,
+    /// Timed repetitions per engine.
+    pub reps: usize,
+}
+
+fn speculation_machine() -> MachineSpec {
+    let mut m = hwbench::machines::opteron_myrinet_sim();
+    m.noise = NoiseModel::commodity();
+    m.rendezvous_bytes = Some(4096);
+    m
+}
+
+fn validation_machine(mut m: MachineSpec) -> MachineSpec {
+    m.noise = NoiseModel::commodity();
+    m.rendezvous_bytes = Some(4096);
+    m.seed = 0xF1B5_EED0;
+    m
+}
+
+fn table_config(px: usize, py: usize) -> ProblemConfig {
+    let mut c = ProblemConfig::weak_scaling(4, px, py);
+    c.mk = 2;
+    c.iterations = 2;
+    c
+}
+
+fn speculative_config(problem_20m: bool, px: usize, py: usize, iterations: usize) -> ProblemConfig {
+    let mut c = if problem_20m {
+        ProblemConfig::speculative(5, 5, 100, px, py)
+    } else {
+        ProblemConfig::speculative(25, 25, 200, px, py)
+    };
+    c.iterations = iterations;
+    c
+}
+
+/// The scenario set. `smoke` keeps CI runs short: smaller arrays, fewer
+/// repetitions, distinct scenario names (so a smoke baseline and a full
+/// baseline never get compared to each other).
+pub fn scenarios(smoke: bool) -> Vec<BenchScenario> {
+    if smoke {
+        vec![
+            BenchScenario {
+                name: "fig8_512pe_smoke",
+                machine: speculation_machine(),
+                config: speculative_config(true, 16, 32, 1),
+                reps: 3,
+            },
+            BenchScenario {
+                name: "fig9_64pe_smoke",
+                machine: speculation_machine(),
+                config: speculative_config(false, 8, 8, 1),
+                reps: 3,
+            },
+            BenchScenario {
+                name: "table2_64pe_smoke",
+                machine: validation_machine(hwbench::machines::opteron_gige_sim()),
+                config: table_config(8, 8),
+                reps: 3,
+            },
+        ]
+    } else {
+        vec![
+            BenchScenario {
+                name: "fig8_8000pe",
+                machine: speculation_machine(),
+                config: speculative_config(true, 80, 100, 1),
+                reps: 3,
+            },
+            BenchScenario {
+                name: "fig9_8000pe",
+                machine: speculation_machine(),
+                config: speculative_config(false, 80, 100, 1),
+                reps: 3,
+            },
+            BenchScenario {
+                name: "table1_pentium3_64pe",
+                machine: validation_machine(hwbench::machines::pentium3_myrinet_sim()),
+                config: table_config(8, 8),
+                reps: 5,
+            },
+            BenchScenario {
+                name: "table2_opteron_512pe",
+                machine: validation_machine(hwbench::machines::opteron_gige_sim()),
+                config: table_config(16, 32),
+                reps: 5,
+            },
+            BenchScenario {
+                name: "table3_altix_512pe",
+                machine: validation_machine(hwbench::machines::altix_numalink_sim()),
+                config: table_config(16, 32),
+                reps: 5,
+            },
+        ]
+    }
+}
+
+/// Wall-clock sample percentiles over a scenario's repetitions.
+#[derive(Debug, Clone, Copy)]
+pub struct WallStats {
+    /// Fastest repetition, milliseconds.
+    pub min_ms: f64,
+    /// Median repetition.
+    pub p50_ms: f64,
+    /// 90th percentile (== max for small rep counts).
+    pub p90_ms: f64,
+}
+
+impl WallStats {
+    fn from_samples(mut ms: Vec<f64>) -> Self {
+        ms.sort_by(f64::total_cmp);
+        let pick = |q: f64| ms[((ms.len() - 1) as f64 * q).round() as usize];
+        WallStats { min_ms: ms[0], p50_ms: pick(0.5), p90_ms: pick(0.9) }
+    }
+}
+
+/// Measured numbers for one engine on one scenario.
+#[derive(Debug, Clone)]
+pub struct EngineSide {
+    /// Wall-clock percentiles; each repetition includes program setup
+    /// (clone of the per-rank vectors for "before", an `Arc`-bump clone
+    /// of the shared set for "after") plus the run itself.
+    pub wall: WallStats,
+    /// Simulated events (executed ops) per second at the median wall.
+    pub events_per_sec: f64,
+    /// Bytes of program representation the engine executes from.
+    pub program_bytes: usize,
+    /// Process peak-RSS proxy (`VmHWM` from /proc/self/status, kB) read
+    /// after this side's repetitions. Monotone within the process; the
+    /// harness runs the lean side first so a growth here is attributable.
+    pub vm_hwm_kb: Option<u64>,
+}
+
+/// The result of one scenario: both engines plus cross-checks.
+#[derive(Debug, Clone)]
+pub struct ScenarioResult {
+    /// Scenario name.
+    pub name: &'static str,
+    /// Total ranks simulated.
+    pub ranks: usize,
+    /// Ops executed per run (sum over ranks).
+    pub ops_per_run: usize,
+    /// Distinct interned op streams in the shared encoding.
+    pub streams: usize,
+    /// Ops stored once under the shared encoding.
+    pub stored_ops: usize,
+    /// Dense channels the optimized engine allocated.
+    pub channels: usize,
+    /// Peak queued entries across all channels.
+    pub peak_queued: usize,
+    /// Pre-optimization scheduler ("before").
+    pub reference: EngineSide,
+    /// Dense-channel engine ("after").
+    pub optimized: EngineSide,
+    /// Whether both engines produced bit-identical `RunReport`s.
+    pub digest_match: bool,
+}
+
+impl ScenarioResult {
+    /// Median-wall speedup of the optimized engine over the reference.
+    pub fn speedup_p50(&self) -> f64 {
+        self.reference.wall.p50_ms / self.optimized.wall.p50_ms.max(1e-9)
+    }
+}
+
+/// `VmHWM` (peak resident set, kB) of this process, when the platform
+/// exposes it.
+pub fn vm_hwm_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+fn time_reps<F: FnMut() -> RunReport>(reps: usize, mut run: F) -> (WallStats, RunReport) {
+    let mut samples = Vec::with_capacity(reps);
+    let mut last = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let report = run();
+        samples.push(t0.elapsed().as_secs_f64() * 1e3);
+        last = Some(report);
+    }
+    (WallStats::from_samples(samples), last.expect("reps >= 1"))
+}
+
+/// Run one scenario through both engines. The optimized engine goes
+/// first so the peak-RSS proxy (a process-wide high-water mark) cannot
+/// credit the reference side's allocations to it.
+pub fn run_scenario(s: &BenchScenario) -> ScenarioResult {
+    let fm = bench_flop_model();
+    let set = generate_program_set(&s.config, &fm);
+    let ops_per_run = set.total_ops();
+    let stored_ops = set.stored_ops();
+    let streams = set.num_streams();
+    let ranks = set.num_ranks();
+
+    // "After": shared encoding, cloned per repetition (Arc bumps).
+    let mut probe = cluster_sim::MemProbe::default();
+    let (opt_wall, opt_report) = time_reps(s.reps, || {
+        let (report, p) =
+            Engine::from_set(&s.machine, set.clone()).run_probed().expect("scenario runs");
+        probe = p;
+        report
+    });
+    let optimized = EngineSide {
+        wall: opt_wall,
+        events_per_sec: ops_per_run as f64 / (opt_wall.p50_ms / 1e3).max(1e-12),
+        program_bytes: stored_ops * std::mem::size_of::<cluster_sim::SharedOp>(),
+        vm_hwm_kb: vm_hwm_kb(),
+    };
+
+    // "Before": per-rank op vectors, cloned per repetition (deep copies —
+    // exactly what every seed of a pre-optimization campaign paid).
+    let programs = generate_programs(&s.config, &fm);
+    let (ref_wall, ref_report) = time_reps(s.reps, || {
+        ReferenceEngine::new(&s.machine, programs.clone()).run().expect("scenario runs")
+    });
+    let reference = EngineSide {
+        wall: ref_wall,
+        events_per_sec: ops_per_run as f64 / (ref_wall.p50_ms / 1e3).max(1e-12),
+        program_bytes: ops_per_run * std::mem::size_of::<cluster_sim::Op>(),
+        vm_hwm_kb: vm_hwm_kb(),
+    };
+
+    ScenarioResult {
+        name: s.name,
+        ranks,
+        ops_per_run,
+        streams,
+        stored_ops,
+        channels: probe.channels,
+        peak_queued: probe.peak_queued,
+        reference,
+        optimized,
+        digest_match: ref_report == opt_report,
+    }
+}
+
+fn side_json(side: &EngineSide, extra: &str) -> String {
+    format!(
+        concat!(
+            "{{\"wall_ms\": {{\"min\": {:.3}, \"p50\": {:.3}, \"p90\": {:.3}}}, ",
+            "\"events_per_sec\": {:.0}, \"program_bytes\": {}{}, \"vm_hwm_kb\": {}}}"
+        ),
+        side.wall.min_ms,
+        side.wall.p50_ms,
+        side.wall.p90_ms,
+        side.events_per_sec,
+        side.program_bytes,
+        extra,
+        side.vm_hwm_kb.map_or("null".to_string(), |v| v.to_string()),
+    )
+}
+
+/// Encode results as the `BENCH_engine.json` document (schema
+/// `pace-bench/engine-v1`, hand-rolled JSON — no serializer dependency).
+pub fn to_json(mode: &str, results: &[ScenarioResult]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"pace-bench/engine-v1\",\n");
+    out.push_str(&format!("  \"mode\": \"{mode}\",\n"));
+    out.push_str("  \"scenarios\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"name\": \"{}\",\n", r.name));
+        out.push_str(&format!("      \"ranks\": {},\n", r.ranks));
+        out.push_str(&format!("      \"ops_per_run\": {},\n", r.ops_per_run));
+        out.push_str(&format!("      \"streams\": {},\n", r.streams));
+        out.push_str(&format!("      \"stored_ops\": {},\n", r.stored_ops));
+        out.push_str(&format!("      \"before\": {},\n", side_json(&r.reference, "")));
+        let extra = format!(", \"channels\": {}, \"peak_queued\": {}", r.channels, r.peak_queued);
+        out.push_str(&format!("      \"after\": {},\n", side_json(&r.optimized, &extra)));
+        out.push_str(&format!("      \"speedup_p50\": {:.2},\n", r.speedup_p50()));
+        out.push_str(&format!("      \"digest_match\": {}\n", r.digest_match));
+        out.push_str(if i + 1 == results.len() { "    }\n" } else { "    },\n" });
+    }
+    out.push_str("  ],\n");
+    // Flat map the regression checker reads without a JSON parser.
+    out.push_str("  \"check\": {\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    \"{}_after_p50_ms\": {:.3}{}\n",
+            r.name,
+            r.optimized.wall.p50_ms,
+            if i + 1 == results.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  }\n}\n");
+    out
+}
+
+/// Extract `"<name>_after_p50_ms": <value>` from a baseline document.
+pub fn baseline_p50_ms(baseline: &str, name: &str) -> Option<f64> {
+    let key = format!("\"{name}_after_p50_ms\":");
+    let at = baseline.find(&key)? + key.len();
+    let rest = baseline[at..].trim_start();
+    let end =
+        rest.find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-')).unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Compare current results against a committed baseline: any scenario
+/// present in both whose optimized median wall time regressed by more
+/// than `factor`× fails. Scenarios missing from the baseline are skipped
+/// (new scenarios don't break CI until blessed).
+pub fn check_regressions(
+    results: &[ScenarioResult],
+    baseline: &str,
+    factor: f64,
+) -> Result<(), String> {
+    let mut failures = Vec::new();
+    let mut compared = 0;
+    for r in results {
+        let Some(base) = baseline_p50_ms(baseline, r.name) else { continue };
+        compared += 1;
+        let now = r.optimized.wall.p50_ms;
+        if now > base * factor {
+            failures.push(format!(
+                "{}: optimized p50 {now:.3} ms vs baseline {base:.3} ms (> {factor}x)",
+                r.name
+            ));
+        }
+    }
+    if compared == 0 {
+        return Err("baseline contains none of the measured scenarios".into());
+    }
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(failures.join("\n"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_scenarios_run_and_agree() {
+        let all = scenarios(true);
+        assert_eq!(all.len(), 3);
+        // One tiny scenario end-to-end: both engines bit-identical and
+        // sharing strictly smaller than materialized storage.
+        let s = BenchScenario {
+            name: "unit",
+            machine: validation_machine(hwbench::machines::opteron_gige_sim()),
+            config: table_config(4, 4),
+            reps: 1,
+        };
+        let r = run_scenario(&s);
+        assert!(r.digest_match, "engines diverged");
+        assert_eq!(r.ranks, 16);
+        assert!(r.stored_ops < r.ops_per_run);
+        assert!(r.channels > 0 && r.peak_queued > 0);
+        assert!(r.optimized.wall.p50_ms > 0.0 && r.reference.wall.p50_ms > 0.0);
+    }
+
+    #[test]
+    fn json_roundtrips_through_the_checker() {
+        let s = BenchScenario {
+            name: "unit",
+            machine: validation_machine(hwbench::machines::opteron_gige_sim()),
+            config: table_config(2, 2),
+            reps: 1,
+        };
+        let r = run_scenario(&s);
+        let doc = to_json("smoke", std::slice::from_ref(&r));
+        assert!(doc.contains("\"schema\": \"pace-bench/engine-v1\""));
+        let parsed = baseline_p50_ms(&doc, "unit").expect("check key present");
+        assert!((parsed - (r.optimized.wall.p50_ms * 1e3).round() / 1e3).abs() < 1e-9);
+        // Self-comparison passes; an absurdly fast baseline fails.
+        check_regressions(std::slice::from_ref(&r), &doc, 2.0).expect("self-check passes");
+        let tight = doc.replace(&format!("{:.3}", r.optimized.wall.p50_ms), "0.000001");
+        assert!(check_regressions(&[r], &tight, 2.0).is_err());
+    }
+
+    #[test]
+    fn missing_baseline_scenarios_are_skipped_not_failed() {
+        let s = BenchScenario {
+            name: "unit",
+            machine: validation_machine(hwbench::machines::opteron_gige_sim()),
+            config: table_config(2, 2),
+            reps: 1,
+        };
+        let r = run_scenario(&s);
+        let err = check_regressions(&[r], "{\"check\": {}}", 2.0).unwrap_err();
+        assert!(err.contains("none of the measured scenarios"));
+    }
+}

@@ -10,6 +10,29 @@
 //! are consumed in per-rank program order, so scheduling interleavings
 //! cannot change the outcome.
 //!
+//! # Execution-core layout
+//!
+//! The engine is built for large rank counts (the paper's speculative
+//! 8000-PE campaigns):
+//!
+//! * Programs are held as a shared [`ProgramSet`]: each distinct op stream
+//!   is stored once and sends/receives name a *slot* into the rank's
+//!   partner table (≤4 partners for a SWEEP3D rank).
+//! * Message queues are dense per-channel tables: one channel per directed
+//!   `(src, dst)` partner edge, resolved from the slot tables before the
+//!   run starts. The hot path never hashes and never allocates map
+//!   entries; the channel count is fixed by the topology, independent of
+//!   run length (the old `HashMap<(rank, rank, tag), VecDeque>` design
+//!   retained one empty queue per tag forever). Matching scans the edge
+//!   queue for the first tag match, which preserves the per-`(src, dst,
+//!   tag)` FIFO order bit-exactly.
+//! * Hot per-rank state (clock, pc, status) lives in parallel arrays so
+//!   the scheduler loop stays cache-resident at 8000+ ranks.
+//!
+//! The retained pre-optimization scheduler lives in [`crate::reference`];
+//! golden-digest and property tests pin this engine's `RunReport`s to it
+//! bit-for-bit.
+//!
 //! With [`Engine::with_recorder`] the engine additionally emits one
 //! telemetry span per activity interval — compute blocks, send/receive
 //! overheads, rendezvous stalls, receive waits and collectives — keyed on
@@ -17,63 +40,164 @@
 //! [`RankStats`] exactly. Recording never touches the noise streams or
 //! clocks: results are bit-identical with tracing on or off.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 use obs::{Cat, Recorder};
 
 use crate::error::{SimError, SimResult};
 use crate::machine::MachineSpec;
 use crate::noise::NoiseStream;
-use crate::program::{validate_programs, Op, Program};
+use crate::program::Program;
+use crate::progset::{ProgramSet, SharedOp};
 use crate::stats::{RankStats, RunReport};
 use crate::time::SimTime;
 
-/// Rank scheduling status.
-#[derive(Debug, Clone, Copy, PartialEq)]
-enum Status {
+/// Rank scheduling status (compact: fits SoA status array).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum St {
     Ready,
     BlockedRecv {
-        from: usize,
+        from: u32,
         tag: u32,
     },
     /// Rendezvous sender waiting for the receiver to post its receive.
     BlockedSend {
-        to: usize,
+        to: u32,
         tag: u32,
     },
     Parked,
     Done,
 }
 
-/// A rendezvous send parked until its receive is posted.
+/// An in-flight message on a channel queue.
 #[derive(Debug, Clone, Copy)]
-struct PendingSend {
+struct Msg {
+    tag: u32,
+    bytes: usize,
+    arrival: SimTime,
+}
+
+/// A rendezvous send parked on its channel until the receive is posted.
+#[derive(Debug, Clone, Copy)]
+struct Pend {
+    tag: u32,
+    bytes: usize,
     /// Time the sender became ready to transfer (after the send-call
     /// overhead).
     ready: SimTime,
-    /// Message size.
-    bytes: usize,
     /// Pre-drawn wire jitter (drawn at send execution so noise stays in
     /// program order).
     jitter: SimTime,
 }
 
-/// Per-rank execution state.
-struct RankState {
-    clock: SimTime,
-    pc: usize,
-    status: Status,
-    noise: NoiseStream,
-    stats: RankStats,
-    /// Arrival clock at the collective the rank is parked on.
-    park_clock: SimTime,
+/// Per-rank noise streams, elided entirely for silent machines so an
+/// 8000-PE noiseless run seeds no RNGs. The silent fast path is
+/// bit-identical: a silent [`NoiseStream`] returns its constants without
+/// drawing.
+enum NoiseBank {
+    Silent,
+    PerRank(Vec<NoiseStream>),
 }
 
-/// The simulation engine. Construct with [`Engine::new`], run with
+impl NoiseBank {
+    fn new(machine: &MachineSpec, n: usize) -> Self {
+        if machine.noise.is_none() {
+            NoiseBank::Silent
+        } else {
+            NoiseBank::PerRank(
+                (0..n).map(|r| NoiseStream::new(machine.noise, machine.seed, r)).collect(),
+            )
+        }
+    }
+
+    #[inline]
+    fn compute_factor(&mut self, r: usize) -> f64 {
+        match self {
+            NoiseBank::Silent => 1.0,
+            NoiseBank::PerRank(v) => v[r].compute_factor(),
+        }
+    }
+
+    #[inline]
+    fn message_jitter_secs(&mut self, r: usize) -> f64 {
+        match self {
+            NoiseBank::Silent => 0.0,
+            NoiseBank::PerRank(v) => v[r].message_jitter_secs(),
+        }
+    }
+}
+
+/// Memory-footprint counters of one run's channel tables (see
+/// [`Engine::run_probed`]). The channel count is a pure function of the
+/// topology and the queue peaks are bounded by in-flight traffic, so a
+/// longer run of the same program shape must not grow any of these —
+/// which the long-run regression test asserts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemProbe {
+    /// Dense channels allocated (one per directed partner edge).
+    pub channels: usize,
+    /// Peak entries queued across all channels (in-flight + pending) at
+    /// any point of the run.
+    pub peak_queued: usize,
+    /// Total retained capacity of the in-flight queues at run end.
+    pub inflight_capacity: usize,
+    /// Total retained capacity of the pending-send queues at run end.
+    pub pending_capacity: usize,
+}
+
+/// Dense channel tables: a channel id per directed partner edge.
+///
+/// Channel ids are allocated receiver-side — `recv_chan[r][s]` is the
+/// queue for messages from `partners(r)[s]` to `r` — and the sender side
+/// resolves to the same id (`send_chan[r][s]` is where `r`'s sends to
+/// `partners(r)[s]` land). A send whose destination does not list the
+/// sender as a partner (only possible for statically-invalid programs run
+/// with validation off) gets a dangling channel nothing reads.
+struct Channels {
+    send_chan: Vec<Vec<u32>>,
+    recv_chan: Vec<Vec<u32>>,
+    count: usize,
+}
+
+fn build_channels(set: &ProgramSet) -> Channels {
+    let n = set.num_ranks();
+    let mut next = 0u32;
+    let mut recv_chan: Vec<Vec<u32>> = Vec::with_capacity(n);
+    for r in 0..n {
+        let k = set.partners(r).len();
+        recv_chan.push((next..next + k as u32).collect());
+        next += k as u32;
+    }
+    let mut send_chan: Vec<Vec<u32>> = Vec::with_capacity(n);
+    for r in 0..n {
+        let chans = set
+            .partners(r)
+            .iter()
+            .map(|&p| {
+                let to = p as usize;
+                let resolved = (to < n)
+                    .then(|| set.partners(to).iter().position(|&x| x as usize == r))
+                    .flatten()
+                    .map(|t| recv_chan[to][t]);
+                resolved.unwrap_or_else(|| {
+                    let c = next;
+                    next += 1;
+                    c
+                })
+            })
+            .collect();
+        send_chan.push(chans);
+    }
+    Channels { send_chan, recv_chan, count: next as usize }
+}
+
+/// The simulation engine. Construct with [`Engine::new`] (legacy per-rank
+/// program vectors, interned on entry) or [`Engine::from_set`] (shared
+/// sets, the cheap path for replication campaigns); run with
 /// [`Engine::run`].
 pub struct Engine<'m> {
     machine: &'m MachineSpec,
-    programs: Vec<Program>,
+    set: ProgramSet,
     /// Skip static validation (for intentionally-broken deadlock tests).
     skip_validation: bool,
     /// Telemetry sink for per-activity spans (virtual-time domain).
@@ -86,7 +210,14 @@ pub struct Engine<'m> {
 impl<'m> Engine<'m> {
     /// Create an engine for one program per rank.
     pub fn new(machine: &'m MachineSpec, programs: Vec<Program>) -> Self {
-        Engine { machine, programs, skip_validation: false, recorder: None, trace_pid: 0 }
+        Self::from_set(machine, ProgramSet::from_programs(&programs))
+    }
+
+    /// Create an engine over an already-shared program set. Replication
+    /// campaigns clone the set per run — an `Arc` bump per distinct
+    /// stream, not a copy of every op.
+    pub fn from_set(machine: &'m MachineSpec, set: ProgramSet) -> Self {
+        Engine { machine, set, skip_validation: false, recorder: None, trace_pid: 0 }
     }
 
     /// Disable the static message-balance pre-check (dynamic deadlock
@@ -108,13 +239,23 @@ impl<'m> Engine<'m> {
 
     /// Execute the programs to completion, returning per-rank statistics.
     pub fn run(self) -> SimResult<RunReport> {
+        self.run_impl().map(|(report, _)| report)
+    }
+
+    /// [`Engine::run`] plus the channel-table memory counters, for
+    /// footprint regression tests and the bench harness.
+    pub fn run_probed(self) -> SimResult<(RunReport, MemProbe)> {
+        self.run_impl()
+    }
+
+    fn run_impl(self) -> SimResult<(RunReport, MemProbe)> {
         if !self.skip_validation {
-            validate_programs(&self.programs)
-                .map_err(|detail| SimError::InvalidPrograms { detail })?;
+            self.set.validate().map_err(|detail| SimError::InvalidPrograms { detail })?;
         }
-        let n = self.programs.len();
+        let set = &self.set;
+        let n = set.num_ranks();
         if n == 0 {
-            return Ok(RunReport { ranks: vec![] });
+            return Ok((RunReport { ranks: vec![] }, MemProbe::default()));
         }
         let machine = self.machine;
         let sharers = machine.sharers(n);
@@ -129,25 +270,26 @@ impl<'m> Engine<'m> {
             }
         }
 
-        let mut ranks: Vec<RankState> = (0..n)
-            .map(|r| RankState {
-                clock: SimTime::ZERO,
-                pc: 0,
-                status: Status::Ready,
-                noise: NoiseStream::new(machine.noise, machine.seed, r),
-                stats: RankStats::default(),
-                park_clock: SimTime::ZERO,
-            })
-            .collect();
+        // Hot per-rank state, struct-of-arrays.
+        let mut clock = vec![SimTime::ZERO; n];
+        let mut pc = vec![0u32; n];
+        let mut status = vec![St::Ready; n];
+        // Arrival clock at the collective a rank is parked on.
+        let mut park_clock = vec![SimTime::ZERO; n];
+        let mut stats = vec![RankStats::default(); n];
+        let mut noise = NoiseBank::new(machine, n);
 
-        // In-flight (arrival time, bytes) per (to, from, tag) channel, FIFO
-        // in sender program order (MPI non-overtaking).
-        let mut inflight: HashMap<(usize, usize, u32), VecDeque<(SimTime, usize)>> = HashMap::new();
+        // Dense channel tables; queues are FIFO in sender program order
+        // (MPI non-overtaking), matched by scanning for the first tag hit.
+        let channels = build_channels(set);
+        let mut inflight: Vec<VecDeque<Msg>> =
+            (0..channels.count).map(|_| VecDeque::new()).collect();
+        let mut pending: Vec<VecDeque<Pend>> =
+            (0..channels.count).map(|_| VecDeque::new()).collect();
+        let mut queued = 0usize;
+        let mut peak_queued = 0usize;
         // Sender NIC busy-until times (back-to-back serialisation).
         let mut nic_busy: Vec<SimTime> = vec![SimTime::ZERO; n];
-        // Rendezvous senders parked per (to, from, tag) channel, FIFO.
-        let mut pending_sends: HashMap<(usize, usize, u32), VecDeque<(usize, PendingSend)>> =
-            HashMap::new();
         let eager_limit = machine.rendezvous_bytes.unwrap_or(usize::MAX);
         // Ranks currently parked at the pending collective.
         let mut parked: Vec<usize> = Vec::with_capacity(n);
@@ -156,27 +298,29 @@ impl<'m> Engine<'m> {
         let mut ready: VecDeque<usize> = (0..n).collect();
 
         while let Some(r) = ready.pop_front() {
-            debug_assert_eq!(ranks[r].status, Status::Ready);
+            debug_assert_eq!(status[r], St::Ready);
+            let ops = set.ops(r);
+            let partners = set.partners(r);
             loop {
-                let pc = ranks[r].pc;
-                if pc >= self.programs[r].len() {
-                    ranks[r].status = Status::Done;
-                    ranks[r].stats.finish = ranks[r].clock;
+                let at = pc[r] as usize;
+                if at >= ops.len() {
+                    status[r] = St::Done;
+                    stats[r].finish = clock[r];
                     // Every clock advance is mirrored by exactly one stats
                     // increment, so the breakdown closes *exactly* in
                     // integer picoseconds — not just approximately.
                     debug_assert_eq!(
-                        ranks[r].stats.accounted(),
-                        ranks[r].stats.finish,
+                        stats[r].accounted(),
+                        stats[r].finish,
                         "rank {r}: accounted time must equal finish exactly"
                     );
                     finished += 1;
                     break;
                 }
-                match self.programs[r].ops()[pc] {
-                    Op::Compute { flops, working_set } => {
+                match ops[at] {
+                    SharedOp::Compute { flops, working_set } => {
                         let base = machine.cpu.compute_time(flops, working_set, sharers);
-                        let factor = ranks[r].noise.compute_factor() * run_factor;
+                        let factor = noise.compute_factor(r) * run_factor;
                         let dur = SimTime::from_secs(base.as_secs() * factor);
                         if let Some(rec) = rec {
                             rec.sim_span(
@@ -184,16 +328,17 @@ impl<'m> Engine<'m> {
                                 r as u32,
                                 "compute",
                                 Cat::Compute,
-                                ranks[r].clock.picos(),
+                                clock[r].picos(),
                                 dur.picos(),
                                 vec![],
                             );
                         }
-                        ranks[r].clock += dur;
-                        ranks[r].stats.compute += dur;
-                        ranks[r].pc += 1;
+                        clock[r] += dur;
+                        stats[r].compute += dur;
+                        pc[r] += 1;
                     }
-                    Op::Send { to, bytes, tag } => {
+                    SharedOp::Send { slot, bytes, tag } => {
+                        let to = partners[slot as usize] as usize;
                         let overhead = machine.network.sender_overhead(bytes);
                         if let Some(rec) = rec {
                             rec.sim_span(
@@ -201,7 +346,7 @@ impl<'m> Engine<'m> {
                                 r as u32,
                                 "send",
                                 Cat::Comm,
-                                ranks[r].clock.picos(),
+                                clock[r].picos(),
                                 overhead.picos(),
                                 vec![
                                     ("to", to.into()),
@@ -210,37 +355,41 @@ impl<'m> Engine<'m> {
                                 ],
                             );
                         }
-                        ranks[r].clock += overhead;
-                        ranks[r].stats.send_overhead += overhead;
-                        let jitter = SimTime::from_secs(ranks[r].noise.message_jitter_secs());
+                        clock[r] += overhead;
+                        stats[r].send_overhead += overhead;
+                        let jitter = SimTime::from_secs(noise.message_jitter_secs(r));
+                        let chan = channels.send_chan[r][slot as usize] as usize;
                         if bytes >= eager_limit
-                            && ranks[to].status != (Status::BlockedRecv { from: r, tag })
+                            && status[to] != (St::BlockedRecv { from: r as u32, tag })
                         {
                             // Rendezvous: the receiver has not posted yet;
                             // park until it reaches the matching receive.
-                            let pending = PendingSend { ready: ranks[r].clock, bytes, jitter };
-                            pending_sends.entry((to, r, tag)).or_default().push_back((r, pending));
-                            ranks[r].status = Status::BlockedSend { to, tag };
+                            pending[chan].push_back(Pend { tag, bytes, ready: clock[r], jitter });
+                            queued += 1;
+                            peak_queued = peak_queued.max(queued);
+                            status[r] = St::BlockedSend { to: to as u32, tag };
                             break;
                         }
                         // Eager transfer (or the receiver is already
                         // waiting, which completes the handshake at once).
                         let posted = if bytes >= eager_limit {
-                            ranks[to].clock // receiver's clock at its post
+                            clock[to] // receiver's clock at its post
                         } else {
                             SimTime::ZERO
                         };
-                        let wire_start = ranks[r].clock.max(nic_busy[r]).max(posted);
+                        let wire_start = clock[r].max(nic_busy[r]).max(posted);
                         nic_busy[r] = wire_start + machine.network.serialization_time(bytes);
                         let arrival = wire_start + machine.network.wire_time(bytes) + jitter;
-                        inflight.entry((to, r, tag)).or_default().push_back((arrival, bytes));
-                        ranks[r].stats.messages_sent += 1;
-                        ranks[r].stats.bytes_sent += bytes as u64;
+                        inflight[chan].push_back(Msg { tag, bytes, arrival });
+                        queued += 1;
+                        peak_queued = peak_queued.max(queued);
+                        stats[r].messages_sent += 1;
+                        stats[r].bytes_sent += bytes as u64;
                         // A blocking rendezvous send returns once the
                         // buffer is reusable (after serialisation).
                         if bytes >= eager_limit {
                             let done = nic_busy[r];
-                            let before = ranks[r].clock;
+                            let before = clock[r];
                             let wait = done.saturating_sub(before);
                             if let Some(rec) = rec {
                                 if wait > SimTime::ZERO {
@@ -255,23 +404,26 @@ impl<'m> Engine<'m> {
                                     );
                                 }
                             }
-                            ranks[r].stats.send_wait += wait;
-                            ranks[r].clock = before.max(done);
+                            stats[r].send_wait += wait;
+                            clock[r] = before.max(done);
                         }
-                        ranks[r].pc += 1;
+                        pc[r] += 1;
                         // Wake the receiver if it is blocked on this channel.
-                        if ranks[to].status == (Status::BlockedRecv { from: r, tag }) {
-                            ranks[to].status = Status::Ready;
+                        if status[to] == (St::BlockedRecv { from: r as u32, tag }) {
+                            status[to] = St::Ready;
                             ready.push_back(to);
                         }
                     }
-                    Op::Recv { from, tag } => {
-                        let channel = (r, from, tag);
-                        let arrival = inflight.get_mut(&channel).and_then(|q| q.pop_front());
-                        match arrival {
-                            Some((arrival, msg_bytes)) => {
-                                let wait = arrival.saturating_sub(ranks[r].clock);
-                                let overhead = machine.network.receiver_overhead(msg_bytes);
+                    SharedOp::Recv { slot, tag } => {
+                        let from = partners[slot as usize] as usize;
+                        let chan = channels.recv_chan[r][slot as usize] as usize;
+                        let q = &mut inflight[chan];
+                        match q.iter().position(|m| m.tag == tag) {
+                            Some(i) => {
+                                let msg = q.remove(i).expect("position is in range");
+                                queued -= 1;
+                                let wait = msg.arrival.saturating_sub(clock[r]);
+                                let overhead = machine.network.receiver_overhead(msg.bytes);
                                 if let Some(rec) = rec {
                                     if wait > SimTime::ZERO {
                                         rec.sim_span(
@@ -279,7 +431,7 @@ impl<'m> Engine<'m> {
                                             r as u32,
                                             "recv_wait",
                                             Cat::Idle,
-                                            ranks[r].clock.picos(),
+                                            clock[r].picos(),
                                             wait.picos(),
                                             vec![("from", from.into())],
                                         );
@@ -289,28 +441,29 @@ impl<'m> Engine<'m> {
                                         r as u32,
                                         "recv",
                                         Cat::Comm,
-                                        ranks[r].clock.max(arrival).picos(),
+                                        clock[r].max(msg.arrival).picos(),
                                         overhead.picos(),
                                         vec![
                                             ("from", from.into()),
-                                            ("bytes", msg_bytes.into()),
+                                            ("bytes", msg.bytes.into()),
                                             ("tag", (tag as u64).into()),
                                         ],
                                     );
                                 }
-                                ranks[r].stats.recv_wait += wait;
-                                ranks[r].clock = ranks[r].clock.max(arrival) + overhead;
-                                ranks[r].stats.recv_overhead += overhead;
-                                ranks[r].pc += 1;
+                                stats[r].recv_wait += wait;
+                                clock[r] = clock[r].max(msg.arrival) + overhead;
+                                stats[r].recv_overhead += overhead;
+                                pc[r] += 1;
                             }
                             None => {
                                 // A rendezvous sender may be parked on
                                 // this channel: complete the handshake.
-                                if let Some((s_rank, pend)) =
-                                    pending_sends.get_mut(&channel).and_then(|q| q.pop_front())
-                                {
-                                    let wire_start =
-                                        pend.ready.max(nic_busy[s_rank]).max(ranks[r].clock);
+                                let pq = &mut pending[chan];
+                                if let Some(i) = pq.iter().position(|p| p.tag == tag) {
+                                    let pend = pq.remove(i).expect("position is in range");
+                                    queued -= 1;
+                                    let s_rank = from;
+                                    let wire_start = pend.ready.max(nic_busy[s_rank]).max(clock[r]);
                                     nic_busy[s_rank] =
                                         wire_start + machine.network.serialization_time(pend.bytes);
                                     let arrival = wire_start
@@ -336,15 +489,15 @@ impl<'m> Engine<'m> {
                                             );
                                         }
                                     }
-                                    ranks[s_rank].stats.send_wait += send_wait;
-                                    ranks[s_rank].clock = resume;
-                                    ranks[s_rank].stats.messages_sent += 1;
-                                    ranks[s_rank].stats.bytes_sent += pend.bytes as u64;
-                                    ranks[s_rank].pc += 1;
-                                    ranks[s_rank].status = Status::Ready;
+                                    stats[s_rank].send_wait += send_wait;
+                                    clock[s_rank] = resume;
+                                    stats[s_rank].messages_sent += 1;
+                                    stats[s_rank].bytes_sent += pend.bytes as u64;
+                                    pc[s_rank] += 1;
+                                    status[s_rank] = St::Ready;
                                     ready.push_back(s_rank);
                                     // Receiver waits for the wire.
-                                    let wait = arrival.saturating_sub(ranks[r].clock);
+                                    let wait = arrival.saturating_sub(clock[r]);
                                     let overhead = machine.network.receiver_overhead(pend.bytes);
                                     if let Some(rec) = rec {
                                         if wait > SimTime::ZERO {
@@ -353,7 +506,7 @@ impl<'m> Engine<'m> {
                                                 r as u32,
                                                 "recv_wait",
                                                 Cat::Idle,
-                                                ranks[r].clock.picos(),
+                                                clock[r].picos(),
                                                 wait.picos(),
                                                 vec![("from", from.into())],
                                             );
@@ -363,7 +516,7 @@ impl<'m> Engine<'m> {
                                             r as u32,
                                             "recv",
                                             Cat::Comm,
-                                            ranks[r].clock.max(arrival).picos(),
+                                            clock[r].max(arrival).picos(),
                                             overhead.picos(),
                                             vec![
                                                 ("from", from.into()),
@@ -372,24 +525,66 @@ impl<'m> Engine<'m> {
                                             ],
                                         );
                                     }
-                                    ranks[r].stats.recv_wait += wait;
-                                    ranks[r].clock = ranks[r].clock.max(arrival) + overhead;
-                                    ranks[r].stats.recv_overhead += overhead;
-                                    ranks[r].pc += 1;
+                                    stats[r].recv_wait += wait;
+                                    clock[r] = clock[r].max(arrival) + overhead;
+                                    stats[r].recv_overhead += overhead;
+                                    pc[r] += 1;
                                     continue;
                                 }
-                                ranks[r].status = Status::BlockedRecv { from, tag };
+                                status[r] = St::BlockedRecv { from: from as u32, tag };
                                 break;
                             }
                         }
                     }
-                    Op::AllReduce { .. } | Op::Barrier => {
-                        ranks[r].status = Status::Parked;
-                        ranks[r].park_clock = ranks[r].clock;
+                    SharedOp::AllReduce { .. } | SharedOp::Barrier => {
+                        status[r] = St::Parked;
+                        park_clock[r] = clock[r];
                         parked.push(r);
                         if parked.len() == n {
-                            self.release_collective(&mut ranks, &mut parked, sharers);
-                            // Everyone (including r) is Ready again; requeue all.
+                            // Complete the collective: all ranks resume at
+                            // `max(arrival) + tree cost`. The payload is
+                            // the max across ranks (equal in well-formed
+                            // traces).
+                            let mut bytes = 0usize;
+                            for &x in parked.iter() {
+                                if let SharedOp::AllReduce { bytes: b } = set.ops(x)[pc[x] as usize]
+                                {
+                                    bytes = bytes.max(b);
+                                }
+                            }
+                            let entry = parked
+                                .iter()
+                                .map(|&x| park_clock[x])
+                                .max()
+                                .unwrap_or(SimTime::ZERO);
+                            let completion = entry + collective_cost(machine, bytes, n);
+                            for &x in parked.iter() {
+                                let waited = completion.saturating_sub(park_clock[x]);
+                                if let Some(rec) = rec {
+                                    let name = match set.ops(x)[pc[x] as usize] {
+                                        SharedOp::AllReduce { .. } => "allreduce",
+                                        _ => "barrier",
+                                    };
+                                    if waited > SimTime::ZERO {
+                                        rec.sim_span(
+                                            pid,
+                                            x as u32,
+                                            name,
+                                            Cat::Collective,
+                                            park_clock[x].picos(),
+                                            waited.picos(),
+                                            vec![("bytes", bytes.into())],
+                                        );
+                                    }
+                                }
+                                stats[x].collective += waited;
+                                clock[x] = completion;
+                                status[x] = St::Ready;
+                                pc[x] += 1;
+                            }
+                            parked.clear();
+                            // Everyone (including r) is Ready again;
+                            // requeue all.
                             for rank in 0..n {
                                 ready.push_back(rank);
                             }
@@ -406,87 +601,45 @@ impl<'m> Engine<'m> {
         if finished != n {
             let mut blocked = Vec::new();
             let mut parked_out = Vec::new();
-            for (idx, st) in ranks.iter().enumerate() {
-                match st.status {
-                    Status::BlockedRecv { from, tag } => blocked.push((idx, from, tag)),
-                    Status::BlockedSend { to, tag } => blocked.push((idx, to, tag)),
-                    Status::Parked => parked_out.push(idx),
+            for (idx, st) in status.iter().enumerate() {
+                match *st {
+                    St::BlockedRecv { from, tag } => blocked.push((idx, from as usize, tag)),
+                    St::BlockedSend { to, tag } => blocked.push((idx, to as usize, tag)),
+                    St::Parked => parked_out.push(idx),
                     _ => {}
                 }
             }
             return Err(SimError::Deadlock { blocked, parked: parked_out });
         }
 
-        let report = RunReport { ranks: ranks.into_iter().map(|s| s.stats).collect() };
+        let probe = MemProbe {
+            channels: channels.count,
+            peak_queued,
+            inflight_capacity: inflight.iter().map(|q| q.capacity()).sum(),
+            pending_capacity: pending.iter().map(|q| q.capacity()).sum(),
+        };
+        let report = RunReport { ranks: stats };
         if let Some(rec) = rec {
             debug_check_span_totals(rec, pid, &report);
         }
-        Ok(report)
+        Ok((report, probe))
     }
+}
 
-    /// Complete a collective: all ranks resume at `max(arrival) + tree cost`.
-    fn release_collective(
-        &self,
-        ranks: &mut [RankState],
-        parked: &mut Vec<usize>,
-        _sharers: usize,
-    ) {
-        let n = ranks.len();
-        // All parked ranks sit at the same collective op index sequence; the
-        // payload is taken from the op each rank is parked on (max across
-        // ranks, which are equal in well-formed traces).
-        let mut bytes = 0usize;
-        for &r in parked.iter() {
-            if let Op::AllReduce { bytes: b } = self.programs[r].ops()[ranks[r].pc] {
-                bytes = bytes.max(b);
-            }
-        }
-        let entry = parked.iter().map(|&r| ranks[r].park_clock).max().unwrap_or(SimTime::ZERO);
-        let completion = entry + self.collective_cost(bytes, n);
-        let rec = self.recorder.filter(|r| r.is_enabled());
-        for &r in parked.iter() {
-            let waited = completion.saturating_sub(ranks[r].park_clock);
-            if let Some(rec) = rec {
-                let name = match self.programs[r].ops()[ranks[r].pc] {
-                    Op::AllReduce { .. } => "allreduce",
-                    _ => "barrier",
-                };
-                if waited > SimTime::ZERO {
-                    rec.sim_span(
-                        self.trace_pid,
-                        r as u32,
-                        name,
-                        Cat::Collective,
-                        ranks[r].park_clock.picos(),
-                        waited.picos(),
-                        vec![("bytes", bytes.into())],
-                    );
-                }
-            }
-            ranks[r].stats.collective += waited;
-            ranks[r].clock = completion;
-            ranks[r].status = Status::Ready;
-            ranks[r].pc += 1;
-        }
-        parked.clear();
+/// Cost of a binomial-tree all-reduce: reduce + broadcast, each
+/// `ceil(log2 n)` rounds of one message.
+pub(crate) fn collective_cost(machine: &MachineSpec, bytes: usize, n: usize) -> SimTime {
+    if n <= 1 {
+        return SimTime::ZERO;
     }
-
-    /// Cost of a binomial-tree all-reduce: reduce + broadcast, each
-    /// `ceil(log2 n)` rounds of one message.
-    fn collective_cost(&self, bytes: usize, n: usize) -> SimTime {
-        if n <= 1 {
-            return SimTime::ZERO;
-        }
-        let rounds = usize::BITS - (n - 1).leading_zeros(); // ceil(log2 n)
-        let net = &self.machine.network;
-        let per_msg =
-            net.sender_overhead(bytes) + net.wire_time(bytes) + net.receiver_overhead(bytes);
-        let mut total = SimTime::ZERO;
-        for _ in 0..2 * rounds {
-            total += per_msg;
-        }
-        total
+    let rounds = usize::BITS - (n - 1).leading_zeros(); // ceil(log2 n)
+    let net = &machine.network;
+    let per_msg = net.sender_overhead(bytes) + net.wire_time(bytes) + net.receiver_overhead(bytes);
+    let mut total = SimTime::ZERO;
+    for _ in 0..2 * rounds {
+        total += per_msg;
     }
+    total
 }
 
 /// Debug cross-check fed by the recorder: the span stream must sum back
@@ -495,7 +648,7 @@ impl<'m> Engine<'m> {
 /// recv_overhead`, idle spans to `recv_wait`, collective spans to
 /// `collective`. A drift here means an activity interval was dropped or
 /// double-charged.
-fn debug_check_span_totals(rec: &Recorder, pid: u32, report: &RunReport) {
+pub(crate) fn debug_check_span_totals(rec: &Recorder, pid: u32, report: &RunReport) {
     if !cfg!(debug_assertions) {
         return;
     }
@@ -523,6 +676,7 @@ mod tests {
     use super::*;
     use crate::network::NetworkModel;
     use crate::noise::NoiseModel;
+    use crate::program::Op;
 
     fn ideal(mflops: f64) -> MachineSpec {
         MachineSpec::ideal(mflops)
@@ -600,6 +754,31 @@ mod tests {
         let report = Engine::new(&m, vec![p0, p1]).run().unwrap();
         assert_eq!(report.ranks[0].messages_sent, 2);
         assert_eq!(report.ranks[0].bytes_sent, 300);
+    }
+
+    #[test]
+    fn tag_scan_matches_out_of_order_receives() {
+        // Two tags interleaved on one edge: the receiver posts them in the
+        // opposite order. The per-edge queue must match by tag, preserving
+        // within-tag FIFO.
+        let mut m = ideal(100.0);
+        m.network = NetworkModel::from_link(10.0, 250.0, 1.0, 16384.0);
+        let p0 = prog(&[
+            Op::Send { to: 1, bytes: 100, tag: 1 },
+            Op::Send { to: 1, bytes: 200, tag: 2 },
+            Op::Send { to: 1, bytes: 300, tag: 1 },
+        ]);
+        let p1 = prog(&[
+            Op::Recv { from: 0, tag: 2 },
+            Op::Recv { from: 0, tag: 1 },
+            Op::Recv { from: 0, tag: 1 },
+        ]);
+        let report = Engine::new(&m, vec![p0, p1]).run().unwrap();
+        assert_eq!(report.ranks[1].messages_sent, 0);
+        assert_eq!(report.ranks[0].bytes_sent, 600);
+        for r in &report.ranks {
+            assert_eq!(r.accounted(), r.finish);
+        }
     }
 
     #[test]
@@ -963,5 +1142,54 @@ mod tests {
             let diff = (r.accounted().as_secs() - r.finish.as_secs()).abs();
             assert!(diff < 1e-9, "rank {i}: accounted {} vs finish {}", r.accounted(), r.finish);
         }
+    }
+
+    #[test]
+    fn from_set_equals_new() {
+        let mut m = ideal(100.0);
+        m.network = NetworkModel::from_link(10.0, 250.0, 2.0, 16384.0);
+        m.noise = NoiseModel::commodity();
+        m.rendezvous_bytes = Some(4096);
+        let programs = vec![
+            prog(&[
+                Op::Compute { flops: 5e7, working_set: 1024 },
+                Op::Send { to: 1, bytes: 16_000, tag: 1 },
+                Op::Barrier,
+            ]),
+            prog(&[Op::Recv { from: 0, tag: 1 }, Op::Barrier]),
+        ];
+        let set = ProgramSet::from_programs(&programs);
+        let a = Engine::new(&m, programs).run().unwrap();
+        let b = Engine::from_set(&m, set).run().unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn probe_reports_topology_fixed_channels() {
+        let m = ideal(100.0);
+        let mk = |blocks: usize| {
+            let ranks = 3usize;
+            let mut programs = Vec::new();
+            for r in 0..ranks {
+                let mut p = Program::new();
+                for b in 0..blocks {
+                    if r > 0 {
+                        p.push(Op::Recv { from: r - 1, tag: b as u32 });
+                    }
+                    p.push(Op::Compute { flops: 1e6, working_set: 0 });
+                    if r + 1 < ranks {
+                        p.push(Op::Send { to: r + 1, bytes: 8, tag: b as u32 });
+                    }
+                }
+                programs.push(p);
+            }
+            programs
+        };
+        let (_, short) = Engine::new(&m, mk(2)).run_probed().unwrap();
+        let (_, long) = Engine::new(&m, mk(64)).run_probed().unwrap();
+        // Channel count is set by the topology, not the run length.
+        assert_eq!(short.channels, long.channels);
+        assert!(short.channels > 0);
+        assert!(long.peak_queued >= 1);
     }
 }

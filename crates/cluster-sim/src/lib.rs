@@ -38,16 +38,20 @@ pub mod machine;
 pub mod network;
 pub mod noise;
 pub mod program;
+pub mod progset;
+pub mod reference;
 pub mod stats;
 pub mod time;
 pub mod timeline;
 
 pub use cpu::CpuModel;
-pub use engine::Engine;
+pub use engine::{Engine, MemProbe};
 pub use error::{SimError, SimResult};
 pub use machine::MachineSpec;
 pub use network::{NetworkModel, PiecewiseSegments};
 pub use noise::NoiseModel;
 pub use program::{Op, Program};
+pub use progset::{ProgramSet, ProgramSetBuilder, SharedOp};
+pub use reference::ReferenceEngine;
 pub use stats::{RankStats, RunReport};
 pub use time::SimTime;

@@ -95,6 +95,36 @@ impl RunReport {
     pub fn max_recv_wait(&self) -> f64 {
         self.ranks.iter().map(|r| r.recv_wait).max().unwrap_or(SimTime::ZERO).as_secs()
     }
+
+    /// A 64-bit FNV-1a digest over the full report in **integer
+    /// picoseconds** — every field of every rank, in rank order. Two
+    /// reports are digest-equal iff they are bit-identical, which is what
+    /// the golden regression fixtures pin across engine rewrites.
+    pub fn digest(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut mix = |v: u64| {
+            // Mix one byte at a time so field boundaries cannot alias.
+            for b in v.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        mix(self.ranks.len() as u64);
+        for r in &self.ranks {
+            mix(r.compute.picos());
+            mix(r.send_overhead.picos());
+            mix(r.send_wait.picos());
+            mix(r.recv_overhead.picos());
+            mix(r.recv_wait.picos());
+            mix(r.collective.picos());
+            mix(r.messages_sent);
+            mix(r.bytes_sent);
+            mix(r.finish.picos());
+        }
+        h
+    }
 }
 
 #[cfg(test)]

@@ -12,6 +12,9 @@
 //! experiments rendezvous                eager-vs-rendezvous ablation
 //! experiments strong-scaling            strong-scaling extension study
 //! experiments sweep [--json]            parallel sweep engine: parity, speedup, cache counters
+//! experiments speculation [--problem 20m|1b] [--ranks N] [--repeat K] [--iterations I] [--json]
+//!                                        discrete-event run of a speculative scenario (default
+//!                                        8000 ranks), seed-replicated over the worker pool
 //! experiments timeline                  pipeline Gantt chart (simulated)
 //! experiments obs                       telemetry demo: phase spans + span/stats cross-check
 //! experiments csv [dir]                 write tables/figures as CSV files
@@ -251,6 +254,107 @@ fn run_sweep(obs: &Obs, json: bool) {
     }
 }
 
+/// `experiments speculation`: execute a speculative scenario through the
+/// discrete-event engine itself (not the analytic model) — the full
+/// SWEEP3D trace at up to 8000 ranks, replicated under noise seeds over
+/// the worker pool.
+fn run_speculation(args: &[String], json: bool) {
+    let mut problem = Problem::TwentyMillion;
+    let mut ranks = 8000usize;
+    let mut repeat = 3usize;
+    let mut iterations = 2usize;
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: &mut usize| -> &str {
+            *i += 1;
+            args.get(*i).map(String::as_str).unwrap_or_else(|| {
+                eprintln!("{} requires a value", args[*i - 1]);
+                std::process::exit(2);
+            })
+        };
+        match args[i].as_str() {
+            "--problem" => {
+                problem = match value(&mut i) {
+                    "20m" => Problem::TwentyMillion,
+                    "1b" => Problem::OneBillion,
+                    other => {
+                        eprintln!("unknown problem {other:?} (expected 20m or 1b)");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--ranks" => ranks = value(&mut i).parse().expect("--ranks takes an integer"),
+            "--repeat" => repeat = value(&mut i).parse().expect("--repeat takes an integer"),
+            "--iterations" => {
+                iterations = value(&mut i).parse().expect("--iterations takes an integer")
+            }
+            other => {
+                eprintln!("unknown speculation flag {other:?}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    let workers = sweepsvc::available_workers();
+    let c = speculation::simulate(problem, ranks, repeat, iterations, workers);
+    let s = &c.summary;
+    if json {
+        println!("{{");
+        println!("  \"figure\": \"{}\",", c.problem.figure());
+        println!("  \"array\": [{}, {}],", c.px, c.py);
+        println!("  \"ranks\": {},", c.px * c.py);
+        println!("  \"iterations\": {},", c.iterations);
+        println!("  \"repeat\": {},", s.replications.len());
+        println!("  \"workers\": {workers},");
+        println!("  \"streams\": {},", c.streams);
+        println!("  \"stored_ops\": {},", c.stored_ops);
+        println!("  \"ops_per_run\": {},", c.ops_per_run);
+        println!("  \"total_events\": {},", c.total_events());
+        println!("  \"wall_ms\": {:.3},", c.wall.as_secs_f64() * 1e3);
+        println!("  \"events_per_sec\": {:.0},", c.events_per_sec());
+        println!(
+            "  \"makespan_secs\": {{\"mean\": {:.6}, \"min\": {:.6}, \"max\": {:.6}, \"std\": {:.6}}},",
+            s.mean_makespan(),
+            s.min_makespan(),
+            s.max_makespan(),
+            s.std_dev_makespan()
+        );
+        let per_seed: Vec<String> = s
+            .replications
+            .iter()
+            .map(|r| format!("{{\"seed\": {}, \"makespan_secs\": {:.6}}}", r.seed, r.makespan_secs))
+            .collect();
+        println!("  \"replications\": [{}]", per_seed.join(", "));
+        println!("}}");
+        return;
+    }
+    println!(
+        "### DES speculation: {} on a {}x{} array ({} ranks, {} iterations)\n",
+        c.problem.figure(),
+        c.px,
+        c.py,
+        c.px * c.py,
+        c.iterations
+    );
+    println!(
+        "program encoding   : {} roles / {} ranks, {} ops stored for {} executed per run",
+        c.streams,
+        c.px * c.py,
+        c.stored_ops,
+        c.ops_per_run
+    );
+    println!("replications       : {} seeds over {workers} worker(s)", s.replications.len());
+    println!(
+        "makespan           : mean {:.4} s  (min {:.4}, max {:.4}, std {:.5})",
+        s.mean_makespan(),
+        s.min_makespan(),
+        s.max_makespan(),
+        s.std_dev_makespan()
+    );
+    println!("campaign wall      : {:.2} ms", c.wall.as_secs_f64() * 1e3);
+    println!("throughput         : {:.2} M simulated events/s\n", c.events_per_sec() / 1e6);
+}
+
 fn run_timeline() {
     use cluster_sim::timeline;
     use sweep3d::trace::{generate_programs, FlopModel};
@@ -295,7 +399,7 @@ fn run_obs(obs: &Obs) {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments [--trace <path>] [--metrics <path>] [--json] <table1|table2|table3|fig1|fig8|fig9|hmcl|concurrence|ablation|blocking|asci-goals|rendezvous|strong-scaling|sweep|timeline|obs|robustness|host-validate|csv [dir]|validate|all>"
+        "usage: experiments [--trace <path>] [--metrics <path>] [--json] <table1|table2|table3|fig1|fig8|fig9|hmcl|concurrence|ablation|blocking|asci-goals|rendezvous|strong-scaling|sweep|speculation|timeline|obs|robustness|host-validate|csv [dir]|validate|all>"
     );
     std::process::exit(2)
 }
@@ -326,6 +430,7 @@ fn main() {
         "rendezvous" => run_rendezvous(),
         "strong-scaling" => run_strong_scaling(),
         "sweep" => run_sweep(obs, flags.json),
+        "speculation" => run_speculation(&args[1..], flags.json),
         "timeline" => run_timeline(),
         "obs" => run_obs(obs),
         "robustness" => {

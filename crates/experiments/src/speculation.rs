@@ -7,8 +7,13 @@
 //! problem (25×25×200 cells/PE, Fig. 9) — each also evaluated with the
 //! achieved rate increased by 25% and 50%.
 
+use std::time::{Duration, Instant};
+
+use cluster_sim::MachineSpec;
 use pace_core::{machines, HardwareModel, Sweep3dModel, Sweep3dParams};
-use sweepsvc::{SweepEngine, SweepSpec, SweepStats};
+use sweep3d::trace::{generate_program_set, FlopModel};
+use sweep3d::ProblemConfig;
+use sweepsvc::{ReplicationSummary, SweepEngine, SweepSpec, SweepStats};
 
 /// The flop-rate what-ifs of the study: as-benchmarked, +25%, +50%.
 pub const RATE_MULTIPLIERS: [f64; 3] = [1.0, 1.25, 1.50];
@@ -36,6 +41,15 @@ impl Problem {
         match self {
             Problem::TwentyMillion => Sweep3dParams::speculative_20m(px, py),
             Problem::OneBillion => Sweep3dParams::speculative_1b(px, py),
+        }
+    }
+
+    /// Full DES problem configuration on a `px × py` array (the per-PE
+    /// subgrid of the figure: 5×5×100 or 25×25×200).
+    pub fn config(&self, px: usize, py: usize) -> ProblemConfig {
+        match self {
+            Problem::TwentyMillion => ProblemConfig::speculative(5, 5, 100, px, py),
+            Problem::OneBillion => ProblemConfig::speculative(25, 25, 200, px, py),
         }
     }
 }
@@ -151,6 +165,103 @@ pub fn run_on_observed(
     (SpeculationCurve { problem, machine: hw.name.clone(), points }, outcome.stats)
 }
 
+/// One simulated (discrete-event) speculation campaign: the full SWEEP3D
+/// trace of a figure's scenario executed rank-for-rank by `cluster-sim`,
+/// replicated under noise seeds over the sweep worker pool.
+#[derive(Debug, Clone)]
+pub struct DesCampaign {
+    /// Which problem was simulated.
+    pub problem: Problem,
+    /// Array extents used.
+    pub px: usize,
+    /// Processors in `j`.
+    pub py: usize,
+    /// Source-iteration count simulated.
+    pub iterations: usize,
+    /// Distinct interned op streams (roles) in the program set.
+    pub streams: usize,
+    /// Ops stored once (sum over streams).
+    pub stored_ops: usize,
+    /// Ops executed per run (sum over ranks).
+    pub ops_per_run: usize,
+    /// The per-seed replication results, in seed order.
+    pub summary: ReplicationSummary,
+    /// Wall-clock time of the whole campaign (setup + runs).
+    pub wall: Duration,
+}
+
+impl DesCampaign {
+    /// Total simulated events (executed ops) across all replications.
+    pub fn total_events(&self) -> u64 {
+        self.ops_per_run as u64 * self.summary.replications.len() as u64
+    }
+
+    /// Simulated events per wall-clock second — the throughput number the
+    /// engine optimisations are measured by.
+    pub fn events_per_sec(&self) -> f64 {
+        self.total_events() as f64 / self.wall.as_secs_f64().max(1e-12)
+    }
+}
+
+/// The hypothetical machine of §6 as a DES `MachineSpec`: Opteron rate
+/// curve with the Myrinet communication model, plus commodity noise and
+/// the Myrinet-typical rendezvous threshold so replications differ by
+/// seed.
+pub fn speculation_machine() -> MachineSpec {
+    let mut m = hwbench::machines::opteron_myrinet_sim();
+    m.noise = cluster_sim::NoiseModel::commodity();
+    m.rendezvous_bytes = Some(4096);
+    m
+}
+
+/// Pick the processor-ladder array closest to a requested rank count
+/// (exact match preferred; 8000 → 80×100, the paper's target).
+pub fn array_for_ranks(ranks: usize) -> (usize, usize) {
+    processor_ladder()
+        .into_iter()
+        .min_by_key(|&(px, py)| (px * py).abs_diff(ranks))
+        .expect("ladder is non-empty")
+}
+
+/// Run one figure's scenario through the discrete-event engine, `repeat`
+/// noise seeds fanned over `workers` pool threads. Fully deterministic:
+/// seeds are fixed, so two invocations produce bit-identical reports.
+pub fn simulate(
+    problem: Problem,
+    ranks: usize,
+    repeat: usize,
+    iterations: usize,
+    workers: usize,
+) -> DesCampaign {
+    let t0 = Instant::now();
+    let (px, py) = array_for_ranks(ranks);
+    let mut config = problem.config(px, py);
+    config.iterations = iterations;
+    // Fixed calibration constants (same family as the golden fixtures)
+    // keep the campaign reproducible without a profiling run.
+    let fm = FlopModel {
+        flops_per_cell_angle: 21.5,
+        source_flops_per_cell: 2.0,
+        flux_err_flops_per_cell: 3.0,
+    };
+    let set = generate_program_set(&config, &fm);
+    let machine = speculation_machine();
+    let seeds: Vec<u64> = (1..=repeat as u64).map(|i| 0x5EED_0000 + i).collect();
+    let summary =
+        sweepsvc::replicate_set(&machine, &set, &seeds, workers).expect("trace is deadlock-free");
+    DesCampaign {
+        problem,
+        px,
+        py,
+        iterations,
+        streams: set.num_streams(),
+        stored_ops: set.stored_ops(),
+        ops_per_run: set.total_ops(),
+        summary,
+        wall: t0.elapsed(),
+    }
+}
+
 /// The pre-engine serial reference path: one model evaluation at a time,
 /// no pool, no cache. Kept as the ground truth the parallel path is
 /// tested against.
@@ -236,6 +347,30 @@ mod tests {
             assert_eq!(serial, many_workers, "{problem:?}: 4-worker sweep diverged");
             assert!(stats.cache.hits > 0, "{problem:?}: sweep must reuse cached evaluations");
         }
+    }
+
+    #[test]
+    fn des_campaign_is_reproducible_and_counts_events() {
+        let a = simulate(Problem::TwentyMillion, 4, 2, 1, 2);
+        let b = simulate(Problem::TwentyMillion, 4, 2, 1, 4);
+        // Worker count must not change the results, only the wall clock.
+        assert_eq!(a.summary.replications, b.summary.replications);
+        assert_eq!((a.px, a.py), (2, 2));
+        assert_eq!(a.summary.replications.len(), 2);
+        assert!(a.streams <= 4, "2x2 array has at most 4 roles, got {}", a.streams);
+        assert!(a.stored_ops <= a.ops_per_run);
+        assert_eq!(a.total_events(), 2 * a.ops_per_run as u64);
+        assert!(a.events_per_sec() > 0.0);
+        // Distinct seeds perturb the noisy machine.
+        let makespans = a.summary.makespans();
+        assert!(makespans[0] != makespans[1], "seeds had no effect: {makespans:?}");
+    }
+
+    #[test]
+    fn array_selection_prefers_exact_ladder_points() {
+        assert_eq!(array_for_ranks(8000), (80, 100));
+        assert_eq!(array_for_ranks(64), (8, 8));
+        assert_eq!(array_for_ranks(1), (1, 1));
     }
 
     #[test]

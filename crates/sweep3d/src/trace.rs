@@ -10,8 +10,10 @@
 //! [`cluster_sim::MachineSpec`] yields the "Measurement" columns of the
 //! paper's validation tables on machines we do not physically have.
 
-use cluster_sim::{Op, Program};
-use simmpi::topology::Cart2d;
+use std::collections::HashMap;
+
+use cluster_sim::{Op, Program, ProgramSet, ProgramSetBuilder};
+use simmpi::topology::{Cart2d, Direction};
 
 use crate::config::{Decomposition, ProblemConfig};
 use crate::parallel::octant_neighbors;
@@ -67,33 +69,27 @@ pub fn block_working_set(nx: usize, ny: usize, klen: usize, n_ang: usize) -> usi
     cell_bytes + face_bytes
 }
 
-/// Generate the per-rank programs for a full run of the configured problem.
-pub fn generate_programs(config: &ProblemConfig, flops: &FlopModel) -> Vec<Program> {
-    config.validate().expect("valid config");
-    let topo = Cart2d::new(config.npe_i, config.npe_j);
-    let quad_len = {
-        // Only the angle count matters for the trace.
-        let q = Quadrature::level_symmetric(config.sn_order);
-        q.len()
-    };
-    let a_blocks = angle_block_list(quad_len, config.mmi);
-    let mut programs = Vec::with_capacity(config.num_pes());
+/// Build the legacy op program of a single rank (see
+/// [`generate_programs`] for the trace structure).
+fn rank_program(
+    config: &ProblemConfig,
+    flops: &FlopModel,
+    topo: &Cart2d,
+    a_blocks: &[(usize, usize)],
+    rank: usize,
+) -> Program {
+    let (pi, pj) = topo.coords(rank);
+    let decomp = Decomposition::for_pe(config, pi, pj);
+    let (nx, ny) = (decomp.nx, decomp.ny);
+    let k_blocks = k_block_list(decomp.nz, config.mk);
+    let cells = decomp.cells() as f64;
+    let mut prog = Program::new();
 
-    for rank in 0..config.num_pes() {
-        let (pi, pj) = topo.coords(rank);
-        let decomp = Decomposition::for_pe(config, pi, pj);
-        let (nx, ny) = (decomp.nx, decomp.ny);
-        let k_blocks = k_block_list(decomp.nz, config.mk);
-        let cells = decomp.cells() as f64;
-        let mut prog = Program::new();
-
-        // Emit one octant's (angle-block) pipeline unit sequence.
-        let emit_member = |prog: &mut Program,
-                           octant: crate::sweep_order::Octant,
-                           ab: usize,
-                           n_ang: usize| {
+    // Emit one octant's (angle-block) pipeline unit sequence.
+    let emit_member =
+        |prog: &mut Program, octant: crate::sweep_order::Octant, ab: usize, n_ang: usize| {
             let oi = octant.index();
-            let (up_i, down_i, up_j, down_j) = octant_neighbors(&topo, rank, octant);
+            let (up_i, down_i, up_j, down_j) = octant_neighbors(topo, rank, octant);
             let block_seq: Vec<(usize, (usize, usize))> = if octant.sign_k >= 0 {
                 k_blocks.iter().copied().enumerate().collect()
             } else {
@@ -122,35 +118,108 @@ pub fn generate_programs(config: &ProblemConfig, flops: &FlopModel) -> Vec<Progr
             }
         };
 
-        for _iter in 0..config.iterations {
-            // The octant nesting mirrors the drivers exactly: pair-major
-            // with per-pair angle blocks under reflective boundaries,
-            // octant-major otherwise (see crate::parallel).
-            for pair in OCTANT_ORDER.chunks(2) {
-                if config.reflective_k {
-                    for (ab, &(_a0, n_ang)) in a_blocks.iter().enumerate() {
-                        for &octant in pair {
-                            emit_member(&mut prog, octant, ab, n_ang);
-                        }
-                    }
-                } else {
+    for _iter in 0..config.iterations {
+        // The octant nesting mirrors the drivers exactly: pair-major
+        // with per-pair angle blocks under reflective boundaries,
+        // octant-major otherwise (see crate::parallel).
+        for pair in OCTANT_ORDER.chunks(2) {
+            if config.reflective_k {
+                for (ab, &(_a0, n_ang)) in a_blocks.iter().enumerate() {
                     for &octant in pair {
-                        for (ab, &(_a0, n_ang)) in a_blocks.iter().enumerate() {
-                            emit_member(&mut prog, octant, ab, n_ang);
-                        }
+                        emit_member(&mut prog, octant, ab, n_ang);
+                    }
+                }
+            } else {
+                for &octant in pair {
+                    for (ab, &(_a0, n_ang)) in a_blocks.iter().enumerate() {
+                        emit_member(&mut prog, octant, ab, n_ang);
                     }
                 }
             }
-            // flux_err + source subtasks, then the convergence all-reduce.
-            prog.push(Op::Compute {
-                flops: cells * (flops.flux_err_flops_per_cell + flops.source_flops_per_cell),
-                working_set: decomp.cells() * 5 * 8,
-            });
-            prog.push(Op::AllReduce { bytes: 8 });
         }
-        programs.push(prog);
+        // flux_err + source subtasks, then the convergence all-reduce.
+        prog.push(Op::Compute {
+            flops: cells * (flops.flux_err_flops_per_cell + flops.source_flops_per_cell),
+            working_set: decomp.cells() * 5 * 8,
+        });
+        prog.push(Op::AllReduce { bytes: 8 });
     }
-    programs
+    prog
+}
+
+fn trace_angle_blocks(config: &ProblemConfig) -> Vec<(usize, usize)> {
+    // Only the angle count matters for the trace.
+    let quad_len = Quadrature::level_symmetric(config.sn_order).len();
+    angle_block_list(quad_len, config.mmi)
+}
+
+/// Generate the per-rank programs for a full run of the configured problem.
+pub fn generate_programs(config: &ProblemConfig, flops: &FlopModel) -> Vec<Program> {
+    config.validate().expect("valid config");
+    let topo = Cart2d::new(config.npe_i, config.npe_j);
+    let a_blocks = trace_angle_blocks(config);
+    (0..config.num_pes()).map(|rank| rank_program(config, flops, &topo, &a_blocks, rank)).collect()
+}
+
+/// A rank's *role* on the processor array: which mesh neighbors exist,
+/// plus its local grid extent. Two ranks with the same role run the same
+/// op stream — all tags, byte counts and flop counts are determined by
+/// the role and the global configuration — and differ only in which
+/// concrete ranks their partner slots point at.
+type RoleKey = (bool, bool, bool, bool, usize, usize);
+
+/// Generate the trace as a shared [`ProgramSet`]: one interned op stream
+/// per *role* (corner, edge, interior, …) instead of one `Vec<Op>` clone
+/// per rank. An 8000-PE weak-scaling sweep materialises at most nine
+/// distinct streams, so campaign setup is O(roles × ops + ranks), not
+/// O(ranks × ops).
+///
+/// The decoded per-rank streams are element-wise identical to
+/// [`generate_programs`] — a test pins this for every SWEEP3D role.
+pub fn generate_program_set(config: &ProblemConfig, flops: &FlopModel) -> ProgramSet {
+    config.validate().expect("valid config");
+    let topo = Cart2d::new(config.npe_i, config.npe_j);
+    let a_blocks = trace_angle_blocks(config);
+    let mut builder = ProgramSetBuilder::new();
+    // role → (interned stream, slot order as mesh directions).
+    let mut roles: HashMap<RoleKey, (u32, Vec<Direction>)> = HashMap::new();
+
+    for rank in 0..config.num_pes() {
+        let (pi, pj) = topo.coords(rank);
+        let decomp = Decomposition::for_pe(config, pi, pj);
+        let neighbor = |d: Direction| topo.neighbor(rank, d);
+        let key: RoleKey = (
+            neighbor(Direction::West).is_some(),
+            neighbor(Direction::East).is_some(),
+            neighbor(Direction::South).is_some(),
+            neighbor(Direction::North).is_some(),
+            decomp.nx,
+            decomp.ny,
+        );
+        let (stream, dirs) = roles.entry(key).or_insert_with(|| {
+            // First rank of this role: generate its legacy program once,
+            // intern the stream, and record the slot order as directions
+            // so every other rank of the role can map its own neighbors.
+            let prog = rank_program(config, flops, &topo, &a_blocks, rank);
+            let (stream, partners) = builder.intern_program(&prog);
+            let dirs = partners
+                .iter()
+                .map(|&p| {
+                    Direction::ALL
+                        .into_iter()
+                        .find(|&d| neighbor(d) == Some(p as usize))
+                        .expect("every trace partner is a mesh neighbor")
+                })
+                .collect();
+            (stream, dirs)
+        });
+        let partners: Vec<u32> = dirs
+            .iter()
+            .map(|&d| neighbor(d).expect("same role implies same neighbor set") as u32)
+            .collect();
+        builder.push_rank(*stream, partners).expect("role streams are consistent");
+    }
+    builder.build()
 }
 
 #[cfg(test)]
@@ -238,6 +307,58 @@ mod tests {
         );
         assert!((fm.source_flops_per_cell - 2.0).abs() < 1e-9);
         assert!((fm.flux_err_flops_per_cell - 3.0).abs() < 1e-9);
+    }
+
+    /// The shared encoding must decode to exactly the programs the legacy
+    /// generator emits — per rank, per op, element-wise — for every
+    /// SWEEP3D neighbor role: corner (2 neighbors), edge (3), interior
+    /// (4), and the degenerate 1-wide boundary column (≤2 neighbors with
+    /// no E/W exchange).
+    #[test]
+    fn program_set_decodes_to_legacy_programs_for_all_roles() {
+        let fm = flop_model();
+        // 3x3 covers corner/edge/interior; 1x4 covers the boundary-column
+        // role (no i-direction neighbors at all); 1x1 covers the serial
+        // degenerate case.
+        for (px, py) in [(3, 3), (1, 4), (1, 1)] {
+            let c = cfg(px, py);
+            let legacy = generate_programs(&c, &fm);
+            let set = generate_program_set(&c, &fm);
+            assert_eq!(set.num_ranks(), legacy.len());
+            for (rank, want) in legacy.iter().enumerate() {
+                let got = set.materialize(rank);
+                assert_eq!(
+                    got.ops(),
+                    want.ops(),
+                    "{px}x{py} rank {rank}: decoded stream differs from legacy"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn program_set_interns_one_stream_per_role() {
+        let c = cfg(8, 8);
+        let set = generate_program_set(&c, &flop_model());
+        // An open 2D mesh has at most nine roles (4 corners, 4 edge
+        // flavours, interior) regardless of rank count, so 64 ranks store
+        // at most 9 streams.
+        assert!(set.num_streams() <= 9, "streams {}", set.num_streams());
+        assert!(
+            set.stored_ops() <= set.total_ops() * 9 / 64,
+            "sharing ratio should be ~roles/ranks"
+        );
+    }
+
+    #[test]
+    fn program_set_runs_identically_to_legacy() {
+        let c = cfg(3, 2);
+        let fm = flop_model();
+        let mut m = MachineSpec::ideal(100.0);
+        m.noise = cluster_sim::NoiseModel::commodity();
+        let a = Engine::new(&m, generate_programs(&c, &fm)).run().unwrap();
+        let b = Engine::from_set(&m, generate_program_set(&c, &fm)).run().unwrap();
+        assert_eq!(a, b, "shared-set execution must be bit-identical");
     }
 
     #[test]

@@ -43,6 +43,7 @@ pub use cache::{CacheKey, CacheStats, EvalCache};
 pub use engine::{CachedEngine, SweepEngine, SweepOutcome, SweepStats, SWEEP_PID};
 pub use pool::{available_workers, run_ordered, run_ordered_with_worker, PoolRun, WorkerStats};
 pub use replicate::{
-    replicate, replicate_observed, Replication, ReplicationSummary, REPLICATE_PID,
+    campaign, replicate, replicate_observed, replicate_set, replicate_set_observed, Replication,
+    ReplicationSummary, REPLICATE_PID,
 };
 pub use spec::{ProblemPoint, Scenario, ScenarioResult, SweepSpec};

@@ -10,7 +10,7 @@
 
 use std::time::{Duration, Instant};
 
-use cluster_sim::{Engine, MachineSpec, Program, RunReport, SimResult};
+use cluster_sim::{Engine, MachineSpec, Program, ProgramSet, RunReport, SimResult};
 use obs::{Cat, Obs};
 
 use crate::pool::{self, WorkerStats};
@@ -91,6 +91,10 @@ impl ReplicationSummary {
 
 /// Run `programs` on `machine` once per seed, fanned out over `workers`
 /// pool threads. Fails with the first simulation error, if any.
+///
+/// The programs are interned into a shared [`ProgramSet`] once up front;
+/// each seeded run clones the set (an `Arc` bump per distinct op stream),
+/// not the op vectors.
 pub fn replicate(
     machine: &MachineSpec,
     programs: &[Program],
@@ -98,6 +102,18 @@ pub fn replicate(
     workers: usize,
 ) -> SimResult<ReplicationSummary> {
     replicate_observed(machine, programs, seeds, workers, &Obs::disabled())
+}
+
+/// [`replicate`] over an already-shared program set — the cheap entry
+/// point for large campaigns where the caller built the set directly
+/// (e.g. `sweep3d::trace::generate_program_set`).
+pub fn replicate_set(
+    machine: &MachineSpec,
+    set: &ProgramSet,
+    seeds: &[u64],
+    workers: usize,
+) -> SimResult<ReplicationSummary> {
+    replicate_set_observed(machine, set, seeds, workers, &Obs::disabled())
 }
 
 /// [`replicate`] with telemetry: each seeded run becomes a wall span on
@@ -110,6 +126,18 @@ pub fn replicate_observed(
     workers: usize,
     obs: &Obs,
 ) -> SimResult<ReplicationSummary> {
+    let set = ProgramSet::from_programs(programs);
+    replicate_set_observed(machine, &set, seeds, workers, obs)
+}
+
+/// [`replicate_set`] with telemetry (see [`replicate_observed`]).
+pub fn replicate_set_observed(
+    machine: &MachineSpec,
+    set: &ProgramSet,
+    seeds: &[u64],
+    workers: usize,
+    obs: &Obs,
+) -> SimResult<ReplicationSummary> {
     let rec = &*obs.recorder;
     if rec.is_enabled() {
         rec.set_process_name(REPLICATE_PID, format!("replicate {}", machine.name));
@@ -117,7 +145,7 @@ pub fn replicate_observed(
     let run = pool::run_ordered_with_worker(seeds.to_vec(), workers, |worker, &seed| {
         let t0 = Instant::now();
         let seeded = machine.clone().with_seed(seed);
-        let result = Engine::new(&seeded, programs.to_vec()).run().map(|report| Replication {
+        let result = Engine::from_set(&seeded, set.clone()).run().map(|report| Replication {
             seed,
             makespan_secs: report.makespan(),
             report,
@@ -148,6 +176,45 @@ pub fn replicate_observed(
     obs.metrics.counter_add("replicate.seeds", seeds.len() as u64);
     obs.metrics.gauge_set("wall.replicate.merge_us", merge_started.elapsed().as_micros() as f64);
     Ok(summary)
+}
+
+/// A what-if campaign: every machine variant (procurement candidates,
+/// flop-rate multipliers, interconnect swaps) replicated under every
+/// noise seed, fanned out as **one** `variants × seeds` batch over the
+/// worker pool so the pool stays saturated even when each variant has
+/// only a few seeds. Results are grouped back per variant, seeds in
+/// input order — bit-identical for any worker count.
+pub fn campaign(
+    variants: &[MachineSpec],
+    set: &ProgramSet,
+    seeds: &[u64],
+    workers: usize,
+) -> SimResult<Vec<ReplicationSummary>> {
+    let items: Vec<(usize, u64)> =
+        variants.iter().enumerate().flat_map(|(v, _)| seeds.iter().map(move |&s| (v, s))).collect();
+    let run = pool::run_ordered_with_worker(items, workers, |_worker, &(v, seed)| {
+        let seeded = variants[v].clone().with_seed(seed);
+        Engine::from_set(&seeded, set.clone()).run().map(|report| Replication {
+            seed,
+            makespan_secs: report.makespan(),
+            report,
+        })
+    });
+    let mut results = run.results.into_iter();
+    let mut summaries = Vec::with_capacity(variants.len());
+    for variant in variants {
+        let mut replications = Vec::with_capacity(seeds.len());
+        for _ in seeds {
+            replications.push(results.next().expect("one result per (variant, seed)")?);
+        }
+        summaries.push(ReplicationSummary {
+            machine: variant.name.clone(),
+            replications,
+            workers: run.workers.clone(),
+            wall: run.wall,
+        });
+    }
+    Ok(summaries)
 }
 
 #[cfg(test)]
@@ -223,5 +290,36 @@ mod tests {
         let summary = replicate(&machine, &ring_programs(2), &[], 4).unwrap();
         assert!(summary.replications.is_empty());
         assert_eq!(summary.mean_makespan(), 0.0);
+    }
+
+    #[test]
+    fn replicate_set_matches_program_replication() {
+        let machine = noisy_machine();
+        let programs = ring_programs(4);
+        let set = ProgramSet::from_programs(&programs);
+        let seeds = [3u64, 1, 4, 1, 5];
+        let a = replicate(&machine, &programs, &seeds, 2).unwrap();
+        let b = replicate_set(&machine, &set, &seeds, 3).unwrap();
+        assert_eq!(a.replications, b.replications);
+    }
+
+    #[test]
+    fn campaign_groups_variants_in_order() {
+        let base = noisy_machine();
+        let mut fast = MachineSpec::ideal(150.0).with_noise(cluster_sim::NoiseModel::commodity());
+        fast.name = "fast".into();
+        let set = ProgramSet::from_programs(&ring_programs(4));
+        let seeds = [7u64, 8, 9];
+        let variants = [base.clone(), fast.clone()];
+        let summaries = campaign(&variants, &set, &seeds, 4).unwrap();
+        assert_eq!(summaries.len(), 2);
+        // Each variant's summary must match a standalone replication.
+        for (variant, summary) in variants.iter().zip(&summaries) {
+            assert_eq!(summary.machine, variant.name);
+            let standalone = replicate_set(variant, &set, &seeds, 1).unwrap();
+            assert_eq!(summary.replications, standalone.replications);
+        }
+        // The faster variant actually wins.
+        assert!(summaries[1].mean_makespan() < summaries[0].mean_makespan());
     }
 }

@@ -1,0 +1,64 @@
+//! Memory-footprint regression guard for the engine's channel tables.
+//!
+//! The seed engine kept one `(src, dst, tag)`-keyed `VecDeque` per tag it
+//! had ever seen — a SWEEP3D trace allocates a fresh tag per (octant,
+//! angle-block, k-block) unit, so channel-map size grew linearly with the
+//! *run length* and the queues were never reclaimed. The dense-channel
+//! engine allocates one queue per directed partner edge, fixed by the
+//! topology before the run starts. This test pins that: an 8× longer run
+//! of the same problem shape must not grow the channel table or the queue
+//! peaks at all.
+
+use cluster_sim::{Engine, MachineSpec, MemProbe, NoiseModel};
+use sweep3d::trace::{generate_program_set, FlopModel};
+use sweep3d::ProblemConfig;
+
+fn probe(iterations: usize) -> MemProbe {
+    let mut machine = MachineSpec::ideal(200.0);
+    machine.noise = NoiseModel::commodity();
+    machine.rendezvous_bytes = Some(4096);
+    let mut cfg = ProblemConfig::weak_scaling(4, 4, 4);
+    cfg.mk = 2;
+    cfg.iterations = iterations;
+    let fm = FlopModel {
+        flops_per_cell_angle: 21.5,
+        source_flops_per_cell: 2.0,
+        flux_err_flops_per_cell: 3.0,
+    };
+    let set = generate_program_set(&cfg, &fm);
+    let (_, probe) = Engine::from_set(&machine, set).run_probed().expect("fixture runs");
+    probe
+}
+
+#[test]
+fn long_runs_do_not_grow_channel_state() {
+    let short = probe(3);
+    let long = probe(24);
+
+    // 4x4 open mesh: interior of directed edges = 2*(2*4*3) = 48 channels,
+    // one per directed neighbor pair — and *independent of run length*.
+    assert_eq!(short.channels, 48);
+    assert_eq!(long.channels, short.channels, "channel table must be topology-fixed");
+
+    // Queue peaks are set by in-flight concurrency (pipeline depth), not
+    // by how many iterations the run executes.
+    assert!(
+        long.peak_queued <= short.peak_queued,
+        "peak queue occupancy grew with run length: {} (24 iters) vs {} (3 iters)",
+        long.peak_queued,
+        short.peak_queued
+    );
+
+    // Retained queue capacity stays bounded by the same peak — the old
+    // engine retained one empty VecDeque per tag ever used (~8x more tags
+    // in the long run).
+    assert!(
+        long.inflight_capacity + long.pending_capacity
+            <= 2 * (short.inflight_capacity + short.pending_capacity),
+        "retained queue capacity grew with run length: {}+{} vs {}+{}",
+        long.inflight_capacity,
+        long.pending_capacity,
+        short.inflight_capacity,
+        short.pending_capacity
+    );
+}

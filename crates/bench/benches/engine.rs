@@ -7,7 +7,8 @@ use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 
 use cluster_sim::{Engine, MachineSpec, Op, Program};
-use pace_core::{machines, Sweep3dModel, Sweep3dParams};
+use pace_core::{Sweep3dModel, Sweep3dParams};
+use registry::quoted as machines;
 use simmpi::{ReduceOp, Runtime};
 
 /// A ring pipeline workload of `ranks × units` work quanta.

@@ -169,10 +169,9 @@ mod tests {
 
     #[test]
     fn text_report_renders() {
-        use crate::machines;
         use crate::sweep3d_model::{Sweep3dModel, Sweep3dParams};
-        let pred = Sweep3dModel::new(Sweep3dParams::weak_scaling_50cubed(4, 4))
-            .predict(&machines::pentium3_myrinet());
+        let hw = HardwareModel::flat_rate("fixture", 132.0, CommModel::free());
+        let pred = Sweep3dModel::new(Sweep3dParams::weak_scaling_50cubed(4, 4)).predict(&hw);
         let text = pred.report.to_text();
         assert!(text.contains("sweep"));
         assert!(text.contains("pipeline: fill"));

@@ -204,23 +204,6 @@ pub fn parse(src: &str) -> Result<HardwareModel, HmclError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::machines;
-
-    #[test]
-    fn roundtrip_quoted_machines() {
-        for hw in machines::all_quoted() {
-            let script = write(&hw);
-            let back = parse(&script).unwrap();
-            assert_eq!(back.rates.len(), hw.rates.len());
-            for (a, b) in back.rates.iter().zip(&hw.rates) {
-                assert_eq!(a.cells_per_pe, b.cells_per_pe);
-                assert_eq!(a.mflops, b.mflops);
-            }
-            assert_eq!(back.comm, hw.comm, "{}", hw.name);
-            // Same predictions follow from identical parameters.
-            assert_eq!(back.achieved_mflops(125_000), hw.achieved_mflops(125_000));
-        }
-    }
 
     #[test]
     fn parses_hand_written_script() {
@@ -276,22 +259,5 @@ mod tests {
     fn negative_rate_rejected() {
         let src = "config X {\n hardware {\n rates {\n 100 = -5,\n }\n }\n }";
         assert!(parse(src).is_err());
-    }
-
-    #[test]
-    fn interconnect_swap_via_script_editing() {
-        // The §6 reuse story at the script level: take the Opteron model,
-        // splice in Myrinet's mpi section, reparse.
-        let opteron = machines::opteron_gige();
-        let myrinet = machines::pentium3_myrinet();
-        let script = write(&opteron);
-        let (head, _) = script.split_once("    mpi {").unwrap();
-        let donor = write(&myrinet);
-        let mpi_start = donor.find("    mpi {").unwrap();
-        let mpi_end = donor[mpi_start..].find("    }").unwrap() + mpi_start + 5;
-        let hybrid = format!("{head}{}\n  }}\n}}\n", &donor[mpi_start..mpi_end]);
-        let hw = parse(&hybrid).unwrap();
-        assert_eq!(hw.achieved_mflops(125_000), 350.0, "Opteron rates kept");
-        assert_eq!(hw.comm, myrinet.comm, "Myrinet interconnect spliced in");
     }
 }

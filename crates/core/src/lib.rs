@@ -24,15 +24,17 @@
 //!   per-subtask breakdown.
 //!
 //! The complete SWEEP3D model of the paper is provided in
-//! [`sweep3d_model`]; quoted machine characterisations from the paper's
-//! validation section are in [`machines`].
+//! [`sweep3d_model`]; the quoted machine characterisations from the
+//! paper's validation section live in the `registry` crate
+//! (`registry::quoted`), which layers name- and file-based machine
+//! resolution on top of this crate's hardware types.
 //!
 //! ```
-//! use pace_core::machines;
 //! use pace_core::sweep3d_model::{Sweep3dModel, Sweep3dParams};
+//! use pace_core::{CommModel, HardwareModel};
 //!
-//! // Predict the paper's Table 1 first row: 100x100x50 on 2x2 Pentium 3s.
-//! let hw = machines::pentium3_myrinet();
+//! // Predict a 100x100x50 weak-scaling run on a 132 Mflop/s machine.
+//! let hw = HardwareModel::flat_rate("demo", 132.0, CommModel::free());
 //! let params = Sweep3dParams::weak_scaling_50cubed(2, 2);
 //! let prediction = Sweep3dModel::new(params).predict(&hw);
 //! assert!(prediction.total_secs > 10.0 && prediction.total_secs < 60.0);
@@ -43,7 +45,6 @@ pub mod comm;
 pub mod engine;
 pub mod hardware;
 pub mod hmcl_script;
-pub mod machines;
 pub mod model;
 pub mod sweep3d_model;
 pub mod templates;

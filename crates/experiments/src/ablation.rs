@@ -12,9 +12,9 @@
 //! * **coarse costing** — the achieved-rate method of the paper.
 
 use cluster_sim::MachineSpec;
-use hwbench::machines as sim_machines;
 use pace_core::templates::pipeline;
 use pace_core::{OpcodeCosts, Sweep3dModel, Sweep3dParams, TemplateBinding};
+use registry::sim as sim_machines;
 use sweep3d::trace::FlopModel;
 
 use crate::error_pct;

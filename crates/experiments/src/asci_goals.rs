@@ -8,7 +8,7 @@
 //! et al. analysis the paper cites sets the goal at roughly one wall-clock
 //! hour for the full calculation.
 
-use pace_core::{machines, Sweep3dModel};
+use pace_core::Sweep3dModel;
 
 use crate::speculation::Problem;
 
@@ -46,7 +46,7 @@ impl AsciEstimate {
 /// Extrapolate a speculative problem at 8000 PEs to the realistic
 /// multi-group, time-dependent setting.
 pub fn estimate(problem: Problem, groups: usize, time_steps: usize) -> AsciEstimate {
-    let hw = machines::opteron_myrinet_hypothetical();
+    let hw = registry::builtin("opteron-myrinet").expect("builtin machine").analytic;
     let (px, py) = (80, 100);
     let params = problem.params(px, py);
     let benchmark_secs = Sweep3dModel::new(params).predict(&hw).total_secs;

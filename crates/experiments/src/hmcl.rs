@@ -43,7 +43,7 @@ pub fn render(hw: &HardwareModel, cells_per_pe: usize) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pace_core::machines;
+    use registry::quoted as machines;
 
     #[test]
     fn listing_contains_all_sections() {

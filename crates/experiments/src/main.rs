@@ -4,7 +4,8 @@
 //! experiments table1|table2|table3      validation tables (measurement vs prediction)
 //! experiments fig1                      wavefront illustration
 //! experiments fig8|fig9                 speculative scaling curves
-//! experiments hmcl                      Fig. 7-style HMCL listing (fitted)
+//! experiments hmcl [--machine <name|path>]
+//!                                        Fig. 7-style HMCL listing (fitted via the registry)
 //! experiments concurrence               §6 related-model agreement
 //! experiments ablation                  opcode vs coarse benchmarking
 //! experiments blocking                  mk/mmi blocking study
@@ -12,6 +13,10 @@
 //! experiments rendezvous                eager-vs-rendezvous ablation
 //! experiments strong-scaling            strong-scaling extension study
 //! experiments sweep [--json]            parallel sweep engine: parity, speedup, cache counters
+//! experiments sweep --machine <name|path> [--backend <pace|loggp|hoisie|dessim>[,...]] [--json]
+//!                                        registry sweep: resolve a machine by registry name or
+//!                                        spec-file path and evaluate it across backends
+//!                                        (--machine-file <path> forces file resolution)
 //! experiments speculation [--problem 20m|1b] [--ranks N] [--repeat K] [--iterations I] [--json]
 //!                                        discrete-event run of a speculative scenario (default
 //!                                        8000 ranks), seed-replicated over the worker pool
@@ -74,11 +79,19 @@ impl Flags {
     }
 }
 
+/// Resolve a builtin machine's simulated half from the registry (all four
+/// builtins carry one).
+fn sim_machine(name: &str) -> cluster_sim::MachineSpec {
+    registry::builtin(name)
+        .and_then(|m| m.sim)
+        .unwrap_or_else(|| panic!("builtin machine '{name}' with a sim half"))
+}
+
 fn run_validation_table(which: u8, obs: &Obs) {
     let (label, rows, machine): (_, &[validation::RowSpec], _) = match which {
-        1 => ("Table 1", &validation::TABLE1_ROWS[..], hwbench::machines::pentium3_myrinet_sim()),
-        2 => ("Table 2", &validation::TABLE2_ROWS[..], hwbench::machines::opteron_gige_sim()),
-        3 => ("Table 3", &validation::TABLE3_ROWS[..], hwbench::machines::altix_numalink_sim()),
+        1 => ("Table 1", &validation::TABLE1_ROWS[..], sim_machine("pentium3-myrinet")),
+        2 => ("Table 2", &validation::TABLE2_ROWS[..], sim_machine("opteron-gige")),
+        3 => ("Table 3", &validation::TABLE3_ROWS[..], sim_machine("altix-numalink")),
         _ => unreachable!(),
     };
     let pid_base = (which as u32 - 1) * validation::TABLE_PID_STRIDE;
@@ -117,7 +130,7 @@ fn run_ablation() {
 }
 
 fn run_blocking() {
-    let machine = hwbench::machines::pentium3_myrinet_sim();
+    let machine = sim_machine("pentium3-myrinet");
     let pts = blocking::sweep(&machine, 20, 2, 4, &[1, 2, 5, 10, 20], &[1, 2, 3, 6]);
     println!("### Blocking study: 20^3/PE on 2x4, {}\n", machine.name);
     println!("| mk | mmi | measured(s) | predicted(s) |");
@@ -146,10 +159,27 @@ fn run_asci() {
     }
 }
 
-fn run_hmcl() {
-    let spec = hwbench::machines::pentium3_myrinet_sim();
-    let hw = hwbench::benchmark_machine(&spec, &[50], 2);
-    println!("{}", hmcl::render(&hw, 125_000));
+/// `experiments hmcl [--machine <name|path>]`: characterise a registry
+/// machine's simulated half and render the fitted model as an HMCL
+/// listing.
+fn run_hmcl(args: &[String]) {
+    let name = match args {
+        [] => "pentium3-myrinet",
+        [flag, value] if flag == "--machine" => value.as_str(),
+        _ => {
+            eprintln!("usage: experiments hmcl [--machine <name|path>]");
+            std::process::exit(2);
+        }
+    };
+    let machine = registry::resolve(name).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+    let fitted = hwbench::characterise(&machine, &[50], 2).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+    println!("{}", hmcl::render(&fitted.analytic, 125_000));
 }
 
 fn run_rendezvous() {
@@ -173,7 +203,7 @@ fn run_rendezvous() {
 
 fn run_strong_scaling() {
     let pts = strong_scaling::default_study();
-    println!("### Strong scaling: 120x120x40 on {}\n", hwbench::machines::opteron_gige_sim().name);
+    println!("### Strong scaling: 120x120x40 on {}\n", sim_machine("opteron-gige").name);
     println!("| PEs | array | measured(s) | predicted(s) | speedup | efficiency |");
     println!("|---|---|---|---|---|---|");
     for p in &pts {
@@ -197,9 +227,95 @@ fn run_validate(obs: &Obs) {
     }
 }
 
-fn run_sweep(obs: &Obs, json: bool) {
+/// `experiments sweep --machine <name|path>`: resolve a machine through
+/// the registry and evaluate the small Fig. 8 ladder across predictor
+/// backends via the sweep engine's backend axis.
+fn run_registry_sweep(machine_arg: &str, backend_arg: Option<&str>, obs: &Obs, json: bool) {
+    use pace_core::Sweep3dParams;
+    use wavefront_models::Backend;
+    let exit = |e: String| -> ! {
+        eprintln!("{e}");
+        std::process::exit(2)
+    };
+    let machine = registry::resolve(machine_arg).unwrap_or_else(|e| exit(e));
+    let backends: Vec<Backend> = match backend_arg {
+        Some(list) => {
+            list.split(',').map(|s| Backend::parse(s.trim()).unwrap_or_else(|e| exit(e))).collect()
+        }
+        // Default: every backend the machine can serve.
+        None if machine.sim.is_some() => Backend::ALL.to_vec(),
+        None => Backend::ANALYTIC.to_vec(),
+    };
+    let mut spec = sweepsvc::SweepSpec::new().machine(machine.clone()).backends(backends.clone());
+    for (px, py) in [(1, 1), (1, 2), (2, 2), (2, 4), (4, 4)] {
+        spec = spec.problem(format!("{px}x{py}"), Sweep3dParams::speculative_20m(px, py));
+    }
+    spec.validate().unwrap_or_else(|e| exit(e));
+    let out = sweepsvc::SweepEngine::new().with_obs(obs.clone()).run(&spec);
+    if json {
+        let rows: Vec<String> = out
+            .results
+            .iter()
+            .map(|r| {
+                format!(
+                    "    {{\"label\": \"{}\", \"pes\": {}, \"backend\": \"{}\", \"total_secs\": {:.9}}}",
+                    r.label,
+                    r.pes,
+                    r.backend.name(),
+                    r.total_secs
+                )
+            })
+            .collect();
+        println!("{{");
+        println!("  \"machine\": \"{}\",", machine.id);
+        let names: Vec<String> = backends.iter().map(|b| format!("\"{}\"", b.name())).collect();
+        println!("  \"backends\": [{}],", names.join(", "));
+        println!("  \"results\": [\n{}\n  ]", rows.join(",\n"));
+        println!("}}");
+        return;
+    }
+    println!(
+        "### Registry sweep: {} across {} backend(s), Fig. 8 per-PE problem\n",
+        machine.id,
+        backends.len()
+    );
+    println!("| array | PEs | backend | predicted(s) |");
+    println!("|---|---|---|---|");
+    for r in &out.results {
+        println!("| {} | {} | {} | {:.4} |", r.label, r.pes, r.backend.name(), r.total_secs);
+    }
+    println!();
+}
+
+fn run_sweep(args: &[String], obs: &Obs, json: bool) {
     use std::time::Instant;
-    let hw = pace_core::machines::opteron_myrinet_hypothetical();
+    // Registry mode: any of --machine/--machine-file/--backend selects it.
+    let mut machine_arg: Option<String> = None;
+    let mut backend_arg: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: &mut usize| -> String {
+            *i += 1;
+            args.get(*i).cloned().unwrap_or_else(|| {
+                eprintln!("{} requires a value", args[*i - 1]);
+                std::process::exit(2);
+            })
+        };
+        match args[i].as_str() {
+            "--machine" | "--machine-file" => machine_arg = Some(value(&mut i)),
+            "--backend" => backend_arg = Some(value(&mut i)),
+            other => {
+                eprintln!("unknown sweep flag {other:?}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    if machine_arg.is_some() || backend_arg.is_some() {
+        let machine = machine_arg.unwrap_or_else(|| "opteron-myrinet".into());
+        return run_registry_sweep(&machine, backend_arg.as_deref(), obs, json);
+    }
+    let hw = registry::quoted::opteron_myrinet_hypothetical();
     let workers = sweepsvc::available_workers();
     if !json {
         println!("### Parallel sweep engine: Figs. 8-9 speculation on {workers} worker(s)\n");
@@ -359,7 +475,7 @@ fn run_timeline() {
     use cluster_sim::timeline;
     use sweep3d::trace::{generate_programs, FlopModel};
     use sweep3d::ProblemConfig;
-    let machine = hwbench::machines::pentium3_myrinet_sim();
+    let machine = sim_machine("pentium3-myrinet");
     let mut config = ProblemConfig::weak_scaling(12, 1, 6);
     config.iterations = 1;
     config.mk = 4;
@@ -399,7 +515,7 @@ fn run_obs(obs: &Obs) {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments [--trace <path>] [--metrics <path>] [--json] <table1|table2|table3|fig1|fig8|fig9|hmcl|concurrence|ablation|blocking|asci-goals|rendezvous|strong-scaling|sweep|speculation|timeline|obs|robustness|host-validate|csv [dir]|validate|all>"
+        "usage: experiments [--trace <path>] [--metrics <path>] [--json] <table1|table2|table3|fig1|fig8|fig9|hmcl [--machine <name|path>]|concurrence|ablation|blocking|asci-goals|rendezvous|strong-scaling|sweep [--machine <name|path>] [--backend <list>]|speculation|timeline|obs|robustness|host-validate|csv [dir]|validate|all>"
     );
     std::process::exit(2)
 }
@@ -422,20 +538,20 @@ fn main() {
         "fig1" => println!("{}", wavefront_fig::figure1_text()),
         "fig8" => run_fig(Problem::TwentyMillion),
         "fig9" => run_fig(Problem::OneBillion),
-        "hmcl" => run_hmcl(),
+        "hmcl" => run_hmcl(&args[1..]),
         "concurrence" => run_concurrence(),
         "ablation" => run_ablation(),
         "blocking" => run_blocking(),
         "asci-goals" => run_asci(),
         "rendezvous" => run_rendezvous(),
         "strong-scaling" => run_strong_scaling(),
-        "sweep" => run_sweep(obs, flags.json),
+        "sweep" => run_sweep(&args[1..], obs, flags.json),
         "speculation" => run_speculation(&args[1..], flags.json),
         "timeline" => run_timeline(),
         "obs" => run_obs(obs),
         "robustness" => {
             let r = experiments::robustness::run(
-                &hwbench::machines::opteron_gige_sim(),
+                &sim_machine("opteron-gige"),
                 &experiments::validation::TABLE2_ROWS,
                 8,
             );
@@ -463,7 +579,7 @@ fn main() {
         "validate" => run_validate(obs),
         "all" => {
             println!("{}", wavefront_fig::figure1_text());
-            run_hmcl();
+            run_hmcl(&[]);
             run_validate(obs);
             run_fig(Problem::TwentyMillion);
             run_fig(Problem::OneBillion);
@@ -473,7 +589,7 @@ fn main() {
             run_asci();
             run_rendezvous();
             run_strong_scaling();
-            run_sweep(obs, flags.json);
+            run_sweep(&[], obs, flags.json);
             run_timeline();
             run_obs(obs);
         }

@@ -12,8 +12,8 @@
 use std::time::{Duration, Instant};
 
 use cluster_sim::Engine;
-use hwbench::machines as sim_machines;
 use obs::{Cat, Obs};
+use registry::sim as sim_machines;
 use sweep3d::trace::{generate_programs, FlopModel};
 
 use crate::validation::{self, RowSpec};

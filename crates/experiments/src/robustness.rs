@@ -68,7 +68,7 @@ pub fn run(machine: &MachineSpec, rows: &[RowSpec], n_campaigns: u64) -> Robustn
 mod tests {
     use super::*;
     use crate::validation::TABLE2_ROWS;
-    use hwbench::machines::opteron_gige_sim;
+    use registry::sim::opteron_gige_sim;
 
     #[test]
     fn error_structure_survives_reseeding() {

@@ -10,7 +10,8 @@
 use std::time::{Duration, Instant};
 
 use cluster_sim::MachineSpec;
-use pace_core::{machines, HardwareModel, Sweep3dModel, Sweep3dParams};
+use pace_core::{HardwareModel, Sweep3dModel, Sweep3dParams};
+use registry::quoted as machines;
 use sweep3d::trace::{generate_program_set, FlopModel};
 use sweep3d::ProblemConfig;
 use sweepsvc::{ReplicationSummary, SweepEngine, SweepSpec, SweepStats};
@@ -117,7 +118,8 @@ pub fn run_on(problem: Problem, hw: &HardwareModel) -> SpeculationCurve {
 /// The declarative sweep behind one speculation figure: the processor
 /// ladder × the three rate what-ifs on one machine.
 pub fn sweep_spec(problem: Problem, hw: &HardwareModel) -> SweepSpec {
-    let mut spec = SweepSpec::new().machine(hw.clone()).rate_multipliers(RATE_MULTIPLIERS.to_vec());
+    let mut spec =
+        SweepSpec::new().machine_hw(hw.clone()).rate_multipliers(RATE_MULTIPLIERS.to_vec());
     for (px, py) in processor_ladder() {
         spec = spec.problem(format!("{px}x{py}"), problem.params(px, py));
     }

@@ -98,13 +98,7 @@ fn config_for(it: usize, jt: usize, kt: usize, px: usize, py: usize) -> ProblemC
 /// The default ladder: a 120×120×40 grid on 1…64 PEs on the Opteron
 /// machine.
 pub fn default_study() -> Vec<StrongPoint> {
-    run(
-        &hwbench::machines::opteron_gige_sim(),
-        120,
-        120,
-        40,
-        &[(1, 1), (2, 2), (4, 4), (4, 8), (8, 8)],
-    )
+    run(&registry::sim::opteron_gige_sim(), 120, 120, 40, &[(1, 1), (2, 2), (4, 4), (4, 8), (8, 8)])
 }
 
 #[cfg(test)]

@@ -15,8 +15,8 @@
 //! comparison in EXPERIMENTS.md.
 
 use cluster_sim::{Engine, MachineSpec};
-use hwbench::machines as sim_machines;
 use pace_core::{HardwareModel, Sweep3dModel, Sweep3dParams};
+use registry::sim as sim_machines;
 use sweep3d::trace::{generate_programs, FlopModel};
 use sweep3d::ProblemConfig;
 

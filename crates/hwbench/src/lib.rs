@@ -12,10 +12,13 @@
 //!    increasing message sizes ([`netbench`]), fitted to the piecewise-
 //!    linear Eq. 3 by segmented least squares ([`fit`], [`stats`]).
 //!
-//! [`machines`] holds the canonical simulated machine specifications
-//! (Pentium 3/Myrinet, Opteron/GigE, Altix/NUMAlink), and
-//! [`benchmark_machine`] runs the full characterisation workflow:
-//! simulated machine in, fitted [`pace_core::HardwareModel`] out.
+//! [`machines`] re-exports the canonical simulated machine specifications
+//! from the unified registry (Pentium 3/Myrinet, Opteron/GigE,
+//! Altix/NUMAlink), [`benchmark_machine`] runs the full characterisation
+//! workflow (simulated machine in, fitted [`pace_core::HardwareModel`]
+//! out), and [`characterise`] does the same at the registry level: a
+//! registry machine in, the same machine with a freshly fitted analytic
+//! half out.
 
 pub mod bootstrap;
 pub mod fit;
@@ -56,6 +59,20 @@ pub fn benchmark_machine(
     HardwareModel { name: spec.name.clone(), rates, comm }
 }
 
+/// Characterise a registry machine: run [`benchmark_machine`] against its
+/// simulated half and return the same machine with the fitted analytic
+/// model in place of the quoted one. Errors when the machine carries no
+/// simulated characterisation to benchmark.
+pub fn characterise(
+    machine: &registry::MachineSpec,
+    per_pe_sizes: &[usize],
+    profile_pes: usize,
+) -> Result<registry::MachineSpec, String> {
+    let sim = machine.sim_or_err()?;
+    let analytic = benchmark_machine(sim, per_pe_sizes, profile_pes);
+    Ok(registry::MachineSpec { id: machine.id.clone(), analytic, sim: Some(sim.clone()) })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -68,5 +85,28 @@ mod tests {
         assert!(hw.achieved_mflops(1000) > 1.0);
         // The fitted ping-pong curve must be increasing in size.
         assert!(hw.comm.pingpong.eval_us(1 << 20) > hw.comm.pingpong.eval_us(64));
+    }
+
+    #[test]
+    fn characterise_refits_a_registry_machine() {
+        let machine = registry::builtin("pentium3-myrinet").unwrap();
+        let fitted = characterise(&machine, &[10, 20], 1).unwrap();
+        assert_eq!(fitted.id, machine.id);
+        assert_eq!(fitted.sim, machine.sim, "the sim half passes through untouched");
+        assert_ne!(fitted.analytic, machine.analytic, "the analytic half is re-fitted");
+        assert!(fitted.analytic.achieved_mflops(1000) > 1.0);
+        // The fitted machine is a first-class registry citizen: it
+        // round-trips through the spec-file format.
+        let back = registry::MachineSpec::from_json(&fitted.to_json()).unwrap();
+        assert_eq!(back, fitted);
+    }
+
+    #[test]
+    fn characterise_needs_a_sim_half() {
+        let analytic_only = registry::MachineSpec::from_analytic(
+            "flat",
+            registry::quoted::opteron_myrinet_hypothetical(),
+        );
+        assert!(characterise(&analytic_only, &[10], 1).is_err());
     }
 }

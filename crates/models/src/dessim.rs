@@ -1,0 +1,127 @@
+//! The discrete-event backend: predict by *running* the configured
+//! problem through the `cluster-sim` engine on the machine's simulated
+//! half.
+//!
+//! Where the analytic backends price a closed form, this backend replays
+//! the traced SWEEP3D communication structure rank by rank, so it sees
+//! pipeline stalls, rendezvous hand-shakes and OS noise the closed forms
+//! average away. It is the most expensive backend (wall time grows with
+//! ranks × blocks) and the only one that needs the registry machine's
+//! `sim` half.
+
+use cluster_sim::Engine;
+use pace_core::engine::{EvaluationReport, SubtaskTime};
+use pace_core::Sweep3dParams;
+use sweep3d::trace::{generate_program_set, FlopModel};
+use sweep3d::ProblemConfig;
+
+use crate::Predictor;
+
+/// Recover the S_N order from an angles-per-octant count
+/// (`angles = N(N+2)/8`, N even).
+fn sn_order_for(angles_per_octant: usize) -> Result<usize, String> {
+    (2..=64).step_by(2).find(|n| n * (n + 2) / 8 == angles_per_octant).ok_or_else(|| {
+        format!("no even S_N order ≤ 64 yields {angles_per_octant} angles per octant")
+    })
+}
+
+/// Translate the analytic parameter set into the simulator's problem
+/// configuration (same decomposition, blocking and iteration count).
+pub fn problem_config(params: &Sweep3dParams) -> Result<ProblemConfig, String> {
+    let mut c = ProblemConfig::weak_scaling(1, params.px, params.py);
+    c.it = params.nx * params.px;
+    c.jt = params.ny * params.py;
+    c.kt = params.nz;
+    c.mk = params.mk.min(params.nz);
+    c.mmi = params.mmi;
+    c.sn_order = sn_order_for(params.angles_per_octant)?;
+    c.iterations = params.iterations;
+    c.validate()?;
+    Ok(c)
+}
+
+/// The per-cell flop weights the trace generator should charge, taken from
+/// the same kernel characterisation the analytic backends price.
+pub fn flop_model(params: &Sweep3dParams) -> FlopModel {
+    FlopModel {
+        flops_per_cell_angle: params.kernel.sweep_per_cell_angle.flops(),
+        source_flops_per_cell: params.kernel.source_per_cell.flops(),
+        flux_err_flops_per_cell: params.kernel.flux_err_per_cell.flops(),
+    }
+}
+
+/// The discrete-event predictor backend.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DesSimPredictor;
+
+impl Predictor for DesSimPredictor {
+    fn name(&self) -> &'static str {
+        "dessim"
+    }
+
+    fn display_name(&self) -> &'static str {
+        "cluster-sim (discrete event)"
+    }
+
+    fn needs_sim(&self) -> bool {
+        true
+    }
+
+    fn predict(
+        &self,
+        params: &Sweep3dParams,
+        machine: &registry::MachineSpec,
+    ) -> Result<EvaluationReport, String> {
+        let sim = machine.sim_or_err()?;
+        let config = problem_config(params)?;
+        let set = generate_program_set(&config, &flop_model(params));
+        let report = Engine::from_set(sim, set)
+            .run()
+            .map_err(|e| format!("dessim on '{}': {e}", machine.id))?;
+        let total_secs = report.makespan();
+        Ok(EvaluationReport {
+            application: "sweep3d".to_string(),
+            hardware: sim.name.clone(),
+            total_secs,
+            iterations: params.iterations,
+            subtasks: vec![SubtaskTime {
+                name: "simulated".to_string(),
+                secs_per_iteration: total_secs / params.iterations.max(1) as f64,
+                pipeline: None,
+            }],
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sn_order_inverts_angle_counts() {
+        assert_eq!(sn_order_for(6), Ok(6)); // S6: 6·8/8
+        assert_eq!(sn_order_for(1), Ok(2)); // S2: 2·4/8
+        assert!(sn_order_for(7).is_err());
+    }
+
+    #[test]
+    fn config_mirrors_params() {
+        let p = Sweep3dParams::weak_scaling_50cubed(4, 6);
+        let c = problem_config(&p).unwrap();
+        assert_eq!((c.it, c.jt, c.kt), (200, 300, 50));
+        assert_eq!((c.npe_i, c.npe_j), (4, 6));
+        assert_eq!((c.mk, c.mmi, c.sn_order, c.iterations), (10, 3, 6, 12));
+    }
+
+    #[test]
+    fn prediction_is_deterministic_and_scales() {
+        let machine = registry::builtin("opteron-myrinet").unwrap();
+        let p = Sweep3dParams::speculative_20m(2, 2);
+        let a = DesSimPredictor.predict_secs(&p, &machine).unwrap();
+        let b = DesSimPredictor.predict_secs(&p, &machine).unwrap();
+        assert_eq!(a.to_bits(), b.to_bits(), "same seed, same machine ⇒ same bits");
+        let larger =
+            DesSimPredictor.predict_secs(&Sweep3dParams::speculative_20m(6, 6), &machine).unwrap();
+        assert!(larger > a, "weak scaling grows the makespan: {larger} vs {a}");
+    }
+}

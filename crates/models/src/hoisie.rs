@@ -22,9 +22,10 @@
 //! twice per iteration by the octant-pair reversals.
 
 use pace_core::comm::CommModel;
+use pace_core::engine::EvaluationReport;
 use pace_core::{HardwareModel, Sweep3dParams};
 
-use crate::WavefrontModel;
+use crate::Predictor;
 
 /// The Hoisie et al. wavefront model.
 #[derive(Debug, Clone, Copy, Default)]
@@ -102,20 +103,35 @@ fn per_block_comm(comm: &CommModel, i_bytes: usize, j_bytes: usize) -> f64 {
         + 0.5 * (comm.oneway_secs(i_bytes) + comm.oneway_secs(j_bytes))
 }
 
-impl WavefrontModel for HoisieModel {
+impl HoisieModel {
+    /// The closed-form prediction against an analytic hardware model.
+    pub fn predict_secs(&self, params: &Sweep3dParams, hw: &HardwareModel) -> f64 {
+        self.breakdown(params, hw).total_secs
+    }
+}
+
+impl Predictor for HoisieModel {
     fn name(&self) -> &'static str {
+        "hoisie"
+    }
+
+    fn display_name(&self) -> &'static str {
         "Hoisie et al. (LANL)"
     }
 
-    fn predict_secs(&self, params: &Sweep3dParams, hw: &HardwareModel) -> f64 {
-        self.breakdown(params, hw).total_secs
+    fn predict(
+        &self,
+        params: &Sweep3dParams,
+        machine: &registry::MachineSpec,
+    ) -> Result<EvaluationReport, String> {
+        Ok(crate::scalar_report(machine, params, self.predict_secs(params, &machine.analytic)))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pace_core::machines;
+    use registry::quoted as machines;
 
     #[test]
     fn breakdown_identity() {

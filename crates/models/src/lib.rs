@@ -1,66 +1,200 @@
-//! # wavefront-models — baseline analytic comparators
+//! # wavefront-models — pluggable predictor backends
 //!
 //! The paper validates its speculative predictions by noting they "concur
 //! with those gained through other related analytical models" (§6), citing
 //! the LogGP model of Sundaram-Stukel & Vernon (PPoPP'99) and the Los
 //! Alamos wavefront models of Hoisie, Lubeck & Wasserman. This crate makes
-//! that concurrence check executable: both baselines are implemented
-//! against the same parameter/hardware types as the PACE model, so all
-//! three can be evaluated on identical scenarios.
+//! that concurrence check executable — and generalises it into the
+//! [`Predictor`] backend interface every layer of the workspace now speaks:
 //!
-//! Neither baseline is a re-derivation of the full published models (those
-//! target one machine's MPI implementation in detail); they are the
-//! standard closed-form wavefront analyses those papers build on, which is
-//! what the concurrence claim rests on.
+//! * [`Backend::Pace`] — this repository's PACE layered model (the paper);
+//! * [`Backend::LogGp`] — the LogGP closed form ([`loggp`]);
+//! * [`Backend::Hoisie`] — the LANL wavefront closed form ([`hoisie`]);
+//! * [`Backend::DesSim`] — the discrete-event `cluster-sim` engine
+//!   ([`dessim`]), which needs the machine's simulated half.
+//!
+//! All four evaluate the same [`Sweep3dParams`] against the same
+//! [`registry::MachineSpec`], so a sweep can cross machines × problems ×
+//! backends without hand-wiring (see `sweepsvc`).
+//!
+//! Neither closed-form baseline is a re-derivation of the full published
+//! models (those target one machine's MPI implementation in detail); they
+//! are the standard closed-form wavefront analyses those papers build on,
+//! which is what the concurrence claim rests on.
 
+pub mod dessim;
 pub mod hoisie;
 pub mod loggp;
 
-use pace_core::{HardwareModel, Sweep3dModel, Sweep3dParams};
+pub use dessim::DesSimPredictor;
+pub use hoisie::{HoisieBreakdown, HoisieModel};
+pub use loggp::{LogGpModel, LogGpParams};
 
-/// A common interface over the analytic wavefront models.
-pub trait WavefrontModel {
-    /// A short display name.
+use pace_core::engine::{EvaluationReport, SubtaskTime};
+use pace_core::{Sweep3dModel, Sweep3dParams};
+
+/// A prediction backend: anything that can turn (problem, machine) into an
+/// evaluation report. Replaces the narrower `WavefrontModel` trait, which
+/// only spoke the analytic `HardwareModel` half.
+pub trait Predictor: Send + Sync {
+    /// The stable CLI identifier (`pace`, `loggp`, `hoisie`, `dessim`).
     fn name(&self) -> &'static str;
 
-    /// Predicted total execution time for a SWEEP3D run, in seconds.
-    fn predict_secs(&self, params: &Sweep3dParams, hw: &HardwareModel) -> f64;
+    /// A human-readable display name with attribution.
+    fn display_name(&self) -> &'static str;
+
+    /// Whether [`predict`](Predictor::predict) requires the machine's
+    /// simulated (DES) half.
+    fn needs_sim(&self) -> bool {
+        false
+    }
+
+    /// Predict a SWEEP3D run on a registry machine. Errors when the
+    /// machine lacks a characterisation the backend needs.
+    fn predict(
+        &self,
+        params: &Sweep3dParams,
+        machine: &registry::MachineSpec,
+    ) -> Result<EvaluationReport, String>;
+
+    /// Predicted total execution time, seconds.
+    fn predict_secs(
+        &self,
+        params: &Sweep3dParams,
+        machine: &registry::MachineSpec,
+    ) -> Result<f64, String> {
+        Ok(self.predict(params, machine)?.total_secs)
+    }
 }
 
-/// The PACE model of this repository, adapted to the common interface.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct PaceAdapter;
+/// Wrap a closed-form scalar prediction into a report shaped like the PACE
+/// engine's output (single aggregate subtask).
+pub(crate) fn scalar_report(
+    machine: &registry::MachineSpec,
+    params: &Sweep3dParams,
+    total_secs: f64,
+) -> EvaluationReport {
+    EvaluationReport {
+        application: "sweep3d".to_string(),
+        hardware: machine.analytic.name.clone(),
+        total_secs,
+        iterations: params.iterations,
+        subtasks: vec![SubtaskTime {
+            name: "total".to_string(),
+            secs_per_iteration: total_secs / params.iterations.max(1) as f64,
+            pipeline: None,
+        }],
+    }
+}
 
-impl WavefrontModel for PaceAdapter {
+/// The PACE model of this repository, adapted to the backend interface.
+/// `predict` returns the evaluation engine's report verbatim, so going
+/// through the registry is bit-identical to calling the model directly.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PacePredictor;
+
+impl Predictor for PacePredictor {
     fn name(&self) -> &'static str {
+        "pace"
+    }
+
+    fn display_name(&self) -> &'static str {
         "PACE (this paper)"
     }
 
-    fn predict_secs(&self, params: &Sweep3dParams, hw: &HardwareModel) -> f64 {
-        Sweep3dModel::new(*params).predict(hw).total_secs
+    fn predict(
+        &self,
+        params: &Sweep3dParams,
+        machine: &registry::MachineSpec,
+    ) -> Result<EvaluationReport, String> {
+        Ok(Sweep3dModel::new(*params).predict(&machine.analytic).report)
     }
 }
 
-/// All three models, for the concurrence study.
-pub fn all_models() -> Vec<Box<dyn WavefrontModel>> {
-    vec![Box::new(PaceAdapter), Box::new(loggp::LogGpModel), Box::new(hoisie::HoisieModel)]
+/// The four predictor backends, as a closed CLI-facing enumeration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Backend {
+    /// The PACE layered model (this paper).
+    Pace,
+    /// LogGP closed form (Sundaram-Stukel & Vernon).
+    LogGp,
+    /// LANL wavefront closed form (Hoisie et al.).
+    Hoisie,
+    /// Discrete-event simulation (`cluster-sim`).
+    DesSim,
+}
+
+impl Backend {
+    /// All backends, in CLI listing order.
+    pub const ALL: [Backend; 4] = [Backend::Pace, Backend::LogGp, Backend::Hoisie, Backend::DesSim];
+
+    /// The analytic backends (no sim half required) — the §6 concurrence
+    /// trio.
+    pub const ANALYTIC: [Backend; 3] = [Backend::Pace, Backend::LogGp, Backend::Hoisie];
+
+    /// Parse a CLI identifier.
+    pub fn parse(s: &str) -> Result<Backend, String> {
+        match s {
+            "pace" => Ok(Backend::Pace),
+            "loggp" => Ok(Backend::LogGp),
+            "hoisie" => Ok(Backend::Hoisie),
+            "dessim" => Ok(Backend::DesSim),
+            other => Err(format!(
+                "unknown backend '{other}' (expected one of: pace, loggp, hoisie, dessim)"
+            )),
+        }
+    }
+
+    /// The stable CLI identifier.
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Pace => "pace",
+            Backend::LogGp => "loggp",
+            Backend::Hoisie => "hoisie",
+            Backend::DesSim => "dessim",
+        }
+    }
+
+    /// Instantiate the backend's predictor.
+    pub fn predictor(self) -> Box<dyn Predictor> {
+        match self {
+            Backend::Pace => Box::new(PacePredictor),
+            Backend::LogGp => Box::new(loggp::LogGpModel),
+            Backend::Hoisie => Box::new(hoisie::HoisieModel),
+            Backend::DesSim => Box::new(dessim::DesSimPredictor),
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pace_core::machines;
+
+    fn analytic_predictors() -> Vec<Box<dyn Predictor>> {
+        Backend::ANALYTIC.iter().map(|b| b.predictor()).collect()
+    }
+
+    #[test]
+    fn backend_names_round_trip() {
+        for b in Backend::ALL {
+            assert_eq!(Backend::parse(b.name()), Ok(b));
+        }
+        let err = Backend::parse("petri-net").unwrap_err();
+        assert!(err.contains("petri-net") && err.contains("dessim"), "{err}");
+    }
 
     #[test]
     fn models_concur_on_weak_scaling() {
         // The §6 concurrence claim: on the hypothetical machine, the three
         // analytic models agree on the scaling shape (within a modest
         // factor at every size, and all increasing with the array).
-        let hw = machines::opteron_myrinet_hypothetical();
+        let machine = registry::builtin("opteron-myrinet").unwrap();
         for (px, py) in [(2usize, 2usize), (10, 10), (40, 50)] {
             let params = Sweep3dParams::speculative_1b(px, py);
-            let preds: Vec<f64> =
-                all_models().iter().map(|m| m.predict_secs(&params, &hw)).collect();
+            let preds: Vec<f64> = analytic_predictors()
+                .iter()
+                .map(|m| m.predict_secs(&params, &machine).unwrap())
+                .collect();
             let max = preds.iter().cloned().fold(f64::MIN, f64::max);
             let min = preds.iter().cloned().fold(f64::MAX, f64::min);
             assert!(min > 0.0);
@@ -70,11 +204,50 @@ mod tests {
 
     #[test]
     fn all_models_scale_up_with_processors() {
-        let hw = machines::opteron_myrinet_hypothetical();
-        for model in all_models() {
-            let small = model.predict_secs(&Sweep3dParams::speculative_1b(2, 2), &hw);
-            let large = model.predict_secs(&Sweep3dParams::speculative_1b(80, 100), &hw);
+        let machine = registry::builtin("opteron-myrinet").unwrap();
+        for model in analytic_predictors() {
+            let small = model.predict_secs(&Sweep3dParams::speculative_1b(2, 2), &machine).unwrap();
+            let large =
+                model.predict_secs(&Sweep3dParams::speculative_1b(80, 100), &machine).unwrap();
             assert!(large > small, "{}: weak-scaling time must grow with the array", model.name());
         }
+    }
+
+    #[test]
+    fn pace_backend_is_bit_identical_to_direct_model() {
+        let machine = registry::builtin("pentium3-myrinet").unwrap();
+        let params = Sweep3dParams::weak_scaling_50cubed(4, 4);
+        let direct = Sweep3dModel::new(params).predict(&machine.analytic).report;
+        let via_backend = PacePredictor.predict(&params, &machine).unwrap();
+        assert_eq!(via_backend, direct);
+    }
+
+    #[test]
+    fn scalar_backends_report_consistent_totals() {
+        let machine = registry::builtin("opteron-gige").unwrap();
+        let params = Sweep3dParams::weak_scaling_50cubed(4, 4);
+        for b in [Backend::LogGp, Backend::Hoisie] {
+            let p = b.predictor();
+            let report = p.predict(&params, &machine).unwrap();
+            assert_eq!(report.iterations, params.iterations);
+            let per_iter = report.subtasks[0].secs_per_iteration;
+            assert!((per_iter * params.iterations as f64 - report.total_secs).abs() < 1e-12);
+            assert_eq!(report.hardware, machine.analytic.name);
+        }
+    }
+
+    #[test]
+    fn dessim_requires_a_sim_half() {
+        let analytic_only = registry::MachineSpec::from_analytic(
+            "flat",
+            registry::quoted::opteron_myrinet_hypothetical(),
+        );
+        let err = Backend::DesSim
+            .predictor()
+            .predict(&Sweep3dParams::weak_scaling_50cubed(2, 2), &analytic_only)
+            .unwrap_err();
+        assert!(err.contains("flat"), "error should name the machine: {err}");
+        assert!(Backend::DesSim.predictor().needs_sim());
+        assert!(!Backend::Pace.predictor().needs_sim());
     }
 }

@@ -19,9 +19,10 @@
 //! compares modelling structure, not calibration inputs.
 
 use pace_core::comm::CommModel;
+use pace_core::engine::EvaluationReport;
 use pace_core::{HardwareModel, Sweep3dParams};
 
-use crate::WavefrontModel;
+use crate::Predictor;
 
 /// The LogGP machine abstraction.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -61,12 +62,9 @@ impl LogGpParams {
 #[derive(Debug, Clone, Copy, Default)]
 pub struct LogGpModel;
 
-impl WavefrontModel for LogGpModel {
-    fn name(&self) -> &'static str {
-        "LogGP (Sundaram-Stukel & Vernon)"
-    }
-
-    fn predict_secs(&self, params: &Sweep3dParams, hw: &HardwareModel) -> f64 {
+impl LogGpModel {
+    /// The closed-form prediction against an analytic hardware model.
+    pub fn predict_secs(&self, params: &Sweep3dParams, hw: &HardwareModel) -> f64 {
         let cells = params.cells_per_pe() as f64;
         let angles = params.angles_per_octant as f64;
         let a_blocks = params.angle_blocks();
@@ -105,10 +103,28 @@ impl WavefrontModel for LogGpModel {
     }
 }
 
+impl Predictor for LogGpModel {
+    fn name(&self) -> &'static str {
+        "loggp"
+    }
+
+    fn display_name(&self) -> &'static str {
+        "LogGP (Sundaram-Stukel & Vernon)"
+    }
+
+    fn predict(
+        &self,
+        params: &Sweep3dParams,
+        machine: &registry::MachineSpec,
+    ) -> Result<EvaluationReport, String> {
+        Ok(crate::scalar_report(machine, params, self.predict_secs(params, &machine.analytic)))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pace_core::machines;
+    use registry::quoted as machines;
 
     #[test]
     fn derived_params_are_physical() {

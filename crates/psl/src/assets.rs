@@ -34,7 +34,8 @@ mod tests {
     fn asset_matches_programmatic_model() {
         // The PSL-compiled model must predict the same times as the
         // programmatic Sweep3dModel, machine for machine.
-        use pace_core::{machines, EvaluationEngine, Sweep3dModel, Sweep3dParams};
+        use pace_core::{EvaluationEngine, Sweep3dModel, Sweep3dParams};
+        use registry::quoted as machines;
         let objects = crate::parser::parse(SWEEP3D_PSL).unwrap();
         for (px, py) in [(2usize, 2usize), (4, 6), (8, 14)] {
             let psl_app =

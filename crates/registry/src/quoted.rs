@@ -1,4 +1,6 @@
-//! Paper-quoted machine characterisations (hardware-layer instances).
+//! Paper-quoted machine characterisations (analytic hardware-layer
+//! instances) — the single source of truth for the Eq. 3 curves and
+//! achieved-rate tables that used to be hard-coded in `pace_core`.
 //!
 //! These are the HMCL parameter sets corresponding to the paper's three
 //! validation systems plus the §6 hypothetical machine. The achieved rates
@@ -13,8 +15,8 @@
 //! speculative studies (Figs. 8–9) and the examples, where the paper itself
 //! plugs in published rates.
 
-use crate::comm::{CommCurve, CommModel};
-use crate::hardware::{AchievedRate, HardwareModel};
+use pace_core::comm::{CommCurve, CommModel};
+use pace_core::hardware::{AchievedRate, HardwareModel};
 
 /// Myrinet 2000: ~11 µs one-way latency, ~250 MB/s sustained; eager →
 /// rendezvous switch near 8 kB.

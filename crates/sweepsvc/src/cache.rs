@@ -240,7 +240,8 @@ impl EvalCache {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pace_core::{machines, Sweep3dModel, Sweep3dParams};
+    use pace_core::{Sweep3dModel, Sweep3dParams};
+    use registry::quoted as machines;
 
     fn subtasks() -> (Vec<SubtaskObject>, HardwareModel) {
         let app = Sweep3dModel::new(Sweep3dParams::weak_scaling_50cubed(4, 4)).application_object();

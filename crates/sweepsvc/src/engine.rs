@@ -8,7 +8,9 @@
 //!
 //! [`SweepEngine`] expands a [`SweepSpec`] and fans the scenarios out
 //! over the worker pool, returning results in scenario-id order plus the
-//! run's cache and per-worker throughput counters.
+//! run's cache and per-worker throughput counters. Scenarios on the PACE
+//! backend evaluate through the cache; other backends dispatch to their
+//! [`wavefront_models::Predictor`] implementation.
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -20,6 +22,8 @@ use pace_core::{
     templates, ApplicationObject, EvaluationReport, HardwareModel, SubtaskObject, Sweep3dModel,
     Sweep3dParams, TemplateBinding,
 };
+
+use wavefront_models::Backend;
 
 use crate::cache::{CacheKey, CacheStats, CachedEval, EvalCache};
 use crate::pool::{self, WorkerStats};
@@ -191,7 +195,16 @@ impl SweepEngine {
     /// Evaluate every scenario of the spec. Results come back in
     /// scenario-id order and are bit-identical for any worker count;
     /// telemetry only observes the run, it never alters evaluation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec fails [`SweepSpec::validate`] (e.g. the `dessim`
+    /// backend against a machine without a simulated half) — call
+    /// `validate` first for a recoverable error.
     pub fn run(&self, spec: &SweepSpec) -> SweepOutcome {
+        if let Err(e) = spec.validate() {
+            panic!("invalid sweep spec: {e}");
+        }
         let scenarios = spec.scenarios();
         let n = scenarios.len();
         let cache_before = self.cache.shard_stats();
@@ -202,7 +215,17 @@ impl SweepEngine {
         }
         let run = pool::run_ordered_with_worker(scenarios, self.workers, |worker, sc| {
             let t0 = Instant::now();
-            let pred = engine.predict(sc.params, &sc.hw);
+            // PACE goes through the shared subtask cache (bit-identical to
+            // the uncached engine); other backends price the scenario via
+            // their Predictor implementation.
+            let report = match sc.backend {
+                Backend::Pace => engine.predict(sc.params, sc.hw()).report,
+                other => other
+                    .predictor()
+                    .predict(&sc.params, &sc.machine_spec)
+                    .unwrap_or_else(|e| panic!("backend '{}': {e}", other.name())),
+            };
+            let total_secs = report.total_secs;
             if rec.is_enabled() {
                 rec.wall_span(
                     SWEEP_PID,
@@ -213,7 +236,7 @@ impl SweepEngine {
                     vec![
                         ("id", sc.id.into()),
                         ("pes", (sc.params.px * sc.params.py).into()),
-                        ("total_secs", pred.total_secs.into()),
+                        ("total_secs", total_secs.into()),
                     ],
                 );
             }
@@ -222,11 +245,12 @@ impl SweepEngine {
                 machine: sc.machine,
                 problem: sc.problem,
                 multiplier: sc.multiplier,
+                backend: sc.backend,
                 rate_multiplier: sc.rate_multiplier,
                 label: sc.label.clone(),
                 pes: sc.params.px * sc.params.py,
-                total_secs: pred.total_secs,
-                report: pred.report,
+                total_secs,
+                report,
             }
         });
         if rec.is_enabled() {
@@ -287,7 +311,8 @@ impl Default for SweepEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pace_core::{machines, EvaluationEngine};
+    use pace_core::EvaluationEngine;
+    use registry::quoted as machines;
 
     #[test]
     fn cached_engine_matches_uncached_bit_for_bit() {
@@ -318,7 +343,7 @@ mod tests {
     #[test]
     fn sweep_results_are_in_id_order_with_counters() {
         let spec = SweepSpec::new()
-            .machine(machines::pentium3_myrinet())
+            .machine_hw(machines::pentium3_myrinet())
             .rate_multipliers(vec![1.0, 1.25])
             .problem("2x2", Sweep3dParams::weak_scaling_50cubed(2, 2))
             .problem("4x4", Sweep3dParams::weak_scaling_50cubed(4, 4))
@@ -340,7 +365,7 @@ mod tests {
     #[test]
     fn observed_run_records_scenario_spans_and_metrics() {
         let spec = SweepSpec::new()
-            .machine(machines::pentium3_myrinet())
+            .machine_hw(machines::pentium3_myrinet())
             .rate_multipliers(vec![1.0, 1.25])
             .problem("2x2", Sweep3dParams::weak_scaling_50cubed(2, 2))
             .problem("4x4", Sweep3dParams::weak_scaling_50cubed(4, 4));
@@ -371,7 +396,7 @@ mod tests {
     #[test]
     fn telemetry_does_not_change_results() {
         let spec = SweepSpec::new()
-            .machine(machines::pentium3_myrinet())
+            .machine_hw(machines::pentium3_myrinet())
             .rate_multipliers(vec![1.0, 1.5])
             .problem("4x6", Sweep3dParams::weak_scaling_50cubed(4, 6));
         let plain = SweepEngine::with_workers(2).run(&spec);
@@ -380,9 +405,30 @@ mod tests {
     }
 
     #[test]
+    fn backend_axis_dispatches_per_scenario() {
+        use pace_core::Sweep3dModel;
+        use wavefront_models::LogGpModel;
+        let machine = registry::builtin("opteron-gige").unwrap();
+        let params = Sweep3dParams::weak_scaling_50cubed(2, 3);
+        let spec = SweepSpec::new()
+            .machine(machine.clone())
+            .problem("2x3", params)
+            .backends(vec![Backend::Pace, Backend::LogGp]);
+        let out = SweepEngine::with_workers(2).run(&spec);
+        assert_eq!(out.results.len(), 2);
+        assert_eq!(out.results[0].backend, Backend::Pace);
+        assert_eq!(out.results[1].backend, Backend::LogGp);
+        // Each backend's result matches calling it directly, bit for bit.
+        let pace = Sweep3dModel::new(params).predict(&machine.analytic).total_secs;
+        let loggp = LogGpModel.predict_secs(&params, &machine.analytic);
+        assert_eq!(out.results[0].total_secs.to_bits(), pace.to_bits());
+        assert_eq!(out.results[1].total_secs.to_bits(), loggp.to_bits());
+    }
+
+    #[test]
     fn worker_count_does_not_change_results() {
         let spec = SweepSpec::new()
-            .machine(machines::opteron_myrinet_hypothetical())
+            .machine_hw(machines::opteron_myrinet_hypothetical())
             .rate_multipliers(vec![1.0, 1.25, 1.5])
             .problem("a", Sweep3dParams::speculative_20m(4, 4))
             .problem("b", Sweep3dParams::speculative_20m(16, 32));

@@ -6,9 +6,9 @@
 //! problem configuration)` evaluation. This crate turns that embarrassing
 //! parallelism into a first-class batch layer:
 //!
-//! * [`SweepSpec`] — a declarative sweep: machines × flop-rate
-//!   multipliers × problem configurations, expanded to scenarios with
-//!   stable ids ([`spec`]);
+//! * [`SweepSpec`] — a declarative sweep: registry machines × flop-rate
+//!   multipliers × problem configurations × predictor backends, expanded
+//!   to scenarios with stable ids ([`spec`]);
 //! * [`SweepEngine`] — fans scenarios out over a `crossbeam`
 //!   work-stealing pool and collects results **in scenario-id order**,
 //!   bit-identical for any worker count ([`engine`], [`pool`]);
@@ -20,11 +20,12 @@
 //!   statistics summary ([`replicate`](mod@replicate)).
 //!
 //! ```
-//! use pace_core::{machines, Sweep3dParams};
+//! use pace_core::Sweep3dParams;
 //! use sweepsvc::{SweepEngine, SweepSpec};
 //!
 //! let spec = SweepSpec::new()
-//!     .machine(machines::opteron_myrinet_hypothetical())
+//!     .machine_named("opteron-myrinet")
+//!     .unwrap()
 //!     .rate_multipliers(vec![1.0, 1.25, 1.5])
 //!     .problem("2x2", Sweep3dParams::speculative_20m(2, 2))
 //!     .problem("8x8", Sweep3dParams::speculative_20m(8, 8));

@@ -1,14 +1,19 @@
 //! Declarative sweep specifications.
 //!
-//! A [`SweepSpec`] is the grid the engine evaluates: a list of hardware
-//! models × a grid of flop-rate multipliers × a list of labelled problem
-//! configurations. [`SweepSpec::scenarios`] enumerates the cartesian
-//! product in a fixed order (machine-major, then problem, then
-//! multiplier) and assigns each scenario a stable id; results are always
-//! reported in id order, so a sweep's output is a deterministic function
-//! of its spec.
+//! A [`SweepSpec`] is the grid the engine evaluates: a list of registry
+//! machines × a grid of flop-rate multipliers × a list of labelled
+//! problem configurations × a list of predictor backends.
+//! [`SweepSpec::scenarios`] enumerates the cartesian product in a fixed
+//! order (machine-major, then problem, then multiplier, then backend) and
+//! assigns each scenario a stable id; results are always reported in id
+//! order, so a sweep's output is a deterministic function of its spec.
+//!
+//! The backend axis defaults to `[Backend::Pace]`, so specs that never
+//! mention backends expand to exactly the ids they did before the axis
+//! existed.
 
 use pace_core::{EvaluationReport, HardwareModel, Sweep3dParams};
+use wavefront_models::Backend;
 
 /// One labelled problem configuration of a sweep.
 #[derive(Debug, Clone, PartialEq)]
@@ -22,31 +27,57 @@ pub struct ProblemPoint {
 /// The declarative sweep description.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SweepSpec {
-    /// Machine axis: base hardware models.
-    pub machines: Vec<HardwareModel>,
+    /// Machine axis: registry machine specs.
+    pub machines: Vec<registry::MachineSpec>,
     /// Flop-rate what-if axis: the achieved-rate table of each machine is
     /// scaled by each multiplier (`1.0` means the machine as given).
     pub rate_multipliers: Vec<f64>,
     /// Problem axis.
     pub problems: Vec<ProblemPoint>,
+    /// Predictor-backend axis (innermost; defaults to PACE only).
+    pub backends: Vec<Backend>,
 }
 
 impl SweepSpec {
-    /// An empty spec with the identity rate multiplier.
+    /// An empty spec with the identity rate multiplier and the PACE
+    /// backend.
     pub fn new() -> Self {
-        SweepSpec { machines: Vec::new(), rate_multipliers: vec![1.0], problems: Vec::new() }
+        SweepSpec {
+            machines: Vec::new(),
+            rate_multipliers: vec![1.0],
+            problems: Vec::new(),
+            backends: vec![Backend::Pace],
+        }
     }
 
-    /// Add a machine to the machine axis.
-    pub fn machine(mut self, hw: HardwareModel) -> Self {
-        self.machines.push(hw);
+    /// Add a registry machine to the machine axis.
+    pub fn machine(mut self, machine: registry::MachineSpec) -> Self {
+        self.machines.push(machine);
         self
+    }
+
+    /// Add an analytic-only machine (no DES half) to the machine axis.
+    pub fn machine_hw(self, hw: HardwareModel) -> Self {
+        let id = hw.name.clone();
+        self.machine(registry::MachineSpec { id, analytic: hw, sim: None })
+    }
+
+    /// Add a machine by registry name or spec-file path.
+    pub fn machine_named(self, name_or_path: &str) -> Result<Self, String> {
+        Ok(self.machine(registry::resolve(name_or_path)?))
     }
 
     /// Replace the rate-multiplier grid.
     pub fn rate_multipliers(mut self, multipliers: Vec<f64>) -> Self {
         assert!(!multipliers.is_empty(), "at least one rate multiplier");
         self.rate_multipliers = multipliers;
+        self
+    }
+
+    /// Replace the backend axis.
+    pub fn backends(mut self, backends: Vec<Backend>) -> Self {
+        assert!(!backends.is_empty(), "at least one backend");
+        self.backends = backends;
         self
     }
 
@@ -58,7 +89,10 @@ impl SweepSpec {
 
     /// Number of scenarios the spec expands to.
     pub fn len(&self) -> usize {
-        self.machines.len() * self.rate_multipliers.len() * self.problems.len()
+        self.machines.len()
+            * self.rate_multipliers.len()
+            * self.problems.len()
+            * self.backends.len()
     }
 
     /// Whether the spec expands to no scenarios.
@@ -66,28 +100,46 @@ impl SweepSpec {
         self.len() == 0
     }
 
+    /// Check the spec is evaluable: every backend that needs a simulated
+    /// machine half must find one on every machine of the spec.
+    pub fn validate(&self) -> Result<(), String> {
+        for b in &self.backends {
+            if !b.predictor().needs_sim() {
+                continue;
+            }
+            for m in &self.machines {
+                m.sim_or_err().map_err(|e| format!("backend '{}': {e}", b.name()))?;
+            }
+        }
+        Ok(())
+    }
+
     /// Expand into concrete scenarios with stable ids:
-    /// `id = (machine_idx * problems + problem_idx) * multipliers + multiplier_idx`.
+    /// `id = ((machine_idx * problems + problem_idx) * multipliers + multiplier_idx) * backends + backend_idx`.
     pub fn scenarios(&self) -> Vec<Scenario> {
         let mut out = Vec::with_capacity(self.len());
-        for (mi, hw) in self.machines.iter().enumerate() {
+        for (mi, machine) in self.machines.iter().enumerate() {
             for (pi, prob) in self.problems.iter().enumerate() {
                 for (ri, &mult) in self.rate_multipliers.iter().enumerate() {
                     // The identity multiplier must evaluate the machine
                     // exactly as given (bit-for-bit), so skip the scaling
                     // call rather than multiplying by 1.0.
-                    let hw_scaled =
-                        if mult == 1.0 { hw.clone() } else { hw.with_rate_scaled(mult) };
-                    out.push(Scenario {
-                        id: out.len(),
-                        machine: mi,
-                        problem: pi,
-                        multiplier: ri,
-                        rate_multiplier: mult,
-                        label: prob.label.clone(),
-                        hw: hw_scaled,
-                        params: prob.params,
-                    });
+                    let scaled =
+                        if mult == 1.0 { machine.clone() } else { machine.with_rate_scaled(mult) };
+                    for (bi, &backend) in self.backends.iter().enumerate() {
+                        out.push(Scenario {
+                            id: out.len(),
+                            machine: mi,
+                            problem: pi,
+                            multiplier: ri,
+                            backend_idx: bi,
+                            backend,
+                            rate_multiplier: mult,
+                            label: prob.label.clone(),
+                            machine_spec: scaled.clone(),
+                            params: prob.params,
+                        });
+                    }
                 }
             }
         }
@@ -112,14 +164,25 @@ pub struct Scenario {
     pub problem: usize,
     /// Index into [`SweepSpec::rate_multipliers`].
     pub multiplier: usize,
+    /// Index into [`SweepSpec::backends`].
+    pub backend_idx: usize,
+    /// The predictor backend evaluating this scenario.
+    pub backend: Backend,
     /// The multiplier value.
     pub rate_multiplier: f64,
     /// Problem label.
     pub label: String,
-    /// The (already scaled) hardware model to evaluate against.
-    pub hw: HardwareModel,
+    /// The (already rate-scaled) registry machine to evaluate against.
+    pub machine_spec: registry::MachineSpec,
     /// The model parameters.
     pub params: Sweep3dParams,
+}
+
+impl Scenario {
+    /// The scaled analytic hardware model of this scenario.
+    pub fn hw(&self) -> &HardwareModel {
+        &self.machine_spec.analytic
+    }
 }
 
 /// One evaluated scenario.
@@ -133,6 +196,8 @@ pub struct ScenarioResult {
     pub problem: usize,
     /// Multiplier-axis index.
     pub multiplier: usize,
+    /// The predictor backend that produced this result.
+    pub backend: Backend,
     /// The multiplier value.
     pub rate_multiplier: f64,
     /// Problem label.
@@ -148,11 +213,10 @@ pub struct ScenarioResult {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pace_core::machines;
 
     fn spec() -> SweepSpec {
         SweepSpec::new()
-            .machine(machines::pentium3_myrinet())
+            .machine(registry::builtin("pentium3-myrinet").unwrap())
             .rate_multipliers(vec![1.0, 1.5])
             .problem("2x2", Sweep3dParams::weak_scaling_50cubed(2, 2))
             .problem("4x4", Sweep3dParams::weak_scaling_50cubed(4, 4))
@@ -166,6 +230,7 @@ mod tests {
         assert_eq!(scenarios.len(), 4);
         for (i, sc) in scenarios.iter().enumerate() {
             assert_eq!(sc.id, i);
+            assert_eq!(sc.backend, Backend::Pace);
         }
         // Problem-major, multiplier-minor.
         assert_eq!((scenarios[0].problem, scenarios[0].multiplier), (0, 0));
@@ -176,11 +241,47 @@ mod tests {
     }
 
     #[test]
+    fn backend_axis_is_innermost() {
+        let s = spec().backends(vec![Backend::Pace, Backend::LogGp]);
+        assert_eq!(s.len(), 8);
+        let scenarios = s.scenarios();
+        assert_eq!(scenarios[0].backend, Backend::Pace);
+        assert_eq!(scenarios[1].backend, Backend::LogGp);
+        // Same (machine, problem, multiplier) point for both backends.
+        assert_eq!(scenarios[0].multiplier, scenarios[1].multiplier);
+        assert_eq!(scenarios[0].problem, scenarios[1].problem);
+        assert_eq!((scenarios[2].problem, scenarios[2].multiplier), (0, 1));
+    }
+
+    #[test]
     fn identity_multiplier_keeps_hardware_verbatim() {
         let s = spec();
         let scenarios = s.scenarios();
-        assert_eq!(scenarios[0].hw, s.machines[0]);
-        assert_ne!(scenarios[1].hw.rates, s.machines[0].rates);
+        assert_eq!(scenarios[0].machine_spec, s.machines[0]);
+        assert_ne!(scenarios[1].hw().rates, s.machines[0].analytic.rates);
+        // The sim half scales too.
+        let scaled_sim = scenarios[1].machine_spec.sim.as_ref().unwrap();
+        let base_sim = s.machines[0].sim.as_ref().unwrap();
+        assert!(scaled_sim.cpu.rate_curve[0].mflops > base_sim.cpu.rate_curve[0].mflops);
+    }
+
+    #[test]
+    fn machine_named_resolves_and_rejects() {
+        let s = SweepSpec::new().machine_named("opteron-gige").unwrap();
+        assert_eq!(s.machines[0].analytic.name, "AMD Opteron 2GHz / Gigabit Ethernet");
+        assert!(SweepSpec::new().machine_named("not-a-machine").is_err());
+    }
+
+    #[test]
+    fn validate_checks_sim_availability() {
+        let ok = spec().backends(vec![Backend::DesSim]);
+        assert!(ok.validate().is_ok());
+        let bad = SweepSpec::new()
+            .machine_hw(registry::quoted::opteron_myrinet_hypothetical())
+            .problem("2x2", Sweep3dParams::weak_scaling_50cubed(2, 2))
+            .backends(vec![Backend::DesSim]);
+        let err = bad.validate().unwrap_err();
+        assert!(err.contains("dessim"), "{err}");
     }
 
     #[test]

@@ -1,43 +1,35 @@
 //! Characterise a machine of your own design — the "procuring systems"
-//! use case: define a candidate cluster, run the PACE benchmarking
-//! workflow against it, print its HMCL hardware model (paper Fig. 7), and
-//! predict how SWEEP3D would scale on it before buying.
+//! use case: the candidate cluster (fast commodity CPUs, InfiniBand-class
+//! fabric) is defined in a JSON spec file, not in code. The example loads
+//! it through the machine registry, runs the PACE benchmarking workflow
+//! against its simulated half, prints the fitted HMCL hardware model
+//! (paper Fig. 7), and predicts how SWEEP3D would scale on it before
+//! buying.
 //!
 //! ```text
 //! cargo run --release --example custom_cluster
 //! ```
 
-use cluster_sim::cpu::{CpuModel, RatePoint};
-use cluster_sim::{Engine, MachineSpec, NetworkModel, NoiseModel};
+use cluster_sim::Engine;
 use experiments::hmcl;
 use pace_core::{Sweep3dModel, Sweep3dParams};
 use sweep3d::trace::{generate_programs, FlopModel};
 use sweep3d::ProblemConfig;
 
 fn main() {
-    // A candidate machine: fast commodity CPUs, InfiniBand-class fabric.
-    let candidate = MachineSpec {
-        name: "candidate: 3GHz nodes / IB-class interconnect".into(),
-        cpu: CpuModel::with_curve(
-            "3GHz commodity CPU",
-            vec![
-                RatePoint { bytes: 64.0 * 1024.0, mflops: 420.0 },
-                RatePoint { bytes: 1024.0 * 1024.0, mflops: 370.0 },
-                RatePoint { bytes: 32.0 * 1024.0 * 1024.0, mflops: 330.0 },
-            ],
-            0.03,
-        ),
-        network: NetworkModel::from_link(4.0, 900.0, 1.5, 16384.0),
-        noise: NoiseModel::commodity(),
-        smp_width: 2,
-        seed: 0xCAFE,
-        rendezvous_bytes: Some(32 * 1024),
-    };
-
+    // A candidate machine, loaded from its spec document. Edit the JSON to
+    // study a different design — no Rust changes required.
+    let machine =
+        registry::load_file("assets/machines/candidate-ib.json").expect("spec file loads");
+    let candidate = machine.sim_or_err().expect("candidate has a sim half").clone();
     println!("== Characterising: {} ==\n", candidate.name);
 
-    // The full benchmarking workflow: virtual profiling + Eq. 3 fitting.
-    let hw = hwbench::benchmark_machine(&candidate, &[20, 50], 1);
+    // The full benchmarking workflow: virtual profiling + Eq. 3 fitting,
+    // straight from the registry spec.
+    let fitted = hwbench::characterise(&machine, &[20, 50], 1).expect("characterises");
+    let hw = fitted.analytic.clone();
+    // The spec file ships the same fit — the asset is self-consistent.
+    assert_eq!(hw, machine.analytic);
     println!("{}", hmcl::render(&hw, 125_000));
 
     // The fitted model is a first-class HMCL script: save it, edit it,

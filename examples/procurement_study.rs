@@ -1,10 +1,11 @@
 //! The paper's §6 scenario: speculative performance analysis supporting a
 //! system procurement decision.
 //!
-//! A hypothetical machine is assembled from parts — Opteron nodes with the
-//! Myrinet 2000 communication model swapped in for Gigabit Ethernet (model
-//! reuse) — and the SWEEP3D model is scaled to 8000 processors for the two
-//! ASCI target problems, with +25%/+50% processor what-ifs.
+//! The hypothetical machine — Opteron nodes with the Myrinet 2000
+//! communication model swapped in for Gigabit Ethernet (model reuse) — is
+//! defined entirely in a JSON spec file, loaded through the machine
+//! registry, and the SWEEP3D model is scaled to 8000 processors for the
+//! two ASCI target problems, with +25%/+50% processor what-ifs.
 //!
 //! ```text
 //! cargo run --release --example procurement_study
@@ -12,11 +13,14 @@
 
 use experiments::asci_goals;
 use experiments::speculation::{run_on_with, Problem};
-use pace_core::machines;
-use wavefront_models::all_models;
+use wavefront_models::Backend;
 
 fn main() {
-    let hw = machines::opteron_myrinet_hypothetical();
+    // The machine is a document, not code: edit the spec file to study a
+    // different candidate — no recompilation needed.
+    let machine =
+        registry::load_file("assets/machines/opteron-myrinet.json").expect("spec file loads");
+    let hw = machine.analytic.clone();
     let workers = sweepsvc::available_workers();
     println!("== Speculative study on: {} ({} sweep worker(s)) ==\n", hw.name, workers);
 
@@ -55,10 +59,12 @@ fn main() {
     }
 
     // Concurrence with related analytic models (the paper's sanity check
-    // against LogGP and the LANL model).
+    // against LogGP and the LANL model), through the predictor backends.
     println!("--- concurrence at 8000 PEs, 1-billion-cell problem ---");
     let params = Problem::OneBillion.params(80, 100);
-    for model in all_models() {
-        println!("{:<36} {:>8.3} s", model.name(), model.predict_secs(&params, &hw));
+    for backend in Backend::ANALYTIC {
+        let predictor = backend.predictor();
+        let secs = predictor.predict_secs(&params, &machine).expect("analytic backends run");
+        println!("{:<36} {:>8.3} s", predictor.display_name(), secs);
     }
 }

@@ -12,8 +12,9 @@
 //! ```
 
 use pace_capp::assets::sweep_per_cell_angle;
-use pace_core::{machines, EvaluationEngine};
+use pace_core::EvaluationEngine;
 use pace_psl::{compile, parse, Overrides};
+use registry::quoted as machines;
 use sweep3d::trace::FlopModel;
 use sweep3d::ProblemConfig;
 

@@ -20,6 +20,7 @@
 //! | [`sweep3d`] | the wavefront application itself: serial kernel, threaded parallel driver, trace generator |
 //! | [`simmpi`] | MPI-flavoured threaded message passing |
 //! | [`cluster_sim`] | deterministic discrete-event cluster simulator (the "machines") |
+//! | [`registry`] | unified machine registry: named built-ins + JSON spec files |
 //! | [`hwbench`] | achieved-rate profiling, MPI microbenchmarks, Eq. 3 fitting |
 //! | [`pace_psl`] | the CHIP3S-like performance specification language |
 //! | [`pace_capp`] | static source analysis of the mini-C kernel |
@@ -29,11 +30,12 @@
 //! ## Quickstart
 //!
 //! ```
-//! use pace_core::{machines, Sweep3dModel, Sweep3dParams};
+//! use pace_core::{Sweep3dModel, Sweep3dParams};
 //!
 //! // Predict SWEEP3D on 4x4 Pentium 3 / Myrinet nodes (paper Table 1).
+//! let machine = registry::builtin("pentium3-myrinet").unwrap();
 //! let params = Sweep3dParams::weak_scaling_50cubed(4, 4);
-//! let prediction = Sweep3dModel::new(params).predict(&machines::pentium3_myrinet());
+//! let prediction = Sweep3dModel::new(params).predict(&machine.analytic);
 //! println!("predicted: {:.2} s", prediction.total_secs);
 //! assert!(prediction.total_secs > 0.0);
 //! ```
@@ -44,6 +46,7 @@ pub use hwbench;
 pub use pace_capp;
 pub use pace_core;
 pub use pace_psl;
+pub use registry;
 pub use simmpi;
 pub use sweep3d;
 pub use wavefront_models;

@@ -87,6 +87,25 @@ fn golden_digests_are_bit_identical_to_seed_engine() {
     }
 }
 
+#[test]
+fn registry_sim_machine_reproduces_golden_digests() {
+    // The registry's sim half must be byte-for-byte the machine the
+    // golden digests were pinned on — same rate curve, same network, same
+    // seed handling — so a registry-resolved fixture reproduces them.
+    let mut machine =
+        registry::builtin("pentium3-myrinet").expect("builtin resolves").sim.expect("has sim half");
+    machine.noise = NoiseModel::commodity();
+    machine.rendezvous_bytes = Some(4096);
+    machine.seed = 0xF1B5_EED0;
+    assert_eq!(machine, fixture_machine());
+    let fm = flop_model();
+    for &(px, py, want) in &GOLDEN {
+        let programs = generate_programs(&fixture_config(px, py), &fm);
+        let report = Engine::new(&machine, programs).run().expect("fixture runs");
+        assert_eq!(report.digest(), want, "{px}x{py}: registry machine digest drifted");
+    }
+}
+
 /// Build a random, statically-valid, deadlock-free program set: messages
 /// are emitted in one global total order (each rank's sends and receives
 /// appear in that shared order, so a matching receive is always reachable),

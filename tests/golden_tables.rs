@@ -159,6 +159,43 @@ fn every_row_matches_golden_pin() {
     }
 }
 
+/// Exact (bit-pattern) predicted seconds for every registry machine on
+/// three reference configurations, captured from the pre-registry
+/// hard-coded constructors. The refactor's contract: resolving a machine
+/// by name must be **bit-identical** to the old code path, not merely
+/// close. Params: weak = `weak_scaling_50cubed(4,4)`, spec20m =
+/// `speculative_20m(8,8)`, spec1b = `speculative_1b(80,100)`.
+const REGISTRY_GOLDEN: [(&str, u64, u64, u64); 4] = [
+    ("pentium3-myrinet", 0x4031f0ebf3f89587, 0x3fd696bd76898f5e, 0x4041f016e2e30c2e),
+    ("opteron-gige", 0x401711a11120fe6c, 0x3fcd2bce47b862dd, 0x4028df31dd1e0b40),
+    ("altix-numalink", 0x402178410b2d3605, 0x3fc54a323ae87591, 0x403166a27fd05f2a),
+    ("opteron-myrinet", 0x40178024d26460ff, 0x3fc549f1cce1897b, 0x4027e567c741d957),
+];
+
+#[test]
+fn registry_machines_are_bit_identical_to_prerefactor_constructors() {
+    use pace_core::{Sweep3dModel, Sweep3dParams};
+    let points = [
+        Sweep3dParams::weak_scaling_50cubed(4, 4),
+        Sweep3dParams::speculative_20m(8, 8),
+        Sweep3dParams::speculative_1b(80, 100),
+    ];
+    for &(name, weak, spec20m, spec1b) in &REGISTRY_GOLDEN {
+        let machine = registry::builtin(name).expect("builtin resolves");
+        for (params, pin) in points.iter().zip([weak, spec20m, spec1b]) {
+            let got = Sweep3dModel::new(*params).predict(&machine.analytic).total_secs;
+            assert_eq!(
+                got.to_bits(),
+                pin,
+                "{name} @ {}x{}: {got:.12e} != pinned {:.12e}",
+                params.px,
+                params.py,
+                f64::from_bits(pin)
+            );
+        }
+    }
+}
+
 #[test]
 fn cached_predictions_match_golden_pins_exactly() {
     // The cache layer must not perturb a single bit of any pinned row,

@@ -1,7 +1,8 @@
 //! The shipped input deck parses to the paper's Table 2 first-row
 //! configuration and drives the full prediction pipeline.
 
-use pace_core::{machines, Sweep3dModel, Sweep3dParams};
+use pace_core::{Sweep3dModel, Sweep3dParams};
+use registry::quoted as machines;
 use sweep3d::ProblemConfig;
 
 const DECK: &str = include_str!("../assets/sweep3d.input");

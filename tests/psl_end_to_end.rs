@@ -35,7 +35,8 @@ fn psl_model_predicts_within_paper_bound() {
 
 #[test]
 fn psl_overrides_mirror_programmatic_params_across_scales() {
-    use pace_core::{machines, Sweep3dModel, Sweep3dParams};
+    use pace_core::{Sweep3dModel, Sweep3dParams};
+    use registry::quoted as machines;
     let objects = parse(pace_psl::assets::SWEEP3D_PSL).unwrap();
     let hw = machines::opteron_myrinet_hypothetical();
     for (px, py, nx, ny, nz) in [(2, 2, 50, 50, 50), (16, 16, 5, 5, 100), (40, 50, 25, 25, 200)] {
@@ -57,7 +58,7 @@ fn psl_overrides_mirror_programmatic_params_across_scales() {
 #[test]
 fn psl_model_reuse_across_machines() {
     // The §6 selling point: one application model, many hardware models.
-    use pace_core::machines;
+    use registry::quoted as machines;
     let objects = parse(pace_psl::assets::SWEEP3D_PSL).unwrap();
     let app = compile(&objects, &Overrides::sweep3d(8, 8, 50, 50, 50)).unwrap();
     let engine = EvaluationEngine::new();

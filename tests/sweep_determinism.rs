@@ -7,8 +7,9 @@
 //! tests that perturb single hardware fields by one ULP.
 
 use experiments::speculation::{self, Problem};
-use pace_core::{machines, HardwareModel, Sweep3dModel, Sweep3dParams};
+use pace_core::{HardwareModel, Sweep3dModel, Sweep3dParams};
 use proptest::prelude::*;
+use registry::quoted as machines;
 use sweepsvc::{CacheKey, CachedEngine, EvalCache, SweepEngine};
 
 #[test]

@@ -61,6 +61,25 @@ fn main() {
             eprintln!("FATAL: {}: engines disagree — benchmark numbers are meaningless", r.name);
             std::process::exit(1);
         }
+        for p in &r.parallel {
+            eprintln!(
+                "  {}: par({} threads) p50 {:.1} ms ({:.2}x vs after), {} windows, digest_match={}{}",
+                r.name,
+                p.threads,
+                p.wall.p50_ms,
+                r.par_speedup_p50(p.threads).unwrap_or(0.0),
+                p.windows,
+                p.digest_match,
+                if p.fell_back { " [fell back to sequential]" } else { "" }
+            );
+            if !p.digest_match {
+                eprintln!(
+                    "FATAL: {}: parallel engine ({} threads) diverged from the sequential digest",
+                    r.name, p.threads
+                );
+                std::process::exit(1);
+            }
+        }
         results.push(r);
     }
 

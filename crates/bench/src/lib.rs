@@ -44,6 +44,9 @@ pub struct BenchScenario {
     pub config: ProblemConfig,
     /// Timed repetitions per engine.
     pub reps: usize,
+    /// Thread counts to additionally measure through the conservative
+    /// parallel engine (`Engine::run_parallel`); empty = sequential only.
+    pub par_threads: &'static [usize],
 }
 
 fn speculation_machine() -> MachineSpec {
@@ -88,18 +91,21 @@ pub fn scenarios(smoke: bool) -> Vec<BenchScenario> {
                 machine: speculation_machine(),
                 config: speculative_config(true, 16, 32, 1),
                 reps: 3,
+                par_threads: &[4],
             },
             BenchScenario {
                 name: "fig9_64pe_smoke",
                 machine: speculation_machine(),
                 config: speculative_config(false, 8, 8, 1),
                 reps: 3,
+                par_threads: &[4],
             },
             BenchScenario {
                 name: "table2_64pe_smoke",
                 machine: validation_machine(hwbench::machines::opteron_gige_sim()),
                 config: table_config(8, 8),
                 reps: 3,
+                par_threads: &[],
             },
         ]
     } else {
@@ -109,30 +115,35 @@ pub fn scenarios(smoke: bool) -> Vec<BenchScenario> {
                 machine: speculation_machine(),
                 config: speculative_config(true, 80, 100, 1),
                 reps: 3,
+                par_threads: &[2, 4, 8],
             },
             BenchScenario {
                 name: "fig9_8000pe",
                 machine: speculation_machine(),
                 config: speculative_config(false, 80, 100, 1),
                 reps: 3,
+                par_threads: &[8],
             },
             BenchScenario {
                 name: "table1_pentium3_64pe",
                 machine: validation_machine(hwbench::machines::pentium3_myrinet_sim()),
                 config: table_config(8, 8),
                 reps: 5,
+                par_threads: &[],
             },
             BenchScenario {
                 name: "table2_opteron_512pe",
                 machine: validation_machine(hwbench::machines::opteron_gige_sim()),
                 config: table_config(16, 32),
                 reps: 5,
+                par_threads: &[],
             },
             BenchScenario {
                 name: "table3_altix_512pe",
                 machine: validation_machine(hwbench::machines::altix_numalink_sim()),
                 config: table_config(16, 32),
                 reps: 5,
+                par_threads: &[],
             },
         ]
     }
@@ -168,10 +179,32 @@ pub struct EngineSide {
     pub events_per_sec: f64,
     /// Bytes of program representation the engine executes from.
     pub program_bytes: usize,
-    /// Process peak-RSS proxy (`VmHWM` from /proc/self/status, kB) read
-    /// after this side's repetitions. Monotone within the process; the
-    /// harness runs the lean side first so a growth here is attributable.
-    pub vm_hwm_kb: Option<u64>,
+    /// Peak-RSS growth (kB) attributable to this side's repetitions,
+    /// from a reset-aware `VmHWM` window (see [`hwm_window_begin`]).
+    /// Unlike the raw process-lifetime high-water mark, this does not
+    /// inherit earlier scenarios' peaks.
+    pub vm_hwm_delta_kb: Option<u64>,
+}
+
+/// One parallel-engine measurement of a scenario
+/// (`Engine::run_parallel(threads)` on the shared program set).
+#[derive(Debug, Clone)]
+pub struct ParallelSide {
+    /// Worker threads requested.
+    pub threads: usize,
+    /// Wall-clock percentiles (setup + run, like the sequential sides).
+    pub wall: WallStats,
+    /// Simulated events per second at the median wall.
+    pub events_per_sec: f64,
+    /// Whether the report was bit-identical to the sequential optimized
+    /// engine's — the hard correctness gate.
+    pub digest_match: bool,
+    /// Lock-step windows the run executed.
+    pub windows: u64,
+    /// Conservative lookahead (minimum cross-partition wire latency), µs.
+    pub lookahead_us: Option<f64>,
+    /// Whether the run fell back to sequential execution.
+    pub fell_back: bool,
 }
 
 /// The result of one scenario: both engines plus cross-checks.
@@ -195,6 +228,8 @@ pub struct ScenarioResult {
     pub reference: EngineSide,
     /// Dense-channel engine ("after").
     pub optimized: EngineSide,
+    /// Conservative parallel engine at each requested thread count.
+    pub parallel: Vec<ParallelSide>,
     /// Whether both engines produced bit-identical `RunReport`s.
     pub digest_match: bool,
 }
@@ -204,6 +239,13 @@ impl ScenarioResult {
     pub fn speedup_p50(&self) -> f64 {
         self.reference.wall.p50_ms / self.optimized.wall.p50_ms.max(1e-9)
     }
+
+    /// Median-wall speedup of a parallel side over the sequential
+    /// optimized engine, if that thread count was measured.
+    pub fn par_speedup_p50(&self, threads: usize) -> Option<f64> {
+        let side = self.parallel.iter().find(|p| p.threads == threads)?;
+        Some(self.optimized.wall.p50_ms / side.wall.p50_ms.max(1e-9))
+    }
 }
 
 /// `VmHWM` (peak resident set, kB) of this process, when the platform
@@ -212,6 +254,30 @@ pub fn vm_hwm_kb() -> Option<u64> {
     let status = std::fs::read_to_string("/proc/self/status").ok()?;
     let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
     line.split_whitespace().nth(1)?.parse().ok()
+}
+
+/// Open a per-measurement peak-RSS window: reset the kernel's `VmHWM` to
+/// the current RSS (writing `5` to `/proc/self/clear_refs`, best-effort)
+/// and return the watermark at window start. Pair with
+/// [`hwm_window_delta`].
+pub fn hwm_window_begin() -> Option<u64> {
+    // Ignored when the kernel forbids it; the delta then only reports
+    // growth *beyond* the previous process-lifetime peak, which is still
+    // attributable (and zero, rather than a repeat of the largest
+    // scenario's peak, when nothing grew).
+    let _ = std::fs::write("/proc/self/clear_refs", "5");
+    vm_hwm_kb()
+}
+
+/// Peak-RSS growth (kB) since the matching [`hwm_window_begin`].
+pub fn hwm_window_delta(begin: Option<u64>) -> Option<u64> {
+    Some(vm_hwm_kb()?.saturating_sub(begin?))
+}
+
+/// Host logical-core count recorded alongside parallel measurements —
+/// parallel speedups are only meaningful when `threads <= host_cores`.
+pub fn host_cores() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
 }
 
 fn time_reps<F: FnMut() -> RunReport>(reps: usize, mut run: F) -> (WallStats, RunReport) {
@@ -226,9 +292,10 @@ fn time_reps<F: FnMut() -> RunReport>(reps: usize, mut run: F) -> (WallStats, Ru
     (WallStats::from_samples(samples), last.expect("reps >= 1"))
 }
 
-/// Run one scenario through both engines. The optimized engine goes
-/// first so the peak-RSS proxy (a process-wide high-water mark) cannot
-/// credit the reference side's allocations to it.
+/// Run one scenario through both engines (plus the parallel engine at
+/// each requested thread count). Every side gets its own reset-aware
+/// peak-RSS window, so memory numbers are per-measurement, not a
+/// process-lifetime high-water mark.
 pub fn run_scenario(s: &BenchScenario) -> ScenarioResult {
     let fm = bench_flop_model();
     let set = generate_program_set(&s.config, &fm);
@@ -239,6 +306,7 @@ pub fn run_scenario(s: &BenchScenario) -> ScenarioResult {
 
     // "After": shared encoding, cloned per repetition (Arc bumps).
     let mut probe = cluster_sim::MemProbe::default();
+    let hwm = hwm_window_begin();
     let (opt_wall, opt_report) = time_reps(s.reps, || {
         let (report, p) =
             Engine::from_set(&s.machine, set.clone()).run_probed().expect("scenario runs");
@@ -249,12 +317,41 @@ pub fn run_scenario(s: &BenchScenario) -> ScenarioResult {
         wall: opt_wall,
         events_per_sec: ops_per_run as f64 / (opt_wall.p50_ms / 1e3).max(1e-12),
         program_bytes: stored_ops * std::mem::size_of::<cluster_sim::SharedOp>(),
-        vm_hwm_kb: vm_hwm_kb(),
+        vm_hwm_delta_kb: hwm_window_delta(hwm),
     };
+
+    // Conservative parallel engine, same shared encoding.
+    let parallel = s
+        .par_threads
+        .iter()
+        .map(|&threads| {
+            let mut stats = None;
+            let mut matched = true;
+            let (wall, report) = time_reps(s.reps, || {
+                let (report, st) = Engine::from_set(&s.machine, set.clone())
+                    .run_parallel_stats(threads)
+                    .expect("scenario runs");
+                stats = Some(st);
+                report
+            });
+            matched &= report == opt_report;
+            let st = stats.expect("reps >= 1");
+            ParallelSide {
+                threads,
+                wall,
+                events_per_sec: ops_per_run as f64 / (wall.p50_ms / 1e3).max(1e-12),
+                digest_match: matched,
+                windows: st.windows,
+                lookahead_us: st.lookahead.map(|l| l.as_secs() * 1e6),
+                fell_back: st.fell_back,
+            }
+        })
+        .collect();
 
     // "Before": per-rank op vectors, cloned per repetition (deep copies —
     // exactly what every seed of a pre-optimization campaign paid).
     let programs = generate_programs(&s.config, &fm);
+    let hwm = hwm_window_begin();
     let (ref_wall, ref_report) = time_reps(s.reps, || {
         ReferenceEngine::new(&s.machine, programs.clone()).run().expect("scenario runs")
     });
@@ -262,7 +359,7 @@ pub fn run_scenario(s: &BenchScenario) -> ScenarioResult {
         wall: ref_wall,
         events_per_sec: ops_per_run as f64 / (ref_wall.p50_ms / 1e3).max(1e-12),
         program_bytes: ops_per_run * std::mem::size_of::<cluster_sim::Op>(),
-        vm_hwm_kb: vm_hwm_kb(),
+        vm_hwm_delta_kb: hwm_window_delta(hwm),
     };
 
     ScenarioResult {
@@ -275,6 +372,7 @@ pub fn run_scenario(s: &BenchScenario) -> ScenarioResult {
         peak_queued: probe.peak_queued,
         reference,
         optimized,
+        parallel,
         digest_match: ref_report == opt_report,
     }
 }
@@ -283,7 +381,7 @@ fn side_json(side: &EngineSide, extra: &str) -> String {
     format!(
         concat!(
             "{{\"wall_ms\": {{\"min\": {:.3}, \"p50\": {:.3}, \"p90\": {:.3}}}, ",
-            "\"events_per_sec\": {:.0}, \"program_bytes\": {}{}, \"vm_hwm_kb\": {}}}"
+            "\"events_per_sec\": {:.0}, \"program_bytes\": {}{}, \"vm_hwm_delta_kb\": {}}}"
         ),
         side.wall.min_ms,
         side.wall.p50_ms,
@@ -291,17 +389,42 @@ fn side_json(side: &EngineSide, extra: &str) -> String {
         side.events_per_sec,
         side.program_bytes,
         extra,
-        side.vm_hwm_kb.map_or("null".to_string(), |v| v.to_string()),
+        side.vm_hwm_delta_kb.map_or("null".to_string(), |v| v.to_string()),
+    )
+}
+
+fn par_json(p: &ParallelSide) -> String {
+    format!(
+        concat!(
+            "{{\"threads\": {}, \"wall_ms\": {{\"min\": {:.3}, \"p50\": {:.3}, \"p90\": {:.3}}}, ",
+            "\"events_per_sec\": {:.0}, \"digest_match\": {}, \"windows\": {}, ",
+            "\"lookahead_us\": {}, \"fell_back\": {}}}"
+        ),
+        p.threads,
+        p.wall.min_ms,
+        p.wall.p50_ms,
+        p.wall.p90_ms,
+        p.events_per_sec,
+        p.digest_match,
+        p.windows,
+        p.lookahead_us.map_or("null".to_string(), |v| format!("{v:.3}")),
+        p.fell_back,
     )
 }
 
 /// Encode results as the `BENCH_engine.json` document (schema
-/// `pace-bench/engine-v1`, hand-rolled JSON — no serializer dependency).
+/// `pace-bench/engine-v2`, hand-rolled JSON — no serializer dependency).
+/// v2 adds per-side `vm_hwm_delta_kb` (reset-aware, replacing the
+/// process-lifetime `vm_hwm_kb` of v1), a `parallel` side array with
+/// `<name>_par<threads>_p50_ms` check keys, and the measuring host's
+/// logical-core count (parallel wall times only mean something relative
+/// to it).
 pub fn to_json(mode: &str, results: &[ScenarioResult]) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"schema\": \"pace-bench/engine-v1\",\n");
+    out.push_str("  \"schema\": \"pace-bench/engine-v2\",\n");
     out.push_str(&format!("  \"mode\": \"{mode}\",\n"));
+    out.push_str(&format!("  \"host_cores\": {},\n", host_cores()));
     out.push_str("  \"scenarios\": [\n");
     for (i, r) in results.iter().enumerate() {
         out.push_str("    {\n");
@@ -313,6 +436,17 @@ pub fn to_json(mode: &str, results: &[ScenarioResult]) -> String {
         out.push_str(&format!("      \"before\": {},\n", side_json(&r.reference, "")));
         let extra = format!(", \"channels\": {}, \"peak_queued\": {}", r.channels, r.peak_queued);
         out.push_str(&format!("      \"after\": {},\n", side_json(&r.optimized, &extra)));
+        if !r.parallel.is_empty() {
+            out.push_str("      \"parallel\": [\n");
+            for (j, p) in r.parallel.iter().enumerate() {
+                out.push_str(&format!(
+                    "        {}{}\n",
+                    par_json(p),
+                    if j + 1 == r.parallel.len() { "" } else { "," }
+                ));
+            }
+            out.push_str("      ],\n");
+        }
         out.push_str(&format!("      \"speedup_p50\": {:.2},\n", r.speedup_p50()));
         out.push_str(&format!("      \"digest_match\": {}\n", r.digest_match));
         out.push_str(if i + 1 == results.len() { "    }\n" } else { "    },\n" });
@@ -320,13 +454,18 @@ pub fn to_json(mode: &str, results: &[ScenarioResult]) -> String {
     out.push_str("  ],\n");
     // Flat map the regression checker reads without a JSON parser.
     out.push_str("  \"check\": {\n");
-    for (i, r) in results.iter().enumerate() {
-        out.push_str(&format!(
-            "    \"{}_after_p50_ms\": {:.3}{}\n",
-            r.name,
-            r.optimized.wall.p50_ms,
-            if i + 1 == results.len() { "" } else { "," }
-        ));
+    let mut keys: Vec<String> = Vec::new();
+    for r in results {
+        keys.push(format!("\"{}_after_p50_ms\": {:.3}", r.name, r.optimized.wall.p50_ms));
+        for p in &r.parallel {
+            keys.push(format!(
+                "\"{}_par{}_after_p50_ms\": {:.3}",
+                r.name, p.threads, p.wall.p50_ms
+            ));
+        }
+    }
+    for (i, key) in keys.iter().enumerate() {
+        out.push_str(&format!("    {key}{}\n", if i + 1 == keys.len() { "" } else { "," }));
     }
     out.push_str("  }\n}\n");
     out
@@ -344,8 +483,12 @@ pub fn baseline_p50_ms(baseline: &str, name: &str) -> Option<f64> {
 
 /// Compare current results against a committed baseline: any scenario
 /// present in both whose optimized median wall time regressed by more
-/// than `factor`× fails. Scenarios missing from the baseline are skipped
-/// (new scenarios don't break CI until blessed).
+/// than `factor`× fails, as does any parallel side whose
+/// `<name>_par<threads>` key regressed. A parallel side whose digest
+/// diverged from the sequential engine fails unconditionally — that is
+/// a correctness bug, not a performance regression. Scenarios missing
+/// from the baseline are skipped (new scenarios don't break CI until
+/// blessed).
 pub fn check_regressions(
     results: &[ScenarioResult],
     baseline: &str,
@@ -354,6 +497,24 @@ pub fn check_regressions(
     let mut failures = Vec::new();
     let mut compared = 0;
     for r in results {
+        for p in &r.parallel {
+            if !p.digest_match {
+                failures.push(format!(
+                    "{}: parallel engine ({} threads) diverged from sequential digest",
+                    r.name, p.threads
+                ));
+            }
+            let par_name = format!("{}_par{}", r.name, p.threads);
+            if let Some(base) = baseline_p50_ms(baseline, &par_name) {
+                compared += 1;
+                let now = p.wall.p50_ms;
+                if now > base * factor {
+                    failures.push(format!(
+                        "{par_name}: p50 {now:.3} ms vs baseline {base:.3} ms (> {factor}x)"
+                    ));
+                }
+            }
+        }
         let Some(base) = baseline_p50_ms(baseline, r.name) else { continue };
         compared += 1;
         let now = r.optimized.wall.p50_ms;
@@ -389,10 +550,16 @@ mod tests {
             machine: validation_machine(hwbench::machines::opteron_gige_sim()),
             config: table_config(4, 4),
             reps: 1,
+            par_threads: &[2],
         };
         let r = run_scenario(&s);
         assert!(r.digest_match, "engines diverged");
         assert_eq!(r.ranks, 16);
+        // The parallel side reproduces the sequential digest bit-for-bit.
+        assert_eq!(r.parallel.len(), 1);
+        assert_eq!(r.parallel[0].threads, 2);
+        assert!(r.parallel[0].digest_match, "parallel engine diverged");
+        assert!(r.parallel[0].windows > 0 && !r.parallel[0].fell_back);
         assert!(r.stored_ops < r.ops_per_run);
         assert!(r.channels > 0 && r.peak_queued > 0);
         assert!(r.optimized.wall.p50_ms > 0.0 && r.reference.wall.p50_ms > 0.0);
@@ -405,16 +572,26 @@ mod tests {
             machine: validation_machine(hwbench::machines::opteron_gige_sim()),
             config: table_config(2, 2),
             reps: 1,
+            par_threads: &[2],
         };
         let r = run_scenario(&s);
         let doc = to_json("smoke", std::slice::from_ref(&r));
-        assert!(doc.contains("\"schema\": \"pace-bench/engine-v1\""));
+        assert!(doc.contains("\"schema\": \"pace-bench/engine-v2\""));
+        assert!(doc.contains("\"host_cores\":"));
+        assert!(doc.contains("\"vm_hwm_delta_kb\":"));
         let parsed = baseline_p50_ms(&doc, "unit").expect("check key present");
         assert!((parsed - (r.optimized.wall.p50_ms * 1e3).round() / 1e3).abs() < 1e-9);
+        let par = baseline_p50_ms(&doc, "unit_par2").expect("parallel check key present");
+        assert!((par - (r.parallel[0].wall.p50_ms * 1e3).round() / 1e3).abs() < 1e-9);
         // Self-comparison passes; an absurdly fast baseline fails.
         check_regressions(std::slice::from_ref(&r), &doc, 2.0).expect("self-check passes");
         let tight = doc.replace(&format!("{:.3}", r.optimized.wall.p50_ms), "0.000001");
-        assert!(check_regressions(&[r], &tight, 2.0).is_err());
+        assert!(check_regressions(std::slice::from_ref(&r), &tight, 2.0).is_err());
+        // A digest mismatch fails regardless of timing.
+        let mut broken = r;
+        broken.parallel[0].digest_match = false;
+        let err = check_regressions(std::slice::from_ref(&broken), &doc, 2.0).unwrap_err();
+        assert!(err.contains("diverged from sequential digest"));
     }
 
     #[test]
@@ -424,6 +601,7 @@ mod tests {
             machine: validation_machine(hwbench::machines::opteron_gige_sim()),
             config: table_config(2, 2),
             reps: 1,
+            par_threads: &[],
         };
         let r = run_scenario(&s);
         let err = check_regressions(&[r], "{\"check\": {}}", 2.0).unwrap_err();

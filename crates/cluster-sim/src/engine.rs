@@ -54,7 +54,7 @@ use crate::time::SimTime;
 
 /// Rank scheduling status (compact: fits SoA status array).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum St {
+pub(crate) enum St {
     Ready,
     BlockedRecv {
         from: u32,
@@ -71,47 +71,54 @@ enum St {
 
 /// An in-flight message on a channel queue.
 #[derive(Debug, Clone, Copy)]
-struct Msg {
-    tag: u32,
-    bytes: usize,
-    arrival: SimTime,
+pub(crate) struct Msg {
+    pub(crate) tag: u32,
+    pub(crate) bytes: usize,
+    pub(crate) arrival: SimTime,
 }
 
 /// A rendezvous send parked on its channel until the receive is posted.
 #[derive(Debug, Clone, Copy)]
-struct Pend {
-    tag: u32,
-    bytes: usize,
+pub(crate) struct Pend {
+    pub(crate) tag: u32,
+    pub(crate) bytes: usize,
     /// Time the sender became ready to transfer (after the send-call
     /// overhead).
-    ready: SimTime,
+    pub(crate) ready: SimTime,
     /// Pre-drawn wire jitter (drawn at send execution so noise stays in
     /// program order).
-    jitter: SimTime,
+    pub(crate) jitter: SimTime,
 }
 
 /// Per-rank noise streams, elided entirely for silent machines so an
 /// 8000-PE noiseless run seeds no RNGs. The silent fast path is
 /// bit-identical: a silent [`NoiseStream`] returns its constants without
 /// drawing.
-enum NoiseBank {
+pub(crate) enum NoiseBank {
     Silent,
     PerRank(Vec<NoiseStream>),
 }
 
 impl NoiseBank {
     fn new(machine: &MachineSpec, n: usize) -> Self {
+        Self::for_range(machine, 0, n)
+    }
+
+    /// A bank covering global ranks `lo..hi`, indexed locally (`r - lo`).
+    /// Streams are salted with the *global* rank, so a partitioned engine
+    /// draws exactly the sequence the monolithic bank would.
+    pub(crate) fn for_range(machine: &MachineSpec, lo: usize, hi: usize) -> Self {
         if machine.noise.is_none() {
             NoiseBank::Silent
         } else {
             NoiseBank::PerRank(
-                (0..n).map(|r| NoiseStream::new(machine.noise, machine.seed, r)).collect(),
+                (lo..hi).map(|r| NoiseStream::new(machine.noise, machine.seed, r)).collect(),
             )
         }
     }
 
     #[inline]
-    fn compute_factor(&mut self, r: usize) -> f64 {
+    pub(crate) fn compute_factor(&mut self, r: usize) -> f64 {
         match self {
             NoiseBank::Silent => 1.0,
             NoiseBank::PerRank(v) => v[r].compute_factor(),
@@ -119,7 +126,7 @@ impl NoiseBank {
     }
 
     #[inline]
-    fn message_jitter_secs(&mut self, r: usize) -> f64 {
+    pub(crate) fn message_jitter_secs(&mut self, r: usize) -> f64 {
         match self {
             NoiseBank::Silent => 0.0,
             NoiseBank::PerRank(v) => v[r].message_jitter_secs(),
@@ -153,13 +160,13 @@ pub struct MemProbe {
 /// `partners(r)[s]` land). A send whose destination does not list the
 /// sender as a partner (only possible for statically-invalid programs run
 /// with validation off) gets a dangling channel nothing reads.
-struct Channels {
-    send_chan: Vec<Vec<u32>>,
-    recv_chan: Vec<Vec<u32>>,
-    count: usize,
+pub(crate) struct Channels {
+    pub(crate) send_chan: Vec<Vec<u32>>,
+    pub(crate) recv_chan: Vec<Vec<u32>>,
+    pub(crate) count: usize,
 }
 
-fn build_channels(set: &ProgramSet) -> Channels {
+pub(crate) fn build_channels(set: &ProgramSet) -> Channels {
     let n = set.num_ranks();
     let mut next = 0u32;
     let mut recv_chan: Vec<Vec<u32>> = Vec::with_capacity(n);
@@ -196,15 +203,15 @@ fn build_channels(set: &ProgramSet) -> Channels {
 /// sets, the cheap path for replication campaigns); run with
 /// [`Engine::run`].
 pub struct Engine<'m> {
-    machine: &'m MachineSpec,
-    set: ProgramSet,
+    pub(crate) machine: &'m MachineSpec,
+    pub(crate) set: ProgramSet,
     /// Skip static validation (for intentionally-broken deadlock tests).
-    skip_validation: bool,
+    pub(crate) skip_validation: bool,
     /// Telemetry sink for per-activity spans (virtual-time domain).
-    recorder: Option<&'m Recorder>,
+    pub(crate) recorder: Option<&'m Recorder>,
     /// Track group the spans are recorded under (one pid per run when a
     /// recorder is shared across runs).
-    trace_pid: u32,
+    pub(crate) trace_pid: u32,
 }
 
 impl<'m> Engine<'m> {
@@ -248,7 +255,7 @@ impl<'m> Engine<'m> {
         self.run_impl()
     }
 
-    fn run_impl(self) -> SimResult<(RunReport, MemProbe)> {
+    pub(crate) fn run_impl(self) -> SimResult<(RunReport, MemProbe)> {
         if !self.skip_validation {
             self.set.validate().map_err(|detail| SimError::InvalidPrograms { detail })?;
         }

@@ -37,6 +37,7 @@ pub mod error;
 pub mod machine;
 pub mod network;
 pub mod noise;
+pub mod par;
 pub mod program;
 pub mod progset;
 pub mod reference;
@@ -50,6 +51,7 @@ pub use error::{SimError, SimResult};
 pub use machine::MachineSpec;
 pub use network::{NetworkModel, PiecewiseSegments};
 pub use noise::NoiseModel;
+pub use par::{ParStats, PARTITION_PID};
 pub use program::{Op, Program};
 pub use progset::{ProgramSet, ProgramSetBuilder, SharedOp};
 pub use reference::ReferenceEngine;

@@ -222,6 +222,51 @@ mod tests {
     }
 
     #[test]
+    fn discontinuity_measures_the_switch_point_jump() {
+        // A 20% jump at the switch: small segment reaches 10 µs, large
+        // segment starts at 12 µs.
+        let c = PiecewiseSegments {
+            switch_bytes: 100.0,
+            small_intercept_us: 5.0,
+            small_slope_us: 0.05,
+            large_intercept_us: 12.0,
+            large_slope_us: 0.0,
+        };
+        assert!((c.discontinuity() - 2.0 / 12.0).abs() < 1e-12);
+        // Symmetric: measuring the jump from either side is the same.
+        let swapped = PiecewiseSegments {
+            small_intercept_us: 12.0,
+            small_slope_us: 0.0,
+            large_intercept_us: 5.0,
+            large_slope_us: 0.05,
+            ..c
+        };
+        assert!((swapped.discontinuity() - c.discontinuity()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn discontinuity_degenerate_curves_are_safe() {
+        // Infinite switch point: single segment, no discontinuity by
+        // definition (the large segment is unreachable).
+        assert_eq!(PiecewiseSegments::linear(3.0, 0.2).discontinuity(), 0.0);
+        // Both segments identically zero at the switch: the 1e-12 floor in
+        // the denominator keeps this 0/0 case at exactly zero.
+        let zero = PiecewiseSegments {
+            switch_bytes: 64.0,
+            small_intercept_us: 0.0,
+            small_slope_us: 0.0,
+            large_intercept_us: 0.0,
+            large_slope_us: 0.0,
+        };
+        assert_eq!(zero.discontinuity(), 0.0);
+        // A continuous fit reports (numerically) zero even with nonzero
+        // slopes on both sides.
+        let n = NetworkModel::from_link(10.0, 250.0, 2.0, 8192.0);
+        assert!(n.send.discontinuity() > 0.0); // rendezvous handshake jump
+        assert_eq!(n.recv.discontinuity(), 0.0); // same segments both sides
+    }
+
+    #[test]
     fn serialization_matches_bandwidth() {
         let n = NetworkModel::from_link(10.0, 100.0, 2.0, 8192.0); // 100 MB/s
         let t = n.serialization_time(100_000_000).as_secs(); // 100 MB

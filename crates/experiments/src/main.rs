@@ -17,9 +17,12 @@
 //!                                        registry sweep: resolve a machine by registry name or
 //!                                        spec-file path and evaluate it across backends
 //!                                        (--machine-file <path> forces file resolution)
-//! experiments speculation [--problem 20m|1b] [--ranks N] [--repeat K] [--iterations I] [--json]
+//! experiments speculation [--problem 20m|1b] [--ranks N] [--repeat K] [--iterations I]
+//!                         [--threads N] [--json]
 //!                                        discrete-event run of a speculative scenario (default
-//!                                        8000 ranks), seed-replicated over the worker pool
+//!                                        8000 ranks), seed-replicated over the worker pool;
+//!                                        --threads N runs each replication on the parallel
+//!                                        engine with N threads (bit-identical results)
 //! experiments timeline                  pipeline Gantt chart (simulated)
 //! experiments obs                       telemetry demo: phase spans + span/stats cross-check
 //! experiments csv [dir]                 write tables/figures as CSV files
@@ -379,6 +382,7 @@ fn run_speculation(args: &[String], json: bool) {
     let mut ranks = 8000usize;
     let mut repeat = 3usize;
     let mut iterations = 2usize;
+    let mut threads: Option<usize> = None;
     let mut i = 0;
     while i < args.len() {
         let value = |i: &mut usize| -> &str {
@@ -404,6 +408,9 @@ fn run_speculation(args: &[String], json: bool) {
             "--iterations" => {
                 iterations = value(&mut i).parse().expect("--iterations takes an integer")
             }
+            "--threads" => {
+                threads = Some(value(&mut i).parse().expect("--threads takes an integer"))
+            }
             other => {
                 eprintln!("unknown speculation flag {other:?}");
                 std::process::exit(2);
@@ -412,8 +419,11 @@ fn run_speculation(args: &[String], json: bool) {
         i += 1;
     }
     let workers = sweepsvc::available_workers();
-    let c = speculation::simulate(problem, ranks, repeat, iterations, workers);
+    let c = speculation::simulate_threaded(problem, ranks, repeat, iterations, workers, threads);
     let s = &c.summary;
+    let sim_threads = threads
+        .or_else(sweepsvc::sim_threads_override)
+        .unwrap_or_else(|| sweepsvc::nested_plan(workers, repeat).1);
     if json {
         println!("{{");
         println!("  \"figure\": \"{}\",", c.problem.figure());
@@ -422,6 +432,7 @@ fn run_speculation(args: &[String], json: bool) {
         println!("  \"iterations\": {},", c.iterations);
         println!("  \"repeat\": {},", s.replications.len());
         println!("  \"workers\": {workers},");
+        println!("  \"sim_threads\": {sim_threads},");
         println!("  \"streams\": {},", c.streams);
         println!("  \"stored_ops\": {},", c.stored_ops);
         println!("  \"ops_per_run\": {},", c.ops_per_run);
@@ -459,7 +470,10 @@ fn run_speculation(args: &[String], json: bool) {
         c.stored_ops,
         c.ops_per_run
     );
-    println!("replications       : {} seeds over {workers} worker(s)", s.replications.len());
+    println!(
+        "replications       : {} seeds over {workers} worker(s), {sim_threads} engine thread(s)/run",
+        s.replications.len()
+    );
     println!(
         "makespan           : mean {:.4} s  (min {:.4}, max {:.4}, std {:.5})",
         s.mean_makespan(),
@@ -515,7 +529,7 @@ fn run_obs(obs: &Obs) {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments [--trace <path>] [--metrics <path>] [--json] <table1|table2|table3|fig1|fig8|fig9|hmcl [--machine <name|path>]|concurrence|ablation|blocking|asci-goals|rendezvous|strong-scaling|sweep [--machine <name|path>] [--backend <list>]|speculation|timeline|obs|robustness|host-validate|csv [dir]|validate|all>"
+        "usage: experiments [--trace <path>] [--metrics <path>] [--json] <table1|table2|table3|fig1|fig8|fig9|hmcl [--machine <name|path>]|concurrence|ablation|blocking|asci-goals|rendezvous|strong-scaling|sweep [--machine <name|path>] [--backend <list>]|speculation [--threads N]|timeline|obs|robustness|host-validate|csv [dir]|validate|all>"
     );
     std::process::exit(2)
 }

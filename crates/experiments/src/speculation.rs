@@ -228,12 +228,28 @@ pub fn array_for_ranks(ranks: usize) -> (usize, usize) {
 /// Run one figure's scenario through the discrete-event engine, `repeat`
 /// noise seeds fanned over `workers` pool threads. Fully deterministic:
 /// seeds are fixed, so two invocations produce bit-identical reports.
+/// Intra-run engine threads follow the sweepsvc nested-parallelism policy
+/// (spare pool slots are donated to `Engine::run_parallel`).
 pub fn simulate(
     problem: Problem,
     ranks: usize,
     repeat: usize,
     iterations: usize,
     workers: usize,
+) -> DesCampaign {
+    simulate_threaded(problem, ranks, repeat, iterations, workers, None)
+}
+
+/// [`simulate`] with an explicit per-run engine thread count (the CLI's
+/// `--threads N`); `None` lets the nested-parallelism policy decide.
+/// Results are bit-identical for every thread count.
+pub fn simulate_threaded(
+    problem: Problem,
+    ranks: usize,
+    repeat: usize,
+    iterations: usize,
+    workers: usize,
+    sim_threads: Option<usize>,
 ) -> DesCampaign {
     let t0 = Instant::now();
     let (px, py) = array_for_ranks(ranks);
@@ -249,8 +265,15 @@ pub fn simulate(
     let set = generate_program_set(&config, &fm);
     let machine = speculation_machine();
     let seeds: Vec<u64> = (1..=repeat as u64).map(|i| 0x5EED_0000 + i).collect();
-    let summary =
-        sweepsvc::replicate_set(&machine, &set, &seeds, workers).expect("trace is deadlock-free");
+    let summary = sweepsvc::replicate_set_threaded(
+        &machine,
+        &set,
+        &seeds,
+        workers,
+        sim_threads,
+        &obs::Obs::disabled(),
+    )
+    .expect("trace is deadlock-free");
     DesCampaign {
         problem,
         px,
@@ -366,6 +389,14 @@ mod tests {
         // Distinct seeds perturb the noisy machine.
         let makespans = a.summary.makespans();
         assert!(makespans[0] != makespans[1], "seeds had no effect: {makespans:?}");
+    }
+
+    #[test]
+    fn threaded_campaign_is_bit_identical() {
+        // `--threads N` must not change a single simulated number.
+        let plain = simulate(Problem::TwentyMillion, 6, 2, 1, 1);
+        let threaded = simulate_threaded(Problem::TwentyMillion, 6, 2, 1, 2, Some(3));
+        assert_eq!(plain.summary.replications, threaded.summary.replications);
     }
 
     #[test]

@@ -42,9 +42,12 @@ pub mod spec;
 
 pub use cache::{CacheKey, CacheStats, EvalCache};
 pub use engine::{CachedEngine, SweepEngine, SweepOutcome, SweepStats, SWEEP_PID};
-pub use pool::{available_workers, run_ordered, run_ordered_with_worker, PoolRun, WorkerStats};
+pub use pool::{
+    available_workers, nested_plan, run_ordered, run_ordered_with_worker, sim_threads_override,
+    PoolRun, WorkerStats,
+};
 pub use replicate::{
-    campaign, replicate, replicate_observed, replicate_set, replicate_set_observed, Replication,
-    ReplicationSummary, REPLICATE_PID,
+    campaign, campaign_threaded, replicate, replicate_observed, replicate_set,
+    replicate_set_observed, replicate_set_threaded, Replication, ReplicationSummary, REPLICATE_PID,
 };
 pub use spec::{ProblemPoint, Scenario, ScenarioResult, SweepSpec};

@@ -67,6 +67,34 @@ pub fn available_workers() -> usize {
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
 }
 
+/// Split `slots` pool slots between batch-level parallelism and per-run
+/// engine threads: `(outer, inner)` with `outer` concurrent jobs, each
+/// allowed `inner` intra-run threads (`cluster_sim::Engine::run_parallel`).
+///
+/// Campaign-level scenarios come first — they parallelise perfectly — and
+/// only *spare* slots are donated to intra-run threading, so a wide batch
+/// (`jobs >= slots`) gets sequential runs and a narrow batch (few
+/// scenarios, many ranks) gets multi-threaded ones. Never oversubscribes:
+/// `outer * inner <= slots` (with the usual minimum of one each).
+pub fn nested_plan(slots: usize, jobs: usize) -> (usize, usize) {
+    let slots = slots.max(1);
+    if jobs == 0 {
+        return (1, slots);
+    }
+    let outer = slots.min(jobs);
+    let inner = (slots / outer).max(1);
+    (outer, inner)
+}
+
+/// Per-run engine thread override from the `PACE_SIM_THREADS` environment
+/// variable — the hook CI's `threads=4` matrix leg uses to route every
+/// replication campaign through the parallel engine. Results are
+/// bit-identical either way; only wall-clock behaviour changes.
+pub fn sim_threads_override() -> Option<usize> {
+    let raw = std::env::var("PACE_SIM_THREADS").ok()?;
+    raw.trim().parse().ok().filter(|&t| t > 0)
+}
+
 /// Apply `work` to every item on a pool of `workers` threads, returning
 /// results in item order. `workers <= 1` runs inline on the caller's
 /// thread (no spawn), which is also the serial reference for determinism
@@ -201,6 +229,24 @@ mod tests {
         let run = run_ordered(vec![1, 2, 3], 64, |&x: &i32| x + 1);
         assert_eq!(run.results, vec![2, 3, 4]);
         assert!(run.workers.len() <= 3);
+    }
+
+    #[test]
+    fn nested_plan_spends_slots_on_jobs_first() {
+        assert_eq!(nested_plan(8, 3), (3, 2)); // spare slots donated inward
+        assert_eq!(nested_plan(8, 8), (8, 1)); // saturated: sequential runs
+        assert_eq!(nested_plan(8, 16), (8, 1)); // oversubscribed batch
+        assert_eq!(nested_plan(8, 1), (1, 8)); // one big run gets everything
+        assert_eq!(nested_plan(1, 5), (1, 1)); // single slot
+        assert_eq!(nested_plan(4, 0), (1, 4)); // degenerate empty batch
+        assert_eq!(nested_plan(0, 3), (1, 1)); // degenerate zero slots
+        for slots in 1..=16 {
+            for jobs in 0..=20 {
+                let (outer, inner) = nested_plan(slots, jobs);
+                assert!(outer >= 1 && inner >= 1);
+                assert!(outer * inner <= slots.max(1), "oversubscribed at {slots}/{jobs}");
+            }
+        }
     }
 
     #[test]

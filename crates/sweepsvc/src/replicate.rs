@@ -131,6 +131,14 @@ pub fn replicate_observed(
 }
 
 /// [`replicate_set`] with telemetry (see [`replicate_observed`]).
+///
+/// Worker slots follow the nested-parallelism policy
+/// ([`pool::nested_plan`]): campaign-level seeds first, spare slots
+/// donated to intra-run engine threads
+/// ([`cluster_sim::Engine::run_parallel`]), never oversubscribing. Set
+/// `PACE_SIM_THREADS` or call [`replicate_set_threaded`] to pin the
+/// intra-run thread count explicitly. Results are bit-identical for every
+/// split.
 pub fn replicate_set_observed(
     machine: &MachineSpec,
     set: &ProgramSet,
@@ -138,18 +146,32 @@ pub fn replicate_set_observed(
     workers: usize,
     obs: &Obs,
 ) -> SimResult<ReplicationSummary> {
+    replicate_set_threaded(machine, set, seeds, workers, None, obs)
+}
+
+/// [`replicate_set_observed`] with an explicit per-run engine thread
+/// count (`--threads N` in the CLI). `None` lets [`pool::nested_plan`]
+/// decide, subject to the `PACE_SIM_THREADS` override.
+pub fn replicate_set_threaded(
+    machine: &MachineSpec,
+    set: &ProgramSet,
+    seeds: &[u64],
+    workers: usize,
+    sim_threads: Option<usize>,
+    obs: &Obs,
+) -> SimResult<ReplicationSummary> {
     let rec = &*obs.recorder;
     if rec.is_enabled() {
         rec.set_process_name(REPLICATE_PID, format!("replicate {}", machine.name));
     }
-    let run = pool::run_ordered_with_worker(seeds.to_vec(), workers, |worker, &seed| {
+    let (outer, planned) = pool::nested_plan(workers, seeds.len());
+    let inner = sim_threads.or_else(pool::sim_threads_override).unwrap_or(planned).max(1);
+    let run = pool::run_ordered_with_worker(seeds.to_vec(), outer, |worker, &seed| {
         let t0 = Instant::now();
         let seeded = machine.clone().with_seed(seed);
-        let result = Engine::from_set(&seeded, set.clone()).run().map(|report| Replication {
-            seed,
-            makespan_secs: report.makespan(),
-            report,
-        });
+        let result = Engine::from_set(&seeded, set.clone())
+            .run_parallel(inner)
+            .map(|report| Replication { seed, makespan_secs: report.makespan(), report });
         if rec.is_enabled() {
             rec.wall_span(
                 REPLICATE_PID,
@@ -157,7 +179,7 @@ pub fn replicate_set_observed(
                 format!("seed:{seed}"),
                 Cat::Task,
                 t0,
-                vec![("seed", seed.into())],
+                vec![("seed", seed.into()), ("sim_threads", inner.into())],
             );
         }
         result
@@ -190,11 +212,26 @@ pub fn campaign(
     seeds: &[u64],
     workers: usize,
 ) -> SimResult<Vec<ReplicationSummary>> {
+    campaign_threaded(variants, set, seeds, workers, None)
+}
+
+/// [`campaign`] with an explicit per-run engine thread count; `None`
+/// applies the nested-parallelism policy ([`pool::nested_plan`]) and the
+/// `PACE_SIM_THREADS` override. Bit-identical for every split.
+pub fn campaign_threaded(
+    variants: &[MachineSpec],
+    set: &ProgramSet,
+    seeds: &[u64],
+    workers: usize,
+    sim_threads: Option<usize>,
+) -> SimResult<Vec<ReplicationSummary>> {
     let items: Vec<(usize, u64)> =
         variants.iter().enumerate().flat_map(|(v, _)| seeds.iter().map(move |&s| (v, s))).collect();
-    let run = pool::run_ordered_with_worker(items, workers, |_worker, &(v, seed)| {
+    let (outer, planned) = pool::nested_plan(workers, items.len());
+    let inner = sim_threads.or_else(pool::sim_threads_override).unwrap_or(planned).max(1);
+    let run = pool::run_ordered_with_worker(items, outer, |_worker, &(v, seed)| {
         let seeded = variants[v].clone().with_seed(seed);
-        Engine::from_set(&seeded, set.clone()).run().map(|report| Replication {
+        Engine::from_set(&seeded, set.clone()).run_parallel(inner).map(|report| Replication {
             seed,
             makespan_secs: report.makespan(),
             report,
@@ -301,6 +338,54 @@ mod tests {
         let a = replicate(&machine, &programs, &seeds, 2).unwrap();
         let b = replicate_set(&machine, &set, &seeds, 3).unwrap();
         assert_eq!(a.replications, b.replications);
+    }
+
+    #[test]
+    fn threaded_replications_keep_seed_order_and_results() {
+        // The deterministic-ordering smoke test: with pool workers *and*
+        // intra-run engine threads both > 1, result ordering and every
+        // simulated number must still match the serial run — ordering is
+        // pinned by input position, never by completion order.
+        let machine = noisy_machine();
+        let programs = ring_programs(6);
+        let set = ProgramSet::from_programs(&programs);
+        let seeds = [42u64, 5, 17, 99, 3];
+        let serial =
+            replicate_set_threaded(&machine, &set, &seeds, 1, Some(1), &Obs::disabled()).unwrap();
+        for (workers, threads) in [(3, 2), (2, 3), (5, 4)] {
+            let threaded = replicate_set_threaded(
+                &machine,
+                &set,
+                &seeds,
+                workers,
+                Some(threads),
+                &Obs::disabled(),
+            )
+            .unwrap();
+            assert_eq!(
+                threaded.replications, serial.replications,
+                "workers={workers} sim_threads={threads} perturbed the campaign"
+            );
+            let order: Vec<u64> = threaded.replications.iter().map(|r| r.seed).collect();
+            assert_eq!(order, seeds, "seed order must be input order, not completion order");
+        }
+    }
+
+    #[test]
+    fn threaded_campaign_matches_sequential_campaign() {
+        let base = noisy_machine();
+        let mut fast = MachineSpec::ideal(150.0).with_noise(cluster_sim::NoiseModel::commodity());
+        fast.name = "fast".into();
+        let set = ProgramSet::from_programs(&ring_programs(6));
+        let seeds = [7u64, 8, 9];
+        let variants = [base, fast];
+        let serial = campaign_threaded(&variants, &set, &seeds, 1, Some(1)).unwrap();
+        let threaded = campaign_threaded(&variants, &set, &seeds, 3, Some(2)).unwrap();
+        assert_eq!(serial.len(), threaded.len());
+        for (a, b) in serial.iter().zip(&threaded) {
+            assert_eq!(a.machine, b.machine);
+            assert_eq!(a.replications, b.replications);
+        }
     }
 
     #[test]

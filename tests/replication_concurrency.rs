@@ -6,10 +6,10 @@
 //! `Engine` loop — the pool may only change wall-clock time, never a
 //! simulated number.
 
-use cluster_sim::{Engine, MachineSpec, Program};
+use cluster_sim::{Engine, MachineSpec, Program, ProgramSet};
 use sweep3d::trace::{generate_programs, FlopModel};
 use sweep3d::ProblemConfig;
-use sweepsvc::replicate;
+use sweepsvc::{campaign_threaded, replicate, replicate_set_threaded};
 
 const SEEDS: [u64; 6] = [0xA11CE, 3, 1414, 7, 99, 2];
 
@@ -61,4 +61,34 @@ fn campaign_statistics_are_worker_count_invariant() {
     // Different seeds genuinely perturb the noisy machine — the campaign
     // is measuring something.
     assert!(a.std_dev_makespan() > 0.0, "noise seeds had no effect");
+}
+
+#[test]
+fn intra_run_engine_threads_keep_result_order_and_values() {
+    // Deterministic-ordering smoke: with pool workers AND per-run engine
+    // threads (`--threads` / PACE_SIM_THREADS) both above 1, the campaign
+    // must return the same reports in the same input-seed order — never
+    // completion order — because each run is bit-identical under the
+    // windowed parallel engine and the pool reorders by item index.
+    let (machine, programs) = workload();
+    let set = ProgramSet::from_programs(&programs);
+    let obs = obs::Obs::disabled();
+
+    let serial =
+        replicate_set_threaded(&machine, &set, &SEEDS, 1, Some(1), &obs).expect("serial campaign");
+    let nested =
+        replicate_set_threaded(&machine, &set, &SEEDS, 3, Some(2), &obs).expect("nested campaign");
+    assert_eq!(nested.replications, serial.replications, "engine threads perturbed the campaign");
+    let order: Vec<u64> = nested.replications.iter().map(|r| r.seed).collect();
+    assert_eq!(order, SEEDS, "replications must come back in input-seed order");
+
+    // Same invariant across a multi-variant campaign: summaries line up
+    // with the variant list regardless of the (workers, threads) split.
+    let variants = [machine.clone(), machine.clone().with_seed(0xD15EA5E)];
+    let flat = campaign_threaded(&variants, &set, &SEEDS, 1, Some(1)).expect("serial campaign");
+    let split = campaign_threaded(&variants, &set, &SEEDS, 4, Some(3)).expect("split campaign");
+    assert_eq!(flat.len(), variants.len());
+    for (a, b) in flat.iter().zip(&split) {
+        assert_eq!(a.replications, b.replications, "campaign rows must be split-invariant");
+    }
 }

@@ -80,6 +80,38 @@ fn main() {
                 std::process::exit(1);
             }
         }
+        if let Some(o) = &r.optimistic {
+            eprintln!(
+                "  {}: opt({} partitions) p50 {:.1} ms, {} rounds, {} speculated ({} commits, {} rollbacks), digest_match={}",
+                r.name, o.partitions, o.wall.p50_ms, o.rounds, o.speculated, o.commits, o.rollbacks, o.digest_match
+            );
+            if !o.digest_match {
+                eprintln!(
+                    "FATAL: {}: optimistic engine ({} partitions) diverged from the sequential digest",
+                    r.name, o.partitions
+                );
+                std::process::exit(1);
+            }
+        }
+        if let Some(sn) = &r.snapshot {
+            eprintln!(
+                "  {}: snap({} variants, fork @{} activations) p50 {:.1} ms vs naive {:.1} ms ({:.2}x campaign), digest_match={}",
+                r.name,
+                sn.variants,
+                sn.fork_activations,
+                sn.wall.p50_ms,
+                sn.naive_wall.p50_ms,
+                sn.campaign_speedup_p50(),
+                sn.digest_match
+            );
+            if !sn.digest_match {
+                eprintln!(
+                    "FATAL: {}: snapshot-forked identity variant diverged from the sequential digest",
+                    r.name
+                );
+                std::process::exit(1);
+            }
+        }
         results.push(r);
     }
 

@@ -69,8 +69,10 @@ pub(crate) enum St {
     Done,
 }
 
-/// An in-flight message on a channel queue.
-#[derive(Debug, Clone, Copy)]
+/// An in-flight message on a channel queue. `PartialEq` lets the
+/// optimistic scheduler validate speculatively-consumed messages against
+/// the real boundary mail field-by-field (exact picoseconds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) struct Msg {
     pub(crate) tag: u32,
     pub(crate) bytes: usize,
@@ -93,7 +95,10 @@ pub(crate) struct Pend {
 /// Per-rank noise streams, elided entirely for silent machines so an
 /// 8000-PE noiseless run seeds no RNGs. The silent fast path is
 /// bit-identical: a silent [`NoiseStream`] returns its constants without
-/// drawing.
+/// drawing. `Clone` captures the streams' positions, which is what makes
+/// checkpoint/rollback and snapshot forks bit-exact: a restored bank
+/// replays the same draws the discarded execution consumed.
+#[derive(Clone)]
 pub(crate) enum NoiseBank {
     Silent,
     PerRank(Vec<NoiseStream>),
@@ -259,52 +264,170 @@ impl<'m> Engine<'m> {
         if !self.skip_validation {
             self.set.validate().map_err(|detail| SimError::InvalidPrograms { detail })?;
         }
-        let set = &self.set;
-        let n = set.num_ranks();
+        let n = self.set.num_ranks();
         if n == 0 {
             return Ok((RunReport { ranks: vec![] }, MemProbe::default()));
         }
-        let machine = self.machine;
-        let sharers = machine.sharers(n);
-        // Per-run background-load level (same for every rank in this run).
-        let run_factor = machine.noise.run_factor(machine.seed);
-        // Telemetry sink (None when absent or disabled: zero-cost path).
-        let rec: Option<&Recorder> = self.recorder.filter(|r| r.is_enabled());
-        let pid = self.trace_pid;
+        let ctx = RunCtx::new(self.machine, self.recorder, self.trace_pid, n);
+        let channels = build_channels(&self.set);
+        let mut state = SeqState::new(self.machine, n, channels.count);
+        state.advance(&self.set, &channels, &ctx, None);
+        finalize(state, &self.set, &channels, &ctx, true)
+    }
+
+    /// Run until at least `pause_after` rank activations have been
+    /// processed, stopping at the next activation boundary (a consistent
+    /// global cut of the single-threaded scheduler), and return the
+    /// paused state. Resuming on the same machine is bit-identical to an
+    /// uninterrupted [`Engine::run`]; [`Paused::snapshot`] forks the state
+    /// so what-if campaigns re-simulate only the suffix past a shared
+    /// prefix. A pause target beyond the end of the run simply completes
+    /// it (see [`Paused::is_complete`]).
+    pub fn run_paused(self, pause_after: u64) -> SimResult<Paused<'m>> {
+        if !self.skip_validation {
+            self.set.validate().map_err(|detail| SimError::InvalidPrograms { detail })?;
+        }
+        let n = self.set.num_ranks();
+        let ctx = RunCtx::new(self.machine, self.recorder, self.trace_pid, n);
+        let channels = build_channels(&self.set);
+        let mut state = SeqState::new(self.machine, n, channels.count);
+        state.advance(&self.set, &channels, &ctx, Some(pause_after));
+        Ok(Paused {
+            machine: self.machine,
+            set: self.set,
+            recorder: self.recorder,
+            trace_pid: self.trace_pid,
+            state,
+        })
+    }
+}
+
+/// Machine-derived per-run parameters. Recomputed from the replacement
+/// machine when a paused run resumes, so a fork models "the hardware
+/// changes at the pause point".
+struct RunCtx<'a> {
+    machine: &'a MachineSpec,
+    sharers: usize,
+    /// Per-run background-load level (same for every rank in this run).
+    run_factor: f64,
+    eager_limit: usize,
+    /// Telemetry sink (None when absent or disabled: zero-cost path).
+    rec: Option<&'a Recorder>,
+    pid: u32,
+}
+
+impl<'a> RunCtx<'a> {
+    fn new(machine: &'a MachineSpec, recorder: Option<&'a Recorder>, pid: u32, n: usize) -> Self {
+        let rec = recorder.filter(|r| r.is_enabled());
         if let Some(rec) = rec {
             for r in 0..n {
                 rec.set_thread_name(pid, r as u32, format!("rank {r}"));
             }
         }
+        RunCtx {
+            machine,
+            sharers: machine.sharers(n),
+            run_factor: machine.noise.run_factor(machine.seed),
+            eager_limit: machine.rendezvous_bytes.unwrap_or(usize::MAX),
+            rec,
+            pid,
+        }
+    }
+}
 
-        // Hot per-rank state, struct-of-arrays.
-        let mut clock = vec![SimTime::ZERO; n];
-        let mut pc = vec![0u32; n];
-        let mut status = vec![St::Ready; n];
-        // Arrival clock at the collective a rank is parked on.
-        let mut park_clock = vec![SimTime::ZERO; n];
-        let mut stats = vec![RankStats::default(); n];
-        let mut noise = NoiseBank::new(machine, n);
+/// The sequential scheduler's complete mutable state, cloneable so a
+/// paused run can be snapshotted and forked: every field a later event
+/// can read — clocks, queues, noise-stream positions, the ready queue —
+/// is owned here, which is what makes a restored copy bit-identical.
+#[derive(Clone)]
+pub(crate) struct SeqState {
+    // Hot per-rank state, struct-of-arrays.
+    clock: Vec<SimTime>,
+    pc: Vec<u32>,
+    status: Vec<St>,
+    /// Arrival clock at the collective a rank is parked on.
+    park_clock: Vec<SimTime>,
+    stats: Vec<RankStats>,
+    noise: NoiseBank,
+    // Dense channel queues; FIFO in sender program order (MPI
+    // non-overtaking), matched by scanning for the first tag hit.
+    inflight: Vec<VecDeque<Msg>>,
+    pending: Vec<VecDeque<Pend>>,
+    queued: usize,
+    peak_queued: usize,
+    /// Sender NIC busy-until times (back-to-back serialisation).
+    nic_busy: Vec<SimTime>,
+    /// Ranks currently parked at the pending collective.
+    parked: Vec<usize>,
+    finished: usize,
+    ready: VecDeque<usize>,
+    /// Rank activations processed so far (the pause-point unit).
+    activations: u64,
+}
 
-        // Dense channel tables; queues are FIFO in sender program order
-        // (MPI non-overtaking), matched by scanning for the first tag hit.
-        let channels = build_channels(set);
-        let mut inflight: Vec<VecDeque<Msg>> =
-            (0..channels.count).map(|_| VecDeque::new()).collect();
-        let mut pending: Vec<VecDeque<Pend>> =
-            (0..channels.count).map(|_| VecDeque::new()).collect();
-        let mut queued = 0usize;
-        let mut peak_queued = 0usize;
-        // Sender NIC busy-until times (back-to-back serialisation).
-        let mut nic_busy: Vec<SimTime> = vec![SimTime::ZERO; n];
-        let eager_limit = machine.rendezvous_bytes.unwrap_or(usize::MAX);
-        // Ranks currently parked at the pending collective.
-        let mut parked: Vec<usize> = Vec::with_capacity(n);
-        let mut finished = 0usize;
+impl SeqState {
+    fn new(machine: &MachineSpec, n: usize, channel_count: usize) -> Self {
+        SeqState {
+            clock: vec![SimTime::ZERO; n],
+            pc: vec![0u32; n],
+            status: vec![St::Ready; n],
+            park_clock: vec![SimTime::ZERO; n],
+            stats: vec![RankStats::default(); n],
+            noise: NoiseBank::new(machine, n),
+            inflight: (0..channel_count).map(|_| VecDeque::new()).collect(),
+            pending: (0..channel_count).map(|_| VecDeque::new()).collect(),
+            queued: 0,
+            peak_queued: 0,
+            nic_busy: vec![SimTime::ZERO; n],
+            parked: Vec::with_capacity(n),
+            finished: 0,
+            ready: (0..n).collect(),
+            activations: 0,
+        }
+    }
 
-        let mut ready: VecDeque<usize> = (0..n).collect();
+    /// Advance the scheduler until completion, global quiescence, or —
+    /// when `pause_after` is set — until at least that many activations
+    /// have been processed. The pause check sits at the activation
+    /// boundary only, so a paused state never holds a half-executed op.
+    fn advance(
+        &mut self,
+        set: &ProgramSet,
+        channels: &Channels,
+        ctx: &RunCtx<'_>,
+        pause_after: Option<u64>,
+    ) {
+        let n = set.num_ranks();
+        let machine = ctx.machine;
+        let sharers = ctx.sharers;
+        let run_factor = ctx.run_factor;
+        let eager_limit = ctx.eager_limit;
+        let rec = ctx.rec;
+        let pid = ctx.pid;
+        let SeqState {
+            clock,
+            pc,
+            status,
+            park_clock,
+            stats,
+            noise,
+            inflight,
+            pending,
+            queued,
+            peak_queued,
+            nic_busy,
+            parked,
+            finished,
+            ready,
+            activations,
+        } = self;
 
-        while let Some(r) = ready.pop_front() {
+        loop {
+            if pause_after.is_some_and(|limit| *activations >= limit) {
+                return;
+            }
+            let Some(r) = ready.pop_front() else { return };
+            *activations += 1;
             debug_assert_eq!(status[r], St::Ready);
             let ops = set.ops(r);
             let partners = set.partners(r);
@@ -321,7 +444,7 @@ impl<'m> Engine<'m> {
                         stats[r].finish,
                         "rank {r}: accounted time must equal finish exactly"
                     );
-                    finished += 1;
+                    *finished += 1;
                     break;
                 }
                 match ops[at] {
@@ -372,8 +495,8 @@ impl<'m> Engine<'m> {
                             // Rendezvous: the receiver has not posted yet;
                             // park until it reaches the matching receive.
                             pending[chan].push_back(Pend { tag, bytes, ready: clock[r], jitter });
-                            queued += 1;
-                            peak_queued = peak_queued.max(queued);
+                            *queued += 1;
+                            *peak_queued = (*peak_queued).max(*queued);
                             status[r] = St::BlockedSend { to: to as u32, tag };
                             break;
                         }
@@ -388,8 +511,8 @@ impl<'m> Engine<'m> {
                         nic_busy[r] = wire_start + machine.network.serialization_time(bytes);
                         let arrival = wire_start + machine.network.wire_time(bytes) + jitter;
                         inflight[chan].push_back(Msg { tag, bytes, arrival });
-                        queued += 1;
-                        peak_queued = peak_queued.max(queued);
+                        *queued += 1;
+                        *peak_queued = (*peak_queued).max(*queued);
                         stats[r].messages_sent += 1;
                         stats[r].bytes_sent += bytes as u64;
                         // A blocking rendezvous send returns once the
@@ -428,7 +551,7 @@ impl<'m> Engine<'m> {
                         match q.iter().position(|m| m.tag == tag) {
                             Some(i) => {
                                 let msg = q.remove(i).expect("position is in range");
-                                queued -= 1;
+                                *queued -= 1;
                                 let wait = msg.arrival.saturating_sub(clock[r]);
                                 let overhead = machine.network.receiver_overhead(msg.bytes);
                                 if let Some(rec) = rec {
@@ -468,7 +591,7 @@ impl<'m> Engine<'m> {
                                 let pq = &mut pending[chan];
                                 if let Some(i) = pq.iter().position(|p| p.tag == tag) {
                                     let pend = pq.remove(i).expect("position is in range");
-                                    queued -= 1;
+                                    *queued -= 1;
                                     let s_rank = from;
                                     let wire_start = pend.ready.max(nic_busy[s_rank]).max(clock[r]);
                                     nic_busy[s_rank] =
@@ -600,36 +723,122 @@ impl<'m> Engine<'m> {
                     }
                 }
             }
-            if finished == n {
-                break;
+            if *finished == n {
+                return;
             }
         }
+    }
+}
 
-        if finished != n {
-            let mut blocked = Vec::new();
-            let mut parked_out = Vec::new();
-            for (idx, st) in status.iter().enumerate() {
-                match *st {
-                    St::BlockedRecv { from, tag } => blocked.push((idx, from as usize, tag)),
-                    St::BlockedSend { to, tag } => blocked.push((idx, to as usize, tag)),
-                    St::Parked => parked_out.push(idx),
-                    _ => {}
-                }
+/// Deadlock detection, memory probe and report assembly, shared by
+/// uninterrupted and resumed runs.
+fn finalize(
+    st: SeqState,
+    set: &ProgramSet,
+    channels: &Channels,
+    ctx: &RunCtx<'_>,
+    check_spans: bool,
+) -> SimResult<(RunReport, MemProbe)> {
+    let n = set.num_ranks();
+    if st.finished != n {
+        let mut blocked = Vec::new();
+        let mut parked_out = Vec::new();
+        for (idx, status) in st.status.iter().enumerate() {
+            match *status {
+                St::BlockedRecv { from, tag } => blocked.push((idx, from as usize, tag)),
+                St::BlockedSend { to, tag } => blocked.push((idx, to as usize, tag)),
+                St::Parked => parked_out.push(idx),
+                _ => {}
             }
-            return Err(SimError::Deadlock { blocked, parked: parked_out });
         }
+        return Err(SimError::Deadlock { blocked, parked: parked_out });
+    }
 
-        let probe = MemProbe {
-            channels: channels.count,
-            peak_queued,
-            inflight_capacity: inflight.iter().map(|q| q.capacity()).sum(),
-            pending_capacity: pending.iter().map(|q| q.capacity()).sum(),
-        };
-        let report = RunReport { ranks: stats };
-        if let Some(rec) = rec {
-            debug_check_span_totals(rec, pid, &report);
+    let probe = MemProbe {
+        channels: channels.count,
+        peak_queued: st.peak_queued,
+        inflight_capacity: st.inflight.iter().map(|q| q.capacity()).sum(),
+        pending_capacity: st.pending.iter().map(|q| q.capacity()).sum(),
+    };
+    let report = RunReport { ranks: st.stats };
+    if check_spans {
+        if let Some(rec) = ctx.rec {
+            debug_check_span_totals(rec, ctx.pid, &report);
         }
-        Ok((report, probe))
+    }
+    Ok((report, probe))
+}
+
+/// A sequential run paused at an activation boundary: the complete
+/// scheduler state plus everything needed to resume it. Obtained from
+/// [`Engine::run_paused`].
+///
+/// * [`Paused::resume`] continues on the original machine and is
+///   bit-identical to an uninterrupted [`Engine::run`] (golden-protected).
+/// * [`Paused::snapshot`] clones the state, so one shared prefix can be
+///   forked into many what-if suffixes.
+/// * [`Paused::resume_with`] swaps the machine at the pause point —
+///   compute rates, network parameters, rendezvous threshold and SMP
+///   width take effect from here on, while clocks, queues and
+///   noise-stream positions carry over.
+#[derive(Clone)]
+pub struct Paused<'m> {
+    machine: &'m MachineSpec,
+    set: ProgramSet,
+    recorder: Option<&'m Recorder>,
+    trace_pid: u32,
+    state: SeqState,
+}
+
+impl<'m> Paused<'m> {
+    /// Fork the paused state. Each fork resumes independently.
+    pub fn snapshot(&self) -> Self {
+        self.clone()
+    }
+
+    /// Rank activations processed before the pause (the pause-point
+    /// unit; also the run total when the pause target overshot the end).
+    pub fn activations(&self) -> u64 {
+        self.state.activations
+    }
+
+    /// Whether the run already finished before reaching the pause target.
+    pub fn is_complete(&self) -> bool {
+        self.state.finished == self.state.clock.len()
+    }
+
+    /// Resume to completion on the original machine.
+    pub fn resume(self) -> SimResult<RunReport> {
+        let machine = self.machine;
+        self.resume_with(machine)
+    }
+
+    /// Resume to completion with `machine` replacing the original from
+    /// the pause point onward ("the hardware changes at T"). The
+    /// replacement must keep the same noise class — silent stays silent,
+    /// noisy stays noisy — because the carried noise-stream positions are
+    /// part of the snapshot; violating that returns
+    /// [`SimError::SnapshotIncompatible`]. Resuming with a machine equal
+    /// to the original is bit-identical to an uninterrupted run.
+    pub fn resume_with(self, machine: &MachineSpec) -> SimResult<RunReport> {
+        let was_silent = matches!(self.state.noise, NoiseBank::Silent);
+        if was_silent != machine.noise.is_none() {
+            return Err(SimError::SnapshotIncompatible {
+                detail: format!(
+                    "resume machine {} noise (snapshot carried {} noise streams)",
+                    if machine.noise.is_none() { "disables" } else { "enables" },
+                    if was_silent { "no" } else { "per-rank" },
+                ),
+            });
+        }
+        let n = self.set.num_ranks();
+        let ctx = RunCtx::new(machine, self.recorder, self.trace_pid, n);
+        let channels = build_channels(&self.set);
+        let mut state = self.state;
+        state.advance(&self.set, &channels, &ctx, None);
+        // Span totals are only checked on uninterrupted runs: several
+        // forks may share one recorder, so per-run totals need not close.
+        finalize(state, &self.set, &channels, &ctx, false).map(|(report, _)| report)
     }
 }
 

@@ -13,6 +13,14 @@ pub enum SimError {
         /// Description from [`crate::program::validate_programs`].
         detail: String,
     },
+    /// A paused run was asked to resume on a machine whose model class is
+    /// incompatible with the snapshotted state (e.g. the replacement
+    /// toggles noise on or off, which would desynchronise the carried
+    /// noise-stream positions).
+    SnapshotIncompatible {
+        /// What about the replacement machine cannot be honoured.
+        detail: String,
+    },
     /// Execution reached a state where no rank can make progress.
     Deadlock {
         /// Ranks blocked in a receive, with the `(from, tag)` they wait on.
@@ -26,6 +34,9 @@ impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SimError::InvalidPrograms { detail } => write!(f, "invalid programs: {detail}"),
+            SimError::SnapshotIncompatible { detail } => {
+                write!(f, "snapshot incompatible: {detail}")
+            }
             SimError::Deadlock { blocked, parked } => {
                 write!(
                     f,

@@ -37,6 +37,7 @@ pub mod error;
 pub mod machine;
 pub mod network;
 pub mod noise;
+pub mod opt;
 pub mod par;
 pub mod program;
 pub mod progset;
@@ -46,12 +47,13 @@ pub mod time;
 pub mod timeline;
 
 pub use cpu::CpuModel;
-pub use engine::{Engine, MemProbe};
+pub use engine::{Engine, MemProbe, Paused};
 pub use error::{SimError, SimResult};
 pub use machine::MachineSpec;
 pub use network::{NetworkModel, PiecewiseSegments};
 pub use noise::NoiseModel;
-pub use par::{ParStats, PARTITION_PID};
+pub use opt::{ExecOrder, OptConfig, OptStats, OPT_PID};
+pub use par::{zero_lookahead_fallbacks, ParStats, PARTITION_PID};
 pub use program::{Op, Program};
 pub use progset::{ProgramSet, ProgramSetBuilder, SharedOp};
 pub use reference::ReferenceEngine;

@@ -65,6 +65,19 @@ impl MachineSpec {
         self
     }
 
+    /// Scale every point of the CPU rate curve by `factor` — the
+    /// flop-rate what-if of the paper's speculative campaigns. Only
+    /// compute-event durations change, which is what makes such variants
+    /// forkable from a shared simulation prefix (see
+    /// [`crate::engine::Paused`]).
+    pub fn with_cpu_scaled(mut self, factor: f64) -> Self {
+        assert!(factor > 0.0, "rate factor must be positive");
+        for pt in &mut self.cpu.rate_curve {
+            pt.mflops *= factor;
+        }
+        self
+    }
+
     /// Number of processors that contend on a shared memory domain when
     /// `total` ranks run on this machine.
     pub fn sharers(&self, total: usize) -> usize {

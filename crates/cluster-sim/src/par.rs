@@ -61,7 +61,7 @@
 
 use std::collections::VecDeque;
 use std::panic::AssertUnwindSafe;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Barrier, Mutex};
 use std::time::Instant;
 
@@ -82,6 +82,16 @@ use crate::time::SimTime;
 /// coordinator track for the inter-window drains. Sim-domain spans keep
 /// the caller's pid, exactly as in a sequential run.
 pub const PARTITION_PID: u32 = 1002;
+
+/// Process-wide count of zero-lookahead sequential fallbacks (each one
+/// also prints a single warning line to stderr). Tests assert the
+/// warn-exactly-once contract by differencing this counter around a run.
+static FALLBACK_WARNINGS: AtomicU64 = AtomicU64::new(0);
+
+/// Number of zero-lookahead sequential fallbacks this process has taken.
+pub fn zero_lookahead_fallbacks() -> u64 {
+    FALLBACK_WARNINGS.load(Ordering::Relaxed)
+}
 
 /// Counters describing how a parallel run executed. The *results* never
 /// depend on any of this — only wall-clock behaviour does.
@@ -104,7 +114,8 @@ pub struct ParStats {
 }
 
 /// A boundary-mailbox entry, drained by the coordinator between windows.
-enum Bound {
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Bound {
     /// An eager message for a channel owned by the destination partition.
     Eager { chan: u32, msg: Msg },
     /// A parked rendezvous send announced to the receiving partition.
@@ -119,54 +130,62 @@ enum Bound {
 /// A parked rendezvous send in a partition's pending queue. Local sends
 /// read the sender's live NIC state; boundary sends carry the frozen
 /// snapshot shipped in [`Bound::Pend`].
-struct PendEntry {
-    pend: Pend,
-    src_nic_busy: Option<SimTime>,
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PendEntry {
+    pub(crate) pend: Pend,
+    pub(crate) src_nic_busy: Option<SimTime>,
 }
 
-/// Read-only context shared by every partition worker.
-struct Ctx<'a> {
-    set: &'a ProgramSet,
-    machine: &'a MachineSpec,
-    channels: &'a Channels,
+/// Read-only context shared by every partition worker. Also used by the
+/// optimistic scheduler in [`crate::opt`], which swaps `rec` for a
+/// per-speculation buffer recorder so speculative spans can be withheld
+/// until the speculation commits.
+pub(crate) struct Ctx<'a> {
+    pub(crate) set: &'a ProgramSet,
+    pub(crate) machine: &'a MachineSpec,
+    pub(crate) channels: &'a Channels,
     /// Partition owning each rank.
-    part_of: &'a [u32],
+    pub(crate) part_of: &'a [u32],
     /// `(receiver, sender)` ranks of each owned channel id.
-    chan_owner: &'a [(u32, u32)],
+    pub(crate) chan_owner: &'a [(u32, u32)],
     /// First dangling channel id (sends nothing reads; only reachable
     /// with validation off).
-    dangling_base: u32,
-    eager_limit: usize,
-    run_factor: f64,
-    sharers: usize,
-    rec: Option<&'a Recorder>,
-    pid: u32,
+    pub(crate) dangling_base: u32,
+    pub(crate) eager_limit: usize,
+    pub(crate) run_factor: f64,
+    pub(crate) sharers: usize,
+    pub(crate) rec: Option<&'a Recorder>,
+    pub(crate) pid: u32,
 }
 
 /// One partition's share of the engine state: the per-rank SoA arrays and
 /// per-channel queues for ranks `lo..hi`, indexed locally (`rank - lo`),
-/// plus outboxes toward every other partition.
-struct Part {
-    id: usize,
-    lo: usize,
-    hi: usize,
-    chan_lo: usize,
-    clock: Vec<SimTime>,
-    pc: Vec<u32>,
-    status: Vec<St>,
-    park_clock: Vec<SimTime>,
-    stats: Vec<RankStats>,
-    nic_busy: Vec<SimTime>,
-    noise: NoiseBank,
-    inflight: Vec<VecDeque<Msg>>,
-    pending: Vec<VecDeque<PendEntry>>,
+/// plus outboxes toward every other partition. `Clone` is the optimistic
+/// scheduler's checkpoint: every field a later event can read is owned
+/// here, so restoring a clone rolls the partition back bit-exactly
+/// (including its noise-stream positions and withheld outbox mail).
+#[derive(Clone)]
+pub(crate) struct Part {
+    pub(crate) id: usize,
+    pub(crate) lo: usize,
+    pub(crate) hi: usize,
+    pub(crate) chan_lo: usize,
+    pub(crate) clock: Vec<SimTime>,
+    pub(crate) pc: Vec<u32>,
+    pub(crate) status: Vec<St>,
+    pub(crate) park_clock: Vec<SimTime>,
+    pub(crate) stats: Vec<RankStats>,
+    pub(crate) nic_busy: Vec<SimTime>,
+    pub(crate) noise: NoiseBank,
+    pub(crate) inflight: Vec<VecDeque<Msg>>,
+    pub(crate) pending: Vec<VecDeque<PendEntry>>,
     /// Runnable ranks (global ids), all within `lo..hi`.
-    ready: VecDeque<usize>,
+    pub(crate) ready: VecDeque<usize>,
     /// Ranks parked at the pending collective (global ids).
-    parked: Vec<usize>,
-    finished: usize,
+    pub(crate) parked: Vec<usize>,
+    pub(crate) finished: usize,
     /// Boundary mail per destination partition, drained at the barrier.
-    outbox: Vec<Vec<Bound>>,
+    pub(crate) outbox: Vec<Vec<Bound>>,
 }
 
 impl Part {
@@ -174,7 +193,7 @@ impl Part {
     /// frontier: each rank runs until it blocks on remote input, parks at
     /// a collective, or completes. Returns the number of rank
     /// activations processed (for telemetry only).
-    fn run_window(&mut self, ctx: &Ctx<'_>) -> usize {
+    pub(crate) fn run_window(&mut self, ctx: &Ctx<'_>) -> usize {
         let set = ctx.set;
         let machine = ctx.machine;
         let rec = ctx.rec;
@@ -507,7 +526,7 @@ impl Part {
     /// Apply one drained boundary-mailbox entry (coordinator, between
     /// windows). Wake-ups mirror the sequential engine's: a delivery only
     /// readies a rank blocked on exactly that `(src, tag)`.
-    fn deliver(&mut self, bound: Bound, ctx: &Ctx<'_>) {
+    pub(crate) fn deliver(&mut self, bound: Bound, ctx: &Ctx<'_>) {
         match bound {
             Bound::Eager { chan, msg } => {
                 let (dst, src) = ctx.chan_owner[chan as usize];
@@ -655,6 +674,7 @@ impl<'m> Engine<'m> {
             }
         }
         if lookahead == Some(SimTime::ZERO) {
+            FALLBACK_WARNINGS.fetch_add(1, Ordering::Relaxed);
             eprintln!(
                 "cluster-sim: run_parallel({threads}) fell back to sequential execution: \
                  zero cross-partition wire latency leaves no conservative window"

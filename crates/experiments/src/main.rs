@@ -18,11 +18,13 @@
 //!                                        spec-file path and evaluate it across backends
 //!                                        (--machine-file <path> forces file resolution)
 //! experiments speculation [--problem 20m|1b] [--ranks N] [--repeat K] [--iterations I]
-//!                         [--threads N] [--json]
+//!                         [--threads N] [--optimistic] [--partitions P] [--budget B] [--json]
 //!                                        discrete-event run of a speculative scenario (default
 //!                                        8000 ranks), seed-replicated over the worker pool;
 //!                                        --threads N runs each replication on the parallel
-//!                                        engine with N threads (bit-identical results)
+//!                                        engine with N threads (bit-identical results);
+//!                                        --optimistic uses the Time Warp-style scheduler
+//!                                        (bit-identical, reports commit/rollback counters)
 //! experiments timeline                  pipeline Gantt chart (simulated)
 //! experiments obs                       telemetry demo: phase spans + span/stats cross-check
 //! experiments csv [dir]                 write tables/figures as CSV files
@@ -383,6 +385,9 @@ fn run_speculation(args: &[String], json: bool) {
     let mut repeat = 3usize;
     let mut iterations = 2usize;
     let mut threads: Option<usize> = None;
+    let mut optimistic = false;
+    let mut partitions: Option<usize> = None;
+    let mut budget = 4usize;
     let mut i = 0;
     while i < args.len() {
         let value = |i: &mut usize| -> &str {
@@ -411,6 +416,11 @@ fn run_speculation(args: &[String], json: bool) {
             "--threads" => {
                 threads = Some(value(&mut i).parse().expect("--threads takes an integer"))
             }
+            "--optimistic" => optimistic = true,
+            "--partitions" => {
+                partitions = Some(value(&mut i).parse().expect("--partitions takes an integer"))
+            }
+            "--budget" => budget = value(&mut i).parse().expect("--budget takes an integer"),
             other => {
                 eprintln!("unknown speculation flag {other:?}");
                 std::process::exit(2);
@@ -419,7 +429,15 @@ fn run_speculation(args: &[String], json: bool) {
         i += 1;
     }
     let workers = sweepsvc::available_workers();
-    let c = speculation::simulate_threaded(problem, ranks, repeat, iterations, workers, threads);
+    let (c, opt) = if optimistic {
+        let parts = partitions.or(threads).unwrap_or(4).max(2);
+        let cfg = cluster_sim::OptConfig::new(parts).with_budget(budget);
+        let (c, counters) =
+            speculation::simulate_optimistic(problem, ranks, repeat, iterations, workers, cfg);
+        (c, Some((parts, counters)))
+    } else {
+        (speculation::simulate_threaded(problem, ranks, repeat, iterations, workers, threads), None)
+    };
     let s = &c.summary;
     let sim_threads = threads
         .or_else(sweepsvc::sim_threads_override)
@@ -446,6 +464,14 @@ fn run_speculation(args: &[String], json: bool) {
             s.max_makespan(),
             s.std_dev_makespan()
         );
+        if let Some((parts, ct)) = &opt {
+            println!("  \"engine\": \"optimistic\",");
+            println!("  \"partitions\": {parts},");
+            println!(
+                "  \"opt\": {{\"rounds\": {}, \"speculated\": {}, \"commits\": {}, \"rollbacks\": {}}},",
+                ct.rounds, ct.speculated, ct.commits, ct.rollbacks
+            );
+        }
         let per_seed: Vec<String> = s
             .replications
             .iter()
@@ -481,6 +507,12 @@ fn run_speculation(args: &[String], json: bool) {
         s.max_makespan(),
         s.std_dev_makespan()
     );
+    if let Some((parts, ct)) = &opt {
+        println!(
+            "optimistic engine  : {parts} partitions, {} rounds, {} speculated ({} commits, {} rollbacks)",
+            ct.rounds, ct.speculated, ct.commits, ct.rollbacks
+        );
+    }
     println!("campaign wall      : {:.2} ms", c.wall.as_secs_f64() * 1e3);
     println!("throughput         : {:.2} M simulated events/s\n", c.events_per_sec() / 1e6);
 }
@@ -529,7 +561,7 @@ fn run_obs(obs: &Obs) {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments [--trace <path>] [--metrics <path>] [--json] <table1|table2|table3|fig1|fig8|fig9|hmcl [--machine <name|path>]|concurrence|ablation|blocking|asci-goals|rendezvous|strong-scaling|sweep [--machine <name|path>] [--backend <list>]|speculation [--threads N]|timeline|obs|robustness|host-validate|csv [dir]|validate|all>"
+        "usage: experiments [--trace <path>] [--metrics <path>] [--json] <table1|table2|table3|fig1|fig8|fig9|hmcl [--machine <name|path>]|concurrence|ablation|blocking|asci-goals|rendezvous|strong-scaling|sweep [--machine <name|path>] [--backend <list>]|speculation [--threads N] [--optimistic]|timeline|obs|robustness|host-validate|csv [dir]|validate|all>"
     );
     std::process::exit(2)
 }

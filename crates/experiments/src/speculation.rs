@@ -9,7 +9,8 @@
 
 use std::time::{Duration, Instant};
 
-use cluster_sim::MachineSpec;
+use cluster_sim::{MachineSpec, OptConfig};
+use obs::MetricValue;
 use pace_core::{HardwareModel, Sweep3dModel, Sweep3dParams};
 use registry::quoted as machines;
 use sweep3d::trace::{generate_program_set, FlopModel};
@@ -287,6 +288,71 @@ pub fn simulate_threaded(
     }
 }
 
+/// Speculation telemetry of an optimistic DES campaign, summed over all
+/// replications (the `opt.*` counters published by
+/// [`sweepsvc::replicate_set_optimistic`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OptCounters {
+    /// Scheduler rounds executed.
+    pub rounds: u64,
+    /// Speculative messages injected.
+    pub speculated: u64,
+    /// Speculations committed (predictions confirmed exactly).
+    pub commits: u64,
+    /// Speculations rolled back.
+    pub rollbacks: u64,
+}
+
+/// [`simulate_threaded`] through the optimistic (Time Warp-style)
+/// partition scheduler: same campaign, same seeds, bit-identical
+/// reports, but windows beyond predicted boundary arrivals are executed
+/// speculatively and rolled back on mispredictions. Returns the usual
+/// campaign plus the rollback/commit counters the run produced.
+pub fn simulate_optimistic(
+    problem: Problem,
+    ranks: usize,
+    repeat: usize,
+    iterations: usize,
+    workers: usize,
+    cfg: OptConfig,
+) -> (DesCampaign, OptCounters) {
+    let t0 = Instant::now();
+    let (px, py) = array_for_ranks(ranks);
+    let mut config = problem.config(px, py);
+    config.iterations = iterations;
+    let fm = FlopModel {
+        flops_per_cell_angle: 21.5,
+        source_flops_per_cell: 2.0,
+        flux_err_flops_per_cell: 3.0,
+    };
+    let set = generate_program_set(&config, &fm);
+    let machine = speculation_machine();
+    let seeds: Vec<u64> = (1..=repeat as u64).map(|i| 0x5EED_0000 + i).collect();
+    let obs = obs::Obs::disabled(); // metrics still record
+    let summary = sweepsvc::replicate_set_optimistic(&machine, &set, &seeds, workers, cfg, &obs)
+        .expect("trace is deadlock-free");
+    let snap = obs.metrics.snapshot();
+    let counter = |name: &str| snap.get(name).and_then(MetricValue::as_counter).unwrap_or(0);
+    let counters = OptCounters {
+        rounds: counter("opt.rounds"),
+        speculated: counter("opt.speculated"),
+        commits: counter("opt.commits"),
+        rollbacks: counter("opt.rollbacks"),
+    };
+    let campaign = DesCampaign {
+        problem,
+        px,
+        py,
+        iterations,
+        streams: set.num_streams(),
+        stored_ops: set.stored_ops(),
+        ops_per_run: set.total_ops(),
+        summary,
+        wall: t0.elapsed(),
+    };
+    (campaign, counters)
+}
+
 /// The pre-engine serial reference path: one model evaluation at a time,
 /// no pool, no cache. Kept as the ground truth the parallel path is
 /// tested against.
@@ -397,6 +463,26 @@ mod tests {
         let plain = simulate(Problem::TwentyMillion, 6, 2, 1, 1);
         let threaded = simulate_threaded(Problem::TwentyMillion, 6, 2, 1, 2, Some(3));
         assert_eq!(plain.summary.replications, threaded.summary.replications);
+    }
+
+    #[test]
+    fn optimistic_campaign_is_bit_identical() {
+        // The Time Warp-style scheduler must not change a single
+        // simulated number — only the wall clock and the opt.* counters.
+        let plain = simulate(Problem::TwentyMillion, 6, 2, 1, 2);
+        let (opt, counters) = simulate_optimistic(
+            Problem::TwentyMillion,
+            6,
+            2,
+            1,
+            2,
+            OptConfig::new(3).with_budget(4),
+        );
+        assert_eq!(plain.summary.replications, opt.summary.replications);
+        assert!(counters.rounds > 0, "no rounds counted: {counters:?}");
+        // An attempt may inject several messages, so the message counter
+        // dominates the attempt counters.
+        assert!(counters.speculated >= counters.commits + counters.rollbacks);
     }
 
     #[test]

@@ -47,7 +47,8 @@ pub use pool::{
     PoolRun, WorkerStats,
 };
 pub use replicate::{
-    campaign, campaign_threaded, replicate, replicate_observed, replicate_set,
-    replicate_set_observed, replicate_set_threaded, Replication, ReplicationSummary, REPLICATE_PID,
+    campaign, campaign_forked, campaign_threaded, replicate, replicate_observed, replicate_set,
+    replicate_set_observed, replicate_set_optimistic, replicate_set_threaded, Replication,
+    ReplicationSummary, REPLICATE_PID,
 };
 pub use spec::{ProblemPoint, Scenario, ScenarioResult, SweepSpec};

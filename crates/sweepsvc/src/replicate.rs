@@ -10,7 +10,7 @@
 
 use std::time::{Duration, Instant};
 
-use cluster_sim::{Engine, MachineSpec, Program, ProgramSet, RunReport, SimResult};
+use cluster_sim::{Engine, MachineSpec, OptConfig, Program, ProgramSet, RunReport, SimResult};
 use obs::{Cat, Obs};
 
 use crate::pool::{self, WorkerStats};
@@ -254,6 +254,152 @@ pub fn campaign_threaded(
     Ok(summaries)
 }
 
+/// [`replicate_set_threaded`] on the optimistic partition scheduler
+/// ([`cluster_sim::Engine::run_optimistic`]) instead of the conservative
+/// one. Results are bit-identical to every other entry point — the
+/// engine's commit gate guarantees it — but the run publishes the
+/// speculation counters (`opt.rounds`, `opt.speculated`, `opt.commits`,
+/// `opt.rollbacks`, summed over seeds) to the metrics registry so
+/// campaigns can watch rollback health.
+pub fn replicate_set_optimistic(
+    machine: &MachineSpec,
+    set: &ProgramSet,
+    seeds: &[u64],
+    workers: usize,
+    cfg: OptConfig,
+    obs: &Obs,
+) -> SimResult<ReplicationSummary> {
+    let rec = &*obs.recorder;
+    if rec.is_enabled() {
+        rec.set_process_name(REPLICATE_PID, format!("replicate {}", machine.name));
+    }
+    let (outer, _) = pool::nested_plan(workers, seeds.len());
+    let run = pool::run_ordered_with_worker(seeds.to_vec(), outer, |worker, &seed| {
+        let t0 = Instant::now();
+        let seeded = machine.clone().with_seed(seed);
+        let result = Engine::from_set(&seeded, set.clone()).run_optimistic_stats(cfg).map(
+            |(report, opt)| (Replication { seed, makespan_secs: report.makespan(), report }, opt),
+        );
+        if rec.is_enabled() {
+            rec.wall_span(
+                REPLICATE_PID,
+                worker as u32,
+                format!("seed:{seed}"),
+                Cat::Task,
+                t0,
+                vec![("seed", seed.into()), ("partitions", cfg.partitions.into())],
+            );
+        }
+        result
+    });
+    let mut replications = Vec::with_capacity(run.results.len());
+    let (mut rounds, mut speculated, mut commits, mut rollbacks) = (0u64, 0u64, 0u64, 0u64);
+    for result in run.results {
+        let (rep, opt) = result?;
+        rounds += opt.rounds;
+        speculated += opt.speculated;
+        commits += opt.commits;
+        rollbacks += opt.rollbacks;
+        replications.push(rep);
+    }
+    obs.metrics.counter_add("replicate.seeds", seeds.len() as u64);
+    obs.metrics.counter_add("opt.rounds", rounds);
+    obs.metrics.counter_add("opt.speculated", speculated);
+    obs.metrics.counter_add("opt.commits", commits);
+    obs.metrics.counter_add("opt.rollbacks", rollbacks);
+    Ok(ReplicationSummary {
+        machine: machine.name.clone(),
+        replications,
+        workers: run.workers,
+        wall: run.wall,
+    })
+}
+
+/// A what-if campaign that **forks a shared simulation prefix** instead
+/// of re-simulating every variant from `t = 0`.
+///
+/// Per seed, the `base` machine runs once up to `fork_after` rank
+/// activations ([`cluster_sim::Engine::run_paused`]); each variant then
+/// resumes an independent [`snapshot`](cluster_sim::Paused::snapshot) of
+/// that paused state with its own hardware
+/// ([`resume_with`](cluster_sim::Paused::resume_with) — "the hardware
+/// changes at the fork point"). Flop-rate what-ifs
+/// ([`MachineSpec::with_cpu_scaled`]) diverge only at compute-event
+/// durations, so the prefix is simulated once per seed rather than once
+/// per `(variant, seed)` — the campaign-level speedup the bench harness
+/// measures.
+///
+/// Digest gate: a variant equal to `base` is bit-identical to an
+/// uninterrupted [`Engine::run`], and every variant is bit-identical to
+/// its own standalone pause-at-`fork_after`-and-swap run. Variants must
+/// keep `base`'s noise class (see
+/// [`cluster_sim::SimError::SnapshotIncompatible`]).
+///
+/// Results are grouped per variant in input order, seeds in input order
+/// — bit-identical for any worker count.
+pub fn campaign_forked(
+    base: &MachineSpec,
+    variants: &[MachineSpec],
+    set: &ProgramSet,
+    seeds: &[u64],
+    fork_after: u64,
+    workers: usize,
+    obs: &Obs,
+) -> SimResult<Vec<ReplicationSummary>> {
+    let rec = &*obs.recorder;
+    if rec.is_enabled() {
+        rec.set_process_name(REPLICATE_PID, format!("campaign {}", base.name));
+    }
+    let (outer, _) = pool::nested_plan(workers, seeds.len());
+    let run = pool::run_ordered_with_worker(seeds.to_vec(), outer, |worker, &seed| {
+        let t0 = Instant::now();
+        let seeded = base.clone().with_seed(seed);
+        let paused = Engine::from_set(&seeded, set.clone()).run_paused(fork_after)?;
+        let mut reps = Vec::with_capacity(variants.len());
+        for variant in variants {
+            // The resumed machine re-seeds like the base: noise-stream
+            // positions travel inside the snapshot, and the run factor
+            // derives from the machine seed.
+            let swapped = variant.clone().with_seed(seed);
+            let report = paused.snapshot().resume_with(&swapped)?;
+            reps.push(Replication { seed, makespan_secs: report.makespan(), report });
+        }
+        if rec.is_enabled() {
+            rec.wall_span(
+                REPLICATE_PID,
+                worker as u32,
+                format!("fork:{seed}"),
+                Cat::Task,
+                t0,
+                vec![
+                    ("seed", seed.into()),
+                    ("variants", variants.len().into()),
+                    ("fork_after", paused.activations().into()),
+                ],
+            );
+        }
+        Ok(reps)
+    });
+    let mut per_seed = Vec::with_capacity(seeds.len());
+    for result in run.results {
+        per_seed.push(result?);
+    }
+    obs.metrics.counter_add("campaign.forks", seeds.len() as u64);
+    obs.metrics.counter_add("campaign.forked_resumes", (seeds.len() * variants.len()) as u64);
+    let mut summaries = Vec::with_capacity(variants.len());
+    for (v, variant) in variants.iter().enumerate() {
+        let replications: Vec<Replication> =
+            per_seed.iter().map(|reps: &Vec<Replication>| reps[v].clone()).collect();
+        summaries.push(ReplicationSummary {
+            machine: variant.name.clone(),
+            replications,
+            workers: run.workers.clone(),
+            wall: run.wall,
+        });
+    }
+    Ok(summaries)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -384,6 +530,93 @@ mod tests {
         assert_eq!(serial.len(), threaded.len());
         for (a, b) in serial.iter().zip(&threaded) {
             assert_eq!(a.machine, b.machine);
+            assert_eq!(a.replications, b.replications);
+        }
+    }
+
+    #[test]
+    fn optimistic_replication_is_bit_identical_and_counts() {
+        let machine = noisy_machine();
+        let set = ProgramSet::from_programs(&ring_programs(6));
+        let seeds = [42u64, 5, 17];
+        let want = replicate_set(&machine, &set, &seeds, 1).unwrap();
+        let obs = obs::Obs::enabled();
+        let got = replicate_set_optimistic(
+            &machine,
+            &set,
+            &seeds,
+            2,
+            cluster_sim::OptConfig::new(3),
+            &obs,
+        )
+        .unwrap();
+        assert_eq!(want.replications, got.replications);
+        let snap = obs.metrics.snapshot();
+        assert!(snap.get("opt.rounds").and_then(obs::MetricValue::as_counter).unwrap_or(0) > 0);
+        assert!(snap.get("opt.commits").is_some());
+        assert!(snap.get("opt.rollbacks").is_some());
+    }
+
+    /// A multi-block ring: compute keeps happening long after any early
+    /// fork point, so post-fork hardware changes are visible.
+    fn blocky_ring(ranks: usize, blocks: usize) -> Vec<Program> {
+        let mut programs = vec![Program::new(); ranks];
+        for (r, prog) in programs.iter_mut().enumerate() {
+            for b in 0..blocks {
+                prog.push(Op::Compute { flops: 2e6, working_set: 1000 });
+                prog.push(Op::Send { to: (r + 1) % ranks, bytes: 512, tag: b as u32 });
+                prog.push(Op::Recv { from: (r + ranks - 1) % ranks, tag: b as u32 });
+            }
+        }
+        programs
+    }
+
+    #[test]
+    fn forked_campaign_identity_variant_matches_uninterrupted_runs() {
+        let base = noisy_machine();
+        let mut faster = base.clone().with_cpu_scaled(1.5);
+        faster.name = "faster".into();
+        let set = ProgramSet::from_programs(&blocky_ring(5, 4));
+        let seeds = [7u64, 8, 9];
+        let variants = [base.clone(), faster.clone()];
+        let forked =
+            campaign_forked(&base, &variants, &set, &seeds, 6, 3, &Obs::disabled()).unwrap();
+        assert_eq!(forked.len(), 2);
+        // The identity variant is bit-identical to from-scratch runs.
+        let standalone = replicate_set(&base, &set, &seeds, 1).unwrap();
+        assert_eq!(forked[0].replications, standalone.replications);
+        // Every variant is bit-identical to its own standalone
+        // pause-and-swap run (no snapshot sharing).
+        for (v, variant) in variants.iter().enumerate() {
+            for (s, &seed) in seeds.iter().enumerate() {
+                let seeded = base.clone().with_seed(seed);
+                let naive = cluster_sim::Engine::from_set(&seeded, set.clone())
+                    .run_paused(6)
+                    .unwrap()
+                    .resume_with(&variant.clone().with_seed(seed))
+                    .unwrap();
+                assert_eq!(
+                    forked[v].replications[s].report, naive,
+                    "variant {v} seed {seed} diverged from naive pause-and-swap"
+                );
+            }
+        }
+        // The faster hardware from the fork point onward actually wins.
+        assert!(forked[1].mean_makespan() < forked[0].mean_makespan());
+    }
+
+    #[test]
+    fn forked_campaign_is_worker_count_invariant() {
+        let base = noisy_machine();
+        let slower = base.clone().with_cpu_scaled(0.8);
+        let set = ProgramSet::from_programs(&ring_programs(4));
+        let seeds = [1u64, 2, 3, 4];
+        let variants = [base.clone(), slower];
+        let serial =
+            campaign_forked(&base, &variants, &set, &seeds, 4, 1, &Obs::disabled()).unwrap();
+        let parallel =
+            campaign_forked(&base, &variants, &set, &seeds, 4, 4, &Obs::disabled()).unwrap();
+        for (a, b) in serial.iter().zip(&parallel) {
             assert_eq!(a.replications, b.replications);
         }
     }

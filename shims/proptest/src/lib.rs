@@ -143,15 +143,16 @@ macro_rules! __proptest_impl {
         $(#[$meta])*
         fn $name() {
             let config: $crate::test_runner::Config = $cfg;
+            let cases = config.effective_cases();
             let mut accepted: u32 = 0;
             let mut attempts: u32 = 0;
-            let max_attempts = config.cases.saturating_mul(20).max(20);
-            while accepted < config.cases {
+            let max_attempts = cases.saturating_mul(20).max(20);
+            while accepted < cases {
                 attempts += 1;
                 assert!(
                     attempts <= max_attempts,
                     "proptest: too many rejected cases ({} attempts for {} target cases)",
-                    attempts, config.cases
+                    attempts, cases
                 );
                 let mut rng = $crate::test_runner::TestRng::for_case(
                     concat!(module_path!(), "::", stringify!($name)),
@@ -171,6 +172,12 @@ macro_rules! __proptest_impl {
                     ::std::result::Result::Ok(()) => accepted += 1,
                     ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {}
                     ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        $crate::test_runner::record_failure(
+                            concat!(module_path!(), "::", stringify!($name)),
+                            attempts,
+                            &msg,
+                            &inputs,
+                        );
                         panic!(
                             "proptest case {} failed: {}\n  {}",
                             attempts, msg, inputs
@@ -227,6 +234,39 @@ mod tests {
             // Existence check only; distribution is tested statistically below.
             let _ = b;
         }
+    }
+
+    #[test]
+    fn effective_cases_is_raise_only() {
+        // Not set (or unparsable): the configured count stands. Note this
+        // test must not *set* the variable — the runner is process-wide
+        // and other tests in this binary read it concurrently.
+        let cfg = crate::test_runner::Config::with_cases(64);
+        match std::env::var("PROPTEST_CASES").ok().and_then(|v| v.trim().parse::<u32>().ok()) {
+            None => assert_eq!(cfg.effective_cases(), 64),
+            Some(env) => assert_eq!(cfg.effective_cases(), env.max(64)),
+        }
+    }
+
+    #[test]
+    fn record_failure_writes_artifact_when_dir_set() {
+        // record_failure reads the env itself; drive it through a scoped
+        // temp dir only if the variable is absent (avoid racing siblings).
+        if std::env::var_os("PROPTEST_FAILURE_DIR").is_some() {
+            return;
+        }
+        let dir = std::env::temp_dir().join("proptest-shim-artifact-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::env::set_var("PROPTEST_FAILURE_DIR", &dir);
+        crate::test_runner::record_failure("mod::path::my_test", 17, "boom", "n = 3");
+        std::env::remove_var("PROPTEST_FAILURE_DIR");
+        let body = std::fs::read_to_string(dir.join("mod--path--my-test-case17.txt"))
+            .expect("artifact file written");
+        assert!(body.contains("test: mod::path::my_test"));
+        assert!(body.contains("case: 17"));
+        assert!(body.contains("boom"));
+        assert!(body.contains("n = 3"));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -12,6 +12,41 @@ impl Config {
     pub fn with_cases(cases: u32) -> Self {
         Config { cases }
     }
+
+    /// The case count actually run: the configured count, raised (never
+    /// lowered) by the `PROPTEST_CASES` environment variable. Raise-only
+    /// means the nightly deep-fuzz job can multiply coverage without
+    /// letting a stray local export silently weaken a suite below what
+    /// its author pinned.
+    pub fn effective_cases(&self) -> u32 {
+        match std::env::var("PROPTEST_CASES").ok().and_then(|v| v.trim().parse::<u32>().ok()) {
+            Some(env) => env.max(self.cases),
+            None => self.cases,
+        }
+    }
+}
+
+/// When `PROPTEST_FAILURE_DIR` is set, persist a reproduction artifact
+/// for a failing case before the panic unwinds: the fully-qualified test
+/// name, the case index (which, with the deterministic per-case RNG, IS
+/// the seed), the failure message and the generated inputs. CI uploads
+/// the directory so a red nightly run hands the developer an exact repro
+/// instead of a log to scrape.
+pub fn record_failure(test_name: &str, case: u32, message: &str, inputs: &str) {
+    let Some(dir) = std::env::var_os("PROPTEST_FAILURE_DIR") else { return };
+    let dir = std::path::PathBuf::from(dir);
+    if std::fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    let slug: String =
+        test_name.chars().map(|c| if c.is_ascii_alphanumeric() { c } else { '-' }).collect();
+    let body = format!(
+        "test: {test_name}\ncase: {case}\nrepro: the per-case RNG is derived from \
+         (test name, case index); re-running this test re-executes this exact case\n\
+         message: {message}\ninputs:\n  {inputs}\n"
+    );
+    // Best-effort: artifact writing must never mask the real failure.
+    let _ = std::fs::write(dir.join(format!("{slug}-case{case}.txt")), body);
 }
 
 impl Default for Config {

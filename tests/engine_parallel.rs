@@ -108,6 +108,37 @@ fn parallel_engine_with_tracing_matches_sequential_spans() {
         .any(|s| s.pid == cluster_sim::PARTITION_PID && s.name.starts_with("window")));
 }
 
+#[test]
+fn zero_lookahead_fallback_warns_once_per_run_across_topologies() {
+    // An ideal machine's free network has zero wire latency, so no
+    // conservative window exists and `run_parallel` must fall back to
+    // sequential execution — warning exactly once per run (the counter
+    // moves by one), at every topology shape: 1xN chains (the pipeline
+    // limit) and a 2x2 mesh (the smallest true wavefront). Results must
+    // still match the sequential engine bit for bit.
+    //
+    // All topologies live in one test fn: the fallback counter is
+    // process-wide, and serializing the runs here keeps each delta
+    // attributable to exactly one of them.
+    let machine = MachineSpec::ideal(150.0);
+    let fm = flop_model();
+    let topologies: &[(usize, usize)] = &[(1, 2), (1, 5), (1, 9), (2, 2)];
+    for &(px, py) in topologies {
+        let set = generate_program_set(&fixture_config(px, py), &fm);
+        let want = Engine::from_set(&machine, set.clone()).run().expect("fixture runs");
+        let before = cluster_sim::zero_lookahead_fallbacks();
+        let (got, stats) = Engine::from_set(&machine, set)
+            .run_parallel_stats(2.min(px * py))
+            .expect("fixture runs");
+        let after = cluster_sim::zero_lookahead_fallbacks();
+        assert_eq!(got, want, "{px}x{py}: fallback run diverged from sequential");
+        assert!(stats.fell_back, "{px}x{py}: zero lookahead must fall back");
+        assert_eq!(stats.lookahead, Some(SimTime::ZERO));
+        assert_eq!(stats.partitions, 1, "{px}x{py}: fallback reports one partition");
+        assert_eq!(after - before, 1, "{px}x{py}: expected exactly one fallback warning");
+    }
+}
+
 /// Random, statically-valid, deadlock-free program sets (same generator
 /// as `engine_golden.rs`): messages in one global total order interleaved
 /// with compute, a collective between rounds.

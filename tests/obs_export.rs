@@ -143,6 +143,93 @@ fn jsonl_lines_validate_and_carry_exact_picoseconds() {
     }
 }
 
+/// The programs of `traced_run`, for runs that need to drive the engine
+/// differently (paused/forked) against the same fixture.
+fn traced_run_programs() -> (cluster_sim::MachineSpec, Vec<Program>) {
+    let mut machine = MachineSpec::ideal(200.0)
+        .with_noise(cluster_sim::NoiseModel::commodity())
+        .with_seed(0xC0FFEE)
+        .with_rendezvous(4096);
+    machine.network = NetworkModel::from_link(10.0, 150.0, 3.0, 4096.0);
+    let ranks = 5;
+    let mut programs = Vec::new();
+    for r in 0..ranks {
+        let mut p = Program::new();
+        for b in 0..6u32 {
+            if r > 0 {
+                p.push(Op::Recv { from: r - 1, tag: b });
+            }
+            p.push(Op::Compute { flops: 2e6, working_set: 4096 });
+            if r + 1 < ranks {
+                p.push(Op::Send { to: r + 1, bytes: if b % 2 == 0 { 512 } else { 8192 }, tag: b });
+            }
+        }
+        p.push(Op::AllReduce { bytes: 16 });
+        programs.push(p);
+    }
+    (machine, programs)
+}
+
+#[test]
+fn paused_resume_emits_the_uninterrupted_span_stream() {
+    // A run paused mid-way and resumed must be invisible in the trace:
+    // the sim-domain span stream (after the recorder's deterministic
+    // sort) equals an uninterrupted traced run's, span for span, and the
+    // exporters serialize both byte-identically.
+    let (rec_full, full) = traced_run(4);
+    let (machine, programs) = traced_run_programs();
+    for pause_after in [1u64, 7, 23, 10_000] {
+        let rec = Recorder::enabled();
+        let resumed = Engine::new(&machine, programs.clone())
+            .with_recorder(&rec, 4)
+            .run_paused(pause_after)
+            .expect("fixture pauses")
+            .resume()
+            .expect("fixture resumes");
+        assert_eq!(resumed, full, "pause @{pause_after}: resumed report diverged");
+        assert_eq!(
+            rec.sim_spans(),
+            rec_full.sim_spans(),
+            "pause @{pause_after}: span streams diverged"
+        );
+        assert_eq!(
+            chrome::export(&rec, false),
+            chrome::export(&rec_full, false),
+            "pause @{pause_after}: chrome exports diverged"
+        );
+        assert_eq!(
+            jsonl::export(&rec, false),
+            jsonl::export(&rec_full, false),
+            "pause @{pause_after}: jsonl exports diverged"
+        );
+    }
+}
+
+#[test]
+fn snapshot_fork_resumes_with_tracing_off_match_the_traced_report() {
+    // Tracing off: the forked resume must still reproduce the traced
+    // run's report exactly, and a disabled recorder must stay empty
+    // through pause, fork and resume.
+    let (_, full) = traced_run(0);
+    let (machine, programs) = traced_run_programs();
+    let rec = Recorder::disabled();
+    let paused = Engine::new(&machine, programs.clone())
+        .with_recorder(&rec, 0)
+        .run_paused(11)
+        .expect("fixture pauses");
+    let fork = paused.snapshot();
+    assert_eq!(fork.resume().expect("fork resumes"), full, "fork diverged (tracing off)");
+    assert_eq!(paused.resume().expect("original resumes"), full, "original diverged");
+    assert!(rec.sim_spans().is_empty(), "disabled recorder captured spans");
+    // And entirely without a recorder attached.
+    let bare = Engine::new(&machine, programs)
+        .run_paused(11)
+        .expect("fixture pauses")
+        .resume()
+        .expect("fixture resumes");
+    assert_eq!(bare, full, "untraced paused resume diverged from the traced report");
+}
+
 #[test]
 fn tracing_does_not_perturb_the_untraced_run() {
     let (_, traced) = traced_run(0);

@@ -345,6 +345,10 @@ pub struct ScenarioResult {
     pub snapshot: Option<SnapshotSide>,
     /// Whether both engines produced bit-identical `RunReport`s.
     pub digest_match: bool,
+    /// Whole-run mechanism attribution of one traced sequential run
+    /// ([`obs::attr`]) — the per-phase columns `bench_report` diffs
+    /// between documents.
+    pub attribution: obs::Rollup,
 }
 
 impl ScenarioResult {
@@ -432,6 +436,21 @@ pub fn run_scenario(s: &BenchScenario) -> ScenarioResult {
         program_bytes: stored_ops * std::mem::size_of::<cluster_sim::SharedOp>(),
         vm_hwm_delta_kb: hwm_window_delta(hwm),
     };
+
+    // Attribution: one traced sequential run per scenario feeds the
+    // per-mechanism rollup columns, and runs the extractor's
+    // path-equals-makespan gate on every benchmark fixture. Outside the
+    // timed repetitions, so it never skews the wall percentiles.
+    let trace = obs::Recorder::enabled();
+    let traced_report = Engine::from_set(&s.machine, set.clone())
+        .with_recorder(&trace, obs::pids::ENGINE)
+        .run()
+        .expect("scenario runs");
+    assert!(traced_report == opt_report, "{}: tracing perturbed the engine", s.name);
+    let attribution = obs::attr::attribute(&trace, obs::pids::ENGINE)
+        .expect("benchmark trace attributes cleanly")
+        .rollup;
+    drop(trace);
 
     // Conservative parallel engine, same shared encoding.
     let parallel = s
@@ -549,6 +568,7 @@ pub fn run_scenario(s: &BenchScenario) -> ScenarioResult {
         optimistic,
         snapshot,
         digest_match: ref_report == opt_report,
+        attribution,
     }
 }
 
@@ -629,7 +649,7 @@ fn snap_json(sn: &SnapshotSide) -> String {
 }
 
 /// Encode results as the `BENCH_engine.json` document (schema
-/// `pace-bench/engine-v3`, hand-rolled JSON — no serializer dependency).
+/// `pace-bench/engine-v4`, hand-rolled JSON — no serializer dependency).
 /// v2 added per-side `vm_hwm_delta_kb` (reset-aware, replacing the
 /// process-lifetime `vm_hwm_kb` of v1), a `parallel` side array with
 /// `<name>_par<threads>_p50_ms` check keys, and the measuring host's
@@ -638,10 +658,15 @@ fn snap_json(sn: &SnapshotSide) -> String {
 /// scheduler with rollback/commit counters, `<name>_opt_after_p50_ms`
 /// check key) and `snapshot` side (forked rate campaign with its
 /// campaign-level prefix-sharing speedup, `<name>_snap_after_p50_ms`).
+/// v4 adds the per-scenario `attribution` object (the deterministic
+/// [`obs::Rollup`] of one traced run, in feature-schema key order) —
+/// `bench_report` renders per-phase deltas from it across documents.
+/// The `check` map is unchanged since v2, so older baselines still
+/// compare (the substring extractor ignores unknown fields).
 pub fn to_json(mode: &str, results: &[ScenarioResult]) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"schema\": \"pace-bench/engine-v3\",\n");
+    out.push_str("  \"schema\": \"pace-bench/engine-v4\",\n");
     out.push_str(&format!("  \"mode\": \"{mode}\",\n"));
     out.push_str(&format!("  \"host_cores\": {},\n", host_cores()));
     out.push_str("  \"scenarios\": [\n");
@@ -672,6 +697,9 @@ pub fn to_json(mode: &str, results: &[ScenarioResult]) -> String {
         if let Some(sn) = &r.snapshot {
             out.push_str(&format!("      \"snapshot\": {},\n", snap_json(sn)));
         }
+        let features: Vec<String> =
+            r.attribution.features().iter().map(|(k, v)| format!("\"{k}\": {v}")).collect();
+        out.push_str(&format!("      \"attribution\": {{{}}},\n", features.join(", ")));
         out.push_str(&format!("      \"speedup_p50\": {:.2},\n", r.speedup_p50()));
         out.push_str(&format!("      \"digest_match\": {}\n", r.digest_match));
         out.push_str(if i + 1 == results.len() { "    }\n" } else { "    },\n" });
@@ -844,6 +872,10 @@ mod tests {
         assert!(r.stored_ops < r.ops_per_run);
         assert!(r.channels > 0 && r.peak_queued > 0);
         assert!(r.optimized.wall.p50_ms > 0.0 && r.reference.wall.p50_ms > 0.0);
+        // The attributed trace covered the run: non-trivial rollup whose
+        // makespan is the extractor-gated span makespan.
+        assert!(r.attribution.makespan_ps > 0 && r.attribution.messages > 0);
+        assert!(r.attribution.compute_ps > 0);
     }
 
     #[test]
@@ -859,9 +891,10 @@ mod tests {
         };
         let r = run_scenario(&s);
         let doc = to_json("smoke", std::slice::from_ref(&r));
-        assert!(doc.contains("\"schema\": \"pace-bench/engine-v3\""));
+        assert!(doc.contains("\"schema\": \"pace-bench/engine-v4\""));
         assert!(doc.contains("\"host_cores\":"));
         assert!(doc.contains("\"vm_hwm_delta_kb\":"));
+        assert!(doc.contains("\"attribution\": {\"rollup.makespan_ps\":"));
         let parsed = baseline_p50_ms(&doc, "unit").expect("check key present");
         assert!((parsed - (r.optimized.wall.p50_ms * 1e3).round() / 1e3).abs() < 1e-9);
         let par = baseline_p50_ms(&doc, "unit_par2").expect("parallel check key present");

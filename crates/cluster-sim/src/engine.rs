@@ -42,7 +42,7 @@
 
 use std::collections::VecDeque;
 
-use obs::{Cat, Recorder};
+use obs::{Cat, EdgeKind, EdgeRecord, Recorder};
 
 use crate::error::{SimError, SimResult};
 use crate::machine::MachineSpec;
@@ -169,6 +169,10 @@ pub(crate) struct Channels {
     pub(crate) send_chan: Vec<Vec<u32>>,
     pub(crate) recv_chan: Vec<Vec<u32>>,
     pub(crate) count: usize,
+    /// First dangling channel id (== the receiver-allocated count). Ids
+    /// at or above this are write-only; causality edges are never
+    /// recorded for them.
+    pub(crate) dangling_base: u32,
 }
 
 pub(crate) fn build_channels(set: &ProgramSet) -> Channels {
@@ -180,6 +184,7 @@ pub(crate) fn build_channels(set: &ProgramSet) -> Channels {
         recv_chan.push((next..next + k as u32).collect());
         next += k as u32;
     }
+    let dangling_base = next;
     let mut send_chan: Vec<Vec<u32>> = Vec::with_capacity(n);
     for r in 0..n {
         let chans = set
@@ -200,7 +205,7 @@ pub(crate) fn build_channels(set: &ProgramSet) -> Channels {
             .collect();
         send_chan.push(chans);
     }
-    Channels { send_chan, recv_chan, count: next as usize }
+    Channels { send_chan, recv_chan, count: next as usize, dangling_base }
 }
 
 /// The simulation engine. Construct with [`Engine::new`] (legacy per-rank
@@ -510,6 +515,30 @@ impl SeqState {
                         let wire_start = clock[r].max(nic_busy[r]).max(posted);
                         nic_busy[r] = wire_start + machine.network.serialization_time(bytes);
                         let arrival = wire_start + machine.network.wire_time(bytes) + jitter;
+                        if let Some(rec) = rec {
+                            // Dangling channels (validation off) have no
+                            // receiver: no causal edge exists.
+                            if (chan as u32) < channels.dangling_base {
+                                rec.sim_edge(EdgeRecord {
+                                    pid,
+                                    kind: EdgeKind::Message,
+                                    chan: chan as u32,
+                                    src: r as u32,
+                                    dst: to as u32,
+                                    tag,
+                                    bytes: bytes as u64,
+                                    send_post: clock[r].picos(),
+                                    recv_post: posted.picos(),
+                                    wire_start: wire_start.picos(),
+                                    recv: arrival.picos(),
+                                    resume: if bytes >= eager_limit {
+                                        nic_busy[r].picos()
+                                    } else {
+                                        clock[r].picos()
+                                    },
+                                });
+                            }
+                        }
                         inflight[chan].push_back(Msg { tag, bytes, arrival });
                         *queued += 1;
                         *peak_queued = (*peak_queued).max(*queued);
@@ -604,6 +633,22 @@ impl SeqState {
                                     let resume = nic_busy[s_rank];
                                     let send_wait = resume.saturating_sub(pend.ready);
                                     if let Some(rec) = rec {
+                                        rec.sim_edge(EdgeRecord {
+                                            pid,
+                                            kind: EdgeKind::Message,
+                                            chan: chan as u32,
+                                            src: s_rank as u32,
+                                            dst: r as u32,
+                                            tag,
+                                            bytes: pend.bytes as u64,
+                                            send_post: pend.ready.picos(),
+                                            recv_post: clock[r].picos(),
+                                            wire_start: wire_start.picos(),
+                                            recv: arrival.picos(),
+                                            resume: resume.picos(),
+                                        });
+                                    }
+                                    if let Some(rec) = rec {
                                         if send_wait > SimTime::ZERO {
                                             rec.sim_span(
                                                 pid,
@@ -688,6 +733,28 @@ impl SeqState {
                                 .max()
                                 .unwrap_or(SimTime::ZERO);
                             let completion = entry + collective_cost(machine, bytes, n);
+                            if let Some(rec) = rec {
+                                // One edge per collective: the smallest
+                                // rank that arrived last set the entry
+                                // time (iterate ranks, not `parked`, so
+                                // every engine resolves ties alike).
+                                let entry_rank =
+                                    (0..n).find(|&x| park_clock[x] == entry).unwrap_or(0) as u32;
+                                rec.sim_edge(EdgeRecord {
+                                    pid,
+                                    kind: EdgeKind::Collective,
+                                    chan: u32::MAX,
+                                    src: entry_rank,
+                                    dst: entry_rank,
+                                    tag: 0,
+                                    bytes: bytes as u64,
+                                    send_post: entry.picos(),
+                                    recv_post: entry.picos(),
+                                    wire_start: entry.picos(),
+                                    recv: completion.picos(),
+                                    resume: entry.picos(),
+                                });
+                            }
                             for &x in parked.iter() {
                                 let waited = completion.saturating_sub(park_clock[x]);
                                 if let Some(rec) = rec {

@@ -74,7 +74,7 @@
 use std::collections::VecDeque;
 use std::time::Instant;
 
-use obs::{Cat, Recorder};
+use obs::{Cat, EdgeKind, EdgeRecord, Recorder};
 
 use crate::engine::{
     build_channels, collective_cost, debug_check_span_totals, Engine, Msg, NoiseBank, St,
@@ -88,7 +88,7 @@ use crate::time::SimTime;
 /// Track group for the optimistic engine's wall-clock telemetry (the
 /// `sim.opt` pid convention). Sim-domain spans keep the caller's pid,
 /// exactly as in a sequential run.
-pub const OPT_PID: u32 = 1003;
+pub const OPT_PID: u32 = obs::pids::OPT;
 
 /// Per-round partition visit order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -347,7 +347,9 @@ fn advance_validation(injected: &[(u32, Msg)], confirmed: &[bool], pool: &[Mail]
 
 /// Restore a mispredicted partition to its checkpoint, back off the
 /// injected channels, and redeliver every real message the speculative
-/// state had absorbed since the checkpoint.
+/// state had absorbed since the checkpoint. `reason` labels the
+/// structured `spec.rollback` event (`mismatch`, `collective`, `finish`,
+/// `quiescence`).
 #[allow(clippy::too_many_arguments)]
 fn roll_back(
     i: usize,
@@ -358,6 +360,7 @@ fn roll_back(
     rec: Option<&Recorder>,
     ctx: &Ctx<'_>,
     t0: Instant,
+    reason: &'static str,
 ) {
     for &(chan, _) in &s.injected {
         preds[chan as usize].disabled = true;
@@ -370,6 +373,20 @@ fn roll_back(
             Cat::Phase,
             t0,
             vec![("injected", s.injected.len().into())],
+        );
+        // The sim-domain rollback timeline: one event per discarded
+        // attempt, at the latest predicted arrival it rested on.
+        let horizon = s.injected.iter().map(|&(_, m)| m.arrival.picos()).max().unwrap_or(0);
+        rec.sim_event(
+            OPT_PID,
+            i as u32,
+            "spec.rollback",
+            horizon,
+            vec![
+                ("injected", s.injected.len().into()),
+                ("replayed", s.replay.len().into()),
+                ("reason", reason.into()),
+            ],
         );
     }
     parts[i] = s.checkpoint;
@@ -649,6 +666,23 @@ impl<'m> Engine<'m> {
                     s.injected.push((chan, msg));
                     s.confirmed.push(false);
                     st.speculated += 1;
+                    if let Some(rec) = rec {
+                        // Straight to the real recorder (not the attempt
+                        // buffer): the prediction timeline must survive a
+                        // rollback to be worth anything.
+                        rec.sim_event(
+                            OPT_PID,
+                            i as u32,
+                            "spec.predict",
+                            msg.arrival.picos(),
+                            vec![
+                                ("chan", (chan as u64).into()),
+                                ("rank", r.into()),
+                                ("bytes", msg.bytes.into()),
+                                ("round", st.rounds.into()),
+                            ],
+                        );
+                    }
                     let spec_ctx = Ctx {
                         set: &set,
                         machine,
@@ -745,13 +779,16 @@ impl<'m> Engine<'m> {
                                 }
                             }
                             if let (Some(rec), Some(buf)) = (rec, s.buf.as_ref()) {
-                                // Replay withheld speculative spans: they
-                                // are now real, with exactly the
-                                // sequential values.
+                                // Replay withheld speculative spans and
+                                // causality edges: they are now real,
+                                // with exactly the sequential values.
                                 for sp in buf.sim_spans() {
                                     rec.sim_span(
                                         sp.pid, sp.tid, sp.name, sp.cat, sp.start, sp.dur, sp.args,
                                     );
+                                }
+                                for e in buf.sim_edges() {
+                                    rec.sim_edge(e);
                                 }
                             }
                             for (dst, b) in s.spec_mail {
@@ -773,6 +810,24 @@ impl<'m> Engine<'m> {
                                     Cat::Phase,
                                     t0,
                                     vec![("injected", s.injected.len().into())],
+                                );
+                                // Predictor hit: every injected arrival
+                                // matched real mail to the picosecond.
+                                let horizon = s
+                                    .injected
+                                    .iter()
+                                    .map(|&(_, m)| m.arrival.picos())
+                                    .max()
+                                    .unwrap_or(0);
+                                rec.sim_event(
+                                    OPT_PID,
+                                    i as u32,
+                                    "spec.commit",
+                                    horizon,
+                                    vec![
+                                        ("injected", s.injected.len().into()),
+                                        ("round", st.rounds.into()),
+                                    ],
                                 );
                             }
                             progressed = true;
@@ -804,7 +859,7 @@ impl<'m> Engine<'m> {
             // restored checkpoints absorb their replay logs first, then
             // this round's mail, preserving per-channel order.
             for (i, s) in dead {
-                roll_back(i, s, &mut parts, &mut preds, &mut st, rec, &ctx, t0);
+                roll_back(i, s, &mut parts, &mut preds, &mut st, rec, &ctx, t0, "mismatch");
             }
 
             // Deliver the backlog in per-channel send order, at most
@@ -862,7 +917,17 @@ impl<'m> Engine<'m> {
             if total_parked == n && specs.iter().any(Option::is_some) {
                 for (i, slot) in specs.iter_mut().enumerate() {
                     if let Some(s) = slot.take() {
-                        roll_back(i, s, &mut parts, &mut preds, &mut st, rec, &ctx, t0);
+                        roll_back(
+                            i,
+                            s,
+                            &mut parts,
+                            &mut preds,
+                            &mut st,
+                            rec,
+                            &ctx,
+                            t0,
+                            "collective",
+                        );
                     }
                 }
                 total_parked = parts.iter().map(|pt| pt.parked.len()).sum();
@@ -880,6 +945,30 @@ impl<'m> Engine<'m> {
                     }
                 }
                 let completion = entry + collective_cost(machine, bytes, n);
+                if let Some(rec) = rec {
+                    // Same tie rule as the sequential engine: the
+                    // smallest global rank that arrived last.
+                    let entry_rank = parts
+                        .iter()
+                        .flat_map(|pt| (pt.lo..pt.hi).map(move |x| (x, pt.park_clock[x - pt.lo])))
+                        .find(|&(_, pc)| pc == entry)
+                        .map(|(x, _)| x as u32)
+                        .unwrap_or(0);
+                    rec.sim_edge(EdgeRecord {
+                        pid,
+                        kind: EdgeKind::Collective,
+                        chan: u32::MAX,
+                        src: entry_rank,
+                        dst: entry_rank,
+                        tag: 0,
+                        bytes: bytes as u64,
+                        send_post: entry.picos(),
+                        recv_post: entry.picos(),
+                        wire_start: entry.picos(),
+                        recv: completion.picos(),
+                        resume: entry.picos(),
+                    });
+                }
                 for pt in parts.iter_mut() {
                     let parked = std::mem::take(&mut pt.parked);
                     for x in parked {
@@ -931,7 +1020,7 @@ impl<'m> Engine<'m> {
             if total_finished == n && specs.iter().any(Option::is_some) {
                 for (i, slot) in specs.iter_mut().enumerate() {
                     if let Some(s) = slot.take() {
-                        roll_back(i, s, &mut parts, &mut preds, &mut st, rec, &ctx, t0);
+                        roll_back(i, s, &mut parts, &mut preds, &mut st, rec, &ctx, t0, "finish");
                     }
                 }
                 total_finished = parts.iter().map(|pt| pt.finished).sum();
@@ -953,7 +1042,17 @@ impl<'m> Engine<'m> {
                 // checkpoints may still have conservative work to do.
                 for (i, slot) in specs.iter_mut().enumerate() {
                     if let Some(s) = slot.take() {
-                        roll_back(i, s, &mut parts, &mut preds, &mut st, rec, &ctx, t0);
+                        roll_back(
+                            i,
+                            s,
+                            &mut parts,
+                            &mut preds,
+                            &mut st,
+                            rec,
+                            &ctx,
+                            t0,
+                            "quiescence",
+                        );
                     }
                 }
             }
@@ -1194,7 +1293,14 @@ mod tests {
             .unwrap();
         assert_eq!(got, want);
         assert_eq!(rec_seq.sim_spans(), rec_opt.sim_spans());
+        assert!(!rec_seq.sim_edges().is_empty());
+        assert_eq!(rec_seq.sim_edges(), rec_opt.sim_edges());
         assert!(st.commits > 0);
+        // Committed predictions leave a structured hit timeline.
+        assert!(rec_opt
+            .events()
+            .iter()
+            .any(|e| e.pid == OPT_PID && e.sim_time && e.name == "spec.commit"));
         assert!(rec_opt
             .wall_spans()
             .iter()
@@ -1217,7 +1323,16 @@ mod tests {
             .unwrap();
         assert_eq!(got, want);
         assert_eq!(rec_seq.sim_spans(), rec_opt.sim_spans());
+        assert_eq!(rec_seq.sim_edges(), rec_opt.sim_edges());
         assert!(st.rollbacks > 0);
+        // Each rollback leaves a structured event with its reason.
+        let rollbacks: Vec<_> = rec_opt
+            .events()
+            .into_iter()
+            .filter(|e| e.pid == OPT_PID && e.sim_time && e.name == "spec.rollback")
+            .collect();
+        assert_eq!(rollbacks.len() as u64, st.rollbacks);
+        assert!(rollbacks.iter().all(|e| e.args.iter().any(|(k, _)| *k == "reason")));
     }
 
     #[test]

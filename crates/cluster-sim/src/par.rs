@@ -65,7 +65,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Barrier, Mutex};
 use std::time::Instant;
 
-use obs::{Cat, Recorder};
+use obs::{Cat, EdgeKind, EdgeRecord, Recorder};
 
 use crate::engine::{
     build_channels, collective_cost, debug_check_span_totals, Channels, Engine, Msg, NoiseBank,
@@ -81,7 +81,7 @@ use crate::time::SimTime;
 /// `sim.partition` pid convention): one track per partition worker plus a
 /// coordinator track for the inter-window drains. Sim-domain spans keep
 /// the caller's pid, exactly as in a sequential run.
-pub const PARTITION_PID: u32 = 1002;
+pub const PARTITION_PID: u32 = obs::pids::PARTITION;
 
 /// Process-wide count of zero-lookahead sequential fallbacks (each one
 /// also prints a single warning line to stderr). Tests assert the
@@ -300,6 +300,26 @@ impl Part {
                             self.nic_busy[li] =
                                 wire_start + machine.network.serialization_time(bytes);
                             let arrival = wire_start + machine.network.wire_time(bytes) + jitter;
+                            if let Some(rec) = rec {
+                                rec.sim_edge(EdgeRecord {
+                                    pid,
+                                    kind: EdgeKind::Message,
+                                    chan,
+                                    src: r as u32,
+                                    dst: to as u32,
+                                    tag,
+                                    bytes: bytes as u64,
+                                    send_post: self.clock[li].picos(),
+                                    recv_post: posted.picos(),
+                                    wire_start: wire_start.picos(),
+                                    recv: arrival.picos(),
+                                    resume: if bytes >= ctx.eager_limit {
+                                        self.nic_busy[li].picos()
+                                    } else {
+                                        self.clock[li].picos()
+                                    },
+                                });
+                            }
                             self.inflight[chan as usize - self.chan_lo].push_back(Msg {
                                 tag,
                                 bytes,
@@ -352,6 +372,26 @@ impl Part {
                             self.nic_busy[li] =
                                 wire_start + machine.network.serialization_time(bytes);
                             let arrival = wire_start + machine.network.wire_time(bytes) + jitter;
+                            if let Some(rec) = rec {
+                                // Below the eager limit the receiver never
+                                // gates, so the edge is fully determined
+                                // sender-side — identical to the sequential
+                                // engine's.
+                                rec.sim_edge(EdgeRecord {
+                                    pid,
+                                    kind: EdgeKind::Message,
+                                    chan,
+                                    src: r as u32,
+                                    dst: to as u32,
+                                    tag,
+                                    bytes: bytes as u64,
+                                    send_post: self.clock[li].picos(),
+                                    recv_post: 0,
+                                    wire_start: wire_start.picos(),
+                                    recv: arrival.picos(),
+                                    resume: self.clock[li].picos(),
+                                });
+                            }
                             self.outbox[dst_part]
                                 .push(Bound::Eager { chan, msg: Msg { tag, bytes, arrival } });
                             self.stats[li].messages_sent += 1;
@@ -422,6 +462,22 @@ impl Part {
                                             let resume = self.nic_busy[ls];
                                             let send_wait = resume.saturating_sub(pend.ready);
                                             if let Some(rec) = rec {
+                                                rec.sim_edge(EdgeRecord {
+                                                    pid,
+                                                    kind: EdgeKind::Message,
+                                                    chan: (chan + self.chan_lo) as u32,
+                                                    src: from as u32,
+                                                    dst: r as u32,
+                                                    tag,
+                                                    bytes: pend.bytes as u64,
+                                                    send_post: pend.ready.picos(),
+                                                    recv_post: self.clock[li].picos(),
+                                                    wire_start: wire_start.picos(),
+                                                    recv: arrival.picos(),
+                                                    resume: resume.picos(),
+                                                });
+                                            }
+                                            if let Some(rec) = rec {
                                                 if send_wait > SimTime::ZERO {
                                                     rec.sim_span(
                                                         pid,
@@ -457,6 +513,28 @@ impl Part {
                                             let arrival = wire_start
                                                 + machine.network.wire_time(pend.bytes)
                                                 + pend.jitter;
+                                            if let Some(rec) = rec {
+                                                // The receiver-side handshake
+                                                // computes values identical to
+                                                // the sequential engine's, so
+                                                // the edge is emitted here (the
+                                                // sender partition only replays
+                                                // the resume).
+                                                rec.sim_edge(EdgeRecord {
+                                                    pid,
+                                                    kind: EdgeKind::Message,
+                                                    chan: (chan + self.chan_lo) as u32,
+                                                    src: from as u32,
+                                                    dst: r as u32,
+                                                    tag,
+                                                    bytes: pend.bytes as u64,
+                                                    send_post: pend.ready.picos(),
+                                                    recv_post: self.clock[li].picos(),
+                                                    wire_start: wire_start.picos(),
+                                                    recv: arrival.picos(),
+                                                    resume: resume.picos(),
+                                                });
+                                            }
                                             self.outbox[ctx.part_of[from] as usize].push(
                                                 Bound::Done {
                                                     src: from as u32,
@@ -675,10 +753,30 @@ impl<'m> Engine<'m> {
         }
         if lookahead == Some(SimTime::ZERO) {
             FALLBACK_WARNINGS.fetch_add(1, Ordering::Relaxed);
-            eprintln!(
-                "cluster-sim: run_parallel({threads}) fell back to sequential execution: \
-                 zero cross-partition wire latency leaves no conservative window"
-            );
+            // Warn exactly once per run: as a structured event on the
+            // engine's own telemetry track when one is attached, on
+            // stderr otherwise.
+            match eng.recorder.filter(|r| r.is_enabled()) {
+                Some(rec) => rec.sim_event(
+                    PARTITION_PID,
+                    0,
+                    "warn.zero_lookahead_fallback",
+                    0,
+                    vec![
+                        ("threads", threads.into()),
+                        ("boundary_channels", boundary_channels.into()),
+                        (
+                            "detail",
+                            "zero cross-partition wire latency leaves no conservative window"
+                                .into(),
+                        ),
+                    ],
+                ),
+                None => eprintln!(
+                    "cluster-sim: run_parallel({threads}) fell back to sequential execution: \
+                     zero cross-partition wire latency leaves no conservative window"
+                ),
+            }
             let report = eng.run_impl()?.0;
             return Ok((
                 report,
@@ -842,6 +940,32 @@ impl<'m> Engine<'m> {
                         }
                     }
                     let completion = entry + collective_cost(machine, bytes, n);
+                    if let Some(rec) = rec {
+                        // Same tie rule as the sequential engine: the
+                        // smallest global rank that arrived last.
+                        let entry_rank = locked
+                            .iter()
+                            .flat_map(|pt| {
+                                (pt.lo..pt.hi).map(move |x| (x, pt.park_clock[x - pt.lo]))
+                            })
+                            .find(|&(_, pc)| pc == entry)
+                            .map(|(x, _)| x as u32)
+                            .unwrap_or(0);
+                        rec.sim_edge(EdgeRecord {
+                            pid,
+                            kind: EdgeKind::Collective,
+                            chan: u32::MAX,
+                            src: entry_rank,
+                            dst: entry_rank,
+                            tag: 0,
+                            bytes: bytes as u64,
+                            send_post: entry.picos(),
+                            recv_post: entry.picos(),
+                            wire_start: entry.picos(),
+                            recv: completion.picos(),
+                            resume: entry.picos(),
+                        });
+                    }
                     for pt in locked.iter_mut() {
                         let parked = std::mem::take(&mut pt.parked);
                         for x in parked {
@@ -1044,9 +1168,11 @@ mod tests {
         let rec_par = Recorder::enabled();
         let got = Engine::new(&m, programs).with_recorder(&rec_par, 3).run_parallel(3).unwrap();
         assert_eq!(got, want, "tracing changed the parallel engine");
-        // The sim-domain span streams are byte-identical after the
-        // recorder's deterministic sort.
+        // The sim-domain span and causality-edge streams are
+        // byte-identical after the recorder's deterministic sort.
         assert_eq!(rec_seq.sim_spans(), rec_par.sim_spans());
+        assert!(!rec_seq.sim_edges().is_empty());
+        assert_eq!(rec_seq.sim_edges(), rec_par.sim_edges());
         // Wall spans document the window structure under sim.partition.
         assert!(rec_par
             .wall_spans()

@@ -23,6 +23,7 @@
 
 pub mod ablation;
 pub mod asci_goals;
+pub mod attribute;
 pub mod blocking;
 pub mod hmcl;
 pub mod host_validation;

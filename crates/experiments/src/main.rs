@@ -27,6 +27,12 @@
 //!                                        (bit-identical, reports commit/rollback counters)
 //! experiments timeline                  pipeline Gantt chart (simulated)
 //! experiments obs                       telemetry demo: phase spans + span/stats cross-check
+//! experiments attribute [--px N] [--py N] [--mode seq|par|opt] [--threads N]
+//!                       [--speedscope <path>] [--check-modes] [--json]
+//!                                        critical-path attribution of a traced run: per-mechanism
+//!                                        makespan breakdown, per-rank slack, top critical edges;
+//!                                        --check-modes proves byte-identical attribution across
+//!                                        all three engine modes, --speedscope writes a profile
 //! experiments csv [dir]                 write tables/figures as CSV files
 //! experiments validate                  all three tables + summary stats
 //! experiments all                       everything above
@@ -39,8 +45,8 @@
 
 use experiments::speculation::Problem;
 use experiments::{
-    ablation, asci_goals, blocking, hmcl, observability, related, rendezvous, report, speculation,
-    strong_scaling, validation, wavefront_fig,
+    ablation, asci_goals, attribute, blocking, hmcl, observability, related, rendezvous, report,
+    speculation, strong_scaling, validation, wavefront_fig,
 };
 use obs::Obs;
 
@@ -561,7 +567,7 @@ fn run_obs(obs: &Obs) {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments [--trace <path>] [--metrics <path>] [--json] <table1|table2|table3|fig1|fig8|fig9|hmcl [--machine <name|path>]|concurrence|ablation|blocking|asci-goals|rendezvous|strong-scaling|sweep [--machine <name|path>] [--backend <list>]|speculation [--threads N] [--optimistic]|timeline|obs|robustness|host-validate|csv [dir]|validate|all>"
+        "usage: experiments [--trace <path>] [--metrics <path>] [--json] <table1|table2|table3|fig1|fig8|fig9|hmcl [--machine <name|path>]|concurrence|ablation|blocking|asci-goals|rendezvous|strong-scaling|sweep [--machine <name|path>] [--backend <list>]|speculation [--threads N] [--optimistic]|timeline|obs|attribute [--mode seq|par|opt] [--speedscope <path>] [--check-modes]|robustness|host-validate|csv [dir]|validate|all>"
     );
     std::process::exit(2)
 }
@@ -572,7 +578,7 @@ fn main() {
     let arg = args.first().cloned().unwrap_or_else(|| usage());
     // Span recording is only paid for when something consumes the spans:
     // a `--trace` export, or the `obs` cross-check itself.
-    let obs = &if flags.trace.is_some() || matches!(arg.as_str(), "obs" | "all") {
+    let obs = &if flags.trace.is_some() || matches!(arg.as_str(), "obs" | "attribute" | "all") {
         Obs::enabled()
     } else {
         Obs::disabled()
@@ -595,6 +601,7 @@ fn main() {
         "speculation" => run_speculation(&args[1..], flags.json),
         "timeline" => run_timeline(),
         "obs" => run_obs(obs),
+        "attribute" => attribute::run(&args[1..], obs, flags.json),
         "robustness" => {
             let r = experiments::robustness::run(
                 &sim_machine("opteron-gige"),

@@ -18,10 +18,10 @@ use sweep3d::trace::{generate_programs, FlopModel};
 
 use crate::validation::{self, RowSpec};
 
-/// Track group of the phase wall spans.
-pub const PHASE_PID: u32 = 2000;
+/// Track group of the phase wall spans (see [`obs::pids`]).
+pub const PHASE_PID: u32 = obs::pids::PHASE;
 /// Track group of the representative measurement's sim spans.
-pub const MEASURE_PID: u32 = 0;
+pub const MEASURE_PID: u32 = obs::pids::ENGINE;
 
 /// One recorded phase.
 #[derive(Debug, Clone, PartialEq)]

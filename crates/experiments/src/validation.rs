@@ -229,8 +229,9 @@ pub fn run_table(label: &str, rows: &[RowSpec], machine: &MachineSpec) -> Valida
 }
 
 /// Spacing between the pid blocks of consecutive validation tables, so
-/// `validate`'s three tables never share a track group in one trace.
-pub const TABLE_PID_STRIDE: u32 = 100;
+/// `validate`'s three tables never share a track group in one trace
+/// (see [`obs::pids`] for the workspace-wide allocation table).
+pub const TABLE_PID_STRIDE: u32 = obs::pids::TABLE_STRIDE;
 
 /// [`run_table`] with telemetry. Every row's simulated measurement is
 /// recorded as a sim-span track group (pid = `pid_base` + row index),

@@ -27,17 +27,21 @@
 //! assert!(trace.contains("\"traceEvents\""));
 //! ```
 
+pub mod attr;
 pub mod chrome;
 pub mod json;
 pub mod jsonl;
 pub mod metrics;
+pub mod pids;
 pub mod span;
+pub mod speedscope;
 
 use std::sync::Arc;
 
+pub use attr::{AttrError, Attribution, Rollup};
 pub use json::Json;
 pub use metrics::{MetricValue, MetricsRegistry, MetricsSnapshot};
-pub use span::{ArgValue, Args, Cat, EventRecord, Recorder, SpanRecord};
+pub use span::{ArgValue, Args, Cat, EdgeKind, EdgeRecord, EventRecord, Recorder, SpanRecord};
 
 /// A recorder + metrics bundle, cheaply cloneable for handing to
 /// subsystems (engines, pools) that record into shared telemetry.

@@ -122,6 +122,91 @@ impl SpanRecord {
     }
 }
 
+/// What kind of causality an [`EdgeRecord`] captures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum EdgeKind {
+    /// A point-to-point message: the receiver's wait ends at `recv`.
+    Message,
+    /// A collective: every participant resumes at `recv`; `src`/`dst`
+    /// name the rank whose late arrival set the entry time.
+    Collective,
+}
+
+impl EdgeKind {
+    /// The kind string used by the exporters.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EdgeKind::Message => "message",
+            EdgeKind::Collective => "collective",
+        }
+    }
+}
+
+/// One message-causality edge in the sim domain: the send that caused a
+/// receive, with every gate timestamp in integer picoseconds.
+///
+/// Like sim spans, edges are a pure function of the run: the sequential,
+/// windowed-parallel and optimistic engines emit identical edge multisets
+/// for the same run, so [`Recorder::sim_edges`] is byte-deterministic.
+///
+/// Timestamp semantics (all ps):
+/// * `send_post` — the sender finished its send overhead and posted the
+///   transfer (for rendezvous handshakes: when the sender parked);
+/// * `recv_post` — the receiver-side clock gating the handshake (0 when
+///   the receiver does not gate, e.g. an eager send below the limit);
+/// * `wire_start` — the transfer left the sender's NIC:
+///   `max(send_post, nic_busy, recv_post)`;
+/// * `recv` — arrival at the receiver (`wire_start + wire + jitter`); for
+///   collectives, the completion time every participant resumes at;
+/// * `resume` — when the sender's buffer was reusable (`send_post` for
+///   eager sends, the serialization end for blocking/rendezvous sends).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EdgeRecord {
+    /// Track group the edge belongs to (same pid as the run's spans).
+    pub pid: u32,
+    /// Message or collective.
+    pub kind: EdgeKind,
+    /// Receiver-allocated channel id (`u32::MAX` for collectives).
+    pub chan: u32,
+    /// Sending rank (for collectives: the rank that set the entry time).
+    pub src: u32,
+    /// Receiving rank (for collectives: same as `src`).
+    pub dst: u32,
+    /// Message tag (0 for collectives).
+    pub tag: u32,
+    /// Payload bytes.
+    pub bytes: u64,
+    /// Sender posted the transfer, ps.
+    pub send_post: u64,
+    /// Receiver-side gate clock, ps (0 when not gating).
+    pub recv_post: u64,
+    /// Wire transfer start, ps.
+    pub wire_start: u64,
+    /// Arrival at the receiver / collective completion, ps.
+    pub recv: u64,
+    /// Sender resume time, ps.
+    pub resume: u64,
+}
+
+impl EdgeRecord {
+    fn sort_key(&self) -> (u32, u64, u64, u32, u32, u32, u32, EdgeKind, u64, u64, u64, u64) {
+        (
+            self.pid,
+            self.recv,
+            self.wire_start,
+            self.src,
+            self.dst,
+            self.chan,
+            self.tag,
+            self.kind,
+            self.bytes,
+            self.send_post,
+            self.recv_post,
+            self.resume,
+        )
+    }
+}
+
 /// One instantaneous event.
 #[derive(Debug, Clone, PartialEq)]
 pub struct EventRecord {
@@ -142,6 +227,7 @@ pub struct EventRecord {
 #[derive(Debug, Default)]
 struct RecorderState {
     sim_spans: Vec<SpanRecord>,
+    sim_edges: Vec<EdgeRecord>,
     wall_spans: Vec<SpanRecord>,
     events: Vec<EventRecord>,
     process_names: BTreeMap<u32, String>,
@@ -237,6 +323,14 @@ impl Recorder {
         });
     }
 
+    /// Record a message-causality edge in the sim domain.
+    pub fn sim_edge(&self, edge: EdgeRecord) {
+        if !self.enabled {
+            return;
+        }
+        self.state().sim_edges.push(edge);
+    }
+
     /// Record an instantaneous virtual-time event (`ts` in picoseconds).
     pub fn sim_event(
         &self,
@@ -291,6 +385,16 @@ impl Recorder {
             ))
         });
         spans
+    }
+
+    /// The sim-domain causality edges, in deterministic order (sorted on
+    /// the full field tuple). Engines that emit identical edge multisets
+    /// therefore produce byte-identical edge streams regardless of how
+    /// their threads interleaved.
+    pub fn sim_edges(&self) -> Vec<EdgeRecord> {
+        let mut edges = self.state().sim_edges.clone();
+        edges.sort_by_key(|e| e.sort_key());
+        edges
     }
 
     /// The wall-domain spans, in recording order (not deterministic).

@@ -1,0 +1,136 @@
+//! Speedscope file-format exporter for the sim-domain span stream.
+//!
+//! Emits the evented [speedscope](https://www.speedscope.app) format —
+//! one evented profile per `(pid, tid)` track, so a traced run opens as
+//! one timeline per rank with open/close events per span. Only the
+//! deterministic sim domain is exported; timestamps are picoseconds
+//! rendered as exact-decimal nanoseconds (integer formatting, no float
+//! rounding), so identical runs export byte-identical documents — the
+//! same guarantee the Chrome exporter gives.
+
+use crate::json::escape;
+use crate::span::{Recorder, SpanRecord};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Exact ps → ns decimal ("1234567 ps" → "1234.567").
+fn ps_to_ns(ps: u64) -> String {
+    format!("{}.{:03}", ps / 1_000, ps % 1_000)
+}
+
+/// Export the recorder's sim spans as a speedscope JSON document named
+/// `name` (shown in the speedscope title bar).
+pub fn export(rec: &Recorder, name: &str) -> String {
+    let spans = rec.sim_spans();
+    let process_names = rec.process_names();
+    let thread_names = rec.thread_names();
+
+    // Frame table: sorted unique span names, so frame ids are stable
+    // regardless of recording interleave.
+    let frame_names: BTreeSet<&str> = spans.iter().map(|s| &*s.name).collect();
+    let frame_ids: BTreeMap<&str, usize> =
+        frame_names.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+
+    let mut tracks: BTreeMap<(u32, u32), Vec<&SpanRecord>> = BTreeMap::new();
+    for s in &spans {
+        tracks.entry((s.pid, s.tid)).or_default().push(s);
+    }
+
+    let mut out = String::with_capacity(4096 + spans.len() * 48);
+    out.push_str("{\"$schema\": \"https://www.speedscope.app/file-format-schema.json\",\n");
+    out.push_str(&format!("\"name\": \"{}\",\n", escape(name)));
+    out.push_str("\"exporter\": \"pace-obs\",\n");
+    out.push_str("\"activeProfileIndex\": 0,\n");
+    out.push_str("\"shared\": {\"frames\": [");
+    for (i, fname) in frame_names.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!("{{\"name\": \"{}\"}}", escape(fname)));
+    }
+    out.push_str("]},\n\"profiles\": [\n");
+
+    for (ti, ((pid, tid), track)) in tracks.iter().enumerate() {
+        let pname = process_names
+            .get(pid)
+            .map(String::as_str)
+            .map(str::to_string)
+            .unwrap_or_else(|| format!("pid {pid}"));
+        let tname = thread_names
+            .get(&(*pid, *tid))
+            .map(String::as_str)
+            .map(str::to_string)
+            .unwrap_or_else(|| format!("tid {tid}"));
+        let end = track.iter().map(|s| s.end()).max().unwrap_or(0);
+        out.push_str(&format!(
+            "  {{\"type\": \"evented\", \"name\": \"{} / {}\", \"unit\": \"nanoseconds\", ",
+            escape(&pname),
+            escape(&tname)
+        ));
+        out.push_str(&format!(
+            "\"startValue\": 0, \"endValue\": {}, \"events\": [\n",
+            ps_to_ns(end)
+        ));
+        for (i, s) in track.iter().enumerate() {
+            let frame = frame_ids[&*s.name];
+            out.push_str(&format!(
+                "    {{\"type\": \"O\", \"frame\": {frame}, \"at\": {}}},\n",
+                ps_to_ns(s.start)
+            ));
+            out.push_str(&format!(
+                "    {{\"type\": \"C\", \"frame\": {frame}, \"at\": {}}}{}\n",
+                ps_to_ns(s.end()),
+                if i + 1 < track.len() { "," } else { "" }
+            ));
+        }
+        out.push_str(&format!("  ]}}{}\n", if ti + 1 < tracks.len() { "," } else { "" }));
+    }
+    out.push_str("]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Json;
+    use crate::span::Cat;
+
+    fn sample() -> Recorder {
+        let rec = Recorder::enabled();
+        rec.set_process_name(0, "run");
+        rec.set_thread_name(0, 0, "rank 0");
+        rec.sim_span(0, 0, "compute", Cat::Compute, 0, 2_500, vec![]);
+        rec.sim_span(0, 0, "send", Cat::Comm, 2_500, 1_000, vec![]);
+        rec.sim_span(0, 1, "recv_wait", Cat::Idle, 0, 4_000, vec![]);
+        rec
+    }
+
+    #[test]
+    fn export_parses_and_names_tracks() {
+        let doc = export(&sample(), "demo");
+        let json = Json::parse(&doc).expect("valid JSON");
+        assert_eq!(json.get("name").and_then(Json::as_str), Some("demo"));
+        let profiles = json.get("profiles").and_then(Json::as_arr).unwrap();
+        assert_eq!(profiles.len(), 2);
+        assert_eq!(profiles[0].get("name").and_then(Json::as_str), Some("run / rank 0"));
+        assert_eq!(profiles[0].get("unit").and_then(Json::as_str), Some("nanoseconds"));
+        // 3500 ps end on track 0 → 3.5 ns.
+        assert_eq!(profiles[0].get("endValue").and_then(Json::as_f64), Some(3.5));
+        let events = profiles[0].get("events").and_then(Json::as_arr).unwrap();
+        assert_eq!(events.len(), 4); // two spans, O + C each
+        assert_eq!(events[0].get("type").and_then(Json::as_str), Some("O"));
+        assert_eq!(events[1].get("type").and_then(Json::as_str), Some("C"));
+        assert_eq!(events[1].get("at").and_then(Json::as_f64), Some(2.5));
+    }
+
+    #[test]
+    fn export_is_byte_deterministic() {
+        assert_eq!(export(&sample(), "demo"), export(&sample(), "demo"));
+    }
+
+    #[test]
+    fn ps_to_ns_is_exact_decimal() {
+        assert_eq!(ps_to_ns(0), "0.000");
+        assert_eq!(ps_to_ns(1_234_567), "1234.567");
+        assert_eq!(ps_to_ns(999), "0.999");
+    }
+}

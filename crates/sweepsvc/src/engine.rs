@@ -157,8 +157,8 @@ pub struct SweepEngine {
     obs: Obs,
 }
 
-/// Track group used for the sweep engine's wall spans.
-pub const SWEEP_PID: u32 = 1000;
+/// Track group used for the sweep engine's wall spans (see [`obs::pids`]).
+pub const SWEEP_PID: u32 = obs::pids::SWEEP;
 
 impl SweepEngine {
     /// An engine using all available parallelism.

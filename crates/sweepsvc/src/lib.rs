@@ -48,7 +48,7 @@ pub use pool::{
 };
 pub use replicate::{
     campaign, campaign_forked, campaign_threaded, replicate, replicate_observed, replicate_set,
-    replicate_set_observed, replicate_set_optimistic, replicate_set_threaded, Replication,
-    ReplicationSummary, REPLICATE_PID,
+    replicate_set_attributed, replicate_set_observed, replicate_set_optimistic,
+    replicate_set_threaded, Replication, ReplicationSummary, REPLICATE_PID,
 };
 pub use spec::{ProblemPoint, Scenario, ScenarioResult, SweepSpec};

@@ -15,8 +15,8 @@ use obs::{Cat, Obs};
 
 use crate::pool::{self, WorkerStats};
 
-/// Track group used for replication wall spans.
-pub const REPLICATE_PID: u32 = 1001;
+/// Track group used for replication wall spans (see [`obs::pids`]).
+pub const REPLICATE_PID: u32 = obs::pids::REPLICATE;
 
 /// One seeded simulation run.
 #[derive(Debug, Clone, PartialEq)]
@@ -27,6 +27,9 @@ pub struct Replication {
     pub makespan_secs: f64,
     /// Full per-rank statistics.
     pub report: RunReport,
+    /// Whole-run mechanism attribution ([`obs::Rollup`]), present when
+    /// the run was traced through [`replicate_set_attributed`].
+    pub rollup: Option<obs::Rollup>,
 }
 
 /// Merged statistics of a replication campaign.
@@ -86,6 +89,42 @@ impl ReplicationSummary {
             return 0.0;
         }
         self.replications.iter().map(|r| r.report.mean_compute_fraction()).sum::<f64>() / n as f64
+    }
+
+    /// Per-seed attribution columns as a markdown table — the campaign
+    /// output for runs traced through [`replicate_set_attributed`].
+    /// `None` unless every replication carries a rollup.
+    pub fn attribution_markdown(&self) -> Option<String> {
+        use std::fmt::Write as _;
+        let rollups: Vec<&obs::Rollup> =
+            self.replications.iter().map(|r| r.rollup.as_ref()).collect::<Option<_>>()?;
+        let ms = |ps: u64| ps as f64 / 1e9;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "| seed | makespan (ms) | compute | send ovh | recv ovh | blocked | fill | blk idle | drain | collective | wire | msgs | rdv |"
+        );
+        let _ = writeln!(out, "|---|---|---|---|---|---|---|---|---|---|---|---|---|");
+        for (rep, ro) in self.replications.iter().zip(&rollups) {
+            let _ = writeln!(
+                out,
+                "| {:#x} | {:.3} | {:.3} | {:.3} | {:.3} | {:.3} | {:.3} | {:.3} | {:.3} | {:.3} | {:.3} | {} | {} |",
+                rep.seed,
+                ms(ro.makespan_ps),
+                ms(ro.compute_ps),
+                ms(ro.send_overhead_ps),
+                ms(ro.recv_overhead_ps),
+                ms(ro.blocked_send_ps),
+                ms(ro.fill_ps),
+                ms(ro.blocking_idle_ps),
+                ms(ro.drain_ps),
+                ms(ro.collective_ps),
+                ms(ro.wire_ps),
+                ro.messages,
+                ro.rendezvous,
+            );
+        }
+        Some(out)
     }
 }
 
@@ -169,9 +208,9 @@ pub fn replicate_set_threaded(
     let run = pool::run_ordered_with_worker(seeds.to_vec(), outer, |worker, &seed| {
         let t0 = Instant::now();
         let seeded = machine.clone().with_seed(seed);
-        let result = Engine::from_set(&seeded, set.clone())
-            .run_parallel(inner)
-            .map(|report| Replication { seed, makespan_secs: report.makespan(), report });
+        let result = Engine::from_set(&seeded, set.clone()).run_parallel(inner).map(|report| {
+            Replication { seed, makespan_secs: report.makespan(), report, rollup: None }
+        });
         if rec.is_enabled() {
             rec.wall_span(
                 REPLICATE_PID,
@@ -198,6 +237,69 @@ pub fn replicate_set_threaded(
     obs.metrics.counter_add("replicate.seeds", seeds.len() as u64);
     obs.metrics.gauge_set("wall.replicate.merge_us", merge_started.elapsed().as_micros() as f64);
     Ok(summary)
+}
+
+/// [`replicate_set_observed`] with per-seed critical-path attribution:
+/// each seeded run is traced into a private recorder and attributed with
+/// [`obs::attr::attribute`] — the extractor's path-equals-makespan gate
+/// runs for every seed — and the whole-run mechanism [`obs::Rollup`]
+/// rides along on each [`Replication`]. Render the columns with
+/// [`ReplicationSummary::attribution_markdown`]. The simulated numbers
+/// are bit-identical to [`replicate_set`]; only `rollup` differs.
+pub fn replicate_set_attributed(
+    machine: &MachineSpec,
+    set: &ProgramSet,
+    seeds: &[u64],
+    workers: usize,
+    obs: &Obs,
+) -> SimResult<ReplicationSummary> {
+    let rec = &*obs.recorder;
+    if rec.is_enabled() {
+        rec.set_process_name(REPLICATE_PID, format!("replicate {}", machine.name));
+    }
+    let (outer, planned) = pool::nested_plan(workers, seeds.len());
+    let inner = pool::sim_threads_override().unwrap_or(planned).max(1);
+    let run = pool::run_ordered_with_worker(seeds.to_vec(), outer, |worker, &seed| {
+        let t0 = Instant::now();
+        let seeded = machine.clone().with_seed(seed);
+        let trace = obs::Recorder::enabled();
+        let result = Engine::from_set(&seeded, set.clone())
+            .with_recorder(&trace, obs::pids::ENGINE)
+            .run_parallel(inner)
+            .map(|report| {
+                let a = obs::attr::attribute(&trace, obs::pids::ENGINE)
+                    .expect("traced replication attributes cleanly");
+                Replication {
+                    seed,
+                    makespan_secs: report.makespan(),
+                    report,
+                    rollup: Some(a.rollup),
+                }
+            });
+        if rec.is_enabled() {
+            rec.wall_span(
+                REPLICATE_PID,
+                worker as u32,
+                format!("seed:{seed}"),
+                Cat::Task,
+                t0,
+                vec![("seed", seed.into()), ("attributed", 1u64.into())],
+            );
+        }
+        result
+    });
+    let mut replications = Vec::with_capacity(run.results.len());
+    for result in run.results {
+        replications.push(result?);
+    }
+    obs.metrics.counter_add("replicate.seeds", seeds.len() as u64);
+    obs.metrics.counter_add("replicate.attributed", seeds.len() as u64);
+    Ok(ReplicationSummary {
+        machine: machine.name.clone(),
+        replications,
+        workers: run.workers,
+        wall: run.wall,
+    })
 }
 
 /// A what-if campaign: every machine variant (procurement candidates,
@@ -235,6 +337,7 @@ pub fn campaign_threaded(
             seed,
             makespan_secs: report.makespan(),
             report,
+            rollup: None,
         })
     });
     let mut results = run.results.into_iter();
@@ -278,7 +381,9 @@ pub fn replicate_set_optimistic(
         let t0 = Instant::now();
         let seeded = machine.clone().with_seed(seed);
         let result = Engine::from_set(&seeded, set.clone()).run_optimistic_stats(cfg).map(
-            |(report, opt)| (Replication { seed, makespan_secs: report.makespan(), report }, opt),
+            |(report, opt)| {
+                (Replication { seed, makespan_secs: report.makespan(), report, rollup: None }, opt)
+            },
         );
         if rec.is_enabled() {
             rec.wall_span(
@@ -362,7 +467,7 @@ pub fn campaign_forked(
             // derives from the machine seed.
             let swapped = variant.clone().with_seed(seed);
             let report = paused.snapshot().resume_with(&swapped)?;
-            reps.push(Replication { seed, makespan_secs: report.makespan(), report });
+            reps.push(Replication { seed, makespan_secs: report.makespan(), report, rollup: None });
         }
         if rec.is_enabled() {
             rec.wall_span(
@@ -532,6 +637,33 @@ mod tests {
             assert_eq!(a.machine, b.machine);
             assert_eq!(a.replications, b.replications);
         }
+    }
+
+    #[test]
+    fn attributed_replication_matches_plain_and_renders_columns() {
+        let machine = noisy_machine();
+        let set = ProgramSet::from_programs(&ring_programs(4));
+        let seeds = [11u64, 22, 33];
+        let plain = replicate_set(&machine, &set, &seeds, 1).unwrap();
+        let attributed =
+            replicate_set_attributed(&machine, &set, &seeds, 2, &Obs::disabled()).unwrap();
+        // Attribution must not perturb the simulated numbers.
+        for (a, b) in plain.replications.iter().zip(&attributed.replications) {
+            assert_eq!(a.report, b.report);
+            let ro = b.rollup.expect("attributed run carries a rollup");
+            // The extractor's gate: rollup makespan is the report's, exactly.
+            let makespan_ps = b.report.ranks.iter().map(|r| r.finish.picos()).max().unwrap();
+            assert_eq!(ro.makespan_ps, makespan_ps);
+            assert!(ro.messages > 0);
+        }
+        // Worker-count invariance extends to the rollup columns.
+        let serial = replicate_set_attributed(&machine, &set, &seeds, 1, &Obs::disabled()).unwrap();
+        assert_eq!(serial.replications, attributed.replications);
+        let table = attributed.attribution_markdown().expect("all rollups present");
+        assert!(table.contains("| seed | makespan (ms) |"), "{table}");
+        assert_eq!(table.lines().count(), 2 + seeds.len());
+        // Plain campaigns have no attribution columns to render.
+        assert!(plain.attribution_markdown().is_none());
     }
 
     #[test]

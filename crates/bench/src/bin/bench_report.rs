@@ -1,19 +1,22 @@
-//! `bench-report` — render BENCH_engine.json histories as a markdown
-//! trend summary with per-phase attribution deltas.
+//! `bench-report` — render BENCH_engine.json / BENCH_sweep.json
+//! histories as a markdown trend summary.
 //!
 //! ```text
 //! bench_report <doc.json> [<older.json> ...]
 //! ```
 //!
 //! Documents are given newest first; the first one is the subject, every
-//! later one a history point. For each scenario the report shows the
-//! wall-clock trend (after/parallel/optimistic medians) and, for schema
-//! v4 documents, the attribution columns (compute / wire / blocking idle
-//! / fill / drain / collective milliseconds) with signed deltas of the
-//! subject against the oldest document that has the scenario — so a
-//! makespan shift is immediately attributed to the mechanism that moved.
-//! Output is plain markdown on stdout (CI appends it to the step
-//! summary); exits non-zero on unreadable or unparseable input.
+//! later one a history point. For engine documents each scenario shows
+//! the wall-clock trend (after/parallel/optimistic medians) and, for
+//! schema v4 documents, the attribution columns (compute / wire /
+//! blocking idle / fill / drain / collective milliseconds) with signed
+//! deltas of the subject against the oldest document that has the
+//! scenario — so a makespan shift is immediately attributed to the
+//! mechanism that moved. Sweep documents (`pace-bench/sweep-*`) show the
+//! naive vs planned medians, the campaign speedup, and the planner /
+//! cache counters instead. Output is plain markdown on stdout (CI
+//! appends it to the step summary); exits non-zero on unreadable or
+//! unparseable input.
 
 use obs::Json;
 
@@ -44,6 +47,61 @@ fn find_scenario<'a>(doc: &'a Json, name: &str) -> Option<&'a Json> {
         .find(|s| s.get("name").and_then(Json::as_str) == Some(name))
 }
 
+/// Sweep-document rendering: the naive/planned wall trend per scenario
+/// plus the subject's planner and cache counters.
+fn render_sweep(docs: &[(String, Json)], subject_label: &str, schema: &str, mode: &str) {
+    let (_, subject) = &docs[0];
+    println!("## Sweep benchmark report: {subject_label} ({schema}, {mode} mode)\n");
+    let scenarios: Vec<&str> = subject
+        .get("scenarios")
+        .and_then(Json::as_arr)
+        .map(|arr| arr.iter().filter_map(|s| s.get("name").and_then(Json::as_str)).collect())
+        .unwrap_or_default();
+    if scenarios.is_empty() {
+        eprintln!("{subject_label}: no scenarios in document");
+        std::process::exit(1);
+    }
+    let fmt = |v: Option<f64>| v.map_or("—".to_string(), |x| format!("{x:.3}"));
+    for name in scenarios {
+        println!("### {name}\n");
+        println!("| document | naive p50 (ms) | planned p50 (ms) | speedup | digest |");
+        println!("|---|---|---|---|---|");
+        for (label, doc) in docs {
+            let Some(sc) = find_scenario(doc, name) else { continue };
+            println!(
+                "| {label} | {} | {} | {} | {} |",
+                fmt(scenario_p50(sc, "naive")),
+                fmt(scenario_p50(sc, "planned")),
+                sc.get("speedup_p50")
+                    .and_then(Json::as_f64)
+                    .map_or("—".to_string(), |x| format!("{x:.2}x")),
+                match sc.get("digest_match").and_then(Json::as_bool) {
+                    Some(true) => "ok",
+                    Some(false) => "**MISMATCH**",
+                    None => "—",
+                },
+            );
+        }
+        println!();
+        let count = |obj: &str, key: &str| {
+            find_scenario(subject, name)
+                .and_then(|s| s.get(obj)?.get(key)?.as_f64())
+                .map_or("—".to_string(), |v| format!("{v}"))
+        };
+        println!(
+            "_plan: {} jobs ({} deduped), {} fork groups / {} resumes / {} fallbacks; cache: {} hits / {} misses / {} evictions_\n",
+            count("plan", "jobs"),
+            count("plan", "deduped"),
+            count("plan", "groups"),
+            count("plan", "fork_resumes"),
+            count("plan", "fallbacks"),
+            count("cache", "hits"),
+            count("cache", "misses"),
+            count("cache", "evictions"),
+        );
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
@@ -69,6 +127,10 @@ fn main() {
     let (subject_label, subject) = &docs[0];
     let schema = subject.get("schema").and_then(Json::as_str).unwrap_or("?");
     let mode = subject.get("mode").and_then(Json::as_str).unwrap_or("?");
+    if schema.starts_with("pace-bench/sweep") {
+        render_sweep(&docs, subject_label, schema, mode);
+        return;
+    }
     println!("## Engine benchmark report: {subject_label} ({schema}, {mode} mode)\n");
 
     let scenarios: Vec<&str> = subject

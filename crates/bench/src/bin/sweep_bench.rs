@@ -1,0 +1,94 @@
+//! `sweep-bench` — the tracked campaign-planner benchmark (see
+//! `pace_bench::sweep` and EXPERIMENTS.md "Campaign planner").
+//!
+//! ```text
+//! sweep-bench [--smoke] [--out <path>] [--check <baseline.json>] [--max-regression <factor>]
+//! ```
+//!
+//! Writes the measured document to `--out` (default `BENCH_sweep.json`
+//! in the current directory). With `--check`, exits non-zero when either
+//! side of any scenario regressed more than the factor (default 2.0)
+//! against the baseline document. A planned campaign that is not
+//! byte-identical to the naive one fails unconditionally.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut smoke = false;
+    let mut out = String::from("BENCH_sweep.json");
+    let mut check: Option<String> = None;
+    let mut factor = 2.0f64;
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: &mut usize| -> String {
+            *i += 1;
+            args.get(*i).cloned().unwrap_or_else(|| {
+                eprintln!("{} requires a value", args[*i - 1]);
+                std::process::exit(2);
+            })
+        };
+        match args[i].as_str() {
+            "--smoke" => smoke = true,
+            "--out" => out = value(&mut i),
+            "--check" => check = Some(value(&mut i)),
+            "--max-regression" => {
+                factor = value(&mut i).parse().expect("--max-regression takes a float")
+            }
+            other => {
+                eprintln!("unknown flag {other:?}");
+                eprintln!(
+                    "usage: sweep-bench [--smoke] [--out <path>] [--check <baseline.json>] [--max-regression <factor>]"
+                );
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let mode = if smoke { "smoke" } else { "full" };
+    let mut results = Vec::new();
+    for scenario in pace_bench::sweep::sweep_scenarios(smoke) {
+        eprintln!("running {} ({} reps per side)...", scenario.name, scenario.reps);
+        let r = pace_bench::sweep::run_sweep_scenario(&scenario);
+        eprintln!(
+            "  {}: naive p50 {:.1} ms, planned p50 {:.1} ms ({:.2}x), {} scenarios -> {} jobs ({} deduped), {} fork groups / {} resumes / {} fallbacks, cache {} hit / {} miss / {} evicted, digest_match={}",
+            r.name,
+            r.naive.p50_ms,
+            r.planned.p50_ms,
+            r.speedup_p50(),
+            r.scenarios,
+            r.plan.jobs,
+            r.plan.deduped,
+            r.plan.groups,
+            r.plan.fork_resumes,
+            r.plan.fallbacks,
+            r.cache.hits,
+            r.cache.misses,
+            r.cache.evictions,
+            r.digest_match
+        );
+        if !r.digest_match {
+            eprintln!(
+                "FATAL: {}: planned campaign diverged from the naive results — benchmark numbers are meaningless",
+                r.name
+            );
+            std::process::exit(1);
+        }
+        results.push(r);
+    }
+
+    let doc = pace_bench::sweep::sweep_to_json(mode, &results);
+    std::fs::write(&out, &doc).expect("write benchmark document");
+    eprintln!("wrote {out}");
+
+    if let Some(path) = check {
+        let baseline =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read baseline {path}: {e}"));
+        match pace_bench::sweep::check_sweep_regressions(&results, &baseline, factor) {
+            Ok(()) => eprintln!("regression check against {path}: ok (limit {factor}x)"),
+            Err(msg) => {
+                eprintln!("regression check against {path} FAILED:\n{msg}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -18,6 +18,8 @@
 //! baseline. See EXPERIMENTS.md ("Tracked engine benchmarks") for the
 //! schema and the blessing procedure.
 
+pub mod sweep;
+
 use std::time::Instant;
 
 use cluster_sim::{Engine, MachineSpec, NoiseModel, OptConfig, ReferenceEngine, RunReport};

@@ -1,0 +1,443 @@
+//! Campaign-planner benchmark: naive vs planned sweep execution
+//! (`sweep_bench` binary, tracked as `BENCH_sweep.json`).
+//!
+//! Each scenario is one campaign spec evaluated twice per repetition,
+//! each time from a cold cache: once through [`SweepEngine::run`] (every
+//! scenario simulated from activation zero) and once through
+//! [`SweepEngine::run_planned`] (grid dedup + snapshot-prefix sharing +
+//! the bounded LRU). Both sides run on **one worker**, so the planner's
+//! speedup measures prefix sharing and dedup, not pool parallelism. The
+//! planned campaign must match the naive one byte-for-byte — a digest
+//! mismatch makes the numbers meaningless and fails the binary outright.
+//!
+//! The document schema is `pace-bench/sweep-v1`; its flat `check` map
+//! carries `<name>_naive_after_p50_ms` and `<name>_planned_after_p50_ms`
+//! keys, so [`crate::baseline_p50_ms`]'s substring extractor works
+//! unchanged. CI runs `sweep_bench --smoke --check
+//! crates/bench/baseline_sweep_smoke.json` and fails on >2× regressions
+//! (see `.github/workflows/ci.yml`, job `bench-sweep`).
+
+use std::time::Instant;
+
+use cluster_sim::Engine;
+use pace_core::Sweep3dParams;
+use sweepsvc::{CacheStats, PlanStats, SweepEngine, SweepSpec};
+use wavefront_models::Backend;
+
+use crate::WallStats;
+
+/// Which parameter family a scenario's problems come from.
+#[derive(Debug, Clone, Copy)]
+pub enum ProblemKind {
+    /// `Sweep3dParams::speculative_20m` — the Fig. 8/9 fixed-20M-cell
+    /// speculation family (DES scenarios).
+    Speculative20m,
+    /// `Sweep3dParams::weak_scaling_50cubed` — the validation-table
+    /// weak-scaling family (analytic scenarios).
+    WeakScaling50,
+}
+
+/// One tracked sweep-bench scenario: a campaign spec plus measurement
+/// knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepBenchScenario {
+    /// Stable scenario name (the key the regression check joins on).
+    pub name: &'static str,
+    /// `(px, py)` processor arrays swept as problem points.
+    pub problems: &'static [(usize, usize)],
+    /// Parameter family the problems are drawn from.
+    pub kind: ProblemKind,
+    /// Override `iterations` on every problem (DES fixtures cut this to
+    /// keep repetitions affordable).
+    pub iterations: Option<usize>,
+    /// Override `nz` on every problem (same reason).
+    pub nz: Option<usize>,
+    /// Flop-rate what-if axis.
+    pub multipliers: &'static [f64],
+    /// Predictor backend for every scenario of the campaign.
+    pub backend: Backend,
+    /// Register the machine twice, making half the grid bit-identical
+    /// duplicates — the planner's dedup axis.
+    pub duplicate_machine: bool,
+    /// Per-shard LRU bound for both sides (`None` = unbounded).
+    pub cache_capacity: Option<usize>,
+    /// Fork DES scenarios from a shared snapshot at half the base
+    /// problem's activation count (discovered by [`Self::fork_point`]).
+    pub fork: bool,
+    /// Timed repetitions per side.
+    pub reps: usize,
+}
+
+fn bench_machine() -> registry::MachineSpec {
+    registry::builtin("opteron-myrinet").expect("opteron-myrinet is a builtin")
+}
+
+impl SweepBenchScenario {
+    fn params(&self, px: usize, py: usize) -> Sweep3dParams {
+        let mut p = match self.kind {
+            ProblemKind::Speculative20m => Sweep3dParams::speculative_20m(px, py),
+            ProblemKind::WeakScaling50 => Sweep3dParams::weak_scaling_50cubed(px, py),
+        };
+        if let Some(it) = self.iterations {
+            p.iterations = it;
+        }
+        if let Some(nz) = self.nz {
+            p.nz = nz;
+        }
+        p
+    }
+
+    /// Largest rank count across the scenario's problem points.
+    pub fn ranks(&self) -> usize {
+        self.problems.iter().map(|&(px, py)| px * py).max().unwrap_or(0)
+    }
+
+    /// Fork at half the base problem's activation count, discovered by
+    /// running the unscaled sim twin to completion once. Computed here —
+    /// not inside the timed repetitions — so the probe run never pollutes
+    /// either side's wall clock.
+    pub fn fork_point(&self) -> u64 {
+        let (px, py) = self.problems[0];
+        let params = self.params(px, py);
+        let machine = bench_machine();
+        let sim = machine.sim.as_ref().expect("opteron-myrinet carries a sim twin");
+        let set = wavefront_models::dessim::program_set(&params).expect("program set");
+        let paused = Engine::from_set(sim, set).run_paused(u64::MAX).expect("fork-point probe run");
+        paused.activations() / 2
+    }
+
+    /// Expand the scenario into the campaign spec both sides execute.
+    pub fn spec(&self) -> SweepSpec {
+        let machine = bench_machine();
+        let mut spec = SweepSpec::new().machine(machine.clone());
+        if self.duplicate_machine {
+            spec = spec.machine(machine);
+        }
+        spec = spec.rate_multipliers(self.multipliers.to_vec()).backends(vec![self.backend]);
+        for &(px, py) in self.problems {
+            spec = spec.problem(format!("{px}x{py}"), self.params(px, py));
+        }
+        if self.fork {
+            spec = spec.des_fork(self.fork_point());
+        }
+        spec
+    }
+}
+
+/// The tracked scenario set. Smoke mode keeps the two release-cheap
+/// campaigns CI measures on every push; full mode adds the 8000-rank
+/// Fig. 9 shape.
+pub fn sweep_scenarios(smoke: bool) -> Vec<SweepBenchScenario> {
+    let mut scenarios = vec![
+        // Fig. 9-style rate what-if at 64 PEs: one machine, one problem
+        // cell, five flop-rate variants diverging only in compute-event
+        // durations. The planner pays the shared prefix once and replays
+        // five suffixes; with the fork at the halfway activation the
+        // ideal campaign speedup is 2V/(V+1) = 1.67x for V = 5.
+        SweepBenchScenario {
+            name: "rate_what_if_64pe",
+            problems: &[(8, 8)],
+            kind: ProblemKind::Speculative20m,
+            iterations: Some(1),
+            nz: Some(20),
+            multipliers: &[1.0, 1.1, 1.25, 1.4, 1.5],
+            backend: Backend::DesSim,
+            duplicate_machine: false,
+            cache_capacity: None,
+            fork: true,
+            reps: 5,
+        },
+        // Analytic grid with a duplicated machine entry (half the grid
+        // folds onto the other half) under heavy LRU pressure (one entry
+        // per shard). Exercises the dedup and eviction counters; the
+        // naive side's duplicates mostly hit the subtask cache, so the
+        // wall-clock gap here is small by design.
+        SweepBenchScenario {
+            name: "analytic_dedup_grid",
+            problems: &[(2, 2), (4, 4), (6, 6)],
+            kind: ProblemKind::WeakScaling50,
+            iterations: None,
+            nz: None,
+            multipliers: &[1.0, 1.1, 1.2, 1.3, 1.4, 1.5],
+            backend: Backend::Pace,
+            duplicate_machine: true,
+            cache_capacity: Some(1),
+            fork: false,
+            reps: 5,
+        },
+    ];
+    if !smoke {
+        // The full Fig. 9 speculation shape: 8000 ranks, same rate axis.
+        // nz/iterations are cut exactly like the golden-digest fixture so
+        // a repetition stays in the hundreds of milliseconds.
+        scenarios.push(SweepBenchScenario {
+            name: "rate_what_if_8000pe",
+            problems: &[(80, 100)],
+            kind: ProblemKind::Speculative20m,
+            iterations: Some(1),
+            nz: Some(20),
+            multipliers: &[1.0, 1.1, 1.25, 1.4, 1.5],
+            backend: Backend::DesSim,
+            duplicate_machine: false,
+            cache_capacity: None,
+            fork: true,
+            reps: 3,
+        });
+    }
+    scenarios
+}
+
+/// Measured numbers for one sweep-bench scenario.
+#[derive(Debug, Clone)]
+pub struct SweepScenarioResult {
+    /// Scenario name.
+    pub name: &'static str,
+    /// Largest rank count in the campaign.
+    pub ranks: usize,
+    /// Scenarios in the expanded grid.
+    pub scenarios: usize,
+    /// Pool workers per side (always 1 — see module docs).
+    pub workers: usize,
+    /// Snapshot fork point in activations (`None` = unforked campaign).
+    pub fork_activations: Option<u64>,
+    /// Per-shard LRU bound (`None` = unbounded).
+    pub cache_capacity: Option<usize>,
+    /// Naive side wall-clock percentiles (cold cache every repetition).
+    pub naive: WallStats,
+    /// Planned side wall-clock percentiles (cold cache every repetition).
+    pub planned: WallStats,
+    /// Planner shape counters from the planned side.
+    pub plan: PlanStats,
+    /// Cache counters from the planned side's last repetition.
+    pub cache: CacheStats,
+    /// Whether planned results matched naive results byte-for-byte —
+    /// the hard correctness gate.
+    pub digest_match: bool,
+}
+
+impl SweepScenarioResult {
+    /// Naive over planned median wall — the campaign-level speedup the
+    /// planner buys.
+    pub fn speedup_p50(&self) -> f64 {
+        self.naive.p50_ms / self.planned.p50_ms.max(1e-9)
+    }
+}
+
+/// Measure one scenario: `reps` cold-cache repetitions of each side.
+pub fn run_sweep_scenario(sc: &SweepBenchScenario) -> SweepScenarioResult {
+    let spec = sc.spec();
+    let fresh_engine = || {
+        let engine = SweepEngine::with_workers(1);
+        match sc.cache_capacity {
+            Some(cap) => engine.with_cache_capacity(cap),
+            None => engine,
+        }
+    };
+    let mut naive_ms = Vec::with_capacity(sc.reps);
+    let mut planned_ms = Vec::with_capacity(sc.reps);
+    let mut naive_out = None;
+    let mut planned_out = None;
+    for _ in 0..sc.reps {
+        // A fresh engine per repetition: each side starts from a cold
+        // cache, matching a real campaign launch.
+        let t0 = Instant::now();
+        let out = fresh_engine().run(&spec);
+        naive_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+        naive_out = Some(out);
+        let t0 = Instant::now();
+        let out = fresh_engine().run_planned(&spec);
+        planned_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+        planned_out = Some(out);
+    }
+    let naive_out = naive_out.expect("at least one repetition");
+    let planned_out = planned_out.expect("at least one repetition");
+    SweepScenarioResult {
+        name: sc.name,
+        ranks: sc.ranks(),
+        scenarios: planned_out.stats.scenarios,
+        workers: 1,
+        fork_activations: spec.des_fork,
+        cache_capacity: sc.cache_capacity,
+        naive: WallStats::from_samples(naive_ms),
+        planned: WallStats::from_samples(planned_ms),
+        plan: planned_out.stats.plan.expect("planned run carries plan stats"),
+        cache: planned_out.stats.cache,
+        digest_match: naive_out.results == planned_out.results,
+    }
+}
+
+fn wall_json(w: &WallStats) -> String {
+    format!(
+        "{{\"wall_ms\": {{\"min\": {:.3}, \"p50\": {:.3}, \"p90\": {:.3}}}}}",
+        w.min_ms, w.p50_ms, w.p90_ms
+    )
+}
+
+fn opt_u64(v: Option<u64>) -> String {
+    v.map_or("null".into(), |n| n.to_string())
+}
+
+/// Encode results as the `BENCH_sweep.json` document (schema
+/// `pace-bench/sweep-v1`, hand-rolled JSON — no serializer dependency).
+/// The flat `check` map carries both sides per scenario so the substring
+/// extractor and the 2× gate work per side.
+pub fn sweep_to_json(mode: &str, results: &[SweepScenarioResult]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"pace-bench/sweep-v1\",\n");
+    out.push_str(&format!("  \"mode\": \"{mode}\",\n"));
+    out.push_str(&format!("  \"host_cores\": {},\n", crate::host_cores()));
+    out.push_str("  \"scenarios\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"name\": \"{}\",\n", r.name));
+        out.push_str(&format!("      \"ranks\": {},\n", r.ranks));
+        out.push_str(&format!("      \"scenarios\": {},\n", r.scenarios));
+        out.push_str(&format!("      \"workers\": {},\n", r.workers));
+        out.push_str(&format!("      \"fork_activations\": {},\n", opt_u64(r.fork_activations)));
+        out.push_str(&format!(
+            "      \"cache_capacity\": {},\n",
+            opt_u64(r.cache_capacity.map(|c| c as u64))
+        ));
+        out.push_str(&format!("      \"naive\": {},\n", wall_json(&r.naive)));
+        out.push_str(&format!("      \"planned\": {},\n", wall_json(&r.planned)));
+        out.push_str(&format!(
+            "      \"plan\": {{\"jobs\": {}, \"deduped\": {}, \"groups\": {}, \"fork_resumes\": {}, \"fallbacks\": {}}},\n",
+            r.plan.jobs, r.plan.deduped, r.plan.groups, r.plan.fork_resumes, r.plan.fallbacks
+        ));
+        out.push_str(&format!(
+            "      \"cache\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}, \"hit_rate\": {:.3}}},\n",
+            r.cache.hits, r.cache.misses, r.cache.evictions, r.cache.hit_rate()
+        ));
+        out.push_str(&format!("      \"speedup_p50\": {:.2},\n", r.speedup_p50()));
+        out.push_str(&format!("      \"digest_match\": {}\n", r.digest_match));
+        out.push_str(if i + 1 == results.len() { "    }\n" } else { "    },\n" });
+    }
+    out.push_str("  ],\n");
+    // Flat map the regression checker reads without a JSON parser.
+    out.push_str("  \"check\": {\n");
+    let mut keys: Vec<String> = Vec::new();
+    for r in results {
+        keys.push(format!("\"{}_naive_after_p50_ms\": {:.3}", r.name, r.naive.p50_ms));
+        keys.push(format!("\"{}_planned_after_p50_ms\": {:.3}", r.name, r.planned.p50_ms));
+    }
+    for (i, key) in keys.iter().enumerate() {
+        out.push_str(&format!("    {key}{}\n", if i + 1 == keys.len() { "" } else { "," }));
+    }
+    out.push_str("  }\n}\n");
+    out
+}
+
+/// Compare current results against a committed baseline: either side of
+/// any scenario present in both whose median wall time regressed by more
+/// than `factor`× fails. A scenario whose planned campaign diverged from
+/// the naive one fails unconditionally — that is a correctness bug, not
+/// a performance regression. Scenarios missing from the baseline are
+/// skipped (new scenarios don't break CI until blessed).
+pub fn check_sweep_regressions(
+    results: &[SweepScenarioResult],
+    baseline: &str,
+    factor: f64,
+) -> Result<(), String> {
+    let mut failures = Vec::new();
+    let mut compared = 0;
+    for r in results {
+        if !r.digest_match {
+            failures.push(format!("{}: planned campaign diverged from the naive results", r.name));
+        }
+        for (side, now) in [("naive", r.naive.p50_ms), ("planned", r.planned.p50_ms)] {
+            let key = format!("{}_{side}", r.name);
+            let Some(base) = crate::baseline_p50_ms(baseline, &key) else { continue };
+            compared += 1;
+            if now > base * factor {
+                failures
+                    .push(format!("{key}: p50 {now:.3} ms vs baseline {base:.3} ms (> {factor}x)"));
+            }
+        }
+    }
+    if compared == 0 {
+        return Err("baseline contains none of the measured scenarios".into());
+    }
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(failures.join("\n"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A deliberately tiny fork campaign so the test stays debug-cheap.
+    fn tiny_fork_scenario() -> SweepBenchScenario {
+        SweepBenchScenario {
+            name: "tiny_rate_what_if",
+            problems: &[(2, 2)],
+            kind: ProblemKind::Speculative20m,
+            iterations: Some(1),
+            nz: Some(20),
+            multipliers: &[1.0, 1.25, 1.5],
+            backend: Backend::DesSim,
+            duplicate_machine: false,
+            cache_capacity: None,
+            fork: true,
+            reps: 2,
+        }
+    }
+
+    #[test]
+    fn fork_scenario_measures_identical_sides_and_shares_one_prefix() {
+        let r = run_sweep_scenario(&tiny_fork_scenario());
+        assert!(r.digest_match, "planned campaign must be byte-identical to naive");
+        assert_eq!(r.scenarios, 3);
+        assert_eq!(r.plan.groups, 1, "one shared prefix per (machine, problem) cell");
+        assert_eq!(r.plan.fork_resumes, 3);
+        assert_eq!(r.plan.fallbacks, 0);
+        assert!(r.fork_activations.unwrap() > 0);
+        assert!(r.naive.p50_ms > 0.0 && r.planned.p50_ms > 0.0);
+    }
+
+    #[test]
+    fn document_check_map_round_trips_through_the_extractor() {
+        let r = run_sweep_scenario(&SweepBenchScenario { reps: 1, ..tiny_fork_scenario() });
+        let doc = sweep_to_json("smoke", std::slice::from_ref(&r));
+        assert!(doc.contains("\"schema\": \"pace-bench/sweep-v1\""));
+        let naive = crate::baseline_p50_ms(&doc, "tiny_rate_what_if_naive").unwrap();
+        let planned = crate::baseline_p50_ms(&doc, "tiny_rate_what_if_planned").unwrap();
+        assert!((naive - r.naive.p50_ms).abs() < 0.001);
+        assert!((planned - r.planned.p50_ms).abs() < 0.001);
+        // A freshly measured document never regresses against itself.
+        check_sweep_regressions(&[r], &doc, 2.0).unwrap();
+        // A baseline without any shared scenario is a hard error.
+        let err = check_sweep_regressions(
+            &[run_sweep_scenario(&SweepBenchScenario {
+                name: "renamed",
+                reps: 1,
+                ..tiny_fork_scenario()
+            })],
+            &doc,
+            2.0,
+        )
+        .unwrap_err();
+        assert!(err.contains("none of the measured scenarios"), "{err}");
+    }
+
+    #[test]
+    fn dedup_grid_folds_half_the_grid_and_evicts() {
+        let scenarios = sweep_scenarios(true);
+        let dedup = scenarios.iter().find(|s| s.name == "analytic_dedup_grid").unwrap();
+        let r = run_sweep_scenario(&SweepBenchScenario { reps: 1, ..*dedup });
+        assert!(r.digest_match);
+        assert_eq!(r.plan.deduped, r.scenarios / 2, "duplicate machine folds half the grid");
+        assert!(r.cache.evictions > 0, "capacity 1 per shard must evict: {:?}", r.cache);
+    }
+
+    #[test]
+    fn full_mode_adds_the_8000_rank_shape() {
+        assert_eq!(sweep_scenarios(true).len(), 2);
+        let full = sweep_scenarios(false);
+        assert_eq!(full.len(), 3);
+        assert!(full.iter().any(|s| s.name == "rate_what_if_8000pe" && s.ranks() == 8000));
+    }
+}

@@ -857,10 +857,62 @@ pub struct Paused<'m> {
     state: SeqState,
 }
 
+/// Human-readable noise class of a machine (`"silent"` / `"noisy"`),
+/// used by [`SimError::SnapshotIncompatible`].
+fn noise_class(machine: &MachineSpec) -> &'static str {
+    if machine.noise.is_none() {
+        "silent"
+    } else {
+        "noisy"
+    }
+}
+
+/// Static snapshot-compatibility probe: would a run paused on `base` be
+/// resumable on `resume`? The only class constraint is the noise class —
+/// a snapshot carries per-rank noise-stream positions (or none), and the
+/// replacement machine must keep that class. Campaign planners use this
+/// to decide prefix sharing *before* paying for a paused run; the
+/// returned error carries `channel: None` because no paused traffic
+/// exists to inspect yet.
+pub fn snapshot_compatible(base: &MachineSpec, resume: &MachineSpec) -> SimResult<()> {
+    if base.noise.is_none() != resume.noise.is_none() {
+        return Err(SimError::SnapshotIncompatible {
+            snapshot_noise: noise_class(base),
+            resume_noise: noise_class(resume),
+            channel: None,
+        });
+    }
+    Ok(())
+}
+
 impl<'m> Paused<'m> {
     /// Fork the paused state. Each fork resumes independently.
     pub fn snapshot(&self) -> Self {
         self.clone()
+    }
+
+    /// Lowest channel id with a message in flight or an unposted send
+    /// pending at the pause point, if any.
+    fn first_busy_channel(&self) -> Option<usize> {
+        (0..self.state.inflight.len())
+            .find(|&ch| !self.state.inflight[ch].is_empty() || !self.state.pending[ch].is_empty())
+    }
+
+    /// Non-consuming compatibility probe for [`Paused::resume_with`]:
+    /// checks that `machine` keeps the snapshot's noise class. On
+    /// mismatch the error names the offending noise-class pair and the
+    /// lowest channel id with traffic caught mid-flight at the pause
+    /// point, so a planner's fallback decision is debuggable.
+    pub fn compatible_with(&self, machine: &MachineSpec) -> SimResult<()> {
+        let was_silent = matches!(self.state.noise, NoiseBank::Silent);
+        if was_silent != machine.noise.is_none() {
+            return Err(SimError::SnapshotIncompatible {
+                snapshot_noise: if was_silent { "silent" } else { "noisy" },
+                resume_noise: noise_class(machine),
+                channel: self.first_busy_channel(),
+            });
+        }
+        Ok(())
     }
 
     /// Rank activations processed before the pause (the pause-point
@@ -888,16 +940,7 @@ impl<'m> Paused<'m> {
     /// [`SimError::SnapshotIncompatible`]. Resuming with a machine equal
     /// to the original is bit-identical to an uninterrupted run.
     pub fn resume_with(self, machine: &MachineSpec) -> SimResult<RunReport> {
-        let was_silent = matches!(self.state.noise, NoiseBank::Silent);
-        if was_silent != machine.noise.is_none() {
-            return Err(SimError::SnapshotIncompatible {
-                detail: format!(
-                    "resume machine {} noise (snapshot carried {} noise streams)",
-                    if machine.noise.is_none() { "disables" } else { "enables" },
-                    if was_silent { "no" } else { "per-rank" },
-                ),
-            });
-        }
+        self.compatible_with(machine)?;
         let n = self.set.num_ranks();
         let ctx = RunCtx::new(machine, self.recorder, self.trace_pid, n);
         let channels = build_channels(&self.set);

@@ -14,12 +14,20 @@ pub enum SimError {
         detail: String,
     },
     /// A paused run was asked to resume on a machine whose model class is
-    /// incompatible with the snapshotted state (e.g. the replacement
-    /// toggles noise on or off, which would desynchronise the carried
-    /// noise-stream positions).
+    /// incompatible with the snapshotted state: the replacement toggles
+    /// noise on or off, which would desynchronise the carried
+    /// noise-stream positions.
     SnapshotIncompatible {
-        /// What about the replacement machine cannot be honoured.
-        detail: String,
+        /// Noise class the snapshot carries: `"silent"` or `"noisy"`.
+        snapshot_noise: &'static str,
+        /// Noise class of the replacement machine: `"silent"` or `"noisy"`.
+        resume_noise: &'static str,
+        /// Lowest channel id with traffic in flight or pending at the
+        /// pause point, if any — the first message whose delivery timing
+        /// the class change would desynchronise. `None` when the probe
+        /// ran statically (no paused state to inspect) or all queues
+        /// were drained at the pause.
+        channel: Option<usize>,
     },
     /// Execution reached a state where no rank can make progress.
     Deadlock {
@@ -34,8 +42,16 @@ impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SimError::InvalidPrograms { detail } => write!(f, "invalid programs: {detail}"),
-            SimError::SnapshotIncompatible { detail } => {
-                write!(f, "snapshot incompatible: {detail}")
+            SimError::SnapshotIncompatible { snapshot_noise, resume_noise, channel } => {
+                write!(
+                    f,
+                    "snapshot incompatible: snapshot carries {snapshot_noise} noise streams \
+                     but the resume machine is {resume_noise}",
+                )?;
+                match channel {
+                    Some(ch) => write!(f, " (first busy channel: {ch})"),
+                    None => write!(f, " (no paused traffic inspected)"),
+                }
             }
             SimError::Deadlock { blocked, parked } => {
                 write!(
@@ -58,6 +74,26 @@ impl std::error::Error for SimError {}
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn snapshot_incompatible_names_the_noise_pair_and_channel() {
+        let e = SimError::SnapshotIncompatible {
+            snapshot_noise: "noisy",
+            resume_noise: "silent",
+            channel: Some(3),
+        };
+        let s = e.to_string();
+        assert!(s.contains("noisy"), "{s}");
+        assert!(s.contains("silent"), "{s}");
+        assert!(s.contains("channel: 3"), "{s}");
+
+        let probe = SimError::SnapshotIncompatible {
+            snapshot_noise: "silent",
+            resume_noise: "noisy",
+            channel: None,
+        };
+        assert!(probe.to_string().contains("no paused traffic"), "{probe}");
+    }
 
     #[test]
     fn display_mentions_blocked_ranks() {

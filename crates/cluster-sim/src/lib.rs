@@ -47,7 +47,7 @@ pub mod time;
 pub mod timeline;
 
 pub use cpu::CpuModel;
-pub use engine::{Engine, MemProbe, Paused};
+pub use engine::{snapshot_compatible, Engine, MemProbe, Paused};
 pub use error::{SimError, SimResult};
 pub use machine::MachineSpec;
 pub use network::{NetworkModel, PiecewiseSegments};

@@ -13,10 +13,14 @@
 //! experiments rendezvous                eager-vs-rendezvous ablation
 //! experiments strong-scaling            strong-scaling extension study
 //! experiments sweep [--json]            parallel sweep engine: parity, speedup, cache counters
-//! experiments sweep --machine <name|path> [--backend <pace|loggp|hoisie|dessim>[,...]] [--json]
+//! experiments sweep --machine <name|path> [--backend <pace|loggp|hoisie|dessim>[,...]]
+//!                   [--plan] [--json]
 //!                                        registry sweep: resolve a machine by registry name or
 //!                                        spec-file path and evaluate it across backends
-//!                                        (--machine-file <path> forces file resolution)
+//!                                        (--machine-file <path> forces file resolution);
+//!                                        --plan routes the grid through the campaign execution
+//!                                        planner (grid dedup + snapshot-prefix sharing on a rate
+//!                                        what-if axis), digest-checked against the naive path
 //! experiments speculation [--problem 20m|1b] [--ranks N] [--repeat K] [--iterations I]
 //!                         [--threads N] [--optimistic] [--partitions P] [--budget B] [--json]
 //!                                        discrete-event run of a speculative scenario (default
@@ -240,8 +244,17 @@ fn run_validate(obs: &Obs) {
 
 /// `experiments sweep --machine <name|path>`: resolve a machine through
 /// the registry and evaluate the small Fig. 8 ladder across predictor
-/// backends via the sweep engine's backend axis.
-fn run_registry_sweep(machine_arg: &str, backend_arg: Option<&str>, obs: &Obs, json: bool) {
+/// backends via the sweep engine's backend axis. With `--plan` the grid
+/// gains a flop-rate what-if axis and a mid-run DES fork, and runs
+/// through the campaign execution planner — digest-checked against the
+/// naive path (any divergence is a hard failure).
+fn run_registry_sweep(
+    machine_arg: &str,
+    backend_arg: Option<&str>,
+    plan: bool,
+    obs: &Obs,
+    json: bool,
+) {
     use pace_core::Sweep3dParams;
     use wavefront_models::Backend;
     let exit = |e: String| -> ! {
@@ -258,11 +271,28 @@ fn run_registry_sweep(machine_arg: &str, backend_arg: Option<&str>, obs: &Obs, j
         None => Backend::ANALYTIC.to_vec(),
     };
     let mut spec = sweepsvc::SweepSpec::new().machine(machine.clone()).backends(backends.clone());
+    if plan && machine.sim.is_some() {
+        // A rate what-if axis plus a fork point inside every ladder cell
+        // except 1x1 (13..640 total activations) gives the planner shared
+        // prefixes to exploit; analytic-only machines keep the plain grid
+        // (the planner still dedupes).
+        spec = spec.rate_multipliers(vec![1.0, 1.25, 1.5]).des_fork(30);
+    }
     for (px, py) in [(1, 1), (1, 2), (2, 2), (2, 4), (4, 4)] {
         spec = spec.problem(format!("{px}x{py}"), Sweep3dParams::speculative_20m(px, py));
     }
     spec.validate().unwrap_or_else(|e| exit(e));
-    let out = sweepsvc::SweepEngine::new().with_obs(obs.clone()).run(&spec);
+    let out = if plan {
+        let naive = sweepsvc::SweepEngine::with_workers(1).run(&spec);
+        let out = sweepsvc::SweepEngine::new().with_obs(obs.clone()).run_planned(&spec);
+        if naive.results != out.results {
+            eprintln!("FATAL: planned sweep diverged from the naive reference");
+            std::process::exit(1);
+        }
+        out
+    } else {
+        sweepsvc::SweepEngine::new().with_obs(obs.clone()).run(&spec)
+    };
     if json {
         let rows: Vec<String> = out
             .results
@@ -281,6 +311,13 @@ fn run_registry_sweep(machine_arg: &str, backend_arg: Option<&str>, obs: &Obs, j
         println!("  \"machine\": \"{}\",", machine.id);
         let names: Vec<String> = backends.iter().map(|b| format!("\"{}\"", b.name())).collect();
         println!("  \"backends\": [{}],", names.join(", "));
+        if let Some(p) = out.stats.plan {
+            println!("  \"parity\": true,");
+            println!(
+                "  \"plan\": {{\"scenarios\": {}, \"jobs\": {}, \"deduped\": {}, \"groups\": {}, \"fork_resumes\": {}, \"fallbacks\": {}}},",
+                p.scenarios, p.jobs, p.deduped, p.groups, p.fork_resumes, p.fallbacks
+            );
+        }
         println!("  \"results\": [\n{}\n  ]", rows.join(",\n"));
         println!("}}");
         return;
@@ -290,6 +327,12 @@ fn run_registry_sweep(machine_arg: &str, backend_arg: Option<&str>, obs: &Obs, j
         machine.id,
         backends.len()
     );
+    if let Some(p) = out.stats.plan {
+        println!(
+            "planned == naive : yes (bit-identical); {} scenarios -> {} jobs ({} deduped), {} fork group(s) / {} resume(s) / {} fallback(s)\n",
+            p.scenarios, p.jobs, p.deduped, p.groups, p.fork_resumes, p.fallbacks
+        );
+    }
     println!("| array | PEs | backend | predicted(s) |");
     println!("|---|---|---|---|");
     for r in &out.results {
@@ -300,9 +343,11 @@ fn run_registry_sweep(machine_arg: &str, backend_arg: Option<&str>, obs: &Obs, j
 
 fn run_sweep(args: &[String], obs: &Obs, json: bool) {
     use std::time::Instant;
-    // Registry mode: any of --machine/--machine-file/--backend selects it.
+    // Registry mode: any of --machine/--machine-file/--backend/--plan
+    // selects it.
     let mut machine_arg: Option<String> = None;
     let mut backend_arg: Option<String> = None;
+    let mut plan = false;
     let mut i = 0;
     while i < args.len() {
         let value = |i: &mut usize| -> String {
@@ -315,6 +360,7 @@ fn run_sweep(args: &[String], obs: &Obs, json: bool) {
         match args[i].as_str() {
             "--machine" | "--machine-file" => machine_arg = Some(value(&mut i)),
             "--backend" => backend_arg = Some(value(&mut i)),
+            "--plan" => plan = true,
             other => {
                 eprintln!("unknown sweep flag {other:?}");
                 std::process::exit(2);
@@ -322,9 +368,9 @@ fn run_sweep(args: &[String], obs: &Obs, json: bool) {
         }
         i += 1;
     }
-    if machine_arg.is_some() || backend_arg.is_some() {
+    if machine_arg.is_some() || backend_arg.is_some() || plan {
         let machine = machine_arg.unwrap_or_else(|| "opteron-myrinet".into());
-        return run_registry_sweep(&machine, backend_arg.as_deref(), obs, json);
+        return run_registry_sweep(&machine, backend_arg.as_deref(), plan, obs, json);
     }
     let hw = registry::quoted::opteron_myrinet_hypothetical();
     let workers = sweepsvc::available_workers();

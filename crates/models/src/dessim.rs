@@ -50,6 +50,59 @@ pub fn flop_model(params: &Sweep3dParams) -> FlopModel {
     }
 }
 
+/// Build the interned program set the DES backend replays for `params`.
+/// Exposed so campaign planners can pay trace generation once per
+/// (problem) cell and fork the simulation prefix across what-ifs.
+pub fn program_set(params: &Sweep3dParams) -> Result<cluster_sim::ProgramSet, String> {
+    let config = problem_config(params)?;
+    Ok(generate_program_set(&config, &flop_model(params)))
+}
+
+/// Wrap a simulated makespan into the report shape every DES prediction
+/// uses. Shared by the cold, forked and planned paths so they are
+/// byte-identical by construction.
+pub fn report_from_makespan(
+    params: &Sweep3dParams,
+    sim_name: &str,
+    total_secs: f64,
+) -> EvaluationReport {
+    EvaluationReport {
+        application: "sweep3d".to_string(),
+        hardware: sim_name.to_string(),
+        total_secs,
+        iterations: params.iterations,
+        subtasks: vec![SubtaskTime {
+            name: "simulated".to_string(),
+            secs_per_iteration: total_secs / params.iterations.max(1) as f64,
+            pipeline: None,
+        }],
+    }
+}
+
+/// Forked DES prediction: run `base`'s simulation twin to `fork_after`
+/// activations, swap in `machine`'s twin, resume to completion. This is
+/// the per-scenario meaning of `SweepSpec::des_fork`; the campaign
+/// planner produces byte-identical results by sharing one paused prefix
+/// per (base, problem) cell and resuming snapshots. When `machine` and
+/// `base` are equal the result is bit-identical to a cold run.
+pub fn predict_forked(
+    params: &Sweep3dParams,
+    base: &registry::MachineSpec,
+    machine: &registry::MachineSpec,
+    fork_after: u64,
+) -> Result<EvaluationReport, String> {
+    let base_sim = base.sim_or_err()?;
+    let sim = machine.sim_or_err()?;
+    let set = program_set(params)?;
+    let paused = Engine::from_set(base_sim, set)
+        .run_paused(fork_after)
+        .map_err(|e| format!("dessim fork prefix on '{}': {e}", base.id))?;
+    let report = paused
+        .resume_with(sim)
+        .map_err(|e| format!("dessim fork resume on '{}': {e}", machine.id))?;
+    Ok(report_from_makespan(params, &sim.name, report.makespan()))
+}
+
 /// The discrete-event predictor backend.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct DesSimPredictor;
@@ -73,23 +126,11 @@ impl Predictor for DesSimPredictor {
         machine: &registry::MachineSpec,
     ) -> Result<EvaluationReport, String> {
         let sim = machine.sim_or_err()?;
-        let config = problem_config(params)?;
-        let set = generate_program_set(&config, &flop_model(params));
+        let set = program_set(params)?;
         let report = Engine::from_set(sim, set)
             .run()
             .map_err(|e| format!("dessim on '{}': {e}", machine.id))?;
-        let total_secs = report.makespan();
-        Ok(EvaluationReport {
-            application: "sweep3d".to_string(),
-            hardware: sim.name.clone(),
-            total_secs,
-            iterations: params.iterations,
-            subtasks: vec![SubtaskTime {
-                name: "simulated".to_string(),
-                secs_per_iteration: total_secs / params.iterations.max(1) as f64,
-                pipeline: None,
-            }],
-        })
+        Ok(report_from_makespan(params, &sim.name, report.makespan()))
     }
 }
 
@@ -111,6 +152,34 @@ mod tests {
         assert_eq!((c.it, c.jt, c.kt), (200, 300, 50));
         assert_eq!((c.npe_i, c.npe_j), (4, 6));
         assert_eq!((c.mk, c.mmi, c.sn_order, c.iterations), (10, 3, 6, 12));
+    }
+
+    #[test]
+    fn identity_fork_matches_a_cold_run_bit_for_bit() {
+        let machine = registry::builtin("opteron-myrinet").unwrap();
+        let p = Sweep3dParams::speculative_20m(2, 2);
+        let cold = DesSimPredictor.predict(&p, &machine).unwrap();
+        for fork in [0, 7, u64::MAX] {
+            let forked = predict_forked(&p, &machine, &machine, fork).unwrap();
+            assert_eq!(
+                cold.total_secs.to_bits(),
+                forked.total_secs.to_bits(),
+                "fork at {fork} must not perturb the identity run"
+            );
+            assert_eq!(cold, forked);
+        }
+    }
+
+    #[test]
+    fn forked_rate_what_if_speeds_up_the_suffix_only() {
+        let machine = registry::builtin("opteron-myrinet").unwrap();
+        let faster = machine.with_rate_scaled(2.0);
+        let p = Sweep3dParams::speculative_20m(2, 2);
+        let cold = DesSimPredictor.predict(&p, &machine).unwrap().total_secs;
+        let cold_fast = DesSimPredictor.predict(&p, &faster).unwrap().total_secs;
+        let forked = predict_forked(&p, &machine, &faster, 40).unwrap().total_secs;
+        assert!(forked < cold, "faster suffix must beat the all-slow run");
+        assert!(forked > cold_fast, "slow prefix must cost against the all-fast run");
     }
 
     #[test]

@@ -449,9 +449,9 @@ pub fn attribute(rec: &Recorder, pid: u32) -> Result<Attribution, AttrError> {
             }
             _ if s.cat == Cat::Collective => {
                 // Jump to the rank whose late arrival set the entry time.
-                let idx = col_by_recv.get(&t).and_then(|v| {
-                    v.iter().rfind(|&&i| edges[i].send_post >= s.start).copied()
-                });
+                let idx = col_by_recv
+                    .get(&t)
+                    .and_then(|v| v.iter().rfind(|&&i| edges[i].send_post >= s.start).copied());
                 match idx {
                     Some(i) => {
                         let e = edges[i];

@@ -32,6 +32,7 @@ pub mod chrome;
 pub mod json;
 pub mod jsonl;
 pub mod metrics;
+pub mod names;
 pub mod pids;
 pub mod span;
 pub mod speedscope;

@@ -26,8 +26,9 @@ use pace_core::{
 use wavefront_models::Backend;
 
 use crate::cache::{CacheKey, CacheStats, CachedEval, EvalCache};
+use crate::plan::{ExecPlan, PlanStats};
 use crate::pool::{self, WorkerStats};
-use crate::spec::{ScenarioResult, SweepSpec};
+use crate::spec::{Scenario, ScenarioResult, SweepSpec};
 
 fn evaluate_subtask(sub: &SubtaskObject, hw: &HardwareModel) -> CachedEval {
     match &sub.template {
@@ -97,6 +98,44 @@ impl CachedEngine {
     }
 }
 
+/// Evaluate one scenario. This is *the* definition of scenario semantics,
+/// shared verbatim by the naive path (one call per scenario) and by the
+/// planner's standalone jobs, so the two paths are byte-identical by
+/// construction. PACE goes through the shared subtask cache (bit-identical
+/// to the uncached engine); DES scenarios under [`SweepSpec::des_fork`]
+/// pause the base twin, swap in the scenario's twin and resume (degrading
+/// to a cold run when the twin fails the noise-class probe); every other
+/// backend prices the scenario via its `Predictor`.
+fn evaluate_scenario(engine: &CachedEngine, spec: &SweepSpec, sc: &Scenario) -> EvaluationReport {
+    match sc.backend {
+        Backend::Pace => engine.predict(sc.params, sc.hw()).report,
+        Backend::DesSim if spec.des_fork.is_some() && fork_compatible(spec, sc) => {
+            let base = &spec.machines[sc.machine];
+            wavefront_models::dessim::predict_forked(
+                &sc.params,
+                base,
+                &sc.machine_spec,
+                spec.des_fork.unwrap(),
+            )
+            .unwrap_or_else(|e| panic!("backend 'dessim': {e}"))
+        }
+        other => other
+            .predictor()
+            .predict(&sc.params, &sc.machine_spec)
+            .unwrap_or_else(|e| panic!("backend '{}': {e}", other.name())),
+    }
+}
+
+/// Whether `sc`'s twin can resume from its base machine's paused prefix
+/// (the same probe the planner uses to form fork groups).
+fn fork_compatible(spec: &SweepSpec, sc: &Scenario) -> bool {
+    let base = &spec.machines[sc.machine];
+    match (base.sim_or_err(), sc.machine_spec.sim_or_err()) {
+        (Ok(b), Ok(m)) => cluster_sim::snapshot_compatible(b, m).is_ok(),
+        _ => false,
+    }
+}
+
 /// Counters of one sweep run.
 #[derive(Debug, Clone)]
 pub struct SweepStats {
@@ -108,6 +147,8 @@ pub struct SweepStats {
     pub cache: CacheStats,
     /// Wall-clock time of the sweep.
     pub wall: Duration,
+    /// Planner shape counters (`None` on the naive path).
+    pub plan: Option<PlanStats>,
 }
 
 impl SweepStats {
@@ -117,15 +158,23 @@ impl SweepStats {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "{} scenarios in {:.3} ms on {} worker(s); cache {} hit / {} miss ({:.0}% hit rate, {} entries)",
+            "{} scenarios in {:.3} ms on {} worker(s); cache {} hit / {} miss / {} evicted ({:.0}% hit rate, {} entries)",
             self.scenarios,
             self.wall.as_secs_f64() * 1e3,
             self.workers.len(),
             self.cache.hits,
             self.cache.misses,
+            self.cache.evictions,
             self.cache.hit_rate() * 100.0,
             self.cache.entries,
         );
+        if let Some(p) = &self.plan {
+            let _ = writeln!(
+                out,
+                "  plan: {} job(s) ({} deduped), {} fork group(s) sharing {} resume(s), {} fallback(s)",
+                p.jobs, p.deduped, p.groups, p.fork_resumes, p.fallbacks,
+            );
+        }
         for w in &self.workers {
             let _ = writeln!(
                 out,
@@ -182,6 +231,15 @@ impl SweepEngine {
         self
     }
 
+    /// Replace the engine's cache with a bounded LRU of `per_shard`
+    /// entries per shard (see [`EvalCache::bounded`]). Results are
+    /// bit-identical for any capacity — only the hit/miss/eviction split
+    /// changes.
+    pub fn with_cache_capacity(mut self, per_shard: usize) -> Self {
+        self.cache = Arc::new(EvalCache::bounded(per_shard));
+        self
+    }
+
     /// The engine's cache (shared across `run` calls).
     pub fn cache(&self) -> &EvalCache {
         &self.cache
@@ -215,16 +273,7 @@ impl SweepEngine {
         }
         let run = pool::run_ordered_with_worker(scenarios, self.workers, |worker, sc| {
             let t0 = Instant::now();
-            // PACE goes through the shared subtask cache (bit-identical to
-            // the uncached engine); other backends price the scenario via
-            // their Predictor implementation.
-            let report = match sc.backend {
-                Backend::Pace => engine.predict(sc.params, sc.hw()).report,
-                other => other
-                    .predictor()
-                    .predict(&sc.params, &sc.machine_spec)
-                    .unwrap_or_else(|e| panic!("backend '{}': {e}", other.name())),
-            };
+            let report = evaluate_scenario(&engine, spec, sc);
             let total_secs = report.total_secs;
             if rec.is_enabled() {
                 rec.wall_span(
@@ -263,35 +312,203 @@ impl SweepEngine {
             workers: run.workers,
             cache: self.cache.stats(),
             wall: run.wall,
+            plan: None,
         };
         self.publish_metrics(&stats, &cache_before);
         SweepOutcome { results: run.results, stats }
     }
 
-    /// Publish the run's counters to the metrics registry. Scenario and
-    /// entry counts are scheduling-independent; everything timing- or
-    /// interleaving-dependent (worker attribution, cache hit/miss splits —
-    /// a racing double-compute turns a would-be hit into a miss) carries
-    /// the `wall.` prefix so deterministic snapshots exclude it. Cache
-    /// counters are cumulative over the engine's life, so this run's
-    /// contribution is the delta against the pre-run snapshot.
+    /// Evaluate every scenario of the spec through the campaign planner
+    /// ([`ExecPlan`]): grid-duplicate scenarios fold onto one evaluation,
+    /// and DES rate what-ifs under [`SweepSpec::des_fork`] share one
+    /// paused simulation prefix per `(machine, problem)` cell, replaying
+    /// only the divergent suffixes. Results are byte-identical to
+    /// [`SweepEngine::run`] on the same spec — same scenario-id order,
+    /// same bits — only wall time and cache/plan counters differ
+    /// (digest-gated in `tests/sweep_plan.rs`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec fails [`SweepSpec::validate`], like `run`.
+    pub fn run_planned(&self, spec: &SweepSpec) -> SweepOutcome {
+        if let Err(e) = spec.validate() {
+            panic!("invalid sweep spec: {e}");
+        }
+        let scenarios = spec.scenarios();
+        let n = scenarios.len();
+        let cache_before = self.cache.shard_stats();
+        let engine = CachedEngine::with_cache(Arc::clone(&self.cache));
+        let rec = &*self.obs.recorder;
+        if rec.is_enabled() {
+            rec.set_process_name(SWEEP_PID, "sweepsvc");
+        }
+        let plan = ExecPlan::build(spec, &scenarios);
+
+        // Execution units: one per fork group (the shared prefix runs
+        // once inside the unit), one per standalone job. Each unit
+        // returns the (job, report) pairs it evaluated.
+        enum Unit<'p> {
+            Group(&'p crate::plan::ForkGroup),
+            Single(usize),
+        }
+        let units: Vec<Unit<'_>> = plan
+            .groups
+            .iter()
+            .map(Unit::Group)
+            .chain(plan.singles.iter().map(|&j| Unit::Single(j)))
+            .collect();
+        let run = pool::run_ordered_with_worker(units, self.workers, |worker, unit| match unit {
+            Unit::Single(j) => {
+                let sc = &scenarios[plan.jobs[*j].proto];
+                let t0 = Instant::now();
+                let report = evaluate_scenario(&engine, spec, sc);
+                if rec.is_enabled() {
+                    rec.wall_span(
+                        SWEEP_PID,
+                        worker as u32,
+                        format!("plan:job:{}", sc.label),
+                        Cat::Scenario,
+                        t0,
+                        vec![("id", sc.id.into()), ("total_secs", report.total_secs.into())],
+                    );
+                }
+                vec![(*j, report)]
+            }
+            Unit::Group(g) => {
+                let t0 = Instant::now();
+                let fork = plan.fork.expect("fork groups only form under des_fork");
+                let gsc = &scenarios[plan.jobs[g.members[0]].proto];
+                let base = &spec.machines[g.machine];
+                let base_sim = base.sim_or_err().expect("validated spec");
+                let set = wavefront_models::dessim::program_set(&gsc.params)
+                    .unwrap_or_else(|e| panic!("backend 'dessim': {e}"));
+                let paused = cluster_sim::Engine::from_set(base_sim, set)
+                    .run_paused(fork)
+                    .unwrap_or_else(|e| panic!("dessim fork prefix on '{}': {e}", base.id));
+                let out: Vec<(usize, EvaluationReport)> = g
+                    .members
+                    .iter()
+                    .map(|&j| {
+                        let sc = &scenarios[plan.jobs[j].proto];
+                        let sim = sc.machine_spec.sim_or_err().expect("validated spec");
+                        let report = paused.snapshot().resume_with(sim).unwrap_or_else(|e| {
+                            panic!("dessim fork resume on '{}': {e}", sc.machine_spec.id)
+                        });
+                        let report = wavefront_models::dessim::report_from_makespan(
+                            &sc.params,
+                            &sim.name,
+                            report.makespan(),
+                        );
+                        (j, report)
+                    })
+                    .collect();
+                if rec.is_enabled() {
+                    rec.wall_span(
+                        SWEEP_PID,
+                        worker as u32,
+                        format!("plan:fork:{}", gsc.label),
+                        Cat::Scenario,
+                        t0,
+                        vec![("members", out.len().into()), ("fork", fork.into())],
+                    );
+                }
+                out
+            }
+        });
+        if rec.is_enabled() {
+            for w in &run.workers {
+                rec.set_thread_name(SWEEP_PID, w.worker as u32, format!("worker {}", w.worker));
+            }
+        }
+
+        // Scatter: job reports back to scenario-id order. Duplicated
+        // grid cells receive a clone of their prototype's report —
+        // byte-identical to what they would have computed (evaluation is
+        // pure and equal machine specs imply equal report labels).
+        let mut job_reports: Vec<Option<EvaluationReport>> = vec![None; plan.jobs.len()];
+        for (j, report) in run.results.into_iter().flatten() {
+            job_reports[j] = Some(report);
+        }
+        let results: Vec<ScenarioResult> = scenarios
+            .iter()
+            .map(|sc| {
+                let report =
+                    job_reports[plan.assignment[sc.id]].clone().expect("every job evaluated");
+                ScenarioResult {
+                    id: sc.id,
+                    machine: sc.machine,
+                    problem: sc.problem,
+                    multiplier: sc.multiplier,
+                    backend: sc.backend,
+                    rate_multiplier: sc.rate_multiplier,
+                    label: sc.label.clone(),
+                    pes: sc.params.px * sc.params.py,
+                    total_secs: report.total_secs,
+                    report,
+                }
+            })
+            .collect();
+        let stats = SweepStats {
+            scenarios: n,
+            workers: run.workers,
+            cache: self.cache.stats(),
+            wall: run.wall,
+            plan: Some(plan.stats()),
+        };
+        self.publish_metrics(&stats, &cache_before);
+        SweepOutcome { results, stats }
+    }
+
+    /// Publish the run's counters to the metrics registry. Scenario,
+    /// plan-shape and capacity values are scheduling-independent;
+    /// everything timing- or interleaving-dependent (worker attribution,
+    /// cache hit/miss/eviction splits — a racing double-compute turns a
+    /// would-be hit into a miss, and eviction order under parallelism
+    /// follows the access interleaving) carries the `wall.` prefix so
+    /// deterministic snapshots exclude it. The live-entry gauge is
+    /// deterministic only while the cache is unbounded (the surviving set
+    /// of a bounded cache depends on the interleaving), so bounded runs
+    /// publish it under `wall.` too. Per-shard names are interned in
+    /// `obs::names` — no per-sweep string allocation. Cache counters are
+    /// cumulative over the engine's life, so this run's contribution is
+    /// the delta against the pre-run snapshot.
     fn publish_metrics(&self, stats: &SweepStats, cache_before: &[CacheStats]) {
+        use obs::names as n;
         let m = &self.obs.metrics;
-        m.counter_add("sweep.scenarios", stats.scenarios as u64);
-        m.gauge_set("sweep.cache.entries", stats.cache.entries as f64);
-        m.gauge_set("wall.sweep.wall_us", stats.wall.as_micros() as f64);
+        m.counter_add(n::SWEEP_SCENARIOS, stats.scenarios as u64);
+        match self.cache.shard_capacity() {
+            Some(cap) => {
+                m.gauge_set(n::SWEEP_CACHE_ENTRIES_WALL, stats.cache.entries as f64);
+                m.gauge_set(n::SWEEP_CACHE_CAPACITY, cap as f64);
+            }
+            None => m.gauge_set(n::SWEEP_CACHE_ENTRIES, stats.cache.entries as f64),
+        }
+        m.gauge_set(n::SWEEP_WALL_US, stats.wall.as_micros() as f64);
+        m.gauge_set(n::SWEEP_POOL_WORKERS, stats.workers.len() as f64);
+        if let Some(p) = &stats.plan {
+            m.counter_add(n::SWEEP_PLAN_JOBS, p.jobs as u64);
+            m.counter_add(n::SWEEP_PLAN_DEDUPED, p.deduped as u64);
+            m.counter_add(n::SWEEP_PLAN_GROUPS, p.groups as u64);
+            m.counter_add(n::SWEEP_PLAN_FORK_RESUMES, p.fork_resumes);
+            m.counter_add(n::SWEEP_PLAN_FALLBACKS, p.fallbacks);
+        }
         let mut hits = 0;
         let mut misses = 0;
+        let mut evictions = 0;
         for (i, (after, before)) in self.cache.shard_stats().iter().zip(cache_before).enumerate() {
             let shard_hits = after.hits - before.hits;
             let shard_misses = after.misses - before.misses;
+            let shard_evictions = after.evictions - before.evictions;
             hits += shard_hits;
             misses += shard_misses;
-            m.counter_add(&format!("wall.sweep.cache.shard.{i:02}.hits"), shard_hits);
-            m.counter_add(&format!("wall.sweep.cache.shard.{i:02}.misses"), shard_misses);
+            evictions += shard_evictions;
+            m.counter_add(n::SWEEP_CACHE_SHARD_HITS[i], shard_hits);
+            m.counter_add(n::SWEEP_CACHE_SHARD_MISSES[i], shard_misses);
+            m.counter_add(n::SWEEP_CACHE_SHARD_EVICTIONS[i], shard_evictions);
         }
-        m.counter_add("wall.sweep.cache.hits", hits);
-        m.counter_add("wall.sweep.cache.misses", misses);
+        m.counter_add(n::SWEEP_CACHE_HITS, hits);
+        m.counter_add(n::SWEEP_CACHE_MISSES, misses);
+        m.counter_add(n::SWEEP_CACHE_EVICTIONS, evictions);
         for w in &stats.workers {
             let base = format!("wall.sweep.pool.worker.{:02}", w.worker);
             m.counter_add(&format!("{base}.items"), w.items);
@@ -423,6 +640,104 @@ mod tests {
         let loggp = LogGpModel.predict_secs(&params, &machine.analytic);
         assert_eq!(out.results[0].total_secs.to_bits(), pace.to_bits());
         assert_eq!(out.results[1].total_secs.to_bits(), loggp.to_bits());
+    }
+
+    #[test]
+    fn planned_run_is_byte_identical_to_naive() {
+        // A grid exercising all three planner mechanisms: a duplicated
+        // machine (grid dedup), DES rate what-ifs under a fork point
+        // (snapshot-prefix sharing) and an analytic backend axis.
+        let m = registry::builtin("opteron-myrinet").unwrap();
+        let spec = SweepSpec::new()
+            .machine(m.clone())
+            .machine(m)
+            .rate_multipliers(vec![1.0, 1.25, 1.5])
+            .problem("2x2", Sweep3dParams::speculative_20m(2, 2))
+            .backends(vec![Backend::Pace, Backend::DesSim])
+            .des_fork(30);
+        for workers in [1, 3] {
+            let naive = SweepEngine::with_workers(workers).run(&spec);
+            let planned = SweepEngine::with_workers(workers).run_planned(&spec);
+            assert_eq!(naive.results, planned.results, "workers={workers}");
+            let p = planned.stats.plan.expect("planned runs carry plan stats");
+            assert_eq!(p.scenarios, 12);
+            assert_eq!(p.deduped, 6, "the duplicated machine halves the jobs");
+            assert_eq!(p.groups, 1, "equal bases share one prefix across machine entries");
+            assert_eq!(p.fork_resumes, 3);
+            assert!(naive.stats.plan.is_none());
+        }
+    }
+
+    #[test]
+    fn planned_run_without_fork_still_dedupes() {
+        let spec = SweepSpec::new()
+            .machine_hw(machines::pentium3_myrinet())
+            .machine_hw(machines::pentium3_myrinet())
+            .rate_multipliers(vec![1.0, 1.25])
+            .problem("4x4", Sweep3dParams::weak_scaling_50cubed(4, 4));
+        let naive = SweepEngine::with_workers(2).run(&spec);
+        let planned = SweepEngine::with_workers(2).run_planned(&spec);
+        assert_eq!(naive.results, planned.results);
+        assert_eq!(planned.stats.plan.unwrap().deduped, 2);
+    }
+
+    #[test]
+    fn bounded_cache_changes_no_bits_while_evicting() {
+        let spec = SweepSpec::new()
+            .machine_hw(machines::pentium3_myrinet())
+            .rate_multipliers(vec![1.0, 1.1, 1.2, 1.3, 1.4])
+            .problem("2x2", Sweep3dParams::weak_scaling_50cubed(2, 2))
+            .problem("4x4", Sweep3dParams::weak_scaling_50cubed(4, 4))
+            .problem("8x8", Sweep3dParams::weak_scaling_50cubed(8, 8));
+        let unbounded = SweepEngine::with_workers(1).run(&spec);
+        let bounded = SweepEngine::with_workers(1).with_cache_capacity(1).run(&spec);
+        assert_eq!(unbounded.results, bounded.results);
+        assert!(bounded.stats.cache.evictions > 0, "capacity 1 must evict on this grid");
+        assert_eq!(unbounded.stats.cache.evictions, 0);
+    }
+
+    #[test]
+    fn planned_metrics_expose_plan_and_pool_counters() {
+        let spec = SweepSpec::new()
+            .machine_hw(machines::pentium3_myrinet())
+            .machine_hw(machines::pentium3_myrinet())
+            .rate_multipliers(vec![1.0, 1.25])
+            .problem("2x2", Sweep3dParams::weak_scaling_50cubed(2, 2));
+        let obs = obs::Obs::enabled();
+        let out = SweepEngine::with_workers(2).with_obs(obs.clone()).run_planned(&spec);
+        let snap = obs.metrics.snapshot();
+        let counter = |name: &str| snap.get(name).and_then(obs::MetricValue::as_counter);
+        let gauge = |name: &str| snap.get(name).and_then(obs::MetricValue::as_gauge);
+        let p = out.stats.plan.unwrap();
+        assert_eq!(counter(obs::names::SWEEP_PLAN_JOBS), Some(p.jobs as u64));
+        assert_eq!(counter(obs::names::SWEEP_PLAN_DEDUPED), Some(p.deduped as u64));
+        assert_eq!(counter(obs::names::SWEEP_PLAN_GROUPS), Some(0));
+        assert_eq!(counter(obs::names::SWEEP_PLAN_FALLBACKS), Some(0));
+        assert_eq!(gauge(obs::names::SWEEP_POOL_WORKERS), Some(2.0));
+        // Unbounded engine: the entries gauge stays deterministic.
+        assert_eq!(gauge(obs::names::SWEEP_CACHE_ENTRIES), Some(out.stats.cache.entries as f64));
+        assert_eq!(gauge(obs::names::SWEEP_CACHE_ENTRIES_WALL), None);
+    }
+
+    #[test]
+    fn bounded_run_publishes_entries_under_wall() {
+        let spec = SweepSpec::new()
+            .machine_hw(machines::pentium3_myrinet())
+            .rate_multipliers(vec![1.0, 1.25])
+            .problem("2x2", Sweep3dParams::weak_scaling_50cubed(2, 2));
+        let obs = obs::Obs::enabled();
+        let out =
+            SweepEngine::with_workers(1).with_cache_capacity(4).with_obs(obs.clone()).run(&spec);
+        let snap = obs.metrics.snapshot();
+        let gauge = |name: &str| snap.get(name).and_then(obs::MetricValue::as_gauge);
+        assert_eq!(gauge(obs::names::SWEEP_CACHE_ENTRIES), None);
+        assert_eq!(
+            gauge(obs::names::SWEEP_CACHE_ENTRIES_WALL),
+            Some(out.stats.cache.entries as f64)
+        );
+        assert_eq!(gauge(obs::names::SWEEP_CACHE_CAPACITY), Some(4.0));
+        let counter = |name: &str| snap.get(name).and_then(obs::MetricValue::as_counter);
+        assert_eq!(counter(obs::names::SWEEP_CACHE_EVICTIONS), Some(out.stats.cache.evictions));
     }
 
     #[test]

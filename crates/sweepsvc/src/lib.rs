@@ -14,7 +14,12 @@
 //!   bit-identical for any worker count ([`engine`], [`pool`]);
 //! * [`EvalCache`] — a sharded, `parking_lot`-guarded memo of subtask
 //!   evaluations keyed on canonicalised model/hardware inputs, shared by
-//!   all workers, with hit/miss counters ([`cache`]);
+//!   all workers, with hit/miss/eviction counters and an optional
+//!   per-shard LRU bound ([`cache`]);
+//! * [`ExecPlan`] — the campaign execution planner: grid-level dedup of
+//!   bit-identical evaluations plus snapshot-prefix sharing for DES rate
+//!   what-ifs, executed by [`SweepEngine::run_planned`] with
+//!   byte-identical results to the naive path ([`plan`]);
 //! * [`replicate`] — a parallel-replication runner for `cluster-sim`
 //!   measurement campaigns: N seeds of one machine, merged into one
 //!   statistics summary ([`replicate`](mod@replicate)).
@@ -36,12 +41,14 @@
 
 pub mod cache;
 pub mod engine;
+pub mod plan;
 pub mod pool;
 pub mod replicate;
 pub mod spec;
 
 pub use cache::{CacheKey, CacheStats, EvalCache};
 pub use engine::{CachedEngine, SweepEngine, SweepOutcome, SweepStats, SWEEP_PID};
+pub use plan::{ExecPlan, ForkGroup, PlanJob, PlanStats};
 pub use pool::{
     available_workers, nested_plan, run_ordered, run_ordered_with_worker, sim_threads_override,
     PoolRun, WorkerStats,

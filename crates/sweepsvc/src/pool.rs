@@ -268,6 +268,27 @@ mod tests {
     }
 
     #[test]
+    fn single_worker_fast_path_spawns_no_threads() {
+        let caller = std::thread::current().id();
+        let run = run_ordered_with_worker((0..16u64).collect(), 1, |w, &x| {
+            assert_eq!(w, 0, "inline path is always worker 0");
+            (std::thread::current().id(), x)
+        });
+        assert_eq!(run.workers.len(), 1);
+        for &(tid, _) in &run.results {
+            assert_eq!(tid, caller, "workers==1 must run inline on the caller thread");
+        }
+        // Two or more workers do spawn: every item runs off the caller.
+        let spawned = run_ordered_with_worker((0..16u64).collect(), 2, |_, &x| {
+            (std::thread::current().id(), x)
+        });
+        assert!(
+            spawned.results.iter().all(|&(tid, _)| tid != caller),
+            "workers>=2 must run on pool threads"
+        );
+    }
+
+    #[test]
     fn worker_index_is_within_pool_bounds() {
         let run = run_ordered_with_worker((0..100u64).collect(), 4, |w, &x| (w, x * 2));
         let pool_size = run.workers.len();

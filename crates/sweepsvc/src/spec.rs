@@ -36,6 +36,18 @@ pub struct SweepSpec {
     pub problems: Vec<ProblemPoint>,
     /// Predictor-backend axis (innermost; defaults to PACE only).
     pub backends: Vec<Backend>,
+    /// DES fork point, in rank activations. When set, every
+    /// [`Backend::DesSim`] scenario means "pause the machine's *unscaled*
+    /// simulation twin after this many activations, swap in the
+    /// scenario's (possibly rate-scaled) twin, resume to completion" —
+    /// the hardware what-if takes effect mid-run. This gives every
+    /// scenario of one (machine, problem) cell an identical simulation
+    /// prefix by construction, which the campaign planner shares through
+    /// one snapshot fork per cell; the naive path pays the prefix per
+    /// scenario. With the identity multiplier the pause-and-swap is
+    /// bit-identical to an uninterrupted run (golden-protected in
+    /// cluster-sim). `None` (the default) keeps plain cold runs.
+    pub des_fork: Option<u64>,
 }
 
 impl SweepSpec {
@@ -47,7 +59,15 @@ impl SweepSpec {
             rate_multipliers: vec![1.0],
             problems: Vec::new(),
             backends: vec![Backend::Pace],
+            des_fork: None,
         }
+    }
+
+    /// Set the DES fork point (activations before the hardware swap) for
+    /// `dessim` scenarios; see [`SweepSpec::des_fork`].
+    pub fn des_fork(mut self, activations: u64) -> Self {
+        self.des_fork = Some(activations);
+        self
     }
 
     /// Add a registry machine to the machine axis.

@@ -64,12 +64,15 @@ fn render_sweep(docs: &[(String, Json)], subject_label: &str, schema: &str, mode
     let fmt = |v: Option<f64>| v.map_or("—".to_string(), |x| format!("{x:.3}"));
     for name in scenarios {
         println!("### {name}\n");
-        println!("| document | naive p50 (ms) | planned p50 (ms) | speedup | digest |");
-        println!("|---|---|---|---|---|");
+        println!("| document | workload | naive p50 (ms) | planned p50 (ms) | speedup | digest |");
+        println!("|---|---|---|---|---|---|");
         for (label, doc) in docs {
             let Some(sc) = find_scenario(doc, name) else { continue };
             println!(
-                "| {label} | {} | {} | {} | {} |",
+                "| {label} | {} | {} | {} | {} | {} |",
+                // Documents written before the workload key existed still
+                // render — every pre-key scenario was a sweep3d campaign.
+                sc.get("workload").and_then(Json::as_str).unwrap_or("—"),
                 fmt(scenario_p50(sc, "naive")),
                 fmt(scenario_p50(sc, "planned")),
                 sc.get("speedup_p50")

@@ -50,8 +50,9 @@ fn main() {
         eprintln!("running {} ({} reps per side)...", scenario.name, scenario.reps);
         let r = pace_bench::sweep::run_sweep_scenario(&scenario);
         eprintln!(
-            "  {}: naive p50 {:.1} ms, planned p50 {:.1} ms ({:.2}x), {} scenarios -> {} jobs ({} deduped), {} fork groups / {} resumes / {} fallbacks, cache {} hit / {} miss / {} evicted, digest_match={}",
+            "  {} [{}]: naive p50 {:.1} ms, planned p50 {:.1} ms ({:.2}x), {} scenarios -> {} jobs ({} deduped), {} fork groups / {} resumes / {} fallbacks, cache {} hit / {} miss / {} evicted, digest_match={}",
             r.name,
+            r.workload,
             r.naive.p50_ms,
             r.planned.p50_ms,
             r.speedup_p50(),

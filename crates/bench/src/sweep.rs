@@ -192,6 +192,9 @@ pub fn sweep_scenarios(smoke: bool) -> Vec<SweepBenchScenario> {
 pub struct SweepScenarioResult {
     /// Scenario name.
     pub name: &'static str,
+    /// [`pace_core::Workload::kind`] string of the campaign's problems
+    /// (every tracked bench scenario is a wavefront campaign today).
+    pub workload: &'static str,
     /// Largest rank count in the campaign.
     pub ranks: usize,
     /// Scenarios in the expanded grid.
@@ -253,6 +256,7 @@ pub fn run_sweep_scenario(sc: &SweepBenchScenario) -> SweepScenarioResult {
     let planned_out = planned_out.expect("at least one repetition");
     SweepScenarioResult {
         name: sc.name,
+        workload: "sweep3d",
         ranks: sc.ranks(),
         scenarios: planned_out.stats.scenarios,
         workers: 1,
@@ -291,6 +295,7 @@ pub fn sweep_to_json(mode: &str, results: &[SweepScenarioResult]) -> String {
     for (i, r) in results.iter().enumerate() {
         out.push_str("    {\n");
         out.push_str(&format!("      \"name\": \"{}\",\n", r.name));
+        out.push_str(&format!("      \"workload\": \"{}\",\n", r.workload));
         out.push_str(&format!("      \"ranks\": {},\n", r.ranks));
         out.push_str(&format!("      \"scenarios\": {},\n", r.scenarios));
         out.push_str(&format!("      \"workers\": {},\n", r.workers));
@@ -403,6 +408,7 @@ mod tests {
         let r = run_sweep_scenario(&SweepBenchScenario { reps: 1, ..tiny_fork_scenario() });
         let doc = sweep_to_json("smoke", std::slice::from_ref(&r));
         assert!(doc.contains("\"schema\": \"pace-bench/sweep-v1\""));
+        assert!(doc.contains("\"workload\": \"sweep3d\""));
         let naive = crate::baseline_p50_ms(&doc, "tiny_rate_what_if_naive").unwrap();
         let planned = crate::baseline_p50_ms(&doc, "tiny_rate_what_if_planned").unwrap();
         assert!((naive - r.naive.p50_ms).abs() < 0.001);

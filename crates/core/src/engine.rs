@@ -104,6 +104,7 @@ impl EvaluationEngine {
                     let est = templates::pipeline::evaluate(params, hw);
                     (est.total_secs, Some(est))
                 }
+                TemplateBinding::Halo(params) => (templates::halo::evaluate(params, hw), None),
                 TemplateBinding::Collective(params) => {
                     (templates::collective::evaluate(params, &hw.comm), None)
                 }

@@ -48,6 +48,7 @@ pub mod hmcl_script;
 pub mod model;
 pub mod sweep3d_model;
 pub mod templates;
+pub mod workload;
 
 pub use clc::{Opcode, OpcodeCosts, ResourceVector};
 pub use comm::{CommCurve, CommModel};
@@ -55,3 +56,4 @@ pub use engine::{EvaluationEngine, EvaluationReport};
 pub use hardware::HardwareModel;
 pub use model::{ApplicationObject, SubtaskObject, TemplateBinding};
 pub use sweep3d_model::{Sweep3dModel, Sweep3dParams};
+pub use workload::{AllreduceParams, StencilParams, Workload, WorkloadKind};

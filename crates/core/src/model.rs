@@ -11,6 +11,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::clc::ResourceVector;
 use crate::templates::collective::CollectiveParams;
+use crate::templates::halo::HaloParams;
 use crate::templates::pipeline::PipelineParams;
 
 /// The parallel template a subtask is evaluated with, plus its structural
@@ -20,6 +21,8 @@ pub enum TemplateBinding {
     /// The pipelined wavefront template. `unit_flops` inside the params is
     /// derived from the subtask's resource vector by the model builder.
     Pipeline(PipelineParams),
+    /// The bulk-synchronous 2D halo-exchange stencil template.
+    Halo(HaloParams),
     /// A reduction collective.
     Collective(CollectiveParams),
     /// The `async` template: serial evaluation, no communication.

@@ -1,0 +1,107 @@
+//! `halo` — the 2D halo-exchange stencil template.
+//!
+//! A bulk-synchronous stencil on a `px × py` processor grid: every
+//! iteration each rank updates its local subgrid, then exchanges one face
+//! with each mesh neighbour. The exchanges run in checkerboard order —
+//! ranks of even coordinate parity send first, odd parity receives first —
+//! so each dimension completes in at most two pairwise phases regardless
+//! of the grid extent (unlike the wavefront, nothing propagates
+//! corner-to-corner).
+//!
+//! Per iteration the critical-path rank (an interior rank once the grid
+//! is at least 3 wide in a dimension) pays
+//!
+//! ```text
+//! T_iter = W + phases_x · hop(bytes_x) + phases_y · hop(bytes_y)
+//! ```
+//!
+//! with `W` the local update at the machine's achieved rate,
+//! `phases_d = min(extent_d − 1, 2)` the pairwise-exchange phases of
+//! dimension `d`, and `hop` the Eq. 3 send + one-way + receive cost.
+
+use serde::{Deserialize, Serialize};
+
+use crate::hardware::HardwareModel;
+
+/// Structural parameters of one halo-exchange evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HaloParams {
+    /// Processor-grid extent in `x`.
+    pub px: usize,
+    /// Processor-grid extent in `y`.
+    pub py: usize,
+    /// Local update flops per rank per iteration.
+    pub flops: f64,
+    /// Per-processor cell count, selecting the achieved rate.
+    pub cells_per_pe: usize,
+    /// Bytes of one east/west face message.
+    pub x_msg_bytes: usize,
+    /// Bytes of one north/south face message.
+    pub y_msg_bytes: usize,
+}
+
+/// Pairwise-exchange phases of one dimension: none when the dimension is
+/// not decomposed, one when every rank has a single neighbour, two (the
+/// checkerboard bound) otherwise.
+pub fn exchange_phases(extent: usize) -> usize {
+    extent.saturating_sub(1).min(2)
+}
+
+/// Evaluate the halo template: seconds per iteration.
+pub fn evaluate(params: &HaloParams, hw: &HardwareModel) -> f64 {
+    let w = hw.compute_secs(params.flops, params.cells_per_pe);
+    let x = exchange_phases(params.px) as f64 * hw.comm.hop_secs(params.x_msg_bytes);
+    let y = exchange_phases(params.py) as f64 * hw.comm.hop_secs(params.y_msg_bytes);
+    w + x + y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::CommModel;
+
+    fn params(px: usize, py: usize) -> HaloParams {
+        HaloParams {
+            px,
+            py,
+            flops: 6e6,
+            cells_per_pe: 1_000_000,
+            x_msg_bytes: 8_000,
+            y_msg_bytes: 8_000,
+        }
+    }
+
+    #[test]
+    fn serial_grid_is_pure_compute() {
+        let hw = HardwareModel::flat_rate("t", 100.0, CommModel::free());
+        let t = evaluate(&params(1, 1), &hw);
+        assert!((t - 6e6 / 100e6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn phases_saturate_at_the_checkerboard_bound() {
+        assert_eq!(exchange_phases(1), 0);
+        assert_eq!(exchange_phases(2), 1);
+        assert_eq!(exchange_phases(3), 2);
+        assert_eq!(exchange_phases(100), 2);
+    }
+
+    #[test]
+    fn exchange_cost_is_grid_extent_independent_past_three() {
+        let hw = registry_free_hw();
+        let t3 = evaluate(&params(3, 3), &hw);
+        let t9 = evaluate(&params(9, 9), &hw);
+        assert_eq!(t3.to_bits(), t9.to_bits(), "halo cost must not grow with the grid");
+        let t1 = evaluate(&params(1, 1), &hw);
+        assert!(t3 > t1, "decomposed grids pay for exchanges");
+    }
+
+    fn registry_free_hw() -> HardwareModel {
+        let comm = CommModel {
+            send: crate::comm::CommCurve::linear(5.0, 0.001),
+            recv: crate::comm::CommCurve::linear(5.0, 0.001),
+            pingpong: crate::comm::CommCurve::linear(50.0, 0.01),
+        };
+        HardwareModel::flat_rate("t", 100.0, comm)
+    }
+}

@@ -6,11 +6,13 @@
 //!
 //! * [`pipeline`] — the pipelined synchronous wavefront of SWEEP3D's
 //!   `sweep` subtask (the paper's core template);
+//! * [`halo`] — the bulk-synchronous 2D halo-exchange stencil template;
 //! * [`collective`] — `globalsum` / `globalmax` reduction templates;
 //! * [`async`-style serial evaluation][`serial_secs`] — subtasks with no
 //!   communication (the `async` object of Fig. 3).
 
 pub mod collective;
+pub mod halo;
 pub mod pipeline;
 pub mod schedule_oracle;
 

@@ -57,6 +57,14 @@ pub fn opcode_predict(params: &Sweep3dParams, clock_ghz: f64, machine: &MachineS
                     sub.per_unit.cost_us(&costs) * (sub.units / (4 * p.units_per_corner) as f64);
                 pipeline::evaluate_with_compute(p, unit_us * 1e-6, &hw.comm).total_secs
             }
+            TemplateBinding::Halo(p) => {
+                // Opcode-priced local update + the template's exchange
+                // phases on the fitted comm model.
+                use pace_core::templates::halo::exchange_phases;
+                sub.per_unit.cost_us(&costs) * sub.units * 1e-6
+                    + exchange_phases(p.px) as f64 * hw.comm.hop_secs(p.x_msg_bytes)
+                    + exchange_phases(p.py) as f64 * hw.comm.hop_secs(p.y_msg_bytes)
+            }
             TemplateBinding::Collective(p) => {
                 pace_core::templates::collective::evaluate(p, &hw.comm)
             }

@@ -15,6 +15,7 @@
 
 use cluster_sim::{Engine, MachineSpec, NoiseModel, OptConfig, RunReport};
 use obs::{attr, Attribution, Obs, Recorder};
+use pace_core::{AllreduceParams, StencilParams, Workload, WorkloadKind};
 use sweep3d::trace::{generate_programs, FlopModel};
 use sweep3d::ProblemConfig;
 
@@ -75,6 +76,24 @@ pub fn run_traced(px: usize, py: usize, mode: Mode, rec: &Recorder) -> (RunRepor
     let machine = fixture_machine();
     let programs = generate_programs(&fixture_config(px, py), &fixture_flops());
     let eng = Engine::new(&machine, programs).with_recorder(rec, MEASURE_PID);
+    finish_traced(eng, mode, rec)
+}
+
+/// [`run_traced`] for an arbitrary workload: the template's DES lowering
+/// on the same golden-fixture machine, same tracing, same critical-path
+/// gate.
+pub fn run_traced_workload(
+    workload: &dyn Workload,
+    mode: Mode,
+    rec: &Recorder,
+) -> (RunReport, Attribution) {
+    let machine = fixture_machine();
+    let set = workload.program_set(&machine).expect("workload lowers on the fixture machine");
+    let eng = Engine::from_set(&machine, set).with_recorder(rec, MEASURE_PID);
+    finish_traced(eng, mode, rec)
+}
+
+fn finish_traced(eng: Engine<'_>, mode: Mode, rec: &Recorder) -> (RunReport, Attribution) {
     let report = match mode {
         Mode::Sequential => eng.run(),
         Mode::Parallel(threads) => eng.run_parallel(threads),
@@ -90,11 +109,13 @@ pub fn run_traced(px: usize, py: usize, mode: Mode, rec: &Recorder) -> (RunRepor
     (report, attribution)
 }
 
-/// `experiments attribute [--px N] [--py N] [--mode seq|par|opt]
-/// [--threads N] [--speedscope <path>] [--check-modes] [--json]`.
+/// `experiments attribute [--px N] [--py N] [--workload <kind>]
+/// [--mode seq|par|opt] [--threads N] [--speedscope <path>]
+/// [--check-modes] [--json]`.
 pub fn run(args: &[String], obs: &Obs, json: bool) {
     let mut px = 2usize;
     let mut py = 3usize;
+    let mut workload = WorkloadKind::Wavefront;
     let mut mode_arg = "seq".to_string();
     let mut threads = 2usize;
     let mut speedscope: Option<String> = None;
@@ -111,6 +132,12 @@ pub fn run(args: &[String], obs: &Obs, json: bool) {
         match args[i].as_str() {
             "--px" => px = value(&mut i).parse().expect("--px takes an integer"),
             "--py" => py = value(&mut i).parse().expect("--py takes an integer"),
+            "--workload" => {
+                workload = WorkloadKind::parse(value(&mut i)).unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                })
+            }
             "--mode" => mode_arg = value(&mut i).to_string(),
             "--threads" => threads = value(&mut i).parse().expect("--threads takes an integer"),
             "--speedscope" => speedscope = Some(value(&mut i).to_string()),
@@ -132,14 +159,35 @@ pub fn run(args: &[String], obs: &Obs, json: bool) {
         }
     };
 
+    // Non-wavefront fixtures: the template on the same px×py array (the
+    // allreduce solver only sees the total rank count), iteration counts
+    // cut so the traced run stays tier-1 cheap.
+    let fixture: Option<Box<dyn Workload>> = match workload {
+        WorkloadKind::Wavefront => None,
+        WorkloadKind::Stencil => {
+            let mut p = StencilParams::weak_scaling(px, py);
+            p.iterations = 5;
+            Some(Box::new(p))
+        }
+        WorkloadKind::Allreduce => {
+            let mut p = AllreduceParams::cg_like(px * py);
+            p.iterations = 10;
+            Some(Box::new(p))
+        }
+    };
+    let trace = |mode: Mode, rec: &Recorder| match &fixture {
+        None => run_traced(px, py, mode, rec),
+        Some(w) => run_traced_workload(&**w, mode, rec),
+    };
+
     // Record into the shared bundle so --trace exports the same run.
     let rec = &*obs.recorder;
-    rec.set_process_name(MEASURE_PID, format!("attribute {px}x{py} ({})", mode.name()));
-    let (_report, attribution) = run_traced(px, py, mode, rec);
+    let label = format!("attribute {} {px}x{py} ({})", workload.kind(), mode.name());
+    rec.set_process_name(MEASURE_PID, label.clone());
+    let (_report, attribution) = trace(mode, rec);
 
     if let Some(path) = &speedscope {
-        let name = format!("attribute {px}x{py} ({})", mode.name());
-        std::fs::write(path, obs::speedscope::export(rec, &name)).expect("write speedscope file");
+        std::fs::write(path, obs::speedscope::export(rec, &label)).expect("write speedscope file");
         eprintln!("wrote speedscope profile to {path}");
     }
 
@@ -150,7 +198,7 @@ pub fn run(args: &[String], obs: &Obs, json: bool) {
             .iter()
             .map(|&m| {
                 let fresh = Recorder::enabled();
-                let (_, a) = run_traced(px, py, m, &fresh);
+                let (_, a) = trace(m, &fresh);
                 (m, a.to_json())
             })
             .collect();
@@ -179,7 +227,12 @@ pub fn run(args: &[String], obs: &Obs, json: bool) {
     if json {
         println!("{}", attribution.to_json());
     } else {
-        let title = format!("{px}x{py} on {} ({} engine)", fixture_machine().name, mode.name());
+        let title = format!(
+            "{} {px}x{py} on {} ({} engine)",
+            workload.kind(),
+            fixture_machine().name,
+            mode.name()
+        );
         print!("{}", attribution.render(&title));
     }
     obs.metrics.counter_add("attr.runs", 1);
@@ -205,5 +258,24 @@ mod tests {
         let rec_opt = Recorder::enabled();
         let (_, a_opt) = run_traced(2, 3, Mode::Optimistic(2), &rec_opt);
         assert_eq!(a_seq.to_json(), a_opt.to_json());
+    }
+
+    #[test]
+    fn workload_fixtures_gate_and_agree_across_modes() {
+        let mut stencil = StencilParams::weak_scaling(2, 2);
+        stencil.iterations = 3;
+        let mut cg = AllreduceParams::cg_like(6);
+        cg.iterations = 5;
+        let workloads: [&dyn Workload; 2] = [&stencil, &cg];
+        for w in workloads {
+            let rec_seq = Recorder::enabled();
+            let (report, a_seq) = run_traced_workload(w, Mode::Sequential, &rec_seq);
+            assert_eq!(a_seq.ranks.len(), w.pes());
+            let makespan_ps = report.ranks.iter().map(|r| r.finish.picos()).max().unwrap();
+            assert_eq!(a_seq.makespan_ps, makespan_ps);
+            let rec_par = Recorder::enabled();
+            let (_, a_par) = run_traced_workload(w, Mode::Parallel(2), &rec_par);
+            assert_eq!(a_seq.to_json(), a_par.to_json(), "{} parallel diverged", w.kind());
+        }
     }
 }

@@ -14,24 +14,32 @@
 //! experiments strong-scaling            strong-scaling extension study
 //! experiments sweep [--json]            parallel sweep engine: parity, speedup, cache counters
 //! experiments sweep --machine <name|path> [--backend <pace|loggp|hoisie|dessim>[,...]]
-//!                   [--plan] [--json]
+//!                   [--workload <wavefront|stencil|allreduce>] [--plan] [--json]
 //!                                        registry sweep: resolve a machine by registry name or
 //!                                        spec-file path and evaluate it across backends
 //!                                        (--machine-file <path> forces file resolution);
+//!                                        --workload swaps the problem axis for another template
+//!                                        of the workload library (default backends narrow to
+//!                                        the ones that model it; an explicit unsupported pair
+//!                                        is a structured error);
 //!                                        --plan routes the grid through the campaign execution
 //!                                        planner (grid dedup + snapshot-prefix sharing on a rate
 //!                                        what-if axis), digest-checked against the naive path
-//! experiments speculation [--problem 20m|1b] [--ranks N] [--repeat K] [--iterations I]
+//! experiments speculation [--problem 20m|1b] [--workload <wavefront|stencil|allreduce>]
+//!                         [--ranks N] [--repeat K] [--iterations I]
 //!                         [--threads N] [--optimistic] [--partitions P] [--budget B] [--json]
 //!                                        discrete-event run of a speculative scenario (default
 //!                                        8000 ranks), seed-replicated over the worker pool;
+//!                                        --workload replays another template's DES lowering on
+//!                                        the same hypothetical machine;
 //!                                        --threads N runs each replication on the parallel
 //!                                        engine with N threads (bit-identical results);
 //!                                        --optimistic uses the Time Warp-style scheduler
 //!                                        (bit-identical, reports commit/rollback counters)
 //! experiments timeline                  pipeline Gantt chart (simulated)
 //! experiments obs                       telemetry demo: phase spans + span/stats cross-check
-//! experiments attribute [--px N] [--py N] [--mode seq|par|opt] [--threads N]
+//! experiments attribute [--px N] [--py N] [--workload <wavefront|stencil|allreduce>]
+//!                       [--mode seq|par|opt] [--threads N]
 //!                       [--speedscope <path>] [--check-modes] [--json]
 //!                                        critical-path attribution of a traced run: per-mechanism
 //!                                        makespan breakdown, per-rank slack, top critical edges;
@@ -248,14 +256,32 @@ fn run_validate(obs: &Obs) {
 /// gains a flop-rate what-if axis and a mid-run DES fork, and runs
 /// through the campaign execution planner — digest-checked against the
 /// naive path (any divergence is a hard failure).
+/// The sweep's `--workload` argument: a named template (which owns a
+/// default problem ladder) or a spec file carrying one parameter point.
+enum WorkloadArg {
+    Ladder(pace_core::WorkloadKind),
+    File(Box<registry::WorkloadSpec>),
+}
+
+impl WorkloadArg {
+    /// The [`pace_core::Workload::kind`] string of the selected template.
+    fn kind(&self) -> &'static str {
+        match self {
+            WorkloadArg::Ladder(k) => k.kind(),
+            WorkloadArg::File(ws) => ws.workload().kind(),
+        }
+    }
+}
+
 fn run_registry_sweep(
     machine_arg: &str,
     backend_arg: Option<&str>,
+    workload: WorkloadArg,
     plan: bool,
     obs: &Obs,
     json: bool,
 ) {
-    use pace_core::Sweep3dParams;
+    use pace_core::{AllreduceParams, StencilParams, Sweep3dParams, WorkloadKind};
     use wavefront_models::Backend;
     let exit = |e: String| -> ! {
         eprintln!("{e}");
@@ -266,9 +292,15 @@ fn run_registry_sweep(
         Some(list) => {
             list.split(',').map(|s| Backend::parse(s.trim()).unwrap_or_else(|e| exit(e))).collect()
         }
-        // Default: every backend the machine can serve.
-        None if machine.sim.is_some() => Backend::ALL.to_vec(),
-        None => Backend::ANALYTIC.to_vec(),
+        // Default: every backend the machine can serve for this workload
+        // (the wavefront-only closed forms drop off the stencil and
+        // allreduce grids; an explicit --backend list is still validated
+        // below and fails with a structured error).
+        None => {
+            let all =
+                if machine.sim.is_some() { &Backend::ALL[..] } else { &Backend::ANALYTIC[..] };
+            all.iter().copied().filter(|b| b.supports(workload.kind())).collect()
+        }
     };
     let mut spec = sweepsvc::SweepSpec::new().machine(machine.clone()).backends(backends.clone());
     if plan && machine.sim.is_some() {
@@ -278,8 +310,26 @@ fn run_registry_sweep(
         // (the planner still dedupes).
         spec = spec.rate_multipliers(vec![1.0, 1.25, 1.5]).des_fork(30);
     }
-    for (px, py) in [(1, 1), (1, 2), (2, 2), (2, 4), (4, 4)] {
-        spec = spec.problem(format!("{px}x{py}"), Sweep3dParams::speculative_20m(px, py));
+    match &workload {
+        WorkloadArg::Ladder(WorkloadKind::Wavefront) => {
+            for (px, py) in [(1, 1), (1, 2), (2, 2), (2, 4), (4, 4)] {
+                spec = spec.problem(format!("{px}x{py}"), Sweep3dParams::speculative_20m(px, py));
+            }
+        }
+        WorkloadArg::Ladder(WorkloadKind::Stencil) => {
+            for (px, py) in [(1, 1), (1, 2), (2, 2), (2, 4), (4, 4)] {
+                spec = spec.problem(format!("{px}x{py}"), StencilParams::weak_scaling(px, py));
+            }
+        }
+        WorkloadArg::Ladder(WorkloadKind::Allreduce) => {
+            for procs in [1, 2, 4, 8, 16] {
+                spec = spec.problem(format!("p{procs}"), AllreduceParams::cg_like(procs));
+            }
+        }
+        WorkloadArg::File(ws) => {
+            let label = format!("{}-{}pe", ws.name(), ws.workload().pes());
+            spec = spec.problem_arc(label, (**ws).clone().into_arc());
+        }
     }
     spec.validate().unwrap_or_else(|e| exit(e));
     let out = if plan {
@@ -309,6 +359,7 @@ fn run_registry_sweep(
             .collect();
         println!("{{");
         println!("  \"machine\": \"{}\",", machine.id);
+        println!("  \"workload\": \"{}\",", workload.kind());
         let names: Vec<String> = backends.iter().map(|b| format!("\"{}\"", b.name())).collect();
         println!("  \"backends\": [{}],", names.join(", "));
         if let Some(p) = out.stats.plan {
@@ -323,7 +374,8 @@ fn run_registry_sweep(
         return;
     }
     println!(
-        "### Registry sweep: {} across {} backend(s), Fig. 8 per-PE problem\n",
+        "### Registry sweep: {} workload on {} across {} backend(s)\n",
+        workload.kind(),
         machine.id,
         backends.len()
     );
@@ -343,10 +395,11 @@ fn run_registry_sweep(
 
 fn run_sweep(args: &[String], obs: &Obs, json: bool) {
     use std::time::Instant;
-    // Registry mode: any of --machine/--machine-file/--backend/--plan
-    // selects it.
+    // Registry mode: any of --machine/--machine-file/--backend/--workload/
+    // --plan selects it.
     let mut machine_arg: Option<String> = None;
     let mut backend_arg: Option<String> = None;
+    let mut workload_arg: Option<String> = None;
     let mut plan = false;
     let mut i = 0;
     while i < args.len() {
@@ -360,6 +413,7 @@ fn run_sweep(args: &[String], obs: &Obs, json: bool) {
         match args[i].as_str() {
             "--machine" | "--machine-file" => machine_arg = Some(value(&mut i)),
             "--backend" => backend_arg = Some(value(&mut i)),
+            "--workload" => workload_arg = Some(value(&mut i)),
             "--plan" => plan = true,
             other => {
                 eprintln!("unknown sweep flag {other:?}");
@@ -368,9 +422,23 @@ fn run_sweep(args: &[String], obs: &Obs, json: bool) {
         }
         i += 1;
     }
-    if machine_arg.is_some() || backend_arg.is_some() || plan {
+    if machine_arg.is_some() || backend_arg.is_some() || workload_arg.is_some() || plan {
         let machine = machine_arg.unwrap_or_else(|| "opteron-myrinet".into());
-        return run_registry_sweep(&machine, backend_arg.as_deref(), plan, obs, json);
+        // A bare identifier selects a template's default ladder; anything
+        // else is tried as a workload spec-file path.
+        let workload = match workload_arg.as_deref() {
+            Some(s) => match pace_core::WorkloadKind::parse(s) {
+                Ok(kind) => WorkloadArg::Ladder(kind),
+                Err(_) => {
+                    WorkloadArg::File(Box::new(registry::resolve_workload(s).unwrap_or_else(|e| {
+                        eprintln!("{e}");
+                        std::process::exit(2);
+                    })))
+                }
+            },
+            None => WorkloadArg::Ladder(pace_core::WorkloadKind::Wavefront),
+        };
+        return run_registry_sweep(&machine, backend_arg.as_deref(), workload, plan, obs, json);
     }
     let hw = registry::quoted::opteron_myrinet_hypothetical();
     let workers = sweepsvc::available_workers();
@@ -433,6 +501,7 @@ fn run_sweep(args: &[String], obs: &Obs, json: bool) {
 /// the worker pool.
 fn run_speculation(args: &[String], json: bool) {
     let mut problem = Problem::TwentyMillion;
+    let mut workload = pace_core::WorkloadKind::Wavefront;
     let mut ranks = 8000usize;
     let mut repeat = 3usize;
     let mut iterations = 2usize;
@@ -460,6 +529,12 @@ fn run_speculation(args: &[String], json: bool) {
                     }
                 }
             }
+            "--workload" => {
+                workload = pace_core::WorkloadKind::parse(value(&mut i)).unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                })
+            }
             "--ranks" => ranks = value(&mut i).parse().expect("--ranks takes an integer"),
             "--repeat" => repeat = value(&mut i).parse().expect("--repeat takes an integer"),
             "--iterations" => {
@@ -481,6 +556,12 @@ fn run_speculation(args: &[String], json: bool) {
         i += 1;
     }
     let workers = sweepsvc::available_workers();
+    if workload != pace_core::WorkloadKind::Wavefront {
+        return run_workload_speculation(
+            workload, ranks, repeat, iterations, threads, optimistic, partitions, budget, workers,
+            json,
+        );
+    }
     let (c, opt) = if optimistic {
         let parts = partitions.or(threads).unwrap_or(4).max(2);
         let cfg = cluster_sim::OptConfig::new(parts).with_budget(budget);
@@ -569,6 +650,113 @@ fn run_speculation(args: &[String], json: bool) {
     println!("throughput         : {:.2} M simulated events/s\n", c.events_per_sec() / 1e6);
 }
 
+/// The non-wavefront arm of `experiments speculation --workload …`: lower
+/// the template through its `Workload::program_set` on the §6 speculation
+/// machine and replicate it under noise seeds, exactly like the SWEEP3D
+/// campaigns.
+#[allow(clippy::too_many_arguments)]
+fn run_workload_speculation(
+    workload: pace_core::WorkloadKind,
+    ranks: usize,
+    repeat: usize,
+    iterations: usize,
+    threads: Option<usize>,
+    optimistic: bool,
+    partitions: Option<usize>,
+    budget: usize,
+    workers: usize,
+    json: bool,
+) {
+    use pace_core::{AllreduceParams, StencilParams, Workload, WorkloadKind};
+    let params: Box<dyn Workload> = match workload {
+        WorkloadKind::Stencil => {
+            let (px, py) = speculation::array_for_ranks(ranks);
+            let mut p = StencilParams::weak_scaling(px, py);
+            p.iterations = iterations;
+            Box::new(p)
+        }
+        WorkloadKind::Allreduce => {
+            let mut p = AllreduceParams::cg_like(ranks);
+            p.iterations = iterations;
+            Box::new(p)
+        }
+        WorkloadKind::Wavefront => unreachable!("wavefront takes the SWEEP3D path"),
+    };
+    let opt_cfg = optimistic.then(|| {
+        let parts = partitions.or(threads).unwrap_or(4).max(2);
+        cluster_sim::OptConfig::new(parts).with_budget(budget)
+    });
+    let (c, opt) = speculation::simulate_workload(&*params, repeat, workers, threads, opt_cfg);
+    let s = &c.summary;
+    let sim_threads = threads
+        .or_else(sweepsvc::sim_threads_override)
+        .unwrap_or_else(|| sweepsvc::nested_plan(workers, repeat).1);
+    if json {
+        println!("{{");
+        println!("  \"workload\": \"{}\",", c.kind);
+        println!("  \"ranks\": {},", c.pes);
+        println!("  \"iterations\": {},", c.iterations);
+        println!("  \"repeat\": {},", s.replications.len());
+        println!("  \"workers\": {workers},");
+        println!("  \"sim_threads\": {sim_threads},");
+        println!("  \"streams\": {},", c.streams);
+        println!("  \"stored_ops\": {},", c.stored_ops);
+        println!("  \"ops_per_run\": {},", c.ops_per_run);
+        println!("  \"total_events\": {},", c.total_events());
+        println!("  \"wall_ms\": {:.3},", c.wall.as_secs_f64() * 1e3);
+        println!("  \"events_per_sec\": {:.0},", c.events_per_sec());
+        println!(
+            "  \"makespan_secs\": {{\"mean\": {:.6}, \"min\": {:.6}, \"max\": {:.6}, \"std\": {:.6}}},",
+            s.mean_makespan(),
+            s.min_makespan(),
+            s.max_makespan(),
+            s.std_dev_makespan()
+        );
+        if let Some(ct) = &opt {
+            println!("  \"engine\": \"optimistic\",");
+            println!(
+                "  \"opt\": {{\"rounds\": {}, \"speculated\": {}, \"commits\": {}, \"rollbacks\": {}}},",
+                ct.rounds, ct.speculated, ct.commits, ct.rollbacks
+            );
+        }
+        let per_seed: Vec<String> = s
+            .replications
+            .iter()
+            .map(|r| format!("{{\"seed\": {}, \"makespan_secs\": {:.6}}}", r.seed, r.makespan_secs))
+            .collect();
+        println!("  \"replications\": [{}]", per_seed.join(", "));
+        println!("}}");
+        return;
+    }
+    println!(
+        "### DES speculation: {} workload on {} ranks ({} iterations)\n",
+        c.kind, c.pes, c.iterations
+    );
+    println!(
+        "program encoding   : {} roles / {} ranks, {} ops stored for {} executed per run",
+        c.streams, c.pes, c.stored_ops, c.ops_per_run
+    );
+    println!(
+        "replications       : {} seeds over {workers} worker(s), {sim_threads} engine thread(s)/run",
+        s.replications.len()
+    );
+    println!(
+        "makespan           : mean {:.4} s  (min {:.4}, max {:.4}, std {:.5})",
+        s.mean_makespan(),
+        s.min_makespan(),
+        s.max_makespan(),
+        s.std_dev_makespan()
+    );
+    if let Some(ct) = &opt {
+        println!(
+            "optimistic engine  : {} rounds, {} speculated ({} commits, {} rollbacks)",
+            ct.rounds, ct.speculated, ct.commits, ct.rollbacks
+        );
+    }
+    println!("campaign wall      : {:.2} ms", c.wall.as_secs_f64() * 1e3);
+    println!("throughput         : {:.2} M simulated events/s\n", c.events_per_sec() / 1e6);
+}
+
 fn run_timeline() {
     use cluster_sim::timeline;
     use sweep3d::trace::{generate_programs, FlopModel};
@@ -613,7 +801,7 @@ fn run_obs(obs: &Obs) {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments [--trace <path>] [--metrics <path>] [--json] <table1|table2|table3|fig1|fig8|fig9|hmcl [--machine <name|path>]|concurrence|ablation|blocking|asci-goals|rendezvous|strong-scaling|sweep [--machine <name|path>] [--backend <list>]|speculation [--threads N] [--optimistic]|timeline|obs|attribute [--mode seq|par|opt] [--speedscope <path>] [--check-modes]|robustness|host-validate|csv [dir]|validate|all>"
+        "usage: experiments [--trace <path>] [--metrics <path>] [--json] <table1|table2|table3|fig1|fig8|fig9|hmcl [--machine <name|path>]|concurrence|ablation|blocking|asci-goals|rendezvous|strong-scaling|sweep [--machine <name|path>] [--backend <list>] [--workload <wavefront|stencil|allreduce>]|speculation [--workload <kind>] [--threads N] [--optimistic]|timeline|obs|attribute [--workload <kind>] [--mode seq|par|opt] [--speedscope <path>] [--check-modes]|robustness|host-validate|csv [dir]|validate|all>"
     );
     std::process::exit(2)
 }

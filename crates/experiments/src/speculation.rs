@@ -11,7 +11,7 @@ use std::time::{Duration, Instant};
 
 use cluster_sim::{MachineSpec, OptConfig};
 use obs::MetricValue;
-use pace_core::{HardwareModel, Sweep3dModel, Sweep3dParams};
+use pace_core::{HardwareModel, Sweep3dModel, Sweep3dParams, Workload};
 use registry::quoted as machines;
 use sweep3d::trace::{generate_program_set, FlopModel};
 use sweep3d::ProblemConfig;
@@ -353,6 +353,100 @@ pub fn simulate_optimistic(
     (campaign, counters)
 }
 
+/// A seed-replicated DES campaign of an arbitrary [`Workload`] lowering —
+/// the generic sibling of [`simulate`] behind
+/// `experiments speculation --workload stencil|allreduce`.
+#[derive(Debug, Clone)]
+pub struct WorkloadCampaign {
+    /// Stable workload kind (`"stencil"`, `"allreduce"`, …).
+    pub kind: &'static str,
+    /// Ranks simulated.
+    pub pes: usize,
+    /// Outer iterations simulated.
+    pub iterations: usize,
+    /// Distinct interned op streams (roles) in the program set.
+    pub streams: usize,
+    /// Ops stored once (sum over streams).
+    pub stored_ops: usize,
+    /// Ops executed per run (sum over ranks).
+    pub ops_per_run: usize,
+    /// The per-seed replication results, in seed order.
+    pub summary: ReplicationSummary,
+    /// Wall-clock time of the whole campaign (setup + runs).
+    pub wall: Duration,
+}
+
+impl WorkloadCampaign {
+    /// Total simulated events (executed ops) across all replications.
+    pub fn total_events(&self) -> u64 {
+        self.ops_per_run as u64 * self.summary.replications.len() as u64
+    }
+
+    /// Simulated events per wall-clock second.
+    pub fn events_per_sec(&self) -> f64 {
+        self.total_events() as f64 / self.wall.as_secs_f64().max(1e-12)
+    }
+}
+
+/// Replicate any workload's DES lowering under noise seeds on the
+/// [`speculation_machine`], fanned over `workers` pool threads. `opt`
+/// routes each run through the optimistic scheduler instead (results stay
+/// bit-identical either way; the `opt.*` counters come back alongside).
+/// Same fixed seed family as [`simulate`], so campaigns are reproducible.
+pub fn simulate_workload(
+    workload: &dyn Workload,
+    repeat: usize,
+    workers: usize,
+    sim_threads: Option<usize>,
+    opt: Option<OptConfig>,
+) -> (WorkloadCampaign, Option<OptCounters>) {
+    let t0 = Instant::now();
+    let machine = speculation_machine();
+    let set = workload.program_set(&machine).expect("workload lowers on the speculation machine");
+    let seeds: Vec<u64> = (1..=repeat as u64).map(|i| 0x5EED_0000 + i).collect();
+    let (summary, counters) = match opt {
+        Some(cfg) => {
+            let obs = obs::Obs::disabled(); // metrics still record
+            let summary =
+                sweepsvc::replicate_set_optimistic(&machine, &set, &seeds, workers, cfg, &obs)
+                    .expect("trace is deadlock-free");
+            let snap = obs.metrics.snapshot();
+            let counter =
+                |name: &str| snap.get(name).and_then(MetricValue::as_counter).unwrap_or(0);
+            let counters = OptCounters {
+                rounds: counter("opt.rounds"),
+                speculated: counter("opt.speculated"),
+                commits: counter("opt.commits"),
+                rollbacks: counter("opt.rollbacks"),
+            };
+            (summary, Some(counters))
+        }
+        None => {
+            let summary = sweepsvc::replicate_set_threaded(
+                &machine,
+                &set,
+                &seeds,
+                workers,
+                sim_threads,
+                &obs::Obs::disabled(),
+            )
+            .expect("trace is deadlock-free");
+            (summary, None)
+        }
+    };
+    let campaign = WorkloadCampaign {
+        kind: workload.kind(),
+        pes: workload.pes(),
+        iterations: workload.iterations(),
+        streams: set.num_streams(),
+        stored_ops: set.stored_ops(),
+        ops_per_run: set.total_ops(),
+        summary,
+        wall: t0.elapsed(),
+    };
+    (campaign, counters)
+}
+
 /// The pre-engine serial reference path: one model evaluation at a time,
 /// no pool, no cache. Kept as the ground truth the parallel path is
 /// tested against.
@@ -483,6 +577,24 @@ mod tests {
         // An attempt may inject several messages, so the message counter
         // dominates the attempt counters.
         assert!(counters.speculated >= counters.commits + counters.rollbacks);
+    }
+
+    #[test]
+    fn workload_campaigns_replicate_and_stay_bit_identical_optimistically() {
+        let mut p = pace_core::StencilParams::weak_scaling(2, 2);
+        p.iterations = 3;
+        let (c, opt) = simulate_workload(&p, 2, 2, None, None);
+        assert_eq!((c.kind, c.pes, c.iterations), ("stencil", 4, 3));
+        assert!(opt.is_none());
+        assert_eq!(c.summary.replications.len(), 2);
+        let makespans = c.summary.makespans();
+        assert!(makespans[0] != makespans[1], "seeds had no effect: {makespans:?}");
+        assert!(c.total_events() > 0 && c.events_per_sec() > 0.0);
+        // The optimistic scheduler must not change a single simulated number.
+        let (o, counters) =
+            simulate_workload(&p, 2, 2, None, Some(OptConfig::new(2).with_budget(4)));
+        assert_eq!(c.summary.replications, o.summary.replications);
+        assert!(counters.expect("optimistic runs report counters").rounds > 0);
     }
 
     #[test]

@@ -1,79 +1,62 @@
-//! The discrete-event backend: predict by *running* the configured
-//! problem through the `cluster-sim` engine on the machine's simulated
+//! The discrete-event backend: predict by *running* the workload's traced
+//! program set through the `cluster-sim` engine on the machine's simulated
 //! half.
 //!
 //! Where the analytic backends price a closed form, this backend replays
-//! the traced SWEEP3D communication structure rank by rank, so it sees
+//! the workload's communication structure rank by rank, so it sees
 //! pipeline stalls, rendezvous hand-shakes and OS noise the closed forms
 //! average away. It is the most expensive backend (wall time grows with
 //! ranks × blocks) and the only one that needs the registry machine's
-//! `sim` half.
+//! `sim` half. It is workload-generic: any [`Workload`] that lowers to a
+//! [`cluster_sim::ProgramSet`] can be simulated.
 
 use cluster_sim::Engine;
 use pace_core::engine::{EvaluationReport, SubtaskTime};
+use pace_core::workload::Workload;
 use pace_core::Sweep3dParams;
-use sweep3d::trace::{generate_program_set, FlopModel};
+use sweep3d::trace::FlopModel;
 use sweep3d::ProblemConfig;
 
 use crate::Predictor;
 
-/// Recover the S_N order from an angles-per-octant count
-/// (`angles = N(N+2)/8`, N even).
-fn sn_order_for(angles_per_octant: usize) -> Result<usize, String> {
-    (2..=64).step_by(2).find(|n| n * (n + 2) / 8 == angles_per_octant).ok_or_else(|| {
-        format!("no even S_N order ≤ 64 yields {angles_per_octant} angles per octant")
-    })
-}
-
-/// Translate the analytic parameter set into the simulator's problem
-/// configuration (same decomposition, blocking and iteration count).
+/// Translate the analytic wavefront parameter set into the simulator's
+/// problem configuration (same decomposition, blocking and iteration
+/// count). Thin delegate kept for callers that work with the wavefront
+/// concretely; the generic path goes through [`Workload::program_set`].
 pub fn problem_config(params: &Sweep3dParams) -> Result<ProblemConfig, String> {
-    let mut c = ProblemConfig::weak_scaling(1, params.px, params.py);
-    c.it = params.nx * params.px;
-    c.jt = params.ny * params.py;
-    c.kt = params.nz;
-    c.mk = params.mk.min(params.nz);
-    c.mmi = params.mmi;
-    c.sn_order = sn_order_for(params.angles_per_octant)?;
-    c.iterations = params.iterations;
-    c.validate()?;
-    Ok(c)
+    pace_core::workload::sweep3d_problem_config(params)
 }
 
 /// The per-cell flop weights the trace generator should charge, taken from
 /// the same kernel characterisation the analytic backends price.
 pub fn flop_model(params: &Sweep3dParams) -> FlopModel {
-    FlopModel {
-        flops_per_cell_angle: params.kernel.sweep_per_cell_angle.flops(),
-        source_flops_per_cell: params.kernel.source_per_cell.flops(),
-        flux_err_flops_per_cell: params.kernel.flux_err_per_cell.flops(),
-    }
+    pace_core::workload::sweep3d_flop_model(params)
 }
 
-/// Build the interned program set the DES backend replays for `params`.
-/// Exposed so campaign planners can pay trace generation once per
-/// (problem) cell and fork the simulation prefix across what-ifs.
+/// Build the interned program set the DES backend replays for the
+/// wavefront `params`. Exposed so campaign planners can pay trace
+/// generation once per (problem) cell and fork the simulation prefix
+/// across what-ifs.
 pub fn program_set(params: &Sweep3dParams) -> Result<cluster_sim::ProgramSet, String> {
-    let config = problem_config(params)?;
-    Ok(generate_program_set(&config, &flop_model(params)))
+    pace_core::workload::sweep3d_program_set(params)
 }
 
 /// Wrap a simulated makespan into the report shape every DES prediction
 /// uses. Shared by the cold, forked and planned paths so they are
 /// byte-identical by construction.
 pub fn report_from_makespan(
-    params: &Sweep3dParams,
+    workload: &dyn Workload,
     sim_name: &str,
     total_secs: f64,
 ) -> EvaluationReport {
     EvaluationReport {
-        application: "sweep3d".to_string(),
+        application: workload.kind().to_string(),
         hardware: sim_name.to_string(),
         total_secs,
-        iterations: params.iterations,
+        iterations: workload.iterations(),
         subtasks: vec![SubtaskTime {
             name: "simulated".to_string(),
-            secs_per_iteration: total_secs / params.iterations.max(1) as f64,
+            secs_per_iteration: total_secs / workload.iterations().max(1) as f64,
             pipeline: None,
         }],
     }
@@ -83,24 +66,24 @@ pub fn report_from_makespan(
 /// activations, swap in `machine`'s twin, resume to completion. This is
 /// the per-scenario meaning of `SweepSpec::des_fork`; the campaign
 /// planner produces byte-identical results by sharing one paused prefix
-/// per (base, problem) cell and resuming snapshots. When `machine` and
+/// per (base, workload) cell and resuming snapshots. When `machine` and
 /// `base` are equal the result is bit-identical to a cold run.
 pub fn predict_forked(
-    params: &Sweep3dParams,
+    workload: &dyn Workload,
     base: &registry::MachineSpec,
     machine: &registry::MachineSpec,
     fork_after: u64,
 ) -> Result<EvaluationReport, String> {
     let base_sim = base.sim_or_err()?;
     let sim = machine.sim_or_err()?;
-    let set = program_set(params)?;
+    let set = workload.program_set(base_sim)?;
     let paused = Engine::from_set(base_sim, set)
         .run_paused(fork_after)
         .map_err(|e| format!("dessim fork prefix on '{}': {e}", base.id))?;
     let report = paused
         .resume_with(sim)
         .map_err(|e| format!("dessim fork resume on '{}': {e}", machine.id))?;
-    Ok(report_from_makespan(params, &sim.name, report.makespan()))
+    Ok(report_from_makespan(workload, &sim.name, report.makespan()))
 }
 
 /// The discrete-event predictor backend.
@@ -122,28 +105,21 @@ impl Predictor for DesSimPredictor {
 
     fn predict(
         &self,
-        params: &Sweep3dParams,
+        workload: &dyn Workload,
         machine: &registry::MachineSpec,
     ) -> Result<EvaluationReport, String> {
         let sim = machine.sim_or_err()?;
-        let set = program_set(params)?;
+        let set = workload.program_set(sim)?;
         let report = Engine::from_set(sim, set)
             .run()
             .map_err(|e| format!("dessim on '{}': {e}", machine.id))?;
-        Ok(report_from_makespan(params, &sim.name, report.makespan()))
+        Ok(report_from_makespan(workload, &sim.name, report.makespan()))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn sn_order_inverts_angle_counts() {
-        assert_eq!(sn_order_for(6), Ok(6)); // S6: 6·8/8
-        assert_eq!(sn_order_for(1), Ok(2)); // S2: 2·4/8
-        assert!(sn_order_for(7).is_err());
-    }
 
     #[test]
     fn config_mirrors_params() {
@@ -192,5 +168,25 @@ mod tests {
         let larger =
             DesSimPredictor.predict_secs(&Sweep3dParams::speculative_20m(6, 6), &machine).unwrap();
         assert!(larger > a, "weak scaling grows the makespan: {larger} vs {a}");
+    }
+
+    #[test]
+    fn identity_fork_is_bit_identical_for_the_new_workloads() {
+        let machine = registry::builtin("opteron-myrinet").unwrap();
+        let stencil = {
+            let mut s = pace_core::StencilParams::weak_scaling(2, 2);
+            s.iterations = 3;
+            s
+        };
+        let solver = {
+            let mut a = pace_core::AllreduceParams::cg_like(4);
+            a.iterations = 5;
+            a
+        };
+        for w in [&stencil as &dyn Workload, &solver as &dyn Workload] {
+            let cold = DesSimPredictor.predict(w, &machine).unwrap();
+            let forked = predict_forked(w, &machine, &machine, 9).unwrap();
+            assert_eq!(cold, forked, "identity fork must be free for '{}'", w.kind());
+        }
     }
 }

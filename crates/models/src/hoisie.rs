@@ -23,9 +23,10 @@
 
 use pace_core::comm::CommModel;
 use pace_core::engine::EvaluationReport;
+use pace_core::workload::Workload;
 use pace_core::{HardwareModel, Sweep3dParams};
 
-use crate::Predictor;
+use crate::{Backend, Predictor};
 
 /// The Hoisie et al. wavefront model.
 #[derive(Debug, Clone, Copy, Default)]
@@ -121,10 +122,12 @@ impl Predictor for HoisieModel {
 
     fn predict(
         &self,
-        params: &Sweep3dParams,
+        workload: &dyn Workload,
         machine: &registry::MachineSpec,
     ) -> Result<EvaluationReport, String> {
-        Ok(crate::scalar_report(machine, params, self.predict_secs(params, &machine.analytic)))
+        // The closed form is a wavefront derivation; refuse anything else.
+        let params = crate::wavefront_params(Backend::Hoisie, workload)?;
+        Ok(crate::scalar_report(machine, workload, self.predict_secs(params, &machine.analytic)))
     }
 }
 

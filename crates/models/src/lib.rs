@@ -13,9 +13,14 @@
 //! * [`Backend::DesSim`] — the discrete-event `cluster-sim` engine
 //!   ([`dessim`]), which needs the machine's simulated half.
 //!
-//! All four evaluate the same [`Sweep3dParams`] against the same
+//! All four evaluate the same [`Workload`] against the same
 //! [`registry::MachineSpec`], so a sweep can cross machines × problems ×
-//! backends without hand-wiring (see `sweepsvc`).
+//! backends without hand-wiring (see `sweepsvc`). The PACE and DES
+//! backends are workload-generic — they price whatever application object
+//! / program set the workload supplies. The LogGP and Hoisie closed forms
+//! are derivations *for the wavefront specifically*; they declare that via
+//! [`Backend::supports`] and fail with a structured error on anything
+//! else.
 //!
 //! Neither closed-form baseline is a re-derivation of the full published
 //! models (those target one machine's MPI implementation in detail); they
@@ -31,11 +36,12 @@ pub use hoisie::{HoisieBreakdown, HoisieModel};
 pub use loggp::{LogGpModel, LogGpParams};
 
 use pace_core::engine::{EvaluationReport, SubtaskTime};
-use pace_core::{Sweep3dModel, Sweep3dParams};
+use pace_core::workload::Workload;
+use pace_core::{EvaluationEngine, Sweep3dParams};
 
-/// A prediction backend: anything that can turn (problem, machine) into an
+/// A prediction backend: anything that can turn (workload, machine) into an
 /// evaluation report. Replaces the narrower `WavefrontModel` trait, which
-/// only spoke the analytic `HardwareModel` half.
+/// only spoke the analytic `HardwareModel` half of one application.
 pub trait Predictor: Send + Sync {
     /// The stable CLI identifier (`pace`, `loggp`, `hoisie`, `dessim`).
     fn name(&self) -> &'static str;
@@ -49,47 +55,69 @@ pub trait Predictor: Send + Sync {
         false
     }
 
-    /// Predict a SWEEP3D run on a registry machine. Errors when the
-    /// machine lacks a characterisation the backend needs.
+    /// Predict a workload's run on a registry machine. Errors when the
+    /// machine lacks a characterisation the backend needs, or when the
+    /// backend does not model the workload's structure.
     fn predict(
         &self,
-        params: &Sweep3dParams,
+        workload: &dyn Workload,
         machine: &registry::MachineSpec,
     ) -> Result<EvaluationReport, String>;
 
     /// Predicted total execution time, seconds.
     fn predict_secs(
         &self,
-        params: &Sweep3dParams,
+        workload: &dyn Workload,
         machine: &registry::MachineSpec,
     ) -> Result<f64, String> {
-        Ok(self.predict(params, machine)?.total_secs)
+        Ok(self.predict(workload, machine)?.total_secs)
     }
 }
 
+/// The structured refusal of a backend asked to price a workload outside
+/// its derivation. Shared so the CLI, the sweep validator and the backends
+/// themselves produce byte-identical messages.
+pub fn unsupported_workload(backend: Backend, kind: &str) -> String {
+    format!("backend '{}' does not model workload '{kind}'", backend.name())
+}
+
+/// Downcast a workload to the wavefront parameter set, or produce the
+/// structured unsupported-workload error for `backend`.
+pub(crate) fn wavefront_params(
+    backend: Backend,
+    workload: &dyn Workload,
+) -> Result<&Sweep3dParams, String> {
+    workload
+        .as_any()
+        .downcast_ref::<Sweep3dParams>()
+        .ok_or_else(|| unsupported_workload(backend, workload.kind()))
+}
+
 /// Wrap a closed-form scalar prediction into a report shaped like the PACE
-/// engine's output (single aggregate subtask).
+/// engine's output (single aggregate subtask). The report's `application`
+/// is the workload's kind string.
 pub(crate) fn scalar_report(
     machine: &registry::MachineSpec,
-    params: &Sweep3dParams,
+    workload: &dyn Workload,
     total_secs: f64,
 ) -> EvaluationReport {
     EvaluationReport {
-        application: "sweep3d".to_string(),
+        application: workload.kind().to_string(),
         hardware: machine.analytic.name.clone(),
         total_secs,
-        iterations: params.iterations,
+        iterations: workload.iterations(),
         subtasks: vec![SubtaskTime {
             name: "total".to_string(),
-            secs_per_iteration: total_secs / params.iterations.max(1) as f64,
+            secs_per_iteration: total_secs / workload.iterations().max(1) as f64,
             pipeline: None,
         }],
     }
 }
 
 /// The PACE model of this repository, adapted to the backend interface.
-/// `predict` returns the evaluation engine's report verbatim, so going
-/// through the registry is bit-identical to calling the model directly.
+/// Fully workload-generic: it prices whatever application object the
+/// workload supplies, so going through the registry is bit-identical to
+/// evaluating the model directly.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct PacePredictor;
 
@@ -104,10 +132,10 @@ impl Predictor for PacePredictor {
 
     fn predict(
         &self,
-        params: &Sweep3dParams,
+        workload: &dyn Workload,
         machine: &registry::MachineSpec,
     ) -> Result<EvaluationReport, String> {
-        Ok(Sweep3dModel::new(*params).predict(&machine.analytic).report)
+        Ok(EvaluationEngine::new().evaluate(&workload.application(), &machine.analytic))
     }
 }
 
@@ -132,7 +160,7 @@ impl Backend {
     /// trio.
     pub const ANALYTIC: [Backend; 3] = [Backend::Pace, Backend::LogGp, Backend::Hoisie];
 
-    /// Parse a CLI identifier.
+    /// Parse a CLI identifier. The error lists every valid identifier.
     pub fn parse(s: &str) -> Result<Backend, String> {
         match s {
             "pace" => Ok(Backend::Pace),
@@ -155,6 +183,16 @@ impl Backend {
         }
     }
 
+    /// Whether this backend models a workload kind. The PACE engine and
+    /// the DES engine are template-generic; the LogGP and Hoisie closed
+    /// forms are wavefront derivations only.
+    pub fn supports(self, kind: &str) -> bool {
+        match self {
+            Backend::Pace | Backend::DesSim => true,
+            Backend::LogGp | Backend::Hoisie => kind == "sweep3d",
+        }
+    }
+
     /// Instantiate the backend's predictor.
     pub fn predictor(self) -> Box<dyn Predictor> {
         match self {
@@ -169,6 +207,7 @@ impl Backend {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pace_core::{AllreduceParams, StencilParams, Sweep3dModel};
 
     fn analytic_predictors() -> Vec<Box<dyn Predictor>> {
         Backend::ANALYTIC.iter().map(|b| b.predictor()).collect()
@@ -181,6 +220,10 @@ mod tests {
         }
         let err = Backend::parse("petri-net").unwrap_err();
         assert!(err.contains("petri-net") && err.contains("dessim"), "{err}");
+        assert!(
+            err.contains("pace") && err.contains("loggp") && err.contains("hoisie"),
+            "error must list every identifier: {err}"
+        );
     }
 
     #[test]
@@ -230,6 +273,7 @@ mod tests {
             let p = b.predictor();
             let report = p.predict(&params, &machine).unwrap();
             assert_eq!(report.iterations, params.iterations);
+            assert_eq!(report.application, "sweep3d");
             let per_iter = report.subtasks[0].secs_per_iteration;
             assert!((per_iter * params.iterations as f64 - report.total_secs).abs() < 1e-12);
             assert_eq!(report.hardware, machine.analytic.name);
@@ -249,5 +293,38 @@ mod tests {
         assert!(err.contains("flat"), "error should name the machine: {err}");
         assert!(Backend::DesSim.predictor().needs_sim());
         assert!(!Backend::Pace.predictor().needs_sim());
+    }
+
+    #[test]
+    fn wavefront_only_backends_refuse_other_workloads() {
+        let machine = registry::builtin("opteron-myrinet").unwrap();
+        let stencil = StencilParams::weak_scaling(2, 2);
+        let solver = AllreduceParams::cg_like(4);
+        for b in [Backend::LogGp, Backend::Hoisie] {
+            for w in [&stencil as &dyn Workload, &solver as &dyn Workload] {
+                assert!(!b.supports(w.kind()));
+                let err = b.predictor().predict(w, &machine).unwrap_err();
+                assert_eq!(err, unsupported_workload(b, w.kind()));
+            }
+            assert!(b.supports("sweep3d"));
+        }
+        for b in [Backend::Pace, Backend::DesSim] {
+            assert!(b.supports("stencil") && b.supports("allreduce"));
+        }
+    }
+
+    #[test]
+    fn generic_backends_price_the_new_workloads() {
+        let machine = registry::builtin("opteron-myrinet").unwrap();
+        let stencil = StencilParams::weak_scaling(2, 2);
+        let solver = AllreduceParams::cg_like(4);
+        for w in [&stencil as &dyn Workload, &solver as &dyn Workload] {
+            let pace = PacePredictor.predict(w, &machine).unwrap();
+            assert_eq!(pace.application, w.kind());
+            assert!(pace.total_secs > 0.0);
+            let des = DesSimPredictor.predict(w, &machine).unwrap();
+            assert_eq!(des.application, w.kind());
+            assert!(des.total_secs > 0.0);
+        }
     }
 }

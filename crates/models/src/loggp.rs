@@ -20,9 +20,10 @@
 
 use pace_core::comm::CommModel;
 use pace_core::engine::EvaluationReport;
+use pace_core::workload::Workload;
 use pace_core::{HardwareModel, Sweep3dParams};
 
-use crate::Predictor;
+use crate::{Backend, Predictor};
 
 /// The LogGP machine abstraction.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -114,10 +115,12 @@ impl Predictor for LogGpModel {
 
     fn predict(
         &self,
-        params: &Sweep3dParams,
+        workload: &dyn Workload,
         machine: &registry::MachineSpec,
     ) -> Result<EvaluationReport, String> {
-        Ok(crate::scalar_report(machine, params, self.predict_secs(params, &machine.analytic)))
+        // The closed form is a wavefront derivation; refuse anything else.
+        let params = crate::wavefront_params(Backend::LogGp, workload)?;
+        Ok(crate::scalar_report(machine, workload, self.predict_secs(params, &machine.analytic)))
     }
 }
 

@@ -20,6 +20,24 @@ pub const SWEEP_CACHE_SHARDS: usize = 16;
 
 /// Deterministic: scenarios evaluated by the campaign.
 pub const SWEEP_SCENARIOS: &str = "sweep.scenarios";
+/// Deterministic: scenarios of the wavefront (SWEEP3D) workload.
+pub const SWEEP_WORKLOAD_SWEEP3D_SCENARIOS: &str = "sweep.workload.sweep3d.scenarios";
+/// Deterministic: scenarios of the halo-exchange stencil workload.
+pub const SWEEP_WORKLOAD_STENCIL_SCENARIOS: &str = "sweep.workload.stencil.scenarios";
+/// Deterministic: scenarios of the allreduce solver workload.
+pub const SWEEP_WORKLOAD_ALLREDUCE_SCENARIOS: &str = "sweep.workload.allreduce.scenarios";
+
+/// The interned per-workload scenario counter for a workload kind string,
+/// or `None` for kinds the library does not ship (callers skip publishing
+/// rather than allocating a name at sweep time).
+pub fn workload_scenarios(kind: &str) -> Option<&'static str> {
+    match kind {
+        "sweep3d" => Some(SWEEP_WORKLOAD_SWEEP3D_SCENARIOS),
+        "stencil" => Some(SWEEP_WORKLOAD_STENCIL_SCENARIOS),
+        "allreduce" => Some(SWEEP_WORKLOAD_ALLREDUCE_SCENARIOS),
+        _ => None,
+    }
+}
 /// Deterministic: live cache entries after an *unbounded* campaign (a
 /// pure function of the key set). Bounded caches publish
 /// [`SWEEP_CACHE_ENTRIES_WALL`] instead — under eviction the surviving
@@ -139,6 +157,9 @@ mod tests {
     fn deterministic_names_avoid_the_wall_prefix() {
         for name in [
             SWEEP_SCENARIOS,
+            SWEEP_WORKLOAD_SWEEP3D_SCENARIOS,
+            SWEEP_WORKLOAD_STENCIL_SCENARIOS,
+            SWEEP_WORKLOAD_ALLREDUCE_SCENARIOS,
             SWEEP_CACHE_ENTRIES,
             SWEEP_CACHE_CAPACITY,
             SWEEP_PLAN_JOBS,
@@ -159,5 +180,13 @@ mod tests {
         ] {
             assert!(name.starts_with("wall."), "{name} must be wall-prefixed");
         }
+    }
+
+    #[test]
+    fn workload_scenarios_interns_the_shipped_kinds() {
+        assert_eq!(workload_scenarios("sweep3d"), Some("sweep.workload.sweep3d.scenarios"));
+        assert_eq!(workload_scenarios("stencil"), Some("sweep.workload.stencil.scenarios"));
+        assert_eq!(workload_scenarios("allreduce"), Some("sweep.workload.allreduce.scenarios"));
+        assert_eq!(workload_scenarios("mystery"), None);
     }
 }

@@ -35,7 +35,7 @@ const MAX_JSON_INT: u64 = 1 << 53;
 // ---------------------------------------------------------------------------
 
 /// Format a float that may legitimately be infinite (curve switch points).
-fn num(x: f64) -> String {
+pub(crate) fn num(x: f64) -> String {
     if x.is_finite() {
         fmt_f64(x)
     } else if x.is_nan() {
@@ -161,7 +161,7 @@ pub fn emit(spec: &MachineSpec) -> String {
 // Parsing
 // ---------------------------------------------------------------------------
 
-fn as_obj<'a>(v: &'a Json, ctx: &str) -> Result<&'a BTreeMap<String, Json>, String> {
+pub(crate) fn as_obj<'a>(v: &'a Json, ctx: &str) -> Result<&'a BTreeMap<String, Json>, String> {
     match v {
         Json::Obj(map) => Ok(map),
         other => Err(format!("{ctx}: expected an object, got {other:?}")),
@@ -169,7 +169,11 @@ fn as_obj<'a>(v: &'a Json, ctx: &str) -> Result<&'a BTreeMap<String, Json>, Stri
 }
 
 /// Reject any key outside `allowed` — typos must not silently vanish.
-fn check_fields(map: &BTreeMap<String, Json>, allowed: &[&str], ctx: &str) -> Result<(), String> {
+pub(crate) fn check_fields(
+    map: &BTreeMap<String, Json>,
+    allowed: &[&str],
+    ctx: &str,
+) -> Result<(), String> {
     for key in map.keys() {
         if !allowed.contains(&key.as_str()) {
             return Err(format!(
@@ -181,12 +185,16 @@ fn check_fields(map: &BTreeMap<String, Json>, allowed: &[&str], ctx: &str) -> Re
     Ok(())
 }
 
-fn req<'a>(map: &'a BTreeMap<String, Json>, key: &str, ctx: &str) -> Result<&'a Json, String> {
+pub(crate) fn req<'a>(
+    map: &'a BTreeMap<String, Json>,
+    key: &str,
+    ctx: &str,
+) -> Result<&'a Json, String> {
     map.get(key).ok_or_else(|| format!("{ctx}: missing required field `{key}`"))
 }
 
 /// A float, with `"inf"` / `"-inf"` strings for the infinities.
-fn float(v: &Json, ctx: &str) -> Result<f64, String> {
+pub(crate) fn float(v: &Json, ctx: &str) -> Result<f64, String> {
     match v {
         Json::Num(x) if x.is_nan() => Err(format!("{ctx}: NaN is not a valid spec value")),
         Json::Num(x) => Ok(*x),
@@ -196,11 +204,11 @@ fn float(v: &Json, ctx: &str) -> Result<f64, String> {
     }
 }
 
-fn string(v: &Json, ctx: &str) -> Result<String, String> {
+pub(crate) fn string(v: &Json, ctx: &str) -> Result<String, String> {
     v.as_str().map(str::to_string).ok_or_else(|| format!("{ctx}: expected a string"))
 }
 
-fn integer(v: &Json, ctx: &str) -> Result<u64, String> {
+pub(crate) fn integer(v: &Json, ctx: &str) -> Result<u64, String> {
     let x = v.as_f64().ok_or_else(|| format!("{ctx}: expected an integer"))?;
     if !(x.is_finite() && x >= 0.0 && x.fract() == 0.0) {
         return Err(format!("{ctx}: expected a non-negative integer, got {x}"));

@@ -27,6 +27,9 @@
 mod json;
 pub mod quoted;
 pub mod sim;
+mod workload_json;
+
+pub use workload_json::{load_workload_file, WorkloadSpec};
 
 use pace_core::HardwareModel;
 
@@ -125,6 +128,19 @@ pub fn resolve(name_or_path: &str) -> Result<MachineSpec, String> {
     Err(format!(
         "unknown machine '{name_or_path}': not a registry name ({}) and no such spec file",
         BUILTIN_NAMES.join(", ")
+    ))
+}
+
+/// Resolve a workload spec-file path (the problem-side counterpart of
+/// [`resolve`]; bare template identifiers are handled by
+/// [`pace_core::WorkloadKind::parse`] in the CLI, which owns the default
+/// parameter ladders).
+pub fn resolve_workload(path: &str) -> Result<WorkloadSpec, String> {
+    if std::path::Path::new(path).exists() {
+        return load_workload_file(path);
+    }
+    Err(format!(
+        "unknown workload '{path}' (expected one of: wavefront, stencil, allreduce, or a workload spec-file path)"
     ))
 }
 

@@ -1,0 +1,309 @@
+//! Spec-file format for workload parameters — the problem-side twin of
+//! the machine spec files in [`json`](crate::json).
+//!
+//! A workload spec names one template of the workload library and carries
+//! its full parameter struct, so a sweep's problem axis can be swapped
+//! from the command line with no Rust changes (`experiments sweep
+//! --workload <file>`). Same contract as machine specs:
+//!
+//! * **exact round-trip** — `from_json(to_json(spec)) == spec` bit for
+//!   bit (floats use shortest-roundtrip formatting);
+//! * **strictness** — unknown fields, missing fields and malformed values
+//!   are errors naming the offending path, and an unknown `workload`
+//!   identifier lists every valid one.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use obs::json::{escape, Json};
+use pace_core::clc::ResourceVector;
+use pace_core::sweep3d_model::KernelCharacterisation;
+use pace_core::{AllreduceParams, StencilParams, Sweep3dParams, Workload};
+
+use crate::json::{as_obj, check_fields, float, integer, num, req, string};
+
+/// A parsed workload spec: which template plus its parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkloadSpec {
+    /// The pipelined synchronous wavefront (SWEEP3D).
+    Wavefront(Sweep3dParams),
+    /// The 2D halo-exchange stencil.
+    Stencil(StencilParams),
+    /// The allreduce-dominated CG-style solver.
+    Allreduce(AllreduceParams),
+}
+
+impl WorkloadSpec {
+    /// The spec-file `workload` identifier (the CLI name, not the
+    /// [`Workload::kind`] string — `"wavefront"`, not `"sweep3d"`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            WorkloadSpec::Wavefront(_) => "wavefront",
+            WorkloadSpec::Stencil(_) => "stencil",
+            WorkloadSpec::Allreduce(_) => "allreduce",
+        }
+    }
+
+    /// Borrow the parameters as the trait object the sweep layers consume.
+    pub fn workload(&self) -> &dyn Workload {
+        match self {
+            WorkloadSpec::Wavefront(p) => p,
+            WorkloadSpec::Stencil(p) => p,
+            WorkloadSpec::Allreduce(p) => p,
+        }
+    }
+
+    /// Move the parameters behind an `Arc<dyn Workload>` (the form
+    /// [`sweepsvc`]'s problem axis stores).
+    pub fn into_arc(self) -> Arc<dyn Workload> {
+        match self {
+            WorkloadSpec::Wavefront(p) => Arc::new(p),
+            WorkloadSpec::Stencil(p) => Arc::new(p),
+            WorkloadSpec::Allreduce(p) => Arc::new(p),
+        }
+    }
+
+    /// Emit the JSON spec-file form.
+    pub fn to_json(&self) -> String {
+        let params = match self {
+            WorkloadSpec::Wavefront(p) => wavefront_json(p),
+            WorkloadSpec::Stencil(p) => stencil_json(p),
+            WorkloadSpec::Allreduce(p) => allreduce_json(p),
+        };
+        format!("{{\n  \"workload\": \"{}\",\n  \"params\": {params}\n}}\n", escape(self.name()))
+    }
+
+    /// Parse a JSON workload spec. Unknown fields, missing fields and
+    /// malformed values are errors that name the offending path; an
+    /// unknown `workload` identifier lists every valid one.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let doc = Json::parse(text).map_err(|e| format!("workload spec: {e}"))?;
+        let map = as_obj(&doc, "workload spec")?;
+        check_fields(map, &["workload", "params"], "workload spec")?;
+        let name = string(req(map, "workload", "workload spec")?, "workload spec.workload")?;
+        let params = req(map, "params", "workload spec")?;
+        match name.as_str() {
+            "wavefront" => Ok(WorkloadSpec::Wavefront(wavefront(params, "workload spec.params")?)),
+            "stencil" => Ok(WorkloadSpec::Stencil(stencil(params, "workload spec.params")?)),
+            "allreduce" => Ok(WorkloadSpec::Allreduce(allreduce(params, "workload spec.params")?)),
+            other => Err(format!(
+                "workload spec.workload: unknown workload '{other}' (expected one of: wavefront, stencil, allreduce)"
+            )),
+        }
+    }
+}
+
+/// Load a workload from a JSON spec file.
+pub fn load_workload_file(path: &str) -> Result<WorkloadSpec, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read workload spec file {path}: {e}"))?;
+    WorkloadSpec::from_json(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+// ---------------------------------------------------------------------------
+// Emission
+// ---------------------------------------------------------------------------
+
+fn vector_json(v: &ResourceVector) -> String {
+    format!(
+        "{{ \"mfdg\": {}, \"afdg\": {}, \"dfdg\": {}, \"ifbr\": {}, \"lfor\": {}, \"cmld\": {} }}",
+        num(v.mfdg),
+        num(v.afdg),
+        num(v.dfdg),
+        num(v.ifbr),
+        num(v.lfor),
+        num(v.cmld)
+    )
+}
+
+fn wavefront_json(p: &Sweep3dParams) -> String {
+    format!(
+        "{{\n    \"px\": {}, \"py\": {}, \"nx\": {}, \"ny\": {}, \"nz\": {},\n    \"mk\": {}, \"mmi\": {}, \"angles_per_octant\": {}, \"iterations\": {},\n    \"kernel\": {{\n      \"sweep_per_cell_angle\": {},\n      \"source_per_cell\": {},\n      \"flux_err_per_cell\": {}\n    }}\n  }}",
+        p.px,
+        p.py,
+        p.nx,
+        p.ny,
+        p.nz,
+        p.mk,
+        p.mmi,
+        p.angles_per_octant,
+        p.iterations,
+        vector_json(&p.kernel.sweep_per_cell_angle),
+        vector_json(&p.kernel.source_per_cell),
+        vector_json(&p.kernel.flux_err_per_cell)
+    )
+}
+
+fn stencil_json(p: &StencilParams) -> String {
+    format!(
+        "{{ \"px\": {}, \"py\": {}, \"nx\": {}, \"ny\": {}, \"iterations\": {}, \"flops_per_cell\": {} }}",
+        p.px,
+        p.py,
+        p.nx,
+        p.ny,
+        p.iterations,
+        num(p.flops_per_cell)
+    )
+}
+
+fn allreduce_json(p: &AllreduceParams) -> String {
+    format!(
+        "{{ \"procs\": {}, \"cells_per_pe\": {}, \"flops_per_cell\": {}, \"reduce_bytes\": {}, \"reductions_per_iteration\": {}, \"iterations\": {} }}",
+        p.procs,
+        p.cells_per_pe,
+        num(p.flops_per_cell),
+        p.reduce_bytes,
+        p.reductions_per_iteration,
+        p.iterations
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn usize_field(map: &BTreeMap<String, Json>, key: &str, ctx: &str) -> Result<usize, String> {
+    Ok(integer(req(map, key, ctx)?, &format!("{ctx}.{key}"))? as usize)
+}
+
+fn vector(v: &Json, ctx: &str) -> Result<ResourceVector, String> {
+    let map = as_obj(v, ctx)?;
+    check_fields(map, &["mfdg", "afdg", "dfdg", "ifbr", "lfor", "cmld"], ctx)?;
+    Ok(ResourceVector {
+        mfdg: float(req(map, "mfdg", ctx)?, &format!("{ctx}.mfdg"))?,
+        afdg: float(req(map, "afdg", ctx)?, &format!("{ctx}.afdg"))?,
+        dfdg: float(req(map, "dfdg", ctx)?, &format!("{ctx}.dfdg"))?,
+        ifbr: float(req(map, "ifbr", ctx)?, &format!("{ctx}.ifbr"))?,
+        lfor: float(req(map, "lfor", ctx)?, &format!("{ctx}.lfor"))?,
+        cmld: float(req(map, "cmld", ctx)?, &format!("{ctx}.cmld"))?,
+    })
+}
+
+fn wavefront(v: &Json, ctx: &str) -> Result<Sweep3dParams, String> {
+    let map = as_obj(v, ctx)?;
+    check_fields(
+        map,
+        &["px", "py", "nx", "ny", "nz", "mk", "mmi", "angles_per_octant", "iterations", "kernel"],
+        ctx,
+    )?;
+    let kctx = format!("{ctx}.kernel");
+    let kmap = as_obj(req(map, "kernel", ctx)?, &kctx)?;
+    check_fields(kmap, &["sweep_per_cell_angle", "source_per_cell", "flux_err_per_cell"], &kctx)?;
+    let kernel = KernelCharacterisation {
+        sweep_per_cell_angle: vector(
+            req(kmap, "sweep_per_cell_angle", &kctx)?,
+            &format!("{kctx}.sweep_per_cell_angle"),
+        )?,
+        source_per_cell: vector(
+            req(kmap, "source_per_cell", &kctx)?,
+            &format!("{kctx}.source_per_cell"),
+        )?,
+        flux_err_per_cell: vector(
+            req(kmap, "flux_err_per_cell", &kctx)?,
+            &format!("{kctx}.flux_err_per_cell"),
+        )?,
+    };
+    Ok(Sweep3dParams {
+        px: usize_field(map, "px", ctx)?,
+        py: usize_field(map, "py", ctx)?,
+        nx: usize_field(map, "nx", ctx)?,
+        ny: usize_field(map, "ny", ctx)?,
+        nz: usize_field(map, "nz", ctx)?,
+        mk: usize_field(map, "mk", ctx)?,
+        mmi: usize_field(map, "mmi", ctx)?,
+        angles_per_octant: usize_field(map, "angles_per_octant", ctx)?,
+        iterations: usize_field(map, "iterations", ctx)?,
+        kernel,
+    })
+}
+
+fn stencil(v: &Json, ctx: &str) -> Result<StencilParams, String> {
+    let map = as_obj(v, ctx)?;
+    check_fields(map, &["px", "py", "nx", "ny", "iterations", "flops_per_cell"], ctx)?;
+    Ok(StencilParams {
+        px: usize_field(map, "px", ctx)?,
+        py: usize_field(map, "py", ctx)?,
+        nx: usize_field(map, "nx", ctx)?,
+        ny: usize_field(map, "ny", ctx)?,
+        iterations: usize_field(map, "iterations", ctx)?,
+        flops_per_cell: float(req(map, "flops_per_cell", ctx)?, &format!("{ctx}.flops_per_cell"))?,
+    })
+}
+
+fn allreduce(v: &Json, ctx: &str) -> Result<AllreduceParams, String> {
+    let map = as_obj(v, ctx)?;
+    check_fields(
+        map,
+        &[
+            "procs",
+            "cells_per_pe",
+            "flops_per_cell",
+            "reduce_bytes",
+            "reductions_per_iteration",
+            "iterations",
+        ],
+        ctx,
+    )?;
+    Ok(AllreduceParams {
+        procs: usize_field(map, "procs", ctx)?,
+        cells_per_pe: usize_field(map, "cells_per_pe", ctx)?,
+        flops_per_cell: float(req(map, "flops_per_cell", ctx)?, &format!("{ctx}.flops_per_cell"))?,
+        reduce_bytes: usize_field(map, "reduce_bytes", ctx)?,
+        reductions_per_iteration: usize_field(map, "reductions_per_iteration", ctx)?,
+        iterations: usize_field(map, "iterations", ctx)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_template_round_trips_exactly() {
+        let specs = [
+            WorkloadSpec::Wavefront(Sweep3dParams::weak_scaling_50cubed(2, 3)),
+            WorkloadSpec::Stencil(StencilParams::weak_scaling(4, 2)),
+            WorkloadSpec::Allreduce(AllreduceParams::cg_like(16)),
+        ];
+        for spec in specs {
+            let doc = spec.to_json();
+            let back =
+                WorkloadSpec::from_json(&doc).unwrap_or_else(|e| panic!("{}: {e}", spec.name()));
+            assert_eq!(back, spec, "{} must round-trip exactly", spec.name());
+            // The trait-object identity survives the trip too.
+            assert_eq!(back.workload().param_digest(), spec.workload().param_digest());
+        }
+    }
+
+    #[test]
+    fn unknown_workload_identifier_lists_the_valid_ones() {
+        let err = WorkloadSpec::from_json(r#"{ "workload": "fft", "params": {} }"#).unwrap_err();
+        assert!(err.contains("unknown workload 'fft'"), "{err}");
+        for name in ["wavefront", "stencil", "allreduce"] {
+            assert!(err.contains(name), "error must list '{name}': {err}");
+        }
+    }
+
+    #[test]
+    fn typos_and_missing_fields_name_the_offending_path() {
+        let err = WorkloadSpec::from_json(
+            r#"{ "workload": "stencil", "params": { "px": 2, "py": 2, "nx": 10, "ny": 10, "iterations": 1, "flops_per_cel": 6 } }"#,
+        )
+        .unwrap_err();
+        assert!(err.contains("unknown field `flops_per_cel`"), "{err}");
+        assert!(err.contains("flops_per_cell"), "should list expected fields: {err}");
+        let err =
+            WorkloadSpec::from_json(r#"{ "workload": "allreduce", "params": { "procs": 4 } }"#)
+                .unwrap_err();
+        assert!(err.contains("missing required field"), "{err}");
+    }
+
+    #[test]
+    fn kernel_vectors_survive_the_wavefront_trip() {
+        let mut p = Sweep3dParams::weak_scaling_50cubed(1, 2);
+        p.kernel.sweep_per_cell_angle.mfdg = 12.3456789;
+        let spec = WorkloadSpec::Wavefront(p);
+        let back = WorkloadSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(back, spec);
+    }
+}

@@ -106,6 +106,17 @@ pub enum CacheKey {
         i_msg_bytes: usize,
         j_msg_bytes: usize,
     },
+    /// Halo-exchange template: structural params + rate table + comm model.
+    Halo {
+        rates: RatesKey,
+        comm: CommKey,
+        px: usize,
+        py: usize,
+        flops: u64,
+        cells_per_pe: usize,
+        x_msg_bytes: usize,
+        y_msg_bytes: usize,
+    },
     /// Collective template: reads only the comm model.
     Collective { comm: CommKey, is_max: bool, bytes: usize, procs: usize },
     /// Async (serial) template: reads only the rate table.
@@ -127,6 +138,16 @@ impl CacheKey {
                 cells_per_pe: p.cells_per_pe,
                 i_msg_bytes: p.i_msg_bytes,
                 j_msg_bytes: p.j_msg_bytes,
+            },
+            TemplateBinding::Halo(p) => CacheKey::Halo {
+                rates: RatesKey::of(hw),
+                comm: CommKey::of(&hw.comm),
+                px: p.px,
+                py: p.py,
+                flops: canon(p.flops),
+                cells_per_pe: p.cells_per_pe,
+                x_msg_bytes: p.x_msg_bytes,
+                y_msg_bytes: p.y_msg_bytes,
             },
             TemplateBinding::Collective(p) => CacheKey::Collective {
                 comm: CommKey::of(&hw.comm),
@@ -367,6 +388,26 @@ mod tests {
                 _ => assert_ne!(a, b, "{}", sub.name),
             }
         }
+    }
+
+    #[test]
+    fn halo_keys_read_rates_comm_and_structure() {
+        use pace_core::workload::Workload;
+        let (_, hw) = subtasks();
+        let subs = pace_core::StencilParams::weak_scaling(3, 2).application().subtasks;
+        let halo = subs
+            .iter()
+            .find(|s| matches!(s.template, TemplateBinding::Halo(_)))
+            .expect("stencil app carries a halo subtask");
+        let key = CacheKey::for_subtask(halo, &hw);
+        let mut renamed = hw.clone();
+        renamed.name = "something else".into();
+        assert_eq!(key, CacheKey::for_subtask(halo, &renamed), "names are excluded");
+        assert_ne!(
+            key,
+            CacheKey::for_subtask(halo, &hw.with_rate_scaled(1.25)),
+            "halo evaluation reads the rate table"
+        );
     }
 
     #[test]

@@ -36,6 +36,7 @@ fn evaluate_subtask(sub: &SubtaskObject, hw: &HardwareModel) -> CachedEval {
             let est = templates::pipeline::evaluate(params, hw);
             (est.total_secs, Some(est))
         }
+        TemplateBinding::Halo(params) => (templates::halo::evaluate(params, hw), None),
         TemplateBinding::Collective(params) => {
             (templates::collective::evaluate(params, &hw.comm), None)
         }
@@ -108,11 +109,11 @@ impl CachedEngine {
 /// backend prices the scenario via its `Predictor`.
 fn evaluate_scenario(engine: &CachedEngine, spec: &SweepSpec, sc: &Scenario) -> EvaluationReport {
     match sc.backend {
-        Backend::Pace => engine.predict(sc.params, sc.hw()).report,
+        Backend::Pace => engine.evaluate(&sc.workload.application(), sc.hw()),
         Backend::DesSim if spec.des_fork.is_some() && fork_compatible(spec, sc) => {
             let base = &spec.machines[sc.machine];
             wavefront_models::dessim::predict_forked(
-                &sc.params,
+                &*sc.workload,
                 base,
                 &sc.machine_spec,
                 spec.des_fork.unwrap(),
@@ -121,9 +122,25 @@ fn evaluate_scenario(engine: &CachedEngine, spec: &SweepSpec, sc: &Scenario) -> 
         }
         other => other
             .predictor()
-            .predict(&sc.params, &sc.machine_spec)
+            .predict(&*sc.workload, &sc.machine_spec)
             .unwrap_or_else(|e| panic!("backend '{}': {e}", other.name())),
     }
+}
+
+/// Per-workload scenario tallies for the interned `sweep.workload.*`
+/// counters (kinds without an interned name are skipped, keeping metric
+/// publication allocation-free at sweep time).
+fn workload_counts(scenarios: &[Scenario]) -> Vec<(&'static str, u64)> {
+    let mut counts: Vec<(&'static str, u64)> = Vec::new();
+    for sc in scenarios {
+        if let Some(name) = obs::names::workload_scenarios(sc.workload.kind()) {
+            match counts.iter_mut().find(|(n, _)| *n == name) {
+                Some((_, c)) => *c += 1,
+                None => counts.push((name, 1)),
+            }
+        }
+    }
+    counts
 }
 
 /// Whether `sc`'s twin can resume from its base machine's paused prefix
@@ -265,6 +282,7 @@ impl SweepEngine {
         }
         let scenarios = spec.scenarios();
         let n = scenarios.len();
+        let kinds = workload_counts(&scenarios);
         let cache_before = self.cache.shard_stats();
         let engine = CachedEngine::with_cache(Arc::clone(&self.cache));
         let rec = &*self.obs.recorder;
@@ -284,7 +302,7 @@ impl SweepEngine {
                     t0,
                     vec![
                         ("id", sc.id.into()),
-                        ("pes", (sc.params.px * sc.params.py).into()),
+                        ("pes", sc.workload.pes().into()),
                         ("total_secs", total_secs.into()),
                     ],
                 );
@@ -297,7 +315,7 @@ impl SweepEngine {
                 backend: sc.backend,
                 rate_multiplier: sc.rate_multiplier,
                 label: sc.label.clone(),
-                pes: sc.params.px * sc.params.py,
+                pes: sc.workload.pes(),
                 total_secs,
                 report,
             }
@@ -314,7 +332,7 @@ impl SweepEngine {
             wall: run.wall,
             plan: None,
         };
-        self.publish_metrics(&stats, &cache_before);
+        self.publish_metrics(&stats, &cache_before, &kinds);
         SweepOutcome { results: run.results, stats }
     }
 
@@ -336,6 +354,7 @@ impl SweepEngine {
         }
         let scenarios = spec.scenarios();
         let n = scenarios.len();
+        let kinds = workload_counts(&scenarios);
         let cache_before = self.cache.shard_stats();
         let engine = CachedEngine::with_cache(Arc::clone(&self.cache));
         let rec = &*self.obs.recorder;
@@ -380,7 +399,9 @@ impl SweepEngine {
                 let gsc = &scenarios[plan.jobs[g.members[0]].proto];
                 let base = &spec.machines[g.machine];
                 let base_sim = base.sim_or_err().expect("validated spec");
-                let set = wavefront_models::dessim::program_set(&gsc.params)
+                let set = gsc
+                    .workload
+                    .program_set(base_sim)
                     .unwrap_or_else(|e| panic!("backend 'dessim': {e}"));
                 let paused = cluster_sim::Engine::from_set(base_sim, set)
                     .run_paused(fork)
@@ -395,7 +416,7 @@ impl SweepEngine {
                             panic!("dessim fork resume on '{}': {e}", sc.machine_spec.id)
                         });
                         let report = wavefront_models::dessim::report_from_makespan(
-                            &sc.params,
+                            &*sc.workload,
                             &sim.name,
                             report.makespan(),
                         );
@@ -442,7 +463,7 @@ impl SweepEngine {
                     backend: sc.backend,
                     rate_multiplier: sc.rate_multiplier,
                     label: sc.label.clone(),
-                    pes: sc.params.px * sc.params.py,
+                    pes: sc.workload.pes(),
                     total_secs: report.total_secs,
                     report,
                 }
@@ -455,7 +476,7 @@ impl SweepEngine {
             wall: run.wall,
             plan: Some(plan.stats()),
         };
-        self.publish_metrics(&stats, &cache_before);
+        self.publish_metrics(&stats, &cache_before, &kinds);
         SweepOutcome { results, stats }
     }
 
@@ -472,10 +493,18 @@ impl SweepEngine {
     /// `obs::names` — no per-sweep string allocation. Cache counters are
     /// cumulative over the engine's life, so this run's contribution is
     /// the delta against the pre-run snapshot.
-    fn publish_metrics(&self, stats: &SweepStats, cache_before: &[CacheStats]) {
+    fn publish_metrics(
+        &self,
+        stats: &SweepStats,
+        cache_before: &[CacheStats],
+        kinds: &[(&'static str, u64)],
+    ) {
         use obs::names as n;
         let m = &self.obs.metrics;
         m.counter_add(n::SWEEP_SCENARIOS, stats.scenarios as u64);
+        for &(name, count) in kinds {
+            m.counter_add(name, count);
+        }
         match self.cache.shard_capacity() {
             Some(cap) => {
                 m.gauge_set(n::SWEEP_CACHE_ENTRIES_WALL, stats.cache.entries as f64);
@@ -601,6 +630,8 @@ mod tests {
         let snap = obs.metrics.snapshot();
         let counter = |name: &str| snap.get(name).and_then(obs::MetricValue::as_counter);
         assert_eq!(counter("sweep.scenarios"), Some(out.results.len() as u64));
+        assert_eq!(counter("sweep.workload.sweep3d.scenarios"), Some(out.results.len() as u64));
+        assert_eq!(counter("sweep.workload.stencil.scenarios"), None, "no stencil axis here");
         assert_eq!(counter("wall.sweep.cache.hits"), Some(out.stats.cache.hits));
         assert_eq!(counter("wall.sweep.cache.misses"), Some(out.stats.cache.misses));
         let items: u64 = out.stats.workers.iter().map(|w| w.items).sum();

@@ -9,8 +9,9 @@
 //! plan that pays each distinct piece of work once:
 //!
 //! 1. **Grid dedup** — scenarios are folded onto *jobs*, one per distinct
-//!    evaluation input closure `(backend, params, machine spec[, fork
-//!    base])`. The first scenario (lowest id) of each equivalence class
+//!    evaluation input closure `(backend, workload, machine spec[, fork
+//!    base])` — workload identity is its `(kind, param digest)` pair.
+//!    The first scenario (lowest id) of each equivalence class
 //!    is the job's prototype; the others receive a clone of its report.
 //!    Evaluation is pure, so the clone is byte-identical to what the
 //!    duplicate scenario would have computed itself.
@@ -105,6 +106,11 @@ impl ExecPlan {
     /// Plan the execution of `scenarios` (the expansion of `spec`).
     pub fn build(spec: &SweepSpec, scenarios: &[Scenario]) -> ExecPlan {
         let fork = spec.des_fork;
+        // Workload identity per problem-axis entry, computed once up
+        // front: the dedup loops below compare scenarios pairwise, and
+        // `param_digest` folds the full parameter struct on every call.
+        let problem_identity: Vec<(&str, u64)> =
+            spec.problems.iter().map(|p| (p.workload.kind(), p.workload.param_digest())).collect();
         // 1. Grid dedup: fold each scenario onto the first earlier
         // scenario with the same evaluation input closure. Every
         // backend is a pure function of (params, machine spec); a
@@ -116,7 +122,7 @@ impl ExecPlan {
             let existing = jobs.iter().position(|job| {
                 let p = &scenarios[job.proto];
                 p.backend == sc.backend
-                    && p.params == sc.params
+                    && problem_identity[p.problem] == problem_identity[sc.problem]
                     && p.machine_spec == sc.machine_spec
                     && (sc.backend != Backend::DesSim
                         || fork.is_none()
@@ -159,7 +165,8 @@ impl ExecPlan {
             }
             let slot = groups.iter_mut().find(|g| {
                 let gsc = &scenarios[jobs[g.members[0]].proto];
-                gsc.params == sc.params && spec.machines[gsc.machine] == spec.machines[sc.machine]
+                problem_identity[gsc.problem] == problem_identity[sc.problem]
+                    && spec.machines[gsc.machine] == spec.machines[sc.machine]
             });
             match slot {
                 Some(g) => g.members.push(j),

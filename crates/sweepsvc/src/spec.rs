@@ -2,26 +2,41 @@
 //!
 //! A [`SweepSpec`] is the grid the engine evaluates: a list of registry
 //! machines × a grid of flop-rate multipliers × a list of labelled
-//! problem configurations × a list of predictor backends.
+//! workload configurations × a list of predictor backends.
 //! [`SweepSpec::scenarios`] enumerates the cartesian product in a fixed
 //! order (machine-major, then problem, then multiplier, then backend) and
 //! assigns each scenario a stable id; results are always reported in id
 //! order, so a sweep's output is a deterministic function of its spec.
 //!
+//! The problem axis holds [`Workload`] trait objects, so one sweep can mix
+//! wavefront, stencil and allreduce configurations; scenario identity and
+//! planner deduplication key on the workload's `(kind, param_digest)`.
+//!
 //! The backend axis defaults to `[Backend::Pace]`, so specs that never
 //! mention backends expand to exactly the ids they did before the axis
 //! existed.
 
-use pace_core::{EvaluationReport, HardwareModel, Sweep3dParams};
-use wavefront_models::Backend;
+use std::sync::Arc;
 
-/// One labelled problem configuration of a sweep.
-#[derive(Debug, Clone, PartialEq)]
+use pace_core::workload::Workload;
+use pace_core::{EvaluationReport, HardwareModel};
+use wavefront_models::{unsupported_workload, Backend};
+
+/// One labelled workload configuration of a sweep.
+#[derive(Debug, Clone)]
 pub struct ProblemPoint {
     /// Display label (e.g. `"4x8"`).
     pub label: String,
-    /// The model parameters.
-    pub params: Sweep3dParams,
+    /// The workload under prediction.
+    pub workload: Arc<dyn Workload>,
+}
+
+impl PartialEq for ProblemPoint {
+    fn eq(&self, other: &Self) -> bool {
+        // Workload equality is `(kind, param_digest)` — the same identity
+        // the planner dedups on.
+        self.label == other.label && *self.workload == *other.workload
+    }
 }
 
 /// The declarative sweep description.
@@ -41,7 +56,7 @@ pub struct SweepSpec {
     /// simulation twin after this many activations, swap in the
     /// scenario's (possibly rate-scaled) twin, resume to completion" —
     /// the hardware what-if takes effect mid-run. This gives every
-    /// scenario of one (machine, problem) cell an identical simulation
+    /// scenario of one (machine, workload) cell an identical simulation
     /// prefix by construction, which the campaign planner shares through
     /// one snapshot fork per cell; the naive path pays the prefix per
     /// scenario. With the identity multiplier the pause-and-swap is
@@ -101,9 +116,15 @@ impl SweepSpec {
         self
     }
 
-    /// Add a labelled problem configuration.
-    pub fn problem(mut self, label: impl Into<String>, params: Sweep3dParams) -> Self {
-        self.problems.push(ProblemPoint { label: label.into(), params });
+    /// Add a labelled workload configuration.
+    pub fn problem(self, label: impl Into<String>, workload: impl Workload + 'static) -> Self {
+        self.problem_arc(label, Arc::new(workload))
+    }
+
+    /// Add a labelled workload already behind an `Arc` (e.g. parsed from a
+    /// spec file).
+    pub fn problem_arc(mut self, label: impl Into<String>, workload: Arc<dyn Workload>) -> Self {
+        self.problems.push(ProblemPoint { label: label.into(), workload });
         self
     }
 
@@ -121,9 +142,15 @@ impl SweepSpec {
     }
 
     /// Check the spec is evaluable: every backend that needs a simulated
-    /// machine half must find one on every machine of the spec.
+    /// machine half must find one on every machine of the spec, and every
+    /// backend must model every workload on the problem axis.
     pub fn validate(&self) -> Result<(), String> {
-        for b in &self.backends {
+        for &b in &self.backends {
+            for p in &self.problems {
+                if !b.supports(p.workload.kind()) {
+                    return Err(unsupported_workload(b, p.workload.kind()));
+                }
+            }
             if !b.predictor().needs_sim() {
                 continue;
             }
@@ -157,7 +184,7 @@ impl SweepSpec {
                             rate_multiplier: mult,
                             label: prob.label.clone(),
                             machine_spec: scaled.clone(),
-                            params: prob.params,
+                            workload: Arc::clone(&prob.workload),
                         });
                     }
                 }
@@ -174,7 +201,7 @@ impl Default for SweepSpec {
 }
 
 /// One concrete point of the expanded sweep grid.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct Scenario {
     /// Stable scenario id (position in the expansion order).
     pub id: usize,
@@ -194,8 +221,23 @@ pub struct Scenario {
     pub label: String,
     /// The (already rate-scaled) registry machine to evaluate against.
     pub machine_spec: registry::MachineSpec,
-    /// The model parameters.
-    pub params: Sweep3dParams,
+    /// The workload under prediction.
+    pub workload: Arc<dyn Workload>,
+}
+
+impl PartialEq for Scenario {
+    fn eq(&self, other: &Self) -> bool {
+        self.id == other.id
+            && self.machine == other.machine
+            && self.problem == other.problem
+            && self.multiplier == other.multiplier
+            && self.backend_idx == other.backend_idx
+            && self.backend == other.backend
+            && self.rate_multiplier == other.rate_multiplier
+            && self.label == other.label
+            && self.machine_spec == other.machine_spec
+            && *self.workload == *other.workload
+    }
 }
 
 impl Scenario {
@@ -233,6 +275,7 @@ pub struct ScenarioResult {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pace_core::{AllreduceParams, StencilParams, Sweep3dParams};
 
     fn spec() -> SweepSpec {
         SweepSpec::new()
@@ -302,6 +345,37 @@ mod tests {
             .backends(vec![Backend::DesSim]);
         let err = bad.validate().unwrap_err();
         assert!(err.contains("dessim"), "{err}");
+    }
+
+    #[test]
+    fn validate_rejects_unsupported_backend_workload_pairs() {
+        let bad = SweepSpec::new()
+            .machine(registry::builtin("pentium3-myrinet").unwrap())
+            .problem("8pe", StencilParams::weak_scaling(4, 2))
+            .backends(vec![Backend::Pace, Backend::LogGp]);
+        let err = bad.validate().unwrap_err();
+        assert_eq!(err, "backend 'loggp' does not model workload 'stencil'");
+        // The generic backends accept mixed-workload specs.
+        let ok = SweepSpec::new()
+            .machine(registry::builtin("pentium3-myrinet").unwrap())
+            .problem("8pe", StencilParams::weak_scaling(4, 2))
+            .problem("cg16", AllreduceParams::cg_like(16))
+            .problem("2x2", Sweep3dParams::weak_scaling_50cubed(2, 2))
+            .backends(vec![Backend::Pace, Backend::DesSim]);
+        assert!(ok.validate().is_ok());
+    }
+
+    #[test]
+    fn workload_axis_carries_identity() {
+        let s = SweepSpec::new()
+            .machine(registry::builtin("opteron-gige").unwrap())
+            .problem("stencil", StencilParams::weak_scaling(2, 2))
+            .problem("cg", AllreduceParams::cg_like(4));
+        let scenarios = s.scenarios();
+        assert_eq!(scenarios[0].workload.kind(), "stencil");
+        assert_eq!(scenarios[1].workload.kind(), "allreduce");
+        assert_eq!(scenarios[0].workload.pes(), 4);
+        assert_ne!(scenarios[0].workload.param_digest(), scenarios[1].workload.param_digest());
     }
 
     #[test]

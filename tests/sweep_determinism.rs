@@ -150,6 +150,8 @@ proptest! {
             let poked_key = CacheKey::for_subtask(sub, &poked);
             let reads_field = match &sub.template {
                 pace_core::TemplateBinding::Pipeline(_) => true,
+                // Halo reads the rate table and the comm model alike.
+                pace_core::TemplateBinding::Halo(_) => true,
                 pace_core::TemplateBinding::Collective(_) => !is_rate_field,
                 pace_core::TemplateBinding::Async => is_rate_field,
             };

@@ -14,9 +14,11 @@
 //! scenario — so a makespan shift is immediately attributed to the
 //! mechanism that moved. Sweep documents (`pace-bench/sweep-*`) show the
 //! naive vs planned medians, the campaign speedup, and the planner /
-//! cache counters instead. Output is plain markdown on stdout (CI
-//! appends it to the step summary); exits non-zero on unreadable or
-//! unparseable input.
+//! cache counters instead. Shard documents (`pace-bench/shard-*`) show
+//! the in-process vs sharded medians, the fan-out speedup, and the
+//! retry / content-addressed-store counters. Output is plain markdown on
+//! stdout (CI appends it to the step summary); exits non-zero on
+//! unreadable or unparseable input.
 
 use obs::Json;
 
@@ -45,6 +47,64 @@ fn find_scenario<'a>(doc: &'a Json, name: &str) -> Option<&'a Json> {
         .as_arr()?
         .iter()
         .find(|s| s.get("name").and_then(Json::as_str) == Some(name))
+}
+
+/// Shard-document rendering (`pace-bench/shard-*`): the in-process vs
+/// sharded wall trend per scenario plus the subject's retry and
+/// content-addressed-store counters.
+fn render_shard(docs: &[(String, Json)], subject_label: &str, schema: &str, mode: &str) {
+    let (_, subject) = &docs[0];
+    println!("## Shard benchmark report: {subject_label} ({schema}, {mode} mode)\n");
+    let scenarios: Vec<&str> = subject
+        .get("scenarios")
+        .and_then(Json::as_arr)
+        .map(|arr| arr.iter().filter_map(|s| s.get("name").and_then(Json::as_str)).collect())
+        .unwrap_or_default();
+    if scenarios.is_empty() {
+        eprintln!("{subject_label}: no scenarios in document");
+        std::process::exit(1);
+    }
+    let fmt = |v: Option<f64>| v.map_or("—".to_string(), |x| format!("{x:.3}"));
+    for name in scenarios {
+        println!("### {name}\n");
+        println!("| document | ranks | workers | in-process p50 (ms) | sharded p50 (ms) | speedup | digest |");
+        println!("|---|---|---|---|---|---|---|");
+        for (label, doc) in docs {
+            let Some(sc) = find_scenario(doc, name) else { continue };
+            let int = |key: &str| {
+                sc.get(key).and_then(Json::as_f64).map_or("—".to_string(), |v| format!("{v}"))
+            };
+            println!(
+                "| {label} | {} | {} | {} | {} | {} | {} |",
+                int("ranks"),
+                int("workers"),
+                fmt(scenario_p50(sc, "inprocess")),
+                fmt(scenario_p50(sc, "sharded")),
+                sc.get("speedup_p50")
+                    .and_then(Json::as_f64)
+                    .map_or("—".to_string(), |x| format!("{x:.2}x")),
+                match sc.get("digest_match").and_then(Json::as_bool) {
+                    Some(true) => "ok",
+                    Some(false) => "**MISMATCH**",
+                    None => "—",
+                },
+            );
+        }
+        println!();
+        let count = |key: &str| {
+            find_scenario(subject, name)
+                .and_then(|s| s.get("shard")?.get(key)?.as_f64())
+                .map_or("—".to_string(), |v| format!("{v}"))
+        };
+        println!(
+            "_shard: {} ranges / {} completed / {} retried; store: {} hits / {} misses_\n",
+            count("ranges"),
+            count("completed"),
+            count("retried"),
+            count("store_hits"),
+            count("store_misses"),
+        );
+    }
 }
 
 /// Sweep-document rendering: the naive/planned wall trend per scenario
@@ -132,6 +192,10 @@ fn main() {
     let mode = subject.get("mode").and_then(Json::as_str).unwrap_or("?");
     if schema.starts_with("pace-bench/sweep") {
         render_sweep(&docs, subject_label, schema, mode);
+        return;
+    }
+    if schema.starts_with("pace-bench/shard") {
+        render_shard(&docs, subject_label, schema, mode);
         return;
     }
     println!("## Engine benchmark report: {subject_label} ({schema}, {mode} mode)\n");

@@ -1,0 +1,101 @@
+//! `shard-bench` — the tracked sharded-campaign benchmark (see
+//! `pace_bench::shard` and EXPERIMENTS.md "Sharded campaigns").
+//!
+//! ```text
+//! shard-bench [--smoke] [--out <path>] [--check <baseline.json>] [--max-regression <factor>]
+//! ```
+//!
+//! Needs the `sweep-worker` binary on the coordinator's search path
+//! (sibling of this binary after `cargo build --release -p experiments`,
+//! or pointed at via `PACE_SWEEP_WORKER`). Writes the measured document
+//! to `--out` (default `BENCH_shard.json` in the current directory).
+//! With `--check`, exits non-zero when either tier of any scenario
+//! regressed more than the factor (default 2.0) against the baseline
+//! document. A sharded merge that is not byte-identical to the
+//! in-process results, or a warm-store resume that recomputes any range,
+//! fails unconditionally.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut smoke = false;
+    let mut out = String::from("BENCH_shard.json");
+    let mut check: Option<String> = None;
+    let mut factor = 2.0f64;
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: &mut usize| -> String {
+            *i += 1;
+            args.get(*i).cloned().unwrap_or_else(|| {
+                eprintln!("{} requires a value", args[*i - 1]);
+                std::process::exit(2);
+            })
+        };
+        match args[i].as_str() {
+            "--smoke" => smoke = true,
+            "--out" => out = value(&mut i),
+            "--check" => check = Some(value(&mut i)),
+            "--max-regression" => {
+                factor = value(&mut i).parse().expect("--max-regression takes a float")
+            }
+            other => {
+                eprintln!("unknown flag {other:?}");
+                eprintln!(
+                    "usage: shard-bench [--smoke] [--out <path>] [--check <baseline.json>] [--max-regression <factor>]"
+                );
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let mode = if smoke { "smoke" } else { "full" };
+    let mut results = Vec::new();
+    for scenario in pace_bench::shard::shard_scenarios(smoke) {
+        eprintln!(
+            "running {} ({} reps per tier, {} workers)...",
+            scenario.name, scenario.reps, scenario.workers
+        );
+        let r = pace_bench::shard::run_shard_scenario(&scenario).unwrap_or_else(|e| {
+            eprintln!("FATAL: {}: {e}", scenario.name);
+            std::process::exit(1);
+        });
+        eprintln!(
+            "  {}: in-process p50 {:.1} ms, sharded p50 {:.1} ms ({:.2}x, {} workers), {} ranges / {} completed / {} retried, store {} hit / {} miss, digest_match={}",
+            r.name,
+            r.inprocess.p50_ms,
+            r.sharded.p50_ms,
+            r.speedup_p50(),
+            r.workers,
+            r.ranges,
+            r.completed,
+            r.retried,
+            r.store_hits,
+            r.store_misses,
+            r.digest_match
+        );
+        if !r.digest_match {
+            eprintln!(
+                "FATAL: {}: sharded merge diverged from the in-process results — benchmark numbers are meaningless",
+                r.name
+            );
+            std::process::exit(1);
+        }
+        results.push(r);
+    }
+
+    let doc = pace_bench::shard::shard_to_json(mode, &results);
+    std::fs::write(&out, &doc).expect("write benchmark document");
+    eprintln!("wrote {out}");
+
+    if let Some(path) = check {
+        let baseline =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read baseline {path}: {e}"));
+        match pace_bench::shard::check_shard_regressions(&results, &baseline, factor) {
+            Ok(()) => eprintln!("regression check against {path}: ok (limit {factor}x)"),
+            Err(msg) => {
+                eprintln!("regression check against {path} FAILED:\n{msg}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

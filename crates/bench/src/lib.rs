@@ -18,6 +18,7 @@
 //! baseline. See EXPERIMENTS.md ("Tracked engine benchmarks") for the
 //! schema and the blessing procedure.
 
+pub mod shard;
 pub mod sweep;
 
 use std::time::Instant;

@@ -1,0 +1,415 @@
+//! Sharded-campaign benchmark: multi-process fan-out vs the in-process
+//! engine (`shard_bench` binary, tracked as `BENCH_shard.json`).
+//!
+//! Each scenario is one campaign spec evaluated per repetition on two
+//! tiers: once through `SweepEngine::run` on **one** in-process worker
+//! (the single-process capacity baseline the shard tier exists to beat)
+//! and once through `sweepsvc::run_sharded` across N local
+//! `sweep-worker` processes. The sharded merge must match the in-process
+//! results byte-for-byte — a digest mismatch makes the numbers
+//! meaningless and fails the binary outright. The `resume_warm` scenario
+//! measures the content-addressed store instead: a pre-primed store
+//! served with `--resume` semantics must recompute **zero** ranges, so
+//! its wall clock is pure store-read + merge.
+//!
+//! The document schema is `pace-bench/shard-v1`; its flat `check` map
+//! carries `<name>_inprocess_after_p50_ms` and
+//! `<name>_sharded_after_p50_ms` keys, so [`crate::baseline_p50_ms`]'s
+//! substring extractor works unchanged. CI builds the worker binary,
+//! then runs `shard_bench --smoke --check
+//! crates/bench/baseline_shard_smoke.json` and fails on >2× regressions
+//! (see `.github/workflows/ci.yml`, job `bench-shard`). On the 1-core
+//! build box the sharded side records ~1× — the speedup is realized on
+//! multi-core CI runners; the digest gate and the resume counters are
+//! the always-on signal.
+
+use std::time::Instant;
+
+use cluster_sim::Engine;
+use pace_core::Sweep3dParams;
+use sweepsvc::{run_sharded, ShardConfig, SweepEngine, SweepSpec};
+use wavefront_models::Backend;
+
+use crate::WallStats;
+
+/// One tracked shard-bench scenario: a fig9-style DES rate what-if
+/// campaign plus measurement knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardBenchScenario {
+    /// Stable scenario name (the key the regression check joins on).
+    pub name: &'static str,
+    /// `(px, py)` processor array of the single problem cell.
+    pub problem: (usize, usize),
+    /// `iterations` override (cut to keep repetitions affordable).
+    pub iterations: usize,
+    /// `nz` override (same reason).
+    pub nz: usize,
+    /// Flop-rate what-if axis.
+    pub multipliers: &'static [f64],
+    /// Fork DES scenarios from a shared snapshot at half the base
+    /// problem's activation count.
+    pub fork: bool,
+    /// Worker processes on the sharded side.
+    pub workers: usize,
+    /// Measure warm-store resume instead of compute fan-out: the store
+    /// is primed once (untimed), then every timed sharded repetition must
+    /// serve all ranges from it (zero recomputation).
+    pub warm_resume: bool,
+    /// Timed repetitions per side.
+    pub reps: usize,
+}
+
+fn bench_machine() -> registry::MachineSpec {
+    registry::builtin("opteron-myrinet").expect("opteron-myrinet is a builtin")
+}
+
+impl ShardBenchScenario {
+    fn params(&self) -> Sweep3dParams {
+        let (px, py) = self.problem;
+        let mut p = Sweep3dParams::speculative_20m(px, py);
+        p.iterations = self.iterations;
+        p.nz = self.nz;
+        p
+    }
+
+    /// Rank count of the campaign's problem cell.
+    pub fn ranks(&self) -> usize {
+        self.problem.0 * self.problem.1
+    }
+
+    /// Fork at half the base problem's activation count (same untimed
+    /// probe as the sweep bench).
+    fn fork_point(&self) -> u64 {
+        let params = self.params();
+        let machine = bench_machine();
+        let sim = machine.sim.as_ref().expect("opteron-myrinet carries a sim twin");
+        let set = wavefront_models::dessim::program_set(&params).expect("program set");
+        let paused = Engine::from_set(sim, set).run_paused(u64::MAX).expect("fork-point probe run");
+        paused.activations() / 2
+    }
+
+    /// Expand the scenario into the campaign spec both tiers execute.
+    pub fn spec(&self) -> SweepSpec {
+        let (px, py) = self.problem;
+        let mut spec = SweepSpec::new()
+            .machine(bench_machine())
+            .rate_multipliers(self.multipliers.to_vec())
+            .problem(format!("{px}x{py}"), self.params())
+            .backends(vec![Backend::DesSim]);
+        if self.fork {
+            spec = spec.des_fork(self.fork_point());
+        }
+        spec
+    }
+}
+
+/// The tracked scenario set. Smoke mode keeps the release-cheap 64-PE
+/// campaign plus its warm-store resume twin; full mode adds the
+/// 8000-rank Fig. 9 shape the acceptance speedup is pinned on.
+pub fn shard_scenarios(smoke: bool) -> Vec<ShardBenchScenario> {
+    let workers = crate::host_cores().clamp(2, 4);
+    let mut scenarios = vec![
+        // Fig. 9-style rate what-if at 64 PEs: five DES scenarios fanned
+        // out over worker processes vs one in-process worker.
+        ShardBenchScenario {
+            name: "rate_what_if_64pe",
+            problem: (8, 8),
+            iterations: 1,
+            nz: 20,
+            multipliers: &[1.0, 1.1, 1.25, 1.4, 1.5],
+            fork: true,
+            workers,
+            warm_resume: false,
+            reps: 3,
+        },
+        // The same campaign resumed from a fully primed store: every
+        // range is a store hit, nothing is recomputed, the wall clock is
+        // chunk-validation + merge.
+        ShardBenchScenario {
+            name: "resume_warm_64pe",
+            problem: (8, 8),
+            iterations: 1,
+            nz: 20,
+            multipliers: &[1.0, 1.1, 1.25, 1.4, 1.5],
+            fork: true,
+            workers,
+            warm_resume: true,
+            reps: 3,
+        },
+    ];
+    if !smoke {
+        // The full Fig. 9 speculation shape: 8000 ranks, same rate axis,
+        // nz/iterations cut exactly like the golden-digest fixture.
+        scenarios.push(ShardBenchScenario {
+            name: "rate_what_if_8000pe",
+            problem: (80, 100),
+            iterations: 1,
+            nz: 20,
+            multipliers: &[1.0, 1.1, 1.25, 1.4, 1.5],
+            fork: true,
+            workers,
+            warm_resume: false,
+            reps: 2,
+        });
+    }
+    scenarios
+}
+
+/// Measured numbers for one shard-bench scenario.
+#[derive(Debug, Clone)]
+pub struct ShardScenarioResult {
+    /// Scenario name.
+    pub name: &'static str,
+    /// Rank count of the campaign's problem cell.
+    pub ranks: usize,
+    /// Scenarios in the expanded grid.
+    pub scenarios: usize,
+    /// Worker processes on the sharded side.
+    pub workers: usize,
+    /// Whether the sharded side resumed from a pre-primed store.
+    pub warm_resume: bool,
+    /// In-process side wall-clock percentiles (one pool worker).
+    pub inprocess: WallStats,
+    /// Sharded side wall-clock percentiles.
+    pub sharded: WallStats,
+    /// Ranges the campaign was partitioned into.
+    pub ranges: usize,
+    /// Ranges computed by workers on the last sharded repetition.
+    pub completed: u64,
+    /// Ranges re-queued after worker failures (should be 0 on a healthy
+    /// host).
+    pub retried: u64,
+    /// Ranges served from the store on the last sharded repetition.
+    pub store_hits: u64,
+    /// Ranges the store could not serve on the last sharded repetition.
+    pub store_misses: u64,
+    /// Whether the sharded merge matched the in-process results
+    /// byte-for-byte — the hard correctness gate.
+    pub digest_match: bool,
+}
+
+impl ShardScenarioResult {
+    /// In-process over sharded median wall — the capacity speedup the
+    /// process tier buys (store-read speedup for `resume_warm`).
+    pub fn speedup_p50(&self) -> f64 {
+        self.inprocess.p50_ms / self.sharded.p50_ms.max(1e-9)
+    }
+}
+
+/// Measure one scenario: `reps` repetitions of each tier. The in-process
+/// side gets a fresh engine (cold cache) per repetition, matching a real
+/// campaign launch; the sharded side spawns fresh worker processes per
+/// repetition by construction.
+pub fn run_shard_scenario(sc: &ShardBenchScenario) -> Result<ShardScenarioResult, String> {
+    let spec = sc.spec();
+    let store_dir =
+        std::env::temp_dir().join(format!("pace-shard-bench-{}-{}", sc.name, std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let mut cfg = ShardConfig::new(sc.workers);
+    if sc.warm_resume {
+        cfg = cfg.store(&store_dir).resume(true);
+        // Prime the store once, untimed: the timed repetitions below must
+        // then serve every range without recomputation.
+        run_sharded(&spec, &cfg)?;
+    }
+    let mut inprocess_ms = Vec::with_capacity(sc.reps);
+    let mut sharded_ms = Vec::with_capacity(sc.reps);
+    let mut reference = None;
+    let mut out = None;
+    for _ in 0..sc.reps {
+        let t0 = Instant::now();
+        let r = SweepEngine::with_workers(1).run(&spec);
+        inprocess_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+        reference = Some(r);
+        let t0 = Instant::now();
+        let o = run_sharded(&spec, &cfg)?;
+        sharded_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+        if sc.warm_resume && o.stats.completed != 0 {
+            return Err(format!(
+                "{}: warm-store resume recomputed {} range(s); expected zero",
+                sc.name, o.stats.completed
+            ));
+        }
+        out = Some(o);
+    }
+    let reference = reference.expect("at least one repetition");
+    let out = out.expect("at least one repetition");
+    let _ = std::fs::remove_dir_all(&store_dir);
+    Ok(ShardScenarioResult {
+        name: sc.name,
+        ranks: sc.ranks(),
+        scenarios: out.stats.scenarios,
+        workers: out.stats.workers,
+        warm_resume: sc.warm_resume,
+        inprocess: WallStats::from_samples(inprocess_ms),
+        sharded: WallStats::from_samples(sharded_ms),
+        ranges: out.stats.ranges,
+        completed: out.stats.completed,
+        retried: out.stats.retried,
+        store_hits: out.stats.store_hits,
+        store_misses: out.stats.store_misses,
+        digest_match: out.results == reference.results,
+    })
+}
+
+fn wall_json(w: &WallStats) -> String {
+    format!(
+        "{{\"wall_ms\": {{\"min\": {:.3}, \"p50\": {:.3}, \"p90\": {:.3}}}}}",
+        w.min_ms, w.p50_ms, w.p90_ms
+    )
+}
+
+/// Encode results as the `BENCH_shard.json` document (schema
+/// `pace-bench/shard-v1`, hand-rolled JSON — no serializer dependency).
+pub fn shard_to_json(mode: &str, results: &[ShardScenarioResult]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"pace-bench/shard-v1\",\n");
+    out.push_str(&format!("  \"mode\": \"{mode}\",\n"));
+    out.push_str(&format!("  \"host_cores\": {},\n", crate::host_cores()));
+    out.push_str("  \"scenarios\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"name\": \"{}\",\n", r.name));
+        out.push_str(&format!("      \"ranks\": {},\n", r.ranks));
+        out.push_str(&format!("      \"scenarios\": {},\n", r.scenarios));
+        out.push_str(&format!("      \"workers\": {},\n", r.workers));
+        out.push_str(&format!("      \"warm_resume\": {},\n", r.warm_resume));
+        out.push_str(&format!("      \"inprocess\": {},\n", wall_json(&r.inprocess)));
+        out.push_str(&format!("      \"sharded\": {},\n", wall_json(&r.sharded)));
+        out.push_str(&format!(
+            "      \"shard\": {{\"ranges\": {}, \"completed\": {}, \"retried\": {}, \"store_hits\": {}, \"store_misses\": {}}},\n",
+            r.ranges, r.completed, r.retried, r.store_hits, r.store_misses
+        ));
+        out.push_str(&format!("      \"speedup_p50\": {:.2},\n", r.speedup_p50()));
+        out.push_str(&format!("      \"digest_match\": {}\n", r.digest_match));
+        out.push_str(if i + 1 == results.len() { "    }\n" } else { "    },\n" });
+    }
+    out.push_str("  ],\n");
+    // Flat map the regression checker reads without a JSON parser.
+    out.push_str("  \"check\": {\n");
+    let mut keys: Vec<String> = Vec::new();
+    for r in results {
+        keys.push(format!("\"{}_inprocess_after_p50_ms\": {:.3}", r.name, r.inprocess.p50_ms));
+        keys.push(format!("\"{}_sharded_after_p50_ms\": {:.3}", r.name, r.sharded.p50_ms));
+    }
+    for (i, key) in keys.iter().enumerate() {
+        out.push_str(&format!("    {key}{}\n", if i + 1 == keys.len() { "" } else { "," }));
+    }
+    out.push_str("  }\n}\n");
+    out
+}
+
+/// Compare current results against a committed baseline: either tier of
+/// any scenario present in both whose median wall time regressed by more
+/// than `factor`× fails. A sharded merge that diverged from the
+/// in-process results, or a warm resume that recomputed ranges, fails
+/// unconditionally — those are correctness bugs, not performance
+/// regressions. Scenarios missing from the baseline are skipped (new
+/// scenarios don't break CI until blessed).
+pub fn check_shard_regressions(
+    results: &[ShardScenarioResult],
+    baseline: &str,
+    factor: f64,
+) -> Result<(), String> {
+    let mut failures = Vec::new();
+    let mut compared = 0;
+    for r in results {
+        if !r.digest_match {
+            failures
+                .push(format!("{}: sharded merge diverged from the in-process results", r.name));
+        }
+        if r.warm_resume && r.completed != 0 {
+            failures.push(format!(
+                "{}: warm-store resume recomputed {} range(s); expected zero",
+                r.name, r.completed
+            ));
+        }
+        for (side, now) in [("inprocess", r.inprocess.p50_ms), ("sharded", r.sharded.p50_ms)] {
+            let key = format!("{}_{side}", r.name);
+            let Some(base) = crate::baseline_p50_ms(baseline, &key) else { continue };
+            compared += 1;
+            if now > base * factor {
+                failures
+                    .push(format!("{key}: p50 {now:.3} ms vs baseline {base:.3} ms (> {factor}x)"));
+            }
+        }
+    }
+    if compared == 0 {
+        return Err("baseline contains none of the measured scenarios".into());
+    }
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(failures.join("\n"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Synthetic result — the unit tests stay process-free (the worker
+    /// binary lives in another package and may not be built when this
+    /// crate's tests run); the spawning path is covered end to end by
+    /// `crates/experiments/tests/shard.rs` and the CI bench-shard job.
+    fn synthetic(name: &'static str, warm: bool) -> ShardScenarioResult {
+        ShardScenarioResult {
+            name,
+            ranks: 64,
+            scenarios: 5,
+            workers: 2,
+            warm_resume: warm,
+            inprocess: WallStats { min_ms: 100.0, p50_ms: 110.0, p90_ms: 120.0 },
+            sharded: WallStats { min_ms: 50.0, p50_ms: 60.0, p90_ms: 70.0 },
+            ranges: 5,
+            completed: if warm { 0 } else { 5 },
+            retried: 0,
+            store_hits: if warm { 5 } else { 0 },
+            store_misses: 0,
+            digest_match: true,
+        }
+    }
+
+    #[test]
+    fn document_check_map_round_trips_through_the_extractor() {
+        let results = [synthetic("rate_what_if_64pe", false), synthetic("resume_warm_64pe", true)];
+        let doc = shard_to_json("smoke", &results);
+        assert!(doc.contains("\"schema\": \"pace-bench/shard-v1\""));
+        let inproc = crate::baseline_p50_ms(&doc, "rate_what_if_64pe_inprocess").unwrap();
+        let sharded = crate::baseline_p50_ms(&doc, "resume_warm_64pe_sharded").unwrap();
+        assert!((inproc - 110.0).abs() < 0.001);
+        assert!((sharded - 60.0).abs() < 0.001);
+        // A freshly measured document never regresses against itself.
+        check_shard_regressions(&results, &doc, 2.0).unwrap();
+        // A baseline without any shared scenario is a hard error.
+        let err = check_shard_regressions(&[synthetic("renamed", false)], &doc, 2.0).unwrap_err();
+        assert!(err.contains("none of the measured scenarios"), "{err}");
+    }
+
+    #[test]
+    fn digest_mismatch_and_warm_recompute_fail_unconditionally() {
+        let doc = shard_to_json("smoke", &[synthetic("rate_what_if_64pe", false)]);
+        let mut diverged = synthetic("rate_what_if_64pe", false);
+        diverged.digest_match = false;
+        let err = check_shard_regressions(&[diverged], &doc, 1e9).unwrap_err();
+        assert!(err.contains("diverged"), "{err}");
+        let mut warm = synthetic("rate_what_if_64pe", true);
+        warm.completed = 2;
+        let err = check_shard_regressions(&[warm], &doc, 1e9).unwrap_err();
+        assert!(err.contains("recomputed 2"), "{err}");
+    }
+
+    #[test]
+    fn scenario_set_scales_from_smoke_to_full() {
+        let smoke = shard_scenarios(true);
+        assert_eq!(smoke.len(), 2);
+        assert!(smoke.iter().any(|s| s.warm_resume));
+        let full = shard_scenarios(false);
+        assert_eq!(full.len(), 3);
+        assert!(full.iter().any(|s| s.name == "rate_what_if_8000pe" && s.ranks() == 8000));
+        for s in full {
+            assert!(s.workers >= 2, "the acceptance speedup needs at least two workers");
+        }
+    }
+}

@@ -1,0 +1,12 @@
+//! `sweep-worker` — the child-process half of the sharded campaign tier.
+//!
+//! Spawned by the `sweepsvc::shard` coordinator (never run by hand): it
+//! reads a campaign spec frame on stdin, evaluates requested scenario-id
+//! ranges through the same scenario-semantics helper as the in-process
+//! engine, and writes result frames on stdout. See
+//! `sweepsvc::shard::worker_loop` for the protocol, and EXPERIMENTS.md
+//! ("Sharded campaigns") for the operator view.
+
+fn main() {
+    sweepsvc::shard::worker_main()
+}

@@ -25,6 +25,12 @@
 //!                                        --plan routes the grid through the campaign execution
 //!                                        planner (grid dedup + snapshot-prefix sharing on a rate
 //!                                        what-if axis), digest-checked against the naive path
+//! experiments sweep --shard N [--store DIR] [--resume] [--machine ...] [--json]
+//!                                        sharded registry sweep: fan the grid out over N local
+//!                                        sweep-worker processes, bit-identity-checked against an
+//!                                        in-process reference run; --store persists completed
+//!                                        ranges in a content-addressed chunk store and --resume
+//!                                        serves valid stored ranges without recomputation
 //! experiments speculation [--problem 20m|1b] [--workload <wavefront|stencil|allreduce>]
 //!                         [--ranks N] [--repeat K] [--iterations I]
 //!                         [--threads N] [--optimistic] [--partitions P] [--budget B] [--json]
@@ -273,11 +279,20 @@ impl WorkloadArg {
     }
 }
 
+/// `--shard N [--store DIR] [--resume]`: route the grid through the
+/// multi-process campaign tier instead of the in-process pool.
+struct ShardArgs {
+    workers: usize,
+    store: Option<String>,
+    resume: bool,
+}
+
 fn run_registry_sweep(
     machine_arg: &str,
     backend_arg: Option<&str>,
     workload: WorkloadArg,
     plan: bool,
+    shard: Option<ShardArgs>,
     obs: &Obs,
     json: bool,
 ) {
@@ -332,6 +347,66 @@ fn run_registry_sweep(
         }
     }
     spec.validate().unwrap_or_else(|e| exit(e));
+    if let Some(sh) = shard {
+        // Sharded mode: fan the grid out over worker processes, then gate
+        // the merge bit-for-bit against a single-threaded in-process
+        // reference run (any divergence is a hard failure).
+        let mut cfg = sweepsvc::ShardConfig::new(sh.workers).resume(sh.resume);
+        if let Some(dir) = &sh.store {
+            cfg = cfg.store(dir);
+        }
+        let reference = sweepsvc::SweepEngine::with_workers(1).run(&spec);
+        let out = sweepsvc::run_sharded_observed(&spec, &cfg, obs).unwrap_or_else(|e| exit(e));
+        if reference.results != out.results {
+            eprintln!("FATAL: sharded sweep diverged from the in-process reference");
+            std::process::exit(1);
+        }
+        let s = &out.stats;
+        if json {
+            let rows: Vec<String> = out
+                .results
+                .iter()
+                .map(|r| {
+                    format!(
+                        "    {{\"label\": \"{}\", \"pes\": {}, \"backend\": \"{}\", \"total_secs\": {:.9}}}",
+                        r.label,
+                        r.pes,
+                        r.backend.name(),
+                        r.total_secs
+                    )
+                })
+                .collect();
+            println!("{{");
+            println!("  \"machine\": \"{}\",", machine.id);
+            println!("  \"workload\": \"{}\",", workload.kind());
+            let names: Vec<String> = backends.iter().map(|b| format!("\"{}\"", b.name())).collect();
+            println!("  \"backends\": [{}],", names.join(", "));
+            println!("  \"parity\": true,");
+            println!(
+                "  \"shard\": {{\"workers\": {}, \"ranges\": {}, \"completed\": {}, \"retried\": {}, \"store_hits\": {}, \"store_misses\": {}}},",
+                s.workers, s.ranges, s.completed, s.retried, s.store_hits, s.store_misses
+            );
+            println!("  \"results\": [\n{}\n  ]", rows.join(",\n"));
+            println!("}}");
+            return;
+        }
+        println!(
+            "### Sharded registry sweep: {} workload on {} across {} backend(s)\n",
+            workload.kind(),
+            machine.id,
+            backends.len()
+        );
+        println!("sharded == in-process : yes (bit-identical)");
+        print!("{}", s.summary());
+        println!();
+        println!("| array | PEs | backend | predicted(s) |");
+        println!("|---|---|---|---|");
+        for r in &out.results {
+            println!("| {} | {} | {} | {:.4} |", r.label, r.pes, r.backend.name(), r.total_secs);
+        }
+        println!();
+        return;
+    }
     let out = if plan {
         let naive = sweepsvc::SweepEngine::with_workers(1).run(&spec);
         let out = sweepsvc::SweepEngine::new().with_obs(obs.clone()).run_planned(&spec);
@@ -401,6 +476,9 @@ fn run_sweep(args: &[String], obs: &Obs, json: bool) {
     let mut backend_arg: Option<String> = None;
     let mut workload_arg: Option<String> = None;
     let mut plan = false;
+    let mut shard_arg: Option<usize> = None;
+    let mut store_arg: Option<String> = None;
+    let mut resume = false;
     let mut i = 0;
     while i < args.len() {
         let value = |i: &mut usize| -> String {
@@ -415,6 +493,15 @@ fn run_sweep(args: &[String], obs: &Obs, json: bool) {
             "--backend" => backend_arg = Some(value(&mut i)),
             "--workload" => workload_arg = Some(value(&mut i)),
             "--plan" => plan = true,
+            "--shard" => {
+                let v = value(&mut i);
+                shard_arg = Some(v.parse().unwrap_or_else(|_| {
+                    eprintln!("--shard expects a worker count, got {v:?}");
+                    std::process::exit(2);
+                }));
+            }
+            "--store" => store_arg = Some(value(&mut i)),
+            "--resume" => resume = true,
             other => {
                 eprintln!("unknown sweep flag {other:?}");
                 std::process::exit(2);
@@ -422,7 +509,21 @@ fn run_sweep(args: &[String], obs: &Obs, json: bool) {
         }
         i += 1;
     }
-    if machine_arg.is_some() || backend_arg.is_some() || workload_arg.is_some() || plan {
+    if plan && shard_arg.is_some() {
+        eprintln!("--plan and --shard are separate execution tiers; pick one");
+        std::process::exit(2);
+    }
+    if shard_arg.is_none() && (store_arg.is_some() || resume) {
+        eprintln!("--store/--resume only apply to sharded campaigns (--shard N)");
+        std::process::exit(2);
+    }
+    let shard = shard_arg.map(|workers| ShardArgs { workers, store: store_arg, resume });
+    if machine_arg.is_some()
+        || backend_arg.is_some()
+        || workload_arg.is_some()
+        || plan
+        || shard.is_some()
+    {
         let machine = machine_arg.unwrap_or_else(|| "opteron-myrinet".into());
         // A bare identifier selects a template's default ladder; anything
         // else is tried as a workload spec-file path.
@@ -438,7 +539,15 @@ fn run_sweep(args: &[String], obs: &Obs, json: bool) {
             },
             None => WorkloadArg::Ladder(pace_core::WorkloadKind::Wavefront),
         };
-        return run_registry_sweep(&machine, backend_arg.as_deref(), workload, plan, obs, json);
+        return run_registry_sweep(
+            &machine,
+            backend_arg.as_deref(),
+            workload,
+            plan,
+            shard,
+            obs,
+            json,
+        );
     }
     let hw = registry::quoted::opteron_myrinet_hypothetical();
     let workers = sweepsvc::available_workers();

@@ -1,0 +1,185 @@
+//! Sharded-campaign acceptance: the multi-process tier must reproduce
+//! the in-process `SweepEngine` byte-for-byte — on clean runs, under
+//! worker-kill and corrupt-frame fault injection, and when resuming from
+//! a partial content-addressed store.
+//!
+//! The golden campaigns and digest pins are the same as
+//! `tests/sweep_plan.rs`: a fig9-style DES rate what-if at 512 and 8000
+//! ranks. These tests live in `crates/experiments` because Cargo only
+//! exposes `CARGO_BIN_EXE_sweep-worker` to the package that defines the
+//! binary.
+
+use pace_core::Sweep3dParams;
+use std::path::PathBuf;
+use sweepsvc::{run_sharded, ScenarioResult, ShardConfig, SweepEngine, SweepSpec};
+use wavefront_models::Backend;
+
+/// FNV-1a over every result field that matters, same mixing idiom as
+/// `tests/sweep_plan.rs` (kept in sync by the shared golden pins).
+fn campaign_digest(results: &[ScenarioResult]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut mix = |v: u64| {
+        for b in v.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    mix(results.len() as u64);
+    for r in results {
+        mix(r.id as u64);
+        mix(r.pes as u64);
+        mix(r.rate_multiplier.to_bits());
+        mix(r.total_secs.to_bits());
+        mix(r.report.iterations as u64);
+        mix(r.report.subtasks.len() as u64);
+        for s in &r.report.subtasks {
+            mix(s.secs_per_iteration.to_bits());
+        }
+    }
+    h
+}
+
+/// The fig9-style DES rate what-if campaign of `tests/sweep_plan.rs`.
+fn rate_campaign(px: usize, py: usize, fork: u64) -> SweepSpec {
+    let mut params = Sweep3dParams::speculative_20m(px, py);
+    params.iterations = 1;
+    params.nz = 20;
+    SweepSpec::new()
+        .machine(registry::builtin("opteron-myrinet").unwrap())
+        .rate_multipliers(vec![1.0, 1.25, 1.5])
+        .problem(format!("{px}x{py}"), params)
+        .backends(vec![Backend::DesSim])
+        .des_fork(fork)
+}
+
+/// Pinned digests for the 512-rank and 8000-rank golden campaigns — the
+/// same values `tests/sweep_plan.rs` pins for the in-process paths.
+const GOLDEN_512: u64 = 0x94772907dcdd12f2;
+const GOLDEN_8000: u64 = 0xffbd712b17035c6d;
+
+/// A config pointing at the freshly built worker binary.
+fn config(workers: usize) -> ShardConfig {
+    let mut cfg = ShardConfig::new(workers);
+    cfg.worker_bin = Some(PathBuf::from(env!("CARGO_BIN_EXE_sweep-worker")));
+    cfg
+}
+
+/// A unique scratch directory (removed by the test on success;
+/// best-effort on panic — it lives under the system temp dir).
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pace-shard-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn sharded_matches_inprocess_on_the_512_rank_golden() {
+    let spec = rate_campaign(16, 32, 1240);
+    let reference = SweepEngine::with_workers(1).run(&spec);
+    let out = run_sharded(&spec, &config(2)).unwrap();
+    assert_eq!(out.results, reference.results, "sharded tier changed bits");
+    assert_eq!(campaign_digest(&out.results), GOLDEN_512);
+    assert_eq!(out.stats.scenarios, 3);
+    assert_eq!(out.stats.completed, out.stats.ranges as u64);
+    assert_eq!(out.stats.retried, 0);
+}
+
+#[test]
+fn sharded_hits_the_8000_rank_golden_digest() {
+    // The digest pin *is* the in-process reference (tests/sweep_plan.rs
+    // pins the same value for the naive path), so the big campaign runs
+    // once here, not twice.
+    let spec = rate_campaign(80, 100, 19860);
+    let out = run_sharded(&spec, &config(2)).unwrap();
+    assert_eq!(campaign_digest(&out.results), GOLDEN_8000);
+}
+
+#[test]
+fn worker_crash_mid_campaign_is_retried_to_the_golden_digest() {
+    let dir = scratch("crash");
+    let marker = dir.join("crash-once");
+    let spec = rate_campaign(16, 32, 1240);
+    let mut cfg = config(2);
+    cfg.env = vec![("PACE_SWEEP_WORKER_CRASH_ONCE".into(), marker.to_str().unwrap().to_string())];
+    let out = run_sharded(&spec, &cfg).unwrap();
+    assert!(out.stats.retried >= 1, "the killed range must be re-queued");
+    assert!(marker.exists(), "exactly one worker claimed the crash marker");
+    assert_eq!(campaign_digest(&out.results), GOLDEN_512, "faults must not change bits");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn garbage_frame_is_retried_to_the_golden_digest() {
+    let dir = scratch("garbage");
+    let marker = dir.join("garbage-once");
+    let spec = rate_campaign(16, 32, 1240);
+    let mut cfg = config(2);
+    cfg.env = vec![("PACE_SWEEP_WORKER_GARBAGE_ONCE".into(), marker.to_str().unwrap().to_string())];
+    let out = run_sharded(&spec, &cfg).unwrap();
+    assert!(out.stats.retried >= 1, "the corrupt-stream range must be re-queued");
+    assert_eq!(campaign_digest(&out.results), GOLDEN_512, "faults must not change bits");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn resume_recomputes_only_missing_ranges_with_zero_bit_drift() {
+    let dir = scratch("resume");
+    let store = dir.join("store");
+    let spec = rate_campaign(16, 32, 1240);
+
+    // Cold run: every range is a store miss and gets computed.
+    let cfg = config(2).store(&store).resume(true);
+    let cold = run_sharded(&spec, &cfg).unwrap();
+    let ranges = cold.stats.ranges as u64;
+    assert_eq!(cold.stats.store_hits, 0);
+    assert_eq!(cold.stats.store_misses, ranges);
+    assert_eq!(cold.stats.completed, ranges);
+    assert_eq!(campaign_digest(&cold.results), GOLDEN_512);
+
+    // Warm resume: every range is served from the store, nothing runs.
+    let warm = run_sharded(&spec, &cfg).unwrap();
+    assert_eq!(warm.stats.store_hits, ranges);
+    assert_eq!(warm.stats.store_misses, 0);
+    assert_eq!(warm.stats.completed, 0, "a warm store recomputes nothing");
+    assert_eq!(warm.results, cold.results, "store round-trip changed bits");
+
+    // Delete one chunk: exactly that range is recomputed, bits unchanged.
+    let mut chunks: Vec<PathBuf> = std::fs::read_dir(&store)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|e| e == "json"))
+        .collect();
+    chunks.sort();
+    assert_eq!(chunks.len(), ranges as usize);
+    std::fs::remove_file(&chunks[0]).unwrap();
+    let partial = run_sharded(&spec, &cfg).unwrap();
+    assert_eq!(partial.stats.store_hits, ranges - 1);
+    assert_eq!(partial.stats.store_misses, 1);
+    assert_eq!(partial.stats.completed, 1, "only the missing range runs");
+    assert_eq!(partial.results, cold.results, "partial resume changed bits");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn shard_metrics_reach_the_registry() {
+    let spec = rate_campaign(16, 32, 1240);
+    let obs = obs::Obs::enabled();
+    let out = sweepsvc::run_sharded_observed(&spec, &config(2), &obs).unwrap();
+    let snap = obs.metrics.snapshot();
+    let counter = |name: &str| snap.get(name).and_then(obs::MetricValue::as_counter);
+    assert_eq!(counter(obs::names::SHARD_SCENARIOS), Some(3));
+    assert_eq!(counter(obs::names::SHARD_RANGES), Some(out.stats.ranges as u64));
+    assert_eq!(counter(obs::names::SHARD_RANGES_COMPLETED), Some(out.stats.completed));
+    assert_eq!(counter(obs::names::SHARD_RANGES_DISPATCHED), Some(out.stats.dispatched));
+    // Deterministic snapshots exclude the wall.-prefixed shard counters.
+    let det = snap.deterministic();
+    assert!(det.get(obs::names::SHARD_SCENARIOS).is_some());
+    assert!(det.get(obs::names::SHARD_RANGES_DISPATCHED).is_none());
+    // The coordinator recorded one wall span per completed range.
+    let spans = obs.recorder.wall_spans();
+    let range_spans = spans.iter().filter(|s| s.pid == sweepsvc::SHARD_PID).count() as u64;
+    assert_eq!(range_spans, out.stats.completed);
+}

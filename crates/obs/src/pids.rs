@@ -12,6 +12,7 @@
 //! | [`REPLICATE`] (1001) | `sweepsvc` replication | one per replication slot      |
 //! | [`PARTITION`] (1002) | windowed parallel engine (`sim.partition`) | one per partition + coordinator |
 //! | [`OPT`] (1003)       | optimistic engine (`sim.opt`) | one per partition + coordinator |
+//! | [`SHARD`] (1004)     | `sweepsvc` shard coordinator | one per worker process  |
 //! | [`PHASE`] (2000)     | `experiments obs` phases | single `phases` track       |
 //! | base + row·[`TABLE_STRIDE`] | `experiments` validation tables | one block per table row |
 //!
@@ -37,6 +38,10 @@ pub const PARTITION: u32 = 1002;
 /// coordinator tid.
 pub const OPT: u32 = 1003;
 
+/// The sharded-campaign coordinator (`sweepsvc::shard`): per-range wall
+/// spans, one tid per worker process slot.
+pub const SHARD: u32 = 1004;
+
 /// Coarse program phases recorded by `experiments obs`.
 pub const PHASE: u32 = 2000;
 
@@ -55,7 +60,7 @@ mod tests {
 
     #[test]
     fn pid_blocks_do_not_collide() {
-        let orchestration = [SWEEP, REPLICATE, PARTITION, OPT, PHASE];
+        let orchestration = [SWEEP, REPLICATE, PARTITION, OPT, SHARD, PHASE];
         for (i, a) in orchestration.iter().enumerate() {
             for b in orchestration.iter().skip(i + 1) {
                 assert_ne!(a, b);

@@ -107,7 +107,11 @@ impl CachedEngine {
 /// pause the base twin, swap in the scenario's twin and resume (degrading
 /// to a cold run when the twin fails the noise-class probe); every other
 /// backend prices the scenario via its `Predictor`.
-fn evaluate_scenario(engine: &CachedEngine, spec: &SweepSpec, sc: &Scenario) -> EvaluationReport {
+pub(crate) fn evaluate_scenario(
+    engine: &CachedEngine,
+    spec: &SweepSpec,
+    sc: &Scenario,
+) -> EvaluationReport {
     match sc.backend {
         Backend::Pace => engine.evaluate(&sc.workload.application(), sc.hw()),
         Backend::DesSim if spec.des_fork.is_some() && fork_compatible(spec, sc) => {
@@ -124,6 +128,28 @@ fn evaluate_scenario(engine: &CachedEngine, spec: &SweepSpec, sc: &Scenario) -> 
             .predictor()
             .predict(&*sc.workload, &sc.machine_spec)
             .unwrap_or_else(|e| panic!("backend '{}': {e}", other.name())),
+    }
+}
+
+/// Evaluate one scenario into its full [`ScenarioResult`] row. This is
+/// [`evaluate_scenario`] plus the result-row construction every consumer
+/// shares — the in-process paths ([`SweepEngine::run`], the planner) and
+/// the multi-process shard workers ([`crate::shard`]) all build their
+/// rows here, so cross-tier byte identity holds by construction.
+pub fn scenario_result(engine: &CachedEngine, spec: &SweepSpec, sc: &Scenario) -> ScenarioResult {
+    let report = evaluate_scenario(engine, spec, sc);
+    let total_secs = report.total_secs;
+    ScenarioResult {
+        id: sc.id,
+        machine: sc.machine,
+        problem: sc.problem,
+        multiplier: sc.multiplier,
+        backend: sc.backend,
+        rate_multiplier: sc.rate_multiplier,
+        label: sc.label.clone(),
+        pes: sc.workload.pes(),
+        total_secs,
+        report,
     }
 }
 
@@ -291,8 +317,7 @@ impl SweepEngine {
         }
         let run = pool::run_ordered_with_worker(scenarios, self.workers, |worker, sc| {
             let t0 = Instant::now();
-            let report = evaluate_scenario(&engine, spec, sc);
-            let total_secs = report.total_secs;
+            let result = scenario_result(&engine, spec, sc);
             if rec.is_enabled() {
                 rec.wall_span(
                     SWEEP_PID,
@@ -303,22 +328,11 @@ impl SweepEngine {
                     vec![
                         ("id", sc.id.into()),
                         ("pes", sc.workload.pes().into()),
-                        ("total_secs", total_secs.into()),
+                        ("total_secs", result.total_secs.into()),
                     ],
                 );
             }
-            ScenarioResult {
-                id: sc.id,
-                machine: sc.machine,
-                problem: sc.problem,
-                multiplier: sc.multiplier,
-                backend: sc.backend,
-                rate_multiplier: sc.rate_multiplier,
-                label: sc.label.clone(),
-                pes: sc.workload.pes(),
-                total_secs,
-                report,
-            }
+            result
         });
         if rec.is_enabled() {
             for w in &run.workers {

@@ -22,7 +22,13 @@
 //!   byte-identical results to the naive path ([`plan`]);
 //! * [`replicate`] — a parallel-replication runner for `cluster-sim`
 //!   measurement campaigns: N seeds of one machine, merged into one
-//!   statistics summary ([`replicate`](mod@replicate)).
+//!   statistics summary ([`replicate`](mod@replicate));
+//! * [`shard`] — the multi-process campaign tier: a coordinator that
+//!   partitions a spec into contiguous scenario-id ranges, fans them out
+//!   over `sweep-worker` processes via length-prefixed JSON frames,
+//!   persists completed ranges in a content-addressed chunk store for
+//!   resume, and merges bit-identically to the in-process engine
+//!   ([`run_sharded`]).
 //!
 //! ```
 //! use pace_core::Sweep3dParams;
@@ -44,10 +50,11 @@ pub mod engine;
 pub mod plan;
 pub mod pool;
 pub mod replicate;
+pub mod shard;
 pub mod spec;
 
 pub use cache::{CacheKey, CacheStats, EvalCache};
-pub use engine::{CachedEngine, SweepEngine, SweepOutcome, SweepStats, SWEEP_PID};
+pub use engine::{scenario_result, CachedEngine, SweepEngine, SweepOutcome, SweepStats, SWEEP_PID};
 pub use plan::{ExecPlan, ForkGroup, PlanJob, PlanStats};
 pub use pool::{
     available_workers, nested_plan, run_ordered, run_ordered_with_worker, sim_threads_override,
@@ -57,5 +64,9 @@ pub use replicate::{
     campaign, campaign_forked, campaign_threaded, replicate, replicate_observed, replicate_set,
     replicate_set_attributed, replicate_set_observed, replicate_set_optimistic,
     replicate_set_threaded, Replication, ReplicationSummary, REPLICATE_PID,
+};
+pub use shard::{
+    partition, run_sharded, run_sharded_observed, ChunkStore, IdRange, ShardConfig, ShardOutcome,
+    ShardStats, SHARD_PID,
 };
 pub use spec::{ProblemPoint, Scenario, ScenarioResult, SweepSpec};

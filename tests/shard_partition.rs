@@ -1,0 +1,110 @@
+//! Property tests for the sharded-campaign range partitioner and the
+//! shard codecs (process-free — the process-spawning acceptance tests
+//! live in `crates/experiments/tests/shard.rs`).
+
+use proptest::prelude::*;
+use sweepsvc::shard::{
+    partition, result_from_json, result_to_json, results_to_json, spec_digest, spec_from_json,
+    spec_to_json, ChunkStore, IdRange,
+};
+use sweepsvc::{SweepEngine, SweepSpec};
+use wavefront_models::Backend;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// For arbitrary scenario counts × shard counts: ranges are
+    /// contiguous, non-overlapping, cover every id exactly once, and
+    /// concatenating them in order *is* the scenario-id order.
+    #[test]
+    fn partition_is_contiguous_nonoverlapping_and_covering(
+        n in 0usize..10_000,
+        parts in 0usize..64,
+    ) {
+        let ranges = partition(n, parts);
+        if n == 0 {
+            prop_assert!(ranges.is_empty());
+            return Ok(());
+        }
+        prop_assert!(!ranges.is_empty());
+        prop_assert!(ranges.len() <= parts.max(1));
+        prop_assert!(ranges.len() <= n, "never more ranges than ids");
+        // Contiguity + coverage: each range starts where the previous
+        // ended, the first at 0, the last at n — so the merged id stream
+        // 0..n falls out of walking the ranges in order.
+        let mut next = 0usize;
+        for r in &ranges {
+            prop_assert_eq!(r.start, next, "ranges must be contiguous");
+            prop_assert!(r.start < r.end, "ranges must be non-empty");
+            next = r.end;
+        }
+        prop_assert_eq!(next, n, "ranges must cover every id");
+        // Balance: sizes differ by at most one (queue fairness).
+        let min = ranges.iter().map(IdRange::len).min().unwrap();
+        let max = ranges.iter().map(IdRange::len).max().unwrap();
+        prop_assert!(max - min <= 1, "range sizes must differ by at most one");
+    }
+
+    /// The same `(n, parts)` always yields the same split — chunk-store
+    /// keys depend on it.
+    #[test]
+    fn partition_is_deterministic(n in 0usize..10_000, parts in 0usize..64) {
+        prop_assert_eq!(partition(n, parts), partition(n, parts));
+    }
+
+    /// Chunk keys separate campaigns and ranges.
+    #[test]
+    fn chunk_keys_separate_ranges(
+        digest in any::<u64>(),
+        start in 0usize..1000,
+        len in 1usize..1000,
+    ) {
+        let range = IdRange { start, end: start + len };
+        let key = ChunkStore::chunk_key(digest, range);
+        prop_assert_eq!(key, ChunkStore::chunk_key(digest, range));
+        let shifted = IdRange { start: start + 1, end: start + len + 1 };
+        prop_assert_ne!(key, ChunkStore::chunk_key(digest, shifted));
+        prop_assert_ne!(key, ChunkStore::chunk_key(digest ^ 1, range));
+    }
+}
+
+/// A small mixed-backend grid covering every shipped workload kind and a
+/// DES fork point — the codec must round-trip all of it exactly.
+fn mixed_spec() -> SweepSpec {
+    use pace_core::{AllreduceParams, StencilParams, Sweep3dParams};
+    let mut params = Sweep3dParams::speculative_20m(2, 2);
+    params.iterations = 1;
+    params.nz = 20;
+    SweepSpec::new()
+        .machine(registry::builtin("opteron-myrinet").unwrap())
+        .rate_multipliers(vec![1.0, 1.25, 1.5])
+        .problem("2x2", params)
+        .problem("st2x2", StencilParams::weak_scaling(2, 2))
+        .problem("cg4", AllreduceParams::cg_like(4))
+        .backends(vec![Backend::Pace, Backend::DesSim])
+        .des_fork(20)
+}
+
+#[test]
+fn spec_codec_round_trips_every_workload_kind() {
+    let spec = mixed_spec();
+    let text = spec_to_json(&spec).unwrap();
+    let back = spec_from_json(&text).unwrap();
+    assert_eq!(back, spec);
+    assert_eq!(spec_to_json(&back).unwrap(), text, "canonical text must be stable");
+    assert_eq!(spec_digest(&back).unwrap(), spec_digest(&spec).unwrap());
+}
+
+#[test]
+fn result_codec_round_trips_bit_for_bit() {
+    let results = SweepEngine::with_workers(1).run(&mixed_spec()).results;
+    for r in &results {
+        let text = result_to_json(r);
+        let parsed = obs::Json::parse(&text).unwrap();
+        assert_eq!(&result_from_json(&parsed).unwrap(), r);
+    }
+    // The canonical list serialization is byte-stable (store validation
+    // digests depend on it).
+    let list = results_to_json(&results);
+    assert_eq!(results_to_json(&results), list);
+}
